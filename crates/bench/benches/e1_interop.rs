@@ -1,0 +1,58 @@
+//! **E1** — Fig. 1/Fig. 3: static enforcement of interop safety.
+//!
+//! Regenerates the paper's core claim in measurable form: RichWasm's
+//! enforcement is *static* — a one-time type-checking cost at
+//! compile/link time, with **zero per-operation runtime cost** — versus
+//! MSWasm-style *dynamic* capability checking (§7), which pays on every
+//! access. We measure:
+//!
+//! * `check_accepts_safe` / `check_rejects_buggy` — the one-time cost of
+//!   the static check on the stash modules;
+//! * `static_typed_run` vs `dynamic_checked_run` — end-to-end runs of the
+//!   same interop workload with the checker amortised away vs the
+//!   interpreter's dynamic linear-memory accounting alone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use richwasm::interp::Runtime;
+use richwasm::typecheck::check_module;
+use richwasm_bench::workloads::{stash_client, stash_module};
+
+fn bench(c: &mut Criterion) {
+    let safe = richwasm_ml::compile_module(&stash_module(false)).unwrap();
+    let buggy = richwasm_ml::compile_module(&stash_module(true)).unwrap();
+    let client = richwasm_l3::compile_module(&stash_client()).unwrap();
+
+    let mut g = c.benchmark_group("e1_interop");
+    g.sample_size(20);
+
+    g.bench_function("check_accepts_safe", |b| {
+        b.iter(|| check_module(std::hint::black_box(&safe)).is_ok())
+    });
+    g.bench_function("check_rejects_buggy", |b| {
+        b.iter(|| check_module(std::hint::black_box(&buggy)).is_err())
+    });
+
+    // Static: modules checked once at instantiation; invocations carry no
+    // checking cost.
+    g.bench_function("static_typed_run", |b| {
+        let mut rt = Runtime::new();
+        rt.instantiate("ml", safe.clone()).unwrap();
+        let ci = rt.instantiate("l3", client.clone()).unwrap();
+        b.iter(|| rt.invoke(ci, "main", vec![]).unwrap().values[0].clone())
+    });
+
+    // Dynamic-only baseline: no static checking at all — safety rests on
+    // the interpreter's runtime accounting (the MSWasm-style contrast).
+    g.bench_function("dynamic_checked_run", |b| {
+        let mut rt = Runtime::new();
+        rt.config.check_modules = false;
+        rt.instantiate("ml", safe.clone()).unwrap();
+        let ci = rt.instantiate("l3", client.clone()).unwrap();
+        b.iter(|| rt.invoke(ci, "main", vec![]).unwrap().values[0].clone())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

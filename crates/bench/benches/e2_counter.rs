@@ -1,0 +1,52 @@
+//! **E2** — Fig. 9: the linear-library / GC'd-client counter, end to end
+//! on both backends.
+//!
+//! Series reported: per-`bump` cost on (a) the RichWasm small-step
+//! interpreter and (b) the compiled WebAssembly running on our Wasm
+//! substrate. The paper's qualitative claim — that the type machinery
+//! (capabilities, qualifiers, existentials) is erased and costs nothing
+//! at the Wasm level — shows up as (b) being dominated purely by the
+//! allocator and arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use richwasm::interp::Runtime;
+use richwasm_bench::workloads::{counter_client, counter_library};
+use richwasm_lower::lower_modules;
+use richwasm_wasm::exec::{Val, WasmLinker};
+
+fn bench(c: &mut Criterion) {
+    let gfx = richwasm_l3::compile_module(&counter_library()).unwrap();
+    let app = richwasm_ml::compile_module(&counter_client()).unwrap();
+
+    let mut g = c.benchmark_group("e2_counter");
+    g.sample_size(20);
+
+    g.bench_function("bump_richwasm_interp", |b| {
+        let mut rt = Runtime::new();
+        rt.instantiate("gfx", gfx.clone()).unwrap();
+        let app_i = rt.instantiate("app", app.clone()).unwrap();
+        rt.invoke(app_i, "setup", vec![richwasm::syntax::Value::i32(1)]).unwrap();
+        b.iter(|| rt.invoke(app_i, "bump", vec![richwasm::syntax::Value::Unit]).unwrap().steps)
+    });
+
+    g.bench_function("bump_lowered_wasm", |b| {
+        let lowered =
+            lower_modules(&[("gfx".to_string(), gfx.clone()), ("app".to_string(), app.clone())])
+                .unwrap();
+        let mut linker = WasmLinker::new();
+        let mut app_w = 0;
+        for (name, wm) in &lowered {
+            let i = linker.instantiate(name, wm.clone()).unwrap();
+            if name == "app" {
+                app_w = i;
+            }
+        }
+        linker.invoke(app_w, "setup", &[Val::I32(1)]).unwrap();
+        b.iter(|| linker.invoke(app_w, "bump", &[]).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! **E3** — type-checking scalability (the practical face of §4's
+//! metatheory): checker throughput as module size grows, and the
+//! per-step overhead of the faithful small-step interpreter.
+//!
+//! Series reported: `check_module` wall time for arithmetic-chain modules
+//! of 10/50/100 functions (expected shape: linear in module size), and
+//! reduction steps/second on the linear-churn workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use richwasm::interp::Runtime;
+use richwasm::typecheck::check_module;
+use richwasm_bench::workloads::{arith_chain, churn};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_soundness");
+    g.sample_size(15);
+
+    for n in [10usize, 50, 100] {
+        let m = arith_chain(n);
+        g.bench_with_input(BenchmarkId::new("check_module_funcs", n), &m, |b, m| {
+            b.iter(|| check_module(std::hint::black_box(m)).unwrap())
+        });
+    }
+
+    for n in [10u32, 100] {
+        let m = churn(n);
+        g.bench_with_input(BenchmarkId::new("interp_churn_cells", n), &m, |b, m| {
+            b.iter(|| {
+                let mut rt = Runtime::new();
+                let i = rt.instantiate("m", m.clone()).unwrap();
+                rt.invoke(i, "main", vec![]).unwrap().steps
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! **E4** — §5: the ML and L3 compilers.
+//!
+//! Series reported: full compile times (source → RichWasm) for the
+//! paper's example modules and for synthetic ML programs of growing
+//! depth, plus the *type-preservation check* (the compiled output put
+//! through the RichWasm checker — the paper's workflow runs this on
+//! every module).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use richwasm::typecheck::check_module;
+use richwasm_bench::workloads::{counter_library, ml_tower, stash_client, stash_module};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_compilers");
+    g.sample_size(20);
+
+    let stash = stash_module(false);
+    g.bench_function("ml_compile_stash", |b| {
+        b.iter(|| richwasm_ml::compile_module(std::hint::black_box(&stash)).unwrap())
+    });
+
+    let client = stash_client();
+    g.bench_function("l3_compile_client", |b| {
+        b.iter(|| richwasm_l3::compile_module(std::hint::black_box(&client)).unwrap())
+    });
+
+    let lib = counter_library();
+    g.bench_function("l3_compile_counter_lib", |b| {
+        b.iter(|| richwasm_l3::compile_module(std::hint::black_box(&lib)).unwrap())
+    });
+
+    for depth in [2u32, 4, 6] {
+        let m = ml_tower(depth);
+        g.bench_with_input(BenchmarkId::new("ml_compile_tower_depth", depth), &m, |b, m| {
+            b.iter(|| richwasm_ml::compile_module(std::hint::black_box(m)).unwrap())
+        });
+        let rw = richwasm_ml::compile_module(&m).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("preservation_check_depth", depth),
+            &rw,
+            |b, rw| b.iter(|| check_module(std::hint::black_box(rw)).unwrap()),
+        );
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! **E5** — §6: compiling RichWasm to WebAssembly.
+//!
+//! Series reported:
+//!
+//! * `lower_*` — whole-pipeline compile times (type-directed lowering
+//!   including the checker re-run that produces the annotations);
+//! * `erasure_zero_cost` — the paper's claim that type-level instructions
+//!   (`qualify`, `cap.split`, `mem.pack`, …) are erased: a
+//!   qualifier-shuffling module lowers to *bytes identical* to its plain
+//!   counterpart, so we also measure the Wasm-side execution of the churn
+//!   workload (allocator + memory traffic only);
+//! * `wasm_churn_cells` — execution on the Wasm substrate (the runtime
+//!   free-list allocator of §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use richwasm_bench::workloads::{arith_chain, churn};
+use richwasm_lower::lower_modules;
+use richwasm_wasm::binary::encode_module;
+use richwasm_wasm::exec::WasmLinker;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_lowering");
+    g.sample_size(15);
+
+    for n in [10usize, 50] {
+        let m = arith_chain(n);
+        let named = vec![("m".to_string(), m)];
+        g.bench_with_input(BenchmarkId::new("lower_funcs", n), &named, |b, named| {
+            b.iter(|| lower_modules(std::hint::black_box(named)).unwrap())
+        });
+    }
+
+    for n in [10u32, 100] {
+        let named = vec![("m".to_string(), churn(n))];
+        let lowered = lower_modules(&named).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("wasm_churn_cells", n),
+            &lowered,
+            |b, lowered| {
+                let mut linker = WasmLinker::new();
+                let mut mi = 0;
+                for (name, wm) in lowered {
+                    let i = linker.instantiate(name, wm.clone()).unwrap();
+                    if name == "m" {
+                        mi = i;
+                    }
+                }
+                b.iter(|| linker.invoke(mi, "main", &[]).unwrap())
+            },
+        );
+    }
+
+    // Binary encoding throughput.
+    let named = vec![("m".to_string(), arith_chain(50))];
+    let lowered = lower_modules(&named).unwrap();
+    g.bench_function("encode_binary", |b| {
+        b.iter(|| {
+            lowered
+                .iter()
+                .map(|(_, wm)| encode_module(std::hint::black_box(wm)).len())
+                .sum::<usize>()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Shared workload builders for the RichWasm benchmark harness.
+//!
+//! Each experiment of EXPERIMENTS.md has a corresponding Criterion bench
+//! in `benches/`; this crate hosts the program generators they share.
+
+pub mod workloads;

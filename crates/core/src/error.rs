@@ -1,0 +1,221 @@
+//! Error types for type checking and execution.
+
+use std::fmt;
+
+use crate::syntax::{ConcreteLoc, Qual, Size, Type};
+
+/// An error raised by the RichWasm type checker.
+///
+/// Each variant corresponds to a failed premise of the paper's typing
+/// rules; the `context` field (where present) names the instruction or
+/// judgement that failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeError {
+    /// A de Bruijn index of some kind was out of range.
+    UnboundVar {
+        /// Which kind of variable ("location", "size", "qualifier",
+        /// "pretype", "local", "global", "function", "label", "table").
+        kind: &'static str,
+        /// The offending index.
+        index: u32,
+    },
+    /// A qualifier constraint `q1 ⪯ q2` could not be derived.
+    QualNotLeq {
+        /// The would-be smaller qualifier.
+        lhs: Qual,
+        /// The would-be larger qualifier.
+        rhs: Qual,
+        /// What was being checked.
+        context: String,
+    },
+    /// A size constraint `sz1 ≤ sz2` could not be derived.
+    SizeNotLeq {
+        /// The would-be smaller size.
+        lhs: Size,
+        /// The would-be larger size.
+        rhs: Size,
+        /// What was being checked.
+        context: String,
+    },
+    /// A value/stack type mismatch.
+    Mismatch {
+        /// The expected type (rendered).
+        expected: String,
+        /// The found type (rendered).
+        found: String,
+        /// What was being checked.
+        context: String,
+    },
+    /// The operand stack was too short for an instruction.
+    StackUnderflow {
+        /// The instruction that needed more operands.
+        context: String,
+    },
+    /// Values left on the stack at the end of a block do not match the
+    /// block's declared result type.
+    BlockResultMismatch {
+        /// What was being checked.
+        context: String,
+    },
+    /// A linear value would be duplicated, dropped, or jumped over.
+    LinearityViolation {
+        /// What was being checked.
+        context: String,
+    },
+    /// A linear memory location was consumed more than once (violates the
+    /// disjoint-union store-typing split `S = S₁ ⊎ S₂`).
+    LinearLocReused(ConcreteLoc),
+    /// A linear memory location was never consumed.
+    LinearLocUnused(ConcreteLoc),
+    /// A type failed well-formedness.
+    IllFormed {
+        /// Why.
+        reason: String,
+    },
+    /// `no_caps` failed: a bare capability would be stored in memory.
+    CapsInHeap {
+        /// What was being checked.
+        context: String,
+    },
+    /// A quantifier instantiation did not satisfy its constraints.
+    BadInstantiation {
+        /// Why.
+        reason: String,
+    },
+    /// An import could not be resolved or its type did not match the
+    /// export — the cross-language safety failure of §1.
+    LinkError {
+        /// Why.
+        reason: String,
+    },
+    /// Anything else, with a description.
+    Other(String),
+}
+
+impl TypeError {
+    /// Shorthand for a [`TypeError::Mismatch`] from two types.
+    pub fn mismatch(expected: &Type, found: &Type, context: impl Into<String>) -> TypeError {
+        TypeError::Mismatch {
+            expected: expected.to_string(),
+            found: found.to_string(),
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnboundVar { kind, index } => {
+                write!(f, "unbound {kind} variable {index}")
+            }
+            TypeError::QualNotLeq { lhs, rhs, context } => {
+                write!(f, "cannot derive {lhs} ⪯ {rhs} in {context}")
+            }
+            TypeError::SizeNotLeq { lhs, rhs, context } => {
+                write!(f, "cannot derive {lhs} ≤ {rhs} in {context}")
+            }
+            TypeError::Mismatch { expected, found, context } => {
+                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            }
+            TypeError::StackUnderflow { context } => {
+                write!(f, "operand stack underflow in {context}")
+            }
+            TypeError::BlockResultMismatch { context } => {
+                write!(f, "block result mismatch in {context}")
+            }
+            TypeError::LinearityViolation { context } => {
+                write!(f, "linearity violation: {context}")
+            }
+            TypeError::LinearLocReused(l) => {
+                write!(f, "linear location {l} consumed more than once")
+            }
+            TypeError::LinearLocUnused(l) => {
+                write!(f, "linear location {l} never consumed")
+            }
+            TypeError::IllFormed { reason } => write!(f, "ill-formed type: {reason}"),
+            TypeError::CapsInHeap { context } => {
+                write!(f, "bare capability may not be stored in memory: {context}")
+            }
+            TypeError::BadInstantiation { reason } => {
+                write!(f, "bad quantifier instantiation: {reason}")
+            }
+            TypeError::LinkError { reason } => write!(f, "link error: {reason}"),
+            TypeError::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// An error raised by the interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The configuration reduced to `trap`.
+    Trap {
+        /// Human-readable reason (out-of-bounds access, unreachable, …).
+        reason: String,
+    },
+    /// The configuration is stuck: no reduction rule applies. For
+    /// well-typed programs this never happens (progress).
+    Stuck {
+        /// A description of the redex that could not be reduced.
+        reason: String,
+    },
+    /// The step budget was exhausted.
+    OutOfFuel,
+    /// A reference to a module/function/global that does not exist — a
+    /// store inconsistency, not a source-program error.
+    BadStore {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl RuntimeError {
+    /// Shorthand for a trap with a reason.
+    pub fn trap(reason: impl Into<String>) -> RuntimeError {
+        RuntimeError::Trap { reason: reason.into() }
+    }
+
+    /// Shorthand for a stuck configuration.
+    pub fn stuck(reason: impl Into<String>) -> RuntimeError {
+        RuntimeError::Stuck { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Trap { reason } => write!(f, "trap: {reason}"),
+            RuntimeError::Stuck { reason } => write!(f, "stuck configuration: {reason}"),
+            RuntimeError::OutOfFuel => write!(f, "out of fuel"),
+            RuntimeError::BadStore { reason } => write!(f, "store inconsistency: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Type;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TypeError::QualNotLeq { lhs: Qual::Lin, rhs: Qual::Unr, context: "drop".into() };
+        assert!(e.to_string().contains("lin ⪯ unr"));
+        let e = TypeError::mismatch(&Type::unit(), &Type::unit(), "test");
+        assert!(e.to_string().contains("expected"));
+        let e = RuntimeError::trap("oob");
+        assert!(e.to_string().contains("oob"));
+    }
+
+    #[test]
+    fn errors_implement_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(TypeError::Other("x".into()));
+        takes_err(RuntimeError::OutOfFuel);
+    }
+}

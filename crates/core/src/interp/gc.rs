@@ -1,0 +1,213 @@
+//! The garbage collector for the unrestricted memory (paper §3).
+//!
+//! The reduction relation includes a rule that may fire at any point:
+//! unrestricted locations unreachable from the configuration's roots —
+//! the locations appearing in the instructions, the local values, and the
+//! module instances — are collected. Linear memory that was *owned* by
+//! collected unrestricted cells (a linear reference stored in GC'd
+//! memory) is finalized, mirroring the paper's finalizer story.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use crate::interp::step::Config;
+use crate::interp::store::Store;
+use crate::syntax::{ConcreteLoc, HeapValue, Instr, Value};
+
+/// Collects the locations mentioned by a value.
+pub fn locs_in_value(v: &Value, out: &mut Vec<ConcreteLoc>) {
+    match v {
+        Value::Unit | Value::Num(..) | Value::Cap | Value::Own | Value::CodeRef { .. } => {}
+        Value::Ref(l) | Value::Ptr(l) => out.push(*l),
+        Value::Prod(vs) => {
+            for v in vs {
+                locs_in_value(v, out);
+            }
+        }
+        Value::Fold(v) => locs_in_value(v, out),
+        Value::MemPack(l, v) => {
+            out.push(*l);
+            locs_in_value(v, out);
+        }
+    }
+}
+
+fn locs_in_heap_value(hv: &HeapValue, out: &mut Vec<ConcreteLoc>) {
+    for v in hv.values() {
+        locs_in_value(v, out);
+    }
+}
+
+/// Collects the locations mentioned anywhere in an instruction sequence,
+/// descending into nested bodies and administrative frames.
+pub fn locs_in_instrs(es: &[Instr], out: &mut Vec<ConcreteLoc>) {
+    for e in es {
+        match e {
+            Instr::Val(v) => locs_in_value(v, out),
+            Instr::BlockI(_, body) | Instr::LoopI(_, body) | Instr::MemUnpack(_, body)
+            | Instr::ExistUnpack(_, _, _, body) => locs_in_instrs(body, out),
+            Instr::IfI(_, a, b) => {
+                locs_in_instrs(a, out);
+                locs_in_instrs(b, out);
+            }
+            Instr::VariantCase(_, _, _, bodies) => {
+                for b in bodies {
+                    locs_in_instrs(b, out);
+                }
+            }
+            Instr::Label { cont, body, .. } => {
+                locs_in_instrs(cont, out);
+                locs_in_instrs(body, out);
+            }
+            Instr::LocalFrame { locals, body, .. } => {
+                for (v, _) in locals {
+                    locs_in_value(v, out);
+                }
+                locs_in_instrs(body, out);
+            }
+            Instr::MallocAdmin(_, hv, _) => locs_in_heap_value(hv, out),
+            _ => {}
+        }
+    }
+}
+
+/// Statistics of one collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcStats {
+    /// Unrestricted cells collected.
+    pub collected_unr: usize,
+    /// Linear cells finalized (owned by collected unrestricted memory).
+    pub finalized_lin: usize,
+}
+
+/// Runs a collection. Roots are the locations in `config` (if any) plus
+/// every instance's globals (paper §3: "the roots of collection are the
+/// unrestricted locations that appear in reference values in the
+/// instructions, local variables, or the module instances").
+pub fn collect(store: &mut Store, config: Option<&Config>) -> GcStats {
+    let mut roots = Vec::new();
+    if let Some(cfg) = config {
+        locs_in_instrs(&cfg.instrs, &mut roots);
+        for (v, _) in &cfg.locals {
+            locs_in_value(v, &mut roots);
+        }
+    }
+    for inst in &store.insts {
+        for g in &inst.globals {
+            locs_in_value(g, &mut roots);
+        }
+    }
+
+    // Mark.
+    let mut marked: BTreeSet<ConcreteLoc> = BTreeSet::new();
+    let mut queue: VecDeque<ConcreteLoc> = roots.into_iter().collect();
+    while let Some(l) = queue.pop_front() {
+        if !marked.insert(l) {
+            continue;
+        }
+        if let Some(cell) = store.mem.get(l) {
+            let mut next = Vec::new();
+            locs_in_heap_value(&cell.hv, &mut next);
+            queue.extend(next);
+        }
+    }
+
+    // Sweep the unrestricted memory.
+    let dead_unr: Vec<u32> = store
+        .mem
+        .unr
+        .keys()
+        .copied()
+        .filter(|i| !marked.contains(&ConcreteLoc::unr(*i)))
+        .collect();
+    // Linear cells now unreachable were owned by the collected memory (in
+    // a well-typed program the only way a linear cell loses its last
+    // reference is for its owning unrestricted cell to die): finalize.
+    let dead_lin: Vec<u32> = store
+        .mem
+        .lin
+        .keys()
+        .copied()
+        .filter(|i| !marked.contains(&ConcreteLoc::lin(*i)))
+        .collect();
+    let stats = GcStats { collected_unr: dead_unr.len(), finalized_lin: dead_lin.len() };
+    for i in dead_unr {
+        store.mem.unr.remove(&i);
+        store.mem.collected += 1;
+    }
+    for i in dead_lin {
+        store.mem.lin.remove(&i);
+        store.mem.finalized += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::Mem;
+
+    #[test]
+    fn unreachable_unr_cells_collected() {
+        let mut store = Store::default();
+        let a = store.mem.alloc(Mem::Unr, HeapValue::Struct(vec![Value::i32(1)]), 32);
+        let _b = store.mem.alloc(Mem::Unr, HeapValue::Struct(vec![Value::i32(2)]), 32);
+        // Only `a` is rooted.
+        let cfg = Config { instrs: vec![Instr::Val(Value::Ref(a))], ..Config::default() };
+        let stats = collect(&mut store, Some(&cfg));
+        assert_eq!(stats.collected_unr, 1);
+        assert!(store.mem.get(a).is_some());
+        assert_eq!(store.mem.unr.len(), 1);
+    }
+
+    #[test]
+    fn reachability_is_transitive_through_the_heap() {
+        let mut store = Store::default();
+        let inner = store.mem.alloc(Mem::Unr, HeapValue::Struct(vec![Value::i32(7)]), 32);
+        let outer = store.mem.alloc(Mem::Unr, HeapValue::Struct(vec![Value::Ref(inner)]), 32);
+        let cfg = Config { instrs: vec![Instr::Val(Value::Ref(outer))], ..Config::default() };
+        let stats = collect(&mut store, Some(&cfg));
+        assert_eq!(stats.collected_unr, 0);
+        assert_eq!(store.mem.unr.len(), 2);
+    }
+
+    #[test]
+    fn linear_memory_owned_by_dead_unr_cell_is_finalized() {
+        // The §3 scenario: a linear reference stored in GC'd memory whose
+        // only reference dies — the collector owns and finalizes the
+        // linear cell.
+        let mut store = Store::default();
+        let lin = store.mem.alloc(Mem::Lin, HeapValue::Struct(vec![Value::i32(1)]), 32);
+        let _unr = store.mem.alloc(Mem::Unr, HeapValue::Struct(vec![Value::Ref(lin)]), 32);
+        // Nothing roots the unr cell.
+        let stats = collect(&mut store, None);
+        assert_eq!(stats.collected_unr, 1);
+        assert_eq!(stats.finalized_lin, 1);
+        assert_eq!(store.mem.live(), 0);
+        assert_eq!(store.mem.finalized, 1);
+    }
+
+    #[test]
+    fn rooted_linear_memory_survives() {
+        let mut store = Store::default();
+        let lin = store.mem.alloc(Mem::Lin, HeapValue::Struct(vec![Value::i32(1)]), 32);
+        let cfg = Config {
+            locals: vec![(Value::Ref(lin), crate::syntax::Size::Const(32))],
+            ..Config::default()
+        };
+        let stats = collect(&mut store, Some(&cfg));
+        assert_eq!(stats.finalized_lin, 0);
+        assert!(store.mem.get(lin).is_some());
+    }
+
+    #[test]
+    fn globals_are_roots() {
+        let mut store = Store::default();
+        let l = store.mem.alloc(Mem::Unr, HeapValue::Struct(vec![]), 0);
+        store.insts.push(crate::interp::store::Instance {
+            globals: vec![Value::Ref(l)],
+            ..Default::default()
+        });
+        let stats = collect(&mut store, None);
+        assert_eq!(stats.collected_unr, 0);
+    }
+}

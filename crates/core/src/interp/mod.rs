@@ -1,0 +1,25 @@
+//! The RichWasm small-step interpreter (paper §3, Fig. 4).
+//!
+//! The reduction relation `s; v*; sz*; e* ↩_j s'; v'*; e'*` is implemented
+//! faithfully: administrative instructions (`trap`, `call cl z*`,
+//! `label`, `local`, `malloc`, `free`) arise during reduction, evaluation
+//! descends through local contexts `L^k`, and the garbage-collection rule
+//! for the unrestricted memory is exposed via [`Runtime::gc`] (and an
+//! optional automatic trigger).
+//!
+//! * [`store`] — the store `s`: module instances plus the two memories;
+//! * [`num`] — numeric operator semantics (Wasm 1.0 semantics);
+//! * [`step`] — the reduction relation itself;
+//! * [`gc`] — the collector (roots: instructions, locals, globals);
+//! * [`runtime`] — instantiation, typed import resolution, and the
+//!   fuel-bounded driver.
+
+pub mod gc;
+pub mod num;
+pub mod runtime;
+pub mod step;
+pub mod store;
+
+pub use runtime::{InvokeResult, Runtime, RuntimeConfig};
+pub use step::{step_config, Config, Outcome};
+pub use store::{Cell, Closure, Instance, Memory, Store};

@@ -1,0 +1,201 @@
+//! The size function `‖τ‖` on types and values (paper §2.1, §4).
+//!
+//! RichWasm tracks the size (in **bits**) of every memory slot so strong
+//! updates can be checked to fit. Sizes of types may mention size
+//! variables; sizes of runtime values are always concrete.
+//!
+//! Fixed representation sizes (consistent with the §6 lowering):
+//!
+//! | type | bits |
+//! |---|---|
+//! | `unit`, `cap`, `own` | 0 (erased) |
+//! | `i32/ui32/f32` | 32 |
+//! | `i64/ui64/f64` | 64 |
+//! | `ref`, `ptr` | 32 (one Wasm pointer) |
+//! | `coderef` | 64 (instance + table index) |
+//! | tuples | sum of components |
+
+use crate::env::KindCtx;
+use crate::error::TypeError;
+use crate::syntax::{HeapValue, Pretype, Size, Type, Value};
+
+/// Bits occupied by a lowered `ref`/`ptr`.
+pub const PTR_BITS: u64 = 32;
+/// Bits occupied by a lowered `coderef`.
+pub const CODEREF_BITS: u64 = 64;
+/// Bits of the tag that prefixes a variant's payload (Fig. 4:
+/// `malloc (32 + size(v))`).
+pub const VARIANT_TAG_BITS: u64 = 32;
+/// Bits of the witness header of an existential package (Fig. 4:
+/// `malloc (64 + size(v))`).
+pub const PACK_HEADER_BITS: u64 = 64;
+
+/// Computes `‖τ‖` under the kind context `ctx`.
+///
+/// # Errors
+///
+/// Fails if the type mentions an unbound pretype variable or an unguarded
+/// recursive-type variable (one not protected by a pointer indirection,
+/// which well-formed `rec` types never contain).
+pub fn size_of_type(ctx: &KindCtx, t: &Type) -> Result<Size, TypeError> {
+    size_of_pretype_rec(ctx, &t.pre, 0)
+}
+
+/// Computes the size of a pretype under the kind context `ctx`.
+pub fn size_of_pretype(ctx: &KindCtx, p: &Pretype) -> Result<Size, TypeError> {
+    size_of_pretype_rec(ctx, p, 0)
+}
+
+/// `rec_depth` counts `rec` binders crossed structurally: their variables
+/// have no size of their own and must be guarded by an indirection.
+fn size_of_pretype_rec(ctx: &KindCtx, p: &Pretype, rec_depth: u32) -> Result<Size, TypeError> {
+    Ok(match p {
+        Pretype::Unit | Pretype::Cap(..) | Pretype::Own(_) => Size::Const(0),
+        Pretype::Num(nt) => Size::Const(nt.bits()),
+        Pretype::Prod(ts) => Size::sum(
+            ts.iter()
+                .map(|t| size_of_pretype_rec(ctx, &t.pre, rec_depth))
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        Pretype::Ref(..) | Pretype::Ptr(_) => Size::Const(PTR_BITS),
+        Pretype::CodeRef(_) => Size::Const(CODEREF_BITS),
+        Pretype::Rec(_, body) => size_of_pretype_rec(ctx, &body.pre, rec_depth + 1)?,
+        Pretype::ExistsLoc(body) => size_of_pretype_rec(ctx, &body.pre, rec_depth)?,
+        Pretype::Var(i) => {
+            if *i < rec_depth {
+                return Err(TypeError::IllFormed {
+                    reason: format!("unguarded recursive type variable α{i}"),
+                });
+            }
+            let bound = ctx.type_bound(i - rec_depth).ok_or(TypeError::UnboundVar {
+                kind: "pretype",
+                index: *i,
+            })?;
+            // rec binders bind no size variables, so the bound needs no
+            // further shifting.
+            bound.size
+        }
+    })
+}
+
+/// Computes `‖v‖` — the concrete size of a closed runtime value.
+pub fn size_of_value(v: &Value) -> u64 {
+    match v {
+        Value::Unit | Value::Cap | Value::Own => 0,
+        Value::Num(nt, _) => nt.bits(),
+        Value::Prod(vs) => vs.iter().map(size_of_value).sum(),
+        Value::Ref(_) | Value::Ptr(_) => PTR_BITS,
+        Value::Fold(v) | Value::MemPack(_, v) => size_of_value(v),
+        Value::CodeRef { .. } => CODEREF_BITS,
+    }
+}
+
+/// Computes the allocation size of a heap value, matching the reduction
+/// rules of Fig. 4 (`struct.malloc`, `variant.malloc`, `array.malloc`,
+/// `exist.pack`).
+pub fn size_of_heap_value(hv: &HeapValue) -> u64 {
+    match hv {
+        HeapValue::Variant(_, v) => VARIANT_TAG_BITS + size_of_value(v),
+        HeapValue::Struct(vs) => vs.iter().map(size_of_value).sum(),
+        HeapValue::Array(vs) => vs.iter().map(size_of_value).sum(),
+        HeapValue::Pack(_, v, _) => PACK_HEADER_BITS + size_of_value(v),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::TypeBound;
+    use crate::syntax::{HeapType, Loc, MemPriv, NumType, Qual};
+
+    #[test]
+    fn base_sizes() {
+        let ctx = KindCtx::new();
+        assert_eq!(size_of_type(&ctx, &Type::unit()).unwrap(), Size::Const(0));
+        assert_eq!(size_of_type(&ctx, &Type::num(NumType::I32)).unwrap(), Size::Const(32));
+        assert_eq!(size_of_type(&ctx, &Type::num(NumType::F64)).unwrap(), Size::Const(64));
+    }
+
+    #[test]
+    fn tuple_sums_components() {
+        let ctx = KindCtx::new();
+        let t = Pretype::Prod(vec![Type::num(NumType::I32), Type::num(NumType::I64)]).unr();
+        assert_eq!(size_of_type(&ctx, &t).unwrap(), Size::Const(96));
+    }
+
+    #[test]
+    fn refs_are_pointer_sized_regardless_of_heap_type() {
+        let ctx = KindCtx::new();
+        let t = Pretype::Ref(
+            MemPriv::ReadWrite,
+            Loc::lin(0),
+            HeapType::Array(Type::num(NumType::F64)),
+        )
+        .lin();
+        assert_eq!(size_of_type(&ctx, &t).unwrap(), Size::Const(PTR_BITS));
+    }
+
+    #[test]
+    fn caps_and_owns_are_erased() {
+        let ctx = KindCtx::new();
+        let t = Pretype::Cap(MemPriv::Read, Loc::lin(0), HeapType::Array(Type::unit())).lin();
+        assert_eq!(size_of_type(&ctx, &t).unwrap(), Size::Const(0));
+        assert_eq!(size_of_type(&ctx, &Pretype::Own(Loc::lin(0)).lin()).unwrap(), Size::Const(0));
+    }
+
+    #[test]
+    fn type_var_uses_declared_bound() {
+        let mut ctx = KindCtx::new();
+        ctx.push_type(TypeBound {
+            lower_qual: Qual::Unr,
+            size: Size::Const(64),
+            may_contain_caps: false,
+        });
+        assert_eq!(size_of_type(&ctx, &Pretype::Var(0).unr()).unwrap(), Size::Const(64));
+        assert!(size_of_type(&ctx, &Pretype::Var(1).unr()).is_err());
+    }
+
+    #[test]
+    fn guarded_rec_sizes_through_indirection() {
+        let ctx = KindCtx::new();
+        // rec α. (ref rw ℓ (variant [unit, α])) — α is under the ref, so the
+        // rec type is pointer-sized.
+        let t = Pretype::Rec(
+            Qual::Unr,
+            Box::new(
+                Pretype::Ref(
+                    MemPriv::ReadWrite,
+                    Loc::lin(0),
+                    HeapType::Variant(vec![Type::unit(), Pretype::Var(0).unr()]),
+                )
+                .unr(),
+            ),
+        )
+        .unr();
+        assert_eq!(size_of_type(&ctx, &t).unwrap(), Size::Const(PTR_BITS));
+    }
+
+    #[test]
+    fn unguarded_rec_var_rejected() {
+        let ctx = KindCtx::new();
+        // rec α. (α, i32) — bare recursive occurrence has no size.
+        let t = Pretype::Rec(
+            Qual::Unr,
+            Box::new(Pretype::Prod(vec![Pretype::Var(0).unr(), Type::num(NumType::I32)]).unr()),
+        )
+        .unr();
+        assert!(size_of_type(&ctx, &t).is_err());
+    }
+
+    #[test]
+    fn value_sizes_match_reduction_rules() {
+        assert_eq!(size_of_value(&Value::i32(1)), 32);
+        assert_eq!(size_of_value(&Value::Prod(vec![Value::i32(1), Value::f64(0.0)])), 96);
+        let hv = HeapValue::Variant(0, Box::new(Value::i32(1)));
+        assert_eq!(size_of_heap_value(&hv), 64);
+        let hv = HeapValue::Pack(Pretype::Unit, Box::new(Value::Unit), HeapType::Array(Type::unit()));
+        assert_eq!(size_of_heap_value(&hv), PACK_HEADER_BITS);
+        let hv = HeapValue::Array(vec![Value::i32(0); 4]);
+        assert_eq!(size_of_heap_value(&hv), 128);
+    }
+}

@@ -1,0 +1,294 @@
+//! Entailment solvers for qualifier and size constraints.
+//!
+//! The typing rules of the paper are peppered with premises of the form
+//! `q ⪯_{F.qual} q'` and `sz ≤_{F.size} sz'`: derivability of an ordering
+//! under the bounded variables currently in scope. This module implements
+//! both relations:
+//!
+//! * [`qual_leq`] — reachability through declared qualifier bounds, with
+//!   `unr` as bottom and `lin` as top;
+//! * [`size_leq`] — a sound syntactic procedure on size expressions:
+//!   normalise to `constant + variable multiset`, cancel common variables,
+//!   then discharge remaining left-hand variables through their declared
+//!   upper bounds (right-hand variables are dropped, which is sound since
+//!   sizes are non-negative).
+//!
+//! Neither relation is complete (the paper's are not either — they are
+//! syntactic judgements), but both are *sound*: a `true` answer is always
+//! justified.
+
+use std::collections::HashSet;
+
+use crate::env::KindCtx;
+use crate::syntax::{Qual, Size};
+
+/// Maximum recursion depth while chasing variable bounds; generous for any
+/// realistic context, and guards against cyclic bounds.
+const FUEL: u32 = 64;
+
+/// Decides `q1 ⪯ q2` under the qualifier bounds in `ctx`.
+///
+/// ```
+/// use richwasm::env::KindCtx;
+/// use richwasm::solver::qual_leq;
+/// use richwasm::syntax::Qual;
+/// let ctx = KindCtx::new();
+/// assert!(qual_leq(&ctx, Qual::Unr, Qual::Lin));
+/// assert!(!qual_leq(&ctx, Qual::Lin, Qual::Unr));
+/// ```
+pub fn qual_leq(ctx: &KindCtx, q1: Qual, q2: Qual) -> bool {
+    let mut seen = HashSet::new();
+    qual_leq_rec(ctx, q1, q2, &mut seen, FUEL)
+}
+
+fn qual_leq_rec(ctx: &KindCtx, q1: Qual, q2: Qual, seen: &mut HashSet<(Qual, Qual)>, fuel: u32) -> bool {
+    if fuel == 0 || !seen.insert((q1, q2)) {
+        return false;
+    }
+    match (q1, q2) {
+        (Qual::Unr, _) | (_, Qual::Lin) => true,
+        (Qual::Lin, Qual::Unr) => false,
+        (Qual::Var(i), Qual::Var(j)) if i == j => true,
+        (Qual::Var(i), q2) => {
+            let Some(b) = ctx.qual_bounds(i) else { return false };
+            b.upper.iter().any(|u| qual_leq_rec(ctx, *u, q2, seen, fuel - 1))
+        }
+        (q1, Qual::Var(j)) => {
+            let Some(b) = ctx.qual_bounds(j) else { return false };
+            b.lower.iter().any(|l| qual_leq_rec(ctx, q1, *l, seen, fuel - 1))
+        }
+    }
+}
+
+/// Decides `q1 = q2` as mutual `⪯`.
+pub fn qual_eq(ctx: &KindCtx, q1: Qual, q2: Qual) -> bool {
+    qual_leq(ctx, q1, q2) && qual_leq(ctx, q2, q1)
+}
+
+/// Returns `true` when values of qualifier `q` may be implicitly dropped
+/// or duplicated — i.e. `q ⪯ unr`.
+pub fn qual_is_unrestricted(ctx: &KindCtx, q: Qual) -> bool {
+    qual_leq(ctx, q, Qual::Unr)
+}
+
+/// A normalised size: constant part plus a multiset of size variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Norm {
+    konst: u64,
+    vars: Vec<u32>, // sorted
+}
+
+impl Norm {
+    fn of(s: &Size) -> Norm {
+        let (konst, vars) = s.normalize();
+        Norm { konst, vars }
+    }
+
+    /// Removes variables common to both sides (multiset cancellation).
+    fn cancel(mut self, mut other: Norm) -> (Norm, Norm) {
+        let mut l = Vec::new();
+        let mut r = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.vars.len() && j < other.vars.len() {
+            match self.vars[i].cmp(&other.vars[j]) {
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => {
+                    l.push(self.vars[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    r.push(other.vars[j]);
+                    j += 1;
+                }
+            }
+        }
+        l.extend_from_slice(&self.vars[i..]);
+        r.extend_from_slice(&other.vars[j..]);
+        self.vars = l;
+        other.vars = r;
+        (self, other)
+    }
+
+    fn plus(&self, extra: &Norm) -> Norm {
+        let mut vars = self.vars.clone();
+        vars.extend_from_slice(&extra.vars);
+        vars.sort_unstable();
+        Norm { konst: self.konst + extra.konst, vars }
+    }
+
+    fn without_first_var(&self) -> (u32, Norm) {
+        let v = self.vars[0];
+        let rest = Norm { konst: self.konst, vars: self.vars[1..].to_vec() };
+        (v, rest)
+    }
+}
+
+/// Decides `s1 ≤ s2` under the size bounds in `ctx`.
+///
+/// ```
+/// use richwasm::env::{KindCtx, SizeBounds};
+/// use richwasm::solver::size_leq;
+/// use richwasm::syntax::Size;
+/// let mut ctx = KindCtx::new();
+/// // σ0 ≤ 64
+/// ctx.push_size(SizeBounds { lower: vec![], upper: vec![Size::Const(64)] });
+/// assert!(size_leq(&ctx, &Size::Var(0), &Size::Const(64)));
+/// assert!(size_leq(&ctx, &(Size::Var(0) + Size::Const(8)), &Size::Const(72)));
+/// assert!(!size_leq(&ctx, &Size::Const(65), &Size::Var(0)));
+/// ```
+pub fn size_leq(ctx: &KindCtx, s1: &Size, s2: &Size) -> bool {
+    norm_leq(ctx, Norm::of(s1), Norm::of(s2), FUEL)
+}
+
+fn norm_leq(ctx: &KindCtx, l: Norm, r: Norm, fuel: u32) -> bool {
+    if fuel == 0 {
+        return false;
+    }
+    let (l, r) = l.cancel(r);
+    // Right-hand variables are ≥ 0, so comparing constants while ignoring
+    // them is sound.
+    if l.vars.is_empty() && l.konst <= r.konst {
+        return true;
+    }
+    // Discharge a left variable through one of its declared upper bounds.
+    if !l.vars.is_empty() {
+        let (v, rest) = l.without_first_var();
+        if let Some(b) = ctx.size_bounds(v) {
+            if b.upper.iter().any(|u| norm_leq(ctx, rest.plus(&Norm::of(u)), r.clone(), fuel - 1))
+            {
+                return true;
+            }
+        }
+    }
+    // A right-hand variable's declared lower bound may close the gap
+    // (e.g. σ1 + σ2 ≤ σ3 when σ3 was bound with lower bound σ1 + σ2).
+    if !r.vars.is_empty() {
+        let (v, rest) = r.without_first_var();
+        if let Some(b) = ctx.size_bounds(v) {
+            if b.lower.iter().any(|lb| norm_leq(ctx, l.clone(), rest.plus(&Norm::of(lb)), fuel - 1))
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Decides `s1 = s2` as mutual `≤`.
+pub fn size_eq(ctx: &KindCtx, s1: &Size, s2: &Size) -> bool {
+    size_leq(ctx, s1, s2) && size_leq(ctx, s2, s1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{QualBounds, SizeBounds};
+
+    #[test]
+    fn concrete_qual_order() {
+        let ctx = KindCtx::new();
+        assert!(qual_leq(&ctx, Qual::Unr, Qual::Unr));
+        assert!(qual_leq(&ctx, Qual::Unr, Qual::Lin));
+        assert!(qual_leq(&ctx, Qual::Lin, Qual::Lin));
+        assert!(!qual_leq(&ctx, Qual::Lin, Qual::Unr));
+    }
+
+    #[test]
+    fn qual_var_reflexive() {
+        let mut ctx = KindCtx::new();
+        ctx.push_qual(QualBounds::default());
+        assert!(qual_leq(&ctx, Qual::Var(0), Qual::Var(0)));
+        assert!(qual_leq(&ctx, Qual::Var(0), Qual::Lin));
+        assert!(qual_leq(&ctx, Qual::Unr, Qual::Var(0)));
+        // With no bounds, a var is not comparable to unr from above.
+        assert!(!qual_leq(&ctx, Qual::Var(0), Qual::Unr));
+    }
+
+    #[test]
+    fn qual_var_bounds_chain() {
+        let mut ctx = KindCtx::new();
+        // δ1 ⪯ unr (upper bound unr)
+        ctx.push_qual(QualBounds { lower: vec![], upper: vec![Qual::Unr] });
+        // δ0 ⪯ δ1 — written at depth 1 where the previous var has index 0.
+        ctx.push_qual(QualBounds { lower: vec![], upper: vec![Qual::Var(0)] });
+        // Transitively δ0 ⪯ unr.
+        assert!(qual_leq(&ctx, Qual::Var(0), Qual::Unr));
+        assert!(qual_is_unrestricted(&ctx, Qual::Var(0)));
+    }
+
+    #[test]
+    fn qual_lower_bounds() {
+        let mut ctx = KindCtx::new();
+        // lin ⪯ δ0
+        ctx.push_qual(QualBounds { lower: vec![Qual::Lin], upper: vec![] });
+        assert!(qual_leq(&ctx, Qual::Lin, Qual::Var(0)));
+        assert!(qual_eq(&ctx, Qual::Var(0), Qual::Lin));
+    }
+
+    #[test]
+    fn size_constants() {
+        let ctx = KindCtx::new();
+        assert!(size_leq(&ctx, &Size::Const(32), &Size::Const(32)));
+        assert!(size_leq(&ctx, &Size::Const(32), &Size::Const(64)));
+        assert!(!size_leq(&ctx, &Size::Const(64), &Size::Const(32)));
+    }
+
+    #[test]
+    fn size_vars_cancel() {
+        let mut ctx = KindCtx::new();
+        ctx.push_size(SizeBounds::default());
+        let v = Size::Var(0);
+        assert!(size_leq(&ctx, &v, &v));
+        assert!(size_leq(&ctx, &(v.clone() + Size::Const(8)), &(v.clone() + Size::Const(16))));
+        assert!(!size_leq(&ctx, &(v.clone() + Size::Const(16)), &(v + Size::Const(8))));
+    }
+
+    #[test]
+    fn size_right_vars_dropped_soundly() {
+        let mut ctx = KindCtx::new();
+        ctx.push_size(SizeBounds::default());
+        // 8 ≤ 16 + σ0 holds because σ0 ≥ 0.
+        assert!(size_leq(&ctx, &Size::Const(8), &(Size::Const(16) + Size::Var(0))));
+        // 16 ≤ 8 + σ0 is not derivable without a lower bound on σ0.
+        assert!(!size_leq(&ctx, &Size::Const(16), &(Size::Const(8) + Size::Var(0))));
+    }
+
+    #[test]
+    fn size_upper_bound_chain() {
+        let mut ctx = KindCtx::new();
+        // σ1 ≤ 32
+        ctx.push_size(SizeBounds { lower: vec![], upper: vec![Size::Const(32)] });
+        // σ0 ≤ σ1 (written when previous var had index 0)
+        ctx.push_size(SizeBounds { lower: vec![], upper: vec![Size::Var(0)] });
+        assert!(size_leq(&ctx, &Size::Var(0), &Size::Const(32)));
+        assert!(size_leq(&ctx, &(Size::Var(0) + Size::Var(1)), &Size::Const(64)));
+        assert!(!size_leq(&ctx, &(Size::Var(0) + Size::Var(1)), &Size::Const(63)));
+    }
+
+    #[test]
+    fn paper_example_sum_constraint() {
+        // "if a function takes arguments of sizes σ1 and σ2 and places a
+        // tuple of both into a local of size σ3, it must be known that
+        // σ1 + σ2 ≤ σ3" — model σ3's lower bound as σ1 + σ2.
+        let mut ctx = KindCtx::new();
+        ctx.push_size(SizeBounds::default()); // σ (index 2 later)
+        ctx.push_size(SizeBounds::default()); // σ (index 1 later)
+        // σ3 with lower bound Var(1) + Var(0) (the two previous binders).
+        ctx.push_size(SizeBounds {
+            lower: vec![Size::Var(1) + Size::Var(0)],
+            upper: vec![],
+        });
+        // Now: Var(2) + Var(1) ≤ Var(0)?
+        assert!(size_leq(&ctx, &(Size::Var(2) + Size::Var(1)), &Size::Var(0)));
+    }
+
+    #[test]
+    fn size_eq_is_mutual_leq() {
+        let ctx = KindCtx::new();
+        assert!(size_eq(&ctx, &(Size::Const(8) + Size::Const(8)), &Size::Const(16)));
+        assert!(!size_eq(&ctx, &Size::Const(8), &Size::Const(16)));
+    }
+}

@@ -1,0 +1,138 @@
+//! Memory locations (paper §2.1).
+//!
+//! RichWasm has two global flat memories: the **linear** memory (manually
+//! managed, references treated linearly) and the **unrestricted** memory
+//! (garbage collected, ML-style references). A location is either an
+//! abstract location variable `ρ` or a concrete index into one of the two
+//! memories.
+
+use std::fmt;
+
+/// Which of the two RichWasm memories a concrete location lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mem {
+    /// The manually managed, linear memory.
+    Lin,
+    /// The garbage-collected, unrestricted memory.
+    Unr,
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mem::Lin => write!(f, "lin"),
+            Mem::Unr => write!(f, "unr"),
+        }
+    }
+}
+
+/// A concrete runtime location: an index into one of the two memories.
+///
+/// ```
+/// use richwasm::syntax::{ConcreteLoc, Mem};
+/// let l = ConcreteLoc::lin(3);
+/// assert_eq!(l.mem, Mem::Lin);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConcreteLoc {
+    /// The memory this location belongs to.
+    pub mem: Mem,
+    /// The index within that memory.
+    pub idx: u32,
+}
+
+impl ConcreteLoc {
+    /// A concrete location in the linear memory.
+    pub fn lin(idx: u32) -> ConcreteLoc {
+        ConcreteLoc { mem: Mem::Lin, idx }
+    }
+
+    /// A concrete location in the unrestricted memory.
+    pub fn unr(idx: u32) -> ConcreteLoc {
+        ConcreteLoc { mem: Mem::Unr, idx }
+    }
+}
+
+impl fmt::Display for ConcreteLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}^{}", self.idx, self.mem)
+    }
+}
+
+/// A static location `ℓ ::= ρ | i_unr | i_lin`.
+///
+/// `Var(i)` is a de Bruijn index into the location context (bound by
+/// function-level `ρ` quantifiers, existential location types `∃ρ.τ`, or
+/// `mem.unpack` blocks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Loc {
+    /// An abstract location variable `ρ`.
+    Var(u32),
+    /// A concrete location.
+    Concrete(ConcreteLoc),
+}
+
+impl Loc {
+    /// A concrete linear-memory location.
+    pub fn lin(idx: u32) -> Loc {
+        Loc::Concrete(ConcreteLoc::lin(idx))
+    }
+
+    /// A concrete unrestricted-memory location.
+    pub fn unr(idx: u32) -> Loc {
+        Loc::Concrete(ConcreteLoc::unr(idx))
+    }
+
+    /// Returns the concrete location, if this is not a variable.
+    pub fn as_concrete(self) -> Option<ConcreteLoc> {
+        match self {
+            Loc::Var(_) => None,
+            Loc::Concrete(c) => Some(c),
+        }
+    }
+
+    /// The memory of the location, if concrete.
+    pub fn mem(self) -> Option<Mem> {
+        self.as_concrete().map(|c| c.mem)
+    }
+}
+
+impl From<ConcreteLoc> for Loc {
+    fn from(c: ConcreteLoc) -> Loc {
+        Loc::Concrete(c)
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Loc::Var(i) => write!(f, "ρ{i}"),
+            Loc::Concrete(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_pick_memory() {
+        assert_eq!(Loc::lin(1).mem(), Some(Mem::Lin));
+        assert_eq!(Loc::unr(2).mem(), Some(Mem::Unr));
+        assert_eq!(Loc::Var(0).mem(), None);
+    }
+
+    #[test]
+    fn concrete_roundtrip() {
+        let c = ConcreteLoc::unr(7);
+        assert_eq!(Loc::from(c).as_concrete(), Some(c));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Loc::Var(2).to_string(), "ρ2");
+        assert_eq!(Loc::lin(4).to_string(), "4^lin");
+        assert_eq!(Loc::unr(9).to_string(), "9^unr");
+    }
+}

@@ -1,0 +1,33 @@
+//! Abstract syntax of RichWasm (paper Fig. 2).
+//!
+//! The syntax is split into small modules, one per syntactic category:
+//!
+//! * [`qual`] — qualifiers `q ::= δ | unr | lin` controlling linearity,
+//! * [`size`] — sizes `sz ::= σ | sz + sz | i` (measured in bits),
+//! * [`loc`] — memory locations `ℓ ::= ρ | i_unr | i_lin`,
+//! * [`types`] — pretypes, types, heap types, function types, quantifiers,
+//! * [`instr`] — instructions (including administrative forms, §3),
+//! * [`value`] — runtime values and heap values,
+//! * [`module`] — top-level declarations: functions, globals, tables, modules.
+//!
+//! Binders use de Bruijn indices with a separate index space per kind
+//! (location, size, qualifier, pretype), mirroring the paper's Coq
+//! development. Index `0` always refers to the innermost binder of that kind.
+
+pub mod instr;
+pub mod loc;
+pub mod module;
+pub mod qual;
+pub mod size;
+pub mod types;
+pub mod value;
+
+pub use instr::{Block, Instr, LocalEffect, NumInstr};
+pub use loc::{ConcreteLoc, Loc, Mem};
+pub use module::{Func, Global, GlobalKind, Module, Table};
+pub use qual::Qual;
+pub use size::Size;
+pub use types::{
+    ArrowType, FunType, HeapType, Index, MemPriv, NumType, Pretype, Quantifier, Type,
+};
+pub use value::{HeapValue, Value};

@@ -1,0 +1,216 @@
+//! Top-level declarations: functions, globals, tables, and modules
+//! (paper Fig. 2, bottom).
+
+use std::fmt;
+
+use super::instr::Instr;
+use super::size::Size;
+use super::types::{FunType, Pretype};
+
+/// A function declaration `f ::= ex* function χ local sz* e* |
+/// ex* function im`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Func {
+    /// A function defined in this module.
+    Defined {
+        /// Names under which the function is exported.
+        exports: Vec<String>,
+        /// The (possibly polymorphic) function type.
+        ty: FunType,
+        /// Sizes of the extra local slots (parameters get their own slots
+        /// implicitly, sized by their types).
+        locals: Vec<Size>,
+        /// The body.
+        body: Vec<Instr>,
+    },
+    /// A function imported from another module.
+    Imported {
+        /// Names under which the import is re-exported.
+        exports: Vec<String>,
+        /// The providing module's name.
+        module: String,
+        /// The export name within the providing module.
+        name: String,
+        /// The declared type — checked against the provider at link time.
+        ty: FunType,
+    },
+}
+
+impl Func {
+    /// The function's declared type.
+    pub fn ty(&self) -> &FunType {
+        match self {
+            Func::Defined { ty, .. } | Func::Imported { ty, .. } => ty,
+        }
+    }
+
+    /// The function's export names.
+    pub fn exports(&self) -> &[String] {
+        match self {
+            Func::Defined { exports, .. } | Func::Imported { exports, .. } => exports,
+        }
+    }
+}
+
+/// The defining payload of a global declaration
+/// `glob ::= ex* glob mut? p e* | ex* glob im`.
+///
+/// Globals hold unrestricted pretypes (they may be read repeatedly), so no
+/// qualifier annotation is needed: the qualifier is always `unr`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalKind {
+    /// A global defined in this module; `init` is a constant expression.
+    Defined {
+        /// Whether the global may be written with `set_global`.
+        mutable: bool,
+        /// The pretype stored (at qualifier `unr`).
+        ty: Pretype,
+        /// The constant initialiser instruction sequence.
+        init: Vec<Instr>,
+    },
+    /// A global imported from another module.
+    Imported {
+        /// The providing module's name.
+        module: String,
+        /// The export name within the providing module.
+        name: String,
+        /// Whether the global is mutable.
+        mutable: bool,
+        /// The pretype stored.
+        ty: Pretype,
+    },
+}
+
+/// A global declaration together with its export names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Names under which the global is exported.
+    pub exports: Vec<String>,
+    /// The declaration payload.
+    pub kind: GlobalKind,
+}
+
+impl Global {
+    /// Whether the global is mutable.
+    pub fn mutable(&self) -> bool {
+        match &self.kind {
+            GlobalKind::Defined { mutable, .. } | GlobalKind::Imported { mutable, .. } => *mutable,
+        }
+    }
+
+    /// The stored pretype.
+    pub fn ty(&self) -> &Pretype {
+        match &self.kind {
+            GlobalKind::Defined { ty, .. } | GlobalKind::Imported { ty, .. } => ty,
+        }
+    }
+}
+
+/// The module's function table `tab ::= ex* table i* | ex* table im`,
+/// used for indirect calls through `coderef`s.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    /// Names under which the table is exported.
+    pub exports: Vec<String>,
+    /// Function indices (into the module's `funcs`) populating the table.
+    pub entries: Vec<u32>,
+}
+
+/// A RichWasm module `m ::= module f* glob* tab`.
+///
+/// ```
+/// use richwasm::syntax::Module;
+/// let m = Module::default();
+/// assert!(m.funcs.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Module {
+    /// The functions, defined and imported.
+    pub funcs: Vec<Func>,
+    /// The globals, defined and imported.
+    pub globals: Vec<Global>,
+    /// The function table.
+    pub table: Table,
+}
+
+impl Module {
+    /// Finds the index of the function exported under `name`.
+    pub fn find_export(&self, name: &str) -> Option<u32> {
+        self.funcs
+            .iter()
+            .position(|f| f.exports().iter().any(|e| e == name))
+            .map(|i| i as u32)
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "(module")?;
+        for (i, func) in self.funcs.iter().enumerate() {
+            match func {
+                Func::Defined { exports, ty, locals, body } => {
+                    writeln!(
+                        f,
+                        "  (func {i} {:?} {ty} (locals {locals:?}) [{} instrs])",
+                        exports,
+                        body.len()
+                    )?;
+                }
+                Func::Imported { module, name, ty, .. } => {
+                    writeln!(f, "  (func {i} (import \"{module}\" \"{name}\") {ty})")?;
+                }
+            }
+        }
+        for (i, g) in self.globals.iter().enumerate() {
+            writeln!(f, "  (global {i} mut={} {})", g.mutable(), g.ty())?;
+        }
+        writeln!(f, "  (table {:?})", self.table.entries)?;
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::types::FunType;
+
+    #[test]
+    fn find_export_by_name() {
+        let m = Module {
+            funcs: vec![
+                Func::Defined {
+                    exports: vec!["f".into()],
+                    ty: FunType::mono(vec![], vec![]),
+                    locals: vec![],
+                    body: vec![],
+                },
+                Func::Defined {
+                    exports: vec!["g".into(), "g2".into()],
+                    ty: FunType::mono(vec![], vec![]),
+                    locals: vec![],
+                    body: vec![],
+                },
+            ],
+            ..Module::default()
+        };
+        assert_eq!(m.find_export("g2"), Some(1));
+        assert_eq!(m.find_export("f"), Some(0));
+        assert_eq!(m.find_export("nope"), None);
+    }
+
+    #[test]
+    fn accessors() {
+        let g = Global {
+            exports: vec![],
+            kind: GlobalKind::Defined { mutable: true, ty: Pretype::Unit, init: vec![] },
+        };
+        assert!(g.mutable());
+        assert_eq!(g.ty(), &Pretype::Unit);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let m = Module::default();
+        assert!(m.to_string().starts_with("(module"));
+    }
+}

@@ -1,0 +1,112 @@
+//! Qualifiers (paper §2.1).
+//!
+//! A qualifier annotates a pretype and determines whether values of the
+//! resulting type must be treated linearly. Qualifiers are ordered
+//! `unr ⪯ lin`; abstract qualifier variables `δ` are bound by function-level
+//! quantifiers and carry lower/upper bound constraints (see
+//! [`crate::syntax::types::Quantifier::Qual`]).
+
+use std::fmt;
+
+/// A linearity qualifier `q ::= δ | unr | lin`.
+///
+/// `Unr` (unrestricted) values may be freely duplicated and dropped;
+/// `Lin` (linear) values must be consumed exactly once. `Var(i)` is a
+/// de Bruijn index into the qualifier context of the enclosing function
+/// type (index 0 = innermost binder).
+///
+/// ```
+/// use richwasm::syntax::Qual;
+/// assert!(Qual::Unr < Qual::Lin);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Qual {
+    /// An unrestricted (copyable, droppable) qualifier — the bottom of the
+    /// ordering.
+    Unr,
+    /// A linear (must-use-exactly-once) qualifier — the top of the ordering.
+    Lin,
+    /// An abstract qualifier variable `δ` (de Bruijn index).
+    Var(u32),
+}
+
+impl Qual {
+    /// Returns `true` if this is the concrete `unr` qualifier.
+    pub fn is_unr(self) -> bool {
+        self == Qual::Unr
+    }
+
+    /// Returns `true` if this is the concrete `lin` qualifier.
+    pub fn is_lin(self) -> bool {
+        self == Qual::Lin
+    }
+
+    /// Returns `true` if this is an abstract qualifier variable.
+    pub fn is_var(self) -> bool {
+        matches!(self, Qual::Var(_))
+    }
+
+    /// The least upper bound of two *concrete* qualifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qualifier is a variable; use the solver in
+    /// [`crate::solver`] for symbolic joins.
+    pub fn join_concrete(self, other: Qual) -> Qual {
+        match (self, other) {
+            (Qual::Lin, _) | (_, Qual::Lin) => Qual::Lin,
+            (Qual::Unr, Qual::Unr) => Qual::Unr,
+            _ => panic!("join_concrete on qualifier variable"),
+        }
+    }
+}
+
+impl Default for Qual {
+    fn default() -> Self {
+        Qual::Unr
+    }
+}
+
+impl fmt::Display for Qual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Qual::Unr => write!(f, "unr"),
+            Qual::Lin => write!(f, "lin"),
+            Qual::Var(i) => write!(f, "δ{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_unr_below_lin() {
+        assert!(Qual::Unr < Qual::Lin);
+        assert!(Qual::Unr.is_unr());
+        assert!(Qual::Lin.is_lin());
+        assert!(Qual::Var(0).is_var());
+    }
+
+    #[test]
+    fn join_concrete_is_lub() {
+        assert_eq!(Qual::Unr.join_concrete(Qual::Unr), Qual::Unr);
+        assert_eq!(Qual::Unr.join_concrete(Qual::Lin), Qual::Lin);
+        assert_eq!(Qual::Lin.join_concrete(Qual::Unr), Qual::Lin);
+        assert_eq!(Qual::Lin.join_concrete(Qual::Lin), Qual::Lin);
+    }
+
+    #[test]
+    #[should_panic]
+    fn join_concrete_rejects_vars() {
+        let _ = Qual::Var(0).join_concrete(Qual::Unr);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Qual::Unr.to_string(), "unr");
+        assert_eq!(Qual::Lin.to_string(), "lin");
+        assert_eq!(Qual::Var(3).to_string(), "δ3");
+    }
+}

@@ -1,0 +1,150 @@
+//! Sizes (paper §2.1).
+//!
+//! RichWasm types track the size of the memory slots they occupy so that
+//! strong updates can be checked to fit. Sizes are measured in **bits**
+//! (the paper's `32 + size(v)` variant header and the 160-bit local
+//! splitting example of §6 fix this unit).
+
+use std::fmt;
+
+/// A size expression `sz ::= σ | sz + sz | i`.
+///
+/// `Var(i)` is a de Bruijn index into the size context of the enclosing
+/// function type. Constants are in bits.
+///
+/// ```
+/// use richwasm::syntax::Size;
+/// let sz = Size::Const(32) + Size::Const(64);
+/// assert_eq!(sz.eval_closed(), Some(96));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Size {
+    /// An abstract size variable `σ` (de Bruijn index).
+    Var(u32),
+    /// A constant size in bits.
+    Const(u64),
+    /// The sum of two sizes.
+    Plus(Box<Size>, Box<Size>),
+}
+
+impl Size {
+    /// Builds the sum of an iterator of sizes, normalising the empty sum to
+    /// `Const(0)`.
+    pub fn sum<I: IntoIterator<Item = Size>>(sizes: I) -> Size {
+        let mut it = sizes.into_iter();
+        match it.next() {
+            None => Size::Const(0),
+            Some(first) => it.fold(first, |acc, s| acc + s),
+        }
+    }
+
+    /// Evaluates a size expression containing no variables.
+    ///
+    /// Returns `None` if a variable occurs.
+    pub fn eval_closed(&self) -> Option<u64> {
+        match self {
+            Size::Var(_) => None,
+            Size::Const(c) => Some(*c),
+            Size::Plus(a, b) => Some(a.eval_closed()? + b.eval_closed()?),
+        }
+    }
+
+    /// Returns `true` if the expression mentions no size variables.
+    pub fn is_closed(&self) -> bool {
+        match self {
+            Size::Var(_) => false,
+            Size::Const(_) => true,
+            Size::Plus(a, b) => a.is_closed() && b.is_closed(),
+        }
+    }
+
+    /// Normalises the size to a `(constant, sorted-variable-multiset)` pair.
+    ///
+    /// Two sizes with equal normal forms are provably equal under any
+    /// variable assignment.
+    pub fn normalize(&self) -> (u64, Vec<u32>) {
+        let mut konst = 0u64;
+        let mut vars = Vec::new();
+        self.collect(&mut konst, &mut vars);
+        vars.sort_unstable();
+        (konst, vars)
+    }
+
+    fn collect(&self, konst: &mut u64, vars: &mut Vec<u32>) {
+        match self {
+            Size::Var(v) => vars.push(*v),
+            Size::Const(c) => *konst += c,
+            Size::Plus(a, b) => {
+                a.collect(konst, vars);
+                b.collect(konst, vars);
+            }
+        }
+    }
+}
+
+impl Default for Size {
+    fn default() -> Self {
+        Size::Const(0)
+    }
+}
+
+impl std::ops::Add for Size {
+    type Output = Size;
+    fn add(self, rhs: Size) -> Size {
+        // Fold constants eagerly to keep expressions small.
+        match (self, rhs) {
+            (Size::Const(a), Size::Const(b)) => Size::Const(a + b),
+            (Size::Const(0), s) | (s, Size::Const(0)) => s,
+            (a, b) => Size::Plus(Box::new(a), Box::new(b)),
+        }
+    }
+}
+
+impl From<u64> for Size {
+    fn from(bits: u64) -> Size {
+        Size::Const(bits)
+    }
+}
+
+impl fmt::Display for Size {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Size::Var(i) => write!(f, "σ{i}"),
+            Size::Const(c) => write!(f, "{c}"),
+            Size::Plus(a, b) => write!(f, "({a} + {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_folds_constants() {
+        assert_eq!(Size::Const(32) + Size::Const(32), Size::Const(64));
+        assert_eq!(Size::Var(0) + Size::Const(0), Size::Var(0));
+    }
+
+    #[test]
+    fn sum_of_empty_is_zero() {
+        assert_eq!(Size::sum(std::iter::empty()), Size::Const(0));
+    }
+
+    #[test]
+    fn eval_closed_handles_nesting() {
+        let s = Size::Plus(
+            Box::new(Size::Const(8)),
+            Box::new(Size::Plus(Box::new(Size::Const(8)), Box::new(Size::Const(16)))),
+        );
+        assert_eq!(s.eval_closed(), Some(32));
+        assert!(s.is_closed());
+        assert_eq!((Size::Var(1)).eval_closed(), None);
+    }
+
+    #[test]
+    fn normalize_sorts_vars_and_sums_consts() {
+        let s = Size::Var(2) + Size::Const(8) + Size::Var(0) + Size::Const(8);
+        assert_eq!(s.normalize(), (16, vec![0, 2]));
+    }
+}

@@ -1,0 +1,431 @@
+//! Types, pretypes, heap types, and function types (paper Fig. 2, §2.1).
+
+use std::fmt;
+
+use super::loc::Loc;
+use super::qual::Qual;
+use super::size::Size;
+
+/// Numeric pretypes `np ::= ui32 | ui64 | i32 | i64 | f32 | f64`.
+///
+/// RichWasm distinguishes signed and unsigned integers at the type level
+/// (unlike Wasm, where signedness lives in the operators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NumType {
+    /// Unsigned 32-bit integer.
+    U32,
+    /// Unsigned 64-bit integer.
+    U64,
+    /// Signed 32-bit integer.
+    I32,
+    /// Signed 64-bit integer.
+    I64,
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+}
+
+impl NumType {
+    /// The width of the representation in bits.
+    pub fn bits(self) -> u64 {
+        match self {
+            NumType::U32 | NumType::I32 | NumType::F32 => 32,
+            NumType::U64 | NumType::I64 | NumType::F64 => 64,
+        }
+    }
+
+    /// Returns `true` for the four integer types.
+    pub fn is_int(self) -> bool {
+        !matches!(self, NumType::F32 | NumType::F64)
+    }
+
+    /// Returns `true` for the two float types.
+    pub fn is_float(self) -> bool {
+        matches!(self, NumType::F32 | NumType::F64)
+    }
+
+    /// Returns `true` for the signed integer types.
+    pub fn is_signed_int(self) -> bool {
+        matches!(self, NumType::I32 | NumType::I64)
+    }
+}
+
+impl fmt::Display for NumType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumType::U32 => write!(f, "ui32"),
+            NumType::U64 => write!(f, "ui64"),
+            NumType::I32 => write!(f, "i32"),
+            NumType::I64 => write!(f, "i64"),
+            NumType::F32 => write!(f, "f32"),
+            NumType::F64 => write!(f, "f64"),
+        }
+    }
+}
+
+/// Memory privilege `π ::= rw | r` carried by references and capabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemPriv {
+    /// Read-write access.
+    ReadWrite,
+    /// Read-only access.
+    Read,
+}
+
+impl fmt::Display for MemPriv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemPriv::ReadWrite => write!(f, "rw"),
+            MemPriv::Read => write!(f, "r"),
+        }
+    }
+}
+
+/// A pretype `p` (paper Fig. 2).
+///
+/// Pretypes are annotated with a [`Qual`] to form a [`Type`]. The
+/// constructors follow the paper's grammar:
+///
+/// ```text
+/// p ::= unit | np | (τ*) | ref π ℓ ψ | ptr ℓ | cap π ℓ ψ
+///     | rec q ⪯ α. τ | ∃ρ. τ | coderef χ | own ℓ | α
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pretype {
+    /// The unit pretype; its only value is `()`.
+    Unit,
+    /// A numeric pretype.
+    Num(NumType),
+    /// A tuple `(τ*)` of values kept together on the stack.
+    Prod(Vec<Type>),
+    /// A reference `ref π ℓ ψ`: the pair of a capability and a pointer to
+    /// location `ℓ` holding heap type `ψ` with privilege `π`.
+    Ref(MemPriv, Loc, HeapType),
+    /// A bare pointer `ptr ℓ`: runtime address without ownership.
+    Ptr(Loc),
+    /// A capability `cap π ℓ ψ`: the (computationally irrelevant) ownership
+    /// token granting access to `ℓ`.
+    Cap(MemPriv, Loc, HeapType),
+    /// An isorecursive type `rec q ⪯ α. τ`; binds pretype variable 0 in `τ`.
+    Rec(Qual, Box<Type>),
+    /// An existential over locations `∃ρ. τ`; binds location variable 0 in
+    /// `τ`.
+    ExistsLoc(Box<Type>),
+    /// A code pointer `coderef χ` to a table entry of function type `χ`.
+    CodeRef(FunType),
+    /// An ownership token `own ℓ` representing write ownership of `ℓ`.
+    Own(Loc),
+    /// A pretype variable `α` (de Bruijn index).
+    Var(u32),
+}
+
+impl Pretype {
+    /// Annotates this pretype with a qualifier, forming a [`Type`].
+    pub fn with_qual(self, qual: Qual) -> Type {
+        Type { pre: Box::new(self), qual }
+    }
+
+    /// Shorthand for `self.with_qual(Qual::Unr)`.
+    pub fn unr(self) -> Type {
+        self.with_qual(Qual::Unr)
+    }
+
+    /// Shorthand for `self.with_qual(Qual::Lin)`.
+    pub fn lin(self) -> Type {
+        self.with_qual(Qual::Lin)
+    }
+}
+
+/// A value type `τ ::= p^q`: a pretype annotated with a qualifier.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Type {
+    /// The underlying pretype.
+    pub pre: Box<Pretype>,
+    /// The linearity qualifier.
+    pub qual: Qual,
+}
+
+impl Type {
+    /// Constructs a type from a pretype and a qualifier.
+    pub fn new(pre: Pretype, qual: Qual) -> Type {
+        Type { pre: Box::new(pre), qual }
+    }
+
+    /// The unrestricted unit type `unit^unr` — the type of freshly
+    /// initialised (and linearly-consumed) local slots.
+    pub fn unit() -> Type {
+        Pretype::Unit.unr()
+    }
+
+    /// An unrestricted numeric type.
+    pub fn num(nt: NumType) -> Type {
+        Pretype::Num(nt).unr()
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}^{}", self.pre, self.qual)
+    }
+}
+
+/// Heap types `ψ` (paper Fig. 2) — the structured contents of memory cells.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum HeapType {
+    /// A variant `(variant τ*)`: a tagged value drawn from the listed cases.
+    Variant(Vec<Type>),
+    /// A struct `(struct (τ, sz)*)`: fields with explicitly sized slots so
+    /// strong updates can be checked to fit.
+    Struct(Vec<(Type, Size)>),
+    /// An array `(array τ)`: variable-length sequence of `τ`s.
+    Array(Type),
+    /// A type-abstracting package `∃ q ⪯ α ≲ sz. τ`; binds pretype
+    /// variable 0 in `τ`. `q` is the minimum qualifier at which `α` may be
+    /// used, `sz` an upper bound on the witness's size.
+    Exists(Qual, Size, Box<Type>),
+}
+
+impl fmt::Display for HeapType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapType::Variant(ts) => {
+                write!(f, "(variant")?;
+                for t in ts {
+                    write!(f, " {t}")?;
+                }
+                write!(f, ")")
+            }
+            HeapType::Struct(fields) => {
+                write!(f, "(struct")?;
+                for (t, sz) in fields {
+                    write!(f, " ({t}, {sz})")?;
+                }
+                write!(f, ")")
+            }
+            HeapType::Array(t) => write!(f, "(array {t})"),
+            HeapType::Exists(q, sz, t) => write!(f, "(∃ {q} ⪯ α ≲ {sz}. {t})"),
+        }
+    }
+}
+
+/// A (monomorphic) arrow type `tf ::= τ1* → τ2*`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct ArrowType {
+    /// The types consumed from the stack.
+    pub params: Vec<Type>,
+    /// The types left on the stack.
+    pub results: Vec<Type>,
+}
+
+impl ArrowType {
+    /// Constructs an arrow type.
+    pub fn new(params: Vec<Type>, results: Vec<Type>) -> ArrowType {
+        ArrowType { params, results }
+    }
+}
+
+impl fmt::Display for ArrowType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "] → [")?;
+        for (i, t) in self.results.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A quantifier `κ` in a polymorphic function type (paper §2.1).
+///
+/// Function types may quantify over locations, sizes (with lower/upper
+/// bound constraints), qualifiers (with bound constraints), and pretypes
+/// (with a qualifier lower bound, size upper bound, and a flag recording
+/// whether instantiations may contain capabilities).
+///
+/// Quantifiers form a telescope: the constraint expressions of later
+/// quantifiers may refer to variables bound by earlier ones.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Quantifier {
+    /// `ρ` — a location variable.
+    Loc,
+    /// `sz* ≤ σ ≤ sz*` — a size variable with lower and upper bounds.
+    Size {
+        /// Sizes that must be `≤ σ`.
+        lower: Vec<Size>,
+        /// Sizes that `σ` must be `≤`.
+        upper: Vec<Size>,
+    },
+    /// `q* ⪯ δ ⪯ q*` — a qualifier variable with bounds.
+    Qual {
+        /// Qualifiers that must be `⪯ δ`.
+        lower: Vec<Qual>,
+        /// Qualifiers that `δ` must be `⪯`.
+        upper: Vec<Qual>,
+    },
+    /// `q ⪯ α (c?) ≲ sz` — a pretype variable.
+    Type {
+        /// The minimum qualifier at which `α` may appear.
+        lower_qual: Qual,
+        /// An upper bound on the size of instantiations.
+        size: Size,
+        /// Whether instantiations may contain (bare) capabilities; relevant
+        /// for what may be stored in garbage-collected memory (§3).
+        may_contain_caps: bool,
+    },
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Quantifier::Loc => write!(f, "ρ"),
+            Quantifier::Size { lower, upper } => {
+                write!(f, "{lower:?} ≤ σ ≤ {upper:?}")
+            }
+            Quantifier::Qual { lower, upper } => {
+                write!(f, "{lower:?} ⪯ δ ⪯ {upper:?}")
+            }
+            Quantifier::Type { lower_qual, size, may_contain_caps } => {
+                let c = if *may_contain_caps { "ᶜ" } else { "" };
+                write!(f, "{lower_qual} ⪯ α{c} ≲ {size}")
+            }
+        }
+    }
+}
+
+/// A polymorphic function type `χ ::= ∀κ*. τ1* → τ2*`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FunType {
+    /// The quantifier telescope.
+    pub quants: Vec<Quantifier>,
+    /// The underlying arrow type.
+    pub arrow: ArrowType,
+}
+
+impl FunType {
+    /// A monomorphic function type with no quantifiers.
+    pub fn mono(params: Vec<Type>, results: Vec<Type>) -> FunType {
+        FunType { quants: Vec::new(), arrow: ArrowType::new(params, results) }
+    }
+}
+
+impl fmt::Display for FunType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.quants.is_empty() {
+            write!(f, "∀")?;
+            for q in &self.quants {
+                write!(f, " {q}.")?;
+            }
+            write!(f, " ")?;
+        }
+        write!(f, "{}", self.arrow)
+    }
+}
+
+/// A concrete instantiation `z` for one quantifier (paper's index `z*`
+/// supplied at `call`, `inst`, and in `coderef` values).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Index {
+    /// Instantiates a location quantifier.
+    Loc(Loc),
+    /// Instantiates a size quantifier.
+    Size(Size),
+    /// Instantiates a qualifier quantifier.
+    Qual(Qual),
+    /// Instantiates a pretype quantifier.
+    Pretype(Pretype),
+}
+
+impl fmt::Display for Index {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Index::Loc(l) => write!(f, "{l}"),
+            Index::Size(s) => write!(f, "{s}"),
+            Index::Qual(q) => write!(f, "{q}"),
+            Index::Pretype(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl fmt::Display for Pretype {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pretype::Unit => write!(f, "unit"),
+            Pretype::Num(nt) => write!(f, "{nt}"),
+            Pretype::Prod(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Pretype::Ref(p, l, h) => write!(f, "(ref {p} {l} {h})"),
+            Pretype::Ptr(l) => write!(f, "(ptr {l})"),
+            Pretype::Cap(p, l, h) => write!(f, "(cap {p} {l} {h})"),
+            Pretype::Rec(q, t) => write!(f, "(rec {q} ⪯ α. {t})"),
+            Pretype::ExistsLoc(t) => write!(f, "(∃ρ. {t})"),
+            Pretype::CodeRef(ft) => write!(f, "(coderef {ft})"),
+            Pretype::Own(l) => write!(f, "(own {l})"),
+            Pretype::Var(i) => write!(f, "α{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numtype_bits_and_classes() {
+        assert_eq!(NumType::U32.bits(), 32);
+        assert_eq!(NumType::F64.bits(), 64);
+        assert!(NumType::I64.is_int());
+        assert!(NumType::I64.is_signed_int());
+        assert!(!NumType::U32.is_signed_int());
+        assert!(NumType::F32.is_float());
+    }
+
+    #[test]
+    fn type_constructors() {
+        let t = Pretype::Num(NumType::I32).unr();
+        assert_eq!(t.qual, Qual::Unr);
+        let t = Pretype::Unit.lin();
+        assert_eq!(t.qual, Qual::Lin);
+        assert_eq!(Type::unit(), Pretype::Unit.unr());
+    }
+
+    #[test]
+    fn display_roundtrip_smoke() {
+        let t = Pretype::Ref(
+            MemPriv::ReadWrite,
+            Loc::Var(0),
+            HeapType::Struct(vec![(Type::num(NumType::I32), Size::Const(32))]),
+        )
+        .lin();
+        let s = t.to_string();
+        assert!(s.contains("ref rw"), "{s}");
+        assert!(s.contains("struct"), "{s}");
+    }
+
+    #[test]
+    fn funtype_display_mentions_quants() {
+        let ft = FunType {
+            quants: vec![Quantifier::Loc],
+            arrow: ArrowType::new(vec![], vec![Type::unit()]),
+        };
+        assert!(ft.to_string().starts_with('∀'));
+        assert_eq!(FunType::mono(vec![], vec![]).to_string(), "[] → []");
+    }
+}

@@ -1,0 +1,211 @@
+//! Runtime values and heap values (paper Fig. 2, "Terms").
+
+use std::fmt;
+
+use super::loc::ConcreteLoc;
+use super::types::{HeapType, Index, NumType, Pretype};
+
+/// A runtime value `v` (paper Fig. 2).
+///
+/// Numeric payloads are stored as raw 64-bit patterns; the [`NumType`] tag
+/// determines their interpretation (floats are bit-cast).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The unit value `()`.
+    Unit,
+    /// A numeric constant `np.const c` (raw bits).
+    Num(NumType, u64),
+    /// A tuple of values `(v*)`.
+    Prod(Vec<Value>),
+    /// A reference `ref ℓ` to a concrete location.
+    Ref(ConcreteLoc),
+    /// A bare pointer `ptr ℓ`.
+    Ptr(ConcreteLoc),
+    /// A capability token — computationally irrelevant, erased by
+    /// compilation to Wasm.
+    Cap,
+    /// An ownership token — likewise erased.
+    Own,
+    /// An isorecursive fold `fold v`.
+    Fold(Box<Value>),
+    /// An existential location package `mempack ℓ v`.
+    MemPack(ConcreteLoc, Box<Value>),
+    /// A code reference `coderef i j z*`: function `j` of module instance
+    /// `i`, partially applied to instantiation indices `z*`.
+    CodeRef {
+        /// The module instance index.
+        inst: u32,
+        /// The index into that instance's *table*.
+        table_idx: u32,
+        /// Instantiations supplied so far (via `inst`).
+        indices: Vec<Index>,
+    },
+}
+
+impl Value {
+    /// An `i32` constant.
+    pub fn i32(v: i32) -> Value {
+        Value::Num(NumType::I32, v as u32 as u64)
+    }
+
+    /// A `ui32` constant.
+    pub fn u32(v: u32) -> Value {
+        Value::Num(NumType::U32, v as u64)
+    }
+
+    /// An `i64` constant.
+    pub fn i64(v: i64) -> Value {
+        Value::Num(NumType::I64, v as u64)
+    }
+
+    /// A `ui64` constant.
+    pub fn u64(v: u64) -> Value {
+        Value::Num(NumType::U64, v)
+    }
+
+    /// An `f32` constant (bit-cast).
+    pub fn f32(v: f32) -> Value {
+        Value::Num(NumType::F32, v.to_bits() as u64)
+    }
+
+    /// An `f64` constant (bit-cast).
+    pub fn f64(v: f64) -> Value {
+        Value::Num(NumType::F64, v.to_bits())
+    }
+
+    /// Extracts a numeric payload as `u64` bits, if numeric.
+    pub fn as_num(&self) -> Option<(NumType, u64)> {
+        match self {
+            Value::Num(nt, bits) => Some((*nt, *bits)),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `i32`-class (32-bit integer) payload.
+    pub fn as_i32(&self) -> Option<u32> {
+        match self {
+            Value::Num(NumType::I32 | NumType::U32, bits) => Some(*bits as u32),
+            _ => None,
+        }
+    }
+
+    /// Extracts the referenced location, if this is a `ref`.
+    pub fn as_ref_loc(&self) -> Option<ConcreteLoc> {
+        match self {
+            Value::Ref(l) => Some(*l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Num(nt, bits) => match nt {
+                NumType::F32 => write!(f, "f32.const {}", f32::from_bits(*bits as u32)),
+                NumType::F64 => write!(f, "f64.const {}", f64::from_bits(*bits)),
+                NumType::I32 => write!(f, "i32.const {}", *bits as u32 as i32),
+                NumType::I64 => write!(f, "i64.const {}", *bits as i64),
+                _ => write!(f, "{nt}.const {bits}"),
+            },
+            Value::Prod(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Ref(l) => write!(f, "(ref {l})"),
+            Value::Ptr(l) => write!(f, "(ptr {l})"),
+            Value::Cap => write!(f, "cap"),
+            Value::Own => write!(f, "own"),
+            Value::Fold(v) => write!(f, "(fold {v})"),
+            Value::MemPack(l, v) => write!(f, "(mempack {l} {v})"),
+            Value::CodeRef { inst, table_idx, indices } => {
+                write!(f, "(coderef {inst} {table_idx}")?;
+                for z in indices {
+                    write!(f, " {z}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A heap value `hv` (paper Fig. 2) — what memory cells hold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HeapValue {
+    /// `(variant i v)`: the `i`-th case holding `v`.
+    Variant(u32, Box<Value>),
+    /// `(struct v*)`: a record of field values.
+    Struct(Vec<Value>),
+    /// `(array i v*)`: a fixed-length array (`i` = length).
+    Array(Vec<Value>),
+    /// `(pack p v ψ)`: an existential package with pretype witness `p`.
+    Pack(Pretype, Box<Value>, HeapType),
+}
+
+impl HeapValue {
+    /// All values stored directly in this heap cell.
+    pub fn values(&self) -> Vec<&Value> {
+        match self {
+            HeapValue::Variant(_, v) => vec![v],
+            HeapValue::Struct(vs) | HeapValue::Array(vs) => vs.iter().collect(),
+            HeapValue::Pack(_, v, _) => vec![v],
+        }
+    }
+}
+
+impl fmt::Display for HeapValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapValue::Variant(i, v) => write!(f, "(variant {i} {v})"),
+            HeapValue::Struct(vs) => {
+                write!(f, "(struct")?;
+                for v in vs {
+                    write!(f, " {v}")?;
+                }
+                write!(f, ")")
+            }
+            HeapValue::Array(vs) => {
+                write!(f, "(array {}", vs.len())?;
+                for v in vs {
+                    write!(f, " {v}")?;
+                }
+                write!(f, ")")
+            }
+            HeapValue::Pack(p, v, h) => write!(f, "(pack {p} {v} {h})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_constructors_bitcast() {
+        assert_eq!(Value::i32(-1).as_i32(), Some(u32::MAX));
+        assert_eq!(Value::f64(1.5), Value::Num(NumType::F64, 1.5f64.to_bits()));
+        assert_eq!(Value::u64(7).as_num(), Some((NumType::U64, 7)));
+    }
+
+    #[test]
+    fn heap_value_values_collects_children() {
+        let hv = HeapValue::Struct(vec![Value::Unit, Value::i32(3)]);
+        assert_eq!(hv.values().len(), 2);
+        let hv = HeapValue::Variant(1, Box::new(Value::Unit));
+        assert_eq!(hv.values(), vec![&Value::Unit]);
+    }
+
+    #[test]
+    fn display_smoke() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::i32(5).to_string(), "i32.const 5");
+        assert!(HeapValue::Array(vec![Value::Unit]).to_string().starts_with("(array 1"));
+    }
+}

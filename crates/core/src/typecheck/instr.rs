@@ -1,0 +1,1578 @@
+//! The algorithmic instruction checker (paper Fig. 7).
+
+use crate::env::{KindCtx, ModuleEnv, TypeBound};
+use crate::error::TypeError;
+use crate::sizing::size_of_type;
+use crate::solver::{qual_leq, size_leq};
+use crate::subst::{
+    generalize_loc, instantiate_arrow, shift_type, subst_type, unfold_rec, unshift_type, Depth,
+    Kind, SubstEnv,
+};
+use crate::syntax::instr::{Block, LocalEffect, NumInstr};
+use crate::syntax::{
+    ArrowType, FunType, HeapType, Instr, Loc, MemPriv, NumType, Pretype, Qual, Size, Type,
+};
+use crate::typecheck::{check_instantiation, push_telescope, synthesize_const};
+use crate::wf::{no_caps_type, wf_heaptype, wf_loc, wf_pretype_at, wf_qual, wf_size, wf_type};
+
+/// A local slot: its current type and its fixed size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotTy {
+    /// The slot's current type (changes under strong updates).
+    pub ty: Type,
+    /// The slot's fixed size in bits.
+    pub size: Size,
+}
+
+/// What a branch to a label requires of the local environment.
+#[derive(Debug, Clone)]
+enum LocalsReq {
+    /// Locals must exactly match this environment (inner labels).
+    Exact(Vec<SlotTy>),
+    /// All locals must be unrestricted (the function's return label).
+    AllUnr,
+}
+
+/// A control frame: one entry per enclosing label.
+#[derive(Debug, Clone)]
+struct Frame {
+    /// Types transferred by a `br` targeting this label.
+    label_tys: Vec<Type>,
+    /// Locals required at a `br` targeting this label.
+    label_locals: LocalsReq,
+    /// Types required when falling off the end of the body.
+    end_tys: Vec<Type>,
+    /// Locals required at the end of the body (`None` for loops).
+    end_locals: Option<Vec<SlotTy>>,
+    /// The operand stack inside this frame.
+    stack: Vec<Type>,
+    /// Values conceptually parked *below* this frame on the enclosing
+    /// stack (the variant/existential reference during an `unr` case
+    /// block). Dropped — and therefore checked unrestricted — whenever a
+    /// branch crosses this frame outward; this is the algorithmic face of
+    /// the paper's *linear environment*.
+    limbo: Vec<Type>,
+    /// Whether the remainder of the frame is unreachable (polymorphic
+    /// stack).
+    unreachable: bool,
+}
+
+/// Per-instruction type information recorded during checking, consumed by
+/// the type-directed RichWasm→Wasm compiler (§6: "compilation … requires
+/// some type information that is implicit in RichWasm instructions which
+/// is provided by the type checker").
+///
+/// Entries appear in pre-order: an instruction's entry precedes the
+/// entries of its nested bodies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrInfo {
+    /// Types consumed from the stack (bottom → top).
+    pub consumed: Vec<Type>,
+    /// Types pushed onto the stack (bottom → top).
+    pub produced: Vec<Type>,
+    /// The instruction sits in statically dead code (after
+    /// `unreachable`/`br`): its types may be placeholders.
+    pub dead: bool,
+    /// Whether nested bodies were visited by the checker (dead
+    /// `variant.case`/`exist.unpack`/`mem.unpack` skip their bodies).
+    pub bodies_visited: bool,
+}
+
+impl Default for InstrInfo {
+    fn default() -> Self {
+        InstrInfo { consumed: Vec::new(), produced: Vec::new(), dead: false, bodies_visited: true }
+    }
+}
+
+/// The instruction checker. Holds the module environment, the kind
+/// context, the mutable local environment, and the control-frame stack.
+pub struct Checker<'a> {
+    module: &'a ModuleEnv,
+    /// The kind-variable context (public so callers can pre-load a
+    /// telescope).
+    pub ctx: KindCtx,
+    locals: Vec<SlotTy>,
+    frames: Vec<Frame>,
+    ret: Vec<Type>,
+    /// Pre-order per-instruction trace (always recorded; cheap).
+    trace: Vec<InstrInfo>,
+    cur_info: InstrInfo,
+}
+
+impl<'a> Checker<'a> {
+    /// Creates a checker for one instruction sequence with the given
+    /// locals and return types. The root frame's label behaves like the
+    /// function-exit label: branching to it transfers the return types and
+    /// requires all locals unrestricted.
+    pub fn new(module: &'a ModuleEnv, ctx: KindCtx, locals: Vec<SlotTy>, ret: Vec<Type>) -> Self {
+        let root = Frame {
+            label_tys: ret.clone(),
+            label_locals: LocalsReq::AllUnr,
+            end_tys: ret.clone(),
+            end_locals: None,
+            stack: Vec::new(),
+            limbo: Vec::new(),
+            unreachable: false,
+        };
+        Checker { module, ctx, locals, frames: vec![root], ret, trace: Vec::new(), cur_info: InstrInfo::default() }
+    }
+
+    /// The recorded per-instruction trace (pre-order).
+    pub fn into_trace(self) -> Vec<InstrInfo> {
+        self.trace
+    }
+
+    /// Current local slot types (for tests and diagnostics).
+    pub fn locals(&self) -> &[SlotTy] {
+        &self.locals
+    }
+
+    // ------------------------------------------------------------------
+    // Stack primitives
+    // ------------------------------------------------------------------
+
+    fn cur(&mut self) -> &mut Frame {
+        self.frames.last_mut().expect("checker always has a root frame")
+    }
+
+    fn push_op(&mut self, t: Type) {
+        self.cur_info.produced.push(t.clone());
+        self.cur().stack.push(t);
+    }
+
+    /// Pops a type; `None` means the stack is polymorphic (dead code).
+    fn pop_op(&mut self, ctxt: &str) -> Result<Option<Type>, TypeError> {
+        let f = self.frames.last_mut().expect("root frame");
+        match f.stack.pop() {
+            Some(t) => {
+                self.cur_info.consumed.push(t.clone());
+                Ok(Some(t))
+            }
+            None if f.unreachable => Ok(None),
+            None => Err(TypeError::StackUnderflow { context: ctxt.to_string() }),
+        }
+    }
+
+    fn pop_expect(&mut self, expected: &Type, ctxt: &str) -> Result<(), TypeError> {
+        match self.pop_op(ctxt)? {
+            Some(found) if &found == expected => Ok(()),
+            Some(found) => Err(TypeError::mismatch(expected, &found, ctxt)),
+            None => {
+                self.cur_info.consumed.push(expected.clone());
+                Ok(())
+            }
+        }
+    }
+
+    /// Pops `expected` (bottom → top order) off the stack.
+    fn pop_many_expect(&mut self, expected: &[Type], ctxt: &str) -> Result<(), TypeError> {
+        for t in expected.iter().rev() {
+            self.pop_expect(t, ctxt)?;
+        }
+        Ok(())
+    }
+
+    fn drop_check(&self, t: &Type, ctxt: &str) -> Result<(), TypeError> {
+        if qual_leq(&self.ctx, t.qual, Qual::Unr) {
+            Ok(())
+        } else {
+            Err(TypeError::LinearityViolation {
+                context: format!("{ctxt} would drop linear value {t}"),
+            })
+        }
+    }
+
+    fn check_locals_req(&self, req: &LocalsReq, ctxt: &str) -> Result<(), TypeError> {
+        match req {
+            LocalsReq::Exact(want) => {
+                if self.locals.len() != want.len() {
+                    return Err(TypeError::Other(format!(
+                        "{ctxt}: local count mismatch ({} vs {})",
+                        self.locals.len(),
+                        want.len()
+                    )));
+                }
+                for (i, (have, want)) in self.locals.iter().zip(want).enumerate() {
+                    if have.ty != want.ty {
+                        return Err(TypeError::Mismatch {
+                            expected: want.ty.to_string(),
+                            found: have.ty.to_string(),
+                            context: format!("{ctxt}: local {i}"),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            LocalsReq::AllUnr => {
+                for (i, s) in self.locals.iter().enumerate() {
+                    if !qual_leq(&self.ctx, s.ty.qual, Qual::Unr) {
+                        return Err(TypeError::LinearityViolation {
+                            context: format!("{ctxt}: local {i} still holds linear {}", s.ty),
+                        });
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Validates a branch with relative depth `i`; returns the transferred
+    /// types (already popped). `consume` distinguishes `br` (true) from
+    /// `br_if` (false, transferred values stay).
+    fn check_br(&mut self, i: u32, consume: bool, ctxt: &str) -> Result<(), TypeError> {
+        let n = self.frames.len();
+        if (i as usize) >= n {
+            return Err(TypeError::UnboundVar { kind: "label", index: i });
+        }
+        let target = n - 1 - i as usize;
+        let label_tys = self.frames[target].label_tys.clone();
+        self.pop_many_expect(&label_tys, ctxt)?;
+        // Everything remaining inside the targeted label is dropped: the
+        // stacks of all frames from the target inward, and the limbo
+        // (parked) values of frames strictly inside the target.
+        for f in target..n {
+            let (stack, limbo, dead) = {
+                let fr = &self.frames[f];
+                (fr.stack.clone(), fr.limbo.clone(), fr.unreachable)
+            };
+            // In dead code the stack is polymorphic; no real values exist.
+            if dead && f == n - 1 {
+                continue;
+            }
+            for t in &stack {
+                self.drop_check(t, ctxt)?;
+            }
+            if f > target {
+                for t in &limbo {
+                    self.drop_check(t, ctxt)?;
+                }
+            }
+        }
+        // Locals must agree with the label's view of `L`.
+        let req = self.frames[target].label_locals.clone();
+        self.check_locals_req(&req, ctxt)?;
+        if consume {
+            let f = self.cur();
+            f.unreachable = true;
+            f.stack.clear();
+        } else {
+            // br_if: the transferred values remain on the stack.
+            for t in label_tys {
+                self.cur().stack.push(t);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Binder-crossing: shift every tracked type when entering a
+    // `mem.unpack`/`exist.unpack` body, and unshift (with escape check)
+    // when leaving.
+    // ------------------------------------------------------------------
+
+    fn map_all_types(
+        &mut self,
+        f: &mut dyn FnMut(&Type) -> Result<Type, TypeError>,
+    ) -> Result<(), TypeError> {
+        for s in &mut self.locals {
+            s.ty = f(&s.ty)?;
+        }
+        for t in &mut self.ret {
+            *t = f(t)?;
+        }
+        for fr in &mut self.frames {
+            for t in fr
+                .label_tys
+                .iter_mut()
+                .chain(fr.end_tys.iter_mut())
+                .chain(fr.stack.iter_mut())
+                .chain(fr.limbo.iter_mut())
+            {
+                *t = f(t)?;
+            }
+            if let LocalsReq::Exact(ls) = &mut fr.label_locals {
+                for s in ls {
+                    s.ty = f(&s.ty)?;
+                }
+            }
+            if let Some(ls) = &mut fr.end_locals {
+                for s in ls {
+                    s.ty = f(&s.ty)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn shift_all(&mut self, kind: Kind) {
+        let by = Depth::one(kind);
+        self.map_all_types(&mut |t| Ok(shift_type(t, by)))
+            .expect("shift cannot fail");
+    }
+
+    fn unshift_all(&mut self, kind: Kind) -> Result<(), TypeError> {
+        self.map_all_types(&mut |t| {
+            unshift_type(t, kind).map_err(|_| TypeError::IllFormed {
+                reason: format!("{kind:?} variable escapes its unpack scope in {t}"),
+            })
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Local effects
+    // ------------------------------------------------------------------
+
+    /// Applies declared local effects `(i, τ)*` to a copy of the current
+    /// locals, validating indices, well-formedness, and slot fit.
+    fn apply_effects(&mut self, effects: &[LocalEffect]) -> Result<Vec<SlotTy>, TypeError> {
+        let mut out = self.locals.clone();
+        for e in effects {
+            let slot = out
+                .get_mut(e.idx as usize)
+                .ok_or(TypeError::UnboundVar { kind: "local", index: e.idx })?;
+            let sz = slot.size.clone();
+            wf_type(&mut self.ctx, &e.ty)?;
+            let tsz = size_of_type(&self.ctx, &e.ty)?;
+            if !size_leq(&self.ctx, &tsz, &sz) {
+                return Err(TypeError::SizeNotLeq {
+                    lhs: tsz,
+                    rhs: sz,
+                    context: format!("local effect on slot {}", e.idx),
+                });
+            }
+            slot.ty = e.ty.clone();
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Frame entry/exit for block-like instructions
+    // ------------------------------------------------------------------
+
+    /// Runs `body` in a fresh frame. All type arguments must be given in
+    /// the coordinates *inside* the frame (i.e. already shifted if
+    /// `binder` is set; the caller pushes the kind binder onto `ctx`).
+    #[allow(clippy::too_many_arguments)]
+    fn run_body(
+        &mut self,
+        body: &[Instr],
+        entry: Vec<Type>,
+        label_tys: Vec<Type>,
+        label_locals: LocalsReq,
+        end_tys: Vec<Type>,
+        end_locals: Option<Vec<SlotTy>>,
+        limbo: Vec<Type>,
+        ctxt: &str,
+    ) -> Result<(), TypeError> {
+        self.frames.push(Frame {
+            label_tys,
+            label_locals,
+            end_tys: end_tys.clone(),
+            end_locals: end_locals.clone(),
+            stack: entry,
+            limbo,
+            unreachable: false,
+        });
+        let result = (|| {
+            self.check_seq(body)?;
+            // End-of-body: the stack must deliver exactly the declared
+            // results, and locals must match the declared post-state.
+            self.pop_many_expect(&end_tys, ctxt)?;
+            let leftover = !self.cur().stack.is_empty();
+            if leftover {
+                return Err(TypeError::BlockResultMismatch {
+                    context: format!("{ctxt}: values left on stack at end of block"),
+                });
+            }
+            if let Some(want) = &end_locals {
+                self.check_locals_req(&LocalsReq::Exact(want.clone()), ctxt)?;
+            }
+            Ok(())
+        })();
+        self.frames.pop();
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Main dispatch
+    // ------------------------------------------------------------------
+
+    /// Checks a sequence of instructions in the current frame.
+    pub fn check_seq(&mut self, es: &[Instr]) -> Result<(), TypeError> {
+        for e in es {
+            self.check_instr(e)?;
+        }
+        Ok(())
+    }
+
+    /// Checks one instruction.
+    pub fn check_instr(&mut self, e: &Instr) -> Result<(), TypeError> {
+        // Reserve this instruction's trace slot to preserve pre-order, and
+        // save the enclosing instruction's partial record (nested bodies
+        // re-enter this function).
+        let saved = std::mem::take(&mut self.cur_info);
+        let was_dead = self.frames.last().map(|f| f.unreachable).unwrap_or(false);
+        let slot = self.trace.len();
+        self.trace.push(InstrInfo::default());
+        let r = self.check_instr_inner(e);
+        let mut info = std::mem::take(&mut self.cur_info);
+        info.consumed.reverse(); // recorded top-first; store bottom→top
+        info.dead = was_dead;
+        self.trace[slot] = info;
+        self.cur_info = saved;
+        r
+    }
+
+    fn check_instr_inner(&mut self, e: &Instr) -> Result<(), TypeError> {
+        match e {
+            Instr::Val(v) => {
+                let t = synthesize_const(v)?;
+                self.push_op(t);
+                Ok(())
+            }
+            Instr::Num(n) => self.check_num(*n),
+            Instr::Nop => Ok(()),
+            Instr::Unreachable => {
+                let f = self.cur();
+                f.unreachable = true;
+                f.stack.clear();
+                Ok(())
+            }
+            Instr::Drop => {
+                if let Some(t) = self.pop_op("drop")? {
+                    self.drop_check(&t, "drop")?;
+                }
+                Ok(())
+            }
+            Instr::Select => {
+                self.pop_expect(&Type::num(NumType::I32), "select")?;
+                let t2 = self.pop_op("select")?;
+                let t1 = self.pop_op("select")?;
+                match (t1, t2) {
+                    (Some(a), Some(b)) => {
+                        if a != b {
+                            return Err(TypeError::mismatch(&a, &b, "select arms"));
+                        }
+                        // One branch is dropped.
+                        self.drop_check(&a, "select")?;
+                        self.push_op(a);
+                    }
+                    (Some(a), None) | (None, Some(a)) => {
+                        self.drop_check(&a, "select")?;
+                        self.push_op(a);
+                    }
+                    (None, None) => {}
+                }
+                Ok(())
+            }
+            Instr::BlockI(b, body) => self.check_block(b, body),
+            Instr::LoopI(arrow, body) => self.check_loop(arrow, body),
+            Instr::IfI(b, then_b, else_b) => self.check_if(b, then_b, else_b),
+            Instr::Br(i) => self.check_br(*i, true, "br"),
+            Instr::BrIf(i) => {
+                self.pop_expect(&Type::num(NumType::I32), "br_if")?;
+                self.check_br(*i, false, "br_if")
+            }
+            Instr::BrTable(targets, default) => {
+                self.pop_expect(&Type::num(NumType::I32), "br_table")?;
+                // All targets must transfer the same types; validate each
+                // (the last validation consumes).
+                let all: Vec<u32> = targets.iter().copied().chain([*default]).collect();
+                let first_tys = {
+                    let n = self.frames.len();
+                    let t0 = *all.first().expect("br_table has a default");
+                    if (t0 as usize) >= n {
+                        return Err(TypeError::UnboundVar { kind: "label", index: t0 });
+                    }
+                    self.frames[n - 1 - t0 as usize].label_tys.clone()
+                };
+                for i in &all {
+                    let n = self.frames.len();
+                    if (*i as usize) >= n {
+                        return Err(TypeError::UnboundVar { kind: "label", index: *i });
+                    }
+                    let tys = &self.frames[n - 1 - *i as usize].label_tys;
+                    if *tys != first_tys {
+                        return Err(TypeError::Other(format!(
+                            "br_table targets disagree on label types (label {i})"
+                        )));
+                    }
+                    self.check_br(*i, false, "br_table")?;
+                }
+                // Taken unconditionally.
+                self.pop_many_expect(&first_tys, "br_table")?;
+                let f = self.cur();
+                f.unreachable = true;
+                f.stack.clear();
+                Ok(())
+            }
+            Instr::Return => {
+                let ret = self.ret.clone();
+                self.pop_many_expect(&ret, "return")?;
+                let n = self.frames.len();
+                for f in 0..n {
+                    let (stack, limbo, dead) = {
+                        let fr = &self.frames[f];
+                        (fr.stack.clone(), fr.limbo.clone(), fr.unreachable)
+                    };
+                    if dead && f == n - 1 {
+                        continue;
+                    }
+                    for t in stack.iter().chain(&limbo) {
+                        self.drop_check(t, "return")?;
+                    }
+                }
+                self.check_locals_req(&LocalsReq::AllUnr, "return")?;
+                let f = self.cur();
+                f.unreachable = true;
+                f.stack.clear();
+                Ok(())
+            }
+            Instr::GetLocal(i, q) => {
+                let slot = self
+                    .locals
+                    .get(*i as usize)
+                    .ok_or(TypeError::UnboundVar { kind: "local", index: *i })?
+                    .clone();
+                if slot.ty.qual != *q {
+                    return Err(TypeError::Mismatch {
+                        expected: format!("slot qualifier {q}"),
+                        found: slot.ty.qual.to_string(),
+                        context: format!("get_local {i}"),
+                    });
+                }
+                self.push_op(slot.ty.clone());
+                if !qual_leq(&self.ctx, *q, Qual::Unr) {
+                    // Linear read: the slot is strongly updated to unit to
+                    // prevent duplication (paper §2.1).
+                    self.locals[*i as usize].ty = Type::unit();
+                }
+                Ok(())
+            }
+            Instr::SetLocal(i) => {
+                let Some(t) = self.pop_op("set_local")? else { return Ok(()) };
+                self.set_local_common(*i, t, "set_local")
+            }
+            Instr::TeeLocal(i) => {
+                let Some(t) = self.pop_op("tee_local")? else { return Ok(()) };
+                if !qual_leq(&self.ctx, t.qual, Qual::Unr) {
+                    return Err(TypeError::LinearityViolation {
+                        context: format!("tee_local {i} would duplicate linear {t}"),
+                    });
+                }
+                self.push_op(t.clone());
+                self.set_local_common(*i, t, "tee_local")
+            }
+            Instr::GetGlobal(i) => {
+                let (_, p) = self
+                    .module
+                    .globals
+                    .get(*i as usize)
+                    .ok_or(TypeError::UnboundVar { kind: "global", index: *i })?
+                    .clone();
+                self.push_op(p.unr());
+                Ok(())
+            }
+            Instr::SetGlobal(i) => {
+                let (mutable, p) = self
+                    .module
+                    .globals
+                    .get(*i as usize)
+                    .ok_or(TypeError::UnboundVar { kind: "global", index: *i })?
+                    .clone();
+                if !mutable {
+                    return Err(TypeError::Other(format!("set_global {i}: global is immutable")));
+                }
+                self.pop_expect(&p.unr(), "set_global")
+            }
+            Instr::Qualify(q) => {
+                wf_qual(&self.ctx, *q)?;
+                let Some(t) = self.pop_op("qualify")? else { return Ok(()) };
+                if !qual_leq(&self.ctx, t.qual, *q) {
+                    return Err(TypeError::QualNotLeq {
+                        lhs: t.qual,
+                        rhs: *q,
+                        context: "qualify only coerces upward".into(),
+                    });
+                }
+                wf_pretype_at(&mut self.ctx, &t.pre, *q)?;
+                self.push_op(Type { pre: t.pre, qual: *q });
+                Ok(())
+            }
+            Instr::CodeRefI(i) => {
+                let ft = self
+                    .module
+                    .table
+                    .get(*i as usize)
+                    .ok_or(TypeError::UnboundVar { kind: "table", index: *i })?
+                    .clone();
+                self.push_op(Pretype::CodeRef(ft).unr());
+                Ok(())
+            }
+            Instr::Inst(zs) => {
+                let Some(t) = self.pop_op("inst")? else { return Ok(()) };
+                let Pretype::CodeRef(ft) = &*t.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "coderef".into(),
+                        found: t.to_string(),
+                        context: "inst".into(),
+                    });
+                };
+                check_instantiation(&mut self.ctx, &ft.quants, zs)?;
+                let arrow = instantiate_arrow(ft, zs)
+                    .map_err(|reason| TypeError::BadInstantiation { reason })?;
+                self.push_op(Pretype::CodeRef(FunType { quants: vec![], arrow }).with_qual(t.qual));
+                Ok(())
+            }
+            Instr::CallIndirect => {
+                let Some(t) = self.pop_op("call_indirect")? else { return Ok(()) };
+                let Pretype::CodeRef(ft) = &*t.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "coderef".into(),
+                        found: t.to_string(),
+                        context: "call_indirect".into(),
+                    });
+                };
+                if !ft.quants.is_empty() {
+                    return Err(TypeError::BadInstantiation {
+                        reason: "call_indirect requires a fully instantiated coderef".into(),
+                    });
+                }
+                let arrow = ft.arrow.clone();
+                self.pop_many_expect(&arrow.params, "call_indirect")?;
+                for r in arrow.results {
+                    self.push_op(r);
+                }
+                Ok(())
+            }
+            Instr::Call(i, zs) => {
+                let ft = self
+                    .module
+                    .funcs
+                    .get(*i as usize)
+                    .ok_or(TypeError::UnboundVar { kind: "function", index: *i })?
+                    .clone();
+                check_instantiation(&mut self.ctx, &ft.quants, zs)?;
+                let arrow = instantiate_arrow(&ft, zs)
+                    .map_err(|reason| TypeError::BadInstantiation { reason })?;
+                self.pop_many_expect(&arrow.params, "call")?;
+                for r in arrow.results {
+                    self.push_op(r);
+                }
+                Ok(())
+            }
+            Instr::RecFold(p) => {
+                let Pretype::Rec(_, body) = p else {
+                    return Err(TypeError::Mismatch {
+                        expected: "rec pretype".into(),
+                        found: p.to_string(),
+                        context: "rec.fold".into(),
+                    });
+                };
+                let q = body.qual;
+                wf_pretype_at(&mut self.ctx, p, q)?;
+                let unfolded = unfold_rec(p).expect("matched Rec above");
+                self.pop_expect(&unfolded, "rec.fold")?;
+                self.push_op(p.clone().with_qual(q));
+                Ok(())
+            }
+            Instr::RecUnfold => {
+                let Some(t) = self.pop_op("rec.unfold")? else { return Ok(()) };
+                let Some(unfolded) = unfold_rec(&t.pre) else {
+                    return Err(TypeError::Mismatch {
+                        expected: "rec type".into(),
+                        found: t.to_string(),
+                        context: "rec.unfold".into(),
+                    });
+                };
+                self.push_op(unfolded);
+                Ok(())
+            }
+            Instr::MemPack(l) => {
+                wf_loc(&self.ctx, *l)?;
+                let Some(t) = self.pop_op("mem.pack")? else { return Ok(()) };
+                let q = t.qual;
+                let body = generalize_loc(&t, *l);
+                self.push_op(Pretype::ExistsLoc(Box::new(body)).with_qual(q));
+                Ok(())
+            }
+            Instr::MemUnpack(b, body) => self.check_mem_unpack(b, body),
+            Instr::Group(n, q) => {
+                wf_qual(&self.ctx, *q)?;
+                let mut parts = Vec::with_capacity(*n as usize);
+                for _ in 0..*n {
+                    match self.pop_op("seq.group")? {
+                        Some(t) => parts.push(t),
+                        None => parts.push(Type::unit()),
+                    }
+                }
+                parts.reverse();
+                for t in &parts {
+                    if !qual_leq(&self.ctx, t.qual, *q) {
+                        return Err(TypeError::QualNotLeq {
+                            lhs: t.qual,
+                            rhs: *q,
+                            context: "seq.group component vs tuple qualifier".into(),
+                        });
+                    }
+                }
+                self.push_op(Pretype::Prod(parts).with_qual(*q));
+                Ok(())
+            }
+            Instr::Ungroup => {
+                let Some(t) = self.pop_op("seq.ungroup")? else { return Ok(()) };
+                let Pretype::Prod(parts) = *t.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "tuple".into(),
+                        found: format!("{}^{}", t.pre, t.qual),
+                        context: "seq.ungroup".into(),
+                    });
+                };
+                for p in parts {
+                    self.push_op(p);
+                }
+                Ok(())
+            }
+            Instr::CapSplit => {
+                let Some(t) = self.pop_op("cap.split")? else { return Ok(()) };
+                let Pretype::Cap(MemPriv::ReadWrite, l, h) = *t.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "cap rw".into(),
+                        found: t.to_string(),
+                        context: "cap.split".into(),
+                    });
+                };
+                self.push_op(Pretype::Cap(MemPriv::Read, l, h).with_qual(t.qual));
+                self.push_op(Pretype::Own(l).with_qual(t.qual));
+                Ok(())
+            }
+            Instr::CapJoin => {
+                let own = self.pop_op("cap.join")?;
+                let cap = self.pop_op("cap.join")?;
+                let (Some(own), Some(cap)) = (own, cap) else { return Ok(()) };
+                let Pretype::Own(lo) = *own.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "own".into(),
+                        found: own.to_string(),
+                        context: "cap.join".into(),
+                    });
+                };
+                let Pretype::Cap(MemPriv::Read, lc, h) = *cap.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "cap r".into(),
+                        found: cap.to_string(),
+                        context: "cap.join".into(),
+                    });
+                };
+                if lo != lc {
+                    return Err(TypeError::Other(format!(
+                        "cap.join: ownership token for {lo} does not match capability for {lc}"
+                    )));
+                }
+                self.push_op(Pretype::Cap(MemPriv::ReadWrite, lc, h).with_qual(cap.qual));
+                Ok(())
+            }
+            Instr::RefDemote => {
+                let Some(t) = self.pop_op("ref.demote")? else { return Ok(()) };
+                let Pretype::Ref(MemPriv::ReadWrite, l, h) = *t.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "ref rw".into(),
+                        found: t.to_string(),
+                        context: "ref.demote".into(),
+                    });
+                };
+                self.push_op(Pretype::Ref(MemPriv::Read, l, h).with_qual(t.qual));
+                Ok(())
+            }
+            Instr::RefSplit => {
+                let Some(t) = self.pop_op("ref.split")? else { return Ok(()) };
+                let Pretype::Ref(pi, l, h) = *t.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "ref".into(),
+                        found: t.to_string(),
+                        context: "ref.split".into(),
+                    });
+                };
+                self.push_op(Pretype::Cap(pi, l, h).with_qual(t.qual));
+                // Pointers are freely copyable (§2.1: "an unrestricted
+                // (copyable) pointer … and a linear capability").
+                self.push_op(Pretype::Ptr(l).unr());
+                Ok(())
+            }
+            Instr::RefJoin => {
+                let ptr = self.pop_op("ref.join")?;
+                let cap = self.pop_op("ref.join")?;
+                let (Some(ptr), Some(cap)) = (ptr, cap) else { return Ok(()) };
+                let Pretype::Ptr(lp) = *ptr.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "ptr".into(),
+                        found: ptr.to_string(),
+                        context: "ref.join".into(),
+                    });
+                };
+                let Pretype::Cap(pi, lc, h) = *cap.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "cap".into(),
+                        found: cap.to_string(),
+                        context: "ref.join".into(),
+                    });
+                };
+                if lp != lc {
+                    return Err(TypeError::Other(format!(
+                        "ref.join: pointer to {lp} does not match capability for {lc}"
+                    )));
+                }
+                self.push_op(Pretype::Ref(pi, lc, h).with_qual(cap.qual));
+                Ok(())
+            }
+            Instr::StructMalloc(szs, q) => self.check_struct_malloc(szs, *q),
+            Instr::StructFree => {
+                let Some(t) = self.pop_op("struct.free")? else { return Ok(()) };
+                let Pretype::Ref(MemPriv::ReadWrite, _, HeapType::Struct(fields)) = &*t.pre
+                else {
+                    return Err(TypeError::Mismatch {
+                        expected: "ref rw to struct".into(),
+                        found: t.to_string(),
+                        context: "struct.free".into(),
+                    });
+                };
+                if !qual_leq(&self.ctx, Qual::Lin, t.qual) {
+                    return Err(TypeError::QualNotLeq {
+                        lhs: Qual::Lin,
+                        rhs: t.qual,
+                        context: "struct.free requires a linear reference".into(),
+                    });
+                }
+                for (ft, _) in fields {
+                    self.drop_check(ft, "struct.free (field)")?;
+                }
+                Ok(())
+            }
+            Instr::StructGet(i) => {
+                let Some(t) = self.pop_op("struct.get")? else { return Ok(()) };
+                let Pretype::Ref(_, _, HeapType::Struct(fields)) = &*t.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "ref to struct".into(),
+                        found: t.to_string(),
+                        context: "struct.get".into(),
+                    });
+                };
+                let (ft, _) = fields
+                    .get(*i as usize)
+                    .ok_or(TypeError::UnboundVar { kind: "struct field", index: *i })?
+                    .clone();
+                if !qual_leq(&self.ctx, ft.qual, Qual::Unr) {
+                    return Err(TypeError::LinearityViolation {
+                        context: format!(
+                            "struct.get {i} would duplicate linear field {ft}; use struct.swap"
+                        ),
+                    });
+                }
+                self.push_op(t.clone());
+                self.push_op(ft);
+                Ok(())
+            }
+            Instr::StructSet(i) => self.check_struct_set(*i, false),
+            Instr::StructSwap(i) => self.check_struct_set(*i, true),
+            Instr::VariantMalloc(i, cases, q) => {
+                wf_qual(&self.ctx, *q)?;
+                for t in cases {
+                    wf_type(&mut self.ctx, t)?;
+                    if !no_caps_type(&self.ctx, t) {
+                        return Err(TypeError::CapsInHeap {
+                            context: format!("variant.malloc case {t}"),
+                        });
+                    }
+                }
+                let payload = cases
+                    .get(*i as usize)
+                    .ok_or(TypeError::UnboundVar { kind: "variant case", index: *i })?
+                    .clone();
+                self.pop_expect(&payload, "variant.malloc")?;
+                let shifted: Vec<Type> =
+                    cases.iter().map(|t| shift_type(t, Depth::one(Kind::Loc))).collect();
+                let inner =
+                    Pretype::Ref(MemPriv::ReadWrite, Loc::Var(0), HeapType::Variant(shifted))
+                        .with_qual(*q);
+                self.push_op(Pretype::ExistsLoc(Box::new(inner)).with_qual(*q));
+                Ok(())
+            }
+            Instr::VariantCase(q, psi, b, bodies) => self.check_variant_case(*q, psi, b, bodies),
+            Instr::ArrayMalloc(q) => {
+                wf_qual(&self.ctx, *q)?;
+                self.pop_expect(&Type::num(NumType::U32), "array.malloc (length)")?;
+                let Some(elem) = self.pop_op("array.malloc (fill)")? else { return Ok(()) };
+                if !qual_leq(&self.ctx, elem.qual, Qual::Unr) {
+                    return Err(TypeError::LinearityViolation {
+                        context: format!("array.malloc would replicate linear fill value {elem}"),
+                    });
+                }
+                if qual_leq(&self.ctx, *q, Qual::Unr) && !no_caps_type(&self.ctx, &elem) {
+                    return Err(TypeError::CapsInHeap { context: "array.malloc".into() });
+                }
+                let shifted = shift_type(&elem, Depth::one(Kind::Loc));
+                let inner = Pretype::Ref(MemPriv::ReadWrite, Loc::Var(0), HeapType::Array(shifted))
+                    .with_qual(*q);
+                self.push_op(Pretype::ExistsLoc(Box::new(inner)).with_qual(*q));
+                Ok(())
+            }
+            Instr::ArrayGet => {
+                self.pop_expect(&Type::num(NumType::U32), "array.get (index)")?;
+                let Some(t) = self.pop_op("array.get")? else { return Ok(()) };
+                let Pretype::Ref(_, _, HeapType::Array(elem)) = &*t.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "ref to array".into(),
+                        found: t.to_string(),
+                        context: "array.get".into(),
+                    });
+                };
+                let elem = elem.clone();
+                if !qual_leq(&self.ctx, elem.qual, Qual::Unr) {
+                    return Err(TypeError::LinearityViolation {
+                        context: format!("array.get would duplicate linear element {elem}"),
+                    });
+                }
+                self.push_op(t.clone());
+                self.push_op(elem);
+                Ok(())
+            }
+            Instr::ArraySet => {
+                let Some(v) = self.pop_op("array.set (value)")? else { return Ok(()) };
+                self.pop_expect(&Type::num(NumType::U32), "array.set (index)")?;
+                let Some(t) = self.pop_op("array.set")? else { return Ok(()) };
+                let Pretype::Ref(MemPriv::ReadWrite, _, HeapType::Array(elem)) = &*t.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "ref rw to array".into(),
+                        found: t.to_string(),
+                        context: "array.set".into(),
+                    });
+                };
+                if *elem != v {
+                    return Err(TypeError::mismatch(elem, &v, "array.set element type"));
+                }
+                if !qual_leq(&self.ctx, elem.qual, Qual::Unr) {
+                    return Err(TypeError::LinearityViolation {
+                        context: "array.set drops the previous (linear) element".into(),
+                    });
+                }
+                self.push_op(t.clone());
+                Ok(())
+            }
+            Instr::ArrayFree => {
+                let Some(t) = self.pop_op("array.free")? else { return Ok(()) };
+                let Pretype::Ref(MemPriv::ReadWrite, _, HeapType::Array(elem)) = &*t.pre else {
+                    return Err(TypeError::Mismatch {
+                        expected: "ref rw to array".into(),
+                        found: t.to_string(),
+                        context: "array.free".into(),
+                    });
+                };
+                if !qual_leq(&self.ctx, Qual::Lin, t.qual) {
+                    return Err(TypeError::QualNotLeq {
+                        lhs: Qual::Lin,
+                        rhs: t.qual,
+                        context: "array.free requires a linear reference".into(),
+                    });
+                }
+                self.drop_check(elem, "array.free (elements)")?;
+                Ok(())
+            }
+            Instr::ExistPack(p, psi, q) => self.check_exist_pack(p, psi, *q),
+            Instr::ExistUnpack(q, psi, b, body) => self.check_exist_unpack(*q, psi, b, body),
+            // Administrative instructions never appear in source programs.
+            Instr::Trap
+            | Instr::CallAdmin { .. }
+            | Instr::Label { .. }
+            | Instr::LocalFrame { .. }
+            | Instr::MallocAdmin(..)
+            | Instr::Free => Err(TypeError::Other(format!(
+                "administrative instruction {e} cannot appear in a source module"
+            ))),
+        }
+    }
+
+    fn set_local_common(&mut self, i: u32, t: Type, ctxt: &str) -> Result<(), TypeError> {
+        let slot = self
+            .locals
+            .get(i as usize)
+            .ok_or(TypeError::UnboundVar { kind: "local", index: i })?
+            .clone();
+        if !qual_leq(&self.ctx, slot.ty.qual, Qual::Unr) {
+            return Err(TypeError::LinearityViolation {
+                context: format!("{ctxt} {i} would drop linear slot contents {}", slot.ty),
+            });
+        }
+        let tsz = size_of_type(&self.ctx, &t)?;
+        if !size_leq(&self.ctx, &tsz, &slot.size) {
+            return Err(TypeError::SizeNotLeq {
+                lhs: tsz,
+                rhs: slot.size,
+                context: format!("{ctxt} {i}: value does not fit slot"),
+            });
+        }
+        self.locals[i as usize].ty = t;
+        Ok(())
+    }
+
+    fn check_num(&mut self, n: NumInstr) -> Result<(), TypeError> {
+        use NumInstr::*;
+        let i32t = Type::num(NumType::I32);
+        match n {
+            IntUnop(nt, _) => {
+                require_int(nt)?;
+                self.pop_expect(&Type::num(nt), "int unop")?;
+                self.push_op(Type::num(nt));
+            }
+            IntBinop(nt, _) => {
+                require_int(nt)?;
+                self.pop_expect(&Type::num(nt), "int binop")?;
+                self.pop_expect(&Type::num(nt), "int binop")?;
+                self.push_op(Type::num(nt));
+            }
+            Eqz(nt) => {
+                require_int(nt)?;
+                self.pop_expect(&Type::num(nt), "eqz")?;
+                self.push_op(i32t);
+            }
+            IntRelop(nt, _) => {
+                require_int(nt)?;
+                self.pop_expect(&Type::num(nt), "int relop")?;
+                self.pop_expect(&Type::num(nt), "int relop")?;
+                self.push_op(i32t);
+            }
+            FloatUnop(nt, _) => {
+                require_float(nt)?;
+                self.pop_expect(&Type::num(nt), "float unop")?;
+                self.push_op(Type::num(nt));
+            }
+            FloatBinop(nt, _) => {
+                require_float(nt)?;
+                self.pop_expect(&Type::num(nt), "float binop")?;
+                self.pop_expect(&Type::num(nt), "float binop")?;
+                self.push_op(Type::num(nt));
+            }
+            FloatRelop(nt, _) => {
+                require_float(nt)?;
+                self.pop_expect(&Type::num(nt), "float relop")?;
+                self.pop_expect(&Type::num(nt), "float relop")?;
+                self.push_op(i32t);
+            }
+            Convert(dst, src) => {
+                self.pop_expect(&Type::num(src), "convert")?;
+                self.push_op(Type::num(dst));
+            }
+            Reinterpret(dst, src) => {
+                if dst.bits() != src.bits() {
+                    return Err(TypeError::Other(format!(
+                        "reinterpret between different widths ({src} vs {dst})"
+                    )));
+                }
+                self.pop_expect(&Type::num(src), "reinterpret")?;
+                self.push_op(Type::num(dst));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_block(&mut self, b: &Block, body: &[Instr]) -> Result<(), TypeError> {
+        let post_locals = self.apply_effects(&b.effects)?;
+        self.pop_many_expect(&b.arrow.params, "block (params)")?;
+        self.run_body(
+            body,
+            b.arrow.params.clone(),
+            b.arrow.results.clone(),
+            LocalsReq::Exact(post_locals.clone()),
+            b.arrow.results.clone(),
+            Some(post_locals.clone()),
+            Vec::new(),
+            "block",
+        )?;
+        self.locals = post_locals;
+        for t in b.arrow.results.clone() {
+            self.push_op(t);
+        }
+        Ok(())
+    }
+
+    fn check_loop(&mut self, arrow: &ArrowType, body: &[Instr]) -> Result<(), TypeError> {
+        self.pop_many_expect(&arrow.params, "loop (params)")?;
+        let entry_locals = self.locals.clone();
+        self.run_body(
+            body,
+            arrow.params.clone(),
+            // A branch to a loop label re-enters the top: it transfers the
+            // loop's *parameters* and must restore the entry locals.
+            arrow.params.clone(),
+            LocalsReq::Exact(entry_locals),
+            arrow.results.clone(),
+            None,
+            Vec::new(),
+            "loop",
+        )?;
+        for t in arrow.results.clone() {
+            self.push_op(t);
+        }
+        Ok(())
+    }
+
+    fn check_if(&mut self, b: &Block, then_b: &[Instr], else_b: &[Instr]) -> Result<(), TypeError> {
+        self.pop_expect(&Type::num(NumType::I32), "if (condition)")?;
+        let post_locals = self.apply_effects(&b.effects)?;
+        self.pop_many_expect(&b.arrow.params, "if (params)")?;
+        let entry_locals = self.locals.clone();
+        for (name, body) in [("if (then)", then_b), ("if (else)", else_b)] {
+            self.locals = entry_locals.clone();
+            self.run_body(
+                body,
+                b.arrow.params.clone(),
+                b.arrow.results.clone(),
+                LocalsReq::Exact(post_locals.clone()),
+                b.arrow.results.clone(),
+                Some(post_locals.clone()),
+                Vec::new(),
+                name,
+            )?;
+        }
+        self.locals = post_locals;
+        for t in b.arrow.results.clone() {
+            self.push_op(t);
+        }
+        Ok(())
+    }
+
+    fn check_struct_malloc(&mut self, szs: &[Size], q: Qual) -> Result<(), TypeError> {
+        wf_qual(&self.ctx, q)?;
+        for sz in szs {
+            wf_size(&self.ctx, sz)?;
+        }
+        // Capabilities may live in manually managed memory; only the
+        // GC-owned (unrestricted) heap must be cap-free (§3, relaxed per
+        // §5/§8: "capabilities are only disallowed in the parts of the
+        // heap owned by the garbage collector").
+        let gc_owned = qual_leq(&self.ctx, q, Qual::Unr);
+        let mut fields_rev = Vec::with_capacity(szs.len());
+        for sz in szs.iter().rev() {
+            let t = match self.pop_op("struct.malloc")? {
+                Some(t) => t,
+                None => Type::unit(),
+            };
+            if gc_owned && !no_caps_type(&self.ctx, &t) {
+                return Err(TypeError::CapsInHeap { context: format!("struct.malloc field {t}") });
+            }
+            let tsz = size_of_type(&self.ctx, &t)?;
+            if !size_leq(&self.ctx, &tsz, sz) {
+                return Err(TypeError::SizeNotLeq {
+                    lhs: tsz,
+                    rhs: sz.clone(),
+                    context: "struct.malloc field vs slot size".into(),
+                });
+            }
+            fields_rev.push((t, sz.clone()));
+        }
+        fields_rev.reverse();
+        let shifted: Vec<(Type, Size)> = fields_rev
+            .into_iter()
+            .map(|(t, sz)| (shift_type(&t, Depth::one(Kind::Loc)), sz))
+            .collect();
+        let inner = Pretype::Ref(MemPriv::ReadWrite, Loc::Var(0), HeapType::Struct(shifted))
+            .with_qual(q);
+        self.push_op(Pretype::ExistsLoc(Box::new(inner)).with_qual(q));
+        Ok(())
+    }
+
+    /// Shared by `struct.set` (swap = false) and `struct.swap`
+    /// (swap = true).
+    fn check_struct_set(&mut self, i: u32, swap: bool) -> Result<(), TypeError> {
+        let ctxt = if swap { "struct.swap" } else { "struct.set" };
+        let Some(v) = self.pop_op(ctxt)? else { return Ok(()) };
+        let Some(t) = self.pop_op(ctxt)? else { return Ok(()) };
+        let Pretype::Ref(MemPriv::ReadWrite, l, HeapType::Struct(fields)) = &*t.pre else {
+            return Err(TypeError::Mismatch {
+                expected: "ref rw to struct".into(),
+                found: t.to_string(),
+                context: ctxt.into(),
+            });
+        };
+        let (old, slot_sz) = fields
+            .get(i as usize)
+            .ok_or(TypeError::UnboundVar { kind: "struct field", index: i })?
+            .clone();
+        if !swap && !qual_leq(&self.ctx, old.qual, Qual::Unr) {
+            return Err(TypeError::LinearityViolation {
+                context: format!("struct.set {i} drops the previous (linear) field {old}"),
+            });
+        }
+        let vsz = size_of_type(&self.ctx, &v)?;
+        if !size_leq(&self.ctx, &vsz, &slot_sz) {
+            return Err(TypeError::SizeNotLeq {
+                lhs: vsz,
+                rhs: slot_sz,
+                context: format!("{ctxt} {i}: new value vs slot size"),
+            });
+        }
+        if qual_leq(&self.ctx, t.qual, Qual::Unr) && !no_caps_type(&self.ctx, &v) {
+            return Err(TypeError::CapsInHeap { context: format!("{ctxt} {i}") });
+        }
+        // Strong updates are only allowed through linear references; on
+        // unrestricted (GC'd, aliased) references the update must preserve
+        // the type.
+        if !qual_leq(&self.ctx, Qual::Lin, t.qual) && v != old {
+            return Err(TypeError::Mismatch {
+                expected: old.to_string(),
+                found: v.to_string(),
+                context: format!("{ctxt} {i}: strong update through a non-linear reference"),
+            });
+        }
+        let mut new_fields = fields.clone();
+        new_fields[i as usize] = (v, new_fields[i as usize].1.clone());
+        let new_ref = Pretype::Ref(MemPriv::ReadWrite, *l, HeapType::Struct(new_fields))
+            .with_qual(t.qual);
+        self.push_op(new_ref);
+        if swap {
+            self.push_op(old);
+        }
+        Ok(())
+    }
+
+    fn check_variant_case(
+        &mut self,
+        q: Qual,
+        psi: &HeapType,
+        b: &Block,
+        bodies: &[Vec<Instr>],
+    ) -> Result<(), TypeError> {
+        let HeapType::Variant(cases) = psi else {
+            return Err(TypeError::Mismatch {
+                expected: "variant heap type".into(),
+                found: psi.to_string(),
+                context: "variant.case".into(),
+            });
+        };
+        if cases.len() != bodies.len() {
+            return Err(TypeError::Other(format!(
+                "variant.case has {} branches for {} cases",
+                bodies.len(),
+                cases.len()
+            )));
+        }
+        self.pop_many_expect(&b.arrow.params, "variant.case (params)")?;
+        let Some(rt) = self.pop_op("variant.case (ref)")? else {
+            self.cur_info.bodies_visited = false;
+            return Ok(());
+        };
+        let Pretype::Ref(pi, _, rpsi) = &*rt.pre else {
+            return Err(TypeError::Mismatch {
+                expected: "ref to variant".into(),
+                found: rt.to_string(),
+                context: "variant.case".into(),
+            });
+        };
+        if rpsi != psi {
+            return Err(TypeError::Mismatch {
+                expected: psi.to_string(),
+                found: rpsi.to_string(),
+                context: "variant.case annotation vs reference".into(),
+            });
+        }
+        let linear_case = !qual_leq(&self.ctx, q, Qual::Unr);
+        if linear_case {
+            // The cell is freed: we need write access and a linear ref.
+            if *pi != MemPriv::ReadWrite {
+                return Err(TypeError::Other(
+                    "variant.case lin requires a read-write reference (it frees)".into(),
+                ));
+            }
+            if !qual_leq(&self.ctx, Qual::Lin, rt.qual) {
+                return Err(TypeError::QualNotLeq {
+                    lhs: Qual::Lin,
+                    rhs: rt.qual,
+                    context: "variant.case lin consumes a linear reference".into(),
+                });
+            }
+        } else {
+            // The payload is *copied* out of memory: every case must be
+            // unrestricted.
+            for c in cases {
+                if !qual_leq(&self.ctx, c.qual, Qual::Unr) {
+                    return Err(TypeError::LinearityViolation {
+                        context: format!(
+                            "variant.case unr would duplicate linear case payload {c}"
+                        ),
+                    });
+                }
+            }
+        }
+        let post_locals = self.apply_effects(&b.effects)?;
+        let entry_locals = self.locals.clone();
+        let limbo = if linear_case { Vec::new() } else { vec![rt.clone()] };
+        for (ci, (case_ty, body)) in cases.iter().zip(bodies).enumerate() {
+            self.locals = entry_locals.clone();
+            let mut entry = b.arrow.params.clone();
+            entry.push(case_ty.clone());
+            self.run_body(
+                body,
+                entry,
+                b.arrow.results.clone(),
+                LocalsReq::Exact(post_locals.clone()),
+                b.arrow.results.clone(),
+                Some(post_locals.clone()),
+                limbo.clone(),
+                &format!("variant.case branch {ci}"),
+            )?;
+        }
+        self.locals = post_locals;
+        if !linear_case {
+            self.push_op(rt);
+        }
+        for t in b.arrow.results.clone() {
+            self.push_op(t);
+        }
+        Ok(())
+    }
+
+    fn check_exist_pack(
+        &mut self,
+        p: &Pretype,
+        psi: &HeapType,
+        q: Qual,
+    ) -> Result<(), TypeError> {
+        let HeapType::Exists(bq, bsz, body_ty) = psi else {
+            return Err(TypeError::Mismatch {
+                expected: "existential heap type".into(),
+                found: psi.to_string(),
+                context: "exist.pack".into(),
+            });
+        };
+        wf_heaptype(&mut self.ctx, psi)?;
+        wf_qual(&self.ctx, q)?;
+        // Witness obligations: fits the size bound, valid at the bound
+        // qualifier, carries no bare capabilities (it goes to the heap).
+        wf_pretype_at(&mut self.ctx, p, *bq)?;
+        let psz = crate::sizing::size_of_pretype(&self.ctx, p)?;
+        if !size_leq(&self.ctx, &psz, bsz) {
+            return Err(TypeError::SizeNotLeq {
+                lhs: psz,
+                rhs: bsz.clone(),
+                context: "exist.pack witness vs size bound".into(),
+            });
+        }
+        if qual_leq(&self.ctx, q, Qual::Unr) && !crate::wf::no_caps_pretype(&self.ctx, p) {
+            return Err(TypeError::CapsInHeap { context: "exist.pack witness".into() });
+        }
+        let opened = subst_type(body_ty, &SubstEnv::pretype(p.clone()));
+        self.pop_expect(&opened, "exist.pack")?;
+        let shifted = crate::subst::shift_heaptype(psi, Depth::one(Kind::Loc));
+        let inner = Pretype::Ref(MemPriv::ReadWrite, Loc::Var(0), shifted).with_qual(q);
+        self.push_op(Pretype::ExistsLoc(Box::new(inner)).with_qual(q));
+        Ok(())
+    }
+
+    fn check_exist_unpack(
+        &mut self,
+        q: Qual,
+        psi: &HeapType,
+        b: &Block,
+        body: &[Instr],
+    ) -> Result<(), TypeError> {
+        let HeapType::Exists(bq, bsz, body_ty) = psi else {
+            return Err(TypeError::Mismatch {
+                expected: "existential heap type".into(),
+                found: psi.to_string(),
+                context: "exist.unpack".into(),
+            });
+        };
+        self.pop_many_expect(&b.arrow.params, "exist.unpack (params)")?;
+        let Some(rt) = self.pop_op("exist.unpack (ref)")? else {
+            self.cur_info.bodies_visited = false;
+            return Ok(());
+        };
+        let Pretype::Ref(pi, _, rpsi) = &*rt.pre else {
+            return Err(TypeError::Mismatch {
+                expected: "ref to existential package".into(),
+                found: rt.to_string(),
+                context: "exist.unpack".into(),
+            });
+        };
+        if rpsi != psi {
+            return Err(TypeError::Mismatch {
+                expected: psi.to_string(),
+                found: rpsi.to_string(),
+                context: "exist.unpack annotation vs reference".into(),
+            });
+        }
+        let linear_case = !qual_leq(&self.ctx, q, Qual::Unr);
+        if linear_case {
+            if *pi != MemPriv::ReadWrite {
+                return Err(TypeError::Other(
+                    "exist.unpack lin requires a read-write reference (it frees)".into(),
+                ));
+            }
+            if !qual_leq(&self.ctx, Qual::Lin, rt.qual) {
+                return Err(TypeError::QualNotLeq {
+                    lhs: Qual::Lin,
+                    rhs: rt.qual,
+                    context: "exist.unpack lin consumes a linear reference".into(),
+                });
+            }
+        } else if !qual_leq(&self.ctx, body_ty.qual, Qual::Unr) {
+            return Err(TypeError::LinearityViolation {
+                context: "exist.unpack unr would duplicate a linear package body".into(),
+            });
+        }
+        let post_locals = self.apply_effects(&b.effects)?;
+        // Enter the pretype binder: shift all tracked state, load the
+        // bound, and run the body in inner coordinates.
+        let bq = *bq;
+        let bsz = bsz.clone();
+        let body_ty = body_ty.clone();
+        let rt_outer = rt.clone();
+        self.shift_all(Kind::Type);
+        self.ctx.push_type(TypeBound {
+            lower_qual: bq,
+            size: bsz,
+            may_contain_caps: false,
+        });
+        let shift1 = |t: &Type| shift_type(t, Depth::one(Kind::Type));
+        let mut entry: Vec<Type> = b.arrow.params.iter().map(shift1).collect();
+        entry.push((*body_ty).clone()); // already in binder coordinates
+        let results_in: Vec<Type> = b.arrow.results.iter().map(shift1).collect();
+        let post_in: Vec<SlotTy> = post_locals
+            .iter()
+            .map(|s| SlotTy { ty: shift1(&s.ty), size: s.size.clone() })
+            .collect();
+        let limbo = if linear_case { Vec::new() } else { vec![shift1(&rt_outer)] };
+        let res = self.run_body(
+            body,
+            entry,
+            results_in.clone(),
+            LocalsReq::Exact(post_in.clone()),
+            results_in,
+            Some(post_in),
+            limbo,
+            "exist.unpack",
+        );
+        self.ctx.pop_type();
+        let unshift_res = self.unshift_all(Kind::Type);
+        res?;
+        unshift_res?;
+        self.locals = post_locals;
+        if !linear_case {
+            self.push_op(rt_outer);
+        }
+        for t in b.arrow.results.clone() {
+            self.push_op(t);
+        }
+        Ok(())
+    }
+
+    fn check_mem_unpack(&mut self, b: &Block, body: &[Instr]) -> Result<(), TypeError> {
+        let Some(pkg) = self.pop_op("mem.unpack (package)")? else {
+            self.cur_info.bodies_visited = false;
+            return Ok(());
+        };
+        let Pretype::ExistsLoc(pkg_body) = &*pkg.pre else {
+            return Err(TypeError::Mismatch {
+                expected: "existential location package".into(),
+                found: pkg.to_string(),
+                context: "mem.unpack".into(),
+            });
+        };
+        let pkg_body = (**pkg_body).clone();
+        self.pop_many_expect(&b.arrow.params, "mem.unpack (params)")?;
+        let post_locals = self.apply_effects(&b.effects)?;
+        self.shift_all(Kind::Loc);
+        self.ctx.push_loc();
+        let shift1 = |t: &Type| shift_type(t, Depth::one(Kind::Loc));
+        let mut entry: Vec<Type> = b.arrow.params.iter().map(shift1).collect();
+        entry.push(pkg_body); // the ∃ body is already in binder coordinates
+        let results_in: Vec<Type> = b.arrow.results.iter().map(shift1).collect();
+        let post_in: Vec<SlotTy> = post_locals
+            .iter()
+            .map(|s| SlotTy { ty: shift1(&s.ty), size: s.size.clone() })
+            .collect();
+        let res = self.run_body(
+            body,
+            entry,
+            results_in.clone(),
+            LocalsReq::Exact(post_in.clone()),
+            results_in,
+            Some(post_in),
+            Vec::new(),
+            "mem.unpack",
+        );
+        self.ctx.pop_loc();
+        let unshift_res = self.unshift_all(Kind::Loc);
+        res?;
+        unshift_res?;
+        self.locals = post_locals;
+        for t in b.arrow.results.clone() {
+            self.push_op(t);
+        }
+        Ok(())
+    }
+
+    /// Finishes checking a function body: the stack must hold exactly the
+    /// return types and no local may still hold a linear value (Fig. 8's
+    /// configuration rule).
+    pub fn finish(&mut self) -> Result<(), TypeError> {
+        let ret = self.ret.clone();
+        self.cur_info = InstrInfo::default();
+        self.pop_many_expect(&ret, "function end")?;
+        if !self.cur().stack.is_empty() {
+            return Err(TypeError::BlockResultMismatch {
+                context: "values left on stack at function end".into(),
+            });
+        }
+        self.check_locals_req(&LocalsReq::AllUnr, "function end")
+    }
+}
+
+fn require_int(nt: NumType) -> Result<(), TypeError> {
+    if nt.is_int() {
+        Ok(())
+    } else {
+        Err(TypeError::Other(format!("integer operation on float type {nt}")))
+    }
+}
+
+fn require_float(nt: NumType) -> Result<(), TypeError> {
+    if nt.is_float() {
+        Ok(())
+    } else {
+        Err(TypeError::Other(format!("float operation on integer type {nt}")))
+    }
+}
+
+/// Checks one function body against its declared type (paper §4's
+/// function typing): loads the quantifier telescope, allocates parameter
+/// and declared local slots, checks the body, and enforces the
+/// end-of-function conditions.
+///
+/// Returns the per-instruction [`InstrInfo`] trace used by the
+/// type-directed Wasm backend.
+///
+/// # Errors
+///
+/// Returns the first [`TypeError`] encountered.
+pub fn check_function_body(
+    module: &ModuleEnv,
+    ty: &FunType,
+    local_sizes: &[Size],
+    body: &[Instr],
+) -> Result<Vec<InstrInfo>, TypeError> {
+    let mut ctx = KindCtx::new();
+    let _pushed = push_telescope(&mut ctx, &ty.quants);
+    let mut locals = Vec::with_capacity(ty.arrow.params.len() + local_sizes.len());
+    for p in &ty.arrow.params {
+        let size = size_of_type(&ctx, p)?;
+        locals.push(SlotTy { ty: p.clone(), size });
+    }
+    for sz in local_sizes {
+        wf_size(&ctx, sz)?;
+        locals.push(SlotTy { ty: Type::unit(), size: sz.clone() });
+    }
+    let mut checker = Checker::new(module, ctx, locals, ty.arrow.results.clone());
+    checker.check_seq(body)?;
+    checker.finish()?;
+    Ok(checker.into_trace())
+}

@@ -1,0 +1,54 @@
+//! Typing of source-level constants (value typing, paper Fig. 6,
+//! restricted to the values that may appear in *source* programs).
+//!
+//! Full runtime values (references, capabilities, code references,
+//! packages) only arise during reduction; the interpreter maintains their
+//! invariants dynamically (see [`crate::interp`]). Source modules may only
+//! embed *constants*: `unit`, numeric literals, and tuples thereof.
+
+use crate::error::TypeError;
+use crate::syntax::{Pretype, Type, Value};
+
+/// Synthesizes the type of a source-level constant.
+///
+/// # Errors
+///
+/// Fails on values that cannot appear in source programs (references,
+/// capabilities, folds, packages, code references).
+pub fn synthesize_const(v: &Value) -> Result<Type, TypeError> {
+    match v {
+        Value::Unit => Ok(Type::unit()),
+        Value::Num(nt, _) => Ok(Type::num(*nt)),
+        Value::Prod(vs) => {
+            let ts = vs.iter().map(synthesize_const).collect::<Result<Vec<_>, _>>()?;
+            // Constants are unrestricted, and an unrestricted tuple of
+            // unrestricted components is always well-formed.
+            Ok(Pretype::Prod(ts).unr())
+        }
+        other => Err(TypeError::Other(format!(
+            "value {other} is not a source-level constant (only unit, numbers, and tuples \
+             of constants may be embedded in programs)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{ConcreteLoc, NumType};
+
+    #[test]
+    fn constants_synthesize() {
+        assert_eq!(synthesize_const(&Value::Unit).unwrap(), Type::unit());
+        assert_eq!(synthesize_const(&Value::i32(3)).unwrap(), Type::num(NumType::I32));
+        let t = synthesize_const(&Value::Prod(vec![Value::Unit, Value::f64(1.0)])).unwrap();
+        assert_eq!(t, Pretype::Prod(vec![Type::unit(), Type::num(NumType::F64)]).unr());
+    }
+
+    #[test]
+    fn runtime_values_rejected() {
+        assert!(synthesize_const(&Value::Ref(ConcreteLoc::lin(0))).is_err());
+        assert!(synthesize_const(&Value::Cap).is_err());
+        assert!(synthesize_const(&Value::Fold(Box::new(Value::Unit))).is_err());
+    }
+}

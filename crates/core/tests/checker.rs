@@ -1,0 +1,899 @@
+//! Integration tests for the RichWasm instruction/module type checker,
+//! exercising the typing rules of paper Fig. 7 end to end — including the
+//! paper's motivating unsafe-interop shapes (Fig. 1/Fig. 3), which must be
+//! *statically rejected*.
+
+use richwasm::env::ModuleEnv;
+use richwasm::syntax::instr::Block;
+use richwasm::syntax::*;
+use richwasm::typecheck::{check_function_body, check_module};
+use richwasm::TypeError;
+
+fn i32t() -> Type {
+    Type::num(NumType::I32)
+}
+
+fn i64t() -> Type {
+    Type::num(NumType::I64)
+}
+
+/// Builds a single-function module and checks it.
+fn check_fn(
+    ty: FunType,
+    locals: Vec<Size>,
+    body: Vec<Instr>,
+) -> Result<(), TypeError> {
+    let env = ModuleEnv::default();
+    check_function_body(&env, &ty, &locals, &body).map(|_| ())
+}
+
+fn add(nt: NumType) -> Instr {
+    Instr::Num(NumInstr::IntBinop(nt, instr_int_add()))
+}
+
+fn instr_int_add() -> richwasm::syntax::instr::IntBinop {
+    richwasm::syntax::instr::IntBinop::Add
+}
+
+#[test]
+fn constant_function() {
+    check_fn(FunType::mono(vec![], vec![i32t()]), vec![], vec![Instr::i32(42)]).unwrap();
+}
+
+#[test]
+fn add_two_params() {
+    let ty = FunType::mono(vec![i32t(), i32t()], vec![i32t()]);
+    let body = vec![
+        Instr::GetLocal(0, Qual::Unr),
+        Instr::GetLocal(1, Qual::Unr),
+        add(NumType::I32),
+    ];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn wrong_result_type_rejected() {
+    let err = check_fn(FunType::mono(vec![], vec![i64t()]), vec![], vec![Instr::i32(1)]);
+    assert!(err.is_err());
+}
+
+#[test]
+fn leftover_stack_value_rejected() {
+    let err = check_fn(
+        FunType::mono(vec![], vec![i32t()]),
+        vec![],
+        vec![Instr::i32(1), Instr::i32(2)],
+    );
+    assert!(err.is_err());
+}
+
+#[test]
+fn stack_underflow_rejected() {
+    let err = check_fn(FunType::mono(vec![], vec![i32t()]), vec![], vec![add(NumType::I32)]);
+    assert!(matches!(err, Err(TypeError::StackUnderflow { .. })));
+}
+
+// ---------------------------------------------------------------------
+// Linearity
+// ---------------------------------------------------------------------
+
+/// A linear tuple type used as a stand-in for a linear resource.
+fn lin_res() -> Type {
+    Pretype::Prod(vec![Type::unit()]).lin()
+}
+
+#[test]
+fn dropping_linear_value_rejected() {
+    let ty = FunType::mono(vec![lin_res()], vec![]);
+    let body = vec![Instr::GetLocal(0, Qual::Lin), Instr::Drop];
+    let err = check_fn(ty, vec![], body);
+    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+}
+
+#[test]
+fn linear_param_left_in_local_rejected() {
+    // Never touching the linear parameter means the final local env still
+    // holds it — Fig. 8 requires all locals unrestricted at the end.
+    let ty = FunType::mono(vec![lin_res()], vec![]);
+    let err = check_fn(ty, vec![], vec![]);
+    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+}
+
+#[test]
+fn linear_value_consumed_by_ungroup_ok() {
+    let ty = FunType::mono(vec![lin_res()], vec![]);
+    // Ungroup the linear tuple into its (unit) components and drop them.
+    let body = vec![Instr::GetLocal(0, Qual::Lin), Instr::Ungroup, Instr::Drop];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+/// The paper's Fig. 1 `stash` shape: using a linear value twice. After the
+/// first `get_local` the slot is strongly updated to `unit`, so the second
+/// read cannot see the linear value again.
+#[test]
+fn fig1_stash_duplication_rejected() {
+    let ty = FunType::mono(vec![lin_res()], vec![lin_res(), lin_res()]);
+    let body = vec![Instr::GetLocal(0, Qual::Lin), Instr::GetLocal(0, Qual::Lin)];
+    let err = check_fn(ty, vec![], body);
+    assert!(err.is_err(), "duplicating a linear value must be rejected");
+}
+
+#[test]
+fn tee_local_of_linear_rejected() {
+    let ty = FunType::mono(vec![lin_res()], vec![lin_res()]);
+    let body = vec![Instr::GetLocal(0, Qual::Lin), Instr::TeeLocal(0)];
+    let err = check_fn(ty, vec![], body);
+    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+}
+
+#[test]
+fn set_local_over_linear_contents_rejected() {
+    let ty = FunType::mono(vec![lin_res(), i32t()], vec![]);
+    // Overwriting slot 0 (holding a linear value) drops it.
+    let body = vec![Instr::GetLocal(1, Qual::Unr), Instr::SetLocal(0)];
+    let err = check_fn(ty, vec![], body);
+    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+}
+
+#[test]
+fn select_requires_unrestricted() {
+    let ty = FunType::mono(vec![lin_res(), lin_res(), i32t()], vec![lin_res()]);
+    let body = vec![
+        Instr::GetLocal(0, Qual::Lin),
+        Instr::GetLocal(1, Qual::Lin),
+        Instr::GetLocal(2, Qual::Unr),
+        Instr::Select,
+    ];
+    let err = check_fn(ty, vec![], body);
+    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+}
+
+// ---------------------------------------------------------------------
+// Locals: sizes and strong updates
+// ---------------------------------------------------------------------
+
+#[test]
+fn set_local_checks_slot_size() {
+    // Slot of 32 bits cannot hold an i64.
+    let ty = FunType::mono(vec![i64t()], vec![]);
+    let body = vec![Instr::GetLocal(0, Qual::Unr), Instr::SetLocal(1), Instr::GetLocal(1, Qual::Unr), Instr::Drop];
+    let err = check_fn(ty.clone(), vec![Size::Const(32)], body.clone());
+    assert!(matches!(err, Err(TypeError::SizeNotLeq { .. })), "{err:?}");
+    // A 64-bit slot works, and the slot's type strongly updates.
+    check_fn(ty, vec![Size::Const(64)], body).unwrap();
+}
+
+#[test]
+fn get_local_annotation_must_match_slot() {
+    let ty = FunType::mono(vec![i32t()], vec![i32t()]);
+    let body = vec![Instr::GetLocal(0, Qual::Lin)];
+    assert!(check_fn(ty, vec![], body).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Control flow
+// ---------------------------------------------------------------------
+
+#[test]
+fn block_with_result() {
+    let ty = FunType::mono(vec![], vec![i32t()]);
+    let body = vec![Instr::BlockI(
+        Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
+        vec![Instr::i32(5)],
+    )];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn br_transfers_block_result() {
+    let ty = FunType::mono(vec![], vec![i32t()]);
+    let body = vec![Instr::BlockI(
+        Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
+        vec![Instr::i32(5), Instr::Br(0), Instr::i32(7)],
+    )];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn br_dropping_linear_value_rejected() {
+    // A linear value sits on the block's stack below the transferred i32.
+    let ty = FunType::mono(vec![lin_res()], vec![i32t()]);
+    let body = vec![Instr::BlockI(
+        Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
+        vec![
+            Instr::GetLocal(0, Qual::Lin),
+            Instr::i32(5),
+            Instr::Br(0),
+        ],
+    )];
+    let err = check_fn(ty, vec![], body);
+    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+}
+
+#[test]
+fn loop_with_counter() {
+    // local0: i32 counter. Loop: counter += 1; br_if back while < 10.
+    let ty = FunType::mono(vec![i32t()], vec![]);
+    let body = vec![Instr::LoopI(
+        ArrowType::new(vec![], vec![]),
+        vec![
+            Instr::GetLocal(0, Qual::Unr),
+            Instr::i32(1),
+            add(NumType::I32),
+            Instr::TeeLocal(0),
+            Instr::i32(10),
+            Instr::Num(NumInstr::IntRelop(NumType::I32, instr::IntRelop::Lt(instr::Sign::S))),
+            Instr::BrIf(0),
+        ],
+    )];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn br_to_loop_start_with_changed_locals_rejected() {
+    // The loop body changes local 0 from i32 to i64 (strong update) and
+    // then branches back: the entry locals no longer match.
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![Instr::LoopI(
+        ArrowType::new(vec![], vec![]),
+        vec![
+            Instr::Val(Value::i64(1)),
+            Instr::SetLocal(0),
+            Instr::Br(0),
+        ],
+    )];
+    let err = check_fn(ty, vec![Size::Const(64)], body);
+    assert!(err.is_err());
+}
+
+#[test]
+fn if_branches_must_agree_on_locals() {
+    // then-branch strongly updates local 0 to i64, else leaves it: the
+    // declared effects say i64, so the else branch must be rejected.
+    let effects = vec![instr::LocalEffect::new(0, i64t())];
+    let ty = FunType::mono(vec![i32t()], vec![]);
+    let body = vec![
+        Instr::GetLocal(0, Qual::Unr),
+        Instr::IfI(
+            Block::new(ArrowType::new(vec![], vec![]), effects),
+            vec![Instr::Val(Value::i64(1)), Instr::SetLocal(1)],
+            vec![Instr::Nop],
+        ),
+        Instr::GetLocal(1, Qual::Unr),
+        Instr::Drop,
+    ];
+    let err = check_fn(ty, vec![Size::Const(64)], body);
+    assert!(err.is_err());
+}
+
+#[test]
+fn return_mid_function() {
+    let ty = FunType::mono(vec![], vec![i32t()]);
+    let body = vec![Instr::i32(1), Instr::Return, Instr::i32(2)];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn unreachable_makes_rest_polymorphic() {
+    let ty = FunType::mono(vec![], vec![i32t()]);
+    let body = vec![Instr::Unreachable, add(NumType::I32)];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn br_table_targets_must_agree() {
+    let ty = FunType::mono(vec![i32t()], vec![]);
+    let body = vec![Instr::BlockI(
+        Block::new(ArrowType::new(vec![], vec![]), vec![]),
+        vec![Instr::BlockI(
+            Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
+            vec![
+                Instr::i32(0),
+                Instr::GetLocal(0, Qual::Unr),
+                // Inner label yields i32, outer yields nothing: disagree.
+                Instr::BrTable(vec![0], 1),
+            ],
+        ), Instr::Drop],
+    )];
+    assert!(check_fn(ty, vec![], body).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Structs: allocation, strong update, swap, free
+// ---------------------------------------------------------------------
+
+fn unpack_then(body: Vec<Instr>) -> Instr {
+    Instr::MemUnpack(Block::new(ArrowType::new(vec![], vec![]), vec![]), body)
+}
+
+/// `mem.unpack` with declared results and local effects.
+fn unpack_with(results: Vec<Type>, effects: Vec<instr::LocalEffect>, body: Vec<Instr>) -> Instr {
+    Instr::MemUnpack(Block::new(ArrowType::new(vec![], results), effects), body)
+}
+
+#[test]
+fn struct_roundtrip_linear() {
+    // malloc a linear struct { i32@64 }, read the field, free it.
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(7),
+        Instr::StructMalloc(vec![Size::Const(64)], Qual::Lin),
+        unpack_then(vec![
+            Instr::StructGet(0),
+            Instr::Drop,
+            Instr::StructFree,
+        ]),
+    ];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn struct_strong_update_through_linear_ref() {
+    // Replace an i32 field with an i64 (fits the 64-bit slot) — allowed
+    // through a linear reference.
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(7),
+        Instr::StructMalloc(vec![Size::Const(64)], Qual::Lin),
+        unpack_then(vec![
+            Instr::Val(Value::i64(9)),
+            Instr::StructSet(0),
+            Instr::StructFree,
+        ]),
+    ];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn struct_strong_update_overflowing_slot_rejected() {
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(7),
+        Instr::StructMalloc(vec![Size::Const(32)], Qual::Lin),
+        unpack_then(vec![
+            Instr::Val(Value::i64(9)),
+            Instr::StructSet(0),
+            Instr::StructFree,
+        ]),
+    ];
+    let err = check_fn(ty, vec![], body);
+    assert!(matches!(err, Err(TypeError::SizeNotLeq { .. })), "{err:?}");
+}
+
+#[test]
+fn struct_strong_update_through_unr_ref_rejected() {
+    // Through an unrestricted (aliasable, GC'd) reference only
+    // type-preserving updates are allowed.
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(7),
+        Instr::StructMalloc(vec![Size::Const(64)], Qual::Unr),
+        unpack_then(vec![
+            Instr::Val(Value::i64(9)),
+            Instr::StructSet(0),
+            Instr::Drop,
+        ]),
+    ];
+    let err = check_fn(ty, vec![], body);
+    assert!(matches!(err, Err(TypeError::Mismatch { .. })), "{err:?}");
+}
+
+#[test]
+fn struct_type_preserving_update_through_unr_ref_ok() {
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(7),
+        Instr::StructMalloc(vec![Size::Const(64)], Qual::Unr),
+        unpack_then(vec![
+            Instr::i32(9),
+            Instr::StructSet(0),
+            Instr::Drop,
+        ]),
+    ];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn struct_get_of_linear_field_rejected() {
+    // A linear struct holding a linear tuple: struct.get would duplicate.
+    let ty = FunType::mono(vec![lin_res()], vec![]);
+    let body = vec![
+        Instr::GetLocal(0, Qual::Lin),
+        Instr::StructMalloc(vec![Size::Const(64)], Qual::Lin),
+        unpack_then(vec![Instr::StructGet(0), Instr::Drop, Instr::StructFree]),
+    ];
+    let err = check_fn(ty, vec![], body);
+    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+}
+
+#[test]
+fn struct_swap_moves_linear_field() {
+    // Swap the linear field out (replacing it with unit), consume it, then
+    // free the struct.
+    let ty = FunType::mono(vec![lin_res()], vec![]);
+    let body = vec![
+        Instr::GetLocal(0, Qual::Lin),
+        Instr::StructMalloc(vec![Size::Const(64)], Qual::Lin),
+        unpack_then(vec![
+            Instr::Val(Value::Unit),
+            Instr::StructSwap(0),
+            // Stack: ref, old linear tuple. Consume the tuple:
+            Instr::Ungroup,
+            Instr::Drop,
+            Instr::StructFree,
+        ]),
+    ];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn struct_free_with_linear_field_rejected() {
+    let ty = FunType::mono(vec![lin_res()], vec![]);
+    let body = vec![
+        Instr::GetLocal(0, Qual::Lin),
+        Instr::StructMalloc(vec![Size::Const(64)], Qual::Lin),
+        unpack_then(vec![Instr::StructFree]),
+    ];
+    let err = check_fn(ty, vec![], body);
+    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+}
+
+#[test]
+fn struct_free_of_unrestricted_ref_rejected() {
+    // Freeing GC'd memory manually is not allowed.
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(7),
+        Instr::StructMalloc(vec![Size::Const(32)], Qual::Unr),
+        unpack_then(vec![Instr::StructFree]),
+    ];
+    let err = check_fn(ty, vec![], body);
+    assert!(matches!(err, Err(TypeError::QualNotLeq { .. })), "{err:?}");
+}
+
+#[test]
+fn linear_struct_never_freed_rejected() {
+    // Dropping the linear reference (or just leaving it) is a linearity
+    // violation.
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(7),
+        Instr::StructMalloc(vec![Size::Const(32)], Qual::Lin),
+        Instr::Drop,
+    ];
+    let err = check_fn(ty, vec![], body);
+    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+}
+
+// ---------------------------------------------------------------------
+// Variants
+// ---------------------------------------------------------------------
+
+#[test]
+fn variant_case_unr_returns_ref() {
+    let cases = vec![i32t(), Type::unit()];
+    let ty = FunType::mono(vec![], vec![i32t()]);
+    let body = vec![
+        Instr::i32(3),
+        Instr::VariantMalloc(0, cases.clone(), Qual::Unr),
+        unpack_with(
+            vec![i32t()],
+            vec![instr::LocalEffect::new(0, i32t())],
+            vec![
+                Instr::VariantCase(
+                    Qual::Unr,
+                    HeapType::Variant(cases.clone()),
+                    Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
+                    vec![
+                        vec![],                           // case 0: payload i32 is the result
+                        vec![Instr::Drop, Instr::i32(0)], // case 1: unit payload
+                    ],
+                ),
+                // Stack: ref, i32 — stash the i32, drop the (unr) ref.
+                Instr::SetLocal(0),
+                Instr::Drop,
+                Instr::GetLocal(0, Qual::Unr),
+            ],
+        ),
+    ];
+    check_fn(ty, vec![Size::Const(32)], body).unwrap();
+}
+
+#[test]
+fn variant_case_lin_consumes_and_frees() {
+    let cases = vec![i32t(), Type::unit()];
+    let ty = FunType::mono(vec![], vec![i32t()]);
+    let body = vec![
+        Instr::i32(3),
+        Instr::VariantMalloc(0, cases.clone(), Qual::Lin),
+        unpack_with(
+            vec![i32t()],
+            vec![],
+            vec![Instr::VariantCase(
+                Qual::Lin,
+                HeapType::Variant(cases.clone()),
+                Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
+                vec![vec![], vec![Instr::Drop, Instr::i32(0)]],
+            )],
+        ),
+    ];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn variant_case_unr_with_linear_payload_rejected() {
+    let cases = vec![lin_res()];
+    let ty = FunType::mono(vec![lin_res()], vec![]);
+    let body = vec![
+        Instr::GetLocal(0, Qual::Lin),
+        Instr::VariantMalloc(0, cases.clone(), Qual::Lin),
+        unpack_then(vec![
+            Instr::VariantCase(
+                Qual::Unr,
+                HeapType::Variant(cases.clone()),
+                Block::new(ArrowType::new(vec![], vec![]), vec![]),
+                vec![vec![Instr::Ungroup, Instr::Drop]],
+            ),
+            Instr::StructFree,
+        ]),
+    ];
+    assert!(check_fn(ty, vec![], body).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Polymorphism and calls
+// ---------------------------------------------------------------------
+
+#[test]
+fn call_polymorphic_identity() {
+    // id : ∀ (unr ⪯ α ≲ 64). [α^unr] → [α^unr]
+    let id_ty = FunType {
+        quants: vec![Quantifier::Type {
+            lower_qual: Qual::Unr,
+            size: Size::Const(64),
+            may_contain_caps: false,
+        }],
+        arrow: ArrowType::new(vec![Pretype::Var(0).unr()], vec![Pretype::Var(0).unr()]),
+    };
+    let id = Func::Defined {
+        exports: vec![],
+        ty: id_ty,
+        locals: vec![],
+        body: vec![Instr::GetLocal(0, Qual::Unr)],
+    };
+    let main = Func::Defined {
+        exports: vec![],
+        ty: FunType::mono(vec![], vec![i32t()]),
+        locals: vec![],
+        body: vec![
+            Instr::i32(11),
+            Instr::Call(0, vec![Index::Pretype(Pretype::Num(NumType::I32))]),
+        ],
+    };
+    let m = Module { funcs: vec![id, main], ..Module::default() };
+    check_module(&m).unwrap();
+}
+
+#[test]
+fn call_with_oversized_witness_rejected() {
+    let id_ty = FunType {
+        quants: vec![Quantifier::Type {
+            lower_qual: Qual::Unr,
+            size: Size::Const(32),
+            may_contain_caps: false,
+        }],
+        arrow: ArrowType::new(vec![Pretype::Var(0).unr()], vec![Pretype::Var(0).unr()]),
+    };
+    let id = Func::Defined {
+        exports: vec![],
+        ty: id_ty,
+        locals: vec![],
+        body: vec![Instr::GetLocal(0, Qual::Unr)],
+    };
+    let main = Func::Defined {
+        exports: vec![],
+        ty: FunType::mono(vec![], vec![i64t()]),
+        locals: vec![],
+        body: vec![
+            Instr::Val(Value::i64(1)),
+            Instr::Call(0, vec![Index::Pretype(Pretype::Num(NumType::I64))]),
+        ],
+    };
+    let m = Module { funcs: vec![id, main], ..Module::default() };
+    assert!(check_module(&m).is_err());
+}
+
+#[test]
+fn coderef_inst_call_indirect() {
+    let f = Func::Defined {
+        exports: vec![],
+        ty: FunType {
+            quants: vec![Quantifier::Type {
+                lower_qual: Qual::Unr,
+                size: Size::Const(64),
+                may_contain_caps: false,
+            }],
+            arrow: ArrowType::new(vec![Pretype::Var(0).unr()], vec![Pretype::Var(0).unr()]),
+        },
+        locals: vec![],
+        body: vec![Instr::GetLocal(0, Qual::Unr)],
+    };
+    let main = Func::Defined {
+        exports: vec![],
+        ty: FunType::mono(vec![], vec![i32t()]),
+        locals: vec![],
+        body: vec![
+            Instr::i32(5),
+            Instr::CodeRefI(0),
+            Instr::Inst(vec![Index::Pretype(Pretype::Num(NumType::I32))]),
+            Instr::CallIndirect,
+        ],
+    };
+    let m = Module {
+        funcs: vec![f, main],
+        table: Table { exports: vec![], entries: vec![0] },
+        ..Module::default()
+    };
+    check_module(&m).unwrap();
+}
+
+#[test]
+fn qualify_only_upward() {
+    let ty = FunType::mono(vec![i32t()], vec![Pretype::Num(NumType::I32).lin()]);
+    let body = vec![Instr::GetLocal(0, Qual::Unr), Instr::Qualify(Qual::Lin)];
+    check_fn(ty, vec![], body).unwrap();
+    // Downward coercion rejected.
+    let ty = FunType::mono(vec![Pretype::Num(NumType::I32).lin()], vec![i32t()]);
+    let body = vec![Instr::GetLocal(0, Qual::Lin), Instr::Qualify(Qual::Unr)];
+    assert!(check_fn(ty, vec![], body).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Tuples, arrays, existentials
+// ---------------------------------------------------------------------
+
+#[test]
+fn group_ungroup_roundtrip() {
+    let ty = FunType::mono(vec![i32t(), i64t()], vec![i32t(), i64t()]);
+    let body = vec![
+        Instr::GetLocal(0, Qual::Unr),
+        Instr::GetLocal(1, Qual::Unr),
+        Instr::Group(2, Qual::Unr),
+        Instr::Ungroup,
+    ];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn group_linear_into_unr_tuple_rejected() {
+    let ty = FunType::mono(vec![lin_res()], vec![Pretype::Prod(vec![lin_res()]).lin()]);
+    let body = vec![Instr::GetLocal(0, Qual::Lin), Instr::Group(1, Qual::Unr)];
+    assert!(check_fn(ty, vec![], body).is_err());
+    let body = vec![Instr::GetLocal(0, Qual::Lin), Instr::Group(1, Qual::Lin)];
+    check_fn(
+        FunType::mono(vec![lin_res()], vec![Pretype::Prod(vec![lin_res()]).lin()]),
+        vec![],
+        body,
+    )
+    .unwrap();
+}
+
+#[test]
+fn array_roundtrip() {
+    let ty = FunType::mono(vec![], vec![i32t()]);
+    let body = vec![
+        Instr::i32(0),                       // fill value
+        Instr::Val(Value::u32(8)),           // length
+        Instr::ArrayMalloc(Qual::Lin),
+        unpack_with(
+            vec![],
+            vec![instr::LocalEffect::new(0, i32t())],
+            vec![
+                Instr::Val(Value::u32(3)),
+                Instr::i32(99),
+                Instr::ArraySet,
+                Instr::Val(Value::u32(3)),
+                Instr::ArrayGet,
+                Instr::SetLocal(0),
+                Instr::ArrayFree,
+            ],
+        ),
+        Instr::GetLocal(0, Qual::Unr),
+    ];
+    check_fn(ty, vec![Size::Const(32)], body).unwrap();
+}
+
+#[test]
+fn exist_pack_unpack_roundtrip() {
+    // Pack an i32 as ∃α≲64. α^unr, then unpack (linear cell, freed) and
+    // drop the opened (abstract!) value — allowed because its qualifier is
+    // unr.
+    let psi = HeapType::Exists(Qual::Unr, Size::Const(64), Box::new(Pretype::Var(0).unr()));
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(7),
+        Instr::ExistPack(Pretype::Num(NumType::I32), psi.clone(), Qual::Lin),
+        unpack_then(vec![Instr::ExistUnpack(
+            Qual::Lin,
+            psi.clone(),
+            Block::new(ArrowType::new(vec![], vec![]), vec![]),
+            vec![Instr::Drop],
+        )]),
+    ];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn exist_unpack_escape_rejected() {
+    // Returning the opened abstract value from the unpack block would let
+    // the pretype variable escape its scope.
+    let psi = HeapType::Exists(Qual::Unr, Size::Const(64), Box::new(Pretype::Var(0).unr()));
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(7),
+        Instr::ExistPack(Pretype::Num(NumType::I32), psi.clone(), Qual::Lin),
+        unpack_then(vec![
+            Instr::ExistUnpack(
+                Qual::Lin,
+                psi.clone(),
+                // Claims to return α^unr — but α is not in scope outside.
+                Block::new(ArrowType::new(vec![], vec![Pretype::Var(0).unr()]), vec![]),
+                vec![],
+            ),
+            Instr::Drop,
+        ]),
+    ];
+    assert!(check_fn(ty, vec![], body).is_err());
+}
+
+#[test]
+fn mem_pack_then_unpack() {
+    // malloc → package; unpack; repack with mem.pack; unpack again; free.
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(7),
+        Instr::StructMalloc(vec![Size::Const(32)], Qual::Lin),
+        unpack_then(vec![
+            Instr::MemPack(Loc::Var(0)),
+            Instr::MemUnpack(
+                Block::new(ArrowType::new(vec![], vec![]), vec![]),
+                vec![Instr::StructFree],
+            ),
+        ]),
+    ];
+    check_fn(ty, vec![], body).unwrap();
+}
+
+#[test]
+fn trace_records_instruction_types() {
+    let env = ModuleEnv::default();
+    let ty = FunType::mono(vec![i32t()], vec![i32t()]);
+    let body = vec![Instr::GetLocal(0, Qual::Unr), Instr::i32(1), add(NumType::I32)];
+    let trace = check_function_body(&env, &ty, &[], &body).unwrap();
+    assert_eq!(trace.len(), 3);
+    assert_eq!(trace[0].produced, vec![i32t()]);
+    assert_eq!(trace[2].consumed, vec![i32t(), i32t()]);
+    assert_eq!(trace[2].produced, vec![i32t()]);
+}
+
+// ---------------------------------------------------------------------
+// §5/§8 relaxation: capabilities in the heap
+// ---------------------------------------------------------------------
+
+/// Builds a `cap rw` + `ptr` pair for a fresh linear cell, stores the
+/// *bare capability* in another linear struct (allowed: the GC does not
+/// own linear memory), then recombines and frees everything.
+#[test]
+fn caps_allowed_in_linear_heap() {
+    let cell_psi = || HeapType::Struct(vec![(i32t(), Size::Const(32))]);
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        // Allocate the inner cell and split it into cap + ptr.
+        Instr::i32(7),
+        Instr::StructMalloc(vec![Size::Const(32)], Qual::Lin),
+        unpack_then(vec![
+            Instr::RefSplit,
+            // Stack: [cap, ptr]. Park the pointer in a local (unrestricted).
+            Instr::SetLocal(0),
+            // Store the bare capability in a *linear* struct: accepted
+            // under the relaxed rule.
+            Instr::StructMalloc(vec![Size::Const(0)], Qual::Lin),
+            Instr::MemUnpack(
+                Block::new(ArrowType::new(vec![], vec![]), vec![]),
+                vec![
+                    // Take the capability back out and free the holder.
+                    Instr::Val(Value::Unit),
+                    Instr::StructSwap(0),
+                    Instr::SetLocal(1),
+                    Instr::StructFree,
+                    // Recombine with the pointer and free the inner cell.
+                    Instr::GetLocal(1, Qual::Lin),
+                    Instr::GetLocal(0, Qual::Unr),
+                    Instr::RefJoin,
+                    Instr::StructFree,
+                ],
+            ),
+            // Clear the pointer so no ρ-mentioning type escapes the
+            // outer unpack scope.
+            Instr::Val(Value::Unit),
+            Instr::SetLocal(0),
+        ]),
+    ];
+    // Local 0: the ptr (32 bits); local 1: the capability (0 bits, but
+    // slots may be larger).
+    let env = ModuleEnv::default();
+    let _ = cell_psi;
+    check_function_body(&env, &ty, &[Size::Const(32), Size::Const(64)], &body).unwrap();
+}
+
+#[test]
+fn caps_still_rejected_in_gc_heap() {
+    // The same capability stored in an *unrestricted* (GC-owned) struct is
+    // rejected: erasure would leave the collector blind to the owned
+    // memory (§3).
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(7),
+        Instr::StructMalloc(vec![Size::Const(32)], Qual::Lin),
+        unpack_then(vec![
+            Instr::RefSplit,
+            Instr::SetLocal(0),
+            // An unrestricted struct holding a bare capability: rejected.
+            Instr::StructMalloc(vec![Size::Const(0)], Qual::Unr),
+            Instr::Drop,
+            Instr::GetLocal(0, Qual::Unr),
+            Instr::Drop,
+            Instr::Unreachable,
+        ]),
+    ];
+    let env = ModuleEnv::default();
+    let err = check_function_body(&env, &ty, &[Size::Const(32)], &body);
+    assert!(
+        matches!(err, Err(TypeError::CapsInHeap { .. })),
+        "caps must stay out of GC-owned memory: {err:?}"
+    );
+}
+
+#[test]
+fn cap_split_and_join_roundtrip() {
+    // cap rw ⇄ (cap r, own): the temporary read-only borrow of §2.1.
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(1),
+        Instr::StructMalloc(vec![Size::Const(32)], Qual::Lin),
+        unpack_then(vec![
+            Instr::RefSplit,
+            Instr::SetLocal(0), // ptr
+            Instr::CapSplit,
+            // Stack: [cap r, own] — recombine.
+            Instr::CapJoin,
+            Instr::GetLocal(0, Qual::Unr),
+            Instr::RefJoin,
+            Instr::StructFree,
+            Instr::Val(Value::Unit),
+            Instr::SetLocal(0),
+        ]),
+    ];
+    let env = ModuleEnv::default();
+    check_function_body(&env, &ty, &[Size::Const(32)], &body).unwrap();
+}
+
+#[test]
+fn struct_get_requires_read_privilege_content() {
+    // ref.demote produces a read-only reference; struct.set through it is
+    // rejected (needs rw).
+    let ty = FunType::mono(vec![], vec![]);
+    let body = vec![
+        Instr::i32(1),
+        Instr::StructMalloc(vec![Size::Const(32)], Qual::Lin),
+        unpack_then(vec![
+            Instr::RefDemote,
+            Instr::i32(2),
+            Instr::StructSet(0),
+            Instr::StructFree,
+        ]),
+    ];
+    let env = ModuleEnv::default();
+    let err = check_function_body(&env, &ty, &[], &body);
+    assert!(err.is_err(), "writing through a read-only reference must fail");
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the core data structures and judgements:
+//! substitution (the part of the paper's Coq development with the only
+//! admitted lemmas!), the entailment solvers, and sizing.
+
+use proptest::prelude::*;
+use richwasm::env::{KindCtx, SizeBounds};
+use richwasm::solver::{qual_leq, size_leq};
+use richwasm::subst::{
+    generalize_loc, shift_type, subst_type, unshift_type, Depth, Kind, SubstEnv,
+};
+use richwasm::syntax::{HeapType, Loc, MemPriv, NumType, Pretype, Qual, Size, Type};
+
+/// A generator for closed-ish pretypes with free location variables below
+/// `max_loc` and type variables below `max_ty`.
+fn arb_pretype(max_loc: u32, max_ty: u32) -> impl Strategy<Value = Pretype> {
+    let leaf = prop_oneof![
+        Just(Pretype::Unit),
+        Just(Pretype::Num(NumType::I32)),
+        Just(Pretype::Num(NumType::I64)),
+        Just(Pretype::Num(NumType::F64)),
+        (0..max_loc.max(1)).prop_map(move |i| {
+            if max_loc == 0 {
+                Pretype::Ptr(Loc::lin(i))
+            } else {
+                Pretype::Ptr(Loc::Var(i % max_loc))
+            }
+        }),
+        (0..8u32).prop_map(|i| Pretype::Ptr(Loc::lin(i))),
+        (0..8u32).prop_map(|i| Pretype::Ptr(Loc::unr(i))),
+    ];
+    let leaf = if max_ty > 0 {
+        prop_oneof![leaf, (0..max_ty).prop_map(Pretype::Var)].boxed()
+    } else {
+        leaf.boxed()
+    };
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone().prop_map(|p| p.unr()), 0..4)
+                .prop_map(Pretype::Prod),
+            inner.clone().prop_map(|p| {
+                Pretype::Ref(
+                    MemPriv::ReadWrite,
+                    Loc::Var(0),
+                    HeapType::Array(p.unr()),
+                )
+            }),
+            inner
+                .clone()
+                .prop_map(|p| Pretype::ExistsLoc(Box::new(Pretype::Prod(vec![
+                    p.unr(),
+                    Pretype::Ptr(Loc::Var(0)).unr(),
+                ])
+                .unr()))),
+        ]
+    })
+}
+
+proptest! {
+    /// shift-then-unshift is the identity for every kind.
+    #[test]
+    fn shift_unshift_roundtrip(p in arb_pretype(4, 3)) {
+        let t = p.unr();
+        for kind in [Kind::Loc, Kind::Size, Kind::Qual, Kind::Type] {
+            let shifted = shift_type(&t, Depth::one(kind));
+            let back = unshift_type(&shifted, kind).expect("fresh var cannot occur");
+            prop_assert_eq!(&back, &t);
+        }
+    }
+
+    /// Generalizing a location and substituting it back is the identity
+    /// (mem.pack is invertible by mem.unpack).
+    #[test]
+    fn generalize_then_subst_roundtrip(p in arb_pretype(0, 0), idx in 0u32..8) {
+        let t = p.unr();
+        let target = Loc::lin(idx);
+        let gen = generalize_loc(&t, target);
+        let back = subst_type(&gen, &SubstEnv::loc(target));
+        prop_assert_eq!(back, t);
+    }
+
+    /// Substitution for a variable that does not occur only shifts others.
+    #[test]
+    fn subst_noop_when_var_absent(p in arb_pretype(0, 0)) {
+        let t = p.unr();
+        // No type variables occur; substituting type var 0 is a no-op.
+        let out = subst_type(&t, &SubstEnv::pretype(Pretype::Unit));
+        prop_assert_eq!(out, t);
+    }
+
+    /// `size_leq` is sound: whenever it derives `a ≤ b` under concrete
+    /// variable bounds, every assignment within those bounds satisfies the
+    /// inequality numerically.
+    #[test]
+    fn size_leq_sound(
+        consts in prop::collection::vec(0u64..64, 2..4),
+        a_terms in prop::collection::vec(0usize..4, 1..4),
+        b_terms in prop::collection::vec(0usize..4, 1..4),
+        assignments in prop::collection::vec(0u64..64, 8),
+    ) {
+        // Context: vars σi with upper bound consts[i % len] (lower bound 0).
+        let mut ctx = KindCtx::new();
+        let nvars = 4u32;
+        let mut uppers = Vec::new();
+        for i in 0..nvars {
+            let u = consts[i as usize % consts.len()];
+            uppers.push(u);
+            ctx.push_size(SizeBounds { lower: vec![], upper: vec![Size::Const(u)] });
+        }
+        // Lookup shifting: bounds written at push time reference nothing,
+        // so indices are stable.
+        let term = |ts: &[usize]| {
+            Size::sum(ts.iter().map(|i| Size::Var((nvars as usize - 1 - *i % 4) as u32)))
+        };
+        let a = term(&a_terms);
+        let b = term(&b_terms) + Size::Const(consts[0]);
+        if size_leq(&ctx, &a, &b) {
+            // Check a few concrete assignments respecting the bounds.
+            let assign = |s: &Size, vals: &[u64]| -> u64 {
+                fn eval(s: &Size, vals: &[u64]) -> u64 {
+                    match s {
+                        Size::Var(i) => vals[*i as usize],
+                        Size::Const(c) => *c,
+                        Size::Plus(x, y) => eval(x, vals) + eval(y, vals),
+                    }
+                }
+                eval(s, vals)
+            };
+            let mut vals = vec![0u64; nvars as usize];
+            for (k, v) in assignments.iter().enumerate() {
+                for i in 0..nvars as usize {
+                    // De Bruijn index i corresponds to binder nvars-1-i.
+                    let bound = uppers[nvars as usize - 1 - i];
+                    vals[i] = (v + k as u64 * 7 + i as u64) % (bound + 1);
+                }
+                prop_assert!(
+                    assign(&a, &vals) <= assign(&b, &vals),
+                    "size_leq claimed {a} ≤ {b} but assignment {vals:?} violates it"
+                );
+            }
+        }
+    }
+
+    /// Qualifier entailment is reflexive and transitive on the concrete
+    /// lattice, with unr bottom and lin top.
+    #[test]
+    fn qual_lattice_laws(a in 0u8..2, b in 0u8..2, c in 0u8..2) {
+        let q = |x: u8| if x == 0 { Qual::Unr } else { Qual::Lin };
+        let ctx = KindCtx::new();
+        let (a, b, c) = (q(a), q(b), q(c));
+        prop_assert!(qual_leq(&ctx, a, a));
+        if qual_leq(&ctx, a, b) && qual_leq(&ctx, b, c) {
+            prop_assert!(qual_leq(&ctx, a, c));
+        }
+        prop_assert!(qual_leq(&ctx, Qual::Unr, a));
+        prop_assert!(qual_leq(&ctx, a, Qual::Lin));
+    }
+
+    /// Sizing is compositional: a tuple's size is the sum of its parts.
+    #[test]
+    fn tuple_size_is_sum(parts in prop::collection::vec(arb_pretype(0, 0), 0..5)) {
+        use richwasm::sizing::size_of_type;
+        let ctx = KindCtx::new();
+        let types: Vec<Type> = parts.into_iter().map(|p| p.unr()).collect();
+        let mut component_sum = 0u64;
+        let mut all_sized = true;
+        for t in &types {
+            match size_of_type(&ctx, t).map(|s| s.eval_closed()) {
+                Ok(Some(n)) => component_sum += n,
+                _ => all_sized = false,
+            }
+        }
+        prop_assume!(all_sized);
+        let tuple = Pretype::Prod(types).unr();
+        let total = size_of_type(&ctx, &tuple).unwrap().eval_closed().unwrap();
+        prop_assert_eq!(total, component_sum);
+    }
+}

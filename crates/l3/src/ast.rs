@@ -1,0 +1,142 @@
+//! L3 abstract syntax (paper §5; language of Morrisett–Ahmed–Fluet with
+//! size-tracked capabilities and the `Ref`/`join`/`split` extensions).
+
+use richwasm::syntax as rw;
+
+/// An L3 type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum L3Ty {
+    /// Unit (unrestricted).
+    Unit,
+    /// 32-bit integers (unrestricted; `!Int` in L3 notation).
+    Int,
+    /// A multiplicative pair `τ1 ⊗ τ2` (unboxed; linear if either side
+    /// is).
+    Prod(Box<L3Ty>, Box<L3Ty>),
+    /// The owned-cell package `∃ρ. !Ptr ρ ⊗ Cap ρ τ` with a tracked slot
+    /// size in bits (§5: capabilities track sizes).
+    PtrCap(Box<L3Ty>, u64),
+    /// The ML-like reference extension (linking types): a linear RichWasm
+    /// reference with tracked slot size.
+    Ref(Box<L3Ty>, u64),
+    /// A foreign RichWasm type (for import signatures at the boundary).
+    Foreign(rw::Type),
+}
+
+impl L3Ty {
+    /// `true` when values must be used exactly once.
+    pub fn is_linear(&self) -> bool {
+        match self {
+            L3Ty::Unit | L3Ty::Int => false,
+            L3Ty::Prod(a, b) => a.is_linear() || b.is_linear(),
+            L3Ty::PtrCap(..) | L3Ty::Ref(..) => true,
+            L3Ty::Foreign(t) => t.qual == rw::Qual::Lin,
+        }
+    }
+}
+
+/// Primitive operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum L3Op {
+    Add,
+    Sub,
+    Mul,
+    Eq,
+    Lt,
+}
+
+/// An L3 expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum L3Expr {
+    /// `()`.
+    Unit,
+    /// An integer literal (`!n`).
+    Int(i32),
+    /// A variable.
+    Var(String),
+    /// `let x = e1 in e2`.
+    Let(String, Box<L3Expr>, Box<L3Expr>),
+    /// `let (x, y) = e1 in e2` — eliminates a pair.
+    LetPair(String, String, Box<L3Expr>, Box<L3Expr>),
+    /// Pair construction.
+    Pair(Box<L3Expr>, Box<L3Expr>),
+    /// `e1; e2` (the first must be unrestricted).
+    Seq(Box<L3Expr>, Box<L3Expr>),
+    /// `new e sz`: allocate a linear cell of `sz` bits holding `e`,
+    /// yielding `∃ρ. !Ptr ρ ⊗ Cap ρ τ`.
+    New(Box<L3Expr>, u64),
+    /// `free e`: deallocate, returning the contents.
+    Free(Box<L3Expr>),
+    /// `swap e1 e2`: strong update — put `e2` in the cell, returning
+    /// `(package', old)` as a pair.
+    Swap(Box<L3Expr>, Box<L3Expr>),
+    /// `join e`: capability–pointer package → ML-like reference (FFI
+    /// extension, §2.2).
+    Join(Box<L3Expr>),
+    /// `split e`: reference → capability–pointer package.
+    Split(Box<L3Expr>),
+    /// A primitive operation on ints.
+    Op(L3Op, Box<L3Expr>, Box<L3Expr>),
+    /// `if e != 0 then e1 else e2`.
+    If(Box<L3Expr>, Box<L3Expr>, Box<L3Expr>),
+    /// Direct call of a top-level function or import.
+    CallTop {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<L3Expr>,
+    },
+}
+
+/// A top-level L3 function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct L3Fun {
+    /// Name (and export name when exported).
+    pub name: String,
+    /// Whether the function is exported.
+    pub export: bool,
+    /// Parameters.
+    pub params: Vec<(String, L3Ty)>,
+    /// Result type.
+    pub ret: L3Ty,
+    /// Body.
+    pub body: L3Expr,
+}
+
+/// An import (type declared in L3 terms, translated at the boundary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct L3Import {
+    /// Providing module.
+    pub module: String,
+    /// Export name (also the `CallTop` name).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<L3Ty>,
+    /// Result type.
+    pub ret: L3Ty,
+}
+
+/// An L3 module.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct L3Module {
+    /// Imports.
+    pub imports: Vec<L3Import>,
+    /// Top-level functions.
+    pub funs: Vec<L3Fun>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linearity_classification() {
+        assert!(!L3Ty::Int.is_linear());
+        assert!(L3Ty::PtrCap(Box::new(L3Ty::Int), 64).is_linear());
+        assert!(L3Ty::Ref(Box::new(L3Ty::Int), 64).is_linear());
+        assert!(L3Ty::Prod(Box::new(L3Ty::Int), Box::new(L3Ty::Ref(Box::new(L3Ty::Int), 64)))
+            .is_linear());
+        assert!(!L3Ty::Prod(Box::new(L3Ty::Int), Box::new(L3Ty::Unit)).is_linear());
+    }
+}

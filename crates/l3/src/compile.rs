@@ -1,0 +1,876 @@
+//! The L3 → RichWasm compiler: linear type checking and one-phase code
+//! generation (paper §5).
+
+use std::collections::BTreeMap;
+
+use richwasm::syntax::instr::LocalEffect;
+use richwasm::syntax::{
+    ArrowType, Func, FunType, HeapType, Instr, Loc, MemPriv, Pretype, Qual, Size, Table, Type,
+    Value,
+};
+
+use crate::ast::{L3Expr, L3Module, L3Op, L3Ty};
+
+/// An error from the L3 compiler. Unlike ML, L3 *does* check linearity
+/// itself: misuse of a capability is caught here (and would also be
+/// caught by RichWasm).
+#[derive(Debug, Clone, PartialEq)]
+pub enum L3Error {
+    /// An L3 type error.
+    Type(String),
+    /// A linearity violation (variable used twice / never used).
+    Linearity(String),
+    /// Outside the supported fragment.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for L3Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            L3Error::Type(s) => write!(f, "L3 type error: {s}"),
+            L3Error::Linearity(s) => write!(f, "L3 linearity error: {s}"),
+            L3Error::Unsupported(s) => write!(f, "unsupported L3 construct: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for L3Error {}
+
+fn terr<T>(m: impl Into<String>) -> Result<T, L3Error> {
+    Err(L3Error::Type(m.into()))
+}
+
+/// Translates an L3 type to RichWasm.
+pub fn translate_ty(t: &L3Ty) -> Type {
+    match t {
+        L3Ty::Unit => Type::unit(),
+        L3Ty::Int => Type::num(richwasm::syntax::NumType::I32),
+        L3Ty::Prod(a, b) => {
+            let (ra, rb) = (translate_ty(a), translate_ty(b));
+            let q = if t.is_linear() { Qual::Lin } else { Qual::Unr };
+            Pretype::Prod(vec![ra, rb]).with_qual(q)
+        }
+        L3Ty::PtrCap(inner, bits) => {
+            // ∃ρ. (Cap ρ τ ⊗ !Ptr ρ): the linear capability paired with an
+            // unrestricted pointer (§2: "an unrestricted (copyable)
+            // pointer … and a linear capability").
+            let psi = cell_heap(inner, *bits);
+            let pair = Pretype::Prod(vec![
+                Pretype::Cap(MemPriv::ReadWrite, Loc::Var(0), psi).lin(),
+                Pretype::Ptr(Loc::Var(0)).unr(),
+            ])
+            .lin();
+            Pretype::ExistsLoc(Box::new(pair)).lin()
+        }
+        L3Ty::Ref(inner, bits) => {
+            let psi = cell_heap(inner, *bits);
+            Pretype::ExistsLoc(Box::new(
+                Pretype::Ref(MemPriv::ReadWrite, Loc::Var(0), psi).lin(),
+            ))
+            .lin()
+        }
+        L3Ty::Foreign(t) => t.clone(),
+    }
+}
+
+/// The heap type of an L3 cell: a one-field struct with the tracked slot
+/// size.
+fn cell_heap(inner: &L3Ty, bits: u64) -> HeapType {
+    HeapType::Struct(vec![(translate_ty(inner), Size::Const(bits))])
+}
+
+/// A callable signature.
+#[derive(Debug, Clone)]
+struct Sig {
+    idx: u32,
+    params: Vec<L3Ty>,
+    ret: L3Ty,
+}
+
+/// A bound variable.
+struct Binding {
+    name: String,
+    slot: u32,
+    ty: L3Ty,
+    used: bool,
+    def_depth: usize,
+}
+
+struct Compiler<'m> {
+    sigs: &'m BTreeMap<String, Sig>,
+    vars: Vec<Binding>,
+    n_slots: u32,
+    n_params: u32,
+    /// Per-block sets of outer linear slots consumed within (block local
+    /// effects).
+    scopes: Vec<Vec<u32>>,
+}
+
+impl<'m> Compiler<'m> {
+    fn fresh(&mut self) -> u32 {
+        let s = self.n_slots;
+        self.n_slots += 1;
+        s
+    }
+
+    fn depth(&self) -> usize {
+        self.scopes.len() - 1
+    }
+
+    fn enter(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    fn exit(&mut self) -> Vec<LocalEffect> {
+        let mut slots = self.scopes.pop().expect("scope");
+        slots.sort_unstable();
+        slots.dedup();
+        slots.into_iter().map(|s| LocalEffect::new(s, Type::unit())).collect()
+    }
+
+    fn bind(&mut self, name: &str, ty: L3Ty) -> u32 {
+        let slot = self.fresh();
+        self.vars.push(Binding {
+            name: name.to_string(),
+            slot,
+            ty,
+            used: false,
+            def_depth: self.depth(),
+        });
+        slot
+    }
+
+    /// Unbinds the most recent binding, enforcing that linear variables
+    /// were consumed.
+    fn unbind(&mut self, out: &mut Vec<Instr>) -> Result<(), L3Error> {
+        let b = self.vars.pop().expect("binding");
+        if b.ty.is_linear() && !b.used {
+            return Err(L3Error::Linearity(format!("linear variable {} never used", b.name)));
+        }
+        // Reset unrestricted slots so enclosing blocks stay effect-free.
+        if !b.ty.is_linear() {
+            out.push(Instr::Val(Value::Unit));
+            out.push(Instr::SetLocal(b.slot));
+        }
+        Ok(())
+    }
+
+    fn use_var(&mut self, name: &str) -> Result<(u32, L3Ty, usize), L3Error> {
+        let depth = self.depth();
+        let Some(b) = self.vars.iter_mut().rev().find(|b| b.name == name) else {
+            return terr(format!("unbound variable {name}"));
+        };
+        if b.ty.is_linear() {
+            if b.used {
+                return Err(L3Error::Linearity(format!("linear variable {name} used twice")));
+            }
+            b.used = true;
+        }
+        let _ = depth;
+        Ok((b.slot, b.ty.clone(), b.def_depth))
+    }
+
+    fn read_var(&mut self, out: &mut Vec<Instr>, name: &str) -> Result<L3Ty, L3Error> {
+        let (slot, ty, def_depth) = self.use_var(name)?;
+        let q = if ty.is_linear() { Qual::Lin } else { Qual::Unr };
+        out.push(Instr::GetLocal(slot, q));
+        if q == Qual::Lin {
+            for level in (def_depth + 1)..self.scopes.len() {
+                self.scopes[level].push(slot);
+            }
+        }
+        Ok(ty)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn gen(&mut self, e: &L3Expr, out: &mut Vec<Instr>) -> Result<L3Ty, L3Error> {
+        match e {
+            L3Expr::Unit => {
+                out.push(Instr::Val(Value::Unit));
+                Ok(L3Ty::Unit)
+            }
+            L3Expr::Int(v) => {
+                out.push(Instr::i32(*v));
+                Ok(L3Ty::Int)
+            }
+            L3Expr::Var(x) => self.read_var(out, x),
+            L3Expr::Let(x, e1, e2) => {
+                let t1 = self.gen(e1, out)?;
+                let slot = self.bind(x, t1);
+                out.push(Instr::SetLocal(slot));
+                let t2 = self.gen(e2, out)?;
+                self.unbind(out)?;
+                Ok(t2)
+            }
+            L3Expr::LetPair(x, y, e1, e2) => {
+                let t1 = self.gen(e1, out)?;
+                let L3Ty::Prod(a, b) = t1 else {
+                    return terr(format!("let-pair of non-pair {t1:?}"));
+                };
+                out.push(Instr::Ungroup);
+                // Stack: [a, b]; bind y (top) first.
+                let sy = self.bind(y, (*b).clone());
+                // Rebind order: x below y in the vars stack, but we must
+                // pop y's value first.
+                out.push(Instr::SetLocal(sy));
+                let sx = self.bind(x, (*a).clone());
+                out.push(Instr::SetLocal(sx));
+                let t2 = self.gen(e2, out)?;
+                self.unbind(out)?; // x
+                // y was pushed before x in `vars`… unbind pops the most
+                // recent, which is x; now y.
+                self.unbind(out)?;
+                Ok(t2)
+            }
+            L3Expr::Pair(e1, e2) => {
+                let t1 = self.gen(e1, out)?;
+                let t2 = self.gen(e2, out)?;
+                let pair = L3Ty::Prod(Box::new(t1), Box::new(t2));
+                let q = if pair.is_linear() { Qual::Lin } else { Qual::Unr };
+                out.push(Instr::Group(2, q));
+                Ok(pair)
+            }
+            L3Expr::Seq(e1, e2) => {
+                let t1 = self.gen(e1, out)?;
+                if t1.is_linear() {
+                    return Err(L3Error::Linearity("sequencing drops a linear value".into()));
+                }
+                out.push(Instr::Drop);
+                self.gen(e2, out)
+            }
+            L3Expr::Op(op, e1, e2) => {
+                let t1 = self.gen(e1, out)?;
+                let t2 = self.gen(e2, out)?;
+                if t1 != L3Ty::Int || t2 != L3Ty::Int {
+                    return terr("arithmetic on non-int");
+                }
+                use richwasm::syntax::instr::{IntBinop, IntRelop, NumInstr, Sign};
+                use richwasm::syntax::NumType;
+                let n = match op {
+                    L3Op::Add => NumInstr::IntBinop(NumType::I32, IntBinop::Add),
+                    L3Op::Sub => NumInstr::IntBinop(NumType::I32, IntBinop::Sub),
+                    L3Op::Mul => NumInstr::IntBinop(NumType::I32, IntBinop::Mul),
+                    L3Op::Eq => NumInstr::IntRelop(NumType::I32, IntRelop::Eq),
+                    L3Op::Lt => NumInstr::IntRelop(NumType::I32, IntRelop::Lt(Sign::S)),
+                };
+                out.push(Instr::Num(n));
+                Ok(L3Ty::Int)
+            }
+            L3Expr::If(c, a, b) => {
+                let tc = self.gen(c, out)?;
+                if tc != L3Ty::Int {
+                    return terr("if condition must be !Int");
+                }
+                self.enter();
+                // Each arm checks against the *same* entry usage state, and
+                // both arms must consume exactly the same linear variables
+                // (additive elimination).
+                let saved: Vec<bool> = self.vars.iter().map(|v| v.used).collect();
+                let mut ta_out = Vec::new();
+                let ta = self.gen(a, &mut ta_out)?;
+                let after_a: Vec<bool> = self.vars.iter().map(|v| v.used).collect();
+                for (v, s) in self.vars.iter_mut().zip(&saved) {
+                    v.used = *s;
+                }
+                let mut tb_out = Vec::new();
+                let tb = self.gen(b, &mut tb_out)?;
+                let after_b: Vec<bool> = self.vars.iter().map(|v| v.used).collect();
+                if after_a != after_b {
+                    let name = self
+                        .vars
+                        .iter()
+                        .zip(after_a.iter().zip(&after_b))
+                        .find(|(_, (x, y))| x != y)
+                        .map(|(v, _)| v.name.clone())
+                        .unwrap_or_default();
+                    return Err(L3Error::Linearity(format!(
+                        "if arms consume different linear variables ({name})"
+                    )));
+                }
+                let effects = self.exit();
+                if ta != tb {
+                    return terr(format!("if arms disagree: {ta:?} vs {tb:?}"));
+                }
+                out.push(Instr::IfI(
+                    richwasm::syntax::instr::Block::new(
+                        ArrowType::new(vec![], vec![translate_ty(&ta)]),
+                        effects,
+                    ),
+                    ta_out,
+                    tb_out,
+                ));
+                Ok(ta)
+            }
+            L3Expr::New(e, bits) => {
+                let t = self.gen(e, out)?;
+                let ctx = richwasm::env::KindCtx::new();
+                let vsz = richwasm::sizing::size_of_type(&ctx, &translate_ty(&t))
+                    .map_err(|e| L3Error::Type(e.to_string()))?;
+                if !richwasm::solver::size_leq(&ctx, &vsz, &Size::Const(*bits)) {
+                    return terr(format!("value of type {t:?} does not fit {bits}-bit cell"));
+                }
+                out.push(Instr::StructMalloc(vec![Size::Const(*bits)], Qual::Lin));
+                // ∃ρ.ref → ∃ρ.(cap ⊗ ptr)
+                let result = L3Ty::PtrCap(Box::new(t), *bits);
+                let body = vec![
+                    Instr::RefSplit,
+                    Instr::Group(2, Qual::Lin),
+                    Instr::MemPack(Loc::Var(0)),
+                ];
+                out.push(Instr::MemUnpack(
+                    richwasm::syntax::instr::Block::new(
+                        ArrowType::new(vec![], vec![translate_ty(&result)]),
+                        vec![],
+                    ),
+                    body,
+                ));
+                Ok(result)
+            }
+            L3Expr::Free(e) => {
+                let t = self.gen(e, out)?;
+                let (inner, _bits) = match &t {
+                    L3Ty::PtrCap(i, b) => (i.clone(), *b),
+                    L3Ty::Ref(i, b) => (i.clone(), *b),
+                    other => return terr(format!("free of non-cell {other:?}")),
+                };
+                let is_ref = matches!(t, L3Ty::Ref(..));
+                let rt = translate_ty(&inner);
+                let q = rt.qual;
+                let tmp = self.fresh();
+                let mut body = Vec::new();
+                if !is_ref {
+                    body.push(Instr::Ungroup);
+                    body.push(Instr::RefJoin);
+                }
+                body.push(Instr::Val(Value::Unit));
+                body.push(Instr::StructSwap(0));
+                body.push(Instr::SetLocal(tmp));
+                body.push(Instr::StructFree);
+                body.push(Instr::GetLocal(tmp, q));
+                if q == Qual::Unr {
+                    body.push(Instr::Val(Value::Unit));
+                    body.push(Instr::SetLocal(tmp));
+                }
+                out.push(Instr::MemUnpack(
+                    richwasm::syntax::instr::Block::new(
+                        ArrowType::new(vec![], vec![rt]),
+                        vec![],
+                    ),
+                    body,
+                ));
+                Ok(*inner)
+            }
+            L3Expr::Swap(e1, e2) => {
+                let tv = self.gen(e2, out)?;
+                let tmp_v = self.fresh();
+                out.push(Instr::SetLocal(tmp_v));
+                let t1 = self.gen(e1, out)?;
+                let L3Ty::PtrCap(old, bits) = t1 else {
+                    return terr(format!("swap on non-capability {t1:?}"));
+                };
+                let ctx = richwasm::env::KindCtx::new();
+                let vsz = richwasm::sizing::size_of_type(&ctx, &translate_ty(&tv))
+                    .map_err(|e| L3Error::Type(e.to_string()))?;
+                if !richwasm::solver::size_leq(&ctx, &vsz, &Size::Const(bits)) {
+                    return terr(format!(
+                        "swap value {tv:?} does not fit the {bits}-bit slot (sizes are \
+                         tracked, §5)"
+                    ));
+                }
+                let new_pkg = L3Ty::PtrCap(Box::new(tv.clone()), bits);
+                let result =
+                    L3Ty::Prod(Box::new(new_pkg.clone()), Box::new((*old).clone()));
+                let q_old = translate_ty(&old).qual;
+                let q_v = translate_ty(&tv).qual;
+                let tmp_old = self.fresh();
+                let mut body = vec![
+                    Instr::Ungroup,
+                    Instr::RefJoin,
+                    Instr::GetLocal(tmp_v, q_v),
+                    Instr::StructSwap(0),
+                    Instr::SetLocal(tmp_old),
+                    Instr::RefSplit,
+                    Instr::Group(2, Qual::Lin),
+                    Instr::MemPack(Loc::Var(0)),
+                    Instr::GetLocal(tmp_old, q_old),
+                ];
+                if q_old == Qual::Unr {
+                    body.push(Instr::Val(Value::Unit));
+                    body.push(Instr::SetLocal(tmp_old));
+                }
+                let mut effects = vec![];
+                if q_v == Qual::Lin {
+                    effects.push(LocalEffect::new(tmp_v, Type::unit()));
+                }
+                out.push(Instr::MemUnpack(
+                    richwasm::syntax::instr::Block::new(
+                        ArrowType::new(
+                            vec![],
+                            vec![translate_ty(&new_pkg), translate_ty(&old)],
+                        ),
+                        effects,
+                    ),
+                    body,
+                ));
+                if q_v == Qual::Unr {
+                    out.push(Instr::Val(Value::Unit));
+                    out.push(Instr::SetLocal(tmp_v));
+                }
+                out.push(Instr::Group(2, Qual::Lin));
+                Ok(result)
+            }
+            L3Expr::Join(e) => {
+                let t = self.gen(e, out)?;
+                let L3Ty::PtrCap(inner, bits) = t else {
+                    return terr(format!("join of non-capability {t:?}"));
+                };
+                let result = L3Ty::Ref(inner, bits);
+                let body = vec![
+                    Instr::Ungroup,
+                    Instr::RefJoin,
+                    Instr::MemPack(Loc::Var(0)),
+                ];
+                out.push(Instr::MemUnpack(
+                    richwasm::syntax::instr::Block::new(
+                        ArrowType::new(vec![], vec![translate_ty(&result)]),
+                        vec![],
+                    ),
+                    body,
+                ));
+                Ok(result)
+            }
+            L3Expr::Split(e) => {
+                let t = self.gen(e, out)?;
+                let L3Ty::Ref(inner, bits) = t else {
+                    return terr(format!("split of non-reference {t:?}"));
+                };
+                let result = L3Ty::PtrCap(inner, bits);
+                let body = vec![
+                    Instr::RefSplit,
+                    Instr::Group(2, Qual::Lin),
+                    Instr::MemPack(Loc::Var(0)),
+                ];
+                out.push(Instr::MemUnpack(
+                    richwasm::syntax::instr::Block::new(
+                        ArrowType::new(vec![], vec![translate_ty(&result)]),
+                        vec![],
+                    ),
+                    body,
+                ));
+                Ok(result)
+            }
+            L3Expr::CallTop { name, args } => {
+                let sig = self
+                    .sigs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| L3Error::Type(format!("unknown function {name}")))?;
+                if args.len() != sig.params.len() {
+                    return terr(format!(
+                        "{name} expects {} arguments, got {}",
+                        sig.params.len(),
+                        args.len()
+                    ));
+                }
+                for (a, p) in args.iter().zip(&sig.params) {
+                    let t = self.gen(a, out)?;
+                    if &t != p {
+                        return terr(format!("argument {t:?} vs parameter {p:?}"));
+                    }
+                }
+                out.push(Instr::Call(sig.idx, vec![]));
+                Ok(sig.ret)
+            }
+        }
+    }
+}
+
+/// Compiles an L3 module to RichWasm.
+///
+/// # Errors
+///
+/// L3 type errors *and* linearity violations are reported as [`L3Error`]
+/// — L3's own type system is linear (contrast with the ML compiler).
+pub fn compile_module(m: &L3Module) -> Result<richwasm::syntax::Module, L3Error> {
+    let mut sigs = BTreeMap::new();
+    for (i, im) in m.imports.iter().enumerate() {
+        sigs.insert(
+            im.name.clone(),
+            Sig { idx: i as u32, params: im.params.clone(), ret: im.ret.clone() },
+        );
+    }
+    let n_imports = m.imports.len() as u32;
+    for (i, f) in m.funs.iter().enumerate() {
+        sigs.insert(
+            f.name.clone(),
+            Sig {
+                idx: n_imports + i as u32,
+                params: f.params.iter().map(|(_, t)| t.clone()).collect(),
+                ret: f.ret.clone(),
+            },
+        );
+    }
+
+    let mut funcs = Vec::new();
+    for im in &m.imports {
+        funcs.push(Func::Imported {
+            exports: vec![],
+            module: im.module.clone(),
+            name: im.name.clone(),
+            ty: import_funtype(im),
+        });
+    }
+    for f in m.funs.iter() {
+        let mut c = Compiler {
+            sigs: &sigs,
+            vars: Vec::new(),
+            n_slots: f.params.len() as u32,
+            n_params: f.params.len() as u32,
+            scopes: vec![Vec::new()],
+        };
+        for (i, (n, t)) in f.params.iter().enumerate() {
+            c.vars.push(Binding {
+                name: n.clone(),
+                slot: i as u32,
+                ty: t.clone(),
+                used: false,
+                def_depth: 0,
+            });
+        }
+        let mut body = Vec::new();
+        let rt = c.gen(&f.body, &mut body)?;
+        if rt != f.ret {
+            return terr(format!("{}: body has type {rt:?}, declared {:?}", f.name, f.ret));
+        }
+        // Every linear parameter must have been consumed.
+        for b in &c.vars {
+            if b.ty.is_linear() && !b.used {
+                return Err(L3Error::Linearity(format!(
+                    "{}: linear parameter {} never used",
+                    f.name, b.name
+                )));
+            }
+        }
+        let ty = FunType::mono(
+            f.params.iter().map(|(_, t)| translate_ty(t)).collect(),
+            vec![translate_ty(&f.ret)],
+        );
+        let extra = c.n_slots - c.n_params;
+        funcs.push(Func::Defined {
+            exports: if f.export { vec![f.name.clone()] } else { vec![] },
+            ty,
+            locals: vec![Size::Const(64); extra as usize],
+            body,
+        });
+    }
+    Ok(richwasm::syntax::Module { funcs, globals: vec![], table: Table::default() })
+}
+
+/// The RichWasm type of an L3 import declaration (the linking boundary).
+pub fn import_funtype(im: &crate::ast::L3Import) -> FunType {
+    FunType::mono(
+        im.params.iter().map(translate_ty).collect(),
+        vec![translate_ty(&im.ret)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::L3Fun;
+    use richwasm::interp::Runtime;
+    use richwasm::typecheck::check_module;
+
+    fn run_main(m: &L3Module) -> Result<Value, String> {
+        let rw = compile_module(m).map_err(|e| e.to_string())?;
+        check_module(&rw).map_err(|e| format!("richwasm: {e}"))?;
+        let mut rt = Runtime::new();
+        let idx = rt.instantiate("l3", rw).map_err(|e| e.to_string())?;
+        let r = rt.invoke(idx, "main", vec![]).map_err(|e| e.to_string())?;
+        Ok(r.values[0].clone())
+    }
+
+    fn main_fn(body: L3Expr, ret: L3Ty) -> L3Module {
+        L3Module {
+            funs: vec![L3Fun {
+                name: "main".into(),
+                export: true,
+                params: vec![],
+                ret,
+                body,
+            }],
+            ..L3Module::default()
+        }
+    }
+
+    fn var(x: &str) -> Box<L3Expr> {
+        Box::new(L3Expr::Var(x.into()))
+    }
+
+    #[test]
+    fn new_free_roundtrip() {
+        // let p = new 42 in free p
+        let m = main_fn(
+            L3Expr::Let(
+                "p".into(),
+                Box::new(L3Expr::New(Box::new(L3Expr::Int(42)), 64)),
+                Box::new(L3Expr::Free(var("p"))),
+            ),
+            L3Ty::Int,
+        );
+        assert_eq!(run_main(&m).unwrap(), Value::i32(42));
+    }
+
+    #[test]
+    fn swap_strong_update() {
+        // let p = new 1 in let (p2, old) = swap p 42 in old + free p2
+        let m = main_fn(
+            L3Expr::Let(
+                "p".into(),
+                Box::new(L3Expr::New(Box::new(L3Expr::Int(1)), 64)),
+                Box::new(L3Expr::LetPair(
+                    "p2".into(),
+                    "old".into(),
+                    Box::new(L3Expr::Swap(var("p"), Box::new(L3Expr::Int(42)))),
+                    Box::new(L3Expr::Op(
+                        L3Op::Add,
+                        var("old"),
+                        Box::new(L3Expr::Free(var("p2"))),
+                    )),
+                )),
+            ),
+            L3Ty::Int,
+        );
+        assert_eq!(run_main(&m).unwrap(), Value::i32(43));
+    }
+
+    #[test]
+    fn swap_changes_type() {
+        // Strong update: an int cell becomes a unit cell.
+        let m = main_fn(
+            L3Expr::Let(
+                "p".into(),
+                Box::new(L3Expr::New(Box::new(L3Expr::Int(7)), 64)),
+                Box::new(L3Expr::LetPair(
+                    "p2".into(),
+                    "old".into(),
+                    Box::new(L3Expr::Swap(var("p"), Box::new(L3Expr::Unit))),
+                    Box::new(L3Expr::Seq(
+                        Box::new(L3Expr::Free(var("p2"))),
+                        var("old"),
+                    )),
+                )),
+            ),
+            L3Ty::Int,
+        );
+        assert_eq!(run_main(&m).unwrap(), Value::i32(7));
+    }
+
+    #[test]
+    fn swap_too_big_rejected_statically() {
+        // A pair of two ints (64 bits each slot… the pair is 64 bits) into
+        // a 32-bit cell: the size-tracking check rejects it.
+        let m = main_fn(
+            L3Expr::Let(
+                "p".into(),
+                Box::new(L3Expr::New(Box::new(L3Expr::Int(7)), 32)),
+                Box::new(L3Expr::LetPair(
+                    "p2".into(),
+                    "old".into(),
+                    Box::new(L3Expr::Swap(
+                        var("p"),
+                        Box::new(L3Expr::Pair(
+                            Box::new(L3Expr::Int(1)),
+                            Box::new(L3Expr::Int(2)),
+                        )),
+                    )),
+                    Box::new(L3Expr::Seq(
+                        Box::new(L3Expr::Seq(
+                            Box::new(L3Expr::Free(var("p2"))),
+                            var("old"),
+                        )),
+                        Box::new(L3Expr::Int(0)),
+                    )),
+                )),
+            ),
+            L3Ty::Int,
+        );
+        let err = compile_module(&m).unwrap_err();
+        assert!(matches!(err, L3Error::Type(_)), "{err}");
+    }
+
+    #[test]
+    fn join_split_roundtrip() {
+        let m = main_fn(
+            L3Expr::Free(Box::new(L3Expr::Split(Box::new(L3Expr::Join(Box::new(
+                L3Expr::New(Box::new(L3Expr::Int(42)), 64),
+            )))))),
+            L3Ty::Int,
+        );
+        assert_eq!(run_main(&m).unwrap(), Value::i32(42));
+    }
+
+    #[test]
+    fn free_of_ref_directly() {
+        let m = main_fn(
+            L3Expr::Free(Box::new(L3Expr::Join(Box::new(L3Expr::New(
+                Box::new(L3Expr::Int(9)),
+                64,
+            ))))),
+            L3Ty::Int,
+        );
+        assert_eq!(run_main(&m).unwrap(), Value::i32(9));
+    }
+
+    #[test]
+    fn use_capability_twice_is_l3_error() {
+        // free p; free p — L3's own linear type system catches this.
+        let m = main_fn(
+            L3Expr::Let(
+                "p".into(),
+                Box::new(L3Expr::New(Box::new(L3Expr::Int(1)), 64)),
+                Box::new(L3Expr::Seq(
+                    Box::new(L3Expr::Free(var("p"))),
+                    Box::new(L3Expr::Free(var("p"))),
+                )),
+            ),
+            L3Ty::Int,
+        );
+        // (Seq of Int then … also fails; use the right shape anyway.)
+        let err = compile_module(&m).unwrap_err();
+        assert!(matches!(err, L3Error::Linearity(_)), "{err:?}");
+    }
+
+    #[test]
+    fn leaking_capability_is_l3_error() {
+        let m = main_fn(
+            L3Expr::Let(
+                "p".into(),
+                Box::new(L3Expr::New(Box::new(L3Expr::Int(1)), 64)),
+                Box::new(L3Expr::Int(0)),
+            ),
+            L3Ty::Int,
+        );
+        let err = compile_module(&m).unwrap_err();
+        assert!(matches!(err, L3Error::Linearity(_)), "{err:?}");
+    }
+
+    #[test]
+    fn compiled_l3_typechecks() {
+        let m = main_fn(
+            L3Expr::Let(
+                "p".into(),
+                Box::new(L3Expr::New(Box::new(L3Expr::Int(5)), 64)),
+                Box::new(L3Expr::Free(var("p"))),
+            ),
+            L3Ty::Int,
+        );
+        let rw = compile_module(&m).unwrap();
+        check_module(&rw).unwrap();
+    }
+
+    #[test]
+    fn functions_and_calls() {
+        let m = L3Module {
+            funs: vec![
+                L3Fun {
+                    name: "boxed_double".into(),
+                    export: false,
+                    params: vec![("c".into(), L3Ty::PtrCap(Box::new(L3Ty::Int), 64))],
+                    ret: L3Ty::Int,
+                    body: L3Expr::Let(
+                        "v".into(),
+                        Box::new(L3Expr::Free(var("c"))),
+                        Box::new(L3Expr::Op(L3Op::Mul, var("v"), Box::new(L3Expr::Int(2)))),
+                    ),
+                },
+                L3Fun {
+                    name: "main".into(),
+                    export: true,
+                    params: vec![],
+                    ret: L3Ty::Int,
+                    body: L3Expr::CallTop {
+                        name: "boxed_double".into(),
+                        args: vec![L3Expr::New(Box::new(L3Expr::Int(21)), 64)],
+                    },
+                },
+            ],
+            ..L3Module::default()
+        };
+        assert_eq!(run_main(&m).unwrap(), Value::i32(42));
+    }
+}
+
+#[cfg(test)]
+mod if_linearity_tests {
+    use super::*;
+    use crate::ast::L3Fun;
+
+    fn main_fn(body: L3Expr, ret: L3Ty) -> L3Module {
+        L3Module {
+            funs: vec![L3Fun { name: "main".into(), export: true, params: vec![], ret, body }],
+            ..L3Module::default()
+        }
+    }
+
+    #[test]
+    fn arms_must_consume_the_same_linear_variables() {
+        // if 1 then free p else 0 — the else arm leaks p.
+        let m = main_fn(
+            L3Expr::Let(
+                "p".into(),
+                Box::new(L3Expr::New(Box::new(L3Expr::Int(1)), 64)),
+                Box::new(L3Expr::If(
+                    Box::new(L3Expr::Int(1)),
+                    Box::new(L3Expr::Free(Box::new(L3Expr::Var("p".into())))),
+                    Box::new(L3Expr::Int(0)),
+                )),
+            ),
+            L3Ty::Int,
+        );
+        let err = compile_module(&m).unwrap_err();
+        assert!(matches!(err, L3Error::Linearity(_)), "{err}");
+    }
+
+    #[test]
+    fn both_arms_consuming_is_fine() {
+        let free_p = || Box::new(L3Expr::Free(Box::new(L3Expr::Var("p".into()))));
+        let m = main_fn(
+            L3Expr::Let(
+                "p".into(),
+                Box::new(L3Expr::New(Box::new(L3Expr::Int(5)), 64)),
+                Box::new(L3Expr::If(Box::new(L3Expr::Int(1)), free_p(), free_p())),
+            ),
+            L3Ty::Int,
+        );
+        let rw = compile_module(&m).unwrap();
+        richwasm::typecheck::check_module(&rw).unwrap();
+        let mut rt = richwasm::interp::Runtime::new();
+        let i = rt.instantiate("m", rw).unwrap();
+        assert_eq!(
+            rt.invoke(i, "main", vec![]).unwrap().values,
+            vec![Value::i32(5)]
+        );
+    }
+
+    #[test]
+    fn use_in_one_arm_then_after_is_caught() {
+        // if 1 then free p else free p; then free p again afterwards.
+        let free_p = || Box::new(L3Expr::Free(Box::new(L3Expr::Var("p".into()))));
+        let m = main_fn(
+            L3Expr::Let(
+                "p".into(),
+                Box::new(L3Expr::New(Box::new(L3Expr::Int(5)), 64)),
+                Box::new(L3Expr::Seq(
+                    Box::new(L3Expr::If(Box::new(L3Expr::Int(1)), free_p(), free_p())),
+                    free_p(),
+                )),
+            ),
+            L3Ty::Int,
+        );
+        let err = compile_module(&m).unwrap_err();
+        // Either the Seq drop of Int fails first or the double use: both
+        // are linearity errors here the use-twice fires.
+        assert!(matches!(err, L3Error::Linearity(_)), "{err}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Lowering errors.
+
+use std::fmt;
+
+/// An error raised by the RichWasm → Wasm compiler.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LowerError {
+    /// The module failed RichWasm type checking (lowering is
+    /// type-directed, so this is a precondition).
+    TypeCheck(String),
+    /// A size bound could not be resolved to a constant — the paper's
+    /// boxing fallback, which this reproduction does not implement (our
+    /// frontends always produce resolvable bounds).
+    UnresolvableSize(String),
+    /// Internal invariant violation (trace misalignment etc.).
+    Internal(String),
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::TypeCheck(e) => write!(f, "type error during lowering: {e}"),
+            LowerError::UnresolvableSize(e) => {
+                write!(f, "unresolvable size bound (boxing unimplemented): {e}")
+            }
+            LowerError::Internal(e) => write!(f, "internal lowering error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<richwasm::TypeError> for LowerError {
+    fn from(e: richwasm::TypeError) -> Self {
+        LowerError::TypeCheck(e.to_string())
+    }
+}

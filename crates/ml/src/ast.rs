@@ -1,0 +1,191 @@
+//! Core ML abstract syntax (paper §5).
+
+use richwasm::syntax as rw;
+
+/// An ML type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlTy {
+    /// The unit type.
+    Unit,
+    /// 32-bit integers.
+    Int,
+    /// Products (boxed tuples).
+    Prod(Vec<MlTy>),
+    /// Sums (boxed variants).
+    Sum(Vec<MlTy>),
+    /// Functions (closures: boxed existential packages).
+    Arrow(Box<MlTy>, Box<MlTy>),
+    /// ML references (type-preserving updates, GC'd).
+    Ref(Box<MlTy>),
+    /// A `ref_to_lin` cell holding an optional *linear* value of the
+    /// given type (the linking-types extension of §2.2).
+    RefToLin(Box<MlTy>),
+    /// An isorecursive type binding [`MlTy::Var`] 0 in its body.
+    Rec(Box<MlTy>),
+    /// A type variable (de Bruijn: 0 = innermost `Rec`/type-parameter
+    /// binder).
+    Var(u32),
+    /// A *foreign* type: a RichWasm type inexpressible in ML (e.g. L3's
+    /// linear reference). The compiler passes it through opaquely — this
+    /// is the `(τ)lin` linking type of the paper.
+    Foreign(rw::Type),
+}
+
+impl MlTy {
+    /// `true` when values of this type must be treated linearly at the
+    /// RichWasm level (foreign linear types only — native ML types are
+    /// all unrestricted).
+    pub fn is_linear(&self) -> bool {
+        matches!(self, MlTy::Foreign(t) if t.qual == rw::Qual::Lin)
+    }
+}
+
+/// Primitive binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum MlBinop {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Eq,
+    Lt,
+}
+
+/// An ML expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlExpr {
+    /// `()`.
+    Unit,
+    /// An integer literal.
+    Int(i32),
+    /// A variable (local, parameter, or module global).
+    Var(String),
+    /// `let x = e1 in e2`.
+    Let(String, Box<MlExpr>, Box<MlExpr>),
+    /// `e1; e2` (drops `e1`'s result).
+    Seq(Box<MlExpr>, Box<MlExpr>),
+    /// An anonymous function (closure-converted at compile time).
+    Lam {
+        /// Parameter name.
+        param: String,
+        /// Parameter type.
+        param_ty: MlTy,
+        /// Result type.
+        ret_ty: MlTy,
+        /// Body.
+        body: Box<MlExpr>,
+    },
+    /// Application of a closure.
+    App(Box<MlExpr>, Box<MlExpr>),
+    /// Tuple construction (boxed).
+    Tuple(Vec<MlExpr>),
+    /// Tuple projection.
+    Proj(usize, Box<MlExpr>),
+    /// Variant injection: `inj_tag e : sum`.
+    Inj {
+        /// The full sum type.
+        sum: MlTy,
+        /// The case index.
+        tag: usize,
+        /// The payload.
+        e: Box<MlExpr>,
+    },
+    /// Case analysis; one arm `(x, e)` per case.
+    Case(Box<MlExpr>, Vec<(String, MlExpr)>),
+    /// `ref e` (GC'd reference).
+    NewRef(Box<MlExpr>),
+    /// `!e` — for [`MlTy::RefToLin`] cells this *takes* the value and
+    /// traps if the cell is empty (read-twice fails, §2.2).
+    Deref(Box<MlExpr>),
+    /// `e1 := e2` — for `ref_to_lin` cells this traps if the cell is
+    /// already full (write-twice fails).
+    Assign(Box<MlExpr>, Box<MlExpr>),
+    /// `ref_to_lin τ`: a fresh, empty cell for linear values of type `τ`.
+    NewRefToLin(MlTy),
+    /// A primitive operation.
+    Binop(MlBinop, Box<MlExpr>, Box<MlExpr>),
+    /// `if e != 0 then e1 else e2`.
+    If(Box<MlExpr>, Box<MlExpr>, Box<MlExpr>),
+    /// Fold into a recursive type.
+    Fold(MlTy, Box<MlExpr>),
+    /// Unfold a recursive type.
+    Unfold(Box<MlExpr>),
+    /// Direct call of a top-level function (own or imported), with type
+    /// arguments for its parameters.
+    CallTop {
+        /// Function name.
+        name: String,
+        /// Type arguments (left to right).
+        tyargs: Vec<MlTy>,
+        /// Value arguments.
+        args: Vec<MlExpr>,
+    },
+}
+
+/// A top-level ML function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlFun {
+    /// The function's name (also its export name when `export`).
+    pub name: String,
+    /// Whether the function is exported.
+    pub export: bool,
+    /// Number of type parameters (prenex polymorphism).
+    pub tyvars: u32,
+    /// Parameters.
+    pub params: Vec<(String, MlTy)>,
+    /// Result type.
+    pub ret: MlTy,
+    /// Body.
+    pub body: MlExpr,
+}
+
+/// An imported function, with its type declared in ML terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlImport {
+    /// Providing module.
+    pub module: String,
+    /// Export name in the provider (also the name used in `CallTop`).
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<MlTy>,
+    /// Result type.
+    pub ret: MlTy,
+}
+
+/// Module-level state (paper §5: "the ability to define global state
+/// which exported functions can close over").
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlGlobal {
+    /// Name (referenced by `Var`).
+    pub name: String,
+    /// Type.
+    pub ty: MlTy,
+    /// Initialiser (restricted to allocation/constant expressions that
+    /// need no local variables).
+    pub init: MlExpr,
+}
+
+/// An ML module.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MlModule {
+    /// Imported functions.
+    pub imports: Vec<MlImport>,
+    /// Module-level state.
+    pub globals: Vec<MlGlobal>,
+    /// Top-level functions.
+    pub funs: Vec<MlFun>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn foreign_linearity() {
+        use richwasm::syntax::{Pretype, Qual};
+        assert!(!MlTy::Int.is_linear());
+        assert!(MlTy::Foreign(Pretype::Unit.with_qual(Qual::Lin)).is_linear());
+        assert!(!MlTy::Foreign(Pretype::Unit.with_qual(Qual::Unr)).is_linear());
+    }
+}

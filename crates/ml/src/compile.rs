@@ -1,0 +1,1279 @@
+//! The ML → RichWasm compiler (paper §5): type checking, typed closure
+//! conversion, and code generation.
+//!
+//! Design notes:
+//!
+//! * Every ML local lives in a 64-bit RichWasm slot; reading a variable
+//!   whose representation is linear emits `get_local i lin`, which
+//!   strongly updates the slot to `unit` — so a program that uses a
+//!   linear value twice (Fig. 1's `stash`) compiles, but the *RichWasm*
+//!   checker rejects it. The ML compiler deliberately performs no
+//!   linearity checking (§5).
+//! * Lambdas are hoisted to top-level *code functions* of type
+//!   `[arg, env] → [res]`, registered in the module table; the closure
+//!   value packs the concrete environment behind `∃α` (typed closure
+//!   conversion).
+//! * Every temporary slot is reset to `unit` before the enclosing block
+//!   ends, so block annotations only carry effects for outer linear
+//!   variables consumed inside the block.
+
+use std::collections::{BTreeMap, HashSet};
+
+use richwasm::syntax::instr::LocalEffect;
+use richwasm::syntax::{
+    Func, FunType, Global, GlobalKind, HeapType, Index, Instr, Module, Pretype, Qual,
+    Quantifier, Size, Table, Type, Value,
+};
+
+use crate::ast::{MlBinop, MlExpr, MlGlobal, MlModule, MlTy};
+use crate::types::{
+    block, code_fun_type, opt_heap_type, opt_type, translate_ty, translate_ty_at, unpack,
+    ML_SLOT,
+};
+
+/// An error from the ML compiler (ML-level typing or an unsupported
+/// construct). RichWasm-level rejections surface later, from
+/// `richwasm::typecheck::check_module` — by design.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// An ML type error.
+    Type(String),
+    /// A construct outside the supported fragment.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::Type(s) => write!(f, "ML type error: {s}"),
+            MlError::Unsupported(s) => write!(f, "unsupported ML construct: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+fn terr<T>(msg: impl Into<String>) -> Result<T, MlError> {
+    Err(MlError::Type(msg.into()))
+}
+
+/// Substitutes `arg` for variable `idx` in `t` (de Bruijn, no
+/// capture-avoidance needed beyond index shifting for our prenex use).
+fn ml_subst(t: &MlTy, idx: u32, arg: &MlTy) -> MlTy {
+    match t {
+        MlTy::Unit | MlTy::Int | MlTy::Foreign(_) => t.clone(),
+        MlTy::Prod(ts) => MlTy::Prod(ts.iter().map(|t| ml_subst(t, idx, arg)).collect()),
+        MlTy::Sum(ts) => MlTy::Sum(ts.iter().map(|t| ml_subst(t, idx, arg)).collect()),
+        MlTy::Arrow(a, b) => MlTy::Arrow(
+            Box::new(ml_subst(a, idx, arg)),
+            Box::new(ml_subst(b, idx, arg)),
+        ),
+        MlTy::Ref(t) => MlTy::Ref(Box::new(ml_subst(t, idx, arg))),
+        MlTy::RefToLin(t) => MlTy::RefToLin(Box::new(ml_subst(t, idx, arg))),
+        MlTy::Rec(b) => MlTy::Rec(Box::new(ml_subst(b, idx + 1, arg))),
+        MlTy::Var(i) if *i == idx => arg.clone(),
+        MlTy::Var(i) if *i > idx => MlTy::Var(i - 1),
+        MlTy::Var(i) => MlTy::Var(*i),
+    }
+}
+
+/// Instantiates a prenex-polymorphic type with `tyargs` (telescope order:
+/// first declared parameter first; de Bruijn 0 = last parameter).
+fn ml_instantiate(t: &MlTy, tyargs: &[MlTy]) -> MlTy {
+    let mut out = t.clone();
+    // Innermost (index 0) is the *last* declared argument.
+    for a in tyargs.iter().rev() {
+        out = ml_subst(&out, 0, a);
+    }
+    out
+}
+
+/// Unfolds `rec` one step: `body[rec/0]`.
+fn ml_unfold(rec: &MlTy) -> Result<MlTy, MlError> {
+    match rec {
+        MlTy::Rec(body) => Ok(ml_subst(body, 0, rec)),
+        other => terr(format!("unfold of non-recursive type {other:?}")),
+    }
+}
+
+/// A top-level callable's signature.
+#[derive(Debug, Clone)]
+struct FuncSig {
+    idx: u32,
+    tyvars: u32,
+    params: Vec<MlTy>,
+    ret: MlTy,
+}
+
+/// Module-level compilation state.
+struct ModuleCx {
+    sigs: BTreeMap<String, FuncSig>,
+    globals: BTreeMap<String, (u32, MlTy)>,
+    /// Hoisted code functions (appended after user functions).
+    code_funcs: Vec<Func>,
+    /// Table entries for code functions.
+    table: Vec<u32>,
+    first_code_idx: u32,
+}
+
+impl ModuleCx {
+    /// Registers a hoisted code function; returns its table index.
+    fn add_code_fn(&mut self, f: Func) -> u32 {
+        let fidx = self.first_code_idx + self.code_funcs.len() as u32;
+        self.code_funcs.push(f);
+        let tidx = self.table.len() as u32;
+        self.table.push(fidx);
+        tidx
+    }
+}
+
+/// Per-block scope information.
+#[derive(Default)]
+struct Scope {
+    /// Outer linear slots consumed inside this block (become local
+    /// effects `(slot, unit)` on the block annotation).
+    consumed_outer: HashSet<u32>,
+}
+
+struct FnCompiler {
+    /// name → (slot, type, def_depth); shadowing via Vec.
+    vars: Vec<(String, u32, MlTy, usize)>,
+    n_slots: u32,
+    n_params: u32,
+    tyvars: u32,
+    scopes: Vec<Scope>,
+}
+
+impl FnCompiler {
+    fn new(params: &[(String, MlTy)], tyvars: u32) -> FnCompiler {
+        let mut c = FnCompiler {
+            vars: Vec::new(),
+            n_slots: params.len() as u32,
+            n_params: params.len() as u32,
+            tyvars,
+            scopes: vec![Scope::default()],
+        };
+        for (i, (n, t)) in params.iter().enumerate() {
+            c.vars.push((n.clone(), i as u32, t.clone(), 0));
+        }
+        c
+    }
+
+    fn fresh(&mut self) -> u32 {
+        let s = self.n_slots;
+        self.n_slots += 1;
+        s
+    }
+
+    fn depth(&self) -> usize {
+        self.scopes.len() - 1
+    }
+
+    fn enter(&mut self) {
+        self.scopes.push(Scope::default());
+    }
+
+    /// Leaves a block scope, returning its local effects.
+    fn exit(&mut self) -> Vec<LocalEffect> {
+        let sc = self.scopes.pop().expect("scope");
+        let mut slots: Vec<u32> = sc.consumed_outer.into_iter().collect();
+        slots.sort_unstable();
+        slots.into_iter().map(|s| LocalEffect::new(s, Type::unit())).collect()
+    }
+
+    fn lookup(&self, name: &str) -> Option<(u32, MlTy, usize)> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, ..)| n == name)
+            .map(|(_, s, t, d)| (*s, t.clone(), *d))
+    }
+
+    /// Records the consumption of a linear slot defined at `def_depth` in
+    /// every enclosing block scope deeper than its definition.
+    fn consume(&mut self, slot: u32, def_depth: usize) {
+        for level in (def_depth + 1)..self.scopes.len() {
+            self.scopes[level].consumed_outer.insert(slot);
+        }
+    }
+
+    /// Emits a read of a variable with the right qualifier; linear reads
+    /// strongly update the slot to unit.
+    fn read_var(&mut self, out: &mut Vec<Instr>, slot: u32, ty: &MlTy, def_depth: usize) {
+        let q = translate_ty(ty).qual;
+        out.push(Instr::GetLocal(slot, q));
+        if q == Qual::Lin {
+            self.consume(slot, def_depth);
+        }
+    }
+
+    /// Resets a (now unrestricted or consumed) slot to unit so block
+    /// annotations stay effect-free.
+    fn reset(&self, out: &mut Vec<Instr>, slot: u32) {
+        out.push(Instr::Val(Value::Unit));
+        out.push(Instr::SetLocal(slot));
+    }
+
+    // ------------------------------------------------------------------
+    // Expression compilation (type synthesis + emission).
+    // ------------------------------------------------------------------
+    #[allow(clippy::too_many_lines)]
+    fn gen(
+        &mut self,
+        cx: &mut ModuleCx,
+        e: &MlExpr,
+        out: &mut Vec<Instr>,
+    ) -> Result<MlTy, MlError> {
+        match e {
+            MlExpr::Unit => {
+                out.push(Instr::Val(Value::Unit));
+                Ok(MlTy::Unit)
+            }
+            MlExpr::Int(v) => {
+                out.push(Instr::i32(*v));
+                Ok(MlTy::Int)
+            }
+            MlExpr::Var(name) => {
+                if let Some((slot, ty, d)) = self.lookup(name) {
+                    self.read_var(out, slot, &ty, d);
+                    Ok(ty)
+                } else if let Some((gidx, ty)) = cx.globals.get(name).cloned() {
+                    out.push(Instr::GetGlobal(gidx));
+                    Ok(ty)
+                } else {
+                    terr(format!("unbound variable {name}"))
+                }
+            }
+            MlExpr::Let(x, e1, e2) => {
+                let t1 = self.gen(cx, e1, out)?;
+                let slot = self.fresh();
+                out.push(Instr::SetLocal(slot));
+                self.vars.push((x.clone(), slot, t1, self.depth()));
+                let t2 = self.gen(cx, e2, out)?;
+                self.vars.pop();
+                // Unused linear variables are caught by RichWasm here: the
+                // reset overwrites a linear leftover, which is rejected.
+                self.reset(out, slot);
+                Ok(t2)
+            }
+            MlExpr::Seq(e1, e2) => {
+                let _t1 = self.gen(cx, e1, out)?;
+                out.push(Instr::Drop);
+                self.gen(cx, e2, out)
+            }
+            MlExpr::Binop(op, e1, e2) => {
+                let t1 = self.gen(cx, e1, out)?;
+                let t2 = self.gen(cx, e2, out)?;
+                if t1 != MlTy::Int || t2 != MlTy::Int {
+                    return terr("binop on non-int");
+                }
+                use richwasm::syntax::instr::{IntBinop, IntRelop, NumInstr, Sign};
+                use richwasm::syntax::NumType;
+                let n = match op {
+                    MlBinop::Add => NumInstr::IntBinop(NumType::I32, IntBinop::Add),
+                    MlBinop::Sub => NumInstr::IntBinop(NumType::I32, IntBinop::Sub),
+                    MlBinop::Mul => NumInstr::IntBinop(NumType::I32, IntBinop::Mul),
+                    MlBinop::Div => NumInstr::IntBinop(NumType::I32, IntBinop::Div(Sign::S)),
+                    MlBinop::Eq => NumInstr::IntRelop(NumType::I32, IntRelop::Eq),
+                    MlBinop::Lt => NumInstr::IntRelop(NumType::I32, IntRelop::Lt(Sign::S)),
+                };
+                out.push(Instr::Num(n));
+                Ok(MlTy::Int)
+            }
+            MlExpr::If(c, t, f) => {
+                let tc = self.gen(cx, c, out)?;
+                if tc != MlTy::Int {
+                    return terr("if condition must be int");
+                }
+                self.enter();
+                let mut t_out = Vec::new();
+                let tt = self.gen(cx, t, &mut t_out)?;
+                let mut f_out = Vec::new();
+                let tf = self.gen(cx, f, &mut f_out)?;
+                let effects = self.exit();
+                if tt != tf {
+                    return terr(format!("if arms disagree: {tt:?} vs {tf:?}"));
+                }
+                let rt = translate_ty(&tt);
+                out.push(Instr::IfI(
+                    richwasm::syntax::instr::Block::new(
+                        richwasm::syntax::ArrowType::new(vec![], vec![rt]),
+                        effects,
+                    ),
+                    t_out,
+                    f_out,
+                ));
+                Ok(tt)
+            }
+            MlExpr::Tuple(es) => {
+                let mut tys = Vec::new();
+                for e in es {
+                    tys.push(self.gen(cx, e, out)?);
+                }
+                out.push(Instr::StructMalloc(
+                    vec![Size::Const(ML_SLOT); es.len()],
+                    Qual::Unr,
+                ));
+                Ok(MlTy::Prod(tys))
+            }
+            MlExpr::Proj(i, e) => {
+                let t = self.gen(cx, e, out)?;
+                let MlTy::Prod(ts) = &t else {
+                    return terr(format!("projection from non-product {t:?}"));
+                };
+                let Some(ti) = ts.get(*i).cloned() else {
+                    return terr(format!("projection index {i} out of range"));
+                };
+                self.take_field_from_struct(out, *i, &ti);
+                Ok(ti)
+            }
+            MlExpr::Inj { sum, tag, e } => {
+                let MlTy::Sum(ts) = sum else {
+                    return terr("inj into non-sum type");
+                };
+                let Some(expect) = ts.get(*tag) else {
+                    return terr(format!("inj tag {tag} out of range"));
+                };
+                let t = self.gen(cx, e, out)?;
+                if &t != expect {
+                    return terr(format!("inj payload {t:?} vs declared {expect:?}"));
+                }
+                let cases = ts.iter().map(translate_ty).collect();
+                out.push(Instr::VariantMalloc(*tag as u32, cases, Qual::Unr));
+                Ok(sum.clone())
+            }
+            MlExpr::Case(e, arms) => self.gen_case(cx, e, arms, out),
+            MlExpr::NewRef(e) => {
+                let t = self.gen(cx, e, out)?;
+                out.push(Instr::StructMalloc(vec![Size::Const(ML_SLOT)], Qual::Unr));
+                Ok(MlTy::Ref(Box::new(t)))
+            }
+            MlExpr::NewRefToLin(ty) => {
+                let content = translate_ty(ty);
+                out.push(Instr::Val(Value::Unit));
+                out.push(Instr::VariantMalloc(
+                    0,
+                    vec![Type::unit(), content],
+                    Qual::Lin,
+                ));
+                out.push(Instr::StructMalloc(vec![Size::Const(ML_SLOT)], Qual::Unr));
+                Ok(MlTy::RefToLin(Box::new(ty.clone())))
+            }
+            MlExpr::Deref(e) => {
+                let t = self.gen(cx, e, out)?;
+                match t {
+                    MlTy::Ref(inner) => {
+                        self.take_field_from_struct(out, 0, &inner);
+                        Ok(*inner)
+                    }
+                    MlTy::RefToLin(inner) => {
+                        self.gen_lin_take(out, &inner);
+                        Ok(*inner)
+                    }
+                    other => terr(format!("dereference of non-reference {other:?}")),
+                }
+            }
+            MlExpr::Assign(e1, e2) => {
+                let t1 = self.gen(cx, e1, out)?;
+                match t1 {
+                    MlTy::Ref(inner) => {
+                        let t2 = self.gen(cx, e2, out)?;
+                        if t2 != *inner {
+                            return terr(format!("assign {t2:?} into Ref {inner:?}"));
+                        }
+                        // Stack: [cell, v]. Stash v, open the cell, set.
+                        // The slot is written before the block and reset
+                        // after it, so the block needs no local effects.
+                        let tmp = self.fresh();
+                        out.push(Instr::SetLocal(tmp));
+                        let body = vec![
+                            Instr::GetLocal(tmp, Qual::Unr),
+                            Instr::StructSet(0),
+                            Instr::Drop,
+                        ];
+                        out.push(unpack(vec![], vec![], vec![], body));
+                        self.reset(out, tmp);
+                        out.push(Instr::Val(Value::Unit));
+                        Ok(MlTy::Unit)
+                    }
+                    MlTy::RefToLin(inner) => {
+                        let t2 = self.gen(cx, e2, out)?;
+                        if t2 != *inner {
+                            return terr(format!("assign {t2:?} into ref_to_lin {inner:?}"));
+                        }
+                        self.gen_lin_put(out, &inner);
+                        out.push(Instr::Val(Value::Unit));
+                        Ok(MlTy::Unit)
+                    }
+                    other => terr(format!("assignment to non-reference {other:?}")),
+                }
+            }
+            MlExpr::Lam { param, param_ty, ret_ty, body } => {
+                self.gen_lambda(cx, param, param_ty, ret_ty, body, out)
+            }
+            MlExpr::App(f, a) => self.gen_app(cx, f, a, out),
+            MlExpr::Fold(rec, e) => {
+                let unfolded = ml_unfold(rec)?;
+                let t = self.gen(cx, e, out)?;
+                if t != unfolded {
+                    return terr(format!("fold body {t:?} vs unfolding {unfolded:?}"));
+                }
+                out.push(Instr::RecFold((*translate_ty(rec).pre).clone()));
+                Ok(rec.clone())
+            }
+            MlExpr::Unfold(e) => {
+                let t = self.gen(cx, e, out)?;
+                let unfolded = ml_unfold(&t)?;
+                out.push(Instr::RecUnfold);
+                Ok(unfolded)
+            }
+            MlExpr::CallTop { name, tyargs, args } => {
+                let sig = cx
+                    .sigs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| MlError::Type(format!("unknown function {name}")))?;
+                if tyargs.len() as u32 != sig.tyvars {
+                    return terr(format!(
+                        "{name} expects {} type arguments, got {}",
+                        sig.tyvars,
+                        tyargs.len()
+                    ));
+                }
+                if args.len() != sig.params.len() {
+                    return terr(format!(
+                        "{name} expects {} arguments, got {}",
+                        sig.params.len(),
+                        args.len()
+                    ));
+                }
+                for (a, pt) in args.iter().zip(&sig.params) {
+                    let want = ml_instantiate(pt, tyargs);
+                    let got = self.gen(cx, a, out)?;
+                    if got != want {
+                        return terr(format!("argument {got:?} vs parameter {want:?}"));
+                    }
+                }
+                let indices = tyargs
+                    .iter()
+                    .map(|t| Index::Pretype((*translate_ty(t).pre).clone()))
+                    .collect();
+                out.push(Instr::Call(sig.idx, indices));
+                Ok(ml_instantiate(&sig.ret, tyargs))
+            }
+        }
+    }
+
+    /// With a boxed struct package on the stack, reads (unrestricted)
+    /// field `i` and leaves just the value.
+    fn take_field_from_struct(&mut self, out: &mut Vec<Instr>, i: usize, field: &MlTy) {
+        let rt = translate_ty(field);
+        let tmp = self.fresh();
+        let q = rt.qual;
+        let mut body = vec![
+            Instr::StructGet(i as u32),
+            Instr::SetLocal(tmp),
+            Instr::Drop,
+            Instr::GetLocal(tmp, q),
+        ];
+        if q == Qual::Unr {
+            self.reset(&mut body, tmp);
+        }
+        out.push(unpack(vec![], vec![rt], vec![], body));
+    }
+
+    /// `!c` on a `ref_to_lin` cell: swap an empty option in, open the old
+    /// option; trap (unreachable) if the cell was empty — "read twice
+    /// fails at runtime" (§2.2).
+    fn gen_lin_take(&mut self, out: &mut Vec<Instr>, content: &MlTy) {
+        let content_rt = translate_ty(content);
+        let opt = opt_type(&content_rt);
+        let cases = opt_heap_type(&content_rt);
+        let tmp_old = self.fresh();
+        let body = vec![
+            // [cell_ref] — make a fresh empty option, swap it in.
+            Instr::Val(Value::Unit),
+            Instr::VariantMalloc(0, vec![Type::unit(), content_rt.clone()], Qual::Lin),
+            Instr::StructSwap(0),
+            // [cell_ref, old_opt]
+            Instr::SetLocal(tmp_old),
+            Instr::Drop,
+            Instr::GetLocal(tmp_old, Qual::Lin),
+            // [old_opt] — open it; case 0 = cell was empty = failure.
+            unpack(
+                vec![],
+                vec![content_rt.clone()],
+                vec![],
+                vec![Instr::VariantCase(
+                    Qual::Lin,
+                    cases,
+                    block(vec![], vec![content_rt.clone()], vec![]),
+                    vec![
+                        vec![Instr::Drop, Instr::Unreachable],
+                        vec![],
+                    ],
+                )],
+            ),
+        ];
+        let _ = opt;
+        out.push(unpack(vec![], vec![content_rt], vec![], body));
+    }
+
+    /// `c := v` on a `ref_to_lin` cell: box the value into a full option,
+    /// swap it in; trap if the previous option was full — "write twice
+    /// fails".
+    fn gen_lin_put(&mut self, out: &mut Vec<Instr>, content: &MlTy) {
+        let content_rt = translate_ty(content);
+        let cases_ht = opt_heap_type(&content_rt);
+        // Stack: [cell, v]. Box v into option case 1, stash it.
+        out.push(Instr::VariantMalloc(
+            1,
+            vec![Type::unit(), content_rt.clone()],
+            Qual::Lin,
+        ));
+        let tmp_new = self.fresh();
+        out.push(Instr::SetLocal(tmp_new));
+        let tmp_old = self.fresh();
+        let body = vec![
+            // [cell_ref]
+            Instr::GetLocal(tmp_new, Qual::Lin),
+            Instr::StructSwap(0),
+            Instr::SetLocal(tmp_old),
+            Instr::Drop,
+            Instr::GetLocal(tmp_old, Qual::Lin),
+            unpack(
+                vec![],
+                vec![],
+                vec![],
+                vec![Instr::VariantCase(
+                    Qual::Lin,
+                    cases_ht,
+                    block(vec![], vec![], vec![]),
+                    vec![
+                        // Empty before: fine, drop the unit payload.
+                        vec![Instr::Drop],
+                        // Full before: double write — fails at runtime.
+                        vec![Instr::Unreachable],
+                    ],
+                )],
+            ),
+        ];
+        // tmp_new is consumed inside the unpack block: declare the effect.
+        out.push(unpack(
+            vec![],
+            vec![],
+            vec![(tmp_new, Type::unit()), (tmp_old, Type::unit())],
+            body,
+        ));
+    }
+
+    fn gen_case(
+        &mut self,
+        cx: &mut ModuleCx,
+        e: &MlExpr,
+        arms: &[(String, MlExpr)],
+        out: &mut Vec<Instr>,
+    ) -> Result<MlTy, MlError> {
+        let t = self.gen(cx, e, out)?;
+        let MlTy::Sum(ts) = &t else {
+            return terr(format!("case on non-sum {t:?}"));
+        };
+        if ts.len() != arms.len() {
+            return terr(format!("case has {} arms for {} cases", arms.len(), ts.len()));
+        }
+        self.enter(); // the variant.case block scope
+        let mut bodies = Vec::new();
+        let mut result: Option<MlTy> = None;
+        for ((x, arm), case_ty) in arms.iter().zip(ts) {
+            let slot = self.fresh();
+            let mut body = vec![Instr::SetLocal(slot)];
+            self.vars.push((x.clone(), slot, case_ty.clone(), self.depth()));
+            let rt = self.gen(cx, arm, &mut body)?;
+            self.vars.pop();
+            self.reset(&mut body, slot);
+            match &result {
+                None => result = Some(rt),
+                Some(prev) if *prev == rt => {}
+                Some(prev) => {
+                    return terr(format!("case arms disagree: {prev:?} vs {rt:?}"));
+                }
+            }
+            bodies.push(body);
+        }
+        let case_effects = self.exit();
+        let res_ml = result.expect("at least one arm");
+        let res_rt = translate_ty(&res_ml);
+        let cases_rt: Vec<Type> = ts.iter().map(translate_ty).collect();
+        let tmp = self.fresh();
+        let q = res_rt.qual;
+        let mut unpack_body = vec![
+            Instr::VariantCase(
+                Qual::Unr,
+                HeapType::Variant(cases_rt),
+                block(vec![], vec![res_rt.clone()], case_effects.iter().map(|e| (e.idx, e.ty.clone())).collect()),
+                bodies,
+            ),
+            // [ref, res]
+            Instr::SetLocal(tmp),
+            Instr::Drop,
+            Instr::GetLocal(tmp, q),
+        ];
+        if q == Qual::Unr {
+            self.reset(&mut unpack_body, tmp);
+        }
+        let fx: Vec<(u32, Type)> = case_effects.iter().map(|e| (e.idx, e.ty.clone())).collect();
+        out.push(unpack(vec![], vec![res_rt], fx, unpack_body));
+        Ok(res_ml)
+    }
+
+    fn gen_lambda(
+        &mut self,
+        cx: &mut ModuleCx,
+        param: &str,
+        param_ty: &MlTy,
+        ret_ty: &MlTy,
+        body: &MlExpr,
+        out: &mut Vec<Instr>,
+    ) -> Result<MlTy, MlError> {
+        if self.tyvars > 0 {
+            return Err(MlError::Unsupported(
+                "lambdas inside polymorphic functions".into(),
+            ));
+        }
+        // Free variables of the body, minus the parameter (globals are
+        // reached directly, not captured).
+        let mut fvs = Vec::new();
+        let mut bound: HashSet<String> = HashSet::new();
+        bound.insert(param.to_string());
+        free_vars(body, &mut bound, &mut fvs);
+        let mut captures = Vec::new();
+        for name in fvs {
+            if cx.globals.contains_key(&name) || cx.sigs.contains_key(&name) {
+                continue;
+            }
+            let Some((slot, ty, d)) = self.lookup(&name) else {
+                return terr(format!("unbound variable {name}"));
+            };
+            if ty.is_linear() {
+                return Err(MlError::Unsupported(format!(
+                    "closure capture of linear variable {name}"
+                )));
+            }
+            captures.push((name, slot, ty, d));
+        }
+        let env_ml = MlTy::Prod(captures.iter().map(|(_, _, t, _)| t.clone()).collect());
+        let env_rt = translate_ty(&env_ml);
+
+        // The hoisted code function: [arg, env] → [res].
+        let mut code = FnCompiler::new(
+            &[(param.to_string(), param_ty.clone()), ("$env".into(), env_ml.clone())],
+            0,
+        );
+        let mut code_body = Vec::new();
+        // Prologue: open the environment into fresh slots.
+        let mut fv_slots = Vec::new();
+        let mut open = vec![];
+        let mut effects = Vec::new();
+        for (name, _, ty, _) in &captures {
+            let s = code.fresh();
+            fv_slots.push(s);
+            code.vars.push((name.clone(), s, ty.clone(), 0));
+            effects.push((s, translate_ty(ty)));
+        }
+        for (i, s) in fv_slots.iter().enumerate() {
+            open.push(Instr::StructGet(i as u32));
+            open.push(Instr::SetLocal(*s));
+        }
+        open.push(Instr::Drop);
+        code_body.push(Instr::GetLocal(1, Qual::Unr)); // the env package
+        code_body.push(unpack(vec![], vec![], effects, open));
+        let rt = code.gen(cx, body, &mut code_body)?;
+        if &rt != ret_ty {
+            return terr(format!("lambda body {rt:?} vs declared {ret_ty:?}"));
+        }
+        let code_ty = code_fun_type(
+            translate_ty(param_ty),
+            env_rt.clone(),
+            translate_ty(ret_ty),
+        );
+        let extra = code.n_slots - code.n_params;
+        let tbl_idx = cx.add_code_fn(Func::Defined {
+            exports: vec![],
+            ty: code_ty,
+            locals: vec![Size::Const(ML_SLOT); extra as usize],
+            body: code_body,
+        });
+
+        // The closure value: pack (env, coderef) behind ∃α.
+        for (_, slot, ty, d) in &captures {
+            self.read_var(out, *slot, ty, *d);
+        }
+        out.push(Instr::StructMalloc(
+            vec![Size::Const(ML_SLOT); captures.len()],
+            Qual::Unr,
+        ));
+        out.push(Instr::CodeRefI(tbl_idx));
+        out.push(Instr::Group(2, Qual::Unr));
+        let pair_body = Pretype::Prod(vec![
+            Pretype::Var(0).unr(),
+            Pretype::CodeRef(code_fun_type(
+                translate_ty_at(param_ty, 1),
+                Pretype::Var(0).unr(),
+                translate_ty_at(ret_ty, 1),
+            ))
+            .unr(),
+        ])
+        .unr();
+        let psi = HeapType::Exists(Qual::Unr, Size::Const(ML_SLOT), Box::new(pair_body));
+        out.push(Instr::ExistPack((*env_rt.pre).clone(), psi, Qual::Unr));
+        Ok(MlTy::Arrow(Box::new(param_ty.clone()), Box::new(ret_ty.clone())))
+    }
+
+    fn gen_app(
+        &mut self,
+        cx: &mut ModuleCx,
+        f: &MlExpr,
+        a: &MlExpr,
+        out: &mut Vec<Instr>,
+    ) -> Result<MlTy, MlError> {
+        let ta = self.gen(cx, a, out)?;
+        let tf = self.gen(cx, f, out)?;
+        let MlTy::Arrow(pa, pb) = &tf else {
+            return terr(format!("application of non-function {tf:?}"));
+        };
+        if **pa != ta {
+            return terr(format!("argument {ta:?} vs parameter {pa:?}"));
+        }
+        let arg_rt = translate_ty(pa);
+        let res_rt = translate_ty(pb);
+        let q_arg = arg_rt.qual;
+        let q_res = res_rt.qual;
+        let tmp_ref = self.fresh();
+        let tmp_arg = self.fresh();
+        let tmp_cr = self.fresh();
+        let tmp_res = self.fresh();
+        // Stack: [arg, clos]. Open the closure.
+        let pair_body = Pretype::Prod(vec![
+            Pretype::Var(0).unr(),
+            Pretype::CodeRef(code_fun_type(
+                translate_ty_at(pa, 1),
+                Pretype::Var(0).unr(),
+                translate_ty_at(pb, 1),
+            ))
+            .unr(),
+        ])
+        .unr();
+        let psi = HeapType::Exists(Qual::Unr, Size::Const(ML_SLOT), Box::new(pair_body));
+        let mut inner = vec![
+            // entry: [arg, pair]
+            Instr::Ungroup,
+            // [arg, env, cr]
+            Instr::SetLocal(tmp_cr),
+            Instr::GetLocal(tmp_cr, Qual::Unr),
+            // [arg, env, cr]
+            Instr::CallIndirect,
+        ];
+        self.reset(&mut inner, tmp_cr);
+        let mut body = vec![
+            // entry: [arg, clos_ref]
+            Instr::SetLocal(tmp_ref),
+            Instr::SetLocal(tmp_arg),
+            Instr::GetLocal(tmp_ref, Qual::Unr),
+            Instr::GetLocal(tmp_arg, q_arg),
+            // [clos_ref, arg]
+            Instr::ExistUnpack(
+                Qual::Unr,
+                psi,
+                block(vec![arg_rt.clone()], vec![res_rt.clone()], vec![(tmp_cr, Type::unit())]),
+                inner,
+            ),
+            // [clos_ref, res]
+            Instr::SetLocal(tmp_res),
+            Instr::Drop,
+            Instr::GetLocal(tmp_res, q_res),
+        ];
+        if q_res == Qual::Unr {
+            self.reset(&mut body, tmp_res);
+        }
+        self.reset(&mut body, tmp_ref);
+        if q_arg == Qual::Unr {
+            // tmp_arg still holds the (unrestricted) argument; clear it.
+            let mut r = Vec::new();
+            self.reset(&mut r, tmp_arg);
+            body.extend(r);
+        }
+        let fx = vec![
+            (tmp_ref, Type::unit()),
+            (tmp_arg, Type::unit()),
+            (tmp_cr, Type::unit()),
+            (tmp_res, Type::unit()),
+        ];
+        out.push(unpack(vec![arg_rt], vec![res_rt], fx, body));
+        Ok((**pb).clone())
+    }
+}
+
+/// Collects free variables of `e` in first-use order.
+fn free_vars(e: &MlExpr, bound: &mut HashSet<String>, out: &mut Vec<String>) {
+    let seen = |name: &String, bound: &HashSet<String>, out: &mut Vec<String>| {
+        if !bound.contains(name) && !out.contains(name) {
+            out.push(name.clone());
+        }
+    };
+    match e {
+        MlExpr::Unit | MlExpr::Int(_) | MlExpr::NewRefToLin(_) => {}
+        MlExpr::Var(n) => seen(n, bound, out),
+        MlExpr::Let(x, e1, e2) => {
+            free_vars(e1, bound, out);
+            let added = bound.insert(x.clone());
+            free_vars(e2, bound, out);
+            if added {
+                bound.remove(x);
+            }
+        }
+        MlExpr::Seq(a, b) | MlExpr::App(a, b) | MlExpr::Assign(a, b) => {
+            free_vars(a, bound, out);
+            free_vars(b, bound, out);
+        }
+        MlExpr::Binop(_, a, b) => {
+            free_vars(a, bound, out);
+            free_vars(b, bound, out);
+        }
+        MlExpr::If(c, a, b) => {
+            free_vars(c, bound, out);
+            free_vars(a, bound, out);
+            free_vars(b, bound, out);
+        }
+        MlExpr::Lam { param, body, .. } => {
+            let added = bound.insert(param.clone());
+            free_vars(body, bound, out);
+            if added {
+                bound.remove(param);
+            }
+        }
+        MlExpr::Tuple(es) => {
+            for e in es {
+                free_vars(e, bound, out);
+            }
+        }
+        MlExpr::Proj(_, e)
+        | MlExpr::Inj { e, .. }
+        | MlExpr::NewRef(e)
+        | MlExpr::Deref(e)
+        | MlExpr::Fold(_, e)
+        | MlExpr::Unfold(e) => free_vars(e, bound, out),
+        MlExpr::Case(e, arms) => {
+            free_vars(e, bound, out);
+            for (x, arm) in arms {
+                let added = bound.insert(x.clone());
+                free_vars(arm, bound, out);
+                if added {
+                    bound.remove(x);
+                }
+            }
+        }
+        MlExpr::CallTop { args, .. } => {
+            for a in args {
+                free_vars(a, bound, out);
+            }
+        }
+    }
+}
+
+/// Compiles an ML module to a RichWasm module.
+///
+/// ML-level errors (unbound variables, ML type mismatches, unsupported
+/// constructs) are reported as [`MlError`]; *linearity* errors are
+/// deliberately left to the RichWasm checker (§5).
+///
+/// # Errors
+///
+/// Returns [`MlError`] for ML-level problems.
+pub fn compile_module(m: &MlModule) -> Result<Module, MlError> {
+    let n_imports = m.imports.len() as u32;
+    let mut cx = ModuleCx {
+        sigs: BTreeMap::new(),
+        globals: BTreeMap::new(),
+        code_funcs: Vec::new(),
+        table: Vec::new(),
+        first_code_idx: n_imports + m.funs.len() as u32,
+    };
+    for (i, im) in m.imports.iter().enumerate() {
+        cx.sigs.insert(
+            im.name.clone(),
+            FuncSig {
+                idx: i as u32,
+                tyvars: 0,
+                params: im.params.clone(),
+                ret: im.ret.clone(),
+            },
+        );
+    }
+    for (i, f) in m.funs.iter().enumerate() {
+        cx.sigs.insert(
+            f.name.clone(),
+            FuncSig {
+                idx: n_imports + i as u32,
+                tyvars: f.tyvars,
+                params: f.params.iter().map(|(_, t)| t.clone()).collect(),
+                ret: f.ret.clone(),
+            },
+        );
+    }
+    for (i, g) in m.globals.iter().enumerate() {
+        cx.globals.insert(g.name.clone(), (i as u32, g.ty.clone()));
+    }
+
+    // Globals.
+    let mut globals = Vec::new();
+    for g in &m.globals {
+        let init = compile_global_init(&mut cx, g)?;
+        let rt = translate_ty(&g.ty);
+        if rt.qual != Qual::Unr {
+            return Err(MlError::Unsupported(format!(
+                "module global {} has a linear type",
+                g.name
+            )));
+        }
+        globals.push(Global {
+            exports: vec![],
+            kind: GlobalKind::Defined { mutable: true, ty: (*rt.pre).clone(), init },
+        });
+    }
+
+    // Functions.
+    let mut funcs = Vec::new();
+    for im in &m.imports {
+        funcs.push(Func::Imported {
+            exports: vec![],
+            module: im.module.clone(),
+            name: im.name.clone(),
+            ty: import_funtype(im),
+        });
+    }
+    for f in m.funs.iter() {
+        let mut comp = FnCompiler::new(&f.params, f.tyvars);
+        let mut body = Vec::new();
+        let rt = comp.gen(&mut cx, &f.body, &mut body)?;
+        if rt != f.ret {
+            return terr(format!("{}: body has type {rt:?}, declared {:?}", f.name, f.ret));
+        }
+        let quants = (0..f.tyvars)
+            .map(|_| Quantifier::Type {
+                lower_qual: Qual::Unr,
+                size: Size::Const(ML_SLOT),
+                may_contain_caps: false,
+            })
+            .collect();
+        let ty = FunType {
+            quants,
+            arrow: richwasm::syntax::ArrowType::new(
+                f.params.iter().map(|(_, t)| translate_ty(t)).collect(),
+                vec![translate_ty(&f.ret)],
+            ),
+        };
+        let extra = comp.n_slots - comp.n_params;
+        funcs.push(Func::Defined {
+            exports: if f.export { vec![f.name.clone()] } else { vec![] },
+            ty,
+            locals: vec![Size::Const(ML_SLOT); extra as usize],
+            body,
+        });
+    }
+    funcs.extend(cx.code_funcs);
+
+    Ok(Module {
+        funcs,
+        globals,
+        table: Table { exports: vec![], entries: cx.table },
+    })
+}
+
+/// The RichWasm type of an import declaration.
+pub fn import_funtype(im: &crate::ast::MlImport) -> FunType {
+    FunType::mono(
+        im.params.iter().map(translate_ty).collect(),
+        vec![translate_ty(&im.ret)],
+    )
+}
+
+fn compile_global_init(cx: &mut ModuleCx, g: &MlGlobal) -> Result<Vec<Instr>, MlError> {
+    let mut comp = FnCompiler::new(&[], 0);
+    let mut out = Vec::new();
+    let t = comp.gen(cx, &g.init, &mut out)?;
+    if t != g.ty {
+        return terr(format!("global {}: initialiser {t:?} vs declared {:?}", g.name, g.ty));
+    }
+    if comp.n_slots > 0 {
+        return Err(MlError::Unsupported(format!(
+            "global {} initialiser needs local variables; use a constant or allocation \
+             expression",
+            g.name
+        )));
+    }
+    Ok(out)
+}
+
+// Re-export used by types.rs consumers.
+pub use crate::types::translate_ty as translate;
+
+#[allow(unused_imports)]
+use crate::types::boxed as _boxed_reexport_guard;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::MlFun;
+    use richwasm::interp::Runtime;
+    use richwasm::syntax::Value;
+    use richwasm::typecheck::check_module;
+
+    fn run_main(m: &MlModule) -> Result<Value, String> {
+        let rw = compile_module(m).map_err(|e| e.to_string())?;
+        check_module(&rw).map_err(|e| format!("richwasm: {e}"))?;
+        let mut rt = Runtime::new();
+        let idx = rt.instantiate("m", rw).map_err(|e| e.to_string())?;
+        let r = rt.invoke(idx, "main", vec![]).map_err(|e| e.to_string())?;
+        Ok(r.values[0].clone())
+    }
+
+    fn main_fn(body: MlExpr, ret: MlTy) -> MlModule {
+        MlModule {
+            funs: vec![MlFun {
+                name: "main".into(),
+                export: true,
+                tyvars: 0,
+                params: vec![],
+                ret,
+                body,
+            }],
+            ..MlModule::default()
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let m = main_fn(
+            MlExpr::Binop(
+                MlBinop::Mul,
+                Box::new(MlExpr::Int(6)),
+                Box::new(MlExpr::Int(7)),
+            ),
+            MlTy::Int,
+        );
+        assert_eq!(run_main(&m).unwrap(), Value::i32(42));
+    }
+
+    #[test]
+    fn let_and_if() {
+        // let x = 5 in if x then x + 1 else 0
+        let m = main_fn(
+            MlExpr::Let(
+                "x".into(),
+                Box::new(MlExpr::Int(5)),
+                Box::new(MlExpr::If(
+                    Box::new(MlExpr::Var("x".into())),
+                    Box::new(MlExpr::Binop(
+                        MlBinop::Add,
+                        Box::new(MlExpr::Var("x".into())),
+                        Box::new(MlExpr::Int(1)),
+                    )),
+                    Box::new(MlExpr::Int(0)),
+                )),
+            ),
+            MlTy::Int,
+        );
+        assert_eq!(run_main(&m).unwrap(), Value::i32(6));
+    }
+
+    #[test]
+    fn tuples() {
+        let m = main_fn(
+            MlExpr::Proj(
+                1,
+                Box::new(MlExpr::Tuple(vec![MlExpr::Int(1), MlExpr::Int(42)])),
+            ),
+            MlTy::Int,
+        );
+        assert_eq!(run_main(&m).unwrap(), Value::i32(42));
+    }
+
+    #[test]
+    fn references() {
+        // let r = ref 40 in r := !r + 2; !r
+        let r = || Box::new(MlExpr::Var("r".into()));
+        let m = main_fn(
+            MlExpr::Let(
+                "r".into(),
+                Box::new(MlExpr::NewRef(Box::new(MlExpr::Int(40)))),
+                Box::new(MlExpr::Seq(
+                    Box::new(MlExpr::Assign(
+                        r(),
+                        Box::new(MlExpr::Binop(
+                            MlBinop::Add,
+                            Box::new(MlExpr::Deref(r())),
+                            Box::new(MlExpr::Int(2)),
+                        )),
+                    )),
+                    Box::new(MlExpr::Deref(r())),
+                )),
+            ),
+            MlTy::Int,
+        );
+        assert_eq!(run_main(&m).unwrap(), Value::i32(42));
+    }
+
+    #[test]
+    fn sums_and_case() {
+        let sum = MlTy::Sum(vec![MlTy::Int, MlTy::Unit]);
+        let m = main_fn(
+            MlExpr::Case(
+                Box::new(MlExpr::Inj { sum: sum.clone(), tag: 0, e: Box::new(MlExpr::Int(42)) }),
+                vec![
+                    ("x".into(), MlExpr::Var("x".into())),
+                    ("_u".into(), MlExpr::Int(0)),
+                ],
+            ),
+            MlTy::Int,
+        );
+        assert_eq!(run_main(&m).unwrap(), Value::i32(42));
+    }
+
+    #[test]
+    fn closures() {
+        // let y = 40 in (fun x -> x + y) 2
+        let m = main_fn(
+            MlExpr::Let(
+                "y".into(),
+                Box::new(MlExpr::Int(40)),
+                Box::new(MlExpr::App(
+                    Box::new(MlExpr::Lam {
+                        param: "x".into(),
+                        param_ty: MlTy::Int,
+                        ret_ty: MlTy::Int,
+                        body: Box::new(MlExpr::Binop(
+                            MlBinop::Add,
+                            Box::new(MlExpr::Var("x".into())),
+                            Box::new(MlExpr::Var("y".into())),
+                        )),
+                    }),
+                    Box::new(MlExpr::Int(2)),
+                )),
+            ),
+            MlTy::Int,
+        );
+        assert_eq!(run_main(&m).unwrap(), Value::i32(42));
+    }
+
+    #[test]
+    fn polymorphic_identity() {
+        let m = MlModule {
+            funs: vec![
+                MlFun {
+                    name: "id".into(),
+                    export: false,
+                    tyvars: 1,
+                    params: vec![("x".into(), MlTy::Var(0))],
+                    ret: MlTy::Var(0),
+                    body: MlExpr::Var("x".into()),
+                },
+                MlFun {
+                    name: "main".into(),
+                    export: true,
+                    tyvars: 0,
+                    params: vec![],
+                    ret: MlTy::Int,
+                    body: MlExpr::CallTop {
+                        name: "id".into(),
+                        tyargs: vec![MlTy::Int],
+                        args: vec![MlExpr::Int(42)],
+                    },
+                },
+            ],
+            ..MlModule::default()
+        };
+        assert_eq!(run_main(&m).unwrap(), Value::i32(42));
+    }
+
+    #[test]
+    fn recursive_type_fold_unfold() {
+        // rec t. (unit + t) — build fold(inj 0 ()) and unfold+case it.
+        let rec = MlTy::Rec(Box::new(MlTy::Sum(vec![MlTy::Unit, MlTy::Var(0)])));
+        let unfolded_sum = MlTy::Sum(vec![MlTy::Unit, rec.clone()]);
+        let m = main_fn(
+            MlExpr::Case(
+                Box::new(MlExpr::Unfold(Box::new(MlExpr::Fold(
+                    rec.clone(),
+                    Box::new(MlExpr::Inj {
+                        sum: unfolded_sum.clone(),
+                        tag: 0,
+                        e: Box::new(MlExpr::Unit),
+                    }),
+                )))),
+                vec![
+                    ("_u".into(), MlExpr::Int(42)),
+                    ("_r".into(), MlExpr::Int(0)),
+                ],
+            ),
+            MlTy::Int,
+        );
+        assert_eq!(run_main(&m).unwrap(), Value::i32(42));
+    }
+
+    #[test]
+    fn module_global_state() {
+        // A counter closed over by exported functions.
+        let m = MlModule {
+            globals: vec![MlGlobal {
+                name: "counter".into(),
+                ty: MlTy::Ref(Box::new(MlTy::Int)),
+                init: MlExpr::NewRef(Box::new(MlExpr::Int(0))),
+            }],
+            funs: vec![MlFun {
+                name: "main".into(),
+                export: true,
+                tyvars: 0,
+                params: vec![],
+                ret: MlTy::Int,
+                body: MlExpr::Seq(
+                    Box::new(MlExpr::Assign(
+                        Box::new(MlExpr::Var("counter".into())),
+                        Box::new(MlExpr::Binop(
+                            MlBinop::Add,
+                            Box::new(MlExpr::Deref(Box::new(MlExpr::Var("counter".into())))),
+                            Box::new(MlExpr::Int(21)),
+                        )),
+                    )),
+                    Box::new(MlExpr::Binop(
+                        MlBinop::Mul,
+                        Box::new(MlExpr::Deref(Box::new(MlExpr::Var("counter".into())))),
+                        Box::new(MlExpr::Int(2)),
+                    )),
+                ),
+            }],
+            ..MlModule::default()
+        };
+        assert_eq!(run_main(&m).unwrap(), Value::i32(42));
+    }
+
+    #[test]
+    fn compiled_modules_typecheck() {
+        // Type preservation (§5): every compiled module passes the
+        // RichWasm checker.
+        let sum = MlTy::Sum(vec![MlTy::Int, MlTy::Unit]);
+        let programs: Vec<MlModule> = vec![
+            main_fn(MlExpr::Int(1), MlTy::Int),
+            main_fn(
+                MlExpr::Case(
+                    Box::new(MlExpr::Inj { sum: sum.clone(), tag: 1, e: Box::new(MlExpr::Unit) }),
+                    vec![("x".into(), MlExpr::Var("x".into())), ("_".into(), MlExpr::Int(9))],
+                ),
+                MlTy::Int,
+            ),
+        ];
+        for p in &programs {
+            let rw = compile_module(p).unwrap();
+            check_module(&rw).unwrap();
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! The type translation `T⟦·⟧ : ML → RichWasm` and the annotation phase
+//! (paper §5).
+//!
+//! Representation choices (the "annotation" pass baked into the
+//! translation — all RichWasm type variables receive size and qualifier
+//! bounds here):
+//!
+//! * every ML value representation fits **64 bits**: ints are `i32`,
+//!   aggregates (tuples, sums, closures, refs) are boxed behind a
+//!   pointer-sized reference, so all polymorphic positions can be bounded
+//!   by `α ≲ 64`;
+//! * closures are `∃ρ. ref rw ρ (∃ unr ⪯ α ≲ 64. (α, coderef [arg, α] →
+//!   [res]))` — typed closure conversion's existential environment;
+//! * `ref_to_lin τ` cells are unrestricted structs holding an *optional
+//!   linear* variant reference, swapped in and out.
+
+use richwasm::syntax::instr::Block as RwBlock;
+use richwasm::syntax::{
+    ArrowType, FunType, HeapType, Instr, Loc, MemPriv, NumType, Pretype, Qual, Size, Type,
+};
+
+use crate::ast::MlTy;
+
+/// The universal slot size (bits) of an ML value representation.
+pub const ML_SLOT: u64 = 64;
+
+/// Wraps a heap type into `(∃ρ. (ref rw ρ ψ)^q)^q` — the standard boxed
+/// representation.
+pub fn boxed(psi: HeapType, q: Qual) -> Type {
+    Pretype::ExistsLoc(Box::new(
+        Pretype::Ref(MemPriv::ReadWrite, Loc::Var(0), psi).with_qual(q),
+    ))
+    .with_qual(q)
+}
+
+/// The option variant stored inside a `ref_to_lin` cell: an *owned linear*
+/// heap cell that is either empty (case 0) or holds the linear value
+/// (case 1).
+pub fn opt_heap_type(content: &Type) -> HeapType {
+    HeapType::Variant(vec![Type::unit(), content.clone()])
+}
+
+/// The type of the optional-value package inside a `ref_to_lin` cell.
+pub fn opt_type(content: &Type) -> Type {
+    boxed(opt_heap_type(content), Qual::Lin)
+}
+
+/// Translates an ML type to RichWasm.
+///
+/// `extra` counts the RichWasm type binders the translation itself has
+/// introduced above the current position (closure environments add one);
+/// ML type variables shift past them.
+pub fn translate_ty_at(t: &MlTy, extra: u32) -> Type {
+    match t {
+        MlTy::Unit => Type::unit(),
+        MlTy::Int => Type::num(NumType::I32),
+        MlTy::Prod(ts) => {
+            let fields = ts
+                .iter()
+                .map(|t| (translate_ty_at(t, extra), Size::Const(ML_SLOT)))
+                .collect();
+            boxed(HeapType::Struct(fields), Qual::Unr)
+        }
+        MlTy::Sum(ts) => {
+            let cases = ts.iter().map(|t| translate_ty_at(t, extra)).collect();
+            boxed(HeapType::Variant(cases), Qual::Unr)
+        }
+        MlTy::Arrow(a, b) => {
+            // Typed closure conversion's interface type: the environment
+            // type is hidden behind an existential; the code expects
+            // [arg, env] and is reached through the table.
+            let code = code_fun_type(
+                translate_ty_at(a, extra + 1),
+                Pretype::Var(0).unr(),
+                translate_ty_at(b, extra + 1),
+            );
+            let pair = Pretype::Prod(vec![
+                Pretype::Var(0).unr(),
+                Pretype::CodeRef(code).unr(),
+            ])
+            .unr();
+            boxed(
+                HeapType::Exists(Qual::Unr, Size::Const(ML_SLOT), Box::new(pair)),
+                Qual::Unr,
+            )
+        }
+        MlTy::Ref(t) => boxed(
+            HeapType::Struct(vec![(translate_ty_at(t, extra), Size::Const(ML_SLOT))]),
+            Qual::Unr,
+        ),
+        MlTy::RefToLin(t) => {
+            let content = translate_ty_at(t, extra);
+            boxed(
+                HeapType::Struct(vec![(opt_type(&content), Size::Const(ML_SLOT))]),
+                Qual::Unr,
+            )
+        }
+        MlTy::Rec(body) => {
+            // The RichWasm rec binder aligns with the ML one, so `extra`
+            // is unchanged under it.
+            Pretype::Rec(Qual::Unr, Box::new(translate_ty_at(body, extra))).unr()
+        }
+        MlTy::Var(i) => Pretype::Var(i + extra).unr(),
+        MlTy::Foreign(t) => t.clone(),
+    }
+}
+
+/// Translates a closed-context ML type.
+pub fn translate_ty(t: &MlTy) -> Type {
+    translate_ty_at(t, 0)
+}
+
+/// The RichWasm type of a closure's code function: `[arg, env] → [res]`.
+pub fn code_fun_type(arg: Type, env: Type, res: Type) -> FunType {
+    FunType::mono(vec![arg, env], vec![res])
+}
+
+/// Convenience: a RichWasm block annotation with the given arrow and
+/// local effects.
+pub fn block(params: Vec<Type>, results: Vec<Type>, effects: Vec<(u32, Type)>) -> RwBlock {
+    RwBlock::new(
+        ArrowType::new(params, results),
+        effects
+            .into_iter()
+            .map(|(i, t)| richwasm::syntax::instr::LocalEffect::new(i, t))
+            .collect(),
+    )
+}
+
+/// Emits `mem.unpack` with the given annotation around `body`.
+pub fn unpack(params: Vec<Type>, results: Vec<Type>, effects: Vec<(u32, Type)>, body: Vec<Instr>) -> Instr {
+    Instr::MemUnpack(block(params, results, effects), body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use richwasm::env::KindCtx;
+    use richwasm::wf::wf_type;
+
+    #[test]
+    fn base_translations_are_wellformed() {
+        let mut ctx = KindCtx::new();
+        for t in [
+            MlTy::Unit,
+            MlTy::Int,
+            MlTy::Prod(vec![MlTy::Int, MlTy::Unit]),
+            MlTy::Sum(vec![MlTy::Unit, MlTy::Int]),
+            MlTy::Arrow(Box::new(MlTy::Int), Box::new(MlTy::Int)),
+            MlTy::Ref(Box::new(MlTy::Int)),
+            MlTy::Rec(Box::new(MlTy::Sum(vec![MlTy::Unit, MlTy::Var(0)]))),
+        ] {
+            let rt = translate_ty(&t);
+            wf_type(&mut ctx, &rt).unwrap_or_else(|e| panic!("{t:?}: {e}"));
+            assert_eq!(rt.qual, Qual::Unr, "{t:?} should be unrestricted");
+        }
+    }
+
+    #[test]
+    fn ref_to_lin_translation_is_wellformed() {
+        let mut ctx = KindCtx::new();
+        // A linear foreign payload: a linear RichWasm struct ref.
+        let foreign = boxed(
+            HeapType::Struct(vec![(Type::num(NumType::I32), Size::Const(32))]),
+            Qual::Lin,
+        );
+        let t = MlTy::RefToLin(Box::new(MlTy::Foreign(foreign)));
+        let rt = translate_ty(&t);
+        wf_type(&mut ctx, &rt).unwrap();
+        assert_eq!(rt.qual, Qual::Unr, "the cell itself is unrestricted");
+    }
+
+    #[test]
+    fn all_representations_fit_the_slot() {
+        use richwasm::sizing::size_of_type;
+        use richwasm::solver::size_leq;
+        let ctx = KindCtx::new();
+        for t in [
+            MlTy::Int,
+            MlTy::Prod(vec![MlTy::Int; 5]),
+            MlTy::Arrow(Box::new(MlTy::Int), Box::new(MlTy::Int)),
+            MlTy::Ref(Box::new(MlTy::Prod(vec![MlTy::Int; 3]))),
+        ] {
+            let sz = size_of_type(&ctx, &translate_ty(&t)).unwrap();
+            assert!(
+                size_leq(&ctx, &sz, &Size::Const(ML_SLOT)),
+                "{t:?} exceeds the universal slot"
+            );
+        }
+    }
+
+    #[test]
+    fn tyvars_shift_under_closure_environments() {
+        // Var(0) under an Arrow must become Var(1) (the ∃env binder is in
+        // between).
+        let t = MlTy::Arrow(Box::new(MlTy::Var(0)), Box::new(MlTy::Int));
+        let rt = translate_ty(&t);
+        let s = rt.to_string();
+        assert!(s.contains("α1"), "{s}");
+    }
+}

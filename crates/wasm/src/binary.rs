@@ -1,0 +1,611 @@
+//! Encoder to the standard WebAssembly binary format (spec §5).
+//!
+//! Lowered RichWasm modules can be serialised to real `.wasm` bytes and
+//! fed to any engine. (We only need the encoder; execution in this repo
+//! goes through [`crate::exec`].)
+
+use crate::ast::*;
+
+/// Encodes an unsigned LEB128 integer.
+pub fn uleb(mut v: u64, out: &mut Vec<u8>) {
+    loop {
+        let mut b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v != 0 {
+            b |= 0x80;
+        }
+        out.push(b);
+        if v == 0 {
+            break;
+        }
+    }
+}
+
+/// Encodes a signed LEB128 integer.
+pub fn sleb(mut v: i64, out: &mut Vec<u8>) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        let done = (v == 0 && b & 0x40 == 0) || (v == -1 && b & 0x40 != 0);
+        out.push(if done { b } else { b | 0x80 });
+        if done {
+            break;
+        }
+    }
+}
+
+fn valtype(t: ValType) -> u8 {
+    match t {
+        ValType::I32 => 0x7f,
+        ValType::I64 => 0x7e,
+        ValType::F32 => 0x7d,
+        ValType::F64 => 0x7c,
+    }
+}
+
+fn blocktype(bt: &BlockType, out: &mut Vec<u8>) {
+    match bt {
+        BlockType::Empty => out.push(0x40),
+        BlockType::Value(t) => out.push(valtype(*t)),
+        BlockType::Func(i) => sleb(*i as i64, out),
+    }
+}
+
+fn name(s: &str, out: &mut Vec<u8>) {
+    uleb(s.len() as u64, out);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn section(id: u8, payload: Vec<u8>, out: &mut Vec<u8>) {
+    if payload.is_empty() {
+        return;
+    }
+    out.push(id);
+    uleb(payload.len() as u64, out);
+    out.extend(payload);
+}
+
+#[allow(clippy::too_many_lines)]
+fn instr(e: &WInstr, out: &mut Vec<u8>) {
+    use WInstr::*;
+    match e {
+        Unreachable => out.push(0x00),
+        Nop => out.push(0x01),
+        Block(bt, body) => {
+            out.push(0x02);
+            blocktype(bt, out);
+            for i in body {
+                instr(i, out);
+            }
+            out.push(0x0b);
+        }
+        Loop(bt, body) => {
+            out.push(0x03);
+            blocktype(bt, out);
+            for i in body {
+                instr(i, out);
+            }
+            out.push(0x0b);
+        }
+        If(bt, t, f) => {
+            out.push(0x04);
+            blocktype(bt, out);
+            for i in t {
+                instr(i, out);
+            }
+            if !f.is_empty() {
+                out.push(0x05);
+                for i in f {
+                    instr(i, out);
+                }
+            }
+            out.push(0x0b);
+        }
+        Br(l) => {
+            out.push(0x0c);
+            uleb(*l as u64, out);
+        }
+        BrIf(l) => {
+            out.push(0x0d);
+            uleb(*l as u64, out);
+        }
+        BrTable(ls, d) => {
+            out.push(0x0e);
+            uleb(ls.len() as u64, out);
+            for l in ls {
+                uleb(*l as u64, out);
+            }
+            uleb(*d as u64, out);
+        }
+        Return => out.push(0x0f),
+        Call(f) => {
+            out.push(0x10);
+            uleb(*f as u64, out);
+        }
+        CallIndirect(t) => {
+            out.push(0x11);
+            uleb(*t as u64, out);
+            out.push(0x00); // table index
+        }
+        Drop => out.push(0x1a),
+        Select => out.push(0x1b),
+        LocalGet(i) => {
+            out.push(0x20);
+            uleb(*i as u64, out);
+        }
+        LocalSet(i) => {
+            out.push(0x21);
+            uleb(*i as u64, out);
+        }
+        LocalTee(i) => {
+            out.push(0x22);
+            uleb(*i as u64, out);
+        }
+        GlobalGet(i) => {
+            out.push(0x23);
+            uleb(*i as u64, out);
+        }
+        GlobalSet(i) => {
+            out.push(0x24);
+            uleb(*i as u64, out);
+        }
+        Load(t, off) => {
+            let (op, align) = match t {
+                ValType::I32 => (0x28, 2),
+                ValType::I64 => (0x29, 3),
+                ValType::F32 => (0x2a, 2),
+                ValType::F64 => (0x2b, 3),
+            };
+            out.push(op);
+            uleb(align, out);
+            uleb(*off as u64, out);
+        }
+        Store(t, off) => {
+            let (op, align) = match t {
+                ValType::I32 => (0x36, 2),
+                ValType::I64 => (0x37, 3),
+                ValType::F32 => (0x38, 2),
+                ValType::F64 => (0x39, 3),
+            };
+            out.push(op);
+            uleb(align, out);
+            uleb(*off as u64, out);
+        }
+        Load8U(off) => {
+            out.push(0x2d);
+            uleb(0, out);
+            uleb(*off as u64, out);
+        }
+        Store8(off) => {
+            out.push(0x3a);
+            uleb(0, out);
+            uleb(*off as u64, out);
+        }
+        MemorySize => {
+            out.push(0x3f);
+            out.push(0x00);
+        }
+        MemoryGrow => {
+            out.push(0x40);
+            out.push(0x00);
+        }
+        I32Const(c) => {
+            out.push(0x41);
+            sleb(*c as i64, out);
+        }
+        I64Const(c) => {
+            out.push(0x42);
+            sleb(*c, out);
+        }
+        F32Const(c) => {
+            out.push(0x43);
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        F64Const(c) => {
+            out.push(0x44);
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        ITest(w) => out.push(match w {
+            Width::W32 => 0x45,
+            Width::W64 => 0x50,
+        }),
+        IRel(w, op) => {
+            let base: u8 = match w {
+                Width::W32 => 0x46,
+                Width::W64 => 0x51,
+            };
+            let o: u8 = match op {
+                IRelOp::Eq => 0,
+                IRelOp::Ne => 1,
+                IRelOp::Lt(Sx::S) => 2,
+                IRelOp::Lt(Sx::U) => 3,
+                IRelOp::Gt(Sx::S) => 4,
+                IRelOp::Gt(Sx::U) => 5,
+                IRelOp::Le(Sx::S) => 6,
+                IRelOp::Le(Sx::U) => 7,
+                IRelOp::Ge(Sx::S) => 8,
+                IRelOp::Ge(Sx::U) => 9,
+            };
+            out.push(base + o);
+        }
+        FRel(w, op) => {
+            let base: u8 = match w {
+                Width::W32 => 0x5b,
+                Width::W64 => 0x61,
+            };
+            let o: u8 = match op {
+                FRelOp::Eq => 0,
+                FRelOp::Ne => 1,
+                FRelOp::Lt => 2,
+                FRelOp::Gt => 3,
+                FRelOp::Le => 4,
+                FRelOp::Ge => 5,
+            };
+            out.push(base + o);
+        }
+        IUn(w, op) => {
+            let base: u8 = match w {
+                Width::W32 => 0x67,
+                Width::W64 => 0x79,
+            };
+            let o: u8 = match op {
+                IUnOp::Clz => 0,
+                IUnOp::Ctz => 1,
+                IUnOp::Popcnt => 2,
+            };
+            out.push(base + o);
+        }
+        IBin(w, op) => {
+            let base: u8 = match w {
+                Width::W32 => 0x6a,
+                Width::W64 => 0x7c,
+            };
+            let o: u8 = match op {
+                IBinOp::Add => 0,
+                IBinOp::Sub => 1,
+                IBinOp::Mul => 2,
+                IBinOp::Div(Sx::S) => 3,
+                IBinOp::Div(Sx::U) => 4,
+                IBinOp::Rem(Sx::S) => 5,
+                IBinOp::Rem(Sx::U) => 6,
+                IBinOp::And => 7,
+                IBinOp::Or => 8,
+                IBinOp::Xor => 9,
+                IBinOp::Shl => 10,
+                IBinOp::Shr(Sx::S) => 11,
+                IBinOp::Shr(Sx::U) => 12,
+                IBinOp::Rotl => 13,
+                IBinOp::Rotr => 14,
+            };
+            out.push(base + o);
+        }
+        FUn(w, op) => {
+            let base: u8 = match w {
+                Width::W32 => 0x8b,
+                Width::W64 => 0x99,
+            };
+            let o: u8 = match op {
+                FUnOp::Abs => 0,
+                FUnOp::Neg => 1,
+                FUnOp::Ceil => 2,
+                FUnOp::Floor => 3,
+                FUnOp::Trunc => 4,
+                FUnOp::Nearest => 5,
+                FUnOp::Sqrt => 6,
+            };
+            out.push(base + o);
+        }
+        FBin(w, op) => {
+            let base: u8 = match w {
+                Width::W32 => 0x92,
+                Width::W64 => 0xa0,
+            };
+            let o: u8 = match op {
+                FBinOp::Add => 0,
+                FBinOp::Sub => 1,
+                FBinOp::Mul => 2,
+                FBinOp::Div => 3,
+                FBinOp::Min => 4,
+                FBinOp::Max => 5,
+                FBinOp::Copysign => 6,
+            };
+            out.push(base + o);
+        }
+        I32WrapI64 => out.push(0xa7),
+        ITruncF(iw, fw, sx) => {
+            let op: u8 = match (iw, fw, sx) {
+                (Width::W32, Width::W32, Sx::S) => 0xa8,
+                (Width::W32, Width::W32, Sx::U) => 0xa9,
+                (Width::W32, Width::W64, Sx::S) => 0xaa,
+                (Width::W32, Width::W64, Sx::U) => 0xab,
+                (Width::W64, Width::W32, Sx::S) => 0xae,
+                (Width::W64, Width::W32, Sx::U) => 0xaf,
+                (Width::W64, Width::W64, Sx::S) => 0xb0,
+                (Width::W64, Width::W64, Sx::U) => 0xb1,
+            };
+            out.push(op);
+        }
+        I64ExtendI32(sx) => out.push(match sx {
+            Sx::S => 0xac,
+            Sx::U => 0xad,
+        }),
+        FConvertI(fw, iw, sx) => {
+            let op: u8 = match (fw, iw, sx) {
+                (Width::W32, Width::W32, Sx::S) => 0xb2,
+                (Width::W32, Width::W32, Sx::U) => 0xb3,
+                (Width::W32, Width::W64, Sx::S) => 0xb4,
+                (Width::W32, Width::W64, Sx::U) => 0xb5,
+                (Width::W64, Width::W32, Sx::S) => 0xb7,
+                (Width::W64, Width::W32, Sx::U) => 0xb8,
+                (Width::W64, Width::W64, Sx::S) => 0xb9,
+                (Width::W64, Width::W64, Sx::U) => 0xba,
+            };
+            out.push(op);
+        }
+        F32DemoteF64 => out.push(0xb6),
+        F64PromoteF32 => out.push(0xbb),
+        IReinterpretF(w) => out.push(match w {
+            Width::W32 => 0xbc,
+            Width::W64 => 0xbd,
+        }),
+        FReinterpretI(w) => out.push(match w {
+            Width::W32 => 0xbe,
+            Width::W64 => 0xbf,
+        }),
+    }
+}
+
+/// Encodes a module to the standard binary format.
+pub fn encode_module(m: &Module) -> Vec<u8> {
+    let mut out = vec![0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00];
+
+    // Type section (1).
+    let mut sec = Vec::new();
+    if !m.types.is_empty() {
+        uleb(m.types.len() as u64, &mut sec);
+    }
+    for t in &m.types {
+        sec.push(0x60);
+        uleb(t.params.len() as u64, &mut sec);
+        for p in &t.params {
+            sec.push(valtype(*p));
+        }
+        uleb(t.results.len() as u64, &mut sec);
+        for r in &t.results {
+            sec.push(valtype(*r));
+        }
+    }
+    section(1, sec, &mut out);
+
+    // Import section (2).
+    if !m.imports.is_empty() {
+        let mut sec = Vec::new();
+        uleb(m.imports.len() as u64, &mut sec);
+        for im in &m.imports {
+            name(&im.module, &mut sec);
+            name(&im.name, &mut sec);
+            match im.kind {
+                ImportKind::Func(t) => {
+                    sec.push(0x00);
+                    uleb(t as u64, &mut sec);
+                }
+                ImportKind::Table(min) => {
+                    sec.push(0x01);
+                    sec.push(0x70);
+                    sec.push(0x00);
+                    uleb(min as u64, &mut sec);
+                }
+                ImportKind::Memory(min) => {
+                    sec.push(0x02);
+                    sec.push(0x00);
+                    uleb(min as u64, &mut sec);
+                }
+                ImportKind::Global(t, mu) => {
+                    sec.push(0x03);
+                    sec.push(valtype(t));
+                    sec.push(mu as u8);
+                }
+            }
+        }
+        section(2, sec, &mut out);
+    }
+
+    // Function section (3).
+    if !m.funcs.is_empty() {
+        let mut sec = Vec::new();
+        uleb(m.funcs.len() as u64, &mut sec);
+        for f in &m.funcs {
+            uleb(f.type_idx as u64, &mut sec);
+        }
+        section(3, sec, &mut out);
+    }
+
+    // Table section (4).
+    if let Some(min) = m.table {
+        let mut sec = Vec::new();
+        uleb(1, &mut sec);
+        sec.push(0x70);
+        sec.push(0x00);
+        uleb(min as u64, &mut sec);
+        section(4, sec, &mut out);
+    }
+
+    // Memory section (5).
+    if let Some(pages) = m.memory {
+        let mut sec = Vec::new();
+        uleb(1, &mut sec);
+        sec.push(0x00);
+        uleb(pages as u64, &mut sec);
+        section(5, sec, &mut out);
+    }
+
+    // Global section (6).
+    if !m.globals.is_empty() {
+        let mut sec = Vec::new();
+        uleb(m.globals.len() as u64, &mut sec);
+        for g in &m.globals {
+            sec.push(valtype(g.ty));
+            sec.push(g.mutable as u8);
+            instr(&g.init, &mut sec);
+            sec.push(0x0b);
+        }
+        section(6, sec, &mut out);
+    }
+
+    // Export section (7).
+    if !m.exports.is_empty() {
+        let mut sec = Vec::new();
+        uleb(m.exports.len() as u64, &mut sec);
+        for ex in &m.exports {
+            name(&ex.name, &mut sec);
+            match ex.kind {
+                ExportKind::Func(i) => {
+                    sec.push(0x00);
+                    uleb(i as u64, &mut sec);
+                }
+                ExportKind::Table(i) => {
+                    sec.push(0x01);
+                    uleb(i as u64, &mut sec);
+                }
+                ExportKind::Memory(i) => {
+                    sec.push(0x02);
+                    uleb(i as u64, &mut sec);
+                }
+                ExportKind::Global(i) => {
+                    sec.push(0x03);
+                    uleb(i as u64, &mut sec);
+                }
+            }
+        }
+        section(7, sec, &mut out);
+    }
+
+    // Start section (8).
+    if let Some(s) = m.start {
+        let mut sec = Vec::new();
+        uleb(s as u64, &mut sec);
+        section(8, sec, &mut out);
+    }
+
+    // Element section (9).
+    if !m.elems.is_empty() {
+        let mut sec = Vec::new();
+        uleb(m.elems.len() as u64, &mut sec);
+        for el in &m.elems {
+            uleb(0, &mut sec); // table 0, active
+            sec.push(0x41);
+            sleb(el.offset as i64, &mut sec);
+            sec.push(0x0b);
+            uleb(el.funcs.len() as u64, &mut sec);
+            for f in &el.funcs {
+                uleb(*f as u64, &mut sec);
+            }
+        }
+        section(9, sec, &mut out);
+    }
+
+    // Code section (10).
+    if !m.funcs.is_empty() {
+        let mut sec = Vec::new();
+        uleb(m.funcs.len() as u64, &mut sec);
+        for f in &m.funcs {
+            let mut body = Vec::new();
+            // Compress locals into (count, type) runs.
+            let mut runs: Vec<(u32, ValType)> = Vec::new();
+            for l in &f.locals {
+                match runs.last_mut() {
+                    Some((n, t)) if *t == *l => *n += 1,
+                    _ => runs.push((1, *l)),
+                }
+            }
+            uleb(runs.len() as u64, &mut body);
+            for (n, t) in runs {
+                uleb(n as u64, &mut body);
+                body.push(valtype(t));
+            }
+            for e in &f.body {
+                instr(e, &mut body);
+            }
+            body.push(0x0b);
+            uleb(body.len() as u64, &mut sec);
+            sec.extend(body);
+        }
+        section(10, sec, &mut out);
+    }
+
+    // Data section (11).
+    if !m.data.is_empty() {
+        let mut sec = Vec::new();
+        uleb(m.data.len() as u64, &mut sec);
+        for d in &m.data {
+            uleb(0, &mut sec);
+            sec.push(0x41);
+            sleb(d.offset as i64, &mut sec);
+            sec.push(0x0b);
+            uleb(d.bytes.len() as u64, &mut sec);
+            sec.extend_from_slice(&d.bytes);
+        }
+        section(11, sec, &mut out);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leb_encoding() {
+        let mut out = Vec::new();
+        uleb(624485, &mut out);
+        assert_eq!(out, vec![0xe5, 0x8e, 0x26]);
+        let mut out = Vec::new();
+        sleb(-123456, &mut out);
+        assert_eq!(out, vec![0xc0, 0xbb, 0x78]);
+        let mut out = Vec::new();
+        sleb(0, &mut out);
+        assert_eq!(out, vec![0x00]);
+    }
+
+    #[test]
+    fn magic_header() {
+        let m = Module::default();
+        let bytes = encode_module(&m);
+        assert_eq!(&bytes[..8], &[0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00]);
+        assert_eq!(bytes.len(), 8, "empty module is just the header");
+    }
+
+    #[test]
+    fn golden_answer_module() {
+        // (module (func (result i32) i32.const 42) (export "a" (func 0)))
+        let mut m = Module::default();
+        let t = m.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
+        m.funcs.push(FuncDef { type_idx: t, locals: vec![], body: vec![WInstr::I32Const(42)] });
+        m.exports.push(Export { name: "a".into(), kind: ExportKind::Func(0) });
+        let bytes = encode_module(&m);
+        let expect: Vec<u8> = vec![
+            0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00, // header
+            0x01, 0x05, 0x01, 0x60, 0x00, 0x01, 0x7f, // type section
+            0x03, 0x02, 0x01, 0x00, // function section
+            0x07, 0x05, 0x01, 0x01, b'a', 0x00, 0x00, // export section
+            0x0a, 0x06, 0x01, 0x04, 0x00, 0x41, 0x2a, 0x0b, // code section
+        ];
+        assert_eq!(bytes, expect);
+    }
+
+    #[test]
+    fn locals_are_run_length_encoded() {
+        let mut m = Module::default();
+        let t = m.intern_type(FuncType::default());
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![ValType::I32, ValType::I32, ValType::I64],
+            body: vec![],
+        });
+        let bytes = encode_module(&m);
+        // Code body: 2 runs: (2, i32) (1, i64).
+        let needle = [0x02, 0x02, 0x7f, 0x01, 0x7e];
+        assert!(bytes.windows(needle.len()).any(|w| w == needle), "{bytes:x?}");
+    }
+}

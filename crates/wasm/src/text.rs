@@ -1,0 +1,172 @@
+//! A WAT-flavoured text rendering of modules, for debugging and golden
+//! tests of the RichWasm → Wasm compiler's output.
+
+use std::fmt::Write;
+
+use crate::ast::*;
+
+fn width(w: Width) -> &'static str {
+    match w {
+        Width::W32 => "i32",
+        Width::W64 => "i64",
+    }
+}
+
+fn fwidth(w: Width) -> &'static str {
+    match w {
+        Width::W32 => "f32",
+        Width::W64 => "f64",
+    }
+}
+
+fn sx(s: Sx) -> &'static str {
+    match s {
+        Sx::S => "s",
+        Sx::U => "u",
+    }
+}
+
+fn write_instr(e: &WInstr, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    use WInstr::*;
+    match e {
+        Block(_, body) => {
+            let _ = writeln!(out, "{pad}block");
+            for i in body {
+                write_instr(i, indent + 1, out);
+            }
+            let _ = writeln!(out, "{pad}end");
+        }
+        Loop(_, body) => {
+            let _ = writeln!(out, "{pad}loop");
+            for i in body {
+                write_instr(i, indent + 1, out);
+            }
+            let _ = writeln!(out, "{pad}end");
+        }
+        If(_, t, f) => {
+            let _ = writeln!(out, "{pad}if");
+            for i in t {
+                write_instr(i, indent + 1, out);
+            }
+            if !f.is_empty() {
+                let _ = writeln!(out, "{pad}else");
+                for i in f {
+                    write_instr(i, indent + 1, out);
+                }
+            }
+            let _ = writeln!(out, "{pad}end");
+        }
+        other => {
+            let s = match other {
+                Unreachable => "unreachable".to_string(),
+                Nop => "nop".to_string(),
+                Br(l) => format!("br {l}"),
+                BrIf(l) => format!("br_if {l}"),
+                BrTable(ls, d) => format!("br_table {ls:?} {d}"),
+                Return => "return".to_string(),
+                Call(f) => format!("call {f}"),
+                CallIndirect(t) => format!("call_indirect (type {t})"),
+                Drop => "drop".to_string(),
+                Select => "select".to_string(),
+                LocalGet(i) => format!("local.get {i}"),
+                LocalSet(i) => format!("local.set {i}"),
+                LocalTee(i) => format!("local.tee {i}"),
+                GlobalGet(i) => format!("global.get {i}"),
+                GlobalSet(i) => format!("global.set {i}"),
+                Load(t, o) => format!("{t}.load offset={o}"),
+                Store(t, o) => format!("{t}.store offset={o}"),
+                Load8U(o) => format!("i32.load8_u offset={o}"),
+                Store8(o) => format!("i32.store8 offset={o}"),
+                MemorySize => "memory.size".to_string(),
+                MemoryGrow => "memory.grow".to_string(),
+                I32Const(c) => format!("i32.const {c}"),
+                I64Const(c) => format!("i64.const {c}"),
+                F32Const(c) => format!("f32.const {c}"),
+                F64Const(c) => format!("f64.const {c}"),
+                IUn(w, op) => format!("{}.{:?}", width(*w), op).to_lowercase(),
+                IBin(w, op) => format!("{}.{:?}", width(*w), op).to_lowercase(),
+                ITest(w) => format!("{}.eqz", width(*w)),
+                IRel(w, op) => format!("{}.{:?}", width(*w), op).to_lowercase(),
+                FUn(w, op) => format!("{}.{:?}", fwidth(*w), op).to_lowercase(),
+                FBin(w, op) => format!("{}.{:?}", fwidth(*w), op).to_lowercase(),
+                FRel(w, op) => format!("{}.{:?}", fwidth(*w), op).to_lowercase(),
+                I32WrapI64 => "i32.wrap_i64".to_string(),
+                I64ExtendI32(s) => format!("i64.extend_i32_{}", sx(*s)),
+                ITruncF(iw, fw, s) => {
+                    format!("{}.trunc_{}_{}", width(*iw), fwidth(*fw), sx(*s))
+                }
+                FConvertI(fw, iw, s) => {
+                    format!("{}.convert_{}_{}", fwidth(*fw), width(*iw), sx(*s))
+                }
+                F32DemoteF64 => "f32.demote_f64".to_string(),
+                F64PromoteF32 => "f64.promote_f32".to_string(),
+                IReinterpretF(w) => format!("{}.reinterpret_{}", width(*w), fwidth(*w)),
+                FReinterpretI(w) => format!("{}.reinterpret_{}", fwidth(*w), width(*w)),
+                Block(..) | Loop(..) | If(..) => unreachable!(),
+            };
+            let _ = writeln!(out, "{pad}{s}");
+        }
+    }
+}
+
+/// Renders a module in a WAT-flavoured format.
+pub fn render_module(m: &Module) -> String {
+    let mut out = String::from("(module\n");
+    for im in &m.imports {
+        let _ = writeln!(out, "  (import \"{}\" \"{}\" {:?})", im.module, im.name, im.kind);
+    }
+    if let Some(p) = m.memory {
+        let _ = writeln!(out, "  (memory {p})");
+    }
+    if let Some(t) = m.table {
+        let _ = writeln!(out, "  (table {t} funcref)");
+    }
+    for (i, g) in m.globals.iter().enumerate() {
+        let _ = writeln!(out, "  (global {i} {} mut={} {:?})", g.ty, g.mutable, g.init);
+    }
+    let n = m.num_func_imports();
+    for (i, f) in m.funcs.iter().enumerate() {
+        let ft = &m.types[f.type_idx as usize];
+        let _ = writeln!(
+            out,
+            "  (func {} (params {:?}) (results {:?}) (locals {:?})",
+            i + n,
+            ft.params,
+            ft.results,
+            f.locals
+        );
+        for e in &f.body {
+            write_instr(e, 2, &mut out);
+        }
+        let _ = writeln!(out, "  )");
+    }
+    for ex in &m.exports {
+        let _ = writeln!(out, "  (export \"{}\" {:?})", ex.name, ex.kind);
+    }
+    out.push(')');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_smoke() {
+        let mut m = Module::default();
+        let t = m.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![ValType::I64],
+            body: vec![
+                WInstr::Block(BlockType::Value(ValType::I32), vec![WInstr::I32Const(1)]),
+            ],
+        });
+        m.exports.push(Export { name: "f".into(), kind: ExportKind::Func(0) });
+        let s = render_module(&m);
+        assert!(s.contains("block"), "{s}");
+        assert!(s.contains("i32.const 1"), "{s}");
+        assert!(s.contains("export \"f\""), "{s}");
+    }
+}

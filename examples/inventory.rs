@@ -1,0 +1,81 @@
+//! **Experiment E6**: the reproduction's inventory, the analogue of the
+//! paper's Coq-development statistics (§4: "14k lines of specifications …
+//! and 52k lines of proofs").
+//!
+//! ```sh
+//! cargo run --example inventory
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+fn count_lines(dir: &Path, code: &mut usize, tests: &mut usize) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for e in entries.flatten() {
+        let p = e.path();
+        if p.is_dir() {
+            if p.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            count_lines(&p, code, tests);
+        } else if p.extension().is_some_and(|x| x == "rs") {
+            let Ok(src) = fs::read_to_string(&p) else { continue };
+            let mut in_tests = false;
+            for line in src.lines() {
+                if line.contains("#[cfg(test)]") {
+                    in_tests = true;
+                }
+                let is_test_file = p.components().any(|c| c.as_os_str() == "tests")
+                    || p.components().any(|c| c.as_os_str() == "benches");
+                if in_tests || is_test_file {
+                    *tests += 1;
+                } else {
+                    *code += 1;
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    println!("=== Reproduction inventory (cf. the paper's Coq statistics) ===\n");
+    println!("Paper: 14k lines of Coq specifications + 52k lines of proofs.");
+    println!("Here:  executable Rust, with the proof burden carried by tests.\n");
+    let crates = [
+        ("richwasm (core IL: types, checker, interpreter, GC, linker)", "crates/core"),
+        ("richwasm-wasm (Wasm 1.0+multi-value substrate)", "crates/wasm"),
+        ("richwasm-lower (RichWasm → Wasm compiler)", "crates/lower"),
+        ("richwasm-ml (core ML frontend)", "crates/ml"),
+        ("richwasm-l3 (L3 frontend)", "crates/l3"),
+        ("richwasm-bench (benchmark harness)", "crates/bench"),
+        ("integration tests + examples", "."),
+    ];
+    let mut total_code = 0;
+    let mut total_tests = 0;
+    for (name, dir) in crates {
+        let mut code = 0;
+        let mut tests = 0;
+        if dir == "." {
+            count_lines(Path::new("tests"), &mut code, &mut tests);
+            count_lines(Path::new("examples"), &mut code, &mut tests);
+            count_lines(Path::new("src"), &mut code, &mut tests);
+        } else {
+            count_lines(Path::new(dir), &mut code, &mut tests);
+        }
+        println!("{name:>62}: {code:>6} code, {tests:>6} test lines");
+        total_code += code;
+        total_tests += tests;
+    }
+    println!("{:>62}: {total_code:>6} code, {total_tests:>6} test lines", "TOTAL");
+    println!("\nExperiment index (see EXPERIMENTS.md):");
+    for (id, what, where_) in [
+        ("E1", "Fig. 1/3 unsafe interop statically rejected", "tests/interop.rs"),
+        ("E2", "Fig. 9 counter layout runs over both backends", "tests/counter.rs"),
+        ("E3", "type safety (progress/preservation) as property tests", "tests/soundness.rs"),
+        ("E4", "ML & L3 compilers are type preserving", "crates/{ml,l3} tests"),
+        ("E5", "RichWasm → Wasm erasure agrees end to end", "tests/pipeline.rs"),
+        ("E6", "this inventory", "examples/inventory.rs"),
+    ] {
+        println!("  {id}: {what:<55} [{where_}]");
+    }
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate for the RichWasm reproduction workspace.
+//!
+//! Re-exports the component crates so root-level `examples/` and `tests/`
+//! can exercise the entire pipeline: source languages (ML, L3) → RichWasm →
+//! WebAssembly.
+
+pub use richwasm;
+pub use richwasm_l3 as l3;
+pub use richwasm_lower as lower;
+pub use richwasm_ml as ml;
+pub use richwasm_wasm as wasm;
