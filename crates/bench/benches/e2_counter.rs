@@ -7,40 +7,39 @@
 //! (capabilities, qualifiers, existentials) is erased and costs nothing
 //! at the Wasm level — shows up as (b) being dominated purely by the
 //! allocator and arithmetic.
+//!
+//! Both backends are set up by the unified `Pipeline` driver; the timed
+//! loop then invokes the extracted interpreter directly so the numbers
+//! measure execution, not driver dispatch.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use richwasm::interp::Runtime;
+use richwasm::syntax::Value;
 use richwasm_bench::workloads::{counter_client, counter_library};
-use richwasm_lower::lower_modules;
-use richwasm_wasm::exec::{Val, WasmLinker};
+use richwasm_repro::pipeline::{Exec, Pipeline};
+use richwasm_wasm::exec::Val;
+
+fn counter_pipeline() -> Pipeline {
+    Pipeline::new()
+        .l3("gfx", counter_library())
+        .ml("app", counter_client())
+}
 
 fn bench(c: &mut Criterion) {
-    let gfx = richwasm_l3::compile_module(&counter_library()).unwrap();
-    let app = richwasm_ml::compile_module(&counter_client()).unwrap();
-
     let mut g = c.benchmark_group("e2_counter");
     g.sample_size(20);
 
     g.bench_function("bump_richwasm_interp", |b| {
-        let mut rt = Runtime::new();
-        rt.instantiate("gfx", gfx.clone()).unwrap();
-        let app_i = rt.instantiate("app", app.clone()).unwrap();
-        rt.invoke(app_i, "setup", vec![richwasm::syntax::Value::i32(1)]).unwrap();
-        b.iter(|| rt.invoke(app_i, "bump", vec![richwasm::syntax::Value::Unit]).unwrap().steps)
+        let mut prog = counter_pipeline().exec(Exec::Interp).build().unwrap();
+        let mut rt = prog.richwasm.take().unwrap();
+        let app_i = rt.instance_by_name("app").unwrap();
+        rt.invoke(app_i, "setup", vec![Value::i32(1)]).unwrap();
+        b.iter(|| rt.invoke(app_i, "bump", vec![Value::Unit]).unwrap().steps)
     });
 
     g.bench_function("bump_lowered_wasm", |b| {
-        let lowered =
-            lower_modules(&[("gfx".to_string(), gfx.clone()), ("app".to_string(), app.clone())])
-                .unwrap();
-        let mut linker = WasmLinker::new();
-        let mut app_w = 0;
-        for (name, wm) in &lowered {
-            let i = linker.instantiate(name, wm.clone()).unwrap();
-            if name == "app" {
-                app_w = i;
-            }
-        }
+        let mut prog = counter_pipeline().exec(Exec::Wasm).build().unwrap();
+        let mut linker = prog.wasm.take().unwrap();
+        let app_w = linker.instance_by_name("app").unwrap();
         linker.invoke(app_w, "setup", &[Val::I32(1)]).unwrap();
         b.iter(|| linker.invoke(app_w, "bump", &[]).unwrap())
     });

@@ -31,9 +31,11 @@ fn bench(c: &mut Criterion) {
 
     for depth in [2u32, 4, 6] {
         let m = ml_tower(depth);
-        g.bench_with_input(BenchmarkId::new("ml_compile_tower_depth", depth), &m, |b, m| {
-            b.iter(|| richwasm_ml::compile_module(std::hint::black_box(m)).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("ml_compile_tower_depth", depth),
+            &m,
+            |b, m| b.iter(|| richwasm_ml::compile_module(std::hint::black_box(m)).unwrap()),
+        );
         let rw = richwasm_ml::compile_module(&m).unwrap();
         g.bench_with_input(
             BenchmarkId::new("preservation_check_depth", depth),

@@ -15,8 +15,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use richwasm_bench::workloads::{arith_chain, churn};
 use richwasm_lower::lower_modules;
+use richwasm_repro::pipeline::{Exec, Pipeline};
 use richwasm_wasm::binary::encode_module;
-use richwasm_wasm::exec::WasmLinker;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e5_lowering");
@@ -31,23 +31,18 @@ fn bench(c: &mut Criterion) {
     }
 
     for n in [10u32, 100] {
-        let named = vec![("m".to_string(), churn(n))];
-        let lowered = lower_modules(&named).unwrap();
-        g.bench_with_input(
-            BenchmarkId::new("wasm_churn_cells", n),
-            &lowered,
-            |b, lowered| {
-                let mut linker = WasmLinker::new();
-                let mut mi = 0;
-                for (name, wm) in lowered {
-                    let i = linker.instantiate(name, wm.clone()).unwrap();
-                    if name == "m" {
-                        mi = i;
-                    }
-                }
-                b.iter(|| linker.invoke(mi, "main", &[]).unwrap())
-            },
-        );
+        // Setup through the unified Pipeline driver (Wasm-only mode); the
+        // timed loop invokes the extracted linker directly.
+        g.bench_with_input(BenchmarkId::new("wasm_churn_cells", n), &n, |b, &n| {
+            let mut prog = Pipeline::new()
+                .richwasm("m", churn(n))
+                .exec(Exec::Wasm)
+                .build()
+                .unwrap();
+            let mut linker = prog.wasm.take().unwrap();
+            let mi = linker.instance_by_name("m").unwrap();
+            b.iter(|| linker.invoke(mi, "main", &[]).unwrap())
+        });
     }
 
     // Binary encoding throughput.

@@ -1,0 +1,77 @@
+//! **E6** — the unified `Pipeline` driver itself.
+//!
+//! Series reported:
+//!
+//! * `e1_differential_end_to_end` — the whole five-stage path (two
+//!   frontends → typecheck → lower → validate → encode → execute on both
+//!   interpreters + cross-check) for the Fig. 3 interop scenario, i.e.
+//!   the cost of the paper's full workflow on its headline example;
+//! * `e1_interp_only_end_to_end` — the same scenario skipping the Wasm
+//!   half, isolating the lowering pipeline's share;
+//! * `counter_build_wasm_only` — frontends through binary encoding for
+//!   the Fig. 9 counter (compile-time only, no execution);
+//! * `differential_bump_dispatch` — per-invocation cost of the driver's
+//!   differential mode (both backends + comparison) against the raw
+//!   interpreter cost measured in E2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use richwasm::syntax::Value;
+use richwasm_bench::workloads::{counter_client, counter_library, stash_client, stash_module};
+use richwasm_repro::pipeline::{Exec, Pipeline};
+
+fn stash_pipeline() -> Pipeline {
+    Pipeline::new()
+        .ml("ml", stash_module(false))
+        .l3("l3", stash_client())
+        .entry("l3")
+}
+
+fn counter_pipeline() -> Pipeline {
+    Pipeline::new()
+        .l3("gfx", counter_library())
+        .ml("app", counter_client())
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_pipeline");
+    g.sample_size(15);
+
+    g.bench_function("e1_differential_end_to_end", |b| {
+        b.iter(|| {
+            let run = stash_pipeline().run().unwrap();
+            assert_eq!(run.result.i32(), Some(42));
+            run.program.report.timings.total()
+        })
+    });
+
+    g.bench_function("e1_interp_only_end_to_end", |b| {
+        b.iter(|| {
+            let run = stash_pipeline().exec(Exec::Interp).run().unwrap();
+            assert_eq!(run.result.i32(), Some(42));
+            run.program.report.timings.total()
+        })
+    });
+
+    g.bench_function("counter_build_wasm_only", |b| {
+        b.iter(|| {
+            let prog = counter_pipeline().exec(Exec::Wasm).build().unwrap();
+            assert!(!prog.report.binaries.is_empty());
+            prog.report
+                .binaries
+                .iter()
+                .map(|(_, bytes)| bytes.len())
+                .sum::<usize>()
+        })
+    });
+
+    g.bench_function("differential_bump_dispatch", |b| {
+        let mut prog = counter_pipeline().build().unwrap();
+        prog.invoke("app", "setup", vec![Value::i32(1)]).unwrap();
+        b.iter(|| prog.invoke("app", "bump", vec![Value::Unit]).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -116,20 +116,30 @@ pub fn arith_chain(n: usize) -> Module {
             ]
         };
         funcs.push(Func::Defined {
-            exports: if i == n - 1 { vec!["main".into()] } else { vec![] },
+            exports: if i == n - 1 {
+                vec!["main".into()]
+            } else {
+                vec![]
+            },
             ty: FunType::mono(vec![i32t.clone()], vec![i32t.clone()]),
             locals: vec![],
             body,
         });
     }
-    Module { funcs, ..Module::default() }
+    Module {
+        funcs,
+        ..Module::default()
+    }
 }
 
 /// A RichWasm module whose export performs `n` linear allocate/update/free
 /// round trips — the allocator/linearity churn workload.
 pub fn churn(n: u32) -> Module {
     let i32t = Type::num(NumType::I32);
-    let lt = Instr::Num(NumInstr::IntRelop(NumType::I32, instr::IntRelop::Lt(instr::Sign::S)));
+    let lt = Instr::Num(NumInstr::IntRelop(
+        NumType::I32,
+        instr::IntRelop::Lt(instr::Sign::S),
+    ));
     let add = Instr::Num(NumInstr::IntBinop(NumType::I32, instr::IntBinop::Add));
     Module {
         funcs: vec![Func::Defined {
@@ -185,8 +195,12 @@ pub fn churn(n: u32) -> Module {
 /// The Fig. 9 counter library (L3 side).
 pub fn counter_library() -> L3Module {
     let v = |x: &str| Box::new(L3Expr::Var(x.into()));
-    let counter =
-        || L3Ty::Ref(Box::new(L3Ty::Prod(Box::new(L3Ty::Int), Box::new(L3Ty::Int))), 128);
+    let counter = || {
+        L3Ty::Ref(
+            Box::new(L3Ty::Prod(Box::new(L3Ty::Int), Box::new(L3Ty::Int))),
+            128,
+        )
+    };
     L3Module {
         funs: vec![
             L3Fun {

@@ -162,7 +162,10 @@ impl KindCtx {
     pub fn size_bounds(&self, i: u32) -> Option<SizeBounds> {
         let pos = self.sizes.len().checked_sub(1 + i as usize)?;
         let (b, snap) = &self.sizes[pos];
-        let by = Depth { size: self.depth().size - snap.size, ..Depth::default() };
+        let by = Depth {
+            size: self.depth().size - snap.size,
+            ..Depth::default()
+        };
         Some(SizeBounds {
             lower: b.lower.iter().map(|s| shift_size(s, by)).collect(),
             upper: b.upper.iter().map(|s| shift_size(s, by)).collect(),
@@ -175,7 +178,10 @@ impl KindCtx {
         let pos = self.types.len().checked_sub(1 + i as usize)?;
         let (b, snap) = &self.types[pos];
         let d = self.depth();
-        let size_by = Depth { size: d.size - snap.size, ..Depth::default() };
+        let size_by = Depth {
+            size: d.size - snap.size,
+            ..Depth::default()
+        };
         Some(TypeBound {
             lower_qual: Self::shift_qual(b.lower_qual, d.qual - snap.qual),
             size: shift_size(&b.size, size_by),
@@ -244,7 +250,10 @@ mod tests {
         c.push_size(SizeBounds::default());
         // σ (new 0) with upper bound the previous var, written as Var(0) at
         // push time.
-        c.push_size(SizeBounds { lower: vec![], upper: vec![Size::Var(0)] });
+        c.push_size(SizeBounds {
+            lower: vec![],
+            upper: vec![Size::Var(0)],
+        });
         // From current depth, variable 0's upper bound must still denote the
         // outer binder, now at index 1.
         let b = c.size_bounds(0).unwrap();
@@ -259,7 +268,10 @@ mod tests {
     fn qual_lookup_shifts_vars() {
         let mut c = KindCtx::new();
         c.push_qual(QualBounds::default());
-        c.push_qual(QualBounds { lower: vec![Qual::Var(0)], upper: vec![Qual::Lin] });
+        c.push_qual(QualBounds {
+            lower: vec![Qual::Var(0)],
+            upper: vec![Qual::Lin],
+        });
         let b = c.qual_bounds(0).unwrap();
         assert_eq!(b.lower, vec![Qual::Var(1)]);
         assert_eq!(b.upper, vec![Qual::Lin]);

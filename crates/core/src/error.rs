@@ -115,8 +115,15 @@ impl fmt::Display for TypeError {
             TypeError::SizeNotLeq { lhs, rhs, context } => {
                 write!(f, "cannot derive {lhs} ≤ {rhs} in {context}")
             }
-            TypeError::Mismatch { expected, found, context } => {
-                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            TypeError::Mismatch {
+                expected,
+                found,
+                context,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             TypeError::StackUnderflow { context } => {
                 write!(f, "operand stack underflow in {context}")
@@ -175,12 +182,16 @@ pub enum RuntimeError {
 impl RuntimeError {
     /// Shorthand for a trap with a reason.
     pub fn trap(reason: impl Into<String>) -> RuntimeError {
-        RuntimeError::Trap { reason: reason.into() }
+        RuntimeError::Trap {
+            reason: reason.into(),
+        }
     }
 
     /// Shorthand for a stuck configuration.
     pub fn stuck(reason: impl Into<String>) -> RuntimeError {
-        RuntimeError::Stuck { reason: reason.into() }
+        RuntimeError::Stuck {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -204,7 +215,11 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TypeError::QualNotLeq { lhs: Qual::Lin, rhs: Qual::Unr, context: "drop".into() };
+        let e = TypeError::QualNotLeq {
+            lhs: Qual::Lin,
+            rhs: Qual::Unr,
+            context: "drop".into(),
+        };
         assert!(e.to_string().contains("lin ⪯ unr"));
         let e = TypeError::mismatch(&Type::unit(), &Type::unit(), "test");
         assert!(e.to_string().contains("expected"));

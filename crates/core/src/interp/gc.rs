@@ -43,7 +43,9 @@ pub fn locs_in_instrs(es: &[Instr], out: &mut Vec<ConcreteLoc>) {
     for e in es {
         match e {
             Instr::Val(v) => locs_in_value(v, out),
-            Instr::BlockI(_, body) | Instr::LoopI(_, body) | Instr::MemUnpack(_, body)
+            Instr::BlockI(_, body)
+            | Instr::LoopI(_, body)
+            | Instr::MemUnpack(_, body)
             | Instr::ExistUnpack(_, _, _, body) => locs_in_instrs(body, out),
             Instr::IfI(_, a, b) => {
                 locs_in_instrs(a, out);
@@ -129,7 +131,10 @@ pub fn collect(store: &mut Store, config: Option<&Config>) -> GcStats {
         .copied()
         .filter(|i| !marked.contains(&ConcreteLoc::lin(*i)))
         .collect();
-    let stats = GcStats { collected_unr: dead_unr.len(), finalized_lin: dead_lin.len() };
+    let stats = GcStats {
+        collected_unr: dead_unr.len(),
+        finalized_lin: dead_lin.len(),
+    };
     for i in dead_unr {
         store.mem.unr.remove(&i);
         store.mem.collected += 1;
@@ -149,10 +154,17 @@ mod tests {
     #[test]
     fn unreachable_unr_cells_collected() {
         let mut store = Store::default();
-        let a = store.mem.alloc(Mem::Unr, HeapValue::Struct(vec![Value::i32(1)]), 32);
-        let _b = store.mem.alloc(Mem::Unr, HeapValue::Struct(vec![Value::i32(2)]), 32);
+        let a = store
+            .mem
+            .alloc(Mem::Unr, HeapValue::Struct(vec![Value::i32(1)]), 32);
+        let _b = store
+            .mem
+            .alloc(Mem::Unr, HeapValue::Struct(vec![Value::i32(2)]), 32);
         // Only `a` is rooted.
-        let cfg = Config { instrs: vec![Instr::Val(Value::Ref(a))], ..Config::default() };
+        let cfg = Config {
+            instrs: vec![Instr::Val(Value::Ref(a))],
+            ..Config::default()
+        };
         let stats = collect(&mut store, Some(&cfg));
         assert_eq!(stats.collected_unr, 1);
         assert!(store.mem.get(a).is_some());
@@ -162,9 +174,16 @@ mod tests {
     #[test]
     fn reachability_is_transitive_through_the_heap() {
         let mut store = Store::default();
-        let inner = store.mem.alloc(Mem::Unr, HeapValue::Struct(vec![Value::i32(7)]), 32);
-        let outer = store.mem.alloc(Mem::Unr, HeapValue::Struct(vec![Value::Ref(inner)]), 32);
-        let cfg = Config { instrs: vec![Instr::Val(Value::Ref(outer))], ..Config::default() };
+        let inner = store
+            .mem
+            .alloc(Mem::Unr, HeapValue::Struct(vec![Value::i32(7)]), 32);
+        let outer = store
+            .mem
+            .alloc(Mem::Unr, HeapValue::Struct(vec![Value::Ref(inner)]), 32);
+        let cfg = Config {
+            instrs: vec![Instr::Val(Value::Ref(outer))],
+            ..Config::default()
+        };
         let stats = collect(&mut store, Some(&cfg));
         assert_eq!(stats.collected_unr, 0);
         assert_eq!(store.mem.unr.len(), 2);
@@ -176,8 +195,12 @@ mod tests {
         // only reference dies — the collector owns and finalizes the
         // linear cell.
         let mut store = Store::default();
-        let lin = store.mem.alloc(Mem::Lin, HeapValue::Struct(vec![Value::i32(1)]), 32);
-        let _unr = store.mem.alloc(Mem::Unr, HeapValue::Struct(vec![Value::Ref(lin)]), 32);
+        let lin = store
+            .mem
+            .alloc(Mem::Lin, HeapValue::Struct(vec![Value::i32(1)]), 32);
+        let _unr = store
+            .mem
+            .alloc(Mem::Unr, HeapValue::Struct(vec![Value::Ref(lin)]), 32);
         // Nothing roots the unr cell.
         let stats = collect(&mut store, None);
         assert_eq!(stats.collected_unr, 1);
@@ -189,7 +212,9 @@ mod tests {
     #[test]
     fn rooted_linear_memory_survives() {
         let mut store = Store::default();
-        let lin = store.mem.alloc(Mem::Lin, HeapValue::Struct(vec![Value::i32(1)]), 32);
+        let lin = store
+            .mem
+            .alloc(Mem::Lin, HeapValue::Struct(vec![Value::i32(1)]), 32);
         let cfg = Config {
             locals: vec![(Value::Ref(lin), crate::syntax::Size::Const(32))],
             ..Config::default()

@@ -295,7 +295,9 @@ pub fn convert(dst: NumType, src: NumType, a: u64) -> Result<u64, RuntimeError> 
         (I64, F64) => ((a as i64) as f64).to_bits(),
         (U64, F64) => (a as f64).to_bits(),
         // float → int (trunc, trapping)
-        (F32, I32) => trunc_to_i64(f32_of(a) as f64, i32::MIN as f64, i32::MAX as f64)? as u32 as u64,
+        (F32, I32) => {
+            trunc_to_i64(f32_of(a) as f64, i32::MIN as f64, i32::MAX as f64)? as u32 as u64
+        }
         (F32, U32) => trunc_to_u64(f32_of(a) as f64, u32::MAX as f64)? & 0xFFFF_FFFF,
         (F32, I64) => trunc_to_i64(f32_of(a) as f64, i64::MIN as f64, i64::MAX as f64)? as u64,
         (F32, U64) => trunc_to_u64(f32_of(a) as f64, u64::MAX as f64)?,
@@ -343,22 +345,24 @@ pub fn eval(n: NumInstr, operands: &[Value]) -> Result<Value, RuntimeError> {
     };
     Ok(match n {
         NumInstr::IntUnop(nt, op) => Value::Num(nt, int_unop(nt, op, bits(&operands[0])?)),
-        NumInstr::IntBinop(nt, op) => {
-            Value::Num(nt, int_binop(nt, op, bits(&operands[0])?, bits(&operands[1])?)?)
-        }
-        NumInstr::Eqz(nt) => {
-            Value::Num(NumType::I32, (mask(nt, bits(&operands[0])?) == 0) as u64)
-        }
-        NumInstr::IntRelop(nt, op) => {
-            Value::Num(NumType::I32, int_relop(nt, op, bits(&operands[0])?, bits(&operands[1])?))
-        }
+        NumInstr::IntBinop(nt, op) => Value::Num(
+            nt,
+            int_binop(nt, op, bits(&operands[0])?, bits(&operands[1])?)?,
+        ),
+        NumInstr::Eqz(nt) => Value::Num(NumType::I32, (mask(nt, bits(&operands[0])?) == 0) as u64),
+        NumInstr::IntRelop(nt, op) => Value::Num(
+            NumType::I32,
+            int_relop(nt, op, bits(&operands[0])?, bits(&operands[1])?),
+        ),
         NumInstr::FloatUnop(nt, op) => Value::Num(nt, float_unop(nt, op, bits(&operands[0])?)),
-        NumInstr::FloatBinop(nt, op) => {
-            Value::Num(nt, float_binop(nt, op, bits(&operands[0])?, bits(&operands[1])?))
-        }
-        NumInstr::FloatRelop(nt, op) => {
-            Value::Num(NumType::I32, float_relop(nt, op, bits(&operands[0])?, bits(&operands[1])?))
-        }
+        NumInstr::FloatBinop(nt, op) => Value::Num(
+            nt,
+            float_binop(nt, op, bits(&operands[0])?, bits(&operands[1])?),
+        ),
+        NumInstr::FloatRelop(nt, op) => Value::Num(
+            NumType::I32,
+            float_relop(nt, op, bits(&operands[0])?, bits(&operands[1])?),
+        ),
         NumInstr::Convert(dst, src) => Value::Num(dst, convert(dst, src, bits(&operands[0])?)?),
         NumInstr::Reinterpret(dst, _) => Value::Num(dst, bits(&operands[0])?),
     })
@@ -372,7 +376,9 @@ pub fn arity(n: NumInstr) -> usize {
         | NumInstr::FloatUnop(..)
         | NumInstr::Convert(..)
         | NumInstr::Reinterpret(..) => 1,
-        NumInstr::IntBinop(..) | NumInstr::IntRelop(..) | NumInstr::FloatBinop(..)
+        NumInstr::IntBinop(..)
+        | NumInstr::IntRelop(..)
+        | NumInstr::FloatBinop(..)
         | NumInstr::FloatRelop(..) => 2,
     }
 }
@@ -383,16 +389,27 @@ mod tests {
 
     #[test]
     fn wrapping_add() {
-        assert_eq!(int_binop(NumType::I32, IntBinop::Add, u32::MAX as u64, 1).unwrap(), 0);
-        assert_eq!(int_binop(NumType::I64, IntBinop::Add, u64::MAX, 1).unwrap(), 0);
+        assert_eq!(
+            int_binop(NumType::I32, IntBinop::Add, u32::MAX as u64, 1).unwrap(),
+            0
+        );
+        assert_eq!(
+            int_binop(NumType::I64, IntBinop::Add, u64::MAX, 1).unwrap(),
+            0
+        );
     }
 
     #[test]
     fn div_by_zero_traps() {
         assert!(int_binop(NumType::I32, IntBinop::Div(Sign::S), 1, 0).is_err());
         assert!(int_binop(NumType::I32, IntBinop::Rem(Sign::U), 1, 0).is_err());
-        assert!(int_binop(NumType::I32, IntBinop::Div(Sign::S), i32::MIN as u32 as u64, u32::MAX as u64)
-            .is_err());
+        assert!(int_binop(
+            NumType::I32,
+            IntBinop::Div(Sign::S),
+            i32::MIN as u32 as u64,
+            u32::MAX as u64
+        )
+        .is_err());
     }
 
     #[test]
@@ -414,30 +431,51 @@ mod tests {
     fn float_ops() {
         let a = 1.5f64.to_bits();
         let b = 2.5f64.to_bits();
-        assert_eq!(float_binop(NumType::F64, FloatBinop::Add, a, b), 4.0f64.to_bits());
+        assert_eq!(
+            float_binop(NumType::F64, FloatBinop::Add, a, b),
+            4.0f64.to_bits()
+        );
         assert_eq!(float_relop(NumType::F64, FloatRelop::Lt, a, b), 1);
-        assert_eq!(float_unop(NumType::F64, FloatUnop::Neg, a), (-1.5f64).to_bits());
+        assert_eq!(
+            float_unop(NumType::F64, FloatUnop::Neg, a),
+            (-1.5f64).to_bits()
+        );
     }
 
     #[test]
     fn nearest_ties_to_even() {
-        assert_eq!(float_unop(NumType::F64, FloatUnop::Nearest, 2.5f64.to_bits()), 2.0f64.to_bits());
-        assert_eq!(float_unop(NumType::F64, FloatUnop::Nearest, 3.5f64.to_bits()), 4.0f64.to_bits());
+        assert_eq!(
+            float_unop(NumType::F64, FloatUnop::Nearest, 2.5f64.to_bits()),
+            2.0f64.to_bits()
+        );
+        assert_eq!(
+            float_unop(NumType::F64, FloatUnop::Nearest, 3.5f64.to_bits()),
+            4.0f64.to_bits()
+        );
     }
 
     #[test]
     fn conversions() {
         // i64 → i32 wraps.
-        assert_eq!(convert(NumType::I32, NumType::I64, 0x1_0000_0005).unwrap(), 5);
+        assert_eq!(
+            convert(NumType::I32, NumType::I64, 0x1_0000_0005).unwrap(),
+            5
+        );
         // i32 → i64 sign-extends.
         assert_eq!(
             convert(NumType::I64, NumType::I32, u32::MAX as u64).unwrap(),
             u64::MAX
         );
         // u32 → i64 zero-extends.
-        assert_eq!(convert(NumType::I64, NumType::U32, u32::MAX as u64).unwrap(), u32::MAX as u64);
+        assert_eq!(
+            convert(NumType::I64, NumType::U32, u32::MAX as u64).unwrap(),
+            u32::MAX as u64
+        );
         // float → int truncates; NaN traps.
-        assert_eq!(convert(NumType::I32, NumType::F64, 3.99f64.to_bits()).unwrap(), 3);
+        assert_eq!(
+            convert(NumType::I32, NumType::F64, 3.99f64.to_bits()).unwrap(),
+            3
+        );
         assert!(convert(NumType::I32, NumType::F64, f64::NAN.to_bits()).is_err());
         assert!(convert(NumType::I32, NumType::F64, 1e20f64.to_bits()).is_err());
     }

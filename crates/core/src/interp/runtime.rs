@@ -30,7 +30,11 @@ pub struct RuntimeConfig {
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        RuntimeConfig { fuel: 10_000_000, auto_gc_every: None, check_modules: true }
+        RuntimeConfig {
+            fuel: 10_000_000,
+            auto_gc_every: None,
+            check_modules: true,
+        }
     }
 }
 
@@ -86,9 +90,17 @@ impl Runtime {
         for (fi, f) in module.funcs.iter().enumerate() {
             match f {
                 Func::Defined { .. } => {
-                    inst.funcs.push(Closure { inst: idx, func: fi as u32 });
+                    inst.funcs.push(Closure {
+                        inst: idx,
+                        func: fi as u32,
+                    });
                 }
-                Func::Imported { module: mname, name: fname, ty, .. } => {
+                Func::Imported {
+                    module: mname,
+                    name: fname,
+                    ty,
+                    ..
+                } => {
                     let provider = *self.names.get(mname).ok_or_else(|| TypeError::LinkError {
                         reason: format!("import {mname}.{fname}: no module named {mname}"),
                     })?;
@@ -122,15 +134,18 @@ impl Runtime {
                 GlobalKind::Defined { init, .. } => {
                     let v = match eval_const(init, &inst.globals) {
                         Ok(v) => v,
-                        Err(_) => self
-                            .eval_init_config(init, &inst.globals)
-                            .map_err(|e| TypeError::Other(format!(
-                                "global {gi} initialiser failed: {e}"
-                            )))?,
+                        Err(_) => self.eval_init_config(init, &inst.globals).map_err(|e| {
+                            TypeError::Other(format!("global {gi} initialiser failed: {e}"))
+                        })?,
                     };
                     inst.globals.push(v);
                 }
-                GlobalKind::Imported { module: mname, name: gname, mutable, ty } => {
+                GlobalKind::Imported {
+                    module: mname,
+                    name: gname,
+                    mutable,
+                    ty,
+                } => {
                     let provider = *self.names.get(mname).ok_or_else(|| TypeError::LinkError {
                         reason: format!("import {mname}.{gname}: no module named {mname}"),
                     })?;
@@ -156,9 +171,12 @@ impl Runtime {
 
         // Table.
         for &fi in &module.table.entries {
-            let cl = *inst.funcs.get(fi as usize).ok_or_else(|| TypeError::LinkError {
-                reason: format!("table entry {fi} out of range"),
-            })?;
+            let cl = *inst
+                .funcs
+                .get(fi as usize)
+                .ok_or_else(|| TypeError::LinkError {
+                    reason: format!("table entry {fi} out of range"),
+                })?;
             inst.table.push(cl);
         }
 
@@ -192,12 +210,17 @@ impl Runtime {
         args: Vec<Value>,
         indices: Vec<Index>,
     ) -> Result<InvokeResult, RuntimeError> {
-        let module = self.modules.get(inst as usize).ok_or(RuntimeError::BadStore {
-            reason: format!("no instance {inst}"),
-        })?;
-        let func = module.find_export(name).ok_or_else(|| RuntimeError::BadStore {
-            reason: format!("instance {inst} has no export {name}"),
-        })?;
+        let module = self
+            .modules
+            .get(inst as usize)
+            .ok_or(RuntimeError::BadStore {
+                reason: format!("no instance {inst}"),
+            })?;
+        let func = module
+            .find_export(name)
+            .ok_or_else(|| RuntimeError::BadStore {
+                reason: format!("instance {inst} has no export {name}"),
+            })?;
         let mut cfg = Config::call(inst, func, args, indices);
         let result = self.run(&mut cfg)?;
         Ok(result)
@@ -241,7 +264,10 @@ impl Runtime {
     ) -> Result<Value, RuntimeError> {
         // Earlier globals of the instance being built are visible through
         // a temporary instance.
-        let tmp = Instance { globals: earlier.to_vec(), ..Instance::default() };
+        let tmp = Instance {
+            globals: earlier.to_vec(),
+            ..Instance::default()
+        };
         self.store.insts.push(tmp);
         self.modules.push(Module::default());
         let inst_idx = (self.store.insts.len() - 1) as u32;
@@ -255,7 +281,10 @@ impl Runtime {
         self.store.insts.pop();
         self.modules.pop();
         let r = result?;
-        r.values.into_iter().next().ok_or_else(|| RuntimeError::stuck("initialiser left no value"))
+        r.values
+            .into_iter()
+            .next()
+            .ok_or_else(|| RuntimeError::stuck("initialiser left no value"))
     }
 
     /// Runs the garbage collector with the instances' globals as roots
@@ -407,8 +436,14 @@ mod tests {
         };
         let mut rt = Runtime::new();
         let idx = rt.instantiate("m", m).unwrap();
-        assert_eq!(rt.invoke(idx, "bump", vec![]).unwrap().values, vec![Value::i32(11)]);
-        assert_eq!(rt.invoke(idx, "bump", vec![]).unwrap().values, vec![Value::i32(12)]);
+        assert_eq!(
+            rt.invoke(idx, "bump", vec![]).unwrap().values,
+            vec![Value::i32(11)]
+        );
+        assert_eq!(
+            rt.invoke(idx, "bump", vec![]).unwrap().values,
+            vec![Value::i32(12)]
+        );
     }
 
     #[test]
@@ -418,7 +453,10 @@ mod tests {
                 exports: vec!["spin".into()],
                 ty: FunType::mono(vec![], vec![]),
                 locals: vec![],
-                body: vec![Instr::LoopI(ArrowType::default(), vec![Instr::i32(1), Instr::BrIf(0)])],
+                body: vec![Instr::LoopI(
+                    ArrowType::default(),
+                    vec![Instr::i32(1), Instr::BrIf(0)],
+                )],
             }],
             ..Module::default()
         };
@@ -446,19 +484,21 @@ mod tests {
                     exports: vec!["main".into()],
                     ty: FunType::mono(vec![], vec![Type::num(NumType::I32)]),
                     locals: vec![],
-                    body: vec![
-                        Instr::i32(21),
-                        Instr::CodeRefI(0),
-                        Instr::CallIndirect,
-                    ],
+                    body: vec![Instr::i32(21), Instr::CodeRefI(0), Instr::CallIndirect],
                 },
             ],
-            table: Table { exports: vec![], entries: vec![0] },
+            table: Table {
+                exports: vec![],
+                entries: vec![0],
+            },
             ..Module::default()
         };
         let mut rt = Runtime::new();
         let idx = rt.instantiate("m", m).unwrap();
-        assert_eq!(rt.invoke(idx, "main", vec![]).unwrap().values, vec![Value::i32(42)]);
+        assert_eq!(
+            rt.invoke(idx, "main", vec![]).unwrap().values,
+            vec![Value::i32(42)]
+        );
     }
 }
 
@@ -479,10 +519,7 @@ mod poly_tests {
                         size: Size::Const(64),
                         may_contain_caps: false,
                     }],
-                    arrow: ArrowType::new(
-                        vec![Pretype::Var(0).unr()],
-                        vec![Pretype::Var(0).unr()],
-                    ),
+                    arrow: ArrowType::new(vec![Pretype::Var(0).unr()], vec![Pretype::Var(0).unr()]),
                 },
                 locals: vec![],
                 body: vec![Instr::GetLocal(0, Qual::Unr)],
@@ -512,7 +549,10 @@ mod poly_tests {
                 ]))],
             )
             .unwrap();
-        assert_eq!(out.values, vec![Value::Prod(vec![Value::i32(1), Value::i32(2)])]);
+        assert_eq!(
+            out.values,
+            vec![Value::Prod(vec![Value::i32(1), Value::i32(2)])]
+        );
     }
 
     #[test]
@@ -524,7 +564,7 @@ mod poly_tests {
     }
 
     #[test]
-    fn gc_between_invocations_preserves_module_state()  {
+    fn gc_between_invocations_preserves_module_state() {
         // A module global rooted across collections.
         let m = Module {
             globals: vec![Global {
@@ -546,6 +586,9 @@ mod poly_tests {
         let mut rt = Runtime::new();
         let idx = rt.instantiate("m", m).unwrap();
         rt.gc();
-        assert_eq!(rt.invoke(idx, "get", vec![]).unwrap().values, vec![Value::i32(5)]);
+        assert_eq!(
+            rt.invoke(idx, "get", vec![]).unwrap().values,
+            vec![Value::i32(5)]
+        );
     }
 }

@@ -10,9 +10,7 @@ use crate::interp::num;
 use crate::interp::store::{Closure, Store};
 use crate::sizing::{size_of_heap_value, size_of_type, size_of_value};
 use crate::subst::{subst_instrs, subst_size, subst_type, SubstEnv};
-use crate::syntax::{
-    ConcreteLoc, Func, HeapValue, Instr, Loc, Mem, Module, Qual, Size, Value,
-};
+use crate::syntax::{ConcreteLoc, Func, HeapValue, Instr, Loc, Mem, Module, Qual, Size, Value};
 
 /// A runtime configuration: the current module instance, the local slots
 /// of the outermost activation, and the instruction sequence.
@@ -31,10 +29,24 @@ pub struct Config {
 impl Config {
     /// Builds a configuration that calls exported function `func` of
     /// instance `inst` with `args`.
-    pub fn call(inst: u32, func: u32, args: Vec<Value>, indices: Vec<crate::syntax::Index>) -> Config {
+    pub fn call(
+        inst: u32,
+        func: u32,
+        args: Vec<Value>,
+        indices: Vec<crate::syntax::Index>,
+    ) -> Config {
         let mut instrs: Vec<Instr> = args.into_iter().map(Instr::Val).collect();
-        instrs.push(Instr::CallAdmin { inst, func, indices });
-        Config { inst, locals: Vec::new(), instrs, trap_reason: None }
+        instrs.push(Instr::CallAdmin {
+            inst,
+            func,
+            indices,
+        });
+        Config {
+            inst,
+            locals: Vec::new(),
+            instrs,
+            trap_reason: None,
+        }
     }
 
     /// The result values if the configuration is fully reduced.
@@ -82,7 +94,14 @@ pub fn step_config(
 ) -> Result<Outcome, RuntimeError> {
     let mut note = None;
     let inst = cfg.inst;
-    let r = step_seq(store, modules, inst, &mut cfg.locals, &mut cfg.instrs, &mut note);
+    let r = step_seq(
+        store,
+        modules,
+        inst,
+        &mut cfg.locals,
+        &mut cfg.instrs,
+        &mut note,
+    );
     if let Some(n) = note {
         cfg.trap_reason = Some(n);
     }
@@ -90,8 +109,12 @@ pub fn step_config(
         SeqOut::Done => Ok(Outcome::Done),
         SeqOut::Stepped => Ok(Outcome::Stepped),
         SeqOut::TrapNow => Ok(Outcome::Trapped),
-        SeqOut::Br(..) => Err(RuntimeError::stuck("br escaped the top-level configuration")),
-        SeqOut::Ret(_) => Err(RuntimeError::stuck("return escaped the top-level configuration")),
+        SeqOut::Br(..) => Err(RuntimeError::stuck(
+            "br escaped the top-level configuration",
+        )),
+        SeqOut::Ret(_) => Err(RuntimeError::stuck(
+            "return escaped the top-level configuration",
+        )),
     }
 }
 
@@ -174,12 +197,20 @@ fn step_seq(
 
     if matches!(instrs[k], Instr::LocalFrame { .. }) {
         let (arity, fi) = {
-            let Instr::LocalFrame { arity, inst: fi, body, .. } = &instrs[k] else {
+            let Instr::LocalFrame {
+                arity,
+                inst: fi,
+                body,
+                ..
+            } = &instrs[k]
+            else {
                 unreachable!()
             };
             if all_values(body) {
                 if body.len() != *arity as usize {
-                    return Err(RuntimeError::stuck("function returned wrong number of values"));
+                    return Err(RuntimeError::stuck(
+                        "function returned wrong number of values",
+                    ));
                 }
                 let vals = take_values(body);
                 let repl: Vec<Instr> = vals.into_iter().map(Instr::Val).collect();
@@ -193,7 +224,12 @@ fn step_seq(
             (*arity as usize, *fi)
         };
         let r = {
-            let Instr::LocalFrame { locals: flocals, body, .. } = &mut instrs[k] else {
+            let Instr::LocalFrame {
+                locals: flocals,
+                body,
+                ..
+            } = &mut instrs[k]
+            else {
                 unreachable!()
             };
             step_seq(store, modules, fi, flocals, body, note)?
@@ -259,8 +295,12 @@ fn step_seq(
     };
 
     match e {
-        Instr::Val(_) | Instr::Label { .. } | Instr::LocalFrame { .. } | Instr::Trap
-        | Instr::Br(_) | Instr::Return => unreachable!("handled above"),
+        Instr::Val(_)
+        | Instr::Label { .. }
+        | Instr::LocalFrame { .. }
+        | Instr::Trap
+        | Instr::Br(_)
+        | Instr::Return => unreachable!("handled above"),
 
         Instr::Nop => consume_and_replace(instrs, 0, vec![])?,
         Instr::Unreachable => {
@@ -292,20 +332,38 @@ fn step_seq(
         Instr::BlockI(b, body) => {
             let n = b.arrow.params.len();
             let arity = b.arrow.results.len() as u32;
-            let mut inner: Vec<Instr> = (0..n).rev().map(|i| Instr::Val(val(instrs, i + 1))).collect();
+            let mut inner: Vec<Instr> = (0..n)
+                .rev()
+                .map(|i| Instr::Val(val(instrs, i + 1)))
+                .collect();
             inner.extend(body);
-            consume_and_replace(instrs, n, vec![Instr::Label { arity, cont: vec![], body: inner }])?;
+            consume_and_replace(
+                instrs,
+                n,
+                vec![Instr::Label {
+                    arity,
+                    cont: vec![],
+                    body: inner,
+                }],
+            )?;
         }
         Instr::LoopI(arrow, body) => {
             let n = arrow.params.len();
             let arity = n as u32; // a br to a loop label re-enters with the params
             let this_loop = Instr::LoopI(arrow, body.clone());
-            let mut inner: Vec<Instr> = (0..n).rev().map(|i| Instr::Val(val(instrs, i + 1))).collect();
+            let mut inner: Vec<Instr> = (0..n)
+                .rev()
+                .map(|i| Instr::Val(val(instrs, i + 1)))
+                .collect();
             inner.extend(body);
             consume_and_replace(
                 instrs,
                 n,
-                vec![Instr::Label { arity, cont: vec![this_loop], body: inner }],
+                vec![Instr::Label {
+                    arity,
+                    cont: vec![this_loop],
+                    body: inner,
+                }],
             )?;
         }
         Instr::IfI(b, then_b, else_b) => {
@@ -315,13 +373,19 @@ fn step_seq(
             let n = b.arrow.params.len();
             let arity = b.arrow.results.len() as u32;
             let chosen = if c != 0 { then_b } else { else_b };
-            let mut inner: Vec<Instr> =
-                (0..n).rev().map(|i| Instr::Val(val(instrs, i + 2))).collect();
+            let mut inner: Vec<Instr> = (0..n)
+                .rev()
+                .map(|i| Instr::Val(val(instrs, i + 2)))
+                .collect();
             inner.extend(chosen);
             consume_and_replace(
                 instrs,
                 n + 1,
-                vec![Instr::Label { arity, cont: vec![], body: inner }],
+                vec![Instr::Label {
+                    arity,
+                    cont: vec![],
+                    body: inner,
+                }],
             )?;
         }
         Instr::BrIf(j) => {
@@ -390,24 +454,42 @@ fn step_seq(
             consume_and_replace(
                 instrs,
                 0,
-                vec![Instr::Val(Value::CodeRef { inst, table_idx: i, indices: vec![] })],
+                vec![Instr::Val(Value::CodeRef {
+                    inst,
+                    table_idx: i,
+                    indices: vec![],
+                })],
             )?;
         }
         Instr::Inst(zs) => {
             let v = val(instrs, 1);
-            let Value::CodeRef { inst: ci, table_idx, mut indices } = v else {
+            let Value::CodeRef {
+                inst: ci,
+                table_idx,
+                mut indices,
+            } = v
+            else {
                 return Err(RuntimeError::stuck("inst on non-coderef"));
             };
             indices.extend(zs);
             consume_and_replace(
                 instrs,
                 1,
-                vec![Instr::Val(Value::CodeRef { inst: ci, table_idx, indices })],
+                vec![Instr::Val(Value::CodeRef {
+                    inst: ci,
+                    table_idx,
+                    indices,
+                })],
             )?;
         }
         Instr::CallIndirect => {
             let v = val(instrs, 1);
-            let Value::CodeRef { inst: ci, table_idx, indices } = v else {
+            let Value::CodeRef {
+                inst: ci,
+                table_idx,
+                indices,
+            } = v
+            else {
                 return Err(RuntimeError::stuck("call_indirect on non-coderef"));
             };
             let cl = store
@@ -419,7 +501,11 @@ fn step_seq(
             consume_and_replace(
                 instrs,
                 1,
-                vec![Instr::CallAdmin { inst: cl.inst, func: cl.func, indices }],
+                vec![Instr::CallAdmin {
+                    inst: cl.inst,
+                    func: cl.func,
+                    indices,
+                }],
             )?;
         }
         Instr::Call(j, zs) => {
@@ -432,21 +518,36 @@ fn step_seq(
             consume_and_replace(
                 instrs,
                 0,
-                vec![Instr::CallAdmin { inst: cl.inst, func: cl.func, indices: zs }],
+                vec![Instr::CallAdmin {
+                    inst: cl.inst,
+                    func: cl.func,
+                    indices: zs,
+                }],
             )?;
         }
-        Instr::CallAdmin { inst: ci, func: fi, indices } => {
+        Instr::CallAdmin {
+            inst: ci,
+            func: fi,
+            indices,
+        } => {
             let m = modules
                 .get(ci as usize)
-                .ok_or_else(|| RuntimeError::BadStore { reason: format!("no module {ci}") })?;
-            let Some(Func::Defined { ty, locals: lsizes, body, .. }) = m.funcs.get(fi as usize)
+                .ok_or_else(|| RuntimeError::BadStore {
+                    reason: format!("no module {ci}"),
+                })?;
+            let Some(Func::Defined {
+                ty,
+                locals: lsizes,
+                body,
+                ..
+            }) = m.funcs.get(fi as usize)
             else {
                 return Err(RuntimeError::BadStore {
                     reason: format!("call target {ci}.{fi} is not a defined function"),
                 });
             };
-            let env = SubstEnv::for_instantiation(&ty.quants, &indices)
-                .map_err(RuntimeError::stuck)?;
+            let env =
+                SubstEnv::for_instantiation(&ty.quants, &indices).map_err(RuntimeError::stuck)?;
             let n = ty.arrow.params.len();
             if prefix < n {
                 return Err(RuntimeError::stuck("call with too few arguments"));
@@ -467,7 +568,12 @@ fn step_seq(
             consume_and_replace(
                 instrs,
                 n,
-                vec![Instr::LocalFrame { arity, inst: ci, locals: frame_locals, body }],
+                vec![Instr::LocalFrame {
+                    arity,
+                    inst: ci,
+                    locals: frame_locals,
+                    body,
+                }],
             )?;
         }
         Instr::RecFold(_) => {
@@ -484,7 +590,9 @@ fn step_seq(
         Instr::MemPack(l) => {
             let v = val(instrs, 1);
             let Loc::Concrete(cl) = l else {
-                return Err(RuntimeError::stuck("mem.pack of an abstract location at runtime"));
+                return Err(RuntimeError::stuck(
+                    "mem.pack of an abstract location at runtime",
+                ));
             };
             consume_and_replace(instrs, 1, vec![Instr::Val(Value::MemPack(cl, Box::new(v)))])?;
         }
@@ -496,14 +604,20 @@ fn step_seq(
             let n = b.arrow.params.len();
             let arity = b.arrow.results.len() as u32;
             let opened = subst_instrs(&body, &SubstEnv::loc(Loc::Concrete(cl)));
-            let mut seq: Vec<Instr> =
-                (0..n).rev().map(|i| Instr::Val(val(instrs, i + 2))).collect();
+            let mut seq: Vec<Instr> = (0..n)
+                .rev()
+                .map(|i| Instr::Val(val(instrs, i + 2)))
+                .collect();
             seq.push(Instr::Val(*inner));
             seq.extend(opened);
             consume_and_replace(
                 instrs,
                 n + 1,
-                vec![Instr::Label { arity, cont: vec![], body: seq }],
+                vec![Instr::Label {
+                    arity,
+                    cont: vec![],
+                    body: seq,
+                }],
             )?;
         }
         Instr::Group(n, _) => {
@@ -521,7 +635,11 @@ fn step_seq(
         }
         Instr::CapSplit => {
             let _cap = val(instrs, 1);
-            consume_and_replace(instrs, 1, vec![Instr::Val(Value::Cap), Instr::Val(Value::Own)])?;
+            consume_and_replace(
+                instrs,
+                1,
+                vec![Instr::Val(Value::Cap), Instr::Val(Value::Own)],
+            )?;
         }
         Instr::CapJoin => {
             consume_and_replace(instrs, 2, vec![Instr::Val(Value::Cap)])?;
@@ -548,10 +666,7 @@ fn step_seq(
             let n = szs.len();
             let mut vs: Vec<Value> = (1..=n).map(|i| val(instrs, i)).collect();
             vs.reverse();
-            let total: u64 = szs
-                .iter()
-                .map(|s| s.eval_closed().unwrap_or_else(|| 0))
-                .sum();
+            let total: u64 = szs.iter().map(|s| s.eval_closed().unwrap_or(0)).sum();
             let hv = HeapValue::Struct(vs);
             consume_and_replace(
                 instrs,
@@ -606,18 +721,30 @@ fn step_seq(
                 return Err(RuntimeError::stuck("free on non-ref"));
             };
             if l.mem != Mem::Lin {
-                trap(instrs, 1, note, "free of unrestricted (GC-owned) memory".into());
+                trap(
+                    instrs,
+                    1,
+                    note,
+                    "free of unrestricted (GC-owned) memory".into(),
+                );
             } else if store.mem.free_lin(l.idx) {
                 consume_and_replace(instrs, 1, vec![])?;
             } else {
-                trap(instrs, 1, note, format!("double free / dangling free of {l}"));
+                trap(
+                    instrs,
+                    1,
+                    note,
+                    format!("double free / dangling free of {l}"),
+                );
             }
         }
         Instr::StructGet(i) => {
             let v = val(instrs, 1);
             let l = ref_loc(&v)?;
             let cell = read_cell(store, l, note, instrs, 1)?;
-            let Some(cell) = cell else { return Ok(SeqOut::Stepped) };
+            let Some(cell) = cell else {
+                return Ok(SeqOut::Stepped);
+            };
             let HeapValue::Struct(fields) = &cell.hv else {
                 return Err(RuntimeError::stuck("struct.get on non-struct cell"));
             };
@@ -659,11 +786,7 @@ fn step_seq(
                 .get_mut(i as usize)
                 .ok_or_else(|| RuntimeError::stuck("struct.swap: field out of range"))?;
             let old = std::mem::replace(slot, newv);
-            consume_and_replace(
-                instrs,
-                2,
-                vec![Instr::Val(Value::Ref(l)), Instr::Val(old)],
-            )?;
+            consume_and_replace(instrs, 2, vec![Instr::Val(Value::Ref(l)), Instr::Val(old)])?;
         }
         Instr::VariantCase(q, _, b, bodies) => {
             let n = b.arrow.params.len();
@@ -683,11 +806,17 @@ fn step_seq(
                 .get(tag)
                 .cloned()
                 .ok_or_else(|| RuntimeError::stuck("variant.case: tag out of range"))?;
-            let mut seq: Vec<Instr> =
-                (0..n).rev().map(|i| Instr::Val(val(instrs, i + 1))).collect();
+            let mut seq: Vec<Instr> = (0..n)
+                .rev()
+                .map(|i| Instr::Val(val(instrs, i + 1)))
+                .collect();
             seq.push(Instr::Val(payload));
             seq.extend(branch);
-            let label = Instr::Label { arity, cont: vec![], body: seq };
+            let label = Instr::Label {
+                arity,
+                cont: vec![],
+                body: seq,
+            };
             let linear = matches!(q, Qual::Lin);
             let repl = if linear {
                 // The reference is consumed and the cell freed (Fig. 4).
@@ -712,11 +841,17 @@ fn step_seq(
             let p = p.clone();
             let inner = (**inner).clone();
             let opened = subst_instrs(&body, &SubstEnv::pretype(p));
-            let mut seq: Vec<Instr> =
-                (0..n).rev().map(|i| Instr::Val(val(instrs, i + 1))).collect();
+            let mut seq: Vec<Instr> = (0..n)
+                .rev()
+                .map(|i| Instr::Val(val(instrs, i + 1)))
+                .collect();
             seq.push(Instr::Val(inner));
             seq.extend(opened);
-            let label = Instr::Label { arity, cont: vec![], body: seq };
+            let label = Instr::Label {
+                arity,
+                cont: vec![],
+                body: seq,
+            };
             let repl = if matches!(q, Qual::Lin) {
                 vec![Instr::Val(Value::Ref(l)), Instr::Free, label]
             } else {
@@ -741,11 +876,7 @@ fn step_seq(
             match items.get(idx) {
                 Some(v) => {
                     let v = v.clone();
-                    consume_and_replace(
-                        instrs,
-                        2,
-                        vec![Instr::Val(Value::Ref(l)), Instr::Val(v)],
-                    )?;
+                    consume_and_replace(instrs, 2, vec![Instr::Val(Value::Ref(l)), Instr::Val(v)])?;
                 }
                 // Out-of-bounds access traps (Fig. 4).
                 None => trap(instrs, 2, note, format!("array.get out of bounds ({idx})")),
@@ -792,7 +923,10 @@ fn read_cell<'s>(
     instrs: &mut Vec<Instr>,
     consumed: usize,
 ) -> Result<Option<&'s crate::interp::store::Cell>, RuntimeError> {
-    let k = instrs.iter().position(|e| !is_value(e)).expect("redex exists");
+    let k = instrs
+        .iter()
+        .position(|e| !is_value(e))
+        .expect("redex exists");
     match store.mem.get(l) {
         Some(c) => Ok(Some(c)),
         None => {
@@ -826,7 +960,10 @@ mod tests {
             instrs: vec![
                 Instr::i32(6),
                 Instr::i32(7),
-                Instr::Num(NumInstr::IntBinop(NumType::I32, crate::syntax::instr::IntBinop::Mul)),
+                Instr::Num(NumInstr::IntBinop(
+                    NumType::I32,
+                    crate::syntax::instr::IntBinop::Mul,
+                )),
             ],
             ..Config::default()
         };
@@ -850,7 +987,11 @@ mod tests {
             ..Config::default()
         };
         assert_eq!(run_to_end(&mut cfg), Outcome::Trapped);
-        assert!(cfg.trap_reason.as_deref().unwrap().contains("divide by zero"));
+        assert!(cfg
+            .trap_reason
+            .as_deref()
+            .unwrap()
+            .contains("divide by zero"));
     }
 
     #[test]
@@ -859,7 +1000,10 @@ mod tests {
         let mut cfg = Config {
             instrs: vec![Instr::BlockI(
                 crate::syntax::instr::Block::new(
-                    crate::syntax::ArrowType::new(vec![], vec![crate::syntax::Type::num(NumType::I32)]),
+                    crate::syntax::ArrowType::new(
+                        vec![],
+                        vec![crate::syntax::Type::num(NumType::I32)],
+                    ),
                     vec![],
                 ),
                 vec![Instr::i32(5), Instr::Br(0), Instr::i32(7)],
@@ -890,7 +1034,9 @@ mod tests {
         }
         let vals = cfg.results().unwrap();
         assert_eq!(vals.len(), 1);
-        let Value::MemPack(l, inner) = &vals[0] else { panic!("expected package") };
+        let Value::MemPack(l, inner) = &vals[0] else {
+            panic!("expected package")
+        };
         assert_eq!(**inner, Value::Ref(*l));
         assert_eq!(store.mem.lin.len(), 1);
         // Free it.
@@ -949,7 +1095,10 @@ mod more_tests {
                 vec![Instr::i32(sel), Instr::BrTable(vec![0, 1], 1)],
             );
             let outer = Instr::BlockI(
-                RwBlock::new(ArrowType::new(vec![], vec![Type::num(NumType::I32)]), vec![]),
+                RwBlock::new(
+                    ArrowType::new(vec![], vec![Type::num(NumType::I32)]),
+                    vec![],
+                ),
                 vec![
                     inner,
                     // Fell out of the inner block (sel == 0):
@@ -969,8 +1118,12 @@ mod more_tests {
             // block's result must come from somewhere: restructure — the
             // outer label type is [i32], so a br 1 from the inner body
             // needs an i32 on the stack. Push it first.
-            let Instr::BlockI(b, body) = &mut cfg.instrs[0] else { unreachable!() };
-            let Instr::BlockI(_, inner_body) = &mut body[0] else { unreachable!() };
+            let Instr::BlockI(b, body) = &mut cfg.instrs[0] else {
+                unreachable!()
+            };
+            let Instr::BlockI(_, inner_body) = &mut body[0] else {
+                unreachable!()
+            };
             inner_body.insert(0, Instr::i32(20));
             let _ = b;
             assert_eq!(drive(&mut store, &mut cfg), Outcome::Done);
@@ -983,12 +1136,7 @@ mod more_tests {
         for (c, expect) in [(1, 10), (0, 20)] {
             let mut store = Store::default();
             let mut cfg = Config {
-                instrs: vec![
-                    Instr::i32(10),
-                    Instr::i32(20),
-                    Instr::i32(c),
-                    Instr::Select,
-                ],
+                instrs: vec![Instr::i32(10), Instr::i32(20), Instr::i32(c), Instr::Select],
                 ..Config::default()
             };
             assert_eq!(drive(&mut store, &mut cfg), Outcome::Done);
@@ -1006,7 +1154,10 @@ mod more_tests {
                 Instr::i32(9),
                 Instr::ExistPack(Pretype::Num(NumType::I32), psi.clone(), Qual::Lin),
                 Instr::MemUnpack(
-                    RwBlock::new(ArrowType::new(vec![], vec![Type::num(NumType::I32)]), vec![]),
+                    RwBlock::new(
+                        ArrowType::new(vec![], vec![Type::num(NumType::I32)]),
+                        vec![],
+                    ),
                     vec![Instr::ExistUnpack(
                         Qual::Lin,
                         psi,
@@ -1014,7 +1165,10 @@ mod more_tests {
                             ArrowType::new(vec![], vec![Type::num(NumType::I32)]),
                             vec![],
                         ),
-                        vec![Instr::i32(1), Instr::Num(NumInstr::IntBinop(NumType::I32, IntBinop::Add))],
+                        vec![
+                            Instr::i32(1),
+                            Instr::Num(NumInstr::IntBinop(NumType::I32, IntBinop::Add)),
+                        ],
                     )],
                 ),
             ],
@@ -1033,11 +1187,9 @@ mod more_tests {
         let cases = vec![Type::num(NumType::I32), Type::unit()];
         for (q, leftover) in [(Qual::Lin, 0usize), (Qual::Unr, 1usize)] {
             let mut store = Store::default();
-            let case_results = if q == Qual::Lin {
-                ArrowType::new(vec![], vec![Type::num(NumType::I32)])
-            } else {
-                ArrowType::new(vec![], vec![Type::num(NumType::I32)])
-            };
+            // Both qualifiers use the same case-result arrow; only the
+            // leftover reference differs.
+            let case_results = ArrowType::new(vec![], vec![Type::num(NumType::I32)]);
             let mut body = vec![Instr::VariantCase(
                 q,
                 HeapType::Variant(cases.clone()),
@@ -1096,6 +1248,10 @@ mod more_tests {
             ..Config::default()
         };
         assert_eq!(drive(&mut store, &mut cfg), Outcome::Trapped);
-        assert!(cfg.trap_reason.as_deref().unwrap().contains("out of bounds"));
+        assert!(cfg
+            .trap_reason
+            .as_deref()
+            .unwrap()
+            .contains("out of bounds"));
     }
 }

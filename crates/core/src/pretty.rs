@@ -74,7 +74,9 @@ fn write_instr(e: &Instr, indent: usize, out: &mut String) {
             write_instrs(body, indent + 1, out);
             let _ = writeln!(out, "{pad})");
         }
-        Instr::LocalFrame { arity, inst, body, .. } => {
+        Instr::LocalFrame {
+            arity, inst, body, ..
+        } => {
             let _ = writeln!(out, "{pad}(local_{arity} inst={inst}");
             write_instrs(body, indent + 1, out);
             let _ = writeln!(out, "{pad})");
@@ -95,16 +97,25 @@ pub fn render_module(m: &Module) -> String {
                 write_instrs(init, 2, &mut out);
                 let _ = writeln!(out, "  )");
             }
-            GlobalKind::Imported { module, name, ty, .. } => {
+            GlobalKind::Imported {
+                module, name, ty, ..
+            } => {
                 let _ = writeln!(out, "  (global ${i} (import \"{module}\" \"{name}\") {ty})");
             }
         }
     }
     for (i, f) in m.funcs.iter().enumerate() {
         match f {
-            Func::Defined { exports, ty, locals, body } => {
-                let ex: Vec<String> =
-                    exports.iter().map(|e| format!("(export \"{e}\")")).collect();
+            Func::Defined {
+                exports,
+                ty,
+                locals,
+                body,
+            } => {
+                let ex: Vec<String> = exports
+                    .iter()
+                    .map(|e| format!("(export \"{e}\")"))
+                    .collect();
                 let _ = writeln!(out, "  (func ${i} {} {ty}", ex.join(" "));
                 if !locals.is_empty() {
                     let ls: Vec<String> = locals.iter().map(|s| s.to_string()).collect();
@@ -113,7 +124,9 @@ pub fn render_module(m: &Module) -> String {
                 write_instrs(body, 2, &mut out);
                 let _ = writeln!(out, "  )");
             }
-            Func::Imported { module, name, ty, .. } => {
+            Func::Imported {
+                module, name, ty, ..
+            } => {
                 let _ = writeln!(out, "  (func ${i} (import \"{module}\" \"{name}\") {ty})");
             }
         }
@@ -148,10 +161,10 @@ mod tests {
                             ),
                             vec![],
                         ),
-                        vec![Instr::i32(2), Instr::Num(NumInstr::IntBinop(
-                            NumType::I32,
-                            instr::IntBinop::Add,
-                        ))],
+                        vec![
+                            Instr::i32(2),
+                            Instr::Num(NumInstr::IntBinop(NumType::I32, instr::IntBinop::Add)),
+                        ],
                     ),
                 ],
             }],
@@ -163,7 +176,10 @@ mod tests {
         assert!(text.contains("i32.const 2"), "{text}");
         assert!(text.contains("(locals 32)"), "{text}");
         // Nesting is reflected in indentation.
-        assert!(text.lines().any(|l| l.starts_with("      i32.const 2")), "{text}");
+        assert!(
+            text.lines().any(|l| l.starts_with("      i32.const 2")),
+            "{text}"
+        );
     }
 
     #[test]
@@ -176,11 +192,7 @@ mod tests {
                 locals: vec![],
                 body: vec![
                     Instr::i32(1),
-                    Instr::VariantMalloc(
-                        0,
-                        vec![Type::num(NumType::I32), Type::unit()],
-                        Qual::Unr,
-                    ),
+                    Instr::VariantMalloc(0, vec![Type::num(NumType::I32), Type::unit()], Qual::Unr),
                     Instr::MemUnpack(
                         Block::new(ArrowType::new(vec![], vec![]), vec![]),
                         vec![

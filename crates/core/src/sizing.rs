@@ -112,8 +112,14 @@ mod tests {
     fn base_sizes() {
         let ctx = KindCtx::new();
         assert_eq!(size_of_type(&ctx, &Type::unit()).unwrap(), Size::Const(0));
-        assert_eq!(size_of_type(&ctx, &Type::num(NumType::I32)).unwrap(), Size::Const(32));
-        assert_eq!(size_of_type(&ctx, &Type::num(NumType::F64)).unwrap(), Size::Const(64));
+        assert_eq!(
+            size_of_type(&ctx, &Type::num(NumType::I32)).unwrap(),
+            Size::Const(32)
+        );
+        assert_eq!(
+            size_of_type(&ctx, &Type::num(NumType::F64)).unwrap(),
+            Size::Const(64)
+        );
     }
 
     #[test]
@@ -140,7 +146,10 @@ mod tests {
         let ctx = KindCtx::new();
         let t = Pretype::Cap(MemPriv::Read, Loc::lin(0), HeapType::Array(Type::unit())).lin();
         assert_eq!(size_of_type(&ctx, &t).unwrap(), Size::Const(0));
-        assert_eq!(size_of_type(&ctx, &Pretype::Own(Loc::lin(0)).lin()).unwrap(), Size::Const(0));
+        assert_eq!(
+            size_of_type(&ctx, &Pretype::Own(Loc::lin(0)).lin()).unwrap(),
+            Size::Const(0)
+        );
     }
 
     #[test]
@@ -151,7 +160,10 @@ mod tests {
             size: Size::Const(64),
             may_contain_caps: false,
         });
-        assert_eq!(size_of_type(&ctx, &Pretype::Var(0).unr()).unwrap(), Size::Const(64));
+        assert_eq!(
+            size_of_type(&ctx, &Pretype::Var(0).unr()).unwrap(),
+            Size::Const(64)
+        );
         assert!(size_of_type(&ctx, &Pretype::Var(1).unr()).is_err());
     }
 
@@ -190,10 +202,17 @@ mod tests {
     #[test]
     fn value_sizes_match_reduction_rules() {
         assert_eq!(size_of_value(&Value::i32(1)), 32);
-        assert_eq!(size_of_value(&Value::Prod(vec![Value::i32(1), Value::f64(0.0)])), 96);
+        assert_eq!(
+            size_of_value(&Value::Prod(vec![Value::i32(1), Value::f64(0.0)])),
+            96
+        );
         let hv = HeapValue::Variant(0, Box::new(Value::i32(1)));
         assert_eq!(size_of_heap_value(&hv), 64);
-        let hv = HeapValue::Pack(Pretype::Unit, Box::new(Value::Unit), HeapType::Array(Type::unit()));
+        let hv = HeapValue::Pack(
+            Pretype::Unit,
+            Box::new(Value::Unit),
+            HeapType::Array(Type::unit()),
+        );
         assert_eq!(size_of_heap_value(&hv), PACK_HEADER_BITS);
         let hv = HeapValue::Array(vec![Value::i32(0); 4]);
         assert_eq!(size_of_heap_value(&hv), 128);

@@ -41,7 +41,13 @@ pub fn qual_leq(ctx: &KindCtx, q1: Qual, q2: Qual) -> bool {
     qual_leq_rec(ctx, q1, q2, &mut seen, FUEL)
 }
 
-fn qual_leq_rec(ctx: &KindCtx, q1: Qual, q2: Qual, seen: &mut HashSet<(Qual, Qual)>, fuel: u32) -> bool {
+fn qual_leq_rec(
+    ctx: &KindCtx,
+    q1: Qual,
+    q2: Qual,
+    seen: &mut HashSet<(Qual, Qual)>,
+    fuel: u32,
+) -> bool {
     if fuel == 0 || !seen.insert((q1, q2)) {
         return false;
     }
@@ -50,12 +56,20 @@ fn qual_leq_rec(ctx: &KindCtx, q1: Qual, q2: Qual, seen: &mut HashSet<(Qual, Qua
         (Qual::Lin, Qual::Unr) => false,
         (Qual::Var(i), Qual::Var(j)) if i == j => true,
         (Qual::Var(i), q2) => {
-            let Some(b) = ctx.qual_bounds(i) else { return false };
-            b.upper.iter().any(|u| qual_leq_rec(ctx, *u, q2, seen, fuel - 1))
+            let Some(b) = ctx.qual_bounds(i) else {
+                return false;
+            };
+            b.upper
+                .iter()
+                .any(|u| qual_leq_rec(ctx, *u, q2, seen, fuel - 1))
         }
         (q1, Qual::Var(j)) => {
-            let Some(b) = ctx.qual_bounds(j) else { return false };
-            b.lower.iter().any(|l| qual_leq_rec(ctx, q1, *l, seen, fuel - 1))
+            let Some(b) = ctx.qual_bounds(j) else {
+                return false;
+            };
+            b.lower
+                .iter()
+                .any(|l| qual_leq_rec(ctx, q1, *l, seen, fuel - 1))
         }
     }
 }
@@ -116,12 +130,18 @@ impl Norm {
         let mut vars = self.vars.clone();
         vars.extend_from_slice(&extra.vars);
         vars.sort_unstable();
-        Norm { konst: self.konst + extra.konst, vars }
+        Norm {
+            konst: self.konst + extra.konst,
+            vars,
+        }
     }
 
     fn without_first_var(&self) -> (u32, Norm) {
         let v = self.vars[0];
-        let rest = Norm { konst: self.konst, vars: self.vars[1..].to_vec() };
+        let rest = Norm {
+            konst: self.konst,
+            vars: self.vars[1..].to_vec(),
+        };
         (v, rest)
     }
 }
@@ -157,7 +177,9 @@ fn norm_leq(ctx: &KindCtx, l: Norm, r: Norm, fuel: u32) -> bool {
     if !l.vars.is_empty() {
         let (v, rest) = l.without_first_var();
         if let Some(b) = ctx.size_bounds(v) {
-            if b.upper.iter().any(|u| norm_leq(ctx, rest.plus(&Norm::of(u)), r.clone(), fuel - 1))
+            if b.upper
+                .iter()
+                .any(|u| norm_leq(ctx, rest.plus(&Norm::of(u)), r.clone(), fuel - 1))
             {
                 return true;
             }
@@ -168,7 +190,9 @@ fn norm_leq(ctx: &KindCtx, l: Norm, r: Norm, fuel: u32) -> bool {
     if !r.vars.is_empty() {
         let (v, rest) = r.without_first_var();
         if let Some(b) = ctx.size_bounds(v) {
-            if b.lower.iter().any(|lb| norm_leq(ctx, l.clone(), rest.plus(&Norm::of(lb)), fuel - 1))
+            if b.lower
+                .iter()
+                .any(|lb| norm_leq(ctx, l.clone(), rest.plus(&Norm::of(lb)), fuel - 1))
             {
                 return true;
             }
@@ -211,9 +235,15 @@ mod tests {
     fn qual_var_bounds_chain() {
         let mut ctx = KindCtx::new();
         // δ1 ⪯ unr (upper bound unr)
-        ctx.push_qual(QualBounds { lower: vec![], upper: vec![Qual::Unr] });
+        ctx.push_qual(QualBounds {
+            lower: vec![],
+            upper: vec![Qual::Unr],
+        });
         // δ0 ⪯ δ1 — written at depth 1 where the previous var has index 0.
-        ctx.push_qual(QualBounds { lower: vec![], upper: vec![Qual::Var(0)] });
+        ctx.push_qual(QualBounds {
+            lower: vec![],
+            upper: vec![Qual::Var(0)],
+        });
         // Transitively δ0 ⪯ unr.
         assert!(qual_leq(&ctx, Qual::Var(0), Qual::Unr));
         assert!(qual_is_unrestricted(&ctx, Qual::Var(0)));
@@ -223,7 +253,10 @@ mod tests {
     fn qual_lower_bounds() {
         let mut ctx = KindCtx::new();
         // lin ⪯ δ0
-        ctx.push_qual(QualBounds { lower: vec![Qual::Lin], upper: vec![] });
+        ctx.push_qual(QualBounds {
+            lower: vec![Qual::Lin],
+            upper: vec![],
+        });
         assert!(qual_leq(&ctx, Qual::Lin, Qual::Var(0)));
         assert!(qual_eq(&ctx, Qual::Var(0), Qual::Lin));
     }
@@ -242,8 +275,16 @@ mod tests {
         ctx.push_size(SizeBounds::default());
         let v = Size::Var(0);
         assert!(size_leq(&ctx, &v, &v));
-        assert!(size_leq(&ctx, &(v.clone() + Size::Const(8)), &(v.clone() + Size::Const(16))));
-        assert!(!size_leq(&ctx, &(v.clone() + Size::Const(16)), &(v + Size::Const(8))));
+        assert!(size_leq(
+            &ctx,
+            &(v.clone() + Size::Const(8)),
+            &(v.clone() + Size::Const(16))
+        ));
+        assert!(!size_leq(
+            &ctx,
+            &(v.clone() + Size::Const(16)),
+            &(v + Size::Const(8))
+        ));
     }
 
     #[test]
@@ -251,21 +292,43 @@ mod tests {
         let mut ctx = KindCtx::new();
         ctx.push_size(SizeBounds::default());
         // 8 ≤ 16 + σ0 holds because σ0 ≥ 0.
-        assert!(size_leq(&ctx, &Size::Const(8), &(Size::Const(16) + Size::Var(0))));
+        assert!(size_leq(
+            &ctx,
+            &Size::Const(8),
+            &(Size::Const(16) + Size::Var(0))
+        ));
         // 16 ≤ 8 + σ0 is not derivable without a lower bound on σ0.
-        assert!(!size_leq(&ctx, &Size::Const(16), &(Size::Const(8) + Size::Var(0))));
+        assert!(!size_leq(
+            &ctx,
+            &Size::Const(16),
+            &(Size::Const(8) + Size::Var(0))
+        ));
     }
 
     #[test]
     fn size_upper_bound_chain() {
         let mut ctx = KindCtx::new();
         // σ1 ≤ 32
-        ctx.push_size(SizeBounds { lower: vec![], upper: vec![Size::Const(32)] });
+        ctx.push_size(SizeBounds {
+            lower: vec![],
+            upper: vec![Size::Const(32)],
+        });
         // σ0 ≤ σ1 (written when previous var had index 0)
-        ctx.push_size(SizeBounds { lower: vec![], upper: vec![Size::Var(0)] });
+        ctx.push_size(SizeBounds {
+            lower: vec![],
+            upper: vec![Size::Var(0)],
+        });
         assert!(size_leq(&ctx, &Size::Var(0), &Size::Const(32)));
-        assert!(size_leq(&ctx, &(Size::Var(0) + Size::Var(1)), &Size::Const(64)));
-        assert!(!size_leq(&ctx, &(Size::Var(0) + Size::Var(1)), &Size::Const(63)));
+        assert!(size_leq(
+            &ctx,
+            &(Size::Var(0) + Size::Var(1)),
+            &Size::Const(64)
+        ));
+        assert!(!size_leq(
+            &ctx,
+            &(Size::Var(0) + Size::Var(1)),
+            &Size::Const(63)
+        ));
     }
 
     #[test]
@@ -276,19 +339,27 @@ mod tests {
         let mut ctx = KindCtx::new();
         ctx.push_size(SizeBounds::default()); // σ (index 2 later)
         ctx.push_size(SizeBounds::default()); // σ (index 1 later)
-        // σ3 with lower bound Var(1) + Var(0) (the two previous binders).
+                                              // σ3 with lower bound Var(1) + Var(0) (the two previous binders).
         ctx.push_size(SizeBounds {
             lower: vec![Size::Var(1) + Size::Var(0)],
             upper: vec![],
         });
         // Now: Var(2) + Var(1) ≤ Var(0)?
-        assert!(size_leq(&ctx, &(Size::Var(2) + Size::Var(1)), &Size::Var(0)));
+        assert!(size_leq(
+            &ctx,
+            &(Size::Var(2) + Size::Var(1)),
+            &Size::Var(0)
+        ));
     }
 
     #[test]
     fn size_eq_is_mutual_leq() {
         let ctx = KindCtx::new();
-        assert!(size_eq(&ctx, &(Size::Const(8) + Size::Const(8)), &Size::Const(16)));
+        assert!(size_eq(
+            &ctx,
+            &(Size::Const(8) + Size::Const(8)),
+            &Size::Const(16)
+        ));
         assert!(!size_eq(&ctx, &Size::Const(8), &Size::Const(16)));
     }
 }

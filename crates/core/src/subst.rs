@@ -91,22 +91,34 @@ pub struct SubstEnv {
 impl SubstEnv {
     /// A substitution replacing only location variable 0.
     pub fn loc(l: Loc) -> SubstEnv {
-        SubstEnv { locs: vec![l], ..SubstEnv::default() }
+        SubstEnv {
+            locs: vec![l],
+            ..SubstEnv::default()
+        }
     }
 
     /// A substitution replacing only pretype variable 0.
     pub fn pretype(p: Pretype) -> SubstEnv {
-        SubstEnv { types: vec![p], ..SubstEnv::default() }
+        SubstEnv {
+            types: vec![p],
+            ..SubstEnv::default()
+        }
     }
 
     /// A substitution replacing only qualifier variable 0.
     pub fn qual(q: Qual) -> SubstEnv {
-        SubstEnv { quals: vec![q], ..SubstEnv::default() }
+        SubstEnv {
+            quals: vec![q],
+            ..SubstEnv::default()
+        }
     }
 
     /// A substitution replacing only size variable 0.
     pub fn size(s: Size) -> SubstEnv {
-        SubstEnv { sizes: vec![s], ..SubstEnv::default() }
+        SubstEnv {
+            sizes: vec![s],
+            ..SubstEnv::default()
+        }
     }
 
     /// Builds the instantiation substitution for a quantifier telescope.
@@ -118,10 +130,7 @@ impl SubstEnv {
     /// # Errors
     ///
     /// Returns a message when the arity or a kind does not match.
-    pub fn for_instantiation(
-        quants: &[Quantifier],
-        indices: &[Index],
-    ) -> Result<SubstEnv, String> {
+    pub fn for_instantiation(quants: &[Quantifier], indices: &[Index]) -> Result<SubstEnv, String> {
         if quants.len() != indices.len() {
             return Err(format!(
                 "instantiation arity mismatch: {} quantifiers, {} indices",
@@ -183,7 +192,11 @@ fn apply_qual(q: Qual, op: &Op, d: Depth) -> R<Qual> {
 fn var_qual(i: u32, op: &Op, d: Depth) -> R<Qual> {
     let cut = d.qual;
     match op {
-        Op::ShiftUp(by) => Ok(if i < cut { Qual::Var(i) } else { Qual::Var(i + by.qual) }),
+        Op::ShiftUp(by) => Ok(if i < cut {
+            Qual::Var(i)
+        } else {
+            Qual::Var(i + by.qual)
+        }),
         Op::ShiftDown(Kind::Qual) => {
             if i < cut {
                 Ok(Qual::Var(i))
@@ -217,16 +230,19 @@ fn var_qual(i: u32, op: &Op, d: Depth) -> R<Qual> {
 fn apply_size(s: &Size, op: &Op, d: Depth) -> R<Size> {
     match s {
         Size::Const(c) => Ok(Size::Const(*c)),
-        Size::Plus(a, b) => {
-            Ok(Size::Plus(Box::new(apply_size(a, op, d)?), Box::new(apply_size(b, op, d)?)))
-        }
+        Size::Plus(a, b) => Ok(Size::Plus(
+            Box::new(apply_size(a, op, d)?),
+            Box::new(apply_size(b, op, d)?),
+        )),
         Size::Var(i) => {
             let i = *i;
             let cut = d.size;
             match op {
-                Op::ShiftUp(by) => {
-                    Ok(if i < cut { Size::Var(i) } else { Size::Var(i + by.size) })
-                }
+                Op::ShiftUp(by) => Ok(if i < cut {
+                    Size::Var(i)
+                } else {
+                    Size::Var(i + by.size)
+                }),
                 Op::ShiftDown(Kind::Size) => {
                     if i < cut {
                         Ok(Size::Var(i))
@@ -243,8 +259,10 @@ fn apply_size(s: &Size, op: &Op, d: Depth) -> R<Size> {
                     } else {
                         let j = (i - cut) as usize;
                         if j < env.sizes.len() {
-                            let mut shift = Depth::default();
-                            shift.size = cut;
+                            let shift = Depth {
+                                size: cut,
+                                ..Depth::default()
+                            };
                             apply_size(&env.sizes[j], &Op::ShiftUp(shift), Depth::default())
                         } else {
                             Ok(Size::Var(i - env.sizes.len() as u32))
@@ -273,7 +291,11 @@ fn apply_loc(l: Loc, op: &Op, d: Depth) -> R<Loc> {
         Loc::Var(i) => {
             let cut = d.loc;
             match op {
-                Op::ShiftUp(by) => Ok(if i < cut { Loc::Var(i) } else { Loc::Var(i + by.loc) }),
+                Op::ShiftUp(by) => Ok(if i < cut {
+                    Loc::Var(i)
+                } else {
+                    Loc::Var(i + by.loc)
+                }),
                 Op::ShiftDown(Kind::Loc) => {
                     if i < cut {
                         Ok(Loc::Var(i))
@@ -373,7 +395,10 @@ fn apply_pretype(p: &Pretype, op: &Op, d: Depth) -> R<Pretype> {
 }
 
 fn apply_type(t: &Type, op: &Op, d: Depth) -> R<Type> {
-    Ok(Type { pre: Box::new(apply_pretype(&t.pre, op, d)?), qual: apply_qual(t.qual, op, d)? })
+    Ok(Type {
+        pre: Box::new(apply_pretype(&t.pre, op, d)?),
+        qual: apply_qual(t.qual, op, d)?,
+    })
 }
 
 fn apply_heaptype(h: &HeapType, op: &Op, d: Depth) -> R<HeapType> {
@@ -401,14 +426,30 @@ fn apply_quantifier(q: &Quantifier, op: &Op, d: Depth) -> R<Quantifier> {
     Ok(match q {
         Quantifier::Loc => Quantifier::Loc,
         Quantifier::Size { lower, upper } => Quantifier::Size {
-            lower: lower.iter().map(|s| apply_size(s, op, d)).collect::<R<_>>()?,
-            upper: upper.iter().map(|s| apply_size(s, op, d)).collect::<R<_>>()?,
+            lower: lower
+                .iter()
+                .map(|s| apply_size(s, op, d))
+                .collect::<R<_>>()?,
+            upper: upper
+                .iter()
+                .map(|s| apply_size(s, op, d))
+                .collect::<R<_>>()?,
         },
         Quantifier::Qual { lower, upper } => Quantifier::Qual {
-            lower: lower.iter().map(|q| apply_qual(*q, op, d)).collect::<R<_>>()?,
-            upper: upper.iter().map(|q| apply_qual(*q, op, d)).collect::<R<_>>()?,
+            lower: lower
+                .iter()
+                .map(|q| apply_qual(*q, op, d))
+                .collect::<R<_>>()?,
+            upper: upper
+                .iter()
+                .map(|q| apply_qual(*q, op, d))
+                .collect::<R<_>>()?,
         },
-        Quantifier::Type { lower_qual, size, may_contain_caps } => Quantifier::Type {
+        Quantifier::Type {
+            lower_qual,
+            size,
+            may_contain_caps,
+        } => Quantifier::Type {
             lower_qual: apply_qual(*lower_qual, op, d)?,
             size: apply_size(size, op, d)?,
             may_contain_caps: *may_contain_caps,
@@ -418,8 +459,16 @@ fn apply_quantifier(q: &Quantifier, op: &Op, d: Depth) -> R<Quantifier> {
 
 fn apply_arrow(a: &ArrowType, op: &Op, d: Depth) -> R<ArrowType> {
     Ok(ArrowType {
-        params: a.params.iter().map(|t| apply_type(t, op, d)).collect::<R<_>>()?,
-        results: a.results.iter().map(|t| apply_type(t, op, d)).collect::<R<_>>()?,
+        params: a
+            .params
+            .iter()
+            .map(|t| apply_type(t, op, d))
+            .collect::<R<_>>()?,
+        results: a
+            .results
+            .iter()
+            .map(|t| apply_type(t, op, d))
+            .collect::<R<_>>()?,
     })
 }
 
@@ -435,7 +484,10 @@ fn apply_funtype(ft: &FunType, op: &Op, d: Depth) -> R<FunType> {
             Quantifier::Type { .. } => Kind::Type,
         });
     }
-    Ok(FunType { quants, arrow: apply_arrow(&ft.arrow, op, d)? })
+    Ok(FunType {
+        quants,
+        arrow: apply_arrow(&ft.arrow, op, d)?,
+    })
 }
 
 fn apply_index(z: &Index, op: &Op, d: Depth) -> R<Index> {
@@ -455,10 +507,17 @@ fn apply_value(v: &Value, op: &Op, d: Depth) -> R<Value> {
         Value::Prod(vs) => Value::Prod(vs.iter().map(|v| apply_value(v, op, d)).collect::<R<_>>()?),
         Value::Fold(v) => Value::Fold(Box::new(apply_value(v, op, d)?)),
         Value::MemPack(l, v) => Value::MemPack(*l, Box::new(apply_value(v, op, d)?)),
-        Value::CodeRef { inst, table_idx, indices } => Value::CodeRef {
+        Value::CodeRef {
+            inst,
+            table_idx,
+            indices,
+        } => Value::CodeRef {
             inst: *inst,
             table_idx: *table_idx,
-            indices: indices.iter().map(|z| apply_index(z, op, d)).collect::<R<_>>()?,
+            indices: indices
+                .iter()
+                .map(|z| apply_index(z, op, d))
+                .collect::<R<_>>()?,
         },
     })
 }
@@ -486,7 +545,12 @@ fn apply_block(b: &Block, op: &Op, d: Depth) -> R<Block> {
         effects: b
             .effects
             .iter()
-            .map(|e| Ok(LocalEffect { idx: e.idx, ty: apply_type(&e.ty, op, d)? }))
+            .map(|e| {
+                Ok(LocalEffect {
+                    idx: e.idx,
+                    ty: apply_type(&e.ty, op, d)?,
+                })
+            })
             .collect::<R<_>>()?,
     })
 }
@@ -531,17 +595,18 @@ fn apply_instr(e: &Instr, op: &Op, d: Depth) -> R<Instr> {
         | Instr::Free => e.clone(),
         Instr::BlockI(b, body) => Instr::BlockI(apply_block(b, op, d)?, apply_instrs(body, op, d)?),
         Instr::LoopI(a, body) => Instr::LoopI(apply_arrow(a, op, d)?, apply_instrs(body, op, d)?),
-        Instr::IfI(b, t, f) => {
-            Instr::IfI(apply_block(b, op, d)?, apply_instrs(t, op, d)?, apply_instrs(f, op, d)?)
-        }
+        Instr::IfI(b, t, f) => Instr::IfI(
+            apply_block(b, op, d)?,
+            apply_instrs(t, op, d)?,
+            apply_instrs(f, op, d)?,
+        ),
         Instr::GetLocal(i, q) => Instr::GetLocal(*i, apply_qual(*q, op, d)?),
         Instr::Qualify(q) => Instr::Qualify(apply_qual(*q, op, d)?),
-        Instr::Inst(zs) => {
-            Instr::Inst(zs.iter().map(|z| apply_index(z, op, d)).collect::<R<_>>()?)
-        }
-        Instr::Call(i, zs) => {
-            Instr::Call(*i, zs.iter().map(|z| apply_index(z, op, d)).collect::<R<_>>()?)
-        }
+        Instr::Inst(zs) => Instr::Inst(zs.iter().map(|z| apply_index(z, op, d)).collect::<R<_>>()?),
+        Instr::Call(i, zs) => Instr::Call(
+            *i,
+            zs.iter().map(|z| apply_index(z, op, d)).collect::<R<_>>()?,
+        ),
         Instr::RecFold(p) => Instr::RecFold(apply_pretype(p, op, d)?),
         Instr::MemPack(l) => Instr::MemPack(apply_loc(*l, op, d)?),
         Instr::MemUnpack(b, body) => {
@@ -564,7 +629,10 @@ fn apply_instr(e: &Instr, op: &Op, d: Depth) -> R<Instr> {
             apply_qual(*q, op, d)?,
             apply_heaptype(h, op, d)?,
             apply_block(b, op, d)?,
-            bodies.iter().map(|body| apply_instrs(body, op, d)).collect::<R<_>>()?,
+            bodies
+                .iter()
+                .map(|body| apply_instrs(body, op, d))
+                .collect::<R<_>>()?,
         ),
         Instr::ArrayMalloc(q) => Instr::ArrayMalloc(apply_qual(*q, op, d)?),
         Instr::ExistPack(p, h, q) => Instr::ExistPack(
@@ -580,17 +648,29 @@ fn apply_instr(e: &Instr, op: &Op, d: Depth) -> R<Instr> {
             d2.bump(Kind::Type);
             Instr::ExistUnpack(q2, h2, b2, apply_instrs(body, op, d2)?)
         }
-        Instr::CallAdmin { inst, func, indices } => Instr::CallAdmin {
+        Instr::CallAdmin {
+            inst,
+            func,
+            indices,
+        } => Instr::CallAdmin {
             inst: *inst,
             func: *func,
-            indices: indices.iter().map(|z| apply_index(z, op, d)).collect::<R<_>>()?,
+            indices: indices
+                .iter()
+                .map(|z| apply_index(z, op, d))
+                .collect::<R<_>>()?,
         },
         Instr::Label { arity, cont, body } => Instr::Label {
             arity: *arity,
             cont: apply_instrs(cont, op, d)?,
             body: apply_instrs(body, op, d)?,
         },
-        Instr::LocalFrame { arity, inst, locals, body } => Instr::LocalFrame {
+        Instr::LocalFrame {
+            arity,
+            inst,
+            locals,
+            body,
+        } => Instr::LocalFrame {
             arity: *arity,
             inst: *inst,
             locals: locals
@@ -761,18 +841,22 @@ mod tests {
 
     #[test]
     fn shift_up_respects_cutoff() {
-        let t = Pretype::ExistsLoc(Box::new(Pretype::Prod(vec![
-            Pretype::Ptr(Loc::Var(0)).unr(),
-            Pretype::Ptr(Loc::Var(1)).unr(),
-        ])
-        .unr()))
+        let t = Pretype::ExistsLoc(Box::new(
+            Pretype::Prod(vec![
+                Pretype::Ptr(Loc::Var(0)).unr(),
+                Pretype::Ptr(Loc::Var(1)).unr(),
+            ])
+            .unr(),
+        ))
         .unr();
         let out = shift_type(&t, Depth::one(Kind::Loc));
-        let expect = Pretype::ExistsLoc(Box::new(Pretype::Prod(vec![
-            Pretype::Ptr(Loc::Var(0)).unr(),
-            Pretype::Ptr(Loc::Var(2)).unr(),
-        ])
-        .unr()))
+        let expect = Pretype::ExistsLoc(Box::new(
+            Pretype::Prod(vec![
+                Pretype::Ptr(Loc::Var(0)).unr(),
+                Pretype::Ptr(Loc::Var(2)).unr(),
+            ])
+            .unr(),
+        ))
         .unr();
         assert_eq!(out, expect);
     }
@@ -782,7 +866,10 @@ mod tests {
         let t = Pretype::Ptr(Loc::Var(0)).unr();
         assert!(unshift_type(&t, Kind::Loc).is_err());
         let t = Pretype::Ptr(Loc::Var(1)).unr();
-        assert_eq!(unshift_type(&t, Kind::Loc).unwrap(), Pretype::Ptr(Loc::Var(0)).unr());
+        assert_eq!(
+            unshift_type(&t, Kind::Loc).unwrap(),
+            Pretype::Ptr(Loc::Var(0)).unr()
+        );
     }
 
     #[test]
@@ -814,11 +901,17 @@ mod tests {
     fn instantiation_env_reverses_to_innermost_first() {
         let quants = vec![
             Quantifier::Loc,
-            Quantifier::Size { lower: vec![], upper: vec![] },
+            Quantifier::Size {
+                lower: vec![],
+                upper: vec![],
+            },
             Quantifier::Loc,
         ];
-        let indices =
-            vec![Index::Loc(Loc::lin(1)), Index::Size(Size::Const(8)), Index::Loc(Loc::unr(2))];
+        let indices = vec![
+            Index::Loc(Loc::lin(1)),
+            Index::Size(Size::Const(8)),
+            Index::Loc(Loc::unr(2)),
+        ];
         let env = SubstEnv::for_instantiation(&quants, &indices).unwrap();
         // Innermost loc binder (the second Loc quantifier) is de Bruijn 0.
         assert_eq!(env.locs, vec![Loc::unr(2), Loc::lin(1)]);
@@ -849,8 +942,14 @@ mod tests {
         // must leave its own (bound) telescope variables untouched.
         let ft = FunType {
             quants: vec![
-                Quantifier::Size { lower: vec![], upper: vec![] },
-                Quantifier::Size { lower: vec![], upper: vec![Size::Var(0)] },
+                Quantifier::Size {
+                    lower: vec![],
+                    upper: vec![],
+                },
+                Quantifier::Size {
+                    lower: vec![],
+                    upper: vec![Size::Var(0)],
+                },
             ],
             arrow: ArrowType::new(vec![], vec![]),
         };
@@ -861,14 +960,17 @@ mod tests {
         // outer free index 0 appears as Var(1).
         let ft = FunType {
             quants: ft.quants.clone(),
-            arrow: ArrowType::new(
-                vec![],
-                vec![Pretype::Prod(vec![]).with_qual(Qual::Unr)],
-            ),
+            arrow: ArrowType::new(vec![], vec![Pretype::Prod(vec![]).with_qual(Qual::Unr)]),
         };
         let mut q2 = ft.quants.clone();
-        q2[1] = Quantifier::Size { lower: vec![], upper: vec![Size::Var(0), Size::Var(1)] };
-        let ft_with_free = FunType { quants: q2, arrow: ft.arrow.clone() };
+        q2[1] = Quantifier::Size {
+            lower: vec![],
+            upper: vec![Size::Var(0), Size::Var(1)],
+        };
+        let ft_with_free = FunType {
+            quants: q2,
+            arrow: ft.arrow.clone(),
+        };
         let ft3 = subst_funtype(&ft_with_free, &SubstEnv::size(Size::Const(64)));
         match &ft3.quants[1] {
             Quantifier::Size { upper, .. } => {
@@ -912,7 +1014,10 @@ mod tests {
         assert_eq!(out, expect);
         // And an unrelated var shifts.
         let t = Pretype::Ptr(Loc::Var(5)).unr();
-        assert_eq!(generalize_loc(&t, Loc::Var(0)), Pretype::Ptr(Loc::Var(6)).unr());
+        assert_eq!(
+            generalize_loc(&t, Loc::Var(0)),
+            Pretype::Ptr(Loc::Var(6)).unr()
+        );
     }
 
     #[test]

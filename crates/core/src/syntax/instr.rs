@@ -347,68 +347,70 @@ impl From<Value> for Instr {
 
 impl fmt::Display for Instr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            match self {
-                Instr::Val(v) => write!(f, "{v}"),
-                Instr::Num(n) => write!(f, "{n:?}"),
-                Instr::Unreachable => write!(f, "unreachable"),
-                Instr::Nop => write!(f, "nop"),
-                Instr::Drop => write!(f, "drop"),
-                Instr::Select => write!(f, "select"),
-                Instr::BlockI(b, _) => write!(f, "block {}", b.arrow),
-                Instr::LoopI(a, _) => write!(f, "loop {a}"),
-                Instr::IfI(b, _, _) => write!(f, "if {}", b.arrow),
-                Instr::Br(i) => write!(f, "br {i}"),
-                Instr::BrIf(i) => write!(f, "br_if {i}"),
-                Instr::BrTable(is, j) => write!(f, "br_table {is:?} {j}"),
-                Instr::Return => write!(f, "return"),
-                Instr::GetLocal(i, q) => write!(f, "get_local {i} {q}"),
-                Instr::SetLocal(i) => write!(f, "set_local {i}"),
-                Instr::TeeLocal(i) => write!(f, "tee_local {i}"),
-                Instr::GetGlobal(i) => write!(f, "get_global {i}"),
-                Instr::SetGlobal(i) => write!(f, "set_global {i}"),
-                Instr::Qualify(q) => write!(f, "qualify {q}"),
-                Instr::CodeRefI(i) => write!(f, "coderef {i}"),
-                Instr::Inst(_) => write!(f, "inst"),
-                Instr::CallIndirect => write!(f, "call_indirect"),
-                Instr::Call(i, _) => write!(f, "call {i}"),
-                Instr::RecFold(_) => write!(f, "rec.fold"),
-                Instr::RecUnfold => write!(f, "rec.unfold"),
-                Instr::MemPack(l) => write!(f, "mem.pack {l}"),
-                Instr::MemUnpack(b, _) => write!(f, "mem.unpack {}", b.arrow),
-                Instr::Group(i, q) => write!(f, "seq.group {i} {q}"),
-                Instr::Ungroup => write!(f, "seq.ungroup"),
-                Instr::CapSplit => write!(f, "cap.split"),
-                Instr::CapJoin => write!(f, "cap.join"),
-                Instr::RefDemote => write!(f, "ref.demote"),
-                Instr::RefSplit => write!(f, "ref.split"),
-                Instr::RefJoin => write!(f, "ref.join"),
-                Instr::StructMalloc(szs, q) => write!(f, "struct.malloc {szs:?} {q}"),
-                Instr::StructFree => write!(f, "struct.free"),
-                Instr::StructGet(i) => write!(f, "struct.get {i}"),
-                Instr::StructSet(i) => write!(f, "struct.set {i}"),
-                Instr::StructSwap(i) => write!(f, "struct.swap {i}"),
-                Instr::VariantMalloc(i, _, q) => write!(f, "variant.malloc {i} {q}"),
-                Instr::VariantCase(q, _, b, _) => {
-                    write!(f, "variant.case {q} {}", b.arrow)
-                }
-                Instr::ArrayMalloc(q) => write!(f, "array.malloc {q}"),
-                Instr::ArrayGet => write!(f, "array.get"),
-                Instr::ArraySet => write!(f, "array.set"),
-                Instr::ArrayFree => write!(f, "array.free"),
-                Instr::ExistPack(_, _, q) => write!(f, "exist.pack {q}"),
-                Instr::ExistUnpack(q, _, b, _) => {
-                    write!(f, "exist.unpack {q} {}", b.arrow)
-                }
-                Instr::Trap => write!(f, "trap"),
-                Instr::CallAdmin { inst, func, .. } => write!(f, "call⟨{inst}.{func}⟩"),
-                Instr::Label { arity, body, .. } => {
-                    write!(f, "label_{arity}{{…}} [{} instrs] end", body.len())
-                }
-                Instr::LocalFrame { arity, inst, body, .. } => {
-                    write!(f, "local_{arity}{{{inst}}} [{} instrs] end", body.len())
-                }
-                Instr::MallocAdmin(sz, _, q) => write!(f, "malloc {sz} {q}"),
-                Instr::Free => write!(f, "free"),
+        match self {
+            Instr::Val(v) => write!(f, "{v}"),
+            Instr::Num(n) => write!(f, "{n:?}"),
+            Instr::Unreachable => write!(f, "unreachable"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Drop => write!(f, "drop"),
+            Instr::Select => write!(f, "select"),
+            Instr::BlockI(b, _) => write!(f, "block {}", b.arrow),
+            Instr::LoopI(a, _) => write!(f, "loop {a}"),
+            Instr::IfI(b, _, _) => write!(f, "if {}", b.arrow),
+            Instr::Br(i) => write!(f, "br {i}"),
+            Instr::BrIf(i) => write!(f, "br_if {i}"),
+            Instr::BrTable(is, j) => write!(f, "br_table {is:?} {j}"),
+            Instr::Return => write!(f, "return"),
+            Instr::GetLocal(i, q) => write!(f, "get_local {i} {q}"),
+            Instr::SetLocal(i) => write!(f, "set_local {i}"),
+            Instr::TeeLocal(i) => write!(f, "tee_local {i}"),
+            Instr::GetGlobal(i) => write!(f, "get_global {i}"),
+            Instr::SetGlobal(i) => write!(f, "set_global {i}"),
+            Instr::Qualify(q) => write!(f, "qualify {q}"),
+            Instr::CodeRefI(i) => write!(f, "coderef {i}"),
+            Instr::Inst(_) => write!(f, "inst"),
+            Instr::CallIndirect => write!(f, "call_indirect"),
+            Instr::Call(i, _) => write!(f, "call {i}"),
+            Instr::RecFold(_) => write!(f, "rec.fold"),
+            Instr::RecUnfold => write!(f, "rec.unfold"),
+            Instr::MemPack(l) => write!(f, "mem.pack {l}"),
+            Instr::MemUnpack(b, _) => write!(f, "mem.unpack {}", b.arrow),
+            Instr::Group(i, q) => write!(f, "seq.group {i} {q}"),
+            Instr::Ungroup => write!(f, "seq.ungroup"),
+            Instr::CapSplit => write!(f, "cap.split"),
+            Instr::CapJoin => write!(f, "cap.join"),
+            Instr::RefDemote => write!(f, "ref.demote"),
+            Instr::RefSplit => write!(f, "ref.split"),
+            Instr::RefJoin => write!(f, "ref.join"),
+            Instr::StructMalloc(szs, q) => write!(f, "struct.malloc {szs:?} {q}"),
+            Instr::StructFree => write!(f, "struct.free"),
+            Instr::StructGet(i) => write!(f, "struct.get {i}"),
+            Instr::StructSet(i) => write!(f, "struct.set {i}"),
+            Instr::StructSwap(i) => write!(f, "struct.swap {i}"),
+            Instr::VariantMalloc(i, _, q) => write!(f, "variant.malloc {i} {q}"),
+            Instr::VariantCase(q, _, b, _) => {
+                write!(f, "variant.case {q} {}", b.arrow)
+            }
+            Instr::ArrayMalloc(q) => write!(f, "array.malloc {q}"),
+            Instr::ArrayGet => write!(f, "array.get"),
+            Instr::ArraySet => write!(f, "array.set"),
+            Instr::ArrayFree => write!(f, "array.free"),
+            Instr::ExistPack(_, _, q) => write!(f, "exist.pack {q}"),
+            Instr::ExistUnpack(q, _, b, _) => {
+                write!(f, "exist.unpack {q} {}", b.arrow)
+            }
+            Instr::Trap => write!(f, "trap"),
+            Instr::CallAdmin { inst, func, .. } => write!(f, "call⟨{inst}.{func}⟩"),
+            Instr::Label { arity, body, .. } => {
+                write!(f, "label_{arity}{{…}} [{} instrs] end", body.len())
+            }
+            Instr::LocalFrame {
+                arity, inst, body, ..
+            } => {
+                write!(f, "local_{arity}{{{inst}}} [{} instrs] end", body.len())
+            }
+            Instr::MallocAdmin(sz, _, q) => write!(f, "malloc {sz} {q}"),
+            Instr::Free => write!(f, "free"),
         }
     }
 }

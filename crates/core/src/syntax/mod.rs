@@ -27,7 +27,5 @@ pub use loc::{ConcreteLoc, Loc, Mem};
 pub use module::{Func, Global, GlobalKind, Module, Table};
 pub use qual::Qual;
 pub use size::Size;
-pub use types::{
-    ArrowType, FunType, HeapType, Index, MemPriv, NumType, Pretype, Quantifier, Type,
-};
+pub use types::{ArrowType, FunType, HeapType, Index, MemPriv, NumType, Pretype, Quantifier, Type};
 pub use value::{HeapValue, Value};

@@ -148,7 +148,12 @@ impl fmt::Display for Module {
         writeln!(f, "(module")?;
         for (i, func) in self.funcs.iter().enumerate() {
             match func {
-                Func::Defined { exports, ty, locals, body } => {
+                Func::Defined {
+                    exports,
+                    ty,
+                    locals,
+                    body,
+                } => {
                     writeln!(
                         f,
                         "  (func {i} {:?} {ty} (locals {locals:?}) [{} instrs])",
@@ -156,7 +161,9 @@ impl fmt::Display for Module {
                         body.len()
                     )?;
                 }
-                Func::Imported { module, name, ty, .. } => {
+                Func::Imported {
+                    module, name, ty, ..
+                } => {
                     writeln!(f, "  (func {i} (import \"{module}\" \"{name}\") {ty})")?;
                 }
             }
@@ -202,7 +209,11 @@ mod tests {
     fn accessors() {
         let g = Global {
             exports: vec![],
-            kind: GlobalKind::Defined { mutable: true, ty: Pretype::Unit, init: vec![] },
+            kind: GlobalKind::Defined {
+                mutable: true,
+                ty: Pretype::Unit,
+                init: vec![],
+            },
         };
         assert!(g.mutable());
         assert_eq!(g.ty(), &Pretype::Unit);

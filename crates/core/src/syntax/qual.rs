@@ -19,10 +19,11 @@ use std::fmt;
 /// use richwasm::syntax::Qual;
 /// assert!(Qual::Unr < Qual::Lin);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Qual {
     /// An unrestricted (copyable, droppable) qualifier — the bottom of the
     /// ordering.
+    #[default]
     Unr,
     /// A linear (must-use-exactly-once) qualifier — the top of the ordering.
     Lin,
@@ -58,12 +59,6 @@ impl Qual {
             (Qual::Unr, Qual::Unr) => Qual::Unr,
             _ => panic!("join_concrete on qualifier variable"),
         }
-    }
-}
-
-impl Default for Qual {
-    fn default() -> Self {
-        Qual::Unr
     }
 }
 

@@ -135,7 +135,10 @@ mod tests {
     fn eval_closed_handles_nesting() {
         let s = Size::Plus(
             Box::new(Size::Const(8)),
-            Box::new(Size::Plus(Box::new(Size::Const(8)), Box::new(Size::Const(16)))),
+            Box::new(Size::Plus(
+                Box::new(Size::Const(8)),
+                Box::new(Size::Const(16)),
+            )),
         );
         assert_eq!(s.eval_closed(), Some(32));
         assert!(s.is_closed());

@@ -123,7 +123,10 @@ pub enum Pretype {
 impl Pretype {
     /// Annotates this pretype with a qualifier, forming a [`Type`].
     pub fn with_qual(self, qual: Qual) -> Type {
-        Type { pre: Box::new(self), qual }
+        Type {
+            pre: Box::new(self),
+            qual,
+        }
     }
 
     /// Shorthand for `self.with_qual(Qual::Unr)`.
@@ -149,7 +152,10 @@ pub struct Type {
 impl Type {
     /// Constructs a type from a pretype and a qualifier.
     pub fn new(pre: Pretype, qual: Qual) -> Type {
-        Type { pre: Box::new(pre), qual }
+        Type {
+            pre: Box::new(pre),
+            qual,
+        }
     }
 
     /// The unrestricted unit type `unit^unr` — the type of freshly
@@ -294,7 +300,11 @@ impl fmt::Display for Quantifier {
             Quantifier::Qual { lower, upper } => {
                 write!(f, "{lower:?} ⪯ δ ⪯ {upper:?}")
             }
-            Quantifier::Type { lower_qual, size, may_contain_caps } => {
+            Quantifier::Type {
+                lower_qual,
+                size,
+                may_contain_caps,
+            } => {
                 let c = if *may_contain_caps { "ᶜ" } else { "" };
                 write!(f, "{lower_qual} ⪯ α{c} ≲ {size}")
             }
@@ -314,7 +324,10 @@ pub struct FunType {
 impl FunType {
     /// A monomorphic function type with no quantifiers.
     pub fn mono(params: Vec<Type>, results: Vec<Type>) -> FunType {
-        FunType { quants: Vec::new(), arrow: ArrowType::new(params, results) }
+        FunType {
+            quants: Vec::new(),
+            arrow: ArrowType::new(params, results),
+        }
     }
 }
 

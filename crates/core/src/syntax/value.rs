@@ -125,7 +125,11 @@ impl fmt::Display for Value {
             Value::Own => write!(f, "own"),
             Value::Fold(v) => write!(f, "(fold {v})"),
             Value::MemPack(l, v) => write!(f, "(mempack {l} {v})"),
-            Value::CodeRef { inst, table_idx, indices } => {
+            Value::CodeRef {
+                inst,
+                table_idx,
+                indices,
+            } => {
                 write!(f, "(coderef {inst} {table_idx}")?;
                 for z in indices {
                     write!(f, " {z}")?;
@@ -206,6 +210,8 @@ mod tests {
     fn display_smoke() {
         assert_eq!(Value::Unit.to_string(), "()");
         assert_eq!(Value::i32(5).to_string(), "i32.const 5");
-        assert!(HeapValue::Array(vec![Value::Unit]).to_string().starts_with("(array 1"));
+        assert!(HeapValue::Array(vec![Value::Unit])
+            .to_string()
+            .starts_with("(array 1"));
     }
 }

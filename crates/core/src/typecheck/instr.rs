@@ -80,7 +80,12 @@ pub struct InstrInfo {
 
 impl Default for InstrInfo {
     fn default() -> Self {
-        InstrInfo { consumed: Vec::new(), produced: Vec::new(), dead: false, bodies_visited: true }
+        InstrInfo {
+            consumed: Vec::new(),
+            produced: Vec::new(),
+            dead: false,
+            bodies_visited: true,
+        }
     }
 }
 
@@ -114,7 +119,15 @@ impl<'a> Checker<'a> {
             limbo: Vec::new(),
             unreachable: false,
         };
-        Checker { module, ctx, locals, frames: vec![root], ret, trace: Vec::new(), cur_info: InstrInfo::default() }
+        Checker {
+            module,
+            ctx,
+            locals,
+            frames: vec![root],
+            ret,
+            trace: Vec::new(),
+            cur_info: InstrInfo::default(),
+        }
     }
 
     /// The recorded per-instruction trace (pre-order).
@@ -132,7 +145,9 @@ impl<'a> Checker<'a> {
     // ------------------------------------------------------------------
 
     fn cur(&mut self) -> &mut Frame {
-        self.frames.last_mut().expect("checker always has a root frame")
+        self.frames
+            .last_mut()
+            .expect("checker always has a root frame")
     }
 
     fn push_op(&mut self, t: Type) {
@@ -149,7 +164,9 @@ impl<'a> Checker<'a> {
                 Ok(Some(t))
             }
             None if f.unreachable => Ok(None),
-            None => Err(TypeError::StackUnderflow { context: ctxt.to_string() }),
+            None => Err(TypeError::StackUnderflow {
+                context: ctxt.to_string(),
+            }),
         }
     }
 
@@ -222,7 +239,10 @@ impl<'a> Checker<'a> {
     fn check_br(&mut self, i: u32, consume: bool, ctxt: &str) -> Result<(), TypeError> {
         let n = self.frames.len();
         if (i as usize) >= n {
-            return Err(TypeError::UnboundVar { kind: "label", index: i });
+            return Err(TypeError::UnboundVar {
+                kind: "label",
+                index: i,
+            });
         }
         let target = n - 1 - i as usize;
         let label_tys = self.frames[target].label_tys.clone();
@@ -327,9 +347,10 @@ impl<'a> Checker<'a> {
     fn apply_effects(&mut self, effects: &[LocalEffect]) -> Result<Vec<SlotTy>, TypeError> {
         let mut out = self.locals.clone();
         for e in effects {
-            let slot = out
-                .get_mut(e.idx as usize)
-                .ok_or(TypeError::UnboundVar { kind: "local", index: e.idx })?;
+            let slot = out.get_mut(e.idx as usize).ok_or(TypeError::UnboundVar {
+                kind: "local",
+                index: e.idx,
+            })?;
             let sz = slot.size.clone();
             wf_type(&mut self.ctx, &e.ty)?;
             let tsz = size_of_type(&self.ctx, &e.ty)?;
@@ -482,14 +503,20 @@ impl<'a> Checker<'a> {
                     let n = self.frames.len();
                     let t0 = *all.first().expect("br_table has a default");
                     if (t0 as usize) >= n {
-                        return Err(TypeError::UnboundVar { kind: "label", index: t0 });
+                        return Err(TypeError::UnboundVar {
+                            kind: "label",
+                            index: t0,
+                        });
                     }
                     self.frames[n - 1 - t0 as usize].label_tys.clone()
                 };
                 for i in &all {
                     let n = self.frames.len();
                     if (*i as usize) >= n {
-                        return Err(TypeError::UnboundVar { kind: "label", index: *i });
+                        return Err(TypeError::UnboundVar {
+                            kind: "label",
+                            index: *i,
+                        });
                     }
                     let tys = &self.frames[n - 1 - *i as usize].label_tys;
                     if *tys != first_tys {
@@ -532,7 +559,10 @@ impl<'a> Checker<'a> {
                 let slot = self
                     .locals
                     .get(*i as usize)
-                    .ok_or(TypeError::UnboundVar { kind: "local", index: *i })?
+                    .ok_or(TypeError::UnboundVar {
+                        kind: "local",
+                        index: *i,
+                    })?
                     .clone();
                 if slot.ty.qual != *q {
                     return Err(TypeError::Mismatch {
@@ -550,11 +580,15 @@ impl<'a> Checker<'a> {
                 Ok(())
             }
             Instr::SetLocal(i) => {
-                let Some(t) = self.pop_op("set_local")? else { return Ok(()) };
+                let Some(t) = self.pop_op("set_local")? else {
+                    return Ok(());
+                };
                 self.set_local_common(*i, t, "set_local")
             }
             Instr::TeeLocal(i) => {
-                let Some(t) = self.pop_op("tee_local")? else { return Ok(()) };
+                let Some(t) = self.pop_op("tee_local")? else {
+                    return Ok(());
+                };
                 if !qual_leq(&self.ctx, t.qual, Qual::Unr) {
                     return Err(TypeError::LinearityViolation {
                         context: format!("tee_local {i} would duplicate linear {t}"),
@@ -568,7 +602,10 @@ impl<'a> Checker<'a> {
                     .module
                     .globals
                     .get(*i as usize)
-                    .ok_or(TypeError::UnboundVar { kind: "global", index: *i })?
+                    .ok_or(TypeError::UnboundVar {
+                        kind: "global",
+                        index: *i,
+                    })?
                     .clone();
                 self.push_op(p.unr());
                 Ok(())
@@ -578,16 +615,23 @@ impl<'a> Checker<'a> {
                     .module
                     .globals
                     .get(*i as usize)
-                    .ok_or(TypeError::UnboundVar { kind: "global", index: *i })?
+                    .ok_or(TypeError::UnboundVar {
+                        kind: "global",
+                        index: *i,
+                    })?
                     .clone();
                 if !mutable {
-                    return Err(TypeError::Other(format!("set_global {i}: global is immutable")));
+                    return Err(TypeError::Other(format!(
+                        "set_global {i}: global is immutable"
+                    )));
                 }
                 self.pop_expect(&p.unr(), "set_global")
             }
             Instr::Qualify(q) => {
                 wf_qual(&self.ctx, *q)?;
-                let Some(t) = self.pop_op("qualify")? else { return Ok(()) };
+                let Some(t) = self.pop_op("qualify")? else {
+                    return Ok(());
+                };
                 if !qual_leq(&self.ctx, t.qual, *q) {
                     return Err(TypeError::QualNotLeq {
                         lhs: t.qual,
@@ -596,7 +640,10 @@ impl<'a> Checker<'a> {
                     });
                 }
                 wf_pretype_at(&mut self.ctx, &t.pre, *q)?;
-                self.push_op(Type { pre: t.pre, qual: *q });
+                self.push_op(Type {
+                    pre: t.pre,
+                    qual: *q,
+                });
                 Ok(())
             }
             Instr::CodeRefI(i) => {
@@ -604,13 +651,18 @@ impl<'a> Checker<'a> {
                     .module
                     .table
                     .get(*i as usize)
-                    .ok_or(TypeError::UnboundVar { kind: "table", index: *i })?
+                    .ok_or(TypeError::UnboundVar {
+                        kind: "table",
+                        index: *i,
+                    })?
                     .clone();
                 self.push_op(Pretype::CodeRef(ft).unr());
                 Ok(())
             }
             Instr::Inst(zs) => {
-                let Some(t) = self.pop_op("inst")? else { return Ok(()) };
+                let Some(t) = self.pop_op("inst")? else {
+                    return Ok(());
+                };
                 let Pretype::CodeRef(ft) = &*t.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "coderef".into(),
@@ -621,11 +673,19 @@ impl<'a> Checker<'a> {
                 check_instantiation(&mut self.ctx, &ft.quants, zs)?;
                 let arrow = instantiate_arrow(ft, zs)
                     .map_err(|reason| TypeError::BadInstantiation { reason })?;
-                self.push_op(Pretype::CodeRef(FunType { quants: vec![], arrow }).with_qual(t.qual));
+                self.push_op(
+                    Pretype::CodeRef(FunType {
+                        quants: vec![],
+                        arrow,
+                    })
+                    .with_qual(t.qual),
+                );
                 Ok(())
             }
             Instr::CallIndirect => {
-                let Some(t) = self.pop_op("call_indirect")? else { return Ok(()) };
+                let Some(t) = self.pop_op("call_indirect")? else {
+                    return Ok(());
+                };
                 let Pretype::CodeRef(ft) = &*t.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "coderef".into(),
@@ -650,7 +710,10 @@ impl<'a> Checker<'a> {
                     .module
                     .funcs
                     .get(*i as usize)
-                    .ok_or(TypeError::UnboundVar { kind: "function", index: *i })?
+                    .ok_or(TypeError::UnboundVar {
+                        kind: "function",
+                        index: *i,
+                    })?
                     .clone();
                 check_instantiation(&mut self.ctx, &ft.quants, zs)?;
                 let arrow = instantiate_arrow(&ft, zs)
@@ -677,7 +740,9 @@ impl<'a> Checker<'a> {
                 Ok(())
             }
             Instr::RecUnfold => {
-                let Some(t) = self.pop_op("rec.unfold")? else { return Ok(()) };
+                let Some(t) = self.pop_op("rec.unfold")? else {
+                    return Ok(());
+                };
                 let Some(unfolded) = unfold_rec(&t.pre) else {
                     return Err(TypeError::Mismatch {
                         expected: "rec type".into(),
@@ -690,7 +755,9 @@ impl<'a> Checker<'a> {
             }
             Instr::MemPack(l) => {
                 wf_loc(&self.ctx, *l)?;
-                let Some(t) = self.pop_op("mem.pack")? else { return Ok(()) };
+                let Some(t) = self.pop_op("mem.pack")? else {
+                    return Ok(());
+                };
                 let q = t.qual;
                 let body = generalize_loc(&t, *l);
                 self.push_op(Pretype::ExistsLoc(Box::new(body)).with_qual(q));
@@ -720,7 +787,9 @@ impl<'a> Checker<'a> {
                 Ok(())
             }
             Instr::Ungroup => {
-                let Some(t) = self.pop_op("seq.ungroup")? else { return Ok(()) };
+                let Some(t) = self.pop_op("seq.ungroup")? else {
+                    return Ok(());
+                };
                 let Pretype::Prod(parts) = *t.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "tuple".into(),
@@ -734,7 +803,9 @@ impl<'a> Checker<'a> {
                 Ok(())
             }
             Instr::CapSplit => {
-                let Some(t) = self.pop_op("cap.split")? else { return Ok(()) };
+                let Some(t) = self.pop_op("cap.split")? else {
+                    return Ok(());
+                };
                 let Pretype::Cap(MemPriv::ReadWrite, l, h) = *t.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "cap rw".into(),
@@ -749,7 +820,9 @@ impl<'a> Checker<'a> {
             Instr::CapJoin => {
                 let own = self.pop_op("cap.join")?;
                 let cap = self.pop_op("cap.join")?;
-                let (Some(own), Some(cap)) = (own, cap) else { return Ok(()) };
+                let (Some(own), Some(cap)) = (own, cap) else {
+                    return Ok(());
+                };
                 let Pretype::Own(lo) = *own.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "own".into(),
@@ -773,7 +846,9 @@ impl<'a> Checker<'a> {
                 Ok(())
             }
             Instr::RefDemote => {
-                let Some(t) = self.pop_op("ref.demote")? else { return Ok(()) };
+                let Some(t) = self.pop_op("ref.demote")? else {
+                    return Ok(());
+                };
                 let Pretype::Ref(MemPriv::ReadWrite, l, h) = *t.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "ref rw".into(),
@@ -785,7 +860,9 @@ impl<'a> Checker<'a> {
                 Ok(())
             }
             Instr::RefSplit => {
-                let Some(t) = self.pop_op("ref.split")? else { return Ok(()) };
+                let Some(t) = self.pop_op("ref.split")? else {
+                    return Ok(());
+                };
                 let Pretype::Ref(pi, l, h) = *t.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "ref".into(),
@@ -802,7 +879,9 @@ impl<'a> Checker<'a> {
             Instr::RefJoin => {
                 let ptr = self.pop_op("ref.join")?;
                 let cap = self.pop_op("ref.join")?;
-                let (Some(ptr), Some(cap)) = (ptr, cap) else { return Ok(()) };
+                let (Some(ptr), Some(cap)) = (ptr, cap) else {
+                    return Ok(());
+                };
                 let Pretype::Ptr(lp) = *ptr.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "ptr".into(),
@@ -827,9 +906,10 @@ impl<'a> Checker<'a> {
             }
             Instr::StructMalloc(szs, q) => self.check_struct_malloc(szs, *q),
             Instr::StructFree => {
-                let Some(t) = self.pop_op("struct.free")? else { return Ok(()) };
-                let Pretype::Ref(MemPriv::ReadWrite, _, HeapType::Struct(fields)) = &*t.pre
-                else {
+                let Some(t) = self.pop_op("struct.free")? else {
+                    return Ok(());
+                };
+                let Pretype::Ref(MemPriv::ReadWrite, _, HeapType::Struct(fields)) = &*t.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "ref rw to struct".into(),
                         found: t.to_string(),
@@ -849,7 +929,9 @@ impl<'a> Checker<'a> {
                 Ok(())
             }
             Instr::StructGet(i) => {
-                let Some(t) = self.pop_op("struct.get")? else { return Ok(()) };
+                let Some(t) = self.pop_op("struct.get")? else {
+                    return Ok(());
+                };
                 let Pretype::Ref(_, _, HeapType::Struct(fields)) = &*t.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "ref to struct".into(),
@@ -859,7 +941,10 @@ impl<'a> Checker<'a> {
                 };
                 let (ft, _) = fields
                     .get(*i as usize)
-                    .ok_or(TypeError::UnboundVar { kind: "struct field", index: *i })?
+                    .ok_or(TypeError::UnboundVar {
+                        kind: "struct field",
+                        index: *i,
+                    })?
                     .clone();
                 if !qual_leq(&self.ctx, ft.qual, Qual::Unr) {
                     return Err(TypeError::LinearityViolation {
@@ -886,11 +971,16 @@ impl<'a> Checker<'a> {
                 }
                 let payload = cases
                     .get(*i as usize)
-                    .ok_or(TypeError::UnboundVar { kind: "variant case", index: *i })?
+                    .ok_or(TypeError::UnboundVar {
+                        kind: "variant case",
+                        index: *i,
+                    })?
                     .clone();
                 self.pop_expect(&payload, "variant.malloc")?;
-                let shifted: Vec<Type> =
-                    cases.iter().map(|t| shift_type(t, Depth::one(Kind::Loc))).collect();
+                let shifted: Vec<Type> = cases
+                    .iter()
+                    .map(|t| shift_type(t, Depth::one(Kind::Loc)))
+                    .collect();
                 let inner =
                     Pretype::Ref(MemPriv::ReadWrite, Loc::Var(0), HeapType::Variant(shifted))
                         .with_qual(*q);
@@ -901,14 +991,18 @@ impl<'a> Checker<'a> {
             Instr::ArrayMalloc(q) => {
                 wf_qual(&self.ctx, *q)?;
                 self.pop_expect(&Type::num(NumType::U32), "array.malloc (length)")?;
-                let Some(elem) = self.pop_op("array.malloc (fill)")? else { return Ok(()) };
+                let Some(elem) = self.pop_op("array.malloc (fill)")? else {
+                    return Ok(());
+                };
                 if !qual_leq(&self.ctx, elem.qual, Qual::Unr) {
                     return Err(TypeError::LinearityViolation {
                         context: format!("array.malloc would replicate linear fill value {elem}"),
                     });
                 }
                 if qual_leq(&self.ctx, *q, Qual::Unr) && !no_caps_type(&self.ctx, &elem) {
-                    return Err(TypeError::CapsInHeap { context: "array.malloc".into() });
+                    return Err(TypeError::CapsInHeap {
+                        context: "array.malloc".into(),
+                    });
                 }
                 let shifted = shift_type(&elem, Depth::one(Kind::Loc));
                 let inner = Pretype::Ref(MemPriv::ReadWrite, Loc::Var(0), HeapType::Array(shifted))
@@ -918,7 +1012,9 @@ impl<'a> Checker<'a> {
             }
             Instr::ArrayGet => {
                 self.pop_expect(&Type::num(NumType::U32), "array.get (index)")?;
-                let Some(t) = self.pop_op("array.get")? else { return Ok(()) };
+                let Some(t) = self.pop_op("array.get")? else {
+                    return Ok(());
+                };
                 let Pretype::Ref(_, _, HeapType::Array(elem)) = &*t.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "ref to array".into(),
@@ -937,9 +1033,13 @@ impl<'a> Checker<'a> {
                 Ok(())
             }
             Instr::ArraySet => {
-                let Some(v) = self.pop_op("array.set (value)")? else { return Ok(()) };
+                let Some(v) = self.pop_op("array.set (value)")? else {
+                    return Ok(());
+                };
                 self.pop_expect(&Type::num(NumType::U32), "array.set (index)")?;
-                let Some(t) = self.pop_op("array.set")? else { return Ok(()) };
+                let Some(t) = self.pop_op("array.set")? else {
+                    return Ok(());
+                };
                 let Pretype::Ref(MemPriv::ReadWrite, _, HeapType::Array(elem)) = &*t.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "ref rw to array".into(),
@@ -959,7 +1059,9 @@ impl<'a> Checker<'a> {
                 Ok(())
             }
             Instr::ArrayFree => {
-                let Some(t) = self.pop_op("array.free")? else { return Ok(()) };
+                let Some(t) = self.pop_op("array.free")? else {
+                    return Ok(());
+                };
                 let Pretype::Ref(MemPriv::ReadWrite, _, HeapType::Array(elem)) = &*t.pre else {
                     return Err(TypeError::Mismatch {
                         expected: "ref rw to array".into(),
@@ -995,7 +1097,10 @@ impl<'a> Checker<'a> {
         let slot = self
             .locals
             .get(i as usize)
-            .ok_or(TypeError::UnboundVar { kind: "local", index: i })?
+            .ok_or(TypeError::UnboundVar {
+                kind: "local",
+                index: i,
+            })?
             .clone();
         if !qual_leq(&self.ctx, slot.ty.qual, Qual::Unr) {
             return Err(TypeError::LinearityViolation {
@@ -1157,7 +1262,9 @@ impl<'a> Checker<'a> {
                 None => Type::unit(),
             };
             if gc_owned && !no_caps_type(&self.ctx, &t) {
-                return Err(TypeError::CapsInHeap { context: format!("struct.malloc field {t}") });
+                return Err(TypeError::CapsInHeap {
+                    context: format!("struct.malloc field {t}"),
+                });
             }
             let tsz = size_of_type(&self.ctx, &t)?;
             if !size_leq(&self.ctx, &tsz, sz) {
@@ -1174,8 +1281,8 @@ impl<'a> Checker<'a> {
             .into_iter()
             .map(|(t, sz)| (shift_type(&t, Depth::one(Kind::Loc)), sz))
             .collect();
-        let inner = Pretype::Ref(MemPriv::ReadWrite, Loc::Var(0), HeapType::Struct(shifted))
-            .with_qual(q);
+        let inner =
+            Pretype::Ref(MemPriv::ReadWrite, Loc::Var(0), HeapType::Struct(shifted)).with_qual(q);
         self.push_op(Pretype::ExistsLoc(Box::new(inner)).with_qual(q));
         Ok(())
     }
@@ -1184,8 +1291,12 @@ impl<'a> Checker<'a> {
     /// (swap = true).
     fn check_struct_set(&mut self, i: u32, swap: bool) -> Result<(), TypeError> {
         let ctxt = if swap { "struct.swap" } else { "struct.set" };
-        let Some(v) = self.pop_op(ctxt)? else { return Ok(()) };
-        let Some(t) = self.pop_op(ctxt)? else { return Ok(()) };
+        let Some(v) = self.pop_op(ctxt)? else {
+            return Ok(());
+        };
+        let Some(t) = self.pop_op(ctxt)? else {
+            return Ok(());
+        };
         let Pretype::Ref(MemPriv::ReadWrite, l, HeapType::Struct(fields)) = &*t.pre else {
             return Err(TypeError::Mismatch {
                 expected: "ref rw to struct".into(),
@@ -1195,7 +1306,10 @@ impl<'a> Checker<'a> {
         };
         let (old, slot_sz) = fields
             .get(i as usize)
-            .ok_or(TypeError::UnboundVar { kind: "struct field", index: i })?
+            .ok_or(TypeError::UnboundVar {
+                kind: "struct field",
+                index: i,
+            })?
             .clone();
         if !swap && !qual_leq(&self.ctx, old.qual, Qual::Unr) {
             return Err(TypeError::LinearityViolation {
@@ -1211,7 +1325,9 @@ impl<'a> Checker<'a> {
             });
         }
         if qual_leq(&self.ctx, t.qual, Qual::Unr) && !no_caps_type(&self.ctx, &v) {
-            return Err(TypeError::CapsInHeap { context: format!("{ctxt} {i}") });
+            return Err(TypeError::CapsInHeap {
+                context: format!("{ctxt} {i}"),
+            });
         }
         // Strong updates are only allowed through linear references; on
         // unrestricted (GC'd, aliased) references the update must preserve
@@ -1225,8 +1341,8 @@ impl<'a> Checker<'a> {
         }
         let mut new_fields = fields.clone();
         new_fields[i as usize] = (v, new_fields[i as usize].1.clone());
-        let new_ref = Pretype::Ref(MemPriv::ReadWrite, *l, HeapType::Struct(new_fields))
-            .with_qual(t.qual);
+        let new_ref =
+            Pretype::Ref(MemPriv::ReadWrite, *l, HeapType::Struct(new_fields)).with_qual(t.qual);
         self.push_op(new_ref);
         if swap {
             self.push_op(old);
@@ -1304,7 +1420,11 @@ impl<'a> Checker<'a> {
         }
         let post_locals = self.apply_effects(&b.effects)?;
         let entry_locals = self.locals.clone();
-        let limbo = if linear_case { Vec::new() } else { vec![rt.clone()] };
+        let limbo = if linear_case {
+            Vec::new()
+        } else {
+            vec![rt.clone()]
+        };
         for (ci, (case_ty, body)) in cases.iter().zip(bodies).enumerate() {
             self.locals = entry_locals.clone();
             let mut entry = b.arrow.params.clone();
@@ -1330,12 +1450,7 @@ impl<'a> Checker<'a> {
         Ok(())
     }
 
-    fn check_exist_pack(
-        &mut self,
-        p: &Pretype,
-        psi: &HeapType,
-        q: Qual,
-    ) -> Result<(), TypeError> {
+    fn check_exist_pack(&mut self, p: &Pretype, psi: &HeapType, q: Qual) -> Result<(), TypeError> {
         let HeapType::Exists(bq, bsz, body_ty) = psi else {
             return Err(TypeError::Mismatch {
                 expected: "existential heap type".into(),
@@ -1357,7 +1472,9 @@ impl<'a> Checker<'a> {
             });
         }
         if qual_leq(&self.ctx, q, Qual::Unr) && !crate::wf::no_caps_pretype(&self.ctx, p) {
-            return Err(TypeError::CapsInHeap { context: "exist.pack witness".into() });
+            return Err(TypeError::CapsInHeap {
+                context: "exist.pack witness".into(),
+            });
         }
         let opened = subst_type(body_ty, &SubstEnv::pretype(p.clone()));
         self.pop_expect(&opened, "exist.pack")?;
@@ -1438,9 +1555,16 @@ impl<'a> Checker<'a> {
         let results_in: Vec<Type> = b.arrow.results.iter().map(shift1).collect();
         let post_in: Vec<SlotTy> = post_locals
             .iter()
-            .map(|s| SlotTy { ty: shift1(&s.ty), size: s.size.clone() })
+            .map(|s| SlotTy {
+                ty: shift1(&s.ty),
+                size: s.size.clone(),
+            })
             .collect();
-        let limbo = if linear_case { Vec::new() } else { vec![shift1(&rt_outer)] };
+        let limbo = if linear_case {
+            Vec::new()
+        } else {
+            vec![shift1(&rt_outer)]
+        };
         let res = self.run_body(
             body,
             entry,
@@ -1488,7 +1612,10 @@ impl<'a> Checker<'a> {
         let results_in: Vec<Type> = b.arrow.results.iter().map(shift1).collect();
         let post_in: Vec<SlotTy> = post_locals
             .iter()
-            .map(|s| SlotTy { ty: shift1(&s.ty), size: s.size.clone() })
+            .map(|s| SlotTy {
+                ty: shift1(&s.ty),
+                size: s.size.clone(),
+            })
             .collect();
         let res = self.run_body(
             body,
@@ -1531,7 +1658,9 @@ fn require_int(nt: NumType) -> Result<(), TypeError> {
     if nt.is_int() {
         Ok(())
     } else {
-        Err(TypeError::Other(format!("integer operation on float type {nt}")))
+        Err(TypeError::Other(format!(
+            "integer operation on float type {nt}"
+        )))
     }
 }
 
@@ -1539,7 +1668,9 @@ fn require_float(nt: NumType) -> Result<(), TypeError> {
     if nt.is_float() {
         Ok(())
     } else {
-        Err(TypeError::Other(format!("float operation on integer type {nt}")))
+        Err(TypeError::Other(format!(
+            "float operation on integer type {nt}"
+        )))
     }
 }
 
@@ -1565,11 +1696,17 @@ pub fn check_function_body(
     let mut locals = Vec::with_capacity(ty.arrow.params.len() + local_sizes.len());
     for p in &ty.arrow.params {
         let size = size_of_type(&ctx, p)?;
-        locals.push(SlotTy { ty: p.clone(), size });
+        locals.push(SlotTy {
+            ty: p.clone(),
+            size,
+        });
     }
     for sz in local_sizes {
         wf_size(&ctx, sz)?;
-        locals.push(SlotTy { ty: Type::unit(), size: sz.clone() });
+        locals.push(SlotTy {
+            ty: Type::unit(),
+            size: sz.clone(),
+        });
     }
     let mut checker = Checker::new(module, ctx, locals, ty.arrow.results.clone());
     checker.check_seq(body)?;

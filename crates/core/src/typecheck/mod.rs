@@ -26,7 +26,7 @@ use crate::error::TypeError;
 use crate::sizing::size_of_pretype;
 use crate::solver::{qual_leq, size_leq};
 use crate::subst::{subst_qual, subst_size, SubstEnv};
-use crate::syntax::{Func, FunType, GlobalKind, Index, Instr, Module, Quantifier};
+use crate::syntax::{FunType, Func, GlobalKind, Index, Instr, Module, Quantifier};
 use crate::wf::{no_caps_pretype, wf_funtype, wf_loc, wf_pretype_at, wf_qual, wf_size};
 
 /// Pushes a quantifier telescope onto `ctx`; returns a token list used by
@@ -41,14 +41,24 @@ pub fn push_telescope(ctx: &mut KindCtx, quants: &[Quantifier]) -> Vec<u8> {
                 pushed.push(0);
             }
             Quantifier::Size { lower, upper } => {
-                ctx.push_size(SizeBounds { lower: lower.clone(), upper: upper.clone() });
+                ctx.push_size(SizeBounds {
+                    lower: lower.clone(),
+                    upper: upper.clone(),
+                });
                 pushed.push(1);
             }
             Quantifier::Qual { lower, upper } => {
-                ctx.push_qual(QualBounds { lower: lower.clone(), upper: upper.clone() });
+                ctx.push_qual(QualBounds {
+                    lower: lower.clone(),
+                    upper: upper.clone(),
+                });
                 pushed.push(2);
             }
-            Quantifier::Type { lower_qual, size, may_contain_caps } => {
+            Quantifier::Type {
+                lower_qual,
+                size,
+                may_contain_caps,
+            } => {
                 ctx.push_type(TypeBound {
                     lower_qual: *lower_qual,
                     size: size.clone(),
@@ -140,7 +150,14 @@ pub fn check_instantiation(
                     }
                 }
             }
-            (Quantifier::Type { lower_qual, size, may_contain_caps }, Index::Pretype(p)) => {
+            (
+                Quantifier::Type {
+                    lower_qual,
+                    size,
+                    may_contain_caps,
+                },
+                Index::Pretype(p),
+            ) => {
                 let lq = subst_qual(*lower_qual, &prefix);
                 let sz = subst_size(size, &prefix);
                 // The witness must be usable at every qualifier ≥ the bound
@@ -157,9 +174,7 @@ pub fn check_instantiation(
                 }
                 if !may_contain_caps && !no_caps_pretype(ctx, p) {
                     return Err(TypeError::CapsInHeap {
-                        context: format!(
-                            "pretype instantiation {p} may not contain capabilities"
-                        ),
+                        context: format!("pretype instantiation {p} may not contain capabilities"),
                     });
                 }
             }
@@ -184,8 +199,10 @@ pub fn module_env(m: &Module) -> Result<ModuleEnv, TypeError> {
         env.globals.push((g.mutable(), g.ty().clone()));
     }
     for &i in &m.table.entries {
-        let ft =
-            m.funcs.get(i as usize).ok_or(TypeError::UnboundVar { kind: "function", index: i })?;
+        let ft = m.funcs.get(i as usize).ok_or(TypeError::UnboundVar {
+            kind: "function",
+            index: i,
+        })?;
         env.table.push(ft.ty().clone());
     }
     Ok(env)
@@ -217,7 +234,10 @@ pub fn check_module(m: &Module) -> Result<ModuleEnv, TypeError> {
     }
     // Function bodies.
     for f in &m.funcs {
-        if let Func::Defined { ty, locals, body, .. } = f {
+        if let Func::Defined {
+            ty, locals, body, ..
+        } = f
+        {
             check_function_body(&env, ty, locals, body)?;
         }
     }
@@ -246,13 +266,17 @@ fn check_const_init(
                         "global initialiser {global_idx} reads later global {i}"
                     )));
                 }
-                Instr::SetGlobal(_) | Instr::Call(..) | Instr::CallIndirect
+                Instr::SetGlobal(_)
+                | Instr::Call(..)
+                | Instr::CallIndirect
                 | Instr::CodeRefI(_) => {
                     return Err(TypeError::Other(format!(
                         "instruction {ins} not allowed in a global initialiser"
                     )));
                 }
-                Instr::BlockI(_, b) | Instr::LoopI(_, b) | Instr::MemUnpack(_, b)
+                Instr::BlockI(_, b)
+                | Instr::LoopI(_, b)
+                | Instr::MemUnpack(_, b)
                 | Instr::ExistUnpack(_, _, _, b) => scan(b, global_idx)?,
                 Instr::IfI(_, a, b) => {
                     scan(a, global_idx)?;
@@ -269,7 +293,10 @@ fn check_const_init(
         Ok(())
     }
     scan(init, global_idx)?;
-    let ty = FunType::mono(vec![], vec![expected.clone().with_qual(crate::syntax::Qual::Unr)]);
+    let ty = FunType::mono(
+        vec![],
+        vec![expected.clone().with_qual(crate::syntax::Qual::Unr)],
+    );
     check_function_body(env, &ty, &[], init)?;
     Ok(())
 }
@@ -293,13 +320,21 @@ mod tests {
                 locals: vec![],
                 body: vec![],
             }],
-            table: Table { exports: vec![], entries: vec![0] },
+            table: Table {
+                exports: vec![],
+                entries: vec![0],
+            },
             ..Module::default()
         };
         let env = module_env(&m).unwrap();
         assert_eq!(env.table.len(), 1);
-        let bad =
-            Module { table: Table { exports: vec![], entries: vec![7] }, ..Module::default() };
+        let bad = Module {
+            table: Table {
+                exports: vec![],
+                entries: vec![7],
+            },
+            ..Module::default()
+        };
         assert!(module_env(&bad).is_err());
     }
 
@@ -335,7 +370,10 @@ mod tests {
     fn instantiation_checking() {
         let mut ctx = KindCtx::new();
         let quants = vec![
-            Quantifier::Size { lower: vec![], upper: vec![Size::Const(64)] },
+            Quantifier::Size {
+                lower: vec![],
+                upper: vec![Size::Const(64)],
+            },
             Quantifier::Type {
                 lower_qual: Qual::Unr,
                 // References the size var bound just before (de Bruijn 0).
@@ -347,14 +385,20 @@ mod tests {
         check_instantiation(
             &mut ctx,
             &quants,
-            &[Index::Size(Size::Const(32)), Index::Pretype(Pretype::Num(NumType::I32))],
+            &[
+                Index::Size(Size::Const(32)),
+                Index::Pretype(Pretype::Num(NumType::I32)),
+            ],
         )
         .unwrap();
         // i64 does not fit σ = 32.
         assert!(check_instantiation(
             &mut ctx,
             &quants,
-            &[Index::Size(Size::Const(32)), Index::Pretype(Pretype::Num(NumType::I64))],
+            &[
+                Index::Size(Size::Const(32)),
+                Index::Pretype(Pretype::Num(NumType::I64))
+            ],
         )
         .is_err());
         // σ = 128 violates its own upper bound 64.

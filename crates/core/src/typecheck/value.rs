@@ -20,7 +20,10 @@ pub fn synthesize_const(v: &Value) -> Result<Type, TypeError> {
         Value::Unit => Ok(Type::unit()),
         Value::Num(nt, _) => Ok(Type::num(*nt)),
         Value::Prod(vs) => {
-            let ts = vs.iter().map(synthesize_const).collect::<Result<Vec<_>, _>>()?;
+            let ts = vs
+                .iter()
+                .map(synthesize_const)
+                .collect::<Result<Vec<_>, _>>()?;
             // Constants are unrestricted, and an unrestricted tuple of
             // unrestricted components is always well-formed.
             Ok(Pretype::Prod(ts).unr())
@@ -40,9 +43,15 @@ mod tests {
     #[test]
     fn constants_synthesize() {
         assert_eq!(synthesize_const(&Value::Unit).unwrap(), Type::unit());
-        assert_eq!(synthesize_const(&Value::i32(3)).unwrap(), Type::num(NumType::I32));
+        assert_eq!(
+            synthesize_const(&Value::i32(3)).unwrap(),
+            Type::num(NumType::I32)
+        );
         let t = synthesize_const(&Value::Prod(vec![Value::Unit, Value::f64(1.0)])).unwrap();
-        assert_eq!(t, Pretype::Prod(vec![Type::unit(), Type::num(NumType::F64)]).unr());
+        assert_eq!(
+            t,
+            Pretype::Prod(vec![Type::unit(), Type::num(NumType::F64)]).unr()
+        );
     }
 
     #[test]

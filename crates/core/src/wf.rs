@@ -26,9 +26,10 @@ use crate::syntax::{
 /// Checks that a qualifier's variables are in scope.
 pub fn wf_qual(ctx: &KindCtx, q: Qual) -> Result<(), TypeError> {
     match q {
-        Qual::Var(i) if i >= ctx.num_quals() => {
-            Err(TypeError::UnboundVar { kind: "qualifier", index: i })
-        }
+        Qual::Var(i) if i >= ctx.num_quals() => Err(TypeError::UnboundVar {
+            kind: "qualifier",
+            index: i,
+        }),
         _ => Ok(()),
     }
 }
@@ -36,9 +37,10 @@ pub fn wf_qual(ctx: &KindCtx, q: Qual) -> Result<(), TypeError> {
 /// Checks that a size expression's variables are in scope.
 pub fn wf_size(ctx: &KindCtx, s: &Size) -> Result<(), TypeError> {
     match s {
-        Size::Var(i) if *i >= ctx.num_sizes() => {
-            Err(TypeError::UnboundVar { kind: "size", index: *i })
-        }
+        Size::Var(i) if *i >= ctx.num_sizes() => Err(TypeError::UnboundVar {
+            kind: "size",
+            index: *i,
+        }),
         Size::Var(_) | Size::Const(_) => Ok(()),
         Size::Plus(a, b) => {
             wf_size(ctx, a)?;
@@ -51,9 +53,10 @@ pub fn wf_size(ctx: &KindCtx, s: &Size) -> Result<(), TypeError> {
 /// always well-formed (they appear in runtime configurations).
 pub fn wf_loc(ctx: &KindCtx, l: Loc) -> Result<(), TypeError> {
     match l {
-        Loc::Var(i) if !ctx.loc_in_scope(i) => {
-            Err(TypeError::UnboundVar { kind: "location", index: i })
-        }
+        Loc::Var(i) if !ctx.loc_in_scope(i) => Err(TypeError::UnboundVar {
+            kind: "location",
+            index: i,
+        }),
         _ => Ok(()),
     }
 }
@@ -141,9 +144,10 @@ pub fn wf_pretype_at(ctx: &mut KindCtx, p: &Pretype, q: Qual) -> Result<(), Type
         }
         Pretype::CodeRef(ft) => wf_funtype(ctx, ft),
         Pretype::Var(i) => {
-            let bound = ctx
-                .type_bound(*i)
-                .ok_or(TypeError::UnboundVar { kind: "pretype", index: *i })?;
+            let bound = ctx.type_bound(*i).ok_or(TypeError::UnboundVar {
+                kind: "pretype",
+                index: *i,
+            })?;
             // The variable may only appear at qualifiers above its lower
             // bound (§2.1).
             if !qual_leq(ctx, bound.lower_qual, q) {
@@ -158,12 +162,7 @@ pub fn wf_pretype_at(ctx: &mut KindCtx, p: &Pretype, q: Qual) -> Result<(), Type
     }
 }
 
-fn check_mem_consistency(
-    ctx: &KindCtx,
-    l: Loc,
-    q: Qual,
-    what: &str,
-) -> Result<(), TypeError> {
+fn check_mem_consistency(ctx: &KindCtx, l: Loc, q: Qual, what: &str) -> Result<(), TypeError> {
     match l.mem() {
         Some(Mem::Lin) => {
             if qual_leq(ctx, Qual::Lin, q) {
@@ -201,7 +200,10 @@ fn rec_guarded(t: &Type, depth: u32) -> bool {
         Pretype::Var(i) => *i != depth,
         Pretype::Unit | Pretype::Num(_) => true,
         // Indirections guard everything below them.
-        Pretype::Ref(..) | Pretype::Ptr(_) | Pretype::Cap(..) | Pretype::Own(_)
+        Pretype::Ref(..)
+        | Pretype::Ptr(_)
+        | Pretype::Cap(..)
+        | Pretype::Own(_)
         | Pretype::CodeRef(_) => true,
         Pretype::Prod(ts) => ts.iter().all(|t| rec_guarded(t, depth)),
         Pretype::Rec(_, body) => rec_guarded(body, depth + 1),
@@ -272,7 +274,10 @@ pub fn wf_funtype(ctx: &mut KindCtx, ft: &FunType) -> Result<(), TypeError> {
                 if result.is_err() {
                     break;
                 }
-                ctx.push_size(SizeBounds { lower: lower.clone(), upper: upper.clone() });
+                ctx.push_size(SizeBounds {
+                    lower: lower.clone(),
+                    upper: upper.clone(),
+                });
                 pushed.push(1);
             }
             Quantifier::Qual { lower, upper } => {
@@ -285,10 +290,17 @@ pub fn wf_funtype(ctx: &mut KindCtx, ft: &FunType) -> Result<(), TypeError> {
                 if result.is_err() {
                     break;
                 }
-                ctx.push_qual(QualBounds { lower: lower.clone(), upper: upper.clone() });
+                ctx.push_qual(QualBounds {
+                    lower: lower.clone(),
+                    upper: upper.clone(),
+                });
                 pushed.push(2);
             }
-            Quantifier::Type { lower_qual, size, may_contain_caps } => {
+            Quantifier::Type {
+                lower_qual,
+                size,
+                may_contain_caps,
+            } => {
                 if let Err(e) = wf_qual(ctx, *lower_qual).and_then(|()| wf_size(ctx, size)) {
                     result = Err(e);
                     break;
@@ -334,13 +346,17 @@ pub fn wf_arrow(ctx: &mut KindCtx, a: &ArrowType) -> Result<(), TypeError> {
 pub fn no_caps_pretype(ctx: &KindCtx, p: &Pretype) -> bool {
     match p {
         Pretype::Cap(..) | Pretype::Own(_) => false,
-        Pretype::Unit | Pretype::Num(_) | Pretype::Ref(..) | Pretype::Ptr(_)
+        Pretype::Unit
+        | Pretype::Num(_)
+        | Pretype::Ref(..)
+        | Pretype::Ptr(_)
         | Pretype::CodeRef(_) => true,
         Pretype::Prod(ts) => ts.iter().all(|t| no_caps_pretype(ctx, &t.pre)),
         Pretype::Rec(_, body) | Pretype::ExistsLoc(body) => no_caps_pretype(ctx, &body.pre),
-        Pretype::Var(i) => {
-            ctx.type_bound(*i).map(|b| !b.may_contain_caps).unwrap_or(false)
-        }
+        Pretype::Var(i) => ctx
+            .type_bound(*i)
+            .map(|b| !b.may_contain_caps)
+            .unwrap_or(false),
     }
 }
 
@@ -406,7 +422,11 @@ mod tests {
         let mut c = ctx();
         c.push_loc();
         let h = HeapType::Array(Type::num(NumType::I32));
-        wf_type(&mut c, &Pretype::Ref(MemPriv::Read, Loc::Var(0), h.clone()).lin()).unwrap();
+        wf_type(
+            &mut c,
+            &Pretype::Ref(MemPriv::Read, Loc::Var(0), h.clone()).lin(),
+        )
+        .unwrap();
         wf_type(&mut c, &Pretype::Ref(MemPriv::Read, Loc::Var(0), h).unr()).unwrap();
         assert!(wf_type(&mut c, &Pretype::Ptr(Loc::Var(1)).unr()).is_err());
     }
@@ -461,12 +481,17 @@ mod tests {
     fn no_caps_judgement() {
         let c = ctx();
         let h = HeapType::Array(Type::num(NumType::I32));
-        assert!(!no_caps_pretype(&c, &Pretype::Cap(MemPriv::Read, Loc::lin(0), h.clone())));
+        assert!(!no_caps_pretype(
+            &c,
+            &Pretype::Cap(MemPriv::Read, Loc::lin(0), h.clone())
+        ));
         assert!(!no_caps_pretype(&c, &Pretype::Own(Loc::lin(0))));
         // A ref *containing* caps is fine — pointer keeps it reachable.
-        assert!(no_caps_pretype(&c, &Pretype::Ref(MemPriv::Read, Loc::lin(0), h.clone())));
-        let tuple_with_cap =
-            Pretype::Prod(vec![Pretype::Cap(MemPriv::Read, Loc::lin(0), h).lin()]);
+        assert!(no_caps_pretype(
+            &c,
+            &Pretype::Ref(MemPriv::Read, Loc::lin(0), h.clone())
+        ));
+        let tuple_with_cap = Pretype::Prod(vec![Pretype::Cap(MemPriv::Read, Loc::lin(0), h).lin()]);
         assert!(!no_caps_pretype(&c, &tuple_with_cap));
     }
 
@@ -476,21 +501,30 @@ mod tests {
         let ft = FunType {
             quants: vec![
                 Quantifier::Loc,
-                Quantifier::Size { lower: vec![], upper: vec![] },
+                Quantifier::Size {
+                    lower: vec![],
+                    upper: vec![],
+                },
                 Quantifier::Type {
                     lower_qual: Qual::Unr,
                     size: Size::Var(0),
                     may_contain_caps: false,
                 },
             ],
-            arrow: ArrowType::new(vec![Pretype::Var(0).unr()], vec![Pretype::Ptr(Loc::Var(0)).unr()]),
+            arrow: ArrowType::new(
+                vec![Pretype::Var(0).unr()],
+                vec![Pretype::Ptr(Loc::Var(0)).unr()],
+            ),
         };
         wf_funtype(&mut c, &ft).unwrap();
         // Context restored.
         assert_eq!(c.depth(), crate::subst::Depth::default());
         // A bad telescope: size bound references an unbound size var.
         let bad = FunType {
-            quants: vec![Quantifier::Size { lower: vec![], upper: vec![Size::Var(3)] }],
+            quants: vec![Quantifier::Size {
+                lower: vec![],
+                upper: vec![Size::Var(3)],
+            }],
             arrow: ArrowType::default(),
         };
         assert!(wf_funtype(&mut c, &bad).is_err());

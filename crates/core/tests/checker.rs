@@ -18,11 +18,7 @@ fn i64t() -> Type {
 }
 
 /// Builds a single-function module and checks it.
-fn check_fn(
-    ty: FunType,
-    locals: Vec<Size>,
-    body: Vec<Instr>,
-) -> Result<(), TypeError> {
+fn check_fn(ty: FunType, locals: Vec<Size>, body: Vec<Instr>) -> Result<(), TypeError> {
     let env = ModuleEnv::default();
     check_function_body(&env, &ty, &locals, &body).map(|_| ())
 }
@@ -37,7 +33,12 @@ fn instr_int_add() -> richwasm::syntax::instr::IntBinop {
 
 #[test]
 fn constant_function() {
-    check_fn(FunType::mono(vec![], vec![i32t()]), vec![], vec![Instr::i32(42)]).unwrap();
+    check_fn(
+        FunType::mono(vec![], vec![i32t()]),
+        vec![],
+        vec![Instr::i32(42)],
+    )
+    .unwrap();
 }
 
 #[test]
@@ -53,7 +54,11 @@ fn add_two_params() {
 
 #[test]
 fn wrong_result_type_rejected() {
-    let err = check_fn(FunType::mono(vec![], vec![i64t()]), vec![], vec![Instr::i32(1)]);
+    let err = check_fn(
+        FunType::mono(vec![], vec![i64t()]),
+        vec![],
+        vec![Instr::i32(1)],
+    );
     assert!(err.is_err());
 }
 
@@ -69,7 +74,11 @@ fn leftover_stack_value_rejected() {
 
 #[test]
 fn stack_underflow_rejected() {
-    let err = check_fn(FunType::mono(vec![], vec![i32t()]), vec![], vec![add(NumType::I32)]);
+    let err = check_fn(
+        FunType::mono(vec![], vec![i32t()]),
+        vec![],
+        vec![add(NumType::I32)],
+    );
     assert!(matches!(err, Err(TypeError::StackUnderflow { .. })));
 }
 
@@ -87,7 +96,10 @@ fn dropping_linear_value_rejected() {
     let ty = FunType::mono(vec![lin_res()], vec![]);
     let body = vec![Instr::GetLocal(0, Qual::Lin), Instr::Drop];
     let err = check_fn(ty, vec![], body);
-    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(TypeError::LinearityViolation { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -96,7 +108,10 @@ fn linear_param_left_in_local_rejected() {
     // holds it — Fig. 8 requires all locals unrestricted at the end.
     let ty = FunType::mono(vec![lin_res()], vec![]);
     let err = check_fn(ty, vec![], vec![]);
-    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(TypeError::LinearityViolation { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -123,7 +138,10 @@ fn tee_local_of_linear_rejected() {
     let ty = FunType::mono(vec![lin_res()], vec![lin_res()]);
     let body = vec![Instr::GetLocal(0, Qual::Lin), Instr::TeeLocal(0)];
     let err = check_fn(ty, vec![], body);
-    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(TypeError::LinearityViolation { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -132,7 +150,10 @@ fn set_local_over_linear_contents_rejected() {
     // Overwriting slot 0 (holding a linear value) drops it.
     let body = vec![Instr::GetLocal(1, Qual::Unr), Instr::SetLocal(0)];
     let err = check_fn(ty, vec![], body);
-    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(TypeError::LinearityViolation { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -145,7 +166,10 @@ fn select_requires_unrestricted() {
         Instr::Select,
     ];
     let err = check_fn(ty, vec![], body);
-    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(TypeError::LinearityViolation { .. })),
+        "{err:?}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -156,7 +180,12 @@ fn select_requires_unrestricted() {
 fn set_local_checks_slot_size() {
     // Slot of 32 bits cannot hold an i64.
     let ty = FunType::mono(vec![i64t()], vec![]);
-    let body = vec![Instr::GetLocal(0, Qual::Unr), Instr::SetLocal(1), Instr::GetLocal(1, Qual::Unr), Instr::Drop];
+    let body = vec![
+        Instr::GetLocal(0, Qual::Unr),
+        Instr::SetLocal(1),
+        Instr::GetLocal(1, Qual::Unr),
+        Instr::Drop,
+    ];
     let err = check_fn(ty.clone(), vec![Size::Const(32)], body.clone());
     assert!(matches!(err, Err(TypeError::SizeNotLeq { .. })), "{err:?}");
     // A 64-bit slot works, and the slot's type strongly updates.
@@ -200,14 +229,13 @@ fn br_dropping_linear_value_rejected() {
     let ty = FunType::mono(vec![lin_res()], vec![i32t()]);
     let body = vec![Instr::BlockI(
         Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
-        vec![
-            Instr::GetLocal(0, Qual::Lin),
-            Instr::i32(5),
-            Instr::Br(0),
-        ],
+        vec![Instr::GetLocal(0, Qual::Lin), Instr::i32(5), Instr::Br(0)],
     )];
     let err = check_fn(ty, vec![], body);
-    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(TypeError::LinearityViolation { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -222,7 +250,10 @@ fn loop_with_counter() {
             add(NumType::I32),
             Instr::TeeLocal(0),
             Instr::i32(10),
-            Instr::Num(NumInstr::IntRelop(NumType::I32, instr::IntRelop::Lt(instr::Sign::S))),
+            Instr::Num(NumInstr::IntRelop(
+                NumType::I32,
+                instr::IntRelop::Lt(instr::Sign::S),
+            )),
             Instr::BrIf(0),
         ],
     )];
@@ -236,11 +267,7 @@ fn br_to_loop_start_with_changed_locals_rejected() {
     let ty = FunType::mono(vec![], vec![]);
     let body = vec![Instr::LoopI(
         ArrowType::new(vec![], vec![]),
-        vec![
-            Instr::Val(Value::i64(1)),
-            Instr::SetLocal(0),
-            Instr::Br(0),
-        ],
+        vec![Instr::Val(Value::i64(1)), Instr::SetLocal(0), Instr::Br(0)],
     )];
     let err = check_fn(ty, vec![Size::Const(64)], body);
     assert!(err.is_err());
@@ -285,15 +312,18 @@ fn br_table_targets_must_agree() {
     let ty = FunType::mono(vec![i32t()], vec![]);
     let body = vec![Instr::BlockI(
         Block::new(ArrowType::new(vec![], vec![]), vec![]),
-        vec![Instr::BlockI(
-            Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
-            vec![
-                Instr::i32(0),
-                Instr::GetLocal(0, Qual::Unr),
-                // Inner label yields i32, outer yields nothing: disagree.
-                Instr::BrTable(vec![0], 1),
-            ],
-        ), Instr::Drop],
+        vec![
+            Instr::BlockI(
+                Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
+                vec![
+                    Instr::i32(0),
+                    Instr::GetLocal(0, Qual::Unr),
+                    // Inner label yields i32, outer yields nothing: disagree.
+                    Instr::BrTable(vec![0], 1),
+                ],
+            ),
+            Instr::Drop,
+        ],
     )];
     assert!(check_fn(ty, vec![], body).is_err());
 }
@@ -318,11 +348,7 @@ fn struct_roundtrip_linear() {
     let body = vec![
         Instr::i32(7),
         Instr::StructMalloc(vec![Size::Const(64)], Qual::Lin),
-        unpack_then(vec![
-            Instr::StructGet(0),
-            Instr::Drop,
-            Instr::StructFree,
-        ]),
+        unpack_then(vec![Instr::StructGet(0), Instr::Drop, Instr::StructFree]),
     ];
     check_fn(ty, vec![], body).unwrap();
 }
@@ -384,11 +410,7 @@ fn struct_type_preserving_update_through_unr_ref_ok() {
     let body = vec![
         Instr::i32(7),
         Instr::StructMalloc(vec![Size::Const(64)], Qual::Unr),
-        unpack_then(vec![
-            Instr::i32(9),
-            Instr::StructSet(0),
-            Instr::Drop,
-        ]),
+        unpack_then(vec![Instr::i32(9), Instr::StructSet(0), Instr::Drop]),
     ];
     check_fn(ty, vec![], body).unwrap();
 }
@@ -403,7 +425,10 @@ fn struct_get_of_linear_field_rejected() {
         unpack_then(vec![Instr::StructGet(0), Instr::Drop, Instr::StructFree]),
     ];
     let err = check_fn(ty, vec![], body);
-    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(TypeError::LinearityViolation { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -435,7 +460,10 @@ fn struct_free_with_linear_field_rejected() {
         unpack_then(vec![Instr::StructFree]),
     ];
     let err = check_fn(ty, vec![], body);
-    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(TypeError::LinearityViolation { .. })),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -462,7 +490,10 @@ fn linear_struct_never_freed_rejected() {
         Instr::Drop,
     ];
     let err = check_fn(ty, vec![], body);
-    assert!(matches!(err, Err(TypeError::LinearityViolation { .. })), "{err:?}");
+    assert!(
+        matches!(err, Err(TypeError::LinearityViolation { .. })),
+        "{err:?}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -570,7 +601,10 @@ fn call_polymorphic_identity() {
             Instr::Call(0, vec![Index::Pretype(Pretype::Num(NumType::I32))]),
         ],
     };
-    let m = Module { funcs: vec![id, main], ..Module::default() };
+    let m = Module {
+        funcs: vec![id, main],
+        ..Module::default()
+    };
     check_module(&m).unwrap();
 }
 
@@ -599,7 +633,10 @@ fn call_with_oversized_witness_rejected() {
             Instr::Call(0, vec![Index::Pretype(Pretype::Num(NumType::I64))]),
         ],
     };
-    let m = Module { funcs: vec![id, main], ..Module::default() };
+    let m = Module {
+        funcs: vec![id, main],
+        ..Module::default()
+    };
     assert!(check_module(&m).is_err());
 }
 
@@ -631,7 +668,10 @@ fn coderef_inst_call_indirect() {
     };
     let m = Module {
         funcs: vec![f, main],
-        table: Table { exports: vec![], entries: vec![0] },
+        table: Table {
+            exports: vec![],
+            entries: vec![0],
+        },
         ..Module::default()
     };
     check_module(&m).unwrap();
@@ -682,8 +722,8 @@ fn group_linear_into_unr_tuple_rejected() {
 fn array_roundtrip() {
     let ty = FunType::mono(vec![], vec![i32t()]);
     let body = vec![
-        Instr::i32(0),                       // fill value
-        Instr::Val(Value::u32(8)),           // length
+        Instr::i32(0),             // fill value
+        Instr::Val(Value::u32(8)), // length
         Instr::ArrayMalloc(Qual::Lin),
         unpack_with(
             vec![],
@@ -768,7 +808,11 @@ fn mem_pack_then_unpack() {
 fn trace_records_instruction_types() {
     let env = ModuleEnv::default();
     let ty = FunType::mono(vec![i32t()], vec![i32t()]);
-    let body = vec![Instr::GetLocal(0, Qual::Unr), Instr::i32(1), add(NumType::I32)];
+    let body = vec![
+        Instr::GetLocal(0, Qual::Unr),
+        Instr::i32(1),
+        add(NumType::I32),
+    ];
     let trace = check_function_body(&env, &ty, &[], &body).unwrap();
     assert_eq!(trace.len(), 3);
     assert_eq!(trace[0].produced, vec![i32t()]);
@@ -895,5 +939,8 @@ fn struct_get_requires_read_privilege_content() {
     ];
     let env = ModuleEnv::default();
     let err = check_function_body(&env, &ty, &[], &body);
-    assert!(err.is_err(), "writing through a read-only reference must fail");
+    assert!(
+        err.is_err(),
+        "writing through a read-only reference must fail"
+    );
 }

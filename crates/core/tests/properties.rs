@@ -38,19 +38,11 @@ fn arb_pretype(max_loc: u32, max_ty: u32) -> impl Strategy<Value = Pretype> {
             prop::collection::vec(inner.clone().prop_map(|p| p.unr()), 0..4)
                 .prop_map(Pretype::Prod),
             inner.clone().prop_map(|p| {
-                Pretype::Ref(
-                    MemPriv::ReadWrite,
-                    Loc::Var(0),
-                    HeapType::Array(p.unr()),
-                )
+                Pretype::Ref(MemPriv::ReadWrite, Loc::Var(0), HeapType::Array(p.unr()))
             }),
-            inner
-                .clone()
-                .prop_map(|p| Pretype::ExistsLoc(Box::new(Pretype::Prod(vec![
-                    p.unr(),
-                    Pretype::Ptr(Loc::Var(0)).unr(),
-                ])
-                .unr()))),
+            inner.clone().prop_map(|p| Pretype::ExistsLoc(Box::new(
+                Pretype::Prod(vec![p.unr(), Pretype::Ptr(Loc::Var(0)).unr(),]).unr()
+            ))),
         ]
     })
 }

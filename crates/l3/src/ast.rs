@@ -135,8 +135,11 @@ mod tests {
         assert!(!L3Ty::Int.is_linear());
         assert!(L3Ty::PtrCap(Box::new(L3Ty::Int), 64).is_linear());
         assert!(L3Ty::Ref(Box::new(L3Ty::Int), 64).is_linear());
-        assert!(L3Ty::Prod(Box::new(L3Ty::Int), Box::new(L3Ty::Ref(Box::new(L3Ty::Int), 64)))
-            .is_linear());
+        assert!(L3Ty::Prod(
+            Box::new(L3Ty::Int),
+            Box::new(L3Ty::Ref(Box::new(L3Ty::Int), 64))
+        )
+        .is_linear());
         assert!(!L3Ty::Prod(Box::new(L3Ty::Int), Box::new(L3Ty::Unit)).is_linear());
     }
 }

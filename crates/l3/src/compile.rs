@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 
 use richwasm::syntax::instr::LocalEffect;
 use richwasm::syntax::{
-    ArrowType, Func, FunType, HeapType, Instr, Loc, MemPriv, Pretype, Qual, Size, Table, Type,
+    ArrowType, FunType, Func, HeapType, Instr, Loc, MemPriv, Pretype, Qual, Size, Table, Type,
     Value,
 };
 
@@ -125,7 +125,10 @@ impl<'m> Compiler<'m> {
         let mut slots = self.scopes.pop().expect("scope");
         slots.sort_unstable();
         slots.dedup();
-        slots.into_iter().map(|s| LocalEffect::new(s, Type::unit())).collect()
+        slots
+            .into_iter()
+            .map(|s| LocalEffect::new(s, Type::unit()))
+            .collect()
     }
 
     fn bind(&mut self, name: &str, ty: L3Ty) -> u32 {
@@ -145,7 +148,10 @@ impl<'m> Compiler<'m> {
     fn unbind(&mut self, out: &mut Vec<Instr>) -> Result<(), L3Error> {
         let b = self.vars.pop().expect("binding");
         if b.ty.is_linear() && !b.used {
-            return Err(L3Error::Linearity(format!("linear variable {} never used", b.name)));
+            return Err(L3Error::Linearity(format!(
+                "linear variable {} never used",
+                b.name
+            )));
         }
         // Reset unrestricted slots so enclosing blocks stay effect-free.
         if !b.ty.is_linear() {
@@ -162,7 +168,9 @@ impl<'m> Compiler<'m> {
         };
         if b.ty.is_linear() {
             if b.used {
-                return Err(L3Error::Linearity(format!("linear variable {name} used twice")));
+                return Err(L3Error::Linearity(format!(
+                    "linear variable {name} used twice"
+                )));
             }
             b.used = true;
         }
@@ -217,8 +225,8 @@ impl<'m> Compiler<'m> {
                 out.push(Instr::SetLocal(sx));
                 let t2 = self.gen(e2, out)?;
                 self.unbind(out)?; // x
-                // y was pushed before x in `vars`… unbind pops the most
-                // recent, which is x; now y.
+                                   // y was pushed before x in `vars`… unbind pops the most
+                                   // recent, which is x; now y.
                 self.unbind(out)?;
                 Ok(t2)
             }
@@ -226,7 +234,11 @@ impl<'m> Compiler<'m> {
                 let t1 = self.gen(e1, out)?;
                 let t2 = self.gen(e2, out)?;
                 let pair = L3Ty::Prod(Box::new(t1), Box::new(t2));
-                let q = if pair.is_linear() { Qual::Lin } else { Qual::Unr };
+                let q = if pair.is_linear() {
+                    Qual::Lin
+                } else {
+                    Qual::Unr
+                };
                 out.push(Instr::Group(2, q));
                 Ok(pair)
             }
@@ -352,10 +364,7 @@ impl<'m> Compiler<'m> {
                     body.push(Instr::SetLocal(tmp));
                 }
                 out.push(Instr::MemUnpack(
-                    richwasm::syntax::instr::Block::new(
-                        ArrowType::new(vec![], vec![rt]),
-                        vec![],
-                    ),
+                    richwasm::syntax::instr::Block::new(ArrowType::new(vec![], vec![rt]), vec![]),
                     body,
                 ));
                 Ok(*inner)
@@ -378,8 +387,7 @@ impl<'m> Compiler<'m> {
                     ));
                 }
                 let new_pkg = L3Ty::PtrCap(Box::new(tv.clone()), bits);
-                let result =
-                    L3Ty::Prod(Box::new(new_pkg.clone()), Box::new((*old).clone()));
+                let result = L3Ty::Prod(Box::new(new_pkg.clone()), Box::new((*old).clone()));
                 let q_old = translate_ty(&old).qual;
                 let q_v = translate_ty(&tv).qual;
                 let tmp_old = self.fresh();
@@ -404,10 +412,7 @@ impl<'m> Compiler<'m> {
                 }
                 out.push(Instr::MemUnpack(
                     richwasm::syntax::instr::Block::new(
-                        ArrowType::new(
-                            vec![],
-                            vec![translate_ty(&new_pkg), translate_ty(&old)],
-                        ),
+                        ArrowType::new(vec![], vec![translate_ty(&new_pkg), translate_ty(&old)]),
                         effects,
                     ),
                     body,
@@ -425,11 +430,7 @@ impl<'m> Compiler<'m> {
                     return terr(format!("join of non-capability {t:?}"));
                 };
                 let result = L3Ty::Ref(inner, bits);
-                let body = vec![
-                    Instr::Ungroup,
-                    Instr::RefJoin,
-                    Instr::MemPack(Loc::Var(0)),
-                ];
+                let body = vec![Instr::Ungroup, Instr::RefJoin, Instr::MemPack(Loc::Var(0))];
                 out.push(Instr::MemUnpack(
                     richwasm::syntax::instr::Block::new(
                         ArrowType::new(vec![], vec![translate_ty(&result)]),
@@ -496,7 +497,11 @@ pub fn compile_module(m: &L3Module) -> Result<richwasm::syntax::Module, L3Error>
     for (i, im) in m.imports.iter().enumerate() {
         sigs.insert(
             im.name.clone(),
-            Sig { idx: i as u32, params: im.params.clone(), ret: im.ret.clone() },
+            Sig {
+                idx: i as u32,
+                params: im.params.clone(),
+                ret: im.ret.clone(),
+            },
         );
     }
     let n_imports = m.imports.len() as u32;
@@ -540,7 +545,10 @@ pub fn compile_module(m: &L3Module) -> Result<richwasm::syntax::Module, L3Error>
         let mut body = Vec::new();
         let rt = c.gen(&f.body, &mut body)?;
         if rt != f.ret {
-            return terr(format!("{}: body has type {rt:?}, declared {:?}", f.name, f.ret));
+            return terr(format!(
+                "{}: body has type {rt:?}, declared {:?}",
+                f.name, f.ret
+            ));
         }
         // Every linear parameter must have been consumed.
         for b in &c.vars {
@@ -557,13 +565,21 @@ pub fn compile_module(m: &L3Module) -> Result<richwasm::syntax::Module, L3Error>
         );
         let extra = c.n_slots - c.n_params;
         funcs.push(Func::Defined {
-            exports: if f.export { vec![f.name.clone()] } else { vec![] },
+            exports: if f.export {
+                vec![f.name.clone()]
+            } else {
+                vec![]
+            },
             ty,
             locals: vec![Size::Const(64); extra as usize],
             body,
         });
     }
-    Ok(richwasm::syntax::Module { funcs, globals: vec![], table: Table::default() })
+    Ok(richwasm::syntax::Module {
+        funcs,
+        globals: vec![],
+        table: Table::default(),
+    })
 }
 
 /// The RichWasm type of an L3 import declaration (the linking boundary).
@@ -655,10 +671,7 @@ mod tests {
                     "p2".into(),
                     "old".into(),
                     Box::new(L3Expr::Swap(var("p"), Box::new(L3Expr::Unit))),
-                    Box::new(L3Expr::Seq(
-                        Box::new(L3Expr::Free(var("p2"))),
-                        var("old"),
-                    )),
+                    Box::new(L3Expr::Seq(Box::new(L3Expr::Free(var("p2"))), var("old"))),
                 )),
             ),
             L3Ty::Int,
@@ -685,10 +698,7 @@ mod tests {
                         )),
                     )),
                     Box::new(L3Expr::Seq(
-                        Box::new(L3Expr::Seq(
-                            Box::new(L3Expr::Free(var("p2"))),
-                            var("old"),
-                        )),
+                        Box::new(L3Expr::Seq(Box::new(L3Expr::Free(var("p2"))), var("old"))),
                         Box::new(L3Expr::Int(0)),
                     )),
                 )),
@@ -808,7 +818,13 @@ mod if_linearity_tests {
 
     fn main_fn(body: L3Expr, ret: L3Ty) -> L3Module {
         L3Module {
-            funs: vec![L3Fun { name: "main".into(), export: true, params: vec![], ret, body }],
+            funs: vec![L3Fun {
+                name: "main".into(),
+                export: true,
+                params: vec![],
+                ret,
+                body,
+            }],
             ..L3Module::default()
         }
     }

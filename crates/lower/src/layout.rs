@@ -22,7 +22,9 @@ pub fn resolve_size(ctx: &KindCtx, sz: &Size) -> Result<u64, LowerError> {
 
 fn resolve_rec(ctx: &KindCtx, sz: &Size, fuel: u32) -> Result<u64, LowerError> {
     if fuel == 0 {
-        return Err(LowerError::UnresolvableSize(format!("cyclic bounds resolving {sz}")));
+        return Err(LowerError::UnresolvableSize(format!(
+            "cyclic bounds resolving {sz}"
+        )));
     }
     match sz {
         Size::Const(c) => Ok(*c),
@@ -216,13 +218,19 @@ fn plan_pre(
         (Pretype::Var(i), c) => {
             let mut content = Vec::new();
             flatten_pre(conc_ctx, c, &mut content)?;
-            out.push(Seg::Padded { content, total_slots: var_slots(abs_ctx, *i)? });
+            out.push(Seg::Padded {
+                content,
+                total_slots: var_slots(abs_ctx, *i)?,
+            });
             Ok(())
         }
         (a, Pretype::Var(j)) => {
             let mut dst = Vec::new();
             flatten_pre(abs_ctx, a, &mut dst)?;
-            out.push(Seg::Unpad { src_slots: var_slots(conc_ctx, *j)?, dst });
+            out.push(Seg::Unpad {
+                src_slots: var_slots(conc_ctx, *j)?,
+                dst,
+            });
             Ok(())
         }
         (Pretype::Prod(ats), Pretype::Prod(cts)) => {
@@ -234,7 +242,8 @@ fn plan_pre(
             }
             Ok(())
         }
-        (Pretype::Rec(_, a), Pretype::Rec(_, c)) | (Pretype::ExistsLoc(a), Pretype::ExistsLoc(c)) => {
+        (Pretype::Rec(_, a), Pretype::Rec(_, c))
+        | (Pretype::ExistsLoc(a), Pretype::ExistsLoc(c)) => {
             plan_pre(abs_ctx, &a.pre, conc_ctx, &c.pre, out)
         }
         (a, c) => {
@@ -270,11 +279,17 @@ fn coalesce(segs: Vec<Seg>) -> Vec<Seg> {
 pub fn plan_is_identity(segs: &[Seg]) -> bool {
     segs.iter().all(|s| match s {
         Seg::Exact(_) => true,
-        Seg::Padded { content, total_slots } => layout_slots(content) == *total_slots
-            && content.iter().all(|t| *t == ValType::I32),
-        Seg::Unpad { src_slots, dst } => layout_slots(dst) == *src_slots
-            && dst.iter().all(|t| *t == ValType::I32),
-        Seg::RePad { src_slots, dst_slots } => src_slots == dst_slots,
+        Seg::Padded {
+            content,
+            total_slots,
+        } => layout_slots(content) == *total_slots && content.iter().all(|t| *t == ValType::I32),
+        Seg::Unpad { src_slots, dst } => {
+            layout_slots(dst) == *src_slots && dst.iter().all(|t| *t == ValType::I32)
+        }
+        Seg::RePad {
+            src_slots,
+            dst_slots,
+        } => src_slots == dst_slots,
     })
 }
 
@@ -288,10 +303,18 @@ mod tests {
     fn base_flattenings() {
         let ctx = KindCtx::new();
         assert_eq!(flatten(&ctx, &Type::unit()).unwrap(), vec![]);
-        assert_eq!(flatten(&ctx, &Type::num(NumType::I64)).unwrap(), vec![ValType::I64]);
+        assert_eq!(
+            flatten(&ctx, &Type::num(NumType::I64)).unwrap(),
+            vec![ValType::I64]
+        );
         let t = Pretype::Prod(vec![Type::num(NumType::I32), Type::num(NumType::F64)]).unr();
         assert_eq!(flatten(&ctx, &t).unwrap(), vec![ValType::I32, ValType::F64]);
-        let r = Pretype::Ref(MemPriv::ReadWrite, Loc::lin(0), HeapType::Array(Type::unit())).lin();
+        let r = Pretype::Ref(
+            MemPriv::ReadWrite,
+            Loc::lin(0),
+            HeapType::Array(Type::unit()),
+        )
+        .lin();
         assert_eq!(flatten(&ctx, &r).unwrap(), vec![ValType::I32]);
     }
 
@@ -315,7 +338,10 @@ mod tests {
             size: Size::Const(96),
             may_contain_caps: false,
         });
-        assert_eq!(flatten(&ctx, &Pretype::Var(0).unr()).unwrap(), vec![ValType::I32; 3]);
+        assert_eq!(
+            flatten(&ctx, &Pretype::Var(0).unr()).unwrap(),
+            vec![ValType::I32; 3]
+        );
     }
 
     #[test]
@@ -336,8 +362,14 @@ mod tests {
     #[test]
     fn size_var_resolves_through_bounds() {
         let mut ctx = KindCtx::new();
-        ctx.push_size(SizeBounds { lower: vec![], upper: vec![Size::Const(64)] });
-        assert_eq!(resolve_size(&ctx, &(Size::Var(0) + Size::Const(32))).unwrap(), 96);
+        ctx.push_size(SizeBounds {
+            lower: vec![],
+            upper: vec![Size::Const(64)],
+        });
+        assert_eq!(
+            resolve_size(&ctx, &(Size::Var(0) + Size::Const(32))).unwrap(),
+            96
+        );
     }
 
     #[test]
@@ -350,14 +382,16 @@ mod tests {
             may_contain_caps: false,
         });
         let abs = Pretype::Prod(vec![Pretype::Var(0).unr(), Type::num(NumType::I64)]).unr();
-        let conc =
-            Pretype::Prod(vec![Type::num(NumType::I32), Type::num(NumType::I64)]).unr();
+        let conc = Pretype::Prod(vec![Type::num(NumType::I32), Type::num(NumType::I64)]).unr();
         let conc_ctx = KindCtx::new();
         let p = plan(&abs_ctx, &abs, &conc_ctx, &conc).unwrap();
         assert_eq!(
             p,
             vec![
-                Seg::Padded { content: vec![ValType::I32], total_slots: 2 },
+                Seg::Padded {
+                    content: vec![ValType::I32],
+                    total_slots: 2
+                },
                 Seg::Exact(vec![ValType::I64]),
             ]
         );

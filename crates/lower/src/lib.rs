@@ -44,4 +44,4 @@ pub mod lower;
 pub mod runtime;
 
 pub use error::LowerError;
-pub use lower::{lower_modules, Session};
+pub use lower::{lower_modules, lower_modules_with_envs, Session};

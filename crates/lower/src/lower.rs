@@ -66,13 +66,34 @@ impl Session {
 pub fn lower_modules(
     modules: &[(String, rw::Module)],
 ) -> Result<Vec<(String, w::Module)>, LowerError> {
-    // Type check everything and compute the shared table layout.
+    // Type check everything (lowering is type-directed).
     let mut envs = Vec::new();
+    for (_, m) in modules {
+        envs.push(check_module(m)?);
+    }
+    lower_modules_with_envs(modules, &envs)
+}
+
+/// Lowers modules whose [`ModuleEnv`]s were already produced by
+/// [`check_module`], skipping the redundant re-check. Callers that have
+/// just type checked (e.g. the pipeline driver) use this to avoid paying
+/// the substructural check twice.
+pub fn lower_modules_with_envs(
+    modules: &[(String, rw::Module)],
+    envs: &[ModuleEnv],
+) -> Result<Vec<(String, w::Module)>, LowerError> {
+    if modules.len() != envs.len() {
+        return Err(LowerError::Internal(format!(
+            "{} modules but {} envs",
+            modules.len(),
+            envs.len()
+        )));
+    }
+    // Compute the shared table layout.
     let mut table_entries: Vec<TableEntry> = Vec::new();
     let mut table_bases = Vec::new();
     let mut total = 0u32;
     for (_, m) in modules {
-        envs.push(check_module(m)?);
         table_bases.push(total);
         for &fi in &m.table.entries {
             table_entries.push(TableEntry {
@@ -100,8 +121,14 @@ fn lower_module(
     let mut wm = w::Module::default();
 
     // Runtime imports: malloc, free, memory, table.
-    let malloc_t = wm.intern_type(FuncType { params: vec![ValType::I32], results: vec![ValType::I32] });
-    let free_t = wm.intern_type(FuncType { params: vec![ValType::I32], results: vec![] });
+    let malloc_t = wm.intern_type(FuncType {
+        params: vec![ValType::I32],
+        results: vec![ValType::I32],
+    });
+    let free_t = wm.intern_type(FuncType {
+        params: vec![ValType::I32],
+        results: vec![],
+    });
     wm.imports.push(w::Import {
         module: RUNTIME_NAME.into(),
         name: "malloc".into(),
@@ -127,15 +154,20 @@ fn lower_module(
 
     // Function index mapping: imports first (after malloc/free), then
     // defined functions.
-    let n_rw_imports =
-        m.funcs.iter().filter(|f| matches!(f, RwFunc::Imported { .. })).count() as u32;
+    let n_rw_imports = m
+        .funcs
+        .iter()
+        .filter(|f| matches!(f, RwFunc::Imported { .. }))
+        .count() as u32;
     let defined_base = 2 + n_rw_imports;
     let mut rw2wasm = Vec::with_capacity(m.funcs.len());
     let mut import_seen = 0u32;
     let mut defined_seen = 0u32;
     for f in &m.funcs {
         match f {
-            RwFunc::Imported { module, name, ty, .. } => {
+            RwFunc::Imported {
+                module, name, ty, ..
+            } => {
                 let sig = lower_signature(ty)?;
                 let ti = wm.intern_type(sig);
                 wm.imports.push(w::Import {
@@ -171,7 +203,11 @@ fn lower_module(
                         return Err(LowerError::Internal("global layout mismatch".into()));
                     }
                     for (t, c) in layout.iter().zip(consts) {
-                        wm.globals.push(w::GlobalDef { ty: *t, mutable: true, init: c });
+                        wm.globals.push(w::GlobalDef {
+                            ty: *t,
+                            mutable: true,
+                            init: c,
+                        });
                     }
                 }
                 None => {
@@ -201,7 +237,12 @@ fn lower_module(
     if !m.table.entries.is_empty() {
         wm.elems.push(w::ElemSegment {
             offset: table_base,
-            funcs: m.table.entries.iter().map(|&fi| rw2wasm[fi as usize]).collect(),
+            funcs: m
+                .table
+                .entries
+                .iter()
+                .map(|&fi| rw2wasm[fi as usize])
+                .collect(),
         });
     }
 
@@ -213,7 +254,10 @@ fn lower_module(
                 kind: ExportKind::Func(rw2wasm[fi]),
             });
         }
-        if let RwFunc::Defined { ty, locals, body, .. } = f {
+        if let RwFunc::Defined {
+            ty, locals, body, ..
+        } = f
+        {
             let trace = check_function_body(env, ty, locals, body)?;
             let def = lower_function(
                 env,
@@ -268,7 +312,11 @@ fn lower_module(
         }
         let start_t = wm.intern_type(FuncType::default());
         let start_idx = 2 + n_rw_imports + wm.funcs.len() as u32;
-        wm.funcs.push(w::FuncDef { type_idx: start_t, locals: vec![], body: start_body });
+        wm.funcs.push(w::FuncDef {
+            type_idx: start_t,
+            locals: vec![],
+            body: start_body,
+        });
         wm.start = Some(start_idx);
     }
     Ok(wm)
@@ -376,7 +424,10 @@ fn lower_function(
     for r in &ty.arrow.results {
         results.extend(flatten(&ctx, r)?);
     }
-    let type_idx = wm.intern_type(FuncType { params: params.clone(), results });
+    let type_idx = wm.intern_type(FuncType {
+        params: params.clone(),
+        results,
+    });
 
     // Local slot layout: every RichWasm local becomes ⌈size/32⌉ i32 slots.
     let n_params = params.len() as u32;
@@ -446,7 +497,11 @@ fn lower_function(
     let mut locals = vec![ValType::I32; slot_total as usize];
     locals.push(ValType::I64); // tmp64
     locals.extend(vec![ValType::I32; (cx.pool_high - pool_base) as usize]);
-    Ok(w::FuncDef { type_idx, locals, body: code })
+    Ok(w::FuncDef {
+        type_idx,
+        locals,
+        body: code,
+    })
 }
 
 impl<'a> FnCx<'a> {
@@ -535,7 +590,13 @@ impl<'a> FnCx<'a> {
 
     /// Pushes values of `layout` loaded from memory at `ptr_local +
     /// byte_off`.
-    fn emit_load(&mut self, layout: &[ValType], ptr_local: u32, mut byte_off: u32, out: &mut Vec<WInstr>) {
+    fn emit_load(
+        &mut self,
+        layout: &[ValType],
+        ptr_local: u32,
+        mut byte_off: u32,
+        out: &mut Vec<WInstr>,
+    ) {
         for t in layout {
             out.push(WInstr::LocalGet(ptr_local));
             out.push(WInstr::Load(*t, byte_off));
@@ -589,7 +650,10 @@ impl<'a> FnCx<'a> {
                     let ts = ts.clone();
                     self.emit_unspill(&ts, pool + off, out);
                 }
-                Seg::Padded { content, total_slots } => {
+                Seg::Padded {
+                    content,
+                    total_slots,
+                } => {
                     let k = layout_slots(content);
                     for i in 0..k as u32 {
                         out.push(WInstr::LocalGet(pool + off + i));
@@ -604,7 +668,10 @@ impl<'a> FnCx<'a> {
                     let dst = dst.clone();
                     self.emit_unspill(&dst, pool + off, out);
                 }
-                Seg::RePad { src_slots, dst_slots } => {
+                Seg::RePad {
+                    src_slots,
+                    dst_slots,
+                } => {
                     let k = (*src_slots).min(*dst_slots);
                     for i in 0..k as u32 {
                         out.push(WInstr::LocalGet(pool + off + i));
@@ -637,7 +704,10 @@ impl<'a> FnCx<'a> {
                     let ts = ts.clone();
                     self.emit_spill(&ts, pool + conc_off[si], out);
                 }
-                Seg::Padded { content, total_slots } => {
+                Seg::Padded {
+                    content,
+                    total_slots,
+                } => {
                     // Callee produced total_slots i32s (value + padding on
                     // top): drop the padding, keep the content slots.
                     let k = layout_slots(content);
@@ -658,7 +728,10 @@ impl<'a> FnCx<'a> {
                         out.push(WInstr::LocalSet(pool + conc_off[si] + pad as u32));
                     }
                 }
-                Seg::RePad { src_slots, dst_slots } => {
+                Seg::RePad {
+                    src_slots,
+                    dst_slots,
+                } => {
                     let k = (*src_slots).min(*dst_slots);
                     for _ in k..*dst_slots {
                         out.push(WInstr::Drop);
@@ -715,19 +788,15 @@ impl<'a> FnCx<'a> {
                     self.skip_instr(i)?;
                 }
             }
-            rw::Instr::MemUnpack(_, body) | rw::Instr::ExistUnpack(_, _, _, body) => {
-                if visit {
-                    for i in body {
-                        self.skip_instr(i)?;
-                    }
+            rw::Instr::MemUnpack(_, body) | rw::Instr::ExistUnpack(_, _, _, body) if visit => {
+                for i in body {
+                    self.skip_instr(i)?;
                 }
             }
-            rw::Instr::VariantCase(_, _, _, bodies) => {
-                if visit {
-                    for b in bodies {
-                        for i in b {
-                            self.skip_instr(i)?;
-                        }
+            rw::Instr::VariantCase(_, _, _, bodies) if visit => {
+                for b in bodies {
+                    for i in b {
+                        self.skip_instr(i)?;
                     }
                 }
             }
@@ -778,7 +847,10 @@ impl<'a> FnCx<'a> {
                     self.emit_spill(&l, b, out);
                     self.emit_spill(&l, a, out);
                     out.push(WInstr::LocalGet(c));
-                    let bt = self.wm.intern_type(FuncType { params: vec![], results: l.clone() });
+                    let bt = self.wm.intern_type(FuncType {
+                        params: vec![],
+                        results: l.clone(),
+                    });
                     let mut t_arm = Vec::new();
                     self.emit_unspill(&l, a, &mut t_arm);
                     let mut f_arm = Vec::new();
@@ -826,7 +898,10 @@ impl<'a> FnCx<'a> {
             I::Br(i) => out.push(WInstr::Br(self.br_depth(*i)?)),
             I::BrIf(i) => out.push(WInstr::BrIf(self.br_depth(*i)?)),
             I::BrTable(ts, d) => {
-                let ts = ts.iter().map(|i| self.br_depth(*i)).collect::<Result<_, _>>()?;
+                let ts = ts
+                    .iter()
+                    .map(|i| self.br_depth(*i))
+                    .collect::<Result<_, _>>()?;
                 let d = self.br_depth(*d)?;
                 out.push(WInstr::BrTable(ts, d));
             }
@@ -917,8 +992,10 @@ impl<'a> FnCx<'a> {
                     total += (resolve_size(&self.ctx, sz)?.div_ceil(32) * 4) as u32;
                 }
                 // Spill fields (reverse order: last field is on top).
-                let layouts: Vec<Vec<ValType>> =
-                    fields.iter().map(|t| flatten(&self.ctx, t)).collect::<Result<_, _>>()?;
+                let layouts: Vec<Vec<ValType>> = fields
+                    .iter()
+                    .map(|t| flatten(&self.ctx, t))
+                    .collect::<Result<_, _>>()?;
                 let slot_counts: Vec<usize> = layouts.iter().map(|l| layout_slots(l)).collect();
                 let pool = self.alloc_pool(slot_counts.iter().sum());
                 let mut bases = Vec::new();
@@ -1025,7 +1102,9 @@ impl<'a> FnCx<'a> {
         if params.is_empty() && results.len() == 1 {
             return Ok(BlockType::Value(results[0]));
         }
-        Ok(BlockType::Func(self.wm.intern_type(FuncType { params, results })))
+        Ok(BlockType::Func(
+            self.wm.intern_type(FuncType { params, results }),
+        ))
     }
 
     fn enter_label(&mut self) {
@@ -1045,7 +1124,7 @@ impl<'a> FnCx<'a> {
             Ok(self.wdepth - record)
         } else {
             // Branch to the function's implicit label (return).
-            Ok(self.wdepth + (i as u32 - n as u32))
+            Ok(self.wdepth + (i - n as u32))
         }
     }
 
@@ -1181,9 +1260,14 @@ impl<'a> FnCx<'a> {
     }
 
     /// Offsets and layouts of a struct's fields from a reference type.
-    fn struct_layout(&self, ref_ty: &rw::Type) -> Result<(Vec<u32>, Vec<Vec<ValType>>), LowerError> {
+    fn struct_layout(
+        &self,
+        ref_ty: &rw::Type,
+    ) -> Result<(Vec<u32>, Vec<Vec<ValType>>), LowerError> {
         let Pretype::Ref(_, _, HeapType::Struct(fields)) = &*ref_ty.pre else {
-            return Err(LowerError::Internal(format!("expected struct ref, got {ref_ty}")));
+            return Err(LowerError::Internal(format!(
+                "expected struct ref, got {ref_ty}"
+            )));
         };
         let mut offs = Vec::new();
         let mut layouts = Vec::new();
@@ -1196,7 +1280,12 @@ impl<'a> FnCx<'a> {
         Ok((offs, layouts))
     }
 
-    fn lower_call(&mut self, j: u32, entry: &InstrInfo, out: &mut Vec<WInstr>) -> Result<(), LowerError> {
+    fn lower_call(
+        &mut self,
+        j: u32,
+        entry: &InstrInfo,
+        out: &mut Vec<WInstr>,
+    ) -> Result<(), LowerError> {
         let ft = self.env.funcs[j as usize].clone();
         let widx = self.sh.rw2wasm[j as usize];
         let mut callee_ctx = KindCtx::new();
@@ -1232,10 +1321,16 @@ impl<'a> FnCx<'a> {
         Ok(())
     }
 
-    fn lower_call_indirect(&mut self, entry: &InstrInfo, out: &mut Vec<WInstr>) -> Result<(), LowerError> {
+    fn lower_call_indirect(
+        &mut self,
+        entry: &InstrInfo,
+        out: &mut Vec<WInstr>,
+    ) -> Result<(), LowerError> {
         let coderef_ty = entry.consumed.last().expect("coderef").clone();
         let Pretype::CodeRef(mono) = &*coderef_ty.pre else {
-            return Err(LowerError::Internal("call_indirect without coderef type".into()));
+            return Err(LowerError::Internal(
+                "call_indirect without coderef type".into(),
+            ));
         };
         let args = &entry.consumed[..entry.consumed.len() - 1];
         let conc_results = &entry.produced;
@@ -1259,7 +1354,10 @@ impl<'a> FnCx<'a> {
         for r in conc_results {
             res_layout.extend(flatten(&self.ctx, r)?);
         }
-        let bt = self.wm.intern_type(FuncType { params: vec![], results: res_layout });
+        let bt = self.wm.intern_type(FuncType {
+            params: vec![],
+            results: res_layout,
+        });
 
         // One case per possible callee shape (paper §6).
         let mut cases = Vec::new();
@@ -1335,7 +1433,9 @@ impl<'a> FnCx<'a> {
         out: &mut Vec<WInstr>,
     ) -> Result<(), LowerError> {
         let HeapType::Exists(bq, bsz, body_ty) = psi else {
-            return Err(LowerError::Internal("exist.unpack without ∃ heap type".into()));
+            return Err(LowerError::Internal(
+                "exist.unpack without ∃ heap type".into(),
+            ));
         };
         let linear = matches!(q, Qual::Lin);
         let n_params = b.arrow.params.len();
@@ -1403,7 +1503,10 @@ impl<'a> FnCx<'a> {
         for r in &b.arrow.results {
             only_results.extend(flatten(&self.ctx, r)?);
         }
-        let bt2 = self.wm.intern_type(FuncType { params: only_params, results: only_results });
+        let bt2 = self.wm.intern_type(FuncType {
+            params: only_params,
+            results: only_results,
+        });
         out.push(WInstr::Block(BlockType::Func(bt2), inner));
         self.release_pool(p);
         Ok(())
@@ -1419,7 +1522,9 @@ impl<'a> FnCx<'a> {
         out: &mut Vec<WInstr>,
     ) -> Result<(), LowerError> {
         let HeapType::Variant(cases) = psi else {
-            return Err(LowerError::Internal("variant.case without variant type".into()));
+            return Err(LowerError::Internal(
+                "variant.case without variant type".into(),
+            ));
         };
         let linear = matches!(q, Qual::Lin);
         let _ = entry;
@@ -1455,7 +1560,7 @@ impl<'a> FnCx<'a> {
             params: params_layout.clone(),
             results: results_layout.clone(),
         });
-        let chain = self.emit_case_chain(0, cases, bodies, p, tag, linear, bt, &params_layout)?;
+        let chain = self.emit_case_chain(0, cases, bodies, p, tag, linear, bt)?;
         out.push(WInstr::LocalGet(tag));
         out.push(WInstr::I32Const(0));
         out.push(WInstr::IRel(Width::W32, w::IRelOp::Eq));
@@ -1476,7 +1581,6 @@ impl<'a> FnCx<'a> {
         tag: u32,
         linear: bool,
         bt: u32,
-        params_layout: &[ValType],
     ) -> Result<WInstr, LowerError> {
         // then-arm: case k.
         let payload_layout = flatten(&self.ctx, &cases[k])?;
@@ -1495,7 +1599,7 @@ impl<'a> FnCx<'a> {
 
         // else-arm: next case or unreachable.
         let els = if k + 1 < cases.len() {
-            let next = self.emit_case_chain(k + 1, cases, bodies, p, tag, linear, bt, params_layout)?;
+            let next = self.emit_case_chain(k + 1, cases, bodies, p, tag, linear, bt)?;
             vec![
                 WInstr::LocalGet(tag),
                 WInstr::I32Const((k + 1) as i32),
@@ -1509,7 +1613,11 @@ impl<'a> FnCx<'a> {
         Ok(WInstr::If(BlockType::Func(bt), arm, els))
     }
 
-    fn lower_array_malloc(&mut self, entry: &InstrInfo, out: &mut Vec<WInstr>) -> Result<(), LowerError> {
+    fn lower_array_malloc(
+        &mut self,
+        entry: &InstrInfo,
+        out: &mut Vec<WInstr>,
+    ) -> Result<(), LowerError> {
         // consumed = [elem, ui32 length]
         let elem_ty = &entry.consumed[0];
         let el = flatten(&self.ctx, elem_ty)?;
@@ -1575,7 +1683,11 @@ impl<'a> FnCx<'a> {
         out.push(WInstr::LocalGet(p));
         out.push(WInstr::Load(ValType::I32, 0));
         out.push(WInstr::IRel(Width::W32, w::IRelOp::Ge(w::Sx::U)));
-        out.push(WInstr::If(BlockType::Empty, vec![WInstr::Unreachable], vec![]));
+        out.push(WInstr::If(
+            BlockType::Empty,
+            vec![WInstr::Unreachable],
+            vec![],
+        ));
         out.push(WInstr::LocalGet(p));
         out.push(WInstr::LocalGet(ix));
         out.push(WInstr::I32Const(esz as i32));
@@ -1584,7 +1696,11 @@ impl<'a> FnCx<'a> {
         out.push(WInstr::LocalSet(addr));
     }
 
-    fn lower_array_get(&mut self, entry: &InstrInfo, out: &mut Vec<WInstr>) -> Result<(), LowerError> {
+    fn lower_array_get(
+        &mut self,
+        entry: &InstrInfo,
+        out: &mut Vec<WInstr>,
+    ) -> Result<(), LowerError> {
         // consumed = [ref, ui32]; produced = [ref, elem]
         let elem_ty = entry.produced[1].clone();
         let el = flatten(&self.ctx, &elem_ty)?;
@@ -1602,7 +1718,11 @@ impl<'a> FnCx<'a> {
         Ok(())
     }
 
-    fn lower_array_set(&mut self, entry: &InstrInfo, out: &mut Vec<WInstr>) -> Result<(), LowerError> {
+    fn lower_array_set(
+        &mut self,
+        entry: &InstrInfo,
+        out: &mut Vec<WInstr>,
+    ) -> Result<(), LowerError> {
         // consumed = [ref, ui32, elem]; produced = [ref]
         let elem_ty = entry.consumed[2].clone();
         let el = flatten(&self.ctx, &elem_ty)?;
@@ -1629,7 +1749,9 @@ impl<'a> FnCx<'a> {
         out: &mut Vec<WInstr>,
     ) -> Result<(), LowerError> {
         let HeapType::Exists(bq, bsz, body_ty) = psi else {
-            return Err(LowerError::Internal("exist.pack without ∃ heap type".into()));
+            return Err(LowerError::Internal(
+                "exist.pack without ∃ heap type".into(),
+            ));
         };
         let _ = wit;
         // Concrete payload (consumed) vs abstract layout (under binder).
@@ -1669,7 +1791,10 @@ impl<'a> FnCx<'a> {
                 Seg::Exact(ts) => layout_slots(ts),
                 Seg::Padded { content, .. } => layout_slots(content),
                 Seg::Unpad { src_slots, dst } => layout_slots(dst).min(*src_slots),
-                Seg::RePad { src_slots, dst_slots } => (*src_slots).min(*dst_slots),
+                Seg::RePad {
+                    src_slots,
+                    dst_slots,
+                } => (*src_slots).min(*dst_slots),
             };
             self.emit_store_slots(store_n, pool + conc_off, p, abs_off, out);
             let pad = seg.abs_slots() - store_n;

@@ -22,9 +22,18 @@ pub const RUNTIME_PAGES: u32 = 16;
 /// table slots the session needs.
 pub fn runtime_module(table_size: u32) -> Module {
     let mut m = Module::default();
-    let malloc_t = m.intern_type(FuncType { params: vec![ValType::I32], results: vec![ValType::I32] });
-    let free_t = m.intern_type(FuncType { params: vec![ValType::I32], results: vec![] });
-    let live_t = m.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
+    let malloc_t = m.intern_type(FuncType {
+        params: vec![ValType::I32],
+        results: vec![ValType::I32],
+    });
+    let free_t = m.intern_type(FuncType {
+        params: vec![ValType::I32],
+        results: vec![],
+    });
+    let live_t = m.intern_type(FuncType {
+        params: vec![],
+        results: vec![ValType::I32],
+    });
 
     m.memory = Some(RUNTIME_PAGES);
     m.table = Some(table_size.max(1));
@@ -32,9 +41,21 @@ pub fn runtime_module(table_size: u32) -> Module {
     // global 0: free-list head (0 = empty)
     // global 1: brk (bump pointer)
     // global 2: live allocation count
-    m.globals.push(GlobalDef { ty: ValType::I32, mutable: true, init: WInstr::I32Const(0) });
-    m.globals.push(GlobalDef { ty: ValType::I32, mutable: true, init: WInstr::I32Const(8) });
-    m.globals.push(GlobalDef { ty: ValType::I32, mutable: true, init: WInstr::I32Const(0) });
+    m.globals.push(GlobalDef {
+        ty: ValType::I32,
+        mutable: true,
+        init: WInstr::I32Const(0),
+    });
+    m.globals.push(GlobalDef {
+        ty: ValType::I32,
+        mutable: true,
+        init: WInstr::I32Const(8),
+    });
+    m.globals.push(GlobalDef {
+        ty: ValType::I32,
+        mutable: true,
+        init: WInstr::I32Const(0),
+    });
 
     use IBinOp::*;
     use WInstr::*;
@@ -94,11 +115,7 @@ pub fn runtime_module(table_size: u32) -> Module {
                             If(
                                 BlockType::Empty,
                                 // prev == 0: free_head = next
-                                vec![
-                                    LocalGet(2),
-                                    Load(ValType::I32, 4),
-                                    GlobalSet(0),
-                                ],
+                                vec![LocalGet(2), Load(ValType::I32, 4), GlobalSet(0)],
                                 // else: prev.next = cur.next
                                 vec![
                                     LocalGet(1),
@@ -200,16 +217,39 @@ pub fn runtime_module(table_size: u32) -> Module {
         IBin(Width::W32, Sub),
         GlobalSet(2),
     ];
-    m.funcs.push(FuncDef { type_idx: free_t, locals: vec![], body: free_body });
+    m.funcs.push(FuncDef {
+        type_idx: free_t,
+        locals: vec![],
+        body: free_body,
+    });
 
     // live()
-    m.funcs.push(FuncDef { type_idx: live_t, locals: vec![], body: vec![GlobalGet(2)] });
+    m.funcs.push(FuncDef {
+        type_idx: live_t,
+        locals: vec![],
+        body: vec![GlobalGet(2)],
+    });
 
-    m.exports.push(Export { name: "malloc".into(), kind: ExportKind::Func(0) });
-    m.exports.push(Export { name: "free".into(), kind: ExportKind::Func(1) });
-    m.exports.push(Export { name: "live".into(), kind: ExportKind::Func(2) });
-    m.exports.push(Export { name: "mem".into(), kind: ExportKind::Memory(0) });
-    m.exports.push(Export { name: "tab".into(), kind: ExportKind::Table(0) });
+    m.exports.push(Export {
+        name: "malloc".into(),
+        kind: ExportKind::Func(0),
+    });
+    m.exports.push(Export {
+        name: "free".into(),
+        kind: ExportKind::Func(1),
+    });
+    m.exports.push(Export {
+        name: "live".into(),
+        kind: ExportKind::Func(2),
+    });
+    m.exports.push(Export {
+        name: "mem".into(),
+        kind: ExportKind::Memory(0),
+    });
+    m.exports.push(Export {
+        name: "tab".into(),
+        kind: ExportKind::Table(0),
+    });
     m
 }
 
@@ -243,8 +283,12 @@ mod tests {
     fn alignment_and_minimum_size() {
         let mut l = WasmLinker::new();
         let rt = l.instantiate("rt", runtime_module(1)).unwrap();
-        let p1 = l.invoke(rt, "malloc", &[Val::I32(1)]).unwrap()[0].as_i32().unwrap();
-        let p2 = l.invoke(rt, "malloc", &[Val::I32(1)]).unwrap()[0].as_i32().unwrap();
+        let p1 = l.invoke(rt, "malloc", &[Val::I32(1)]).unwrap()[0]
+            .as_i32()
+            .unwrap();
+        let p2 = l.invoke(rt, "malloc", &[Val::I32(1)]).unwrap()[0]
+            .as_i32()
+            .unwrap();
         // 1 byte rounds up to 4: blocks are 8 bytes apart (4 header + 4).
         assert_eq!(p2 - p1, 8);
         assert_eq!(p1 % 4, 0);

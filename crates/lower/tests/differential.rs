@@ -20,7 +20,9 @@ fn both_ways(m: Module) -> (i32, i32) {
     let mut rt = Runtime::new();
     let idx = rt.instantiate("m", m.clone()).expect("richwasm typecheck");
     let direct = rt.invoke(idx, "main", vec![]).expect("richwasm run");
-    let Value::Num(_, bits) = direct.values[0] else { panic!("non-numeric result") };
+    let Value::Num(_, bits) = direct.values[0] else {
+        panic!("non-numeric result")
+    };
     let rw_result = bits as u32 as i32;
 
     // Lowered pipeline.
@@ -29,13 +31,17 @@ fn both_ways(m: Module) -> (i32, i32) {
     let mut main_inst = 0;
     for (name, wm) in &lowered {
         validate_module(wm).expect("lowered module validates");
-        let i = linker.instantiate(name, wm.clone()).expect("wasm instantiation");
+        let i = linker
+            .instantiate(name, wm.clone())
+            .expect("wasm instantiation");
         if name == "m" {
             main_inst = i;
         }
     }
     let wasm_out = linker.invoke(main_inst, "main", &[]).expect("wasm run");
-    let Val::I32(w) = wasm_out[0] else { panic!("non-i32 wasm result") };
+    let Val::I32(w) = wasm_out[0] else {
+        panic!("non-i32 wasm result")
+    };
     (rw_result, w as i32)
 }
 
@@ -47,7 +53,12 @@ fn assert_agree(m: Module) -> i32 {
 
 fn main_fn(ty: FunType, locals: Vec<Size>, body: Vec<Instr>) -> Module {
     Module {
-        funcs: vec![Func::Defined { exports: vec!["main".into()], ty, locals, body }],
+        funcs: vec![Func::Defined {
+            exports: vec!["main".into()],
+            ty,
+            locals,
+            body,
+        }],
         ..Module::default()
     }
 }
@@ -103,7 +114,10 @@ fn control_flow_block_br() {
 #[test]
 fn loop_sums_one_to_ten() {
     // local0 = i, local1 = acc
-    let lt = Instr::Num(NumInstr::IntRelop(NumType::I32, instr::IntRelop::Le(instr::Sign::S)));
+    let lt = Instr::Num(NumInstr::IntRelop(
+        NumType::I32,
+        instr::IntRelop::Le(instr::Sign::S),
+    ));
     let m = main_fn(
         FunType::mono(vec![], vec![i32t()]),
         vec![Size::Const(32), Size::Const(32)],
@@ -275,10 +289,7 @@ fn variant_case_linear_frees() {
                     Qual::Lin,
                     HeapType::Variant(cases.clone()),
                     Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
-                    vec![
-                        vec![Instr::i32(0), add()],
-                        vec![Instr::i32(2), mul()],
-                    ],
+                    vec![vec![Instr::i32(0), add()], vec![Instr::i32(2), mul()]],
                 )],
             ),
         ],
@@ -397,7 +408,10 @@ fn coderef_inst_call_indirect() {
                 ],
             },
         ],
-        table: Table { exports: vec![], entries: vec![0] },
+        table: Table {
+            exports: vec![],
+            entries: vec![0],
+        },
         ..Module::default()
     };
     assert_eq!(assert_agree(m), 42);
@@ -478,7 +492,10 @@ fn cross_module_linking() {
             client_inst = i;
         }
     }
-    assert_eq!(linker.invoke(client_inst, "main", &[]).unwrap(), vec![Val::I32(42)]);
+    assert_eq!(
+        linker.invoke(client_inst, "main", &[]).unwrap(),
+        vec![Val::I32(42)]
+    );
 }
 
 #[test]

@@ -21,14 +21,13 @@ use std::collections::{BTreeMap, HashSet};
 
 use richwasm::syntax::instr::LocalEffect;
 use richwasm::syntax::{
-    Func, FunType, Global, GlobalKind, HeapType, Index, Instr, Module, Pretype, Qual,
-    Quantifier, Size, Table, Type, Value,
+    FunType, Func, Global, GlobalKind, HeapType, Index, Instr, Module, Pretype, Qual, Quantifier,
+    Size, Table, Type, Value,
 };
 
 use crate::ast::{MlBinop, MlExpr, MlGlobal, MlModule, MlTy};
 use crate::types::{
-    block, code_fun_type, opt_heap_type, opt_type, translate_ty, translate_ty_at, unpack,
-    ML_SLOT,
+    block, code_fun_type, opt_heap_type, opt_type, translate_ty, translate_ty_at, unpack, ML_SLOT,
 };
 
 /// An error from the ML compiler (ML-level typing or an unsupported
@@ -178,7 +177,10 @@ impl FnCompiler {
         let sc = self.scopes.pop().expect("scope");
         let mut slots: Vec<u32> = sc.consumed_outer.into_iter().collect();
         slots.sort_unstable();
-        slots.into_iter().map(|s| LocalEffect::new(s, Type::unit())).collect()
+        slots
+            .into_iter()
+            .map(|s| LocalEffect::new(s, Type::unit()))
+            .collect()
     }
 
     fn lookup(&self, name: &str) -> Option<(u32, MlTy, usize)> {
@@ -408,9 +410,12 @@ impl FnCompiler {
                     other => terr(format!("assignment to non-reference {other:?}")),
                 }
             }
-            MlExpr::Lam { param, param_ty, ret_ty, body } => {
-                self.gen_lambda(cx, param, param_ty, ret_ty, body, out)
-            }
+            MlExpr::Lam {
+                param,
+                param_ty,
+                ret_ty,
+                body,
+            } => self.gen_lambda(cx, param, param_ty, ret_ty, body, out),
             MlExpr::App(f, a) => self.gen_app(cx, f, a, out),
             MlExpr::Fold(rec, e) => {
                 let unfolded = ml_unfold(rec)?;
@@ -508,10 +513,7 @@ impl FnCompiler {
                     Qual::Lin,
                     cases,
                     block(vec![], vec![content_rt.clone()], vec![]),
-                    vec![
-                        vec![Instr::Drop, Instr::Unreachable],
-                        vec![],
-                    ],
+                    vec![vec![Instr::Drop, Instr::Unreachable], vec![]],
                 )],
             ),
         ];
@@ -579,7 +581,11 @@ impl FnCompiler {
             return terr(format!("case on non-sum {t:?}"));
         };
         if ts.len() != arms.len() {
-            return terr(format!("case has {} arms for {} cases", arms.len(), ts.len()));
+            return terr(format!(
+                "case has {} arms for {} cases",
+                arms.len(),
+                ts.len()
+            ));
         }
         self.enter(); // the variant.case block scope
         let mut bodies = Vec::new();
@@ -587,7 +593,8 @@ impl FnCompiler {
         for ((x, arm), case_ty) in arms.iter().zip(ts) {
             let slot = self.fresh();
             let mut body = vec![Instr::SetLocal(slot)];
-            self.vars.push((x.clone(), slot, case_ty.clone(), self.depth()));
+            self.vars
+                .push((x.clone(), slot, case_ty.clone(), self.depth()));
             let rt = self.gen(cx, arm, &mut body)?;
             self.vars.pop();
             self.reset(&mut body, slot);
@@ -610,7 +617,11 @@ impl FnCompiler {
             Instr::VariantCase(
                 Qual::Unr,
                 HeapType::Variant(cases_rt),
-                block(vec![], vec![res_rt.clone()], case_effects.iter().map(|e| (e.idx, e.ty.clone())).collect()),
+                block(
+                    vec![],
+                    vec![res_rt.clone()],
+                    case_effects.iter().map(|e| (e.idx, e.ty.clone())).collect(),
+                ),
                 bodies,
             ),
             // [ref, res]
@@ -666,7 +677,10 @@ impl FnCompiler {
 
         // The hoisted code function: [arg, env] → [res].
         let mut code = FnCompiler::new(
-            &[(param.to_string(), param_ty.clone()), ("$env".into(), env_ml.clone())],
+            &[
+                (param.to_string(), param_ty.clone()),
+                ("$env".into(), env_ml.clone()),
+            ],
             0,
         );
         let mut code_body = Vec::new();
@@ -691,11 +705,7 @@ impl FnCompiler {
         if &rt != ret_ty {
             return terr(format!("lambda body {rt:?} vs declared {ret_ty:?}"));
         }
-        let code_ty = code_fun_type(
-            translate_ty(param_ty),
-            env_rt.clone(),
-            translate_ty(ret_ty),
-        );
+        let code_ty = code_fun_type(translate_ty(param_ty), env_rt.clone(), translate_ty(ret_ty));
         let extra = code.n_slots - code.n_params;
         let tbl_idx = cx.add_code_fn(Func::Defined {
             exports: vec![],
@@ -726,7 +736,10 @@ impl FnCompiler {
         .unr();
         let psi = HeapType::Exists(Qual::Unr, Size::Const(ML_SLOT), Box::new(pair_body));
         out.push(Instr::ExistPack((*env_rt.pre).clone(), psi, Qual::Unr));
-        Ok(MlTy::Arrow(Box::new(param_ty.clone()), Box::new(ret_ty.clone())))
+        Ok(MlTy::Arrow(
+            Box::new(param_ty.clone()),
+            Box::new(ret_ty.clone()),
+        ))
     }
 
     fn gen_app(
@@ -784,7 +797,11 @@ impl FnCompiler {
             Instr::ExistUnpack(
                 Qual::Unr,
                 psi,
-                block(vec![arg_rt.clone()], vec![res_rt.clone()], vec![(tmp_cr, Type::unit())]),
+                block(
+                    vec![arg_rt.clone()],
+                    vec![res_rt.clone()],
+                    vec![(tmp_cr, Type::unit())],
+                ),
                 inner,
             ),
             // [clos_ref, res]
@@ -937,7 +954,11 @@ pub fn compile_module(m: &MlModule) -> Result<Module, MlError> {
         }
         globals.push(Global {
             exports: vec![],
-            kind: GlobalKind::Defined { mutable: true, ty: (*rt.pre).clone(), init },
+            kind: GlobalKind::Defined {
+                mutable: true,
+                ty: (*rt.pre).clone(),
+                init,
+            },
         });
     }
 
@@ -956,7 +977,10 @@ pub fn compile_module(m: &MlModule) -> Result<Module, MlError> {
         let mut body = Vec::new();
         let rt = comp.gen(&mut cx, &f.body, &mut body)?;
         if rt != f.ret {
-            return terr(format!("{}: body has type {rt:?}, declared {:?}", f.name, f.ret));
+            return terr(format!(
+                "{}: body has type {rt:?}, declared {:?}",
+                f.name, f.ret
+            ));
         }
         let quants = (0..f.tyvars)
             .map(|_| Quantifier::Type {
@@ -974,7 +998,11 @@ pub fn compile_module(m: &MlModule) -> Result<Module, MlError> {
         };
         let extra = comp.n_slots - comp.n_params;
         funcs.push(Func::Defined {
-            exports: if f.export { vec![f.name.clone()] } else { vec![] },
+            exports: if f.export {
+                vec![f.name.clone()]
+            } else {
+                vec![]
+            },
             ty,
             locals: vec![Size::Const(ML_SLOT); extra as usize],
             body,
@@ -985,7 +1013,10 @@ pub fn compile_module(m: &MlModule) -> Result<Module, MlError> {
     Ok(Module {
         funcs,
         globals,
-        table: Table { exports: vec![], entries: cx.table },
+        table: Table {
+            exports: vec![],
+            entries: cx.table,
+        },
     })
 }
 
@@ -1002,7 +1033,10 @@ fn compile_global_init(cx: &mut ModuleCx, g: &MlGlobal) -> Result<Vec<Instr>, Ml
     let mut out = Vec::new();
     let t = comp.gen(cx, &g.init, &mut out)?;
     if t != g.ty {
-        return terr(format!("global {}: initialiser {t:?} vs declared {:?}", g.name, g.ty));
+        return terr(format!(
+            "global {}: initialiser {t:?} vs declared {:?}",
+            g.name, g.ty
+        ));
     }
     if comp.n_slots > 0 {
         return Err(MlError::Unsupported(format!(
@@ -1128,7 +1162,11 @@ mod tests {
         let sum = MlTy::Sum(vec![MlTy::Int, MlTy::Unit]);
         let m = main_fn(
             MlExpr::Case(
-                Box::new(MlExpr::Inj { sum: sum.clone(), tag: 0, e: Box::new(MlExpr::Int(42)) }),
+                Box::new(MlExpr::Inj {
+                    sum: sum.clone(),
+                    tag: 0,
+                    e: Box::new(MlExpr::Int(42)),
+                }),
                 vec![
                     ("x".into(), MlExpr::Var("x".into())),
                     ("_u".into(), MlExpr::Int(0)),
@@ -1265,8 +1303,15 @@ mod tests {
             main_fn(MlExpr::Int(1), MlTy::Int),
             main_fn(
                 MlExpr::Case(
-                    Box::new(MlExpr::Inj { sum: sum.clone(), tag: 1, e: Box::new(MlExpr::Unit) }),
-                    vec![("x".into(), MlExpr::Var("x".into())), ("_".into(), MlExpr::Int(9))],
+                    Box::new(MlExpr::Inj {
+                        sum: sum.clone(),
+                        tag: 1,
+                        e: Box::new(MlExpr::Unit),
+                    }),
+                    vec![
+                        ("x".into(), MlExpr::Var("x".into())),
+                        ("_".into(), MlExpr::Int(9)),
+                    ],
                 ),
                 MlTy::Int,
             ),

@@ -74,11 +74,8 @@ pub fn translate_ty_at(t: &MlTy, extra: u32) -> Type {
                 Pretype::Var(0).unr(),
                 translate_ty_at(b, extra + 1),
             );
-            let pair = Pretype::Prod(vec![
-                Pretype::Var(0).unr(),
-                Pretype::CodeRef(code).unr(),
-            ])
-            .unr();
+            let pair =
+                Pretype::Prod(vec![Pretype::Var(0).unr(), Pretype::CodeRef(code).unr()]).unr();
             boxed(
                 HeapType::Exists(Qual::Unr, Size::Const(ML_SLOT), Box::new(pair)),
                 Qual::Unr,
@@ -128,7 +125,12 @@ pub fn block(params: Vec<Type>, results: Vec<Type>, effects: Vec<(u32, Type)>) -
 }
 
 /// Emits `mem.unpack` with the given annotation around `body`.
-pub fn unpack(params: Vec<Type>, results: Vec<Type>, effects: Vec<(u32, Type)>, body: Vec<Instr>) -> Instr {
+pub fn unpack(
+    params: Vec<Type>,
+    results: Vec<Type>,
+    effects: Vec<(u32, Type)>,
+    body: Vec<Instr>,
+) -> Instr {
     Instr::MemUnpack(block(params, results, effects), body)
 }
 

@@ -1,0 +1,210 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the subset of the criterion API the `richwasm-bench` suite
+//! uses, measuring wall-clock time with `std::time::Instant` and printing
+//! one line per benchmark:
+//!
+//! ```text
+//! e1_interop/static_typed_run   time: 12.345 µs (20 samples)
+//! ```
+//!
+//! There is no statistical analysis, warm-up tuning, or report output —
+//! this exists so `cargo bench` runs offline; swap in the real crate for
+//! publication-grade numbers.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group, optionally with a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `name` with a parameter rendered after a slash, criterion-style.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Only a parameter (used as the whole id).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            name: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Drives the timed closure.
+pub struct Bencher {
+    samples: u32,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running `samples` measured iterations after a short
+    /// warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..2 {
+            black_box(f());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.last_mean = start.elapsed() / self.samples;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(group: Option<&str>, id: &BenchmarkId, samples: u32, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        last_mean: Duration::ZERO,
+    };
+    f(&mut b);
+    let full = match group {
+        Some(g) => format!("{g}/{}", id.name),
+        None => id.name.clone(),
+    };
+    println!(
+        "{full:<48} time: {} ({samples} samples)",
+        fmt_duration(b.last_mean)
+    );
+}
+
+/// A named group of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measured iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1) as u32;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut f = f;
+        run_one(Some(&self.name), &id, self.samples, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut f = f;
+        run_one(Some(&self.name), &id, self.samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle passed to bench functions.
+#[derive(Default)]
+pub struct Criterion {
+    default_samples: u32,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = if self.default_samples == 0 {
+            10
+        } else {
+            self.default_samples
+        };
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            samples,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = if self.default_samples == 0 {
+            10
+        } else {
+            self.default_samples
+        };
+        let mut f = f;
+        run_one(None, &id, samples, |b| f(b));
+        self
+    }
+}
+
+/// Declares a bench group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

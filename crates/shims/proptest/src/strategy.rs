@@ -1,0 +1,253 @@
+//! Strategies: composable deterministic value generators.
+
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a sampling function over a deterministic RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Filters generated values, resampling (up to a bound) until `f`
+    /// accepts one.
+    fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` is the base case and `recurse`
+    /// wraps a strategy for the substructure, up to `depth` levels deep.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let base = self.boxed();
+        let mut strat = base.clone();
+        for _ in 0..depth {
+            let rec = recurse(strat).boxed();
+            let b = base.clone();
+            strat = BoxedStrategy::from_fn(move |rng| {
+                if rng.next_u64() % 4 == 0 {
+                    b.sample(rng)
+                } else {
+                    rec.sample(rng)
+                }
+            });
+        }
+        strat
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let this = self;
+        BoxedStrategy::from_fn(move |rng| this.sample(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V> {
+    sampler: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: Rc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<V> BoxedStrategy<V> {
+    /// Wraps a sampling function.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> V + 'static) -> BoxedStrategy<V> {
+        BoxedStrategy {
+            sampler: Rc::new(f),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (self.sampler)(rng)
+    }
+    fn boxed(self) -> BoxedStrategy<V>
+    where
+        V: 'static,
+    {
+        self
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..256 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 256 consecutive samples");
+    }
+}
+
+/// Uniformly picks one of several strategies of the same value type.
+pub struct Union<S> {
+    options: Vec<S>,
+}
+
+impl<S: Strategy> Union<S> {
+    /// Builds a union; panics when `options` is empty.
+    pub fn new(options: impl IntoIterator<Item = S>) -> Union<S> {
+        let options: Vec<S> = options.into_iter().collect();
+        assert!(
+            !options.is_empty(),
+            "Union::new requires at least one option"
+        );
+        Union { options }
+    }
+}
+
+impl<S: Strategy> Strategy for Union<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        let i = (rng.next_u64() % self.options.len() as u64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {
+        $(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (lo as i128 + off as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<char> {
+    type Value = char;
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        assert!(lo < hi, "empty range strategy");
+        for _ in 0..64 {
+            let v = lo + (rng.next_u64() % (hi - lo) as u64) as u32;
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+        self.start
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, G);

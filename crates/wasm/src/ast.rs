@@ -351,7 +351,10 @@ impl Module {
     /// Number of imported functions (they precede defined ones in the
     /// function index space).
     pub fn num_func_imports(&self) -> usize {
-        self.imports.iter().filter(|i| matches!(i.kind, ImportKind::Func(_))).count()
+        self.imports
+            .iter()
+            .filter(|i| matches!(i.kind, ImportKind::Func(_)))
+            .count()
     }
 
     /// The type of function `idx` in the combined index space.
@@ -394,17 +397,33 @@ mod tests {
     #[test]
     fn func_type_lookup_spans_imports_and_defs() {
         let mut m = Module::default();
-        let t0 = m.intern_type(FuncType { params: vec![ValType::I32], results: vec![] });
-        let t1 = m.intern_type(FuncType { params: vec![], results: vec![ValType::I64] });
+        let t0 = m.intern_type(FuncType {
+            params: vec![ValType::I32],
+            results: vec![],
+        });
+        let t1 = m.intern_type(FuncType {
+            params: vec![],
+            results: vec![ValType::I64],
+        });
         assert_ne!(t0, t1);
         // Interning the same type is idempotent.
-        assert_eq!(m.intern_type(FuncType { params: vec![ValType::I32], results: vec![] }), t0);
+        assert_eq!(
+            m.intern_type(FuncType {
+                params: vec![ValType::I32],
+                results: vec![]
+            }),
+            t0
+        );
         m.imports.push(Import {
             module: "env".into(),
             name: "f".into(),
             kind: ImportKind::Func(t1),
         });
-        m.funcs.push(FuncDef { type_idx: t0, locals: vec![], body: vec![] });
+        m.funcs.push(FuncDef {
+            type_idx: t0,
+            locals: vec![],
+            body: vec![],
+        });
         assert_eq!(m.func_type(0).unwrap().results, vec![ValType::I64]);
         assert_eq!(m.func_type(1).unwrap().params, vec![ValType::I32]);
         assert!(m.func_type(2).is_none());

@@ -572,7 +572,10 @@ mod tests {
     fn magic_header() {
         let m = Module::default();
         let bytes = encode_module(&m);
-        assert_eq!(&bytes[..8], &[0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00]);
+        assert_eq!(
+            &bytes[..8],
+            &[0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00]
+        );
         assert_eq!(bytes.len(), 8, "empty module is just the header");
     }
 
@@ -580,9 +583,19 @@ mod tests {
     fn golden_answer_module() {
         // (module (func (result i32) i32.const 42) (export "a" (func 0)))
         let mut m = Module::default();
-        let t = m.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
-        m.funcs.push(FuncDef { type_idx: t, locals: vec![], body: vec![WInstr::I32Const(42)] });
-        m.exports.push(Export { name: "a".into(), kind: ExportKind::Func(0) });
+        let t = m.intern_type(FuncType {
+            params: vec![],
+            results: vec![ValType::I32],
+        });
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![],
+            body: vec![WInstr::I32Const(42)],
+        });
+        m.exports.push(Export {
+            name: "a".into(),
+            kind: ExportKind::Func(0),
+        });
         let bytes = encode_module(&m);
         let expect: Vec<u8> = vec![
             0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00, // header
@@ -606,6 +619,9 @@ mod tests {
         let bytes = encode_module(&m);
         // Code body: 2 runs: (2, i32) (1, i64).
         let needle = [0x02, 0x02, 0x7f, 0x01, 0x7e];
-        assert!(bytes.windows(needle.len()).any(|w| w == needle), "{bytes:x?}");
+        assert!(
+            bytes.windows(needle.len()).any(|w| w == needle),
+            "{bytes:x?}"
+        );
     }
 }

@@ -82,6 +82,7 @@ pub const PAGE: usize = 65536;
 /// Address of a function in the store.
 type FuncAddr = usize;
 
+#[derive(Debug)]
 struct FuncInst {
     ty: FuncType,
     module: usize,
@@ -89,7 +90,7 @@ struct FuncInst {
 }
 
 /// A module instance's view of the store.
-#[derive(Default, Clone)]
+#[derive(Debug, Default, Clone)]
 struct ModuleInst {
     func_addrs: Vec<FuncAddr>,
     global_addrs: Vec<usize>,
@@ -100,7 +101,7 @@ struct ModuleInst {
 
 /// The multi-module store plus a name registry: the host embedding that
 /// RichWasm's lowered modules run in.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct WasmLinker {
     funcs: Vec<FuncInst>,
     globals: Vec<Val>,
@@ -133,7 +134,11 @@ struct Activation {
 impl WasmLinker {
     /// Creates an empty linker.
     pub fn new() -> WasmLinker {
-        WasmLinker { max_call_depth: 2048, max_steps: 500_000_000, ..WasmLinker::default() }
+        WasmLinker {
+            max_call_depth: 2048,
+            max_steps: 500_000_000,
+            ..WasmLinker::default()
+        }
     }
 
     /// Validates and instantiates `module` under `name`, resolving imports
@@ -201,7 +206,11 @@ impl WasmLinker {
         for f in &module.funcs {
             let ty = module.types[f.type_idx as usize].clone();
             let addr = self.funcs.len();
-            self.funcs.push(FuncInst { ty, module: module_idx, def: f.clone() });
+            self.funcs.push(FuncInst {
+                ty,
+                module: module_idx,
+                def: f.clone(),
+            });
             inst.func_addrs.push(addr);
         }
         // Globals.
@@ -334,7 +343,12 @@ impl WasmLinker {
         for l in &def.locals {
             locals.push(Val::zero(*l));
         }
-        let mut act = Activation { module, locals, stack: Vec::new(), depth };
+        let mut act = Activation {
+            module,
+            locals,
+            stack: Vec::new(),
+            depth,
+        };
         match act.exec_seq(self, &def.body)? {
             Flow::Normal | Flow::Return => {}
             Flow::Br(_) => return trap("br escaped function body"),
@@ -357,7 +371,9 @@ impl Activation {
     }
 
     fn pop(&mut self) -> Result<Val, WasmTrap> {
-        self.stack.pop().ok_or_else(|| WasmTrap("value stack underflow".into()))
+        self.stack
+            .pop()
+            .ok_or_else(|| WasmTrap("value stack underflow".into()))
     }
 
     fn pop_i32(&mut self) -> Result<u32, WasmTrap> {
@@ -483,7 +499,10 @@ impl Activation {
                 self.locals[*i as usize] = v;
             }
             LocalTee(i) => {
-                let v = *self.stack.last().ok_or_else(|| WasmTrap("underflow".into()))?;
+                let v = *self
+                    .stack
+                    .last()
+                    .ok_or_else(|| WasmTrap("underflow".into()))?;
                 self.locals[*i as usize] = v;
             }
             GlobalGet(i) => {
@@ -792,7 +811,13 @@ fn t_size(t: ValType) -> usize {
 }
 
 fn ibin(w: Width, op: IBinOp, a: u64, b: u64) -> Result<u64, WasmTrap> {
-    let mask = |v: u64| if matches!(w, Width::W32) { v & 0xFFFF_FFFF } else { v };
+    let mask = |v: u64| {
+        if matches!(w, Width::W32) {
+            v & 0xFFFF_FFFF
+        } else {
+            v
+        }
+    };
     let r = match (w, op) {
         (Width::W32, op) => {
             let (x, y) = (a as u32, b as u32);
@@ -898,10 +923,18 @@ fn irel(w: Width, op: IRelOp, a: u64, b: u64) -> bool {
     };
     match op {
         IRelOp::Eq => {
-            if matches!(w, Width::W32) { (a as u32) == (b as u32) } else { a == b }
+            if matches!(w, Width::W32) {
+                (a as u32) == (b as u32)
+            } else {
+                a == b
+            }
         }
         IRelOp::Ne => {
-            if matches!(w, Width::W32) { (a as u32) != (b as u32) } else { a != b }
+            if matches!(w, Width::W32) {
+                (a as u32) != (b as u32)
+            } else {
+                a != b
+            }
         }
         IRelOp::Lt(s) => cmp(s) == Less,
         IRelOp::Gt(s) => cmp(s) == Greater,

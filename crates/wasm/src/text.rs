@@ -114,7 +114,11 @@ fn write_instr(e: &WInstr, indent: usize, out: &mut String) {
 pub fn render_module(m: &Module) -> String {
     let mut out = String::from("(module\n");
     for im in &m.imports {
-        let _ = writeln!(out, "  (import \"{}\" \"{}\" {:?})", im.module, im.name, im.kind);
+        let _ = writeln!(
+            out,
+            "  (import \"{}\" \"{}\" {:?})",
+            im.module, im.name, im.kind
+        );
     }
     if let Some(p) = m.memory {
         let _ = writeln!(out, "  (memory {p})");
@@ -123,7 +127,11 @@ pub fn render_module(m: &Module) -> String {
         let _ = writeln!(out, "  (table {t} funcref)");
     }
     for (i, g) in m.globals.iter().enumerate() {
-        let _ = writeln!(out, "  (global {i} {} mut={} {:?})", g.ty, g.mutable, g.init);
+        let _ = writeln!(
+            out,
+            "  (global {i} {} mut={} {:?})",
+            g.ty, g.mutable, g.init
+        );
     }
     let n = m.num_func_imports();
     for (i, f) in m.funcs.iter().enumerate() {
@@ -155,15 +163,22 @@ mod tests {
     #[test]
     fn render_smoke() {
         let mut m = Module::default();
-        let t = m.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
+        let t = m.intern_type(FuncType {
+            params: vec![],
+            results: vec![ValType::I32],
+        });
         m.funcs.push(FuncDef {
             type_idx: t,
             locals: vec![ValType::I64],
-            body: vec![
-                WInstr::Block(BlockType::Value(ValType::I32), vec![WInstr::I32Const(1)]),
-            ],
+            body: vec![WInstr::Block(
+                BlockType::Value(ValType::I32),
+                vec![WInstr::I32Const(1)],
+            )],
         });
-        m.exports.push(Export { name: "f".into(), kind: ExportKind::Func(0) });
+        m.exports.push(Export {
+            name: "f".into(),
+            kind: ExportKind::Func(0),
+        });
         let s = render_module(&m);
         assert!(s.contains("block"), "{s}");
         assert!(s.contains("i32.const 1"), "{s}");

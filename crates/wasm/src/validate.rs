@@ -123,7 +123,10 @@ impl<'a> Validator<'a> {
     fn block_type(&self, bt: &BlockType) -> Result<FuncType, ValidationError> {
         Ok(match bt {
             BlockType::Empty => FuncType::default(),
-            BlockType::Value(t) => FuncType { params: vec![], results: vec![*t] },
+            BlockType::Value(t) => FuncType {
+                params: vec![],
+                results: vec![*t],
+            },
             BlockType::Func(i) => self
                 .module
                 .types
@@ -429,7 +432,10 @@ pub fn validate_module(m: &Module) -> Result<(), ValidationError> {
             ImportKind::Table(_) => has_table = true,
             ImportKind::Func(ti) => {
                 if m.types.get(ti as usize).is_none() {
-                    return err(format!("import {}.{}: unknown type {ti}", im.module, im.name));
+                    return err(format!(
+                        "import {}.{}: unknown type {ti}",
+                        im.module, im.name
+                    ));
                 }
             }
         }
@@ -516,8 +522,15 @@ mod tests {
 
     fn module_with(body: Vec<WInstr>, results: Vec<ValType>) -> Module {
         Module {
-            types: vec![FuncType { params: vec![], results }],
-            funcs: vec![FuncDef { type_idx: 0, locals: vec![], body }],
+            types: vec![FuncType {
+                params: vec![],
+                results,
+            }],
+            funcs: vec![FuncDef {
+                type_idx: 0,
+                locals: vec![],
+                body,
+            }],
             ..Module::default()
         }
     }
@@ -544,7 +557,10 @@ mod tests {
 
     #[test]
     fn leftover_values_rejected() {
-        let m = module_with(vec![WInstr::I32Const(1), WInstr::I32Const(2)], vec![ValType::I32]);
+        let m = module_with(
+            vec![WInstr::I32Const(1), WInstr::I32Const(2)],
+            vec![ValType::I32],
+        );
         assert!(validate_module(&m).is_err());
     }
 
@@ -552,8 +568,14 @@ mod tests {
     fn multi_value_block() {
         // block (result i32 i32) … end — the multi-value extension.
         let mut m = Module::default();
-        let bt = m.intern_type(FuncType { params: vec![], results: vec![ValType::I32; 2] });
-        let ft = m.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
+        let bt = m.intern_type(FuncType {
+            params: vec![],
+            results: vec![ValType::I32; 2],
+        });
+        let ft = m.intern_type(FuncType {
+            params: vec![],
+            results: vec![ValType::I32],
+        });
         m.funcs.push(FuncDef {
             type_idx: ft,
             locals: vec![],
@@ -594,13 +616,15 @@ mod tests {
 
     #[test]
     fn memory_instrs_require_memory() {
-        let m = module_with(vec![WInstr::I32Const(0), WInstr::Load(ValType::I32, 0)], vec![
-            ValType::I32,
-        ]);
+        let m = module_with(
+            vec![WInstr::I32Const(0), WInstr::Load(ValType::I32, 0)],
+            vec![ValType::I32],
+        );
         assert!(validate_module(&m).is_err());
-        let mut m2 = module_with(vec![WInstr::I32Const(0), WInstr::Load(ValType::I32, 0)], vec![
-            ValType::I32,
-        ]);
+        let mut m2 = module_with(
+            vec![WInstr::I32Const(0), WInstr::Load(ValType::I32, 0)],
+            vec![ValType::I32],
+        );
         m2.memory = Some(1);
         validate_module(&m2).unwrap();
     }
@@ -608,10 +632,18 @@ mod tests {
     #[test]
     fn immutable_global_set_rejected() {
         let mut m = module_with(vec![WInstr::I32Const(1), WInstr::GlobalSet(0)], vec![]);
-        m.globals.push(GlobalDef { ty: ValType::I32, mutable: false, init: WInstr::I32Const(0) });
+        m.globals.push(GlobalDef {
+            ty: ValType::I32,
+            mutable: false,
+            init: WInstr::I32Const(0),
+        });
         assert!(validate_module(&m).is_err());
         let mut m2 = module_with(vec![WInstr::I32Const(1), WInstr::GlobalSet(0)], vec![]);
-        m2.globals.push(GlobalDef { ty: ValType::I32, mutable: true, init: WInstr::I32Const(0) });
+        m2.globals.push(GlobalDef {
+            ty: ValType::I32,
+            mutable: true,
+            init: WInstr::I32Const(0),
+        });
         validate_module(&m2).unwrap();
     }
 
@@ -619,8 +651,14 @@ mod tests {
     fn loop_label_takes_params() {
         // A loop's label expects its params, not its results.
         let mut m = Module::default();
-        let bt = m.intern_type(FuncType { params: vec![ValType::I32], results: vec![ValType::I32] });
-        let ft = m.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
+        let bt = m.intern_type(FuncType {
+            params: vec![ValType::I32],
+            results: vec![ValType::I32],
+        });
+        let ft = m.intern_type(FuncType {
+            params: vec![],
+            results: vec![ValType::I32],
+        });
         m.funcs.push(FuncDef {
             type_idx: ft,
             locals: vec![],

@@ -4,11 +4,23 @@
 use richwasm_wasm::ast::*;
 use richwasm_wasm::exec::{Val, WasmLinker};
 
-fn one_func(params: Vec<ValType>, results: Vec<ValType>, locals: Vec<ValType>, body: Vec<WInstr>) -> Module {
+fn one_func(
+    params: Vec<ValType>,
+    results: Vec<ValType>,
+    locals: Vec<ValType>,
+    body: Vec<WInstr>,
+) -> Module {
     let mut m = Module::default();
     let t = m.intern_type(FuncType { params, results });
-    m.funcs.push(FuncDef { type_idx: t, locals, body });
-    m.exports.push(Export { name: "f".into(), kind: ExportKind::Func(0) });
+    m.funcs.push(FuncDef {
+        type_idx: t,
+        locals,
+        body,
+    });
+    m.exports.push(Export {
+        name: "f".into(),
+        kind: ExportKind::Func(0),
+    });
     m
 }
 
@@ -24,9 +36,16 @@ fn arithmetic() {
         vec![ValType::I32, ValType::I32],
         vec![ValType::I32],
         vec![],
-        vec![WInstr::LocalGet(0), WInstr::LocalGet(1), WInstr::IBin(Width::W32, IBinOp::Add)],
+        vec![
+            WInstr::LocalGet(0),
+            WInstr::LocalGet(1),
+            WInstr::IBin(Width::W32, IBinOp::Add),
+        ],
     );
-    assert_eq!(run(m, &[Val::I32(2), Val::I32(40)]).unwrap(), vec![Val::I32(42)]);
+    assert_eq!(
+        run(m, &[Val::I32(2), Val::I32(40)]).unwrap(),
+        vec![Val::I32(42)]
+    );
 }
 
 #[test]
@@ -57,7 +76,12 @@ fn factorial_loop() {
         ),
         WInstr::LocalGet(1),
     ];
-    let m = one_func(vec![ValType::I32], vec![ValType::I32], vec![ValType::I32], body);
+    let m = one_func(
+        vec![ValType::I32],
+        vec![ValType::I32],
+        vec![ValType::I32],
+        body,
+    );
     assert_eq!(run(m, &[Val::I32(5)]).unwrap(), vec![Val::I32(120)]);
 }
 
@@ -98,11 +122,7 @@ fn memory_grow() {
         vec![],
         vec![ValType::I32, ValType::I32],
         vec![],
-        vec![
-            WInstr::I32Const(2),
-            WInstr::MemoryGrow,
-            WInstr::MemorySize,
-        ],
+        vec![WInstr::I32Const(2), WInstr::MemoryGrow, WInstr::MemorySize],
     );
     m.memory = Some(1);
     assert_eq!(run(m, &[]).unwrap(), vec![Val::I32(1), Val::I32(3)]);
@@ -123,12 +143,20 @@ fn call_indirect_through_table() {
     m.funcs.push(FuncDef {
         type_idx: binop,
         locals: vec![],
-        body: vec![WInstr::LocalGet(0), WInstr::LocalGet(1), WInstr::IBin(Width::W32, IBinOp::Add)],
+        body: vec![
+            WInstr::LocalGet(0),
+            WInstr::LocalGet(1),
+            WInstr::IBin(Width::W32, IBinOp::Add),
+        ],
     });
     m.funcs.push(FuncDef {
         type_idx: binop,
         locals: vec![],
-        body: vec![WInstr::LocalGet(0), WInstr::LocalGet(1), WInstr::IBin(Width::W32, IBinOp::Mul)],
+        body: vec![
+            WInstr::LocalGet(0),
+            WInstr::LocalGet(1),
+            WInstr::IBin(Width::W32, IBinOp::Mul),
+        ],
     });
     m.funcs.push(FuncDef {
         type_idx: main_t,
@@ -141,12 +169,24 @@ fn call_indirect_through_table() {
         ],
     });
     m.table = Some(2);
-    m.elems.push(ElemSegment { offset: 0, funcs: vec![0, 1] });
-    m.exports.push(Export { name: "f".into(), kind: ExportKind::Func(2) });
+    m.elems.push(ElemSegment {
+        offset: 0,
+        funcs: vec![0, 1],
+    });
+    m.exports.push(Export {
+        name: "f".into(),
+        kind: ExportKind::Func(2),
+    });
     let mut l = WasmLinker::new();
     let i = l.instantiate("m", m).unwrap();
-    assert_eq!(l.invoke(i, "f", &[Val::I32(0)]).unwrap(), vec![Val::I32(13)]);
-    assert_eq!(l.invoke(i, "f", &[Val::I32(1)]).unwrap(), vec![Val::I32(42)]);
+    assert_eq!(
+        l.invoke(i, "f", &[Val::I32(0)]).unwrap(),
+        vec![Val::I32(13)]
+    );
+    assert_eq!(
+        l.invoke(i, "f", &[Val::I32(1)]).unwrap(),
+        vec![Val::I32(42)]
+    );
     let err = l.invoke(i, "f", &[Val::I32(5)]).unwrap_err();
     assert!(err.0.contains("table"), "{err}");
 }
@@ -154,12 +194,25 @@ fn call_indirect_through_table() {
 #[test]
 fn cross_module_import() {
     let mut provider = Module::default();
-    let t = provider.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
-    provider.funcs.push(FuncDef { type_idx: t, locals: vec![], body: vec![WInstr::I32Const(7)] });
-    provider.exports.push(Export { name: "seven".into(), kind: ExportKind::Func(0) });
+    let t = provider.intern_type(FuncType {
+        params: vec![],
+        results: vec![ValType::I32],
+    });
+    provider.funcs.push(FuncDef {
+        type_idx: t,
+        locals: vec![],
+        body: vec![WInstr::I32Const(7)],
+    });
+    provider.exports.push(Export {
+        name: "seven".into(),
+        kind: ExportKind::Func(0),
+    });
 
     let mut client = Module::default();
-    let t7 = client.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
+    let t7 = client.intern_type(FuncType {
+        params: vec![],
+        results: vec![ValType::I32],
+    });
     client.imports.push(Import {
         module: "p".into(),
         name: "seven".into(),
@@ -168,9 +221,16 @@ fn cross_module_import() {
     client.funcs.push(FuncDef {
         type_idx: t7,
         locals: vec![],
-        body: vec![WInstr::Call(0), WInstr::I32Const(6), WInstr::IBin(Width::W32, IBinOp::Mul)],
+        body: vec![
+            WInstr::Call(0),
+            WInstr::I32Const(6),
+            WInstr::IBin(Width::W32, IBinOp::Mul),
+        ],
     });
-    client.exports.push(Export { name: "f".into(), kind: ExportKind::Func(1) });
+    client.exports.push(Export {
+        name: "f".into(),
+        kind: ExportKind::Func(1),
+    });
 
     let mut l = WasmLinker::new();
     l.instantiate("p", provider).unwrap();
@@ -181,12 +241,25 @@ fn cross_module_import() {
 #[test]
 fn import_type_mismatch_rejected() {
     let mut provider = Module::default();
-    let t = provider.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
-    provider.funcs.push(FuncDef { type_idx: t, locals: vec![], body: vec![WInstr::I32Const(7)] });
-    provider.exports.push(Export { name: "seven".into(), kind: ExportKind::Func(0) });
+    let t = provider.intern_type(FuncType {
+        params: vec![],
+        results: vec![ValType::I32],
+    });
+    provider.funcs.push(FuncDef {
+        type_idx: t,
+        locals: vec![],
+        body: vec![WInstr::I32Const(7)],
+    });
+    provider.exports.push(Export {
+        name: "seven".into(),
+        kind: ExportKind::Func(0),
+    });
 
     let mut client = Module::default();
-    let bad = client.intern_type(FuncType { params: vec![], results: vec![ValType::I64] });
+    let bad = client.intern_type(FuncType {
+        params: vec![],
+        results: vec![ValType::I64],
+    });
     client.imports.push(Import {
         module: "p".into(),
         name: "seven".into(),
@@ -205,25 +278,48 @@ fn shared_memory_via_import() {
     // A reads the value back — genuine shared-memory interop at the Wasm
     // level (what RichWasm's type system makes safe one level up).
     let mut a = Module::default();
-    let t = a.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
+    let t = a.intern_type(FuncType {
+        params: vec![],
+        results: vec![ValType::I32],
+    });
     a.memory = Some(1);
     a.funcs.push(FuncDef {
         type_idx: t,
         locals: vec![],
         body: vec![WInstr::I32Const(0), WInstr::Load(ValType::I32, 0)],
     });
-    a.exports.push(Export { name: "read".into(), kind: ExportKind::Func(0) });
-    a.exports.push(Export { name: "mem".into(), kind: ExportKind::Memory(0) });
+    a.exports.push(Export {
+        name: "read".into(),
+        kind: ExportKind::Func(0),
+    });
+    a.exports.push(Export {
+        name: "mem".into(),
+        kind: ExportKind::Memory(0),
+    });
 
     let mut b = Module::default();
-    let t2 = b.intern_type(FuncType { params: vec![ValType::I32], results: vec![] });
-    b.imports.push(Import { module: "a".into(), name: "mem".into(), kind: ImportKind::Memory(1) });
+    let t2 = b.intern_type(FuncType {
+        params: vec![ValType::I32],
+        results: vec![],
+    });
+    b.imports.push(Import {
+        module: "a".into(),
+        name: "mem".into(),
+        kind: ImportKind::Memory(1),
+    });
     b.funcs.push(FuncDef {
         type_idx: t2,
         locals: vec![],
-        body: vec![WInstr::I32Const(0), WInstr::LocalGet(0), WInstr::Store(ValType::I32, 0)],
+        body: vec![
+            WInstr::I32Const(0),
+            WInstr::LocalGet(0),
+            WInstr::Store(ValType::I32, 0),
+        ],
     });
-    b.exports.push(Export { name: "write".into(), kind: ExportKind::Func(0) });
+    b.exports.push(Export {
+        name: "write".into(),
+        kind: ExportKind::Func(0),
+    });
 
     let mut l = WasmLinker::new();
     let ai = l.instantiate("a", a).unwrap();
@@ -235,17 +331,29 @@ fn shared_memory_via_import() {
 #[test]
 fn multi_value_block_runs() {
     let mut m = Module::default();
-    let bt = m.intern_type(FuncType { params: vec![], results: vec![ValType::I32, ValType::I32] });
-    let ft = m.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
+    let bt = m.intern_type(FuncType {
+        params: vec![],
+        results: vec![ValType::I32, ValType::I32],
+    });
+    let ft = m.intern_type(FuncType {
+        params: vec![],
+        results: vec![ValType::I32],
+    });
     m.funcs.push(FuncDef {
         type_idx: ft,
         locals: vec![],
         body: vec![
-            WInstr::Block(BlockType::Func(bt), vec![WInstr::I32Const(40), WInstr::I32Const(2)]),
+            WInstr::Block(
+                BlockType::Func(bt),
+                vec![WInstr::I32Const(40), WInstr::I32Const(2)],
+            ),
             WInstr::IBin(Width::W32, IBinOp::Add),
         ],
     });
-    m.exports.push(Export { name: "f".into(), kind: ExportKind::Func(0) });
+    m.exports.push(Export {
+        name: "f".into(),
+        kind: ExportKind::Func(0),
+    });
     assert_eq!(run(m, &[]).unwrap(), vec![Val::I32(42)]);
 }
 
@@ -259,10 +367,7 @@ fn br_out_of_nested_blocks() {
         vec![WInstr::Block(
             BlockType::Value(ValType::I32),
             vec![
-                WInstr::Block(
-                    BlockType::Empty,
-                    vec![WInstr::I32Const(9), WInstr::Br(1)],
-                ),
+                WInstr::Block(BlockType::Empty, vec![WInstr::I32Const(9), WInstr::Br(1)]),
                 WInstr::I32Const(1),
             ],
         )],
@@ -276,7 +381,11 @@ fn division_by_zero_traps() {
         vec![],
         vec![ValType::I32],
         vec![],
-        vec![WInstr::I32Const(1), WInstr::I32Const(0), WInstr::IBin(Width::W32, IBinOp::Div(Sx::S))],
+        vec![
+            WInstr::I32Const(1),
+            WInstr::I32Const(0),
+            WInstr::IBin(Width::W32, IBinOp::Div(Sx::S)),
+        ],
     );
     let err = run(m, &[]).unwrap_err();
     assert!(err.contains("divide by zero"), "{err}");
@@ -286,16 +395,30 @@ fn division_by_zero_traps() {
 fn start_function_runs_at_instantiation() {
     let mut m = Module::default();
     let t0 = m.intern_type(FuncType::default());
-    let t1 = m.intern_type(FuncType { params: vec![], results: vec![ValType::I32] });
-    m.globals.push(GlobalDef { ty: ValType::I32, mutable: true, init: WInstr::I32Const(0) });
+    let t1 = m.intern_type(FuncType {
+        params: vec![],
+        results: vec![ValType::I32],
+    });
+    m.globals.push(GlobalDef {
+        ty: ValType::I32,
+        mutable: true,
+        init: WInstr::I32Const(0),
+    });
     m.funcs.push(FuncDef {
         type_idx: t0,
         locals: vec![],
         body: vec![WInstr::I32Const(99), WInstr::GlobalSet(0)],
     });
-    m.funcs.push(FuncDef { type_idx: t1, locals: vec![], body: vec![WInstr::GlobalGet(0)] });
+    m.funcs.push(FuncDef {
+        type_idx: t1,
+        locals: vec![],
+        body: vec![WInstr::GlobalGet(0)],
+    });
     m.start = Some(0);
-    m.exports.push(Export { name: "f".into(), kind: ExportKind::Func(1) });
+    m.exports.push(Export {
+        name: "f".into(),
+        kind: ExportKind::Func(1),
+    });
     assert_eq!(run(m, &[]).unwrap(), vec![Val::I32(99)]);
 }
 
@@ -303,7 +426,10 @@ fn start_function_runs_at_instantiation() {
 fn recursion_with_depth_limit() {
     // f(n) = n == 0 ? 0 : f(n-1) + n  (sum 1..n)
     let mut m = Module::default();
-    let t = m.intern_type(FuncType { params: vec![ValType::I32], results: vec![ValType::I32] });
+    let t = m.intern_type(FuncType {
+        params: vec![ValType::I32],
+        results: vec![ValType::I32],
+    });
     m.funcs.push(FuncDef {
         type_idx: t,
         locals: vec![],
@@ -322,10 +448,16 @@ fn recursion_with_depth_limit() {
     });
     // Condition first.
     m.funcs[0].body.insert(0, WInstr::LocalGet(0));
-    m.exports.push(Export { name: "f".into(), kind: ExportKind::Func(0) });
+    m.exports.push(Export {
+        name: "f".into(),
+        kind: ExportKind::Func(0),
+    });
     let mut l = WasmLinker::new();
     let i = l.instantiate("m", m).unwrap();
-    assert_eq!(l.invoke(i, "f", &[Val::I32(100)]).unwrap(), vec![Val::I32(5050)]);
+    assert_eq!(
+        l.invoke(i, "f", &[Val::I32(100)]).unwrap(),
+        vec![Val::I32(5050)]
+    );
     // Exhausting the call depth traps rather than overflowing the host
     // stack.
     l.max_call_depth = 64;

@@ -9,8 +9,13 @@
 use std::fs;
 use std::path::Path;
 
+use richwasm_bench::workloads::{stash_client, stash_module};
+use richwasm_repro::pipeline::Pipeline;
+
 fn count_lines(dir: &Path, code: &mut usize, tests: &mut usize) {
-    let Ok(entries) = fs::read_dir(dir) else { return };
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
     for e in entries.flatten() {
         let p = e.path();
         if p.is_dir() {
@@ -19,7 +24,9 @@ fn count_lines(dir: &Path, code: &mut usize, tests: &mut usize) {
             }
             count_lines(&p, code, tests);
         } else if p.extension().is_some_and(|x| x == "rs") {
-            let Ok(src) = fs::read_to_string(&p) else { continue };
+            let Ok(src) = fs::read_to_string(&p) else {
+                continue;
+            };
             let mut in_tests = false;
             for line in src.lines() {
                 if line.contains("#[cfg(test)]") {
@@ -42,8 +49,14 @@ fn main() {
     println!("Paper: 14k lines of Coq specifications + 52k lines of proofs.");
     println!("Here:  executable Rust, with the proof burden carried by tests.\n");
     let crates = [
-        ("richwasm (core IL: types, checker, interpreter, GC, linker)", "crates/core"),
-        ("richwasm-wasm (Wasm 1.0+multi-value substrate)", "crates/wasm"),
+        (
+            "richwasm (core IL: types, checker, interpreter, GC, linker)",
+            "crates/core",
+        ),
+        (
+            "richwasm-wasm (Wasm 1.0+multi-value substrate)",
+            "crates/wasm",
+        ),
         ("richwasm-lower (RichWasm → Wasm compiler)", "crates/lower"),
         ("richwasm-ml (core ML frontend)", "crates/ml"),
         ("richwasm-l3 (L3 frontend)", "crates/l3"),
@@ -66,16 +79,52 @@ fn main() {
         total_code += code;
         total_tests += tests;
     }
-    println!("{:>62}: {total_code:>6} code, {total_tests:>6} test lines", "TOTAL");
+    println!(
+        "{:>62}: {total_code:>6} code, {total_tests:>6} test lines",
+        "TOTAL"
+    );
     println!("\nExperiment index (see EXPERIMENTS.md):");
     for (id, what, where_) in [
-        ("E1", "Fig. 1/3 unsafe interop statically rejected", "tests/interop.rs"),
-        ("E2", "Fig. 9 counter layout runs over both backends", "tests/counter.rs"),
-        ("E3", "type safety (progress/preservation) as property tests", "tests/soundness.rs"),
-        ("E4", "ML & L3 compilers are type preserving", "crates/{ml,l3} tests"),
-        ("E5", "RichWasm → Wasm erasure agrees end to end", "tests/pipeline.rs"),
+        (
+            "E1",
+            "Fig. 1/3 unsafe interop statically rejected",
+            "tests/interop.rs",
+        ),
+        (
+            "E2",
+            "Fig. 9 counter layout runs over both backends",
+            "tests/counter.rs",
+        ),
+        (
+            "E3",
+            "type safety (progress/preservation) as property tests",
+            "tests/soundness.rs",
+        ),
+        (
+            "E4",
+            "ML & L3 compilers are type preserving",
+            "crates/{ml,l3} tests",
+        ),
+        (
+            "E5",
+            "RichWasm → Wasm erasure agrees end to end",
+            "tests/pipeline.rs",
+        ),
         ("E6", "this inventory", "examples/inventory.rs"),
     ] {
         println!("  {id}: {what:<55} [{where_}]");
+    }
+
+    // And the analogue of the paper's compile-time report: the five-stage
+    // pipeline, timed per stage on the E1 interop scenario.
+    let run = Pipeline::new()
+        .ml("ml", stash_module(false))
+        .l3("l3", stash_client())
+        .entry("l3")
+        .run()
+        .expect("the E1 scenario runs through the full pipeline");
+    println!("\nPipeline stage timings (E1 interop scenario, differential mode):");
+    for (stage, d) in run.program.report.timings.entries() {
+        println!("  {stage:<12} {d:>10.2?}");
     }
 }

@@ -1,17 +1,15 @@
-//! Quickstart: build a RichWasm module by hand, type check it, run it on
-//! the RichWasm interpreter, compile it to WebAssembly, validate and run
-//! the Wasm, and emit standard `.wasm` bytes.
+//! Quickstart: build a RichWasm module by hand, then let the unified
+//! [`Pipeline`] driver do everything else — type check it, run it on the
+//! RichWasm interpreter, compile it to WebAssembly, validate, execute the
+//! Wasm, cross-check the two results, and emit standard `.wasm` bytes.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use richwasm::interp::Runtime;
 use richwasm::syntax::instr::Block;
 use richwasm::syntax::*;
-use richwasm::typecheck::check_module;
-use richwasm_lower::lower_modules;
-use richwasm_wasm::exec::WasmLinker;
+use richwasm_repro::pipeline::Pipeline;
 
 fn main() {
     // A module with one export: allocate a *linear* struct, strongly
@@ -47,39 +45,43 @@ fn main() {
         ..Module::default()
     };
 
-    // 1. Type check (the paper's central artifact).
-    check_module(&module).expect("well-typed");
-    println!("✓ RichWasm type checker accepts the module");
+    // One driver call runs the whole five-stage path in differential
+    // mode: frontend (a no-op for raw RichWasm) → typecheck → lower →
+    // validate → encode → execute on both interpreters + compare.
+    let run = Pipeline::new()
+        .richwasm("quickstart", module)
+        .run()
+        .expect("the module is well-typed and both backends agree");
 
-    // 2. Run on the RichWasm interpreter (paper §3 semantics).
-    let mut rt = Runtime::new();
-    let idx = rt.instantiate("quickstart", module.clone()).unwrap();
-    let out = rt.invoke(idx, "main", vec![]).unwrap();
-    println!("✓ RichWasm interpreter: {} (in {} steps)", out.values[0], out.steps);
+    let interp = run.result.richwasm.as_ref().unwrap();
+    println!("✓ RichWasm type checker accepts the module");
     println!(
-        "  memory: {} allocs, {} frees, {} live",
-        rt.store.mem.allocs,
-        rt.store.mem.frees,
-        rt.store.mem.live()
+        "✓ RichWasm interpreter: {} (in {} steps)",
+        interp.values[0], interp.steps
+    );
+    println!(
+        "✓ Lowered WebAssembly agrees: {}",
+        run.result.wasm.as_ref().unwrap()[0]
     );
 
-    // 3. Compile to WebAssembly (paper §6).
-    let lowered = lower_modules(&[("quickstart".to_string(), module)]).unwrap();
-    let mut linker = WasmLinker::new();
-    let mut main_inst = 0;
-    for (name, wm) in &lowered {
-        richwasm_wasm::validate_module(wm).expect("lowered Wasm validates");
-        let i = linker.instantiate(name, wm.clone()).unwrap();
-        if name == "quickstart" {
-            main_inst = i;
-        }
-    }
-    let wasm_out = linker.invoke(main_inst, "main", &[]).unwrap();
-    println!("✓ Lowered WebAssembly agrees: {}", wasm_out[0]);
+    let mut program = run.program;
+    let mem = &program.runtime().store.mem;
+    println!(
+        "  memory: {} allocs, {} frees, {} live",
+        mem.allocs,
+        mem.frees,
+        mem.live()
+    );
 
-    // 4. Standard binary encoding.
-    for (name, wm) in &lowered {
-        let bytes = richwasm_wasm::binary::encode_module(wm);
-        println!("  {name}.wasm: {} bytes (header {:02x?})", bytes.len(), &bytes[..4]);
+    // Standard binary encoding, produced by the pipeline's encode stage.
+    for (name, bytes) in &program.report.binaries {
+        println!(
+            "  {name}.wasm: {} bytes (header {:02x?})",
+            bytes.len(),
+            &bytes[..4]
+        );
     }
+
+    // Per-stage wall-clock timings.
+    println!("  stages: {}", program.report.timings);
 }

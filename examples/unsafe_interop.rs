@@ -1,65 +1,17 @@
 //! The paper's headline example (Fig. 1 / Fig. 3): ML and L3 sharing
-//! memory, with the unsafe version *statically rejected* and the safe
-//! version running to completion.
+//! memory, with the unsafe version *statically rejected* by the pipeline's
+//! typecheck stage and the safe version running to completion on both
+//! backends.
+//!
+//! The stash module and client are the shared E1 workload builders from
+//! `richwasm_bench::workloads`.
 //!
 //! ```sh
 //! cargo run --example unsafe_interop
 //! ```
 
-use richwasm::interp::Runtime;
-use richwasm::typecheck::check_module;
-use richwasm_l3::{
-    compile_module as compile_l3, translate_ty as l3_ty, L3Expr, L3Fun, L3Import, L3Module, L3Ty,
-};
-use richwasm_ml::{
-    compile_module as compile_ml, MlExpr, MlFun, MlGlobal, MlImport, MlModule, MlTy,
-};
-
-fn lin_ref_l3() -> L3Ty {
-    L3Ty::Ref(Box::new(L3Ty::Int), 64)
-}
-
-fn lin_ref_ml() -> MlTy {
-    MlTy::Foreign(l3_ty(&lin_ref_l3()))
-}
-
-fn ml_module(buggy: bool) -> MlModule {
-    let var = |x: &str| Box::new(MlExpr::Var(x.into()));
-    let stash_body = if buggy {
-        MlExpr::Seq(
-            Box::new(MlExpr::Assign(var("c"), var("r"))),
-            Box::new(MlExpr::Var("r".into())),
-        )
-    } else {
-        MlExpr::Assign(var("c"), var("r"))
-    };
-    MlModule {
-        globals: vec![MlGlobal {
-            name: "c".into(),
-            ty: MlTy::RefToLin(Box::new(lin_ref_ml())),
-            init: MlExpr::NewRefToLin(lin_ref_ml()),
-        }],
-        funs: vec![
-            MlFun {
-                name: "stash".into(),
-                export: true,
-                tyvars: 0,
-                params: vec![("r".into(), lin_ref_ml())],
-                ret: if buggy { lin_ref_ml() } else { MlTy::Unit },
-                body: stash_body,
-            },
-            MlFun {
-                name: "get_stashed".into(),
-                export: true,
-                tyvars: 0,
-                params: vec![("u".into(), MlTy::Unit)],
-                ret: lin_ref_ml(),
-                body: MlExpr::Deref(var("c")),
-            },
-        ],
-        ..MlModule::default()
-    }
-}
+use richwasm_bench::workloads::{stash_client, stash_module};
+use richwasm_repro::pipeline::{Pipeline, Stage};
 
 fn main() {
     println!("=== Fig. 1 / Fig. 3: unsafe interoperability ===\n");
@@ -71,70 +23,42 @@ fn main() {
     println!("    free (split (stash (join (new !42 1))));");
     println!("    free (split (get_stashed ()))                (* double free! *)\n");
 
-    // The buggy ML module: the ML compiler accepts it (it performs no
-    // linearity checking, §5)…
-    let buggy = compile_ml(&ml_module(true)).expect("ML compiles the buggy module");
+    // The buggy ML module: the pipeline's frontend stage accepts it (the
+    // ML compiler performs no linearity checking, §5) — the typecheck
+    // stage is where RichWasm rejects the duplication.
+    let err = Pipeline::new()
+        .ml("ml", stash_module(true))
+        .l3("l3", stash_client())
+        .entry("l3")
+        .run()
+        .expect_err("the double use of a linear value must not type check");
+    assert_eq!(
+        err.stage,
+        Stage::Typecheck,
+        "rejected statically, before anything runs"
+    );
     println!("✓ ML compiler accepts the buggy module (ML does not check linearity)");
-
-    // …but RichWasm rejects it.
-    match check_module(&buggy) {
-        Err(e) => println!("✓ RichWasm type checker REJECTS it:\n    {e}\n"),
-        Ok(_) => unreachable!("the double use of a linear value must not type check"),
-    }
+    println!("✓ RichWasm type checker REJECTS it:\n    {err}\n");
 
     // The corrected version: stash keeps exactly one copy.
     println!("Fixed ML: fun stash (r) = c := r    (* returns unit, no duplication *)\n");
-    let safe = compile_ml(&ml_module(false)).unwrap();
-    check_module(&safe).expect("safe version type checks");
+    let run = Pipeline::new()
+        .ml("ml", stash_module(false))
+        .l3("l3", stash_client())
+        .entry("l3")
+        .run()
+        .expect("safe version type checks, links, and runs on both backends");
     println!("✓ RichWasm type checker accepts the fixed module");
-
-    let client = L3Module {
-        imports: vec![
-            L3Import {
-                module: "ml".into(),
-                name: "stash".into(),
-                params: vec![lin_ref_l3()],
-                ret: L3Ty::Unit,
-            },
-            L3Import {
-                module: "ml".into(),
-                name: "get_stashed".into(),
-                params: vec![L3Ty::Unit],
-                ret: lin_ref_l3(),
-            },
-        ],
-        funs: vec![L3Fun {
-            name: "main".into(),
-            export: true,
-            params: vec![],
-            ret: L3Ty::Int,
-            body: L3Expr::Seq(
-                Box::new(L3Expr::CallTop {
-                    name: "stash".into(),
-                    args: vec![L3Expr::Join(Box::new(L3Expr::New(
-                        Box::new(L3Expr::Int(42)),
-                        64,
-                    )))],
-                }),
-                Box::new(L3Expr::Free(Box::new(L3Expr::CallTop {
-                    name: "get_stashed".into(),
-                    args: vec![L3Expr::Unit],
-                }))),
-            ),
-        }],
-    };
-    let l3 = compile_l3(&client).unwrap();
-
-    let mut rt = Runtime::new();
-    rt.instantiate("ml", safe).unwrap();
-    let c = rt.instantiate("l3", l3).unwrap();
     println!("✓ Typed linker accepts the ML ↔ L3 boundary (types match exactly)");
-    let out = rt.invoke(c, "main", vec![]).unwrap();
+
+    let mut program = run.program;
+    let result = run.result.i32().expect("a single i32 result");
+    let mem = &program.runtime().store.mem;
     println!(
-        "✓ Runs safely: result = {}, linear frees = {}, linear cells live = {}",
-        out.values[0],
-        rt.store.mem.frees,
-        rt.store.mem.lin.len()
+        "✓ Runs safely on both backends: result = {}, linear frees = {}, linear cells live = {}",
+        result,
+        mem.frees,
+        mem.lin.len()
     );
     println!("\nThe L3 value crossed into ML's GC'd heap and back with zero copies —");
     println!("fine-grained shared-memory interop, statically safe (paper §1).");

@@ -4,6 +4,9 @@
 //! can exercise the entire pipeline: source languages (ML, L3) → RichWasm →
 //! WebAssembly.
 
+pub mod pipeline;
+
+pub use pipeline::{Exec, Pipeline, PipelineError, PipelineErrorKind, Stage};
 pub use richwasm;
 pub use richwasm_l3 as l3;
 pub use richwasm_lower as lower;

@@ -8,197 +8,31 @@
 //! The heap layout mirrors Fig. 9: the client state is an unrestricted
 //! (GC'd) cell referencing the linear Counter, which packages mutable
 //! State together with its Config (the increment step).
+//!
+//! The library/client modules live in `richwasm_bench::workloads`
+//! (shared with the E2 bench); every scenario here drives them through
+//! the unified [`Pipeline`].
 
-use richwasm::interp::Runtime;
 use richwasm::syntax::Value;
-use richwasm::typecheck::check_module;
-use richwasm_l3::{compile_module as compile_l3, translate_ty as l3_ty, L3Expr, L3Fun, L3Module, L3Op, L3Ty};
-use richwasm_ml::{compile_module as compile_ml, MlExpr, MlFun, MlGlobal, MlImport, MlModule, MlTy};
-
-/// The counter's contents: (count, step) — state and config in one linear
-/// cell, 128 bits.
-fn counter_l3() -> L3Ty {
-    L3Ty::Ref(
-        Box::new(L3Ty::Prod(Box::new(L3Ty::Int), Box::new(L3Ty::Int))),
-        128,
-    )
-}
-
-fn counter_ml() -> MlTy {
-    MlTy::Foreign(l3_ty(&counter_l3()))
-}
-
-fn v(x: &str) -> Box<L3Expr> {
-    Box::new(L3Expr::Var(x.into()))
-}
-
-/// The linear library (the "graphics library" of §4.2, simplified to a
-/// counter per the paper).
-fn library() -> L3Module {
-    let pair_ty = L3Ty::Prod(Box::new(L3Ty::Int), Box::new(L3Ty::Int));
-    L3Module {
-        funs: vec![
-            // make_counter(step) = join (new (0, step))
-            L3Fun {
-                name: "make_counter".into(),
-                export: true,
-                params: vec![("step".into(), L3Ty::Int)],
-                ret: counter_l3(),
-                body: L3Expr::Join(Box::new(L3Expr::New(
-                    Box::new(L3Expr::Pair(Box::new(L3Expr::Int(0)), v("step"))),
-                    128,
-                ))),
-            },
-            // incr(r): strong-update the cell to (count+step, step).
-            L3Fun {
-                name: "incr".into(),
-                export: true,
-                params: vec![("r".into(), counter_l3())],
-                ret: counter_l3(),
-                body: L3Expr::LetPair(
-                    "p2".into(),
-                    "old".into(),
-                    Box::new(L3Expr::Swap(
-                        Box::new(L3Expr::Split(v("r"))),
-                        Box::new(L3Expr::Pair(
-                            Box::new(L3Expr::Int(0)),
-                            Box::new(L3Expr::Int(0)),
-                        )),
-                    )),
-                    Box::new(L3Expr::LetPair(
-                        "count".into(),
-                        "step".into(),
-                        v("old"),
-                        Box::new(L3Expr::LetPair(
-                            "p3".into(),
-                            "dummy".into(),
-                            Box::new(L3Expr::Swap(
-                                v("p2"),
-                                Box::new(L3Expr::Pair(
-                                    Box::new(L3Expr::Op(L3Op::Add, v("count"), v("step"))),
-                                    v("step"),
-                                )),
-                            )),
-                            Box::new(L3Expr::Seq(v("dummy"), Box::new(L3Expr::Join(v("p3"))))),
-                        )),
-                    )),
-                ),
-            },
-            // finish(r): free the cell, returning the final count.
-            L3Fun {
-                name: "finish".into(),
-                export: true,
-                params: vec![("r".into(), counter_l3())],
-                ret: L3Ty::Int,
-                body: L3Expr::LetPair(
-                    "count".into(),
-                    "step".into(),
-                    Box::new(L3Expr::Free(v("r"))),
-                    Box::new(L3Expr::Seq(v("step"), v("count"))),
-                ),
-            },
-        ],
-        ..L3Module::default()
-    }
-}
-
-/// The GC'd client: hides the linear counter in a `ref_to_lin` cell and
-/// exposes a linearity-free interface.
-fn client() -> MlModule {
-    let var = |x: &str| Box::new(MlExpr::Var(x.into()));
-    MlModule {
-        imports: vec![
-            MlImport {
-                module: "gfx".into(),
-                name: "make_counter".into(),
-                params: vec![MlTy::Int],
-                ret: counter_ml(),
-            },
-            MlImport {
-                module: "gfx".into(),
-                name: "incr".into(),
-                params: vec![counter_ml()],
-                ret: counter_ml(),
-            },
-            MlImport {
-                module: "gfx".into(),
-                name: "finish".into(),
-                params: vec![counter_ml()],
-                ret: MlTy::Int,
-            },
-        ],
-        globals: vec![MlGlobal {
-            name: "slot".into(),
-            ty: MlTy::RefToLin(Box::new(counter_ml())),
-            init: MlExpr::NewRefToLin(counter_ml()),
-        }],
-        funs: vec![
-            // setup(step): slot := make_counter(step)
-            MlFun {
-                name: "setup".into(),
-                export: true,
-                tyvars: 0,
-                params: vec![("step".into(), MlTy::Int)],
-                ret: MlTy::Unit,
-                body: MlExpr::Assign(
-                    var("slot"),
-                    Box::new(MlExpr::CallTop {
-                        name: "make_counter".into(),
-                        tyargs: vec![],
-                        args: vec![MlExpr::Var("step".into())],
-                    }),
-                ),
-            },
-            // bump(): slot := incr(!slot) — no linearity reasoning here.
-            MlFun {
-                name: "bump".into(),
-                export: true,
-                tyvars: 0,
-                params: vec![("u".into(), MlTy::Unit)],
-                ret: MlTy::Unit,
-                body: MlExpr::Assign(
-                    var("slot"),
-                    Box::new(MlExpr::CallTop {
-                        name: "incr".into(),
-                        tyargs: vec![],
-                        args: vec![MlExpr::Deref(var("slot"))],
-                    }),
-                ),
-            },
-            // total(): finish(!slot)
-            MlFun {
-                name: "total".into(),
-                export: true,
-                tyvars: 0,
-                params: vec![("u".into(), MlTy::Unit)],
-                ret: MlTy::Int,
-                body: MlExpr::CallTop {
-                    name: "finish".into(),
-                    tyargs: vec![],
-                    args: vec![MlExpr::Deref(var("slot"))],
-                },
-            },
-        ],
-    }
-}
+use richwasm_bench::workloads::{counter_client, counter_library};
+use richwasm_repro::pipeline::{Pipeline, Stage};
 
 #[test]
 fn counter_scenario_typechecks_and_runs() {
-    let gfx = compile_l3(&library()).unwrap();
-    check_module(&gfx).expect("library type checks");
-    let app = compile_ml(&client()).unwrap();
-    check_module(&app).expect("client type checks");
+    // Differential mode: the counter protocol agrees step for step
+    // between the RichWasm interpreter and the lowered Wasm.
+    let mut prog = Pipeline::new()
+        .l3("gfx", counter_library())
+        .ml("app", counter_client())
+        .build()
+        .expect("library and client compile, type check, lower, and link");
 
-    let mut rt = Runtime::new();
-    rt.instantiate("gfx", gfx).unwrap();
-    let app_i = rt.instantiate("app", app).unwrap();
-
-    rt.invoke(app_i, "setup", vec![Value::i32(5)]).unwrap();
+    prog.invoke("app", "setup", vec![Value::i32(5)]).unwrap();
     for _ in 0..4 {
-        rt.invoke(app_i, "bump", vec![Value::Unit]).unwrap();
+        prog.invoke("app", "bump", vec![Value::Unit]).unwrap();
     }
-    let out = rt.invoke(app_i, "total", vec![Value::Unit]).unwrap();
-    assert_eq!(out.values, vec![Value::i32(20)], "4 bumps × step 5");
+    let out = prog.invoke("app", "total", vec![Value::Unit]).unwrap();
+    assert_eq!(out.i32(), Some(20), "4 bumps × step 5");
 }
 
 #[test]
@@ -207,13 +41,22 @@ fn double_setup_fails_at_runtime_not_memory() {
     // the ref_to_lin discipline turns that into a clean runtime failure
     // (the paper's "fail at runtime" semantics for linking types, §2.2),
     // not a memory-safety violation.
-    let gfx = compile_l3(&library()).unwrap();
-    let app = compile_ml(&client()).unwrap();
-    let mut rt = Runtime::new();
-    rt.instantiate("gfx", gfx).unwrap();
-    let app_i = rt.instantiate("app", app).unwrap();
-    rt.invoke(app_i, "setup", vec![Value::i32(1)]).unwrap();
-    let err = rt.invoke(app_i, "setup", vec![Value::i32(2)]).unwrap_err();
+    let mut prog = Pipeline::new()
+        .l3("gfx", counter_library())
+        .ml("app", counter_client())
+        .interp_only()
+        .build()
+        .unwrap();
+    prog.invoke("app", "setup", vec![Value::i32(1)]).unwrap();
+    let err = prog
+        .invoke("app", "setup", vec![Value::i32(2)])
+        .unwrap_err();
+    assert_eq!(
+        err.stage,
+        Stage::Execute,
+        "a dynamic failure, not a static rejection"
+    );
+    assert!(!err.is_static_rejection());
     assert!(err.to_string().contains("unreachable"), "{err}");
 }
 
@@ -221,15 +64,19 @@ fn double_setup_fails_at_runtime_not_memory() {
 fn counter_keeps_single_linear_cell() {
     // Throughout the client's life there is exactly one linear counter
     // cell (plus the option cell machinery), and `total` frees it.
-    let gfx = compile_l3(&library()).unwrap();
-    let app = compile_ml(&client()).unwrap();
-    let mut rt = Runtime::new();
-    rt.instantiate("gfx", gfx).unwrap();
-    let app_i = rt.instantiate("app", app).unwrap();
-    rt.invoke(app_i, "setup", vec![Value::i32(3)]).unwrap();
-    let frees_before = rt.store.mem.frees;
-    rt.invoke(app_i, "bump", vec![Value::Unit]).unwrap();
-    let out = rt.invoke(app_i, "total", vec![Value::Unit]).unwrap();
-    assert_eq!(out.values, vec![Value::i32(3)]);
-    assert!(rt.store.mem.frees > frees_before, "the counter cell was freed");
+    let mut prog = Pipeline::new()
+        .l3("gfx", counter_library())
+        .ml("app", counter_client())
+        .interp_only()
+        .build()
+        .unwrap();
+    prog.invoke("app", "setup", vec![Value::i32(3)]).unwrap();
+    let frees_before = prog.runtime().store.mem.frees;
+    prog.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    let out = prog.invoke("app", "total", vec![Value::Unit]).unwrap();
+    assert_eq!(out.i32(), Some(3));
+    assert!(
+        prog.runtime().store.mem.frees > frees_before,
+        "the counter cell was freed"
+    );
 }

@@ -10,118 +10,37 @@
 //! free. Compiled naively, RichWasm's checker rejects `stash` because it
 //! duplicates a linear value (§2: "If compiled naively, RichWasm's type
 //! system will first complain…").
+//!
+//! The stash/client modules are the shared E1 workload builders from
+//! `richwasm_bench::workloads`; every path here runs through the unified
+//! [`Pipeline`] driver.
 
-use richwasm::interp::Runtime;
-use richwasm::syntax::Value;
-use richwasm::typecheck::check_module;
 use richwasm::TypeError;
-use richwasm_l3::{compile_module as compile_l3, translate_ty as l3_ty, L3Expr, L3Fun, L3Import, L3Module, L3Ty};
-use richwasm_ml::{compile_module as compile_ml, MlExpr, MlFun, MlGlobal, MlImport, MlModule, MlTy};
-
-/// The boundary type: L3's linear reference to an int cell, seen by ML as
-/// the foreign linking type `(Ref Int)lin`.
-fn lin_ref_l3() -> L3Ty {
-    L3Ty::Ref(Box::new(L3Ty::Int), 64)
-}
-
-fn lin_ref_ml() -> MlTy {
-    MlTy::Foreign(l3_ty(&lin_ref_l3()))
-}
-
-fn var(x: &str) -> Box<MlExpr> {
-    Box::new(MlExpr::Var(x.into()))
-}
-
-/// The ML module of Fig. 3. When `buggy`, `stash` returns the reference
-/// it has also stored — a duplication of a linear value.
-fn ml_module(buggy: bool) -> MlModule {
-    let stash_body = if buggy {
-        // c := r; r  — uses the linear `r` twice.
-        MlExpr::Seq(
-            Box::new(MlExpr::Assign(var("c"), var("r"))),
-            Box::new(MlExpr::Var("r".into())),
-        )
-    } else {
-        // c := r  — the fixed version keeps exactly one copy.
-        MlExpr::Assign(var("c"), var("r"))
-    };
-    let stash_ret = if buggy { lin_ref_ml() } else { MlTy::Unit };
-    MlModule {
-        globals: vec![MlGlobal {
-            name: "c".into(),
-            ty: MlTy::RefToLin(Box::new(lin_ref_ml())),
-            init: MlExpr::NewRefToLin(lin_ref_ml()),
-        }],
-        funs: vec![
-            MlFun {
-                name: "stash".into(),
-                export: true,
-                tyvars: 0,
-                params: vec![("r".into(), lin_ref_ml())],
-                ret: stash_ret,
-                body: stash_body,
-            },
-            MlFun {
-                name: "get_stashed".into(),
-                export: true,
-                tyvars: 0,
-                params: vec![("u".into(), MlTy::Unit)],
-                ret: lin_ref_ml(),
-                body: MlExpr::Deref(var("c")),
-            },
-        ],
-        ..MlModule::default()
-    }
-}
-
-/// The safe L3 client: stores a fresh cell with `stash`, retrieves it with
-/// `get_stashed`, frees it exactly once.
-fn l3_client() -> L3Module {
-    L3Module {
-        imports: vec![
-            L3Import {
-                module: "ml".into(),
-                name: "stash".into(),
-                params: vec![lin_ref_l3()],
-                ret: L3Ty::Unit,
-            },
-            L3Import {
-                module: "ml".into(),
-                name: "get_stashed".into(),
-                params: vec![L3Ty::Unit],
-                ret: lin_ref_l3(),
-            },
-        ],
-        funs: vec![L3Fun {
-            name: "main".into(),
-            export: true,
-            params: vec![],
-            ret: L3Ty::Int,
-            body: L3Expr::Seq(
-                Box::new(L3Expr::CallTop {
-                    name: "stash".into(),
-                    args: vec![L3Expr::Join(Box::new(L3Expr::New(
-                        Box::new(L3Expr::Int(42)),
-                        64,
-                    )))],
-                }),
-                Box::new(L3Expr::Free(Box::new(L3Expr::CallTop {
-                    name: "get_stashed".into(),
-                    args: vec![L3Expr::Unit],
-                }))),
-            ),
-        }],
-    }
-}
+use richwasm_bench::workloads::{lin_ref_l3, stash_client, stash_module};
+use richwasm_l3::{L3Expr, L3Fun, L3Import, L3Module};
+use richwasm_repro::pipeline::{Pipeline, PipelineErrorKind, Stage};
 
 #[test]
 fn fig1_buggy_stash_is_rejected_by_richwasm() {
     // The ML compiler itself accepts the buggy program (it does not check
-    // linearity, §5)…
-    let rw = compile_ml(&ml_module(true)).expect("ML compiles the buggy program");
-    // …but the RichWasm type checker rejects it: `stash` duplicates the
-    // linear reference.
-    let err = check_module(&rw).expect_err("RichWasm must reject the duplication");
+    // linearity, §5) — so the pipeline's frontend stage succeeds — but
+    // the RichWasm type checker rejects it: `stash` duplicates the linear
+    // reference.
+    let err = Pipeline::new()
+        .ml("ml", stash_module(true))
+        .build()
+        .expect_err("RichWasm must reject the duplication");
+    assert_eq!(
+        err.stage,
+        Stage::Typecheck,
+        "rejected statically, before any execution"
+    );
+    assert_eq!(
+        err.module.as_deref(),
+        Some("ml"),
+        "the diagnostic names the source module"
+    );
+    assert!(err.is_static_rejection());
     let msg = err.to_string();
     assert!(
         msg.contains("lin") || msg.contains("unit"),
@@ -131,21 +50,20 @@ fn fig1_buggy_stash_is_rejected_by_richwasm() {
 
 #[test]
 fn fig3_safe_version_links_and_runs() {
-    let ml = compile_ml(&ml_module(false)).unwrap();
-    check_module(&ml).expect("safe ML module type checks");
-    let l3 = compile_l3(&l3_client()).unwrap();
-    check_module(&l3).expect("L3 client type checks");
-
-    let mut rt = Runtime::new();
-    rt.instantiate("ml", ml).expect("ml instantiates");
-    let client = rt.instantiate("l3", l3).expect("client links against ml");
-    let out = rt.invoke(client, "main", vec![]).expect("runs without traps");
-    assert_eq!(out.values, vec![Value::i32(42)]);
+    // Differential mode: the safe version also agrees with its lowering.
+    let run = Pipeline::new()
+        .ml("ml", stash_module(false))
+        .l3("l3", stash_client())
+        .entry("l3")
+        .run()
+        .expect("safe version type checks, links, and runs on both backends");
+    assert_eq!(run.result.i32(), Some(42));
     // No double free, no leak: the counter cell, the stash's initial
     // empty option, and the full option are each freed exactly once; the
     // only linear cell still alive is the empty option `get_stashed`
     // swapped in.
-    let mem = &rt.store.mem;
+    let mut program = run.program;
+    let mem = &program.runtime().store.mem;
     assert_eq!(mem.frees, 3, "counter + initial empty option + full option");
     assert_eq!(
         mem.lin.len(),
@@ -156,13 +74,12 @@ fn fig3_safe_version_links_and_runs() {
 
 #[test]
 fn double_free_attempt_traps_at_runtime_without_types() {
-    // For contrast with static checking: replay the double free *in the
-    // untyped interpreter* (checking disabled) — the linear memory
-    // discipline catches it dynamically, like MSWasm's dynamic
-    // capabilities (§7), but only *after* the fault exists.
-    let ml = compile_ml(&ml_module(true)).unwrap();
+    // For contrast with static checking: replay the double free *with the
+    // type checker disabled* — the linear memory discipline catches it
+    // dynamically, like MSWasm's dynamic capabilities (§7), but only
+    // *after* the fault exists.
     let l3_bad = {
-        let mut c = l3_client();
+        let mut c = stash_client();
         // The buggy client frees the returned reference too.
         c.imports[0].ret = lin_ref_l3();
         c.funs[0].body = L3Expr::Seq(
@@ -180,59 +97,32 @@ fn double_free_attempt_traps_at_runtime_without_types() {
         );
         c
     };
-    let l3 = compile_l3(&l3_bad).unwrap();
-    let mut rt = Runtime::new();
-    rt.config.check_modules = false; // simulate a world without RichWasm types
-    rt.instantiate("ml", ml).unwrap();
-    let client = rt.instantiate("l3", l3).unwrap();
-    let err = rt.invoke(client, "main", vec![]).unwrap_err();
+    let mut prog = Pipeline::new()
+        .ml("ml", stash_module(true))
+        .l3("l3", l3_bad)
+        .typecheck(false) // simulate a world without RichWasm types
+        .interp_only()
+        .build()
+        .expect("without the checker, the faulty program links fine");
+    let err = prog.invoke("l3", "main", vec![]).unwrap_err();
+    assert_eq!(err.stage, Stage::Execute);
     // Without static checking the fault still *manifests* — but only
     // dynamically, either as a memory trap or as a stuck configuration
     // (the type-safety contract is broken, so progress fails). The typed
     // pipeline rejects the same program before it can run at all.
     let msg = err.to_string();
     assert!(
-        msg.contains("double free")
-            || msg.contains("use after free")
-            || msg.contains("stuck"),
+        msg.contains("double free") || msg.contains("use after free") || msg.contains("stuck"),
         "the memory fault shows up only dynamically: {msg}"
     );
 }
 
 #[test]
 fn lying_about_the_boundary_type_is_a_link_error() {
-    // The client declares stash's parameter as an *unrestricted*
-    // reference: the typed linker refuses (the FFI safety choke point).
-    let ml = compile_ml(&ml_module(false)).unwrap();
-    let mut client = l3_client();
-    client.imports[0].params = vec![L3Ty::Foreign(richwasm::syntax::Pretype::ExistsLoc(
-        Box::new(
-            richwasm::syntax::Pretype::Ref(
-                richwasm::syntax::MemPriv::ReadWrite,
-                richwasm::syntax::Loc::Var(0),
-                richwasm::syntax::HeapType::Struct(vec![(
-                    richwasm::syntax::Type::num(richwasm::syntax::NumType::I32),
-                    richwasm::syntax::Size::Const(64),
-                )]),
-            )
-            .unr(),
-        ),
-    )
-    .unr())];
-    // (The L3 compiler happily produces the import declaration; the
-    // boundary check fires at link time.)
-    let l3m = {
-        let mut m = client.clone();
-        // Make the body consistent with the (wrong) declared type so the
-        // L3 compiler does not reject it first: just call get_stashed.
-        m.funs[0].body = L3Expr::Free(Box::new(L3Expr::CallTop {
-            name: "get_stashed".into(),
-            args: vec![L3Expr::Unit],
-        }));
-        m.imports.remove(0);
-        m
-    };
-    let _ = l3m;
+    // The client declares stash's parameter as an *unrestricted* i32: the
+    // typed linker refuses (the FFI safety choke point). The lying import
+    // is expressed directly in RichWasm — the pipeline accepts raw
+    // RichWasm modules alongside frontend sources.
     let bad_import = richwasm::syntax::Func::Imported {
         exports: vec![],
         module: "ml".into(),
@@ -247,10 +137,25 @@ fn lying_about_the_boundary_type_is_a_link_error() {
         funcs: vec![bad_import],
         ..richwasm::syntax::Module::default()
     };
-    let mut rt = Runtime::new();
-    rt.instantiate("ml", ml).unwrap();
-    let err = rt.instantiate("client", bad_module).unwrap_err();
-    assert!(matches!(err, TypeError::LinkError { .. }), "{err}");
+    let err = Pipeline::new()
+        .ml("ml", stash_module(false))
+        .richwasm("client", bad_module)
+        .interp_only()
+        .build()
+        .expect_err("the typed linker must reject the lie");
+    assert_eq!(
+        err.stage,
+        Stage::Instantiate,
+        "caught at link time, not check time"
+    );
+    assert_eq!(err.module.as_deref(), Some("client"));
+    assert!(
+        matches!(
+            err.kind,
+            PipelineErrorKind::Type(TypeError::LinkError { .. })
+        ),
+        "{err}"
+    );
 }
 
 #[test]
@@ -258,19 +163,18 @@ fn stashing_linear_memory_in_gc_memory_is_collected_via_finalizer() {
     // §3's ownership story: if the stash cell (GC'd memory) holding the
     // linear reference becomes unreachable, the collector finalizes the
     // linear cell it owns.
-    let ml = compile_ml(&ml_module(false)).unwrap();
-    let l3 = compile_l3(&L3Module {
+    let l3 = L3Module {
         imports: vec![L3Import {
             module: "ml".into(),
             name: "stash".into(),
             params: vec![lin_ref_l3()],
-            ret: L3Ty::Unit,
+            ret: richwasm_l3::L3Ty::Unit,
         }],
         funs: vec![L3Fun {
             name: "main".into(),
             export: true,
             params: vec![],
-            ret: L3Ty::Int,
+            ret: richwasm_l3::L3Ty::Int,
             body: L3Expr::Seq(
                 Box::new(L3Expr::CallTop {
                     name: "stash".into(),
@@ -282,12 +186,15 @@ fn stashing_linear_memory_in_gc_memory_is_collected_via_finalizer() {
                 Box::new(L3Expr::Int(0)),
             ),
         }],
-    })
-    .unwrap();
-    let mut rt = Runtime::new();
-    rt.instantiate("ml", ml).unwrap();
-    let client = rt.instantiate("l3", l3).unwrap();
-    rt.invoke(client, "main", vec![]).unwrap();
+    };
+    let mut prog = Pipeline::new()
+        .ml("ml", stash_module(false))
+        .l3("l3", l3)
+        .interp_only()
+        .build()
+        .unwrap();
+    prog.invoke("l3", "main", vec![]).unwrap();
+    let rt = prog.runtime();
     let live_lin_before = rt.store.mem.lin.len();
     assert!(live_lin_before >= 1, "the stashed linear cell is alive");
     // The stash is still rooted through the module's global, so a GC

@@ -3,48 +3,16 @@
 //! by our from-scratch Wasm validator, executed on our Wasm interpreter —
 //! agrees with the RichWasm interpreter, and the lowered modules encode to
 //! the standard binary format.
+//!
+//! All scenarios go through the unified [`Pipeline`] driver in its default
+//! differential mode, so backend agreement is checked on every invocation
+//! rather than hand-wired per test.
 
-use richwasm::interp::Runtime;
 use richwasm::syntax::Value;
-use richwasm_l3::{compile_module as compile_l3, L3Expr, L3Fun, L3Module, L3Op, L3Ty};
-use richwasm_lower::lower_modules;
-use richwasm_ml::{compile_module as compile_ml, MlBinop, MlExpr, MlFun, MlModule, MlTy};
-use richwasm_wasm::exec::{Val, WasmLinker};
-use richwasm_wasm::validate_module;
-
-fn run_both(modules: Vec<(&str, richwasm::syntax::Module)>, main_mod: &str) -> (i32, i32) {
-    // RichWasm interpreter.
-    let mut rt = Runtime::new();
-    let mut main_idx = 0;
-    for (name, m) in &modules {
-        let i = rt.instantiate(name, m.clone()).expect("richwasm instantiation");
-        if name == &main_mod {
-            main_idx = i;
-        }
-    }
-    let direct = rt.invoke(main_idx, "main", vec![]).expect("richwasm run");
-    let Value::Num(_, bits) = direct.values[0] else { panic!("non-numeric result") };
-
-    // Lowered pipeline.
-    let named: Vec<(String, richwasm::syntax::Module)> =
-        modules.into_iter().map(|(n, m)| (n.to_string(), m)).collect();
-    let lowered = lower_modules(&named).expect("lowering");
-    let mut linker = WasmLinker::new();
-    let mut wasm_main = 0;
-    for (name, wm) in &lowered {
-        validate_module(wm).expect("lowered module validates");
-        // Also exercise the standard binary encoding.
-        let bytes = richwasm_wasm::binary::encode_module(wm);
-        assert_eq!(&bytes[..4], b"\0asm");
-        let i = linker.instantiate(name, wm.clone()).expect("wasm instantiation");
-        if name == main_mod {
-            wasm_main = i;
-        }
-    }
-    let out = linker.invoke(wasm_main, "main", &[]).expect("wasm run");
-    let Val::I32(w) = out[0] else { panic!("non-i32 wasm result") };
-    (bits as u32 as i32, w as i32)
-}
+use richwasm_bench::workloads;
+use richwasm_l3::{L3Expr, L3Fun, L3Module, L3Op, L3Ty};
+use richwasm_ml::{MlBinop, MlExpr, MlFun, MlModule, MlTy};
+use richwasm_repro::pipeline::{Exec, Pipeline, Stage};
 
 #[test]
 fn ml_program_through_full_pipeline() {
@@ -89,10 +57,10 @@ fn ml_program_through_full_pipeline() {
         }],
         ..MlModule::default()
     };
-    let rw = compile_ml(&m).unwrap();
-    let (a, b) = run_both(vec![("m", rw)], "m");
-    assert_eq!(a, 42);
-    assert_eq!(b, 42, "RichWasm and lowered Wasm agree");
+    // Differential mode: the driver itself checks that the RichWasm
+    // interpreter and the lowered Wasm agree.
+    let run = Pipeline::new().ml("m", m).run().expect("full pipeline");
+    assert_eq!(run.result.i32(), Some(42));
 }
 
 #[test]
@@ -121,10 +89,8 @@ fn l3_program_through_full_pipeline() {
         }],
         ..L3Module::default()
     };
-    let rw = compile_l3(&m).unwrap();
-    let (a, b) = run_both(vec![("m", rw)], "m");
-    assert_eq!(a, 42);
-    assert_eq!(b, 42);
+    let run = Pipeline::new().l3("m", m).run().expect("full pipeline");
+    assert_eq!(run.result.i32(), Some(42));
 }
 
 #[test]
@@ -132,85 +98,175 @@ fn cross_language_interop_through_wasm() {
     // The Fig. 3 safe scenario, but the whole thing lowered to Wasm: the
     // ML stash module and the L3 client share one Wasm memory managed by
     // the generated allocator runtime.
-    use richwasm_l3::{translate_ty as l3_ty, L3Import};
-    use richwasm_ml::MlGlobal;
-    let lin_ref_l3 = L3Ty::Ref(Box::new(L3Ty::Int), 64);
-    let lin_ref_ml = MlTy::Foreign(l3_ty(&lin_ref_l3));
-    let var = |x: &str| Box::new(MlExpr::Var(x.into()));
+    let run = Pipeline::new()
+        .ml("ml", workloads::stash_module(false))
+        .l3("l3", workloads::stash_client())
+        .entry("l3")
+        .run()
+        .expect("full pipeline");
+    assert_eq!(
+        run.result.i32(),
+        Some(42),
+        "shared-memory interop agrees across both backends"
+    );
+}
 
-    let ml = MlModule {
-        globals: vec![MlGlobal {
-            name: "c".into(),
-            ty: MlTy::RefToLin(Box::new(lin_ref_ml.clone())),
-            init: MlExpr::NewRefToLin(lin_ref_ml.clone()),
-        }],
+/// The E1 stash scenario with the *ML* module hosting `main`: ML imports
+/// the linear cell operations from an L3 library, stashes a fresh cell in
+/// its GC'd state, retrieves it, and hands it back to L3 for disposal.
+fn e1_ml_main_modules() -> (L3Module, MlModule) {
+    use richwasm_l3::translate_ty as l3_ty;
+    use richwasm_ml::MlImport;
+    let lin_l3 = workloads::lin_ref_l3();
+    let lin_ml = MlTy::Foreign(l3_ty(&lin_l3));
+    let cells = L3Module {
         funs: vec![
-            MlFun {
-                name: "stash".into(),
+            L3Fun {
+                name: "make".into(),
                 export: true,
-                tyvars: 0,
-                params: vec![("r".into(), lin_ref_ml.clone())],
-                ret: MlTy::Unit,
-                body: MlExpr::Assign(var("c"), var("r")),
+                params: vec![("v".into(), L3Ty::Int)],
+                ret: lin_l3.clone(),
+                body: L3Expr::Join(Box::new(L3Expr::New(Box::new(L3Expr::Var("v".into())), 64))),
             },
-            MlFun {
-                name: "get_stashed".into(),
+            L3Fun {
+                name: "destroy".into(),
                 export: true,
-                tyvars: 0,
-                params: vec![("u".into(), MlTy::Unit)],
-                ret: lin_ref_ml.clone(),
-                body: MlExpr::Deref(var("c")),
+                params: vec![("r".into(), lin_l3.clone())],
+                ret: L3Ty::Int,
+                body: L3Expr::Free(Box::new(L3Expr::Var("r".into()))),
             },
         ],
-        ..MlModule::default()
+        ..L3Module::default()
     };
-    let l3 = L3Module {
-        imports: vec![
-            L3Import {
-                module: "ml".into(),
+    let mut ml = workloads::stash_module(false);
+    ml.imports = vec![
+        MlImport {
+            module: "cells".into(),
+            name: "make".into(),
+            params: vec![MlTy::Int],
+            ret: lin_ml.clone(),
+        },
+        MlImport {
+            module: "cells".into(),
+            name: "destroy".into(),
+            params: vec![lin_ml],
+            ret: MlTy::Int,
+        },
+    ];
+    ml.funs.push(richwasm_ml::MlFun {
+        name: "main".into(),
+        export: true,
+        tyvars: 0,
+        params: vec![],
+        ret: MlTy::Int,
+        body: MlExpr::Seq(
+            Box::new(MlExpr::CallTop {
                 name: "stash".into(),
-                params: vec![lin_ref_l3.clone()],
-                ret: L3Ty::Unit,
-            },
-            L3Import {
-                module: "ml".into(),
-                name: "get_stashed".into(),
-                params: vec![L3Ty::Unit],
-                ret: lin_ref_l3.clone(),
-            },
-        ],
-        funs: vec![L3Fun {
-            name: "main".into(),
-            export: true,
-            params: vec![],
-            ret: L3Ty::Int,
-            body: L3Expr::Seq(
-                Box::new(L3Expr::CallTop {
-                    name: "stash".into(),
-                    args: vec![L3Expr::Join(Box::new(L3Expr::New(
-                        Box::new(L3Expr::Int(42)),
-                        64,
-                    )))],
-                }),
-                Box::new(L3Expr::Free(Box::new(L3Expr::CallTop {
+                tyargs: vec![],
+                args: vec![MlExpr::CallTop {
+                    name: "make".into(),
+                    tyargs: vec![],
+                    args: vec![MlExpr::Int(42)],
+                }],
+            }),
+            Box::new(MlExpr::CallTop {
+                name: "destroy".into(),
+                tyargs: vec![],
+                args: vec![MlExpr::CallTop {
                     name: "get_stashed".into(),
-                    args: vec![L3Expr::Unit],
-                }))),
-            ),
-        }],
-    };
-    let rw_ml = compile_ml(&ml).unwrap();
-    let rw_l3 = compile_l3(&l3).unwrap();
-    let (a, b) = run_both(vec![("ml", rw_ml), ("l3", rw_l3)], "l3");
-    assert_eq!(a, 42);
-    assert_eq!(b, 42, "shared-memory interop agrees across both backends");
+                    tyargs: vec![],
+                    args: vec![MlExpr::Unit],
+                }],
+            }),
+        ),
+    });
+    (cells, ml)
+}
+
+#[test]
+fn pipeline_round_trip_binaries_validate_and_agree() {
+    // The satellite round-trip check: every lowered module (including the
+    // generated allocator runtime) encodes to standard `.wasm` bytes, and
+    // differential mode agrees on the E1 interop scenario regardless of
+    // which language hosts `main`.
+    //
+    // ML-main ordering: L3 provides the linear cells, ML stashes and
+    // drives.
+    let (cells, ml) = e1_ml_main_modules();
+    let run = Pipeline::new()
+        .l3("cells", cells)
+        .ml("ml", ml)
+        .entry("ml")
+        .run()
+        .expect("ML-main ordering agrees");
+    assert_eq!(run.result.i32(), Some(42));
+    for (name, bytes) in &run.program.report.binaries {
+        assert_eq!(&bytes[..4], b"\0asm", "{name} is standard Wasm");
+        assert_eq!(&bytes[4..8], &[1, 0, 0, 0], "{name} has version 1");
+    }
+
+    // The Fig. 9 counter, exercised invocation by invocation.
+    let lib = workloads::counter_library();
+    let client = workloads::counter_client();
+    let mut prog = Pipeline::new()
+        .l3("gfx", lib)
+        .ml("app", client)
+        .build()
+        .expect("counter scenario builds");
+    assert!(!prog.report.binaries.is_empty(), "encode stage ran");
+    for (name, bytes) in &prog.report.binaries {
+        assert_eq!(&bytes[..4], b"\0asm", "{name} is standard Wasm");
+        assert_eq!(&bytes[4..8], &[1, 0, 0, 0], "{name} has version 1");
+    }
+    prog.invoke("app", "setup", vec![Value::i32(21)])
+        .expect("setup agrees");
+    prog.invoke("app", "bump", vec![Value::Unit])
+        .expect("bump agrees");
+    let total = prog
+        .invoke("app", "total", vec![Value::Unit])
+        .expect("total agrees");
+    assert_eq!(total.i32(), Some(21));
+
+    // L3-main ordering: ML provides the stash, the L3 client drives.
+    let run = Pipeline::new()
+        .ml("ml", workloads::stash_module(false))
+        .l3("l3", workloads::stash_client())
+        .entry("l3")
+        .run()
+        .expect("L3-main ordering agrees");
+    assert_eq!(run.result.i32(), Some(42));
+    let ml_binaries = &run.program.report.binaries;
+    assert!(
+        ml_binaries.iter().all(|(_, b)| b.starts_with(b"\0asm")),
+        "all binaries carry the Wasm magic"
+    );
+
+    // Per-stage timings cover the whole five-stage path.
+    for stage in [
+        Stage::Frontend,
+        Stage::Typecheck,
+        Stage::Lower,
+        Stage::Validate,
+        Stage::Encode,
+    ] {
+        assert!(
+            run.program
+                .report
+                .timings
+                .entries()
+                .iter()
+                .any(|(s, _)| *s == stage),
+            "stage {stage} was timed"
+        );
+    }
 }
 
 #[test]
 fn lowered_allocator_reclaims_memory() {
     // The generated free-list allocator actually reclaims: run a loop of
     // alloc/free cycles through the lowered pipeline and check the live
-    // counter returns to its baseline.
+    // counter returns to its baseline. Wasm-only mode: the allocator is an
+    // artifact of lowering, so there is nothing to compare against.
     let v = |x: &str| Box::new(L3Expr::Var(x.into()));
     let m = L3Module {
         funs: vec![
@@ -230,32 +286,29 @@ fn lowered_allocator_reclaims_memory() {
                 export: true,
                 params: vec![],
                 ret: L3Ty::Int,
-                body: L3Expr::CallTop { name: "cycle".into(), args: vec![L3Expr::Int(42)] },
+                body: L3Expr::CallTop {
+                    name: "cycle".into(),
+                    args: vec![L3Expr::Int(42)],
+                },
             },
         ],
         ..L3Module::default()
     };
-    let rw = compile_l3(&m).unwrap();
-    let lowered = lower_modules(&[("m".to_string(), rw)]).unwrap();
-    let mut linker = WasmLinker::new();
-    let mut rt_i = 0;
-    let mut m_i = 0;
-    for (name, wm) in &lowered {
-        let i = linker.instantiate(name, wm.clone()).unwrap();
-        if name == "rw_runtime" {
-            rt_i = i;
-        } else {
-            m_i = i;
-        }
-    }
+    let mut prog = Pipeline::new()
+        .l3("m", m)
+        .exec(Exec::Wasm)
+        .build()
+        .expect("wasm-only build");
     for k in 0..100 {
-        assert_eq!(
-            linker.invoke(m_i, "cycle", &[Val::I32(k)]).unwrap(),
-            vec![Val::I32(k)]
-        );
+        let out = prog.invoke("m", "cycle", vec![Value::i32(k)]).unwrap();
+        assert_eq!(out.i32(), Some(k));
     }
-    let live = linker.invoke(rt_i, "live", &[]).unwrap();
-    assert_eq!(live, vec![Val::I32(0)], "every allocation was returned to the free list");
+    let live = prog.invoke("rw_runtime", "live", vec![]).unwrap();
+    assert_eq!(
+        live.i32(),
+        Some(0),
+        "every allocation was returned to the free list"
+    );
 }
 
 #[test]
@@ -305,32 +358,30 @@ fn polymorphic_call_chains_through_wasm() {
             }),
         ),
     };
-    let m = MlModule { funs: vec![id1, id2, main], ..MlModule::default() };
-    let rw = compile_ml(&m).unwrap();
-    let (a, b) = run_both(vec![("m", rw)], "m");
-    assert_eq!(a, 42);
-    assert_eq!(b, 42);
+    let m = MlModule {
+        funs: vec![id1, id2, main],
+        ..MlModule::default()
+    };
+    let run = Pipeline::new().ml("m", m).run().expect("full pipeline");
+    assert_eq!(run.result.i32(), Some(42));
 }
 
 #[test]
 fn gc_under_pressure_in_counter_scenario() {
     // Run the Fig. 9 counter with the collector firing every few steps:
-    // results unchanged, and dead option cells get reclaimed.
-    use richwasm_l3::compile_module as compile_l3_mod;
-    use richwasm_ml::compile_module as compile_ml_mod;
-    let gfx = compile_l3_mod(&richwasm_bench_workloads::counter_library()).unwrap();
-    let app = compile_ml_mod(&richwasm_bench_workloads::counter_client()).unwrap();
-    let mut rt = Runtime::new();
-    rt.config.auto_gc_every = Some(7);
-    rt.instantiate("gfx", gfx).unwrap();
-    let app_i = rt.instantiate("app", app).unwrap();
-    rt.invoke(app_i, "setup", vec![Value::i32(2)]).unwrap();
+    // results unchanged, and dead option cells get reclaimed. Interp-only:
+    // the GC is a RichWasm-interpreter feature.
+    let mut prog = Pipeline::new()
+        .l3("gfx", workloads::counter_library())
+        .ml("app", workloads::counter_client())
+        .interp_only()
+        .auto_gc_every(7)
+        .build()
+        .expect("counter builds");
+    prog.invoke("app", "setup", vec![Value::i32(2)]).unwrap();
     for _ in 0..10 {
-        rt.invoke(app_i, "bump", vec![Value::Unit]).unwrap();
+        prog.invoke("app", "bump", vec![Value::Unit]).unwrap();
     }
-    let out = rt.invoke(app_i, "total", vec![Value::Unit]).unwrap();
-    assert_eq!(out.values, vec![Value::i32(20)]);
+    let out = prog.invoke("app", "total", vec![Value::Unit]).unwrap();
+    assert_eq!(out.i32(), Some(20));
 }
-
-// The bench crate's workload builders are reused for the GC pressure test.
-use richwasm_bench::workloads as richwasm_bench_workloads;

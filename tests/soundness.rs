@@ -10,16 +10,13 @@
 //! * **Memory safety**: every linear allocation is freed at most once and
 //!   use-after-free cannot occur silently (the interpreter would trap).
 //! * **Erasure correctness** (§6): the lowered Wasm agrees with the
-//!   RichWasm semantics on every generated program.
+//!   RichWasm semantics on every generated program — checked by the
+//!   [`Pipeline`] driver's differential mode.
 
 use proptest::prelude::*;
 use richwasm::error::RuntimeError;
-use richwasm::interp::Runtime;
-use richwasm::syntax::Value;
-use richwasm::typecheck::check_module;
-use richwasm_lower::lower_modules;
-use richwasm_ml::{compile_module as compile_ml, MlBinop, MlExpr, MlFun, MlModule, MlTy};
-use richwasm_wasm::exec::{Val, WasmLinker};
+use richwasm_ml::{MlBinop, MlExpr, MlFun, MlModule, MlTy};
+use richwasm_repro::pipeline::{Pipeline, PipelineErrorKind, Stage};
 
 /// A generator for *well-typed* ML expressions of type `Int`, with `vars`
 /// integer variables in scope (named v0..v{vars-1}).
@@ -28,11 +25,7 @@ fn arb_int_expr(depth: u32, vars: u32) -> BoxedStrategy<MlExpr> {
         let mut leaves: Vec<BoxedStrategy<MlExpr>> =
             vec![(-100i32..100).prop_map(MlExpr::Int).boxed()];
         if vars > 0 {
-            leaves.push(
-                (0..vars)
-                    .prop_map(|i| MlExpr::Var(format!("v{i}")))
-                    .boxed(),
-            );
+            leaves.push((0..vars).prop_map(|i| MlExpr::Var(format!("v{i}"))).boxed());
         }
         return proptest::strategy::Union::new(leaves).boxed();
     }
@@ -43,26 +36,27 @@ fn arb_int_expr(depth: u32, vars: u32) -> BoxedStrategy<MlExpr> {
     prop_oneof![
         // Arithmetic (no division: we want trap-free programs here so any
         // trap is a soundness signal).
-        (sub.clone(), sub2.clone(), prop_oneof![
-            Just(MlBinop::Add),
-            Just(MlBinop::Sub),
-            Just(MlBinop::Mul),
-            Just(MlBinop::Eq),
-            Just(MlBinop::Lt),
-        ])
+        (
+            sub.clone(),
+            sub2.clone(),
+            prop_oneof![
+                Just(MlBinop::Add),
+                Just(MlBinop::Sub),
+                Just(MlBinop::Mul),
+                Just(MlBinop::Eq),
+                Just(MlBinop::Lt),
+            ]
+        )
             .prop_map(|(a, b, op)| MlExpr::Binop(op, Box::new(a), Box::new(b))),
         // let vN = e in e' (the new variable is the highest index).
-        (sub.clone(), let_sub).prop_map(move |(a, b)| {
-            MlExpr::Let(format!("v{vars}"), Box::new(a), Box::new(b))
-        }),
+        (sub.clone(), let_sub)
+            .prop_map(move |(a, b)| { MlExpr::Let(format!("v{vars}"), Box::new(a), Box::new(b)) }),
         // if e then e1 else e2
-        (sub.clone(), sub2.clone(), sub3).prop_map(|(c, a, b)| {
-            MlExpr::If(Box::new(c), Box::new(a), Box::new(b))
-        }),
+        (sub.clone(), sub2.clone(), sub3)
+            .prop_map(|(c, a, b)| { MlExpr::If(Box::new(c), Box::new(a), Box::new(b)) }),
         // Tuples and projection.
-        (sub.clone(), sub2.clone(), 0usize..2).prop_map(|(a, b, i)| {
-            MlExpr::Proj(i, Box::new(MlExpr::Tuple(vec![a, b])))
-        }),
+        (sub.clone(), sub2.clone(), 0usize..2)
+            .prop_map(|(a, b, i)| { MlExpr::Proj(i, Box::new(MlExpr::Tuple(vec![a, b]))) }),
         // References: let r = ref a in (r := b; !r)
         (sub.clone(), sub2.clone()).prop_map(move |(a, b)| {
             let r = format!("v{vars}_r");
@@ -82,7 +76,11 @@ fn arb_int_expr(depth: u32, vars: u32) -> BoxedStrategy<MlExpr> {
         (sub.clone(), sub2.clone(), 0usize..2).prop_map(|(a, b, tag)| {
             let sum = MlTy::Sum(vec![MlTy::Int, MlTy::Int]);
             MlExpr::Case(
-                Box::new(MlExpr::Inj { sum, tag, e: Box::new(a) }),
+                Box::new(MlExpr::Inj {
+                    sum,
+                    tag,
+                    e: Box::new(a),
+                }),
                 vec![
                     ("x".into(), MlExpr::Var("x".into())),
                     (
@@ -137,61 +135,50 @@ proptest! {
     /// Type preservation + progress + memory safety, in one sweep.
     #[test]
     fn well_typed_programs_are_safe(body in arb_int_expr(3, 0)) {
-        let m = module_of(body);
-        // The ML compiler accepts its own well-typed output…
-        let rw = compile_ml(&m).expect("generator produces well-typed ML");
-        // …and compilation is type preserving (§5).
-        check_module(&rw).expect("compiled module must type check");
+        // Frontend + typecheck: the ML compiler accepts its own
+        // well-typed output, and compilation is type preserving (§5) —
+        // a `Typecheck`-stage failure here would falsify preservation.
+        let mut prog = Pipeline::new()
+            .ml("m", module_of(body))
+            .interp_only()
+            .build()
+            .expect("compilation must be type preserving");
 
         // Progress: the program runs to completion without getting stuck.
-        let mut rt = Runtime::new();
-        let idx = rt.instantiate("m", rw).unwrap();
-        match rt.invoke(idx, "main", vec![]) {
+        match prog.invoke("m", "main", vec![]) {
             Ok(out) => {
-                prop_assert_eq!(out.values.len(), 1);
+                let values = &out.richwasm.as_ref().expect("interp ran").values;
+                prop_assert_eq!(values.len(), 1);
                 // Memory safety accounting: allocations and frees balance
                 // against the live count.
-                let mem = &rt.store.mem;
+                let mem = &prog.runtime().store.mem;
                 prop_assert_eq!(
                     mem.allocs,
                     mem.frees + mem.collected + mem.finalized + mem.live() as u64
                 );
             }
-            Err(RuntimeError::Stuck { reason }) => {
-                prop_assert!(false, "progress violated: stuck at {}", reason);
-            }
-            Err(RuntimeError::Trap { reason }) => {
-                prop_assert!(false, "trap-free generator trapped: {}", reason);
-            }
-            Err(e) => prop_assert!(false, "unexpected failure: {}", e),
+            Err(e) => match e.kind {
+                PipelineErrorKind::Runtime(RuntimeError::Stuck { reason }) => {
+                    prop_assert!(false, "progress violated: stuck at {}", reason);
+                }
+                PipelineErrorKind::Runtime(RuntimeError::Trap { reason }) => {
+                    prop_assert!(false, "trap-free generator trapped: {}", reason);
+                }
+                other => prop_assert!(false, "unexpected failure: {}", other),
+            },
         }
     }
 
     /// Erasure correctness (§6): the lowered Wasm computes the same value
-    /// as the RichWasm interpreter on every generated program.
+    /// as the RichWasm interpreter on every generated program. The
+    /// pipeline's differential mode performs the comparison itself.
     #[test]
     fn lowering_preserves_behaviour(body in arb_int_expr(3, 0)) {
-        let m = module_of(body);
-        let rw = compile_ml(&m).expect("well-typed ML");
-        let mut rt = Runtime::new();
-        let idx = rt.instantiate("m", rw.clone()).unwrap();
-        let direct = rt.invoke(idx, "main", vec![]).expect("richwasm run");
-        let Value::Num(_, bits) = direct.values[0] else { panic!("non-numeric") };
-        let expect = bits as u32 as i32;
-
-        let lowered = lower_modules(&[("m".to_string(), rw)]).expect("lowering");
-        let mut linker = WasmLinker::new();
-        let mut mi = 0;
-        for (name, wm) in &lowered {
-            richwasm_wasm::validate_module(wm).expect("lowered module validates");
-            let i = linker.instantiate(name, wm.clone()).expect("wasm instantiation");
-            if name == "m" {
-                mi = i;
-            }
-        }
-        let out = linker.invoke(mi, "main", &[]).expect("wasm run");
-        let Val::I32(w) = out[0] else { panic!("non-i32 wasm result") };
-        prop_assert_eq!(w as i32, expect);
+        let run = Pipeline::new()
+            .ml("m", module_of(body))
+            .run()
+            .expect("both backends run and agree");
+        prop_assert!(run.result.i32().is_some(), "a single i32 result on both backends");
     }
 
     /// GC safety: collecting at any point during execution never breaks a
@@ -199,22 +186,21 @@ proptest! {
     #[test]
     fn gc_is_transparent(body in arb_int_expr(3, 0), every in 1u64..40) {
         let m = module_of(body);
-        let rw = compile_ml(&m).expect("well-typed ML");
         // Reference run, no GC.
-        let mut rt1 = Runtime::new();
-        let i1 = rt1.instantiate("m", rw.clone()).unwrap();
-        let r1 = rt1.invoke(i1, "main", vec![]).expect("no-GC run");
+        let run1 = Pipeline::new().ml("m", m.clone()).interp_only().run()
+            .expect("no-GC run");
         // Aggressive-GC run.
-        let mut rt2 = Runtime::new();
-        rt2.config.auto_gc_every = Some(every);
-        let i2 = rt2.instantiate("m", rw).unwrap();
-        let r2 = rt2.invoke(i2, "main", vec![]).expect("GC run must not fail");
-        prop_assert_eq!(r1.values, r2.values);
+        let run2 = Pipeline::new().ml("m", m).interp_only().auto_gc_every(every).run()
+            .expect("GC run must not fail");
+        let v1 = run1.result.richwasm.expect("interp ran").values;
+        let v2 = run2.result.richwasm.expect("interp ran").values;
+        prop_assert_eq!(v1, v2);
     }
 }
 
 /// A fixed regression corpus distilled from past generator finds (kept
-/// deterministic so CI failures are reproducible).
+/// deterministic so CI failures are reproducible). Runs in differential
+/// mode, so each program is also lowered, validated, and cross-checked.
 #[test]
 fn regression_corpus() {
     let programs = vec![
@@ -257,11 +243,29 @@ fn regression_corpus() {
         ),
     ];
     for body in programs {
-        let m = module_of(body);
-        let rw = compile_ml(&m).unwrap();
-        check_module(&rw).unwrap();
-        let mut rt = Runtime::new();
-        let idx = rt.instantiate("m", rw).unwrap();
-        rt.invoke(idx, "main", vec![]).unwrap();
+        let run = Pipeline::new().ml("m", module_of(body)).run().unwrap();
+        assert!(run.result.i32().is_some());
+    }
+    // The corpus must keep failing loudly if a stage is silently skipped.
+    let stages = [
+        Stage::Frontend,
+        Stage::Typecheck,
+        Stage::Lower,
+        Stage::Validate,
+    ];
+    let run = Pipeline::new()
+        .ml("m", module_of(MlExpr::Int(7)))
+        .run()
+        .unwrap();
+    for stage in stages {
+        assert!(
+            run.program
+                .report
+                .timings
+                .entries()
+                .iter()
+                .any(|(s, _)| *s == stage),
+            "stage {stage} must have run"
+        );
     }
 }
