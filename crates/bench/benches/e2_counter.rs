@@ -8,18 +8,19 @@
 //! at the Wasm level — shows up as (b) being dominated purely by the
 //! allocator and arithmetic.
 //!
-//! Both backends are set up by the unified `Pipeline` driver; the timed
-//! loop then invokes the extracted interpreter directly so the numbers
-//! measure execution, not driver dispatch.
+//! Both backends are set up by one `Engine` (the counter artifact is
+//! compiled once and cached; each series instantiates its own backend);
+//! the timed loop then invokes the extracted interpreter directly so the
+//! numbers measure execution, not driver dispatch.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use richwasm::syntax::Value;
 use richwasm_bench::workloads::{counter_client, counter_library};
-use richwasm_repro::pipeline::{Exec, Pipeline};
+use richwasm_repro::engine::{Engine, EngineConfig, Exec, ModuleSet};
 use richwasm_wasm::exec::Val;
 
-fn counter_pipeline() -> Pipeline {
-    Pipeline::new()
+fn counter_set() -> ModuleSet {
+    ModuleSet::new()
         .l3("gfx", counter_library())
         .ml("app", counter_client())
 }
@@ -29,16 +30,18 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
 
     g.bench_function("bump_richwasm_interp", |b| {
-        let mut prog = counter_pipeline().exec(Exec::Interp).build().unwrap();
-        let mut rt = prog.richwasm.take().unwrap();
+        let engine = Engine::with_config(EngineConfig::new().interp_only());
+        let mut inst = engine.instantiate(&counter_set()).unwrap();
+        let mut rt = inst.richwasm.take().unwrap();
         let app_i = rt.instance_by_name("app").unwrap();
         rt.invoke(app_i, "setup", vec![Value::i32(1)]).unwrap();
         b.iter(|| rt.invoke(app_i, "bump", vec![Value::Unit]).unwrap().steps)
     });
 
     g.bench_function("bump_lowered_wasm", |b| {
-        let mut prog = counter_pipeline().exec(Exec::Wasm).build().unwrap();
-        let mut linker = prog.wasm.take().unwrap();
+        let engine = Engine::with_config(EngineConfig::new().exec(Exec::Wasm));
+        let mut inst = engine.instantiate(&counter_set()).unwrap();
+        let mut linker = inst.wasm.take().unwrap();
         let app_w = linker.instance_by_name("app").unwrap();
         linker.invoke(app_w, "setup", &[Val::I32(1)]).unwrap();
         b.iter(|| linker.invoke(app_w, "bump", &[]).unwrap())

@@ -15,7 +15,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use richwasm_bench::workloads::{arith_chain, churn};
 use richwasm_lower::lower_modules;
-use richwasm_repro::pipeline::{Exec, Pipeline};
+use richwasm_repro::engine::{Engine, EngineConfig, Exec, ModuleSet};
 use richwasm_wasm::binary::encode_module;
 
 fn bench(c: &mut Criterion) {
@@ -31,15 +31,14 @@ fn bench(c: &mut Criterion) {
     }
 
     for n in [10u32, 100] {
-        // Setup through the unified Pipeline driver (Wasm-only mode); the
-        // timed loop invokes the extracted linker directly.
+        // Setup through the engine (Wasm-only mode); the timed loop
+        // invokes the extracted linker directly.
         g.bench_with_input(BenchmarkId::new("wasm_churn_cells", n), &n, |b, &n| {
-            let mut prog = Pipeline::new()
-                .richwasm("m", churn(n))
-                .exec(Exec::Wasm)
-                .build()
+            let engine = Engine::with_config(EngineConfig::new().exec(Exec::Wasm));
+            let mut inst = engine
+                .instantiate(&ModuleSet::new().richwasm("m", churn(n)))
                 .unwrap();
-            let mut linker = prog.wasm.take().unwrap();
+            let mut linker = inst.wasm.take().unwrap();
             let mi = linker.instance_by_name("m").unwrap();
             b.iter(|| linker.invoke(mi, "main", &[]).unwrap())
         });

@@ -1,33 +1,36 @@
-//! **E6** — the unified `Pipeline` driver itself.
+//! **E6** — the compilation driver itself, end to end.
 //!
 //! Series reported:
 //!
 //! * `e1_differential_end_to_end` — the whole five-stage path (two
 //!   frontends → typecheck → lower → validate → encode → execute on both
 //!   interpreters + cross-check) for the Fig. 3 interop scenario, i.e.
-//!   the cost of the paper's full workflow on its headline example;
+//!   the cost of the paper's full workflow on its headline example. A
+//!   **fresh engine per iteration** keeps every compile cold — this
+//!   series measures the static pipeline, not the cache (E7 measures
+//!   the cache);
 //! * `e1_interp_only_end_to_end` — the same scenario skipping the Wasm
 //!   half, isolating the lowering pipeline's share;
 //! * `counter_build_wasm_only` — frontends through binary encoding for
 //!   the Fig. 9 counter (compile-time only, no execution);
-//! * `differential_bump_dispatch` — per-invocation cost of the driver's
+//! * `differential_bump_dispatch` — per-invocation cost of the engine's
 //!   differential mode (both backends + comparison) against the raw
 //!   interpreter cost measured in E2.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use richwasm::syntax::Value;
 use richwasm_bench::workloads::{counter_client, counter_library, stash_client, stash_module};
-use richwasm_repro::pipeline::{Exec, Pipeline};
+use richwasm_repro::engine::{Engine, EngineConfig, Exec, ModuleSet};
 
-fn stash_pipeline() -> Pipeline {
-    Pipeline::new()
+fn stash_set() -> ModuleSet {
+    ModuleSet::new()
         .ml("ml", stash_module(false))
         .l3("l3", stash_client())
         .entry("l3")
 }
 
-fn counter_pipeline() -> Pipeline {
-    Pipeline::new()
+fn counter_set() -> ModuleSet {
+    ModuleSet::new()
         .l3("gfx", counter_library())
         .ml("app", counter_client())
 }
@@ -38,26 +41,33 @@ fn bench(c: &mut Criterion) {
 
     g.bench_function("e1_differential_end_to_end", |b| {
         b.iter(|| {
-            let run = stash_pipeline().run().unwrap();
-            assert_eq!(run.result.i32(), Some(42));
-            run.program.report.timings.total()
+            // Fresh engine: deliberately cold, so the full static path is
+            // inside the measurement.
+            let engine = Engine::new();
+            let artifact = engine.compile(&stash_set()).unwrap();
+            let mut inst = artifact.instantiate().unwrap();
+            assert_eq!(inst.invoke_entry().unwrap().i32(), Some(42));
+            artifact.timings().total()
         })
     });
 
     g.bench_function("e1_interp_only_end_to_end", |b| {
         b.iter(|| {
-            let run = stash_pipeline().exec(Exec::Interp).run().unwrap();
-            assert_eq!(run.result.i32(), Some(42));
-            run.program.report.timings.total()
+            let engine = Engine::with_config(EngineConfig::new().interp_only());
+            let artifact = engine.compile(&stash_set()).unwrap();
+            let mut inst = artifact.instantiate().unwrap();
+            assert_eq!(inst.invoke_entry().unwrap().i32(), Some(42));
+            artifact.timings().total()
         })
     });
 
     g.bench_function("counter_build_wasm_only", |b| {
         b.iter(|| {
-            let prog = counter_pipeline().exec(Exec::Wasm).build().unwrap();
-            assert!(!prog.report.binaries.is_empty());
-            prog.report
-                .binaries
+            let engine = Engine::with_config(EngineConfig::new().exec(Exec::Wasm));
+            let artifact = engine.compile(&counter_set()).unwrap();
+            assert!(!artifact.wasm_binaries().is_empty());
+            artifact
+                .wasm_binaries()
                 .iter()
                 .map(|(_, bytes)| bytes.len())
                 .sum::<usize>()
@@ -65,9 +75,10 @@ fn bench(c: &mut Criterion) {
     });
 
     g.bench_function("differential_bump_dispatch", |b| {
-        let mut prog = counter_pipeline().build().unwrap();
-        prog.invoke("app", "setup", vec![Value::i32(1)]).unwrap();
-        b.iter(|| prog.invoke("app", "bump", vec![Value::Unit]).unwrap())
+        let engine = Engine::new();
+        let mut inst = engine.instantiate(&counter_set()).unwrap();
+        inst.invoke("app", "setup", vec![Value::i32(1)]).unwrap();
+        b.iter(|| inst.invoke("app", "bump", vec![Value::Unit]).unwrap())
     });
 
     g.finish();

@@ -31,6 +31,54 @@ struct TableEntry {
     funtype: rw::FunType,
 }
 
+/// The whole-program part of lowering, computed once per module set: the
+/// shared function table's layout (every module's entries concatenated in
+/// instantiation order) and each module's base offset into it.
+///
+/// Splitting the plan out of [`lower_modules_with_envs`] makes the
+/// whole-program analysis a reusable artifact: a compile-once/run-many
+/// driver can compute it alongside the checker's [`ModuleEnv`]s and keep
+/// both for the lifetime of the compiled program.
+#[derive(Debug, Clone, Default)]
+pub struct LinkPlan {
+    table_entries: Vec<TableEntry>,
+    table_bases: Vec<u32>,
+}
+
+impl LinkPlan {
+    /// Computes the shared table layout for `modules` (in instantiation
+    /// order — the same order they must later be lowered in).
+    pub fn compute(modules: &[(String, rw::Module)]) -> LinkPlan {
+        let mut table_entries: Vec<TableEntry> = Vec::new();
+        let mut table_bases = Vec::new();
+        let mut total = 0u32;
+        for (_, m) in modules {
+            table_bases.push(total);
+            for &fi in &m.table.entries {
+                table_entries.push(TableEntry {
+                    global_idx: total,
+                    funtype: m.funcs[fi as usize].ty().clone(),
+                });
+                total += 1;
+            }
+        }
+        LinkPlan {
+            table_entries,
+            table_bases,
+        }
+    }
+
+    /// Total number of shared-table slots across all modules.
+    pub fn table_len(&self) -> u32 {
+        self.table_entries.len() as u32
+    }
+
+    /// Number of modules the plan was computed over.
+    pub fn module_count(&self) -> usize {
+        self.table_bases.len()
+    }
+}
+
 /// A whole-program lowering session.
 #[derive(Debug, Default)]
 pub struct Session {
@@ -82,6 +130,23 @@ pub fn lower_modules_with_envs(
     modules: &[(String, rw::Module)],
     envs: &[ModuleEnv],
 ) -> Result<Vec<(String, w::Module)>, LowerError> {
+    let plan = LinkPlan::compute(modules);
+    lower_modules_with_plan(modules, envs, &plan)
+}
+
+/// Lowers modules given both their checked [`ModuleEnv`]s and a
+/// precomputed whole-program [`LinkPlan`]. This is the innermost entry
+/// point: it re-runs no static analysis at all.
+///
+/// # Errors
+///
+/// [`LowerError::Internal`] when the envs or the plan do not match the
+/// module set, plus the usual type-directed lowering failures.
+pub fn lower_modules_with_plan(
+    modules: &[(String, rw::Module)],
+    envs: &[ModuleEnv],
+    plan: &LinkPlan,
+) -> Result<Vec<(String, w::Module)>, LowerError> {
     if modules.len() != envs.len() {
         return Err(LowerError::Internal(format!(
             "{} modules but {} envs",
@@ -89,24 +154,17 @@ pub fn lower_modules_with_envs(
             envs.len()
         )));
     }
-    // Compute the shared table layout.
-    let mut table_entries: Vec<TableEntry> = Vec::new();
-    let mut table_bases = Vec::new();
-    let mut total = 0u32;
-    for (_, m) in modules {
-        table_bases.push(total);
-        for &fi in &m.table.entries {
-            table_entries.push(TableEntry {
-                global_idx: total,
-                funtype: m.funcs[fi as usize].ty().clone(),
-            });
-            total += 1;
-        }
+    if modules.len() != plan.module_count() {
+        return Err(LowerError::Internal(format!(
+            "{} modules but the link plan covers {}",
+            modules.len(),
+            plan.module_count()
+        )));
     }
 
-    let mut out = vec![(RUNTIME_NAME.to_string(), runtime_module(total))];
+    let mut out = vec![(RUNTIME_NAME.to_string(), runtime_module(plan.table_len()))];
     for (mi, (name, m)) in modules.iter().enumerate() {
-        let lowered = lower_module(m, &envs[mi], table_bases[mi], &table_entries)?;
+        let lowered = lower_module(m, &envs[mi], plan.table_bases[mi], &plan.table_entries)?;
         out.push((name.clone(), lowered));
     }
     Ok(out)

@@ -99,6 +99,15 @@ struct ModuleInst {
     exports: HashMap<String, ExportKind>,
 }
 
+/// A snapshot of the store's mutable state (globals, memories, tables),
+/// captured by [`WasmLinker::seal`] and restored by [`WasmLinker::reset`].
+#[derive(Debug, Clone)]
+struct Baseline {
+    globals: Vec<Val>,
+    memories: Vec<Vec<u8>>,
+    tables: Vec<Vec<Option<FuncAddr>>>,
+}
+
 /// The multi-module store plus a name registry: the host embedding that
 /// RichWasm's lowered modules run in.
 #[derive(Debug, Default)]
@@ -110,6 +119,7 @@ pub struct WasmLinker {
     instances: Vec<ModuleInst>,
     module_types: Vec<Vec<FuncType>>,
     names: HashMap<String, usize>,
+    baseline: Option<Baseline>,
     steps: u64,
     /// Fuel: maximum function-call depth.
     pub max_call_depth: usize,
@@ -150,6 +160,10 @@ impl WasmLinker {
     /// as [`WasmTrap`]s (host-level errors).
     pub fn instantiate(&mut self, name: &str, module: Module) -> Result<usize, WasmTrap> {
         crate::validate::validate_module(&module).map_err(|e| WasmTrap(e.to_string()))?;
+        // A baseline captured before this module existed would restore a
+        // store with dangling addresses — invalidate it; callers seal
+        // again once the full program is instantiated.
+        self.baseline = None;
         let mut inst = ModuleInst::default();
 
         for im in &module.imports {
@@ -282,6 +296,47 @@ impl WasmLinker {
     /// Looks up an instantiated module by name.
     pub fn instance_by_name(&self, name: &str) -> Option<usize> {
         self.names.get(name).copied()
+    }
+
+    /// Captures the current mutable state (globals, memories, tables) as
+    /// the linker's *baseline*, enabling [`WasmLinker::reset`].
+    ///
+    /// Call this once, after all modules are instantiated (and their start
+    /// functions have run): the baseline then represents the freshly
+    /// instantiated program, and resetting to it is equivalent to — but
+    /// much cheaper than — re-validating and re-instantiating every
+    /// module.
+    pub fn seal(&mut self) {
+        self.baseline = Some(Baseline {
+            globals: self.globals.clone(),
+            memories: self.memories.clone(),
+            tables: self.tables.clone(),
+        });
+    }
+
+    /// True once [`WasmLinker::seal`] has captured a baseline.
+    pub fn is_sealed(&self) -> bool {
+        self.baseline.is_some()
+    }
+
+    /// Restores all mutable state to the baseline captured by
+    /// [`WasmLinker::seal`]: the store is indistinguishable from a fresh
+    /// instantiation of the same modules, without re-running validation,
+    /// import resolution, or data-segment initialisation.
+    ///
+    /// # Errors
+    ///
+    /// A [`WasmTrap`] when no baseline was captured.
+    pub fn reset(&mut self) -> Result<(), WasmTrap> {
+        let base = self
+            .baseline
+            .as_ref()
+            .ok_or_else(|| WasmTrap("reset without a sealed baseline".into()))?;
+        self.globals.clone_from(&base.globals);
+        self.memories.clone_from(&base.memories);
+        self.tables.clone_from(&base.tables);
+        self.steps = 0;
+        Ok(())
     }
 
     /// Invokes exported function `name` of `instance` with `args`.

@@ -464,3 +464,90 @@ fn recursion_with_depth_limit() {
     let err = l.invoke(i, "f", &[Val::I32(100_000)]).unwrap_err();
     assert!(err.0.contains("call stack exhausted"), "{err}");
 }
+
+#[test]
+fn seal_and_reset_restore_baseline_state() {
+    // A module with a mutable global and a memory cell, both bumped by
+    // each call: after reset() the store must look freshly instantiated.
+    let mut m = Module::default();
+    let t = m.intern_type(FuncType {
+        params: vec![],
+        results: vec![ValType::I32],
+    });
+    m.memory = Some(1);
+    m.data.push(DataSegment {
+        offset: 0,
+        bytes: vec![7, 0, 0, 0],
+    });
+    m.globals.push(GlobalDef {
+        ty: ValType::I32,
+        mutable: true,
+        init: WInstr::I32Const(10),
+    });
+    // f() = (global += 1; mem[0] += 1; global + mem[0])
+    m.funcs.push(FuncDef {
+        type_idx: t,
+        locals: vec![],
+        body: vec![
+            WInstr::GlobalGet(0),
+            WInstr::I32Const(1),
+            WInstr::IBin(Width::W32, IBinOp::Add),
+            WInstr::GlobalSet(0),
+            WInstr::I32Const(0),
+            WInstr::I32Const(0),
+            WInstr::Load(ValType::I32, 0),
+            WInstr::I32Const(1),
+            WInstr::IBin(Width::W32, IBinOp::Add),
+            WInstr::Store(ValType::I32, 0),
+            WInstr::GlobalGet(0),
+            WInstr::I32Const(0),
+            WInstr::Load(ValType::I32, 0),
+            WInstr::IBin(Width::W32, IBinOp::Add),
+        ],
+    });
+    m.exports.push(Export {
+        name: "f".into(),
+        kind: ExportKind::Func(0),
+    });
+
+    let mut l = WasmLinker::new();
+    // Resetting before any baseline exists is an error, not a silent no-op.
+    assert!(l.reset().is_err());
+    let i = l.instantiate("m", m).unwrap();
+    l.seal();
+    assert!(l.is_sealed());
+
+    // First life: 11 + 8, 12 + 9, …
+    assert_eq!(l.invoke(i, "f", &[]).unwrap(), vec![Val::I32(19)]);
+    assert_eq!(l.invoke(i, "f", &[]).unwrap(), vec![Val::I32(21)]);
+
+    // Reset: both the global and the data-segment byte are back.
+    l.reset().unwrap();
+    assert_eq!(l.invoke(i, "f", &[]).unwrap(), vec![Val::I32(19)]);
+}
+
+#[test]
+fn instantiate_invalidates_stale_baseline() {
+    let m1 = one_func(
+        vec![],
+        vec![ValType::I32],
+        vec![],
+        vec![WInstr::I32Const(1)],
+    );
+    let m2 = one_func(
+        vec![],
+        vec![ValType::I32],
+        vec![],
+        vec![WInstr::I32Const(2)],
+    );
+    let mut l = WasmLinker::new();
+    l.instantiate("a", m1).unwrap();
+    l.seal();
+    // Adding a module makes the old baseline unsound (it predates the new
+    // store entries), so it must be dropped until the linker is re-sealed.
+    l.instantiate("b", m2).unwrap();
+    assert!(!l.is_sealed());
+    assert!(l.reset().is_err());
+    l.seal();
+    assert!(l.reset().is_ok());
+}

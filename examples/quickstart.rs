@@ -1,7 +1,8 @@
-//! Quickstart: build a RichWasm module by hand, then let the unified
-//! [`Pipeline`] driver do everything else — type check it, run it on the
-//! RichWasm interpreter, compile it to WebAssembly, validate, execute the
-//! Wasm, cross-check the two results, and emit standard `.wasm` bytes.
+//! Quickstart: build a RichWasm module by hand, then let the
+//! compile-once / run-many [`Engine`] do everything else — type check it,
+//! compile it to WebAssembly, validate, and hand out live [`Instance`]s
+//! that execute on the RichWasm interpreter *and* the lowered Wasm with
+//! every result cross-checked.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -9,7 +10,7 @@
 
 use richwasm::syntax::instr::Block;
 use richwasm::syntax::*;
-use richwasm_repro::pipeline::Pipeline;
+use richwasm_repro::engine::{Engine, ModuleSet};
 
 fn main() {
     // A module with one export: allocate a *linear* struct, strongly
@@ -45,27 +46,31 @@ fn main() {
         ..Module::default()
     };
 
-    // One driver call runs the whole five-stage path in differential
-    // mode: frontend (a no-op for raw RichWasm) → typecheck → lower →
-    // validate → encode → execute on both interpreters + compare.
-    let run = Pipeline::new()
-        .richwasm("quickstart", module)
-        .run()
-        .expect("the module is well-typed and both backends agree");
-
-    let interp = run.result.richwasm.as_ref().unwrap();
+    // Compile ONCE: frontend (a no-op for raw RichWasm) → typecheck →
+    // lower → validate → encode, cached under a content hash of the AST
+    // plus the engine's configuration.
+    let engine = Engine::new();
+    let set = ModuleSet::new().richwasm("quickstart", module);
+    let artifact = engine.compile(&set).expect("the module is well-typed");
     println!("✓ RichWasm type checker accepts the module");
+    println!("  artifact key: {}", artifact.key());
+
+    // Run MANY: each instance is an independent live store pair.
+    let mut instance = artifact.instantiate().expect("typed linking succeeds");
+    let result = instance
+        .invoke_entry()
+        .expect("both backends run and agree");
+    let interp = result.richwasm.as_ref().unwrap();
     println!(
         "✓ RichWasm interpreter: {} (in {} steps)",
         interp.values[0], interp.steps
     );
     println!(
         "✓ Lowered WebAssembly agrees: {}",
-        run.result.wasm.as_ref().unwrap()[0]
+        result.wasm.as_ref().unwrap()[0]
     );
 
-    let mut program = run.program;
-    let mem = &program.runtime().store.mem;
+    let mem = &instance.runtime().store.mem;
     println!(
         "  memory: {} allocs, {} frees, {} live",
         mem.allocs,
@@ -73,8 +78,8 @@ fn main() {
         mem.live()
     );
 
-    // Standard binary encoding, produced by the pipeline's encode stage.
-    for (name, bytes) in &program.report.binaries {
+    // Standard binary encoding, produced by the artifact's encode stage.
+    for (name, bytes) in artifact.wasm_binaries() {
         println!(
             "  {name}.wasm: {} bytes (header {:02x?})",
             bytes.len(),
@@ -82,6 +87,16 @@ fn main() {
         );
     }
 
-    // Per-stage wall-clock timings.
-    println!("  stages: {}", program.report.timings);
+    // Per-stage wall-clock timings of the (cold) compile.
+    println!("  static stages: {}", artifact.timings());
+
+    // Compiling the same set again is a cache hit: no static stage runs.
+    let again = engine.compile(&set).expect("cache hit");
+    assert!(again.same_as(&artifact));
+    let stats = engine.cache_stats();
+    println!(
+        "✓ second compile was a cache hit ({} hit / {} miss) — \
+         the static pipeline ran exactly once",
+        stats.hits, stats.misses
+    );
 }

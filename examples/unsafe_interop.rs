@@ -1,5 +1,5 @@
 //! The paper's headline example (Fig. 1 / Fig. 3): ML and L3 sharing
-//! memory, with the unsafe version *statically rejected* by the pipeline's
+//! memory, with the unsafe version *statically rejected* by the engine's
 //! typecheck stage and the safe version running to completion on both
 //! backends.
 //!
@@ -11,7 +11,7 @@
 //! ```
 
 use richwasm_bench::workloads::{stash_client, stash_module};
-use richwasm_repro::pipeline::{Pipeline, Stage};
+use richwasm_repro::engine::{Engine, ModuleSet, Stage};
 
 fn main() {
     println!("=== Fig. 1 / Fig. 3: unsafe interoperability ===\n");
@@ -23,14 +23,18 @@ fn main() {
     println!("    free (split (stash (join (new !42 1))));");
     println!("    free (split (get_stashed ()))                (* double free! *)\n");
 
-    // The buggy ML module: the pipeline's frontend stage accepts it (the
-    // ML compiler performs no linearity checking, §5) — the typecheck
-    // stage is where RichWasm rejects the duplication.
-    let err = Pipeline::new()
-        .ml("ml", stash_module(true))
-        .l3("l3", stash_client())
-        .entry("l3")
-        .run()
+    let engine = Engine::new();
+
+    // The buggy ML module: the frontend stage accepts it (the ML compiler
+    // performs no linearity checking, §5) — the typecheck stage is where
+    // RichWasm rejects the duplication. The artifact never exists.
+    let err = engine
+        .compile(
+            &ModuleSet::new()
+                .ml("ml", stash_module(true))
+                .l3("l3", stash_client())
+                .entry("l3"),
+        )
         .expect_err("the double use of a linear value must not type check");
     assert_eq!(
         err.stage,
@@ -42,18 +46,23 @@ fn main() {
 
     // The corrected version: stash keeps exactly one copy.
     println!("Fixed ML: fun stash (r) = c := r    (* returns unit, no duplication *)\n");
-    let run = Pipeline::new()
-        .ml("ml", stash_module(false))
-        .l3("l3", stash_client())
-        .entry("l3")
-        .run()
-        .expect("safe version type checks, links, and runs on both backends");
+    let mut instance = engine
+        .instantiate(
+            &ModuleSet::new()
+                .ml("ml", stash_module(false))
+                .l3("l3", stash_client())
+                .entry("l3"),
+        )
+        .expect("safe version type checks and links");
     println!("✓ RichWasm type checker accepts the fixed module");
     println!("✓ Typed linker accepts the ML ↔ L3 boundary (types match exactly)");
 
-    let mut program = run.program;
-    let result = run.result.i32().expect("a single i32 result");
-    let mem = &program.runtime().store.mem;
+    let result = instance
+        .invoke_entry()
+        .expect("runs on both backends")
+        .i32()
+        .expect("a single i32 result");
+    let mem = &instance.runtime().store.mem;
     println!(
         "✓ Runs safely on both backends: result = {}, linear frees = {}, linear cells live = {}",
         result,

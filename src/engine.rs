@@ -1,0 +1,1245 @@
+//! The compile-once / run-many API: [`Engine`] → [`Artifact`] → [`Instance`].
+//!
+//! The paper's whole point (§4–§6) is that *separately compiled* ML and
+//! L3 modules interoperate safely through typed linking — but a service
+//! invoking the same program N times should not pay the static pipeline
+//! N times. This module splits the one-shot [`Pipeline`](crate::pipeline)
+//! workflow into three long-lived types:
+//!
+//! * [`Engine`] — owns the configuration (execution mode, fuel, auto-GC)
+//!   and a **content-addressed artifact cache** keyed by a stable hash of
+//!   the module set's ASTs plus the configuration. [`Engine::compile`] on
+//!   a cache hit skips every static stage and returns the cached
+//!   [`Artifact`]. On a miss, the per-module frontend + typecheck stages
+//!   of independent source modules run **in parallel** (scoped threads);
+//!   the whole-program lower stage stays sequential, as §6 requires the
+//!   shared table layout to be computed globally.
+//! * [`Artifact`] — the immutable output of frontend → typecheck → lower
+//!   → validate → encode: the RichWasm modules, their checked
+//!   [`ModuleEnv`]s, the lowered Wasm modules, and the standard `.wasm`
+//!   bytes. Cheaply cloneable (one [`Arc`] bump) and shareable across
+//!   threads.
+//! * [`Instance`] — a live store pair (RichWasm runtime and/or
+//!   [`WasmLinker`]) created by [`Artifact::instantiate`], supporting
+//!   repeated [`Instance::invoke`] with the same differential checking as
+//!   the one-shot driver. Instances of one artifact share nothing
+//!   mutable.
+//!
+//! # Example
+//!
+//! ```
+//! use richwasm_repro::engine::{Engine, ModuleSet};
+//! use richwasm::syntax::*;
+//!
+//! let m = Module {
+//!     funcs: vec![Func::Defined {
+//!         exports: vec!["main".into()],
+//!         ty: FunType::mono(vec![], vec![Type::num(NumType::I32)]),
+//!         locals: vec![],
+//!         body: vec![Instr::i32(42)],
+//!     }],
+//!     ..Module::default()
+//! };
+//! let engine = Engine::new();
+//! let set = ModuleSet::new().richwasm("m", m);
+//! let artifact = engine.compile(&set).unwrap();      // cold: full pipeline
+//! let mut inst = artifact.instantiate().unwrap();
+//! assert_eq!(inst.invoke_entry().unwrap().i32(), Some(42));
+//! let again = engine.compile(&set).unwrap();         // warm: cache hit
+//! assert!(artifact.same_as(&again));
+//! assert_eq!(engine.cache_stats().hits, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use richwasm::env::ModuleEnv;
+use richwasm::error::{RuntimeError, TypeError};
+use richwasm::interp::{InvokeResult, Runtime};
+use richwasm::syntax::{self, NumType, Value};
+use richwasm::typecheck::check_module;
+use richwasm_l3::{compile_module as compile_l3, L3Error, L3Module};
+use richwasm_lower::{lower_modules_with_plan, LinkPlan, LowerError};
+use richwasm_ml::{compile_module as compile_ml, MlError, MlModule};
+use richwasm_wasm::ast as w;
+use richwasm_wasm::binary::encode_module;
+use richwasm_wasm::exec::{Val, WasmLinker, WasmTrap};
+use richwasm_wasm::validate::ValidationError;
+use richwasm_wasm::validate_module;
+
+/// A source module in one of the three input languages.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// A core ML module (compiled by `richwasm-ml`, paper §5).
+    Ml(Box<MlModule>),
+    /// An L3 module (compiled by `richwasm-l3`, paper §5).
+    L3(Box<L3Module>),
+    /// An already-built RichWasm module.
+    RichWasm(Box<syntax::Module>),
+}
+
+/// The pipeline stages, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Source-language compilation to RichWasm.
+    Frontend,
+    /// The RichWasm substructural type check.
+    Typecheck,
+    /// Typed linking + instantiation on the RichWasm interpreter.
+    Instantiate,
+    /// Whole-program type-directed lowering to Wasm.
+    Lower,
+    /// Validation of the lowered Wasm modules.
+    Validate,
+    /// Standard `.wasm` binary encoding.
+    Encode,
+    /// Execution (either interpreter).
+    Execute,
+    /// Cross-backend result comparison.
+    Differential,
+}
+
+impl Stage {
+    /// True for the static (compile-time) stages an [`Artifact`] caches:
+    /// everything up to and including binary encoding, minus the dynamic
+    /// `Instantiate`/`Execute`/`Differential` stages.
+    pub fn is_static(self) -> bool {
+        matches!(
+            self,
+            Stage::Frontend | Stage::Typecheck | Stage::Lower | Stage::Validate | Stage::Encode
+        )
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Frontend => "frontend",
+            Stage::Typecheck => "typecheck",
+            Stage::Instantiate => "instantiate",
+            Stage::Lower => "lower",
+            Stage::Validate => "validate",
+            Stage::Encode => "encode",
+            Stage::Execute => "execute",
+            Stage::Differential => "differential",
+        })
+    }
+}
+
+/// The underlying cause of a [`PipelineError`].
+#[derive(Debug)]
+pub enum PipelineErrorKind {
+    /// The ML frontend rejected its input.
+    Ml(MlError),
+    /// The L3 frontend rejected its input (L3 checks linearity itself).
+    L3(L3Error),
+    /// The RichWasm checker or typed linker rejected a module.
+    Type(TypeError),
+    /// The RichWasm → Wasm compiler failed.
+    Lower(LowerError),
+    /// A lowered module failed Wasm validation.
+    Validation(ValidationError),
+    /// The RichWasm interpreter trapped or got stuck.
+    Runtime(RuntimeError),
+    /// The Wasm interpreter trapped.
+    Wasm(WasmTrap),
+    /// The two backends disagreed in differential mode.
+    Mismatch {
+        /// What the RichWasm interpreter produced.
+        richwasm: String,
+        /// What the Wasm interpreter produced.
+        wasm: String,
+    },
+    /// The request cannot be expressed on the selected backend(s).
+    Unsupported(String),
+}
+
+impl fmt::Display for PipelineErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineErrorKind::Ml(e) => write!(f, "{e}"),
+            PipelineErrorKind::L3(e) => write!(f, "{e}"),
+            PipelineErrorKind::Type(e) => write!(f, "{e}"),
+            PipelineErrorKind::Lower(e) => write!(f, "{e}"),
+            PipelineErrorKind::Validation(e) => write!(f, "{e}"),
+            PipelineErrorKind::Runtime(e) => write!(f, "{e}"),
+            PipelineErrorKind::Wasm(e) => write!(f, "{e}"),
+            PipelineErrorKind::Mismatch { richwasm, wasm } => {
+                write!(
+                    f,
+                    "backends disagree: richwasm produced {richwasm}, wasm produced {wasm}"
+                )
+            }
+            PipelineErrorKind::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+/// A failure in some pipeline stage, with source-module context.
+#[derive(Debug)]
+pub struct PipelineError {
+    /// The stage that failed.
+    pub stage: Stage,
+    /// The module being processed when the failure arose, if any.
+    pub module: Option<String>,
+    /// The underlying cause.
+    pub kind: PipelineErrorKind,
+}
+
+impl PipelineError {
+    pub(crate) fn new(
+        stage: Stage,
+        module: Option<&str>,
+        kind: PipelineErrorKind,
+    ) -> PipelineError {
+        PipelineError {
+            stage,
+            module: module.map(str::to_string),
+            kind,
+        }
+    }
+
+    /// True when the failure is a static rejection (type checking, typed
+    /// linking, or a frontend error) rather than a dynamic fault.
+    pub fn is_static_rejection(&self) -> bool {
+        matches!(
+            self.kind,
+            PipelineErrorKind::Ml(_) | PipelineErrorKind::L3(_) | PipelineErrorKind::Type(_)
+        )
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pipeline stage `{}`", self.stage)?;
+        if let Some(m) = &self.module {
+            write!(f, " (module `{m}`)")?;
+        }
+        write!(f, ": {}", self.kind)
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        // Every wrapped layer error chains; only the two kinds without an
+        // underlying error value (Mismatch, Unsupported) terminate here.
+        match &self.kind {
+            PipelineErrorKind::Ml(e) => Some(e),
+            PipelineErrorKind::L3(e) => Some(e),
+            PipelineErrorKind::Type(e) => Some(e),
+            PipelineErrorKind::Lower(e) => Some(e),
+            PipelineErrorKind::Validation(e) => Some(e),
+            PipelineErrorKind::Runtime(e) => Some(e),
+            PipelineErrorKind::Wasm(e) => Some(e),
+            PipelineErrorKind::Mismatch { .. } | PipelineErrorKind::Unsupported(_) => None,
+        }
+    }
+}
+
+/// Which interpreter(s) execute the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Exec {
+    /// RichWasm interpreter only (skips the Wasm half of the pipeline).
+    Interp,
+    /// Lowered Wasm only.
+    Wasm,
+    /// Both, with results compared after every invocation.
+    #[default]
+    Differential,
+}
+
+impl Exec {
+    pub(crate) fn wants_interp(self) -> bool {
+        self != Exec::Wasm
+    }
+    pub(crate) fn wants_wasm(self) -> bool {
+        self != Exec::Interp
+    }
+}
+
+/// Wall-clock time spent per stage, in stage order.
+///
+/// When the frontend + typecheck stages run in parallel (multi-module
+/// sets), the recorded `Frontend`/`Typecheck` durations are the *sums of
+/// per-module thread time* — the aggregate work — while the compile's
+/// elapsed wall clock is what benchmarks observe.
+#[derive(Debug, Clone, Default)]
+pub struct Timings(Vec<(Stage, Duration)>);
+
+impl Timings {
+    pub(crate) fn add(&mut self, stage: Stage, d: Duration) {
+        self.0.push((stage, d));
+    }
+
+    /// Per-stage entries in the order they ran.
+    pub fn entries(&self) -> &[(Stage, Duration)] {
+        &self.0
+    }
+
+    /// Total time across all recorded stages.
+    pub fn total(&self) -> Duration {
+        self.0.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Accumulated time for one stage.
+    pub fn of(&self, stage: Stage) -> Duration {
+        self.0
+            .iter()
+            .filter(|(s, _)| *s == stage)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// True when no static (compile-time) stage was recorded — the
+    /// observable invariant of a cache hit or a pure invocation.
+    pub fn no_static_stages(&self) -> bool {
+        self.0.iter().all(|(s, _)| !s.is_static())
+    }
+
+    pub(crate) fn extend(&mut self, other: &Timings) {
+        self.0.extend(other.0.iter().cloned());
+    }
+}
+
+impl fmt::Display for Timings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (stage, d)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{stage}: {d:.2?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of invoking an export through [`Instance::invoke`].
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// The RichWasm interpreter's result (absent in [`Exec::Wasm`] mode).
+    pub richwasm: Option<InvokeResult>,
+    /// The Wasm interpreter's result (absent in [`Exec::Interp`] mode).
+    pub wasm: Option<Vec<Val>>,
+}
+
+impl Invocation {
+    /// The single `i32` result, when there is exactly one (from whichever
+    /// backend ran; in differential mode both agreed).
+    pub fn i32(&self) -> Option<i32> {
+        if let Some(r) = &self.richwasm {
+            if let [Value::Num(NumType::I32 | NumType::U32, bits)] = r.values[..] {
+                return Some(bits as u32 as i32);
+            }
+            return None;
+        }
+        if let Some(vals) = &self.wasm {
+            if let [Val::I32(w)] = vals[..] {
+                return Some(w as i32);
+            }
+        }
+        None
+    }
+}
+
+/// Engine-wide configuration: everything that affects *what* an
+/// [`Artifact`] contains or *how* its [`Instance`]s execute. The whole
+/// struct is part of the cache key (see `DESIGN.md` §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Execution mode (default: [`Exec::Differential`]).
+    pub exec: Exec,
+    /// Run the RichWasm substructural check (default: `true`). Turning it
+    /// off requires [`Exec::Interp`]: lowering is type-directed, so the
+    /// Wasm path cannot run unchecked.
+    pub typecheck: bool,
+    /// Run a GC every `n` interpreter steps (default: only on demand).
+    pub auto_gc_every: Option<u64>,
+    /// Caps interpreter steps per invocation on both backends.
+    pub fuel: Option<u64>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            exec: Exec::Differential,
+            typecheck: true,
+            auto_gc_every: None,
+            fuel: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The default configuration (differential mode, typecheck on).
+    pub fn new() -> EngineConfig {
+        EngineConfig::default()
+    }
+
+    /// Selects the execution mode.
+    pub fn exec(mut self, exec: Exec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Shorthand for `exec(Exec::Interp)`.
+    pub fn interp_only(self) -> Self {
+        self.exec(Exec::Interp)
+    }
+
+    /// Toggles the RichWasm type check.
+    pub fn typecheck(mut self, on: bool) -> Self {
+        self.typecheck = on;
+        self
+    }
+
+    /// Runs a GC every `n` interpreter steps.
+    pub fn auto_gc_every(mut self, n: u64) -> Self {
+        self.auto_gc_every = Some(n);
+        self
+    }
+
+    /// Caps interpreter steps per invocation.
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+}
+
+/// A named, ordered set of source modules plus an optional entry module —
+/// the unit of compilation an [`Engine`] caches.
+#[derive(Debug, Clone, Default)]
+pub struct ModuleSet {
+    pub(crate) sources: Vec<(String, Source)>,
+    pub(crate) entry: Option<String>,
+}
+
+impl ModuleSet {
+    /// An empty module set.
+    pub fn new() -> ModuleSet {
+        ModuleSet::default()
+    }
+
+    /// Adds an ML source module under `name`.
+    pub fn ml(mut self, name: impl Into<String>, m: MlModule) -> Self {
+        self.sources.push((name.into(), Source::Ml(Box::new(m))));
+        self
+    }
+
+    /// Adds an L3 source module under `name`.
+    pub fn l3(mut self, name: impl Into<String>, m: L3Module) -> Self {
+        self.sources.push((name.into(), Source::L3(Box::new(m))));
+        self
+    }
+
+    /// Adds a raw RichWasm module under `name`.
+    pub fn richwasm(mut self, name: impl Into<String>, m: syntax::Module) -> Self {
+        self.sources
+            .push((name.into(), Source::RichWasm(Box::new(m))));
+        self
+    }
+
+    /// Names the module whose exported `main` entry invocations target.
+    /// Defaults to the only module when exactly one was added.
+    pub fn entry(mut self, name: impl Into<String>) -> Self {
+        self.entry = Some(name.into());
+        self
+    }
+
+    fn resolved_entry(&self) -> Option<String> {
+        self.entry
+            .clone()
+            .or_else(|| (self.sources.len() == 1).then(|| self.sources[0].0.clone()))
+    }
+}
+
+/// The content hash identifying one (module set, configuration) pair in
+/// the engine's artifact cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u128);
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// FNV-1a, 128-bit: stable across runs and platforms (unlike
+/// `DefaultHasher`), dependency-free, and fast enough that keying is
+/// negligible next to even a warm compile.
+struct Fnv128(u128);
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+    fn new() -> Fnv128 {
+        Fnv128(Self::OFFSET)
+    }
+}
+
+impl fmt::Write for Fnv128 {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &b in s.as_bytes() {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        Ok(())
+    }
+}
+
+/// Content-addresses a module set under a configuration: the hash covers
+/// the full AST of every module (via its canonical `Debug` rendering —
+/// for raw modules that *is* the RichWasm AST; for ML/L3 sources the
+/// frontends are deterministic, so the source AST is a faithful proxy
+/// and hashing pre-frontend lets a hit skip the frontend stage too),
+/// each module's name and language, the entry selection, and the whole
+/// [`EngineConfig`].
+fn cache_key(config: &EngineConfig, set: &ModuleSet) -> CacheKey {
+    use fmt::Write as _;
+    let mut h = Fnv128::new();
+    let _ = write!(h, "cfg:{config:?}|entry:{:?}", set.entry);
+    for (name, src) in &set.sources {
+        // `{name:?}` quotes and escapes the name, so a crafted module
+        // name cannot forge the `|mod:`/`=` separators and alias two
+        // distinct sets onto one hash stream.
+        let _ = write!(h, "|mod:{name:?}={src:?}");
+    }
+    CacheKey(h.0)
+}
+
+/// Cache effectiveness counters, via [`Engine::cache_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Compiles served from the cache (all static stages skipped).
+    pub hits: u64,
+    /// Compiles that ran the full static pipeline.
+    pub misses: u64,
+}
+
+#[derive(Debug)]
+struct ArtifactInner {
+    key: CacheKey,
+    config: EngineConfig,
+    entry: Option<String>,
+    /// RichWasm modules (post-frontend), in instantiation order.
+    modules: Vec<(String, syntax::Module)>,
+    /// Checked module environments (empty when `typecheck` is off).
+    envs: Vec<ModuleEnv>,
+    /// The whole-program table layout the modules were lowered under.
+    link_plan: LinkPlan,
+    /// Lowered Wasm modules, runtime first (empty in [`Exec::Interp`]).
+    lowered: Vec<(String, w::Module)>,
+    /// Standard `.wasm` encodings of `lowered`.
+    binaries: Vec<(String, Vec<u8>)>,
+    /// Static-stage timings of the (cold) compile that produced this.
+    timings: Timings,
+}
+
+/// The immutable result of the static pipeline — everything up to, but
+/// not including, instantiation. Cloning is one `Arc` bump; artifacts are
+/// `Send + Sync` and can be instantiated from many threads at once.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    inner: Arc<ArtifactInner>,
+}
+
+impl Artifact {
+    /// The content hash this artifact is cached under.
+    pub fn key(&self) -> CacheKey {
+        self.inner.key
+    }
+
+    /// The configuration it was compiled under.
+    pub fn config(&self) -> &EngineConfig {
+        &self.inner.config
+    }
+
+    /// The resolved entry module, if any.
+    pub fn entry(&self) -> Option<&str> {
+        self.inner.entry.as_deref()
+    }
+
+    /// Module names in instantiation order.
+    pub fn module_names(&self) -> impl Iterator<Item = &str> {
+        self.inner.modules.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// The checked [`ModuleEnv`]s (empty when the check was disabled).
+    pub fn envs(&self) -> &[ModuleEnv] {
+        &self.inner.envs
+    }
+
+    /// The whole-program [`LinkPlan`] the modules were lowered under.
+    pub fn link_plan(&self) -> &LinkPlan {
+        &self.inner.link_plan
+    }
+
+    /// Standard `.wasm` bytes per lowered module, generated runtime
+    /// module first (empty in [`Exec::Interp`] mode).
+    pub fn wasm_binaries(&self) -> &[(String, Vec<u8>)] {
+        &self.inner.binaries
+    }
+
+    /// Static-stage timings of the cold compile that built this artifact.
+    /// A cache hit returns the same artifact, so these do *not* grow —
+    /// the static stages ran exactly once.
+    pub fn timings(&self) -> &Timings {
+        &self.inner.timings
+    }
+
+    /// True when `other` is literally the same cached artifact (pointer
+    /// identity, not structural comparison).
+    pub fn same_as(&self, other: &Artifact) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Creates a fresh, independent [`Instance`]: typed linking +
+    /// instantiation on the RichWasm interpreter and/or instantiation of
+    /// the lowered modules on the Wasm interpreter. No static stage runs.
+    ///
+    /// # Errors
+    ///
+    /// Link errors ([`Stage::Instantiate`]) — e.g. an import whose
+    /// declared type does not match the provider's export.
+    pub fn instantiate(&self) -> Result<Instance, PipelineError> {
+        let inner = &self.inner;
+        let config = inner.config;
+        let mut timings = Timings::default();
+        let t0 = Instant::now();
+
+        let richwasm = if config.exec.wants_interp() {
+            Some(self.build_runtime()?)
+        } else {
+            None
+        };
+
+        let wasm = if config.exec.wants_wasm() {
+            let mut linker = WasmLinker::new();
+            if let Some(fuel) = config.fuel {
+                // Units differ (reduction steps vs executed instructions),
+                // but both backends must be bounded or fuel exhaustion on
+                // one side would masquerade as a differential mismatch.
+                linker.max_steps = fuel;
+            }
+            for (name, wm) in &inner.lowered {
+                linker.instantiate(name, wm.clone()).map_err(|e| {
+                    PipelineError::new(Stage::Instantiate, Some(name), PipelineErrorKind::Wasm(e))
+                })?;
+            }
+            // Baseline for cheap Instance::reset.
+            linker.seal();
+            Some(linker)
+        } else {
+            None
+        };
+        timings.add(Stage::Instantiate, t0.elapsed());
+
+        Ok(Instance {
+            richwasm,
+            wasm,
+            artifact: self.clone(),
+            timings,
+            invocations: 0,
+        })
+    }
+
+    /// Typed linking + instantiation of the (already checked) RichWasm
+    /// modules on a fresh interpreter runtime. Modules were checked at
+    /// compile time (when the check is on), so per-module re-checking is
+    /// off; the typed linker's FFI boundary check still runs.
+    fn build_runtime(&self) -> Result<Runtime, PipelineError> {
+        let config = self.inner.config;
+        let mut rt = Runtime::new();
+        rt.config.check_modules = false;
+        if let Some(n) = config.auto_gc_every {
+            rt.config.auto_gc_every = Some(n);
+        }
+        if let Some(fuel) = config.fuel {
+            rt.config.fuel = fuel;
+        }
+        for (name, m) in &self.inner.modules {
+            rt.instantiate(name, m.clone()).map_err(|e| {
+                PipelineError::new(Stage::Instantiate, Some(name), PipelineErrorKind::Type(e))
+            })?;
+        }
+        Ok(rt)
+    }
+}
+
+/// A live, independently mutable execution of an [`Artifact`]: the
+/// RichWasm runtime and/or the Wasm linker, ready for repeated
+/// [`Instance::invoke`] calls. Two instances of one artifact share no
+/// mutable state.
+#[derive(Debug)]
+pub struct Instance {
+    /// The RichWasm interpreter with every module instantiated (present
+    /// unless the engine runs in [`Exec::Wasm`] mode). Public so harness
+    /// code can extract the backend and drive it directly.
+    pub richwasm: Option<Runtime>,
+    /// The Wasm interpreter with every lowered module instantiated
+    /// (present unless the engine runs in [`Exec::Interp`] mode).
+    pub wasm: Option<WasmLinker>,
+    artifact: Artifact,
+    timings: Timings,
+    invocations: u64,
+}
+
+impl Instance {
+    /// The artifact this instance was created from.
+    pub fn artifact(&self) -> &Artifact {
+        &self.artifact
+    }
+
+    /// The execution mode this instance runs in.
+    pub fn exec_mode(&self) -> Exec {
+        self.artifact.config().exec
+    }
+
+    /// Dynamic-stage timings of this instance (instantiation; never any
+    /// static stage — [`Timings::no_static_stages`] always holds, however
+    /// many invocations have run).
+    pub fn timings(&self) -> &Timings {
+        &self.timings
+    }
+
+    /// Number of completed [`Instance::invoke`] calls (successful or not).
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// The RichWasm runtime, panicking when the engine runs Wasm-only.
+    /// Convenience for store inspection in tests.
+    pub fn runtime(&mut self) -> &mut Runtime {
+        self.richwasm
+            .as_mut()
+            .expect("instance was built without the RichWasm interpreter")
+    }
+
+    /// Invokes export `func` of `module` with `args` on every active
+    /// backend; in differential mode the results must agree.
+    ///
+    /// Arguments are RichWasm values; for the Wasm backend they are
+    /// lowered the same way the compiler lowers parameters (`unit`
+    /// erases, numerics pass through).
+    ///
+    /// # Errors
+    ///
+    /// Execution failures ([`Stage::Execute`]) or cross-backend
+    /// disagreement ([`Stage::Differential`]). In differential mode
+    /// *both* backends always run, so a trap on only one of them — the
+    /// very erasure bug differential mode exists to catch — surfaces as
+    /// a [`PipelineErrorKind::Mismatch`], and a failed invocation never
+    /// leaves the two backends' states out of step.
+    pub fn invoke(
+        &mut self,
+        module: &str,
+        func: &str,
+        args: Vec<Value>,
+    ) -> Result<Invocation, PipelineError> {
+        self.invocations += 1;
+        let exec = self.exec_mode();
+        invoke_backends(&mut self.richwasm, &mut self.wasm, exec, module, func, args)
+    }
+
+    /// Invokes `main` on the entry module with no arguments.
+    ///
+    /// # Errors
+    ///
+    /// As [`Instance::invoke`], plus an `Unsupported` error when the
+    /// module set has no resolvable entry.
+    pub fn invoke_entry(&mut self) -> Result<Invocation, PipelineError> {
+        let Some(entry) = self.artifact.entry().map(str::to_string) else {
+            return Err(PipelineError::new(
+                Stage::Execute,
+                None,
+                PipelineErrorKind::Unsupported(
+                    "no entry module: add at least one module, and call .entry(name) when \
+                     more than one is added"
+                        .into(),
+                ),
+            ));
+        };
+        self.invoke(&entry, "main", vec![])
+    }
+
+    /// Rewinds the instance to its freshly instantiated state without
+    /// re-running any static stage: the Wasm store restores its sealed
+    /// baseline in place, and the RichWasm runtime re-links from the
+    /// artifact's (already checked) modules.
+    ///
+    /// # Errors
+    ///
+    /// The same link errors as [`Artifact::instantiate`] — impossible in
+    /// practice for an artifact that instantiated once already.
+    pub fn reset(&mut self) -> Result<(), PipelineError> {
+        if let Some(linker) = &mut self.wasm {
+            // In-place restore of the sealed baseline — no re-validation,
+            // no import re-resolution.
+            linker.reset().map_err(|e| {
+                PipelineError::new(Stage::Instantiate, None, PipelineErrorKind::Wasm(e))
+            })?;
+        }
+        if self.richwasm.is_some() {
+            self.richwasm = Some(self.artifact.build_runtime()?);
+        }
+        self.invocations = 0;
+        Ok(())
+    }
+}
+
+/// The long-lived compilation engine: configuration plus the
+/// content-addressed artifact cache. Shareable across threads (`&self`
+/// everywhere); concurrent compiles of the same key race benignly (both
+/// produce equal artifacts; one wins the cache slot).
+#[derive(Debug, Default)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: Mutex<HashMap<CacheKey, Artifact>>,
+    stats: Mutex<CacheStats>,
+}
+
+impl Engine {
+    /// An engine with the default configuration (differential mode,
+    /// typecheck on).
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// An engine with an explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Engine {
+        Engine {
+            config,
+            ..Engine::default()
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Cache hit/miss counters since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        *self.stats.lock().expect("engine stats poisoned")
+    }
+
+    /// Number of artifacts currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().expect("engine cache poisoned").len()
+    }
+
+    /// Drops every cached artifact (instances and externally held
+    /// artifact clones stay valid — they own their data via `Arc`).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("engine cache poisoned").clear();
+    }
+
+    /// Compiles a module set to an [`Artifact`], or returns the cached
+    /// artifact when the same (module set, configuration) content hash
+    /// was compiled before — skipping every static stage.
+    ///
+    /// On a miss, per-module frontend + typecheck stages run in parallel
+    /// across the set's modules; lowering, validation, and encoding then
+    /// run sequentially (lowering is whole-program, §6).
+    ///
+    /// # Errors
+    ///
+    /// The first stage failure, as a [`PipelineError`] naming the stage
+    /// and offending module. Failures are not cached: a later compile of
+    /// the same set retries.
+    pub fn compile(&self, set: &ModuleSet) -> Result<Artifact, PipelineError> {
+        let key = cache_key(&self.config, set);
+        if let Some(hit) = self
+            .cache
+            .lock()
+            .expect("engine cache poisoned")
+            .get(&key)
+            .cloned()
+        {
+            self.stats.lock().expect("engine stats poisoned").hits += 1;
+            return Ok(hit);
+        }
+        // Compile outside the lock: a slow build must not serialise
+        // unrelated compiles.
+        let artifact = self.compile_cold(set, key)?;
+        self.cache
+            .lock()
+            .expect("engine cache poisoned")
+            .insert(key, artifact.clone());
+        self.stats.lock().expect("engine stats poisoned").misses += 1;
+        Ok(artifact)
+    }
+
+    /// [`Engine::compile`] + [`Artifact::instantiate`] in one call.
+    ///
+    /// # Errors
+    ///
+    /// As the two underlying calls.
+    pub fn instantiate(&self, set: &ModuleSet) -> Result<Instance, PipelineError> {
+        self.compile(set)?.instantiate()
+    }
+
+    /// A full compile that bypasses the cache entirely (no lookup, no
+    /// insertion, no stats). Used by the one-shot `Pipeline` facade,
+    /// whose throwaway engines could never hit the cache anyway —
+    /// caching there would only keep a dead artifact copy alive.
+    pub(crate) fn compile_uncached(&self, set: &ModuleSet) -> Result<Artifact, PipelineError> {
+        self.compile_cold(set, cache_key(&self.config, set))
+    }
+
+    /// The full static pipeline, no cache involved.
+    fn compile_cold(&self, set: &ModuleSet, key: CacheKey) -> Result<Artifact, PipelineError> {
+        let config = self.config;
+
+        // Lowering is type-directed: `Session` re-checks whatever it is
+        // given, so an unchecked Wasm build is impossible by construction.
+        // Reject the combination instead of silently re-enabling checks
+        // under a different stage name.
+        if !config.typecheck && config.exec.wants_wasm() {
+            return Err(PipelineError::new(
+                Stage::Typecheck,
+                None,
+                PipelineErrorKind::Unsupported(
+                    "typecheck(false) requires Exec::Interp: lowering is type-directed, so \
+                     the Wasm path cannot run unchecked"
+                        .into(),
+                ),
+            ));
+        }
+
+        let entry = set.resolved_entry();
+        let mut timings = Timings::default();
+
+        // Stages 1–2: frontends + the substructural check. Modules are
+        // compiled and checked *independently* (imports are matched
+        // structurally at link time, not against the provider's env), so
+        // the per-module work fans out across scoped threads. Results come
+        // back in source order; the first error in source order wins.
+        type Checked = (syntax::Module, Option<ModuleEnv>, Duration, Duration);
+        let check_one = |name: &str, src: &Source| -> Result<Checked, PipelineError> {
+            let t0 = Instant::now();
+            let m = match src {
+                Source::Ml(m) => compile_ml(m).map_err(|e| {
+                    PipelineError::new(Stage::Frontend, Some(name), PipelineErrorKind::Ml(e))
+                })?,
+                Source::L3(m) => compile_l3(m).map_err(|e| {
+                    PipelineError::new(Stage::Frontend, Some(name), PipelineErrorKind::L3(e))
+                })?,
+                Source::RichWasm(m) => (**m).clone(),
+            };
+            let frontend = t0.elapsed();
+            let t1 = Instant::now();
+            let env = if config.typecheck {
+                Some(check_module(&m).map_err(|e| {
+                    PipelineError::new(Stage::Typecheck, Some(name), PipelineErrorKind::Type(e))
+                })?)
+            } else {
+                None
+            };
+            Ok((m, env, frontend, t1.elapsed()))
+        };
+        let results: Vec<Result<Checked, PipelineError>> = if set.sources.len() <= 1 {
+            // Nothing to fan out; skip the thread-spawn overhead.
+            set.sources.iter().map(|(n, s)| check_one(n, s)).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = set
+                    .sources
+                    .iter()
+                    .map(|(n, s)| scope.spawn(|| check_one(n, s)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("frontend worker panicked"))
+                    .collect()
+            })
+        };
+        let mut modules = Vec::with_capacity(set.sources.len());
+        let mut envs = Vec::new();
+        let mut frontend_total = Duration::ZERO;
+        let mut typecheck_total = Duration::ZERO;
+        for ((name, _), result) in set.sources.iter().zip(results) {
+            let (m, env, frontend, typecheck) = result?;
+            modules.push((name.clone(), m));
+            envs.extend(env);
+            frontend_total += frontend;
+            typecheck_total += typecheck;
+        }
+        timings.add(Stage::Frontend, frontend_total);
+        if config.typecheck {
+            timings.add(Stage::Typecheck, typecheck_total);
+        }
+
+        // Stages 3–5: lower whole-program, validate, encode.
+        let mut link_plan = LinkPlan::default();
+        let mut lowered = Vec::new();
+        let mut binaries = Vec::new();
+        if config.exec.wants_wasm() {
+            let t0 = Instant::now();
+            link_plan = LinkPlan::compute(&modules);
+            lowered = lower_modules_with_plan(&modules, &envs, &link_plan)
+                .map_err(|e| PipelineError::new(Stage::Lower, None, PipelineErrorKind::Lower(e)))?;
+            timings.add(Stage::Lower, t0.elapsed());
+
+            let t0 = Instant::now();
+            for (name, wm) in &lowered {
+                validate_module(wm).map_err(|e| {
+                    PipelineError::new(
+                        Stage::Validate,
+                        Some(name),
+                        PipelineErrorKind::Validation(e),
+                    )
+                })?;
+            }
+            timings.add(Stage::Validate, t0.elapsed());
+
+            let t0 = Instant::now();
+            for (name, wm) in &lowered {
+                binaries.push((name.clone(), encode_module(wm)));
+            }
+            timings.add(Stage::Encode, t0.elapsed());
+        }
+
+        Ok(Artifact {
+            inner: Arc::new(ArtifactInner {
+                key,
+                config,
+                entry,
+                modules,
+                envs,
+                link_plan,
+                lowered,
+                binaries,
+                timings,
+            }),
+        })
+    }
+}
+
+/// Flattens a RichWasm result value to its lowered Wasm representation
+/// (`unit` erases; numerics map to their Wasm type). Returns `None` for
+/// values without a direct scalar lowering (references, tuples, …).
+fn flatten_value(v: &Value) -> Option<Vec<Val>> {
+    match v {
+        Value::Unit => Some(vec![]),
+        Value::Num(NumType::I32 | NumType::U32, bits) => Some(vec![Val::I32(*bits as u32)]),
+        Value::Num(NumType::I64 | NumType::U64, bits) => Some(vec![Val::I64(*bits)]),
+        Value::Num(NumType::F32, bits) => Some(vec![Val::F32(f32::from_bits(*bits as u32))]),
+        Value::Num(NumType::F64, bits) => Some(vec![Val::F64(f64::from_bits(*bits))]),
+        _ => None,
+    }
+}
+
+/// Bit-exact comparison (floats compare by bit pattern, so NaN == NaN).
+fn vals_equal(a: &[Val], b: &[Val]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (Val::F32(x), Val::F32(y)) => x.to_bits() == y.to_bits(),
+            (Val::F64(x), Val::F64(y)) => x.to_bits() == y.to_bits(),
+            _ => x == y,
+        })
+}
+
+/// The shared invocation path of [`Instance::invoke`] and the
+/// compatibility `Program::invoke`: run every available backend,
+/// cross-check in differential mode.
+pub(crate) fn invoke_backends(
+    richwasm: &mut Option<Runtime>,
+    wasm: &mut Option<WasmLinker>,
+    exec: Exec,
+    module: &str,
+    func: &str,
+    args: Vec<Value>,
+) -> Result<Invocation, PipelineError> {
+    let interp_result: Option<Result<InvokeResult, PipelineError>> = richwasm.as_mut().map(|rt| {
+        let inst = rt.instance_by_name(module).ok_or_else(|| {
+            PipelineError::new(
+                Stage::Execute,
+                Some(module),
+                PipelineErrorKind::Unsupported(format!("no module named `{module}`")),
+            )
+        })?;
+        rt.invoke(inst, func, args.clone()).map_err(|e| {
+            PipelineError::new(Stage::Execute, Some(module), PipelineErrorKind::Runtime(e))
+        })
+    });
+    // Outside differential mode there is nothing to cross-check, so
+    // an interpreter failure propagates immediately.
+    let interp_result = match (interp_result, exec) {
+        (Some(r), Exec::Differential) => Some(r),
+        (Some(r), _) => Some(Ok(r?)),
+        (None, _) => None,
+    };
+
+    let wasm_result: Option<Result<Vec<Val>, PipelineError>> = wasm.as_mut().map(|linker| {
+        let inst = linker.instance_by_name(module).ok_or_else(|| {
+            PipelineError::new(
+                Stage::Execute,
+                Some(module),
+                PipelineErrorKind::Unsupported(format!("no module named `{module}`")),
+            )
+        })?;
+        let mut wargs = Vec::new();
+        for a in &args {
+            let flat = flatten_value(a).ok_or_else(|| {
+                PipelineError::new(
+                    Stage::Execute,
+                    Some(module),
+                    PipelineErrorKind::Unsupported(format!(
+                        "argument {a:?} has no scalar Wasm lowering"
+                    )),
+                )
+            })?;
+            wargs.extend(flat);
+        }
+        linker.invoke(inst, func, &wargs).map_err(|e| {
+            PipelineError::new(Stage::Execute, Some(module), PipelineErrorKind::Wasm(e))
+        })
+    });
+
+    if exec == Exec::Differential {
+        // A backend may have been extracted through the pub fields
+        // (the benches do this); fall back to whatever is left.
+        match (interp_result, wasm_result) {
+            (Some(ir), Some(wr)) => return compare(module, ir, wr),
+            (ir, wr) => {
+                return Ok(Invocation {
+                    richwasm: ir.transpose()?,
+                    wasm: wr.transpose()?,
+                })
+            }
+        }
+    }
+
+    Ok(Invocation {
+        richwasm: interp_result.transpose()?,
+        wasm: wasm_result.transpose()?,
+    })
+}
+
+/// Differential-mode reconciliation: both outcomes (success or failure)
+/// must agree.
+fn compare(
+    module: &str,
+    interp: Result<InvokeResult, PipelineError>,
+    wasm: Result<Vec<Val>, PipelineError>,
+) -> Result<Invocation, PipelineError> {
+    match (interp, wasm) {
+        (Ok(ir), Ok(wr)) => {
+            let mut flat = Vec::new();
+            let mut comparable = true;
+            for v in &ir.values {
+                match flatten_value(v) {
+                    Some(vals) => flat.extend(vals),
+                    None => comparable = false,
+                }
+            }
+            if !comparable {
+                return Err(PipelineError::new(
+                    Stage::Differential,
+                    Some(module),
+                    PipelineErrorKind::Unsupported(format!(
+                        "result {:?} has no scalar Wasm lowering to compare against",
+                        ir.values
+                    )),
+                ));
+            }
+            if !vals_equal(&flat, &wr) {
+                return Err(PipelineError::new(
+                    Stage::Differential,
+                    Some(module),
+                    PipelineErrorKind::Mismatch {
+                        richwasm: format!("{:?}", ir.values),
+                        wasm: format!("{wr:?}"),
+                    },
+                ));
+            }
+            Ok(Invocation {
+                richwasm: Some(ir),
+                wasm: Some(wr),
+            })
+        }
+        // Both failed. A trap on the interpreter matching a wasm-side
+        // failure is an agreed dynamic fault; any other interp failure
+        // class (stuck, fuel, …) coinciding with a wasm error is still
+        // a disagreement worth surfacing with both sides attached.
+        (Err(ie), Err(we)) => {
+            if matches!(
+                ie.kind,
+                PipelineErrorKind::Runtime(RuntimeError::Trap { .. })
+            ) {
+                Err(ie)
+            } else {
+                Err(PipelineError::new(
+                    Stage::Differential,
+                    Some(module),
+                    PipelineErrorKind::Mismatch {
+                        richwasm: format!("error: {}", ie.kind),
+                        wasm: format!("error: {}", we.kind),
+                    },
+                ))
+            }
+        }
+        // One-sided failure: the disagreement differential mode is for.
+        (Ok(ir), Err(we)) => Err(PipelineError::new(
+            Stage::Differential,
+            Some(module),
+            PipelineErrorKind::Mismatch {
+                richwasm: format!("{:?}", ir.values),
+                wasm: format!("error: {}", we.kind),
+            },
+        )),
+        (Err(ie), Ok(wr)) => Err(PipelineError::new(
+            Stage::Differential,
+            Some(module),
+            PipelineErrorKind::Mismatch {
+                richwasm: format!("error: {}", ie.kind),
+                wasm: format!("{wr:?}"),
+            },
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Engine and Artifact must stay shareable across threads: a service
+    // holds one Engine and instantiates artifacts from worker threads.
+    fn _assert_send_sync<T: Send + Sync>() {}
+    #[allow(dead_code)]
+    fn _engine_is_send_sync() {
+        _assert_send_sync::<Engine>();
+        _assert_send_sync::<Artifact>();
+    }
+
+    #[test]
+    fn cache_key_is_stable_and_content_sensitive() {
+        let cfg = EngineConfig::new();
+        let set = ModuleSet::new().richwasm("m", syntax::Module::default());
+        let k1 = cache_key(&cfg, &set);
+        let k2 = cache_key(&cfg, &set);
+        assert_eq!(k1, k2, "same content, same key");
+
+        let renamed = ModuleSet::new().richwasm("other", syntax::Module::default());
+        assert_ne!(k1, cache_key(&cfg, &renamed), "module name is content");
+
+        let recfg = cfg.interp_only();
+        assert_ne!(k1, cache_key(&recfg, &set), "config is part of the key");
+    }
+
+    #[test]
+    fn cache_key_cannot_be_forged_through_module_names() {
+        // A module name crafted to contain the key's separator syntax
+        // must not collapse a two-module set onto a one-module set.
+        let cfg = EngineConfig::new();
+        let two = ModuleSet::new()
+            .richwasm("a", syntax::Module::default())
+            .richwasm("b", syntax::Module::default());
+        let forged_name = format!("a\"={:?}|mod:\"b", Source::RichWasm(Box::default()));
+        let one = ModuleSet::new().richwasm(forged_name, syntax::Module::default());
+        assert_ne!(cache_key(&cfg, &two), cache_key(&cfg, &one));
+    }
+}

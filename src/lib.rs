@@ -3,10 +3,25 @@
 //! Re-exports the component crates so root-level `examples/` and `tests/`
 //! can exercise the entire pipeline: source languages (ML, L3) → RichWasm →
 //! WebAssembly.
+//!
+//! Two top-level APIs drive the chain:
+//!
+//! * [`engine`] — the compile-once / run-many API. An [`Engine`] owns the
+//!   configuration and a content-addressed artifact cache; compiling a
+//!   module set yields an immutable, cheaply shareable [`Artifact`], and
+//!   each [`Artifact::instantiate`](engine::Artifact::instantiate) call
+//!   produces an independent live [`Instance`] for repeated invocation.
+//! * [`pipeline`] — the original one-shot [`Pipeline`] builder, now a
+//!   thin facade over the engine (one full compile per `build`).
 
+pub mod engine;
 pub mod pipeline;
 
-pub use pipeline::{Exec, Pipeline, PipelineError, PipelineErrorKind, Stage};
+pub use engine::{
+    Artifact, CacheKey, CacheStats, Engine, EngineConfig, Exec, Instance, Invocation, ModuleSet,
+    PipelineError, PipelineErrorKind, Source, Stage, Timings,
+};
+pub use pipeline::{Pipeline, Program, Report, Run};
 pub use richwasm;
 pub use richwasm_l3 as l3;
 pub use richwasm_lower as lower;

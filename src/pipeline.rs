@@ -1,4 +1,5 @@
-//! The unified five-stage compilation driver.
+//! The one-shot compatibility facade over the compile-once / run-many
+//! [`engine`](crate::engine) API.
 //!
 //! A [`Pipeline`] accepts a mix of ML, L3, and raw RichWasm modules and
 //! drives them through the whole chain the paper describes:
@@ -14,6 +15,13 @@
 //! RichWasm interpreter, the lowered Wasm, or **differential** — run both
 //! and fail on disagreement (the repo's standing erasure-correctness
 //! check, experiment E5).
+//!
+//! Internally, `build` is exactly [`Engine::compile`] on a throwaway
+//! engine followed by
+//! [`Artifact::instantiate`](crate::engine::Artifact::instantiate) —
+//! each `Pipeline` pays the full static pipeline once. Services that
+//! invoke the same program repeatedly should hold an [`Engine`] instead
+//! and reuse its cached [`Artifact`](crate::engine::Artifact)s.
 //!
 //! # Example
 //!
@@ -34,229 +42,17 @@
 //! assert_eq!(run.result.i32(), Some(42)); // both backends agreed
 //! ```
 
-use std::fmt;
-use std::time::{Duration, Instant};
+use richwasm::interp::Runtime;
+use richwasm::syntax::{self, Value};
+use richwasm_l3::L3Module;
+use richwasm_ml::MlModule;
+use richwasm_wasm::exec::WasmLinker;
 
-use richwasm::error::{RuntimeError, TypeError};
-use richwasm::interp::{InvokeResult, Runtime};
-use richwasm::syntax::{self, NumType, Value};
-use richwasm::typecheck::check_module;
-use richwasm_l3::{compile_module as compile_l3, L3Error, L3Module};
-use richwasm_lower::{lower_modules_with_envs, LowerError};
-use richwasm_ml::{compile_module as compile_ml, MlError, MlModule};
-use richwasm_wasm::binary::encode_module;
-use richwasm_wasm::exec::{Val, WasmLinker, WasmTrap};
-use richwasm_wasm::validate::ValidationError;
-use richwasm_wasm::validate_module;
+use crate::engine::{invoke_backends, Engine, EngineConfig, ModuleSet};
 
-/// A source module in one of the three input languages.
-#[derive(Debug, Clone)]
-pub enum Source {
-    /// A core ML module (compiled by `richwasm-ml`, paper §5).
-    Ml(Box<MlModule>),
-    /// An L3 module (compiled by `richwasm-l3`, paper §5).
-    L3(Box<L3Module>),
-    /// An already-built RichWasm module.
-    RichWasm(Box<syntax::Module>),
-}
-
-/// The pipeline stages, in execution order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Stage {
-    /// Source-language compilation to RichWasm.
-    Frontend,
-    /// The RichWasm substructural type check.
-    Typecheck,
-    /// Typed linking + instantiation on the RichWasm interpreter.
-    Instantiate,
-    /// Whole-program type-directed lowering to Wasm.
-    Lower,
-    /// Validation of the lowered Wasm modules.
-    Validate,
-    /// Standard `.wasm` binary encoding.
-    Encode,
-    /// Execution (either interpreter).
-    Execute,
-    /// Cross-backend result comparison.
-    Differential,
-}
-
-impl fmt::Display for Stage {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
-            Stage::Frontend => "frontend",
-            Stage::Typecheck => "typecheck",
-            Stage::Instantiate => "instantiate",
-            Stage::Lower => "lower",
-            Stage::Validate => "validate",
-            Stage::Encode => "encode",
-            Stage::Execute => "execute",
-            Stage::Differential => "differential",
-        })
-    }
-}
-
-/// The underlying cause of a [`PipelineError`].
-#[derive(Debug)]
-pub enum PipelineErrorKind {
-    /// The ML frontend rejected its input.
-    Ml(MlError),
-    /// The L3 frontend rejected its input (L3 checks linearity itself).
-    L3(L3Error),
-    /// The RichWasm checker or typed linker rejected a module.
-    Type(TypeError),
-    /// The RichWasm → Wasm compiler failed.
-    Lower(LowerError),
-    /// A lowered module failed Wasm validation.
-    Validation(ValidationError),
-    /// The RichWasm interpreter trapped or got stuck.
-    Runtime(RuntimeError),
-    /// The Wasm interpreter trapped.
-    Wasm(WasmTrap),
-    /// The two backends disagreed in differential mode.
-    Mismatch {
-        /// What the RichWasm interpreter produced.
-        richwasm: String,
-        /// What the Wasm interpreter produced.
-        wasm: String,
-    },
-    /// The request cannot be expressed on the selected backend(s).
-    Unsupported(String),
-}
-
-impl fmt::Display for PipelineErrorKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineErrorKind::Ml(e) => write!(f, "{e}"),
-            PipelineErrorKind::L3(e) => write!(f, "{e}"),
-            PipelineErrorKind::Type(e) => write!(f, "{e}"),
-            PipelineErrorKind::Lower(e) => write!(f, "{e}"),
-            PipelineErrorKind::Validation(e) => write!(f, "{e}"),
-            PipelineErrorKind::Runtime(e) => write!(f, "{e}"),
-            PipelineErrorKind::Wasm(e) => write!(f, "{e}"),
-            PipelineErrorKind::Mismatch { richwasm, wasm } => {
-                write!(
-                    f,
-                    "backends disagree: richwasm produced {richwasm}, wasm produced {wasm}"
-                )
-            }
-            PipelineErrorKind::Unsupported(what) => write!(f, "unsupported: {what}"),
-        }
-    }
-}
-
-/// A failure in some pipeline stage, with source-module context.
-#[derive(Debug)]
-pub struct PipelineError {
-    /// The stage that failed.
-    pub stage: Stage,
-    /// The module being processed when the failure arose, if any.
-    pub module: Option<String>,
-    /// The underlying cause.
-    pub kind: PipelineErrorKind,
-}
-
-impl PipelineError {
-    fn new(stage: Stage, module: Option<&str>, kind: PipelineErrorKind) -> PipelineError {
-        PipelineError {
-            stage,
-            module: module.map(str::to_string),
-            kind,
-        }
-    }
-
-    /// True when the failure is a static rejection (type checking, typed
-    /// linking, or a frontend error) rather than a dynamic fault.
-    pub fn is_static_rejection(&self) -> bool {
-        matches!(
-            self.kind,
-            PipelineErrorKind::Ml(_) | PipelineErrorKind::L3(_) | PipelineErrorKind::Type(_)
-        )
-    }
-}
-
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pipeline stage `{}`", self.stage)?;
-        if let Some(m) = &self.module {
-            write!(f, " (module `{m}`)")?;
-        }
-        write!(f, ": {}", self.kind)
-    }
-}
-
-impl std::error::Error for PipelineError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match &self.kind {
-            PipelineErrorKind::Type(e) => Some(e),
-            PipelineErrorKind::Lower(e) => Some(e),
-            PipelineErrorKind::Runtime(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-/// Which interpreter(s) execute the program.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum Exec {
-    /// RichWasm interpreter only (skips the Wasm half of the pipeline).
-    Interp,
-    /// Lowered Wasm only.
-    Wasm,
-    /// Both, with results compared after every invocation.
-    #[default]
-    Differential,
-}
-
-impl Exec {
-    fn wants_interp(self) -> bool {
-        self != Exec::Wasm
-    }
-    fn wants_wasm(self) -> bool {
-        self != Exec::Interp
-    }
-}
-
-/// Wall-clock time spent per stage, in stage order.
-#[derive(Debug, Clone, Default)]
-pub struct Timings(Vec<(Stage, Duration)>);
-
-impl Timings {
-    fn add(&mut self, stage: Stage, d: Duration) {
-        self.0.push((stage, d));
-    }
-
-    /// Per-stage entries in the order they ran.
-    pub fn entries(&self) -> &[(Stage, Duration)] {
-        &self.0
-    }
-
-    /// Total time across all recorded stages.
-    pub fn total(&self) -> Duration {
-        self.0.iter().map(|(_, d)| *d).sum()
-    }
-
-    /// Accumulated time for one stage.
-    pub fn of(&self, stage: Stage) -> Duration {
-        self.0
-            .iter()
-            .filter(|(s, _)| *s == stage)
-            .map(|(_, d)| *d)
-            .sum()
-    }
-}
-
-impl fmt::Display for Timings {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (i, (stage, d)) in self.0.iter().enumerate() {
-            if i > 0 {
-                write!(f, ", ")?;
-            }
-            write!(f, "{stage}: {d:.2?}")?;
-        }
-        Ok(())
-    }
-}
+pub use crate::engine::{
+    Exec, Invocation, PipelineError, PipelineErrorKind, Source, Stage, Timings,
+};
 
 /// What `build` produced besides the executable program.
 #[derive(Debug, Clone, Default)]
@@ -266,34 +62,6 @@ pub struct Report {
     /// The standard `.wasm` encoding of every lowered module (empty in
     /// [`Exec::Interp`] mode). Includes the generated runtime module.
     pub binaries: Vec<(String, Vec<u8>)>,
-}
-
-/// The result of invoking an export through [`Program::invoke`].
-#[derive(Debug, Clone)]
-pub struct Invocation {
-    /// The RichWasm interpreter's result (absent in [`Exec::Wasm`] mode).
-    pub richwasm: Option<InvokeResult>,
-    /// The Wasm interpreter's result (absent in [`Exec::Interp`] mode).
-    pub wasm: Option<Vec<Val>>,
-}
-
-impl Invocation {
-    /// The single `i32` result, when there is exactly one (from whichever
-    /// backend ran; in differential mode both agreed).
-    pub fn i32(&self) -> Option<i32> {
-        if let Some(r) = &self.richwasm {
-            if let [Value::Num(NumType::I32 | NumType::U32, bits)] = r.values[..] {
-                return Some(bits as u32 as i32);
-            }
-            return None;
-        }
-        if let Some(vals) = &self.wasm {
-            if let [Val::I32(w)] = vals[..] {
-                return Some(w as i32);
-            }
-        }
-        None
-    }
 }
 
 /// A built program: instantiated on the requested backend(s), ready to
@@ -326,45 +94,40 @@ pub struct Run {
 /// See the [module documentation](self) for an example.
 #[derive(Debug, Clone, Default)]
 pub struct Pipeline {
-    sources: Vec<(String, Source)>,
-    exec: Exec,
-    typecheck: bool,
-    auto_gc_every: Option<u64>,
-    fuel: Option<u64>,
-    entry: Option<String>,
+    set: ModuleSet,
+    config: EngineConfig,
 }
 
 impl Pipeline {
     /// An empty pipeline in differential mode with type checking on.
     pub fn new() -> Pipeline {
         Pipeline {
-            typecheck: true,
-            ..Pipeline::default()
+            set: ModuleSet::new(),
+            config: EngineConfig::new(),
         }
     }
 
     /// Adds an ML source module under `name`.
     pub fn ml(mut self, name: impl Into<String>, m: MlModule) -> Self {
-        self.sources.push((name.into(), Source::Ml(Box::new(m))));
+        self.set = self.set.ml(name, m);
         self
     }
 
     /// Adds an L3 source module under `name`.
     pub fn l3(mut self, name: impl Into<String>, m: L3Module) -> Self {
-        self.sources.push((name.into(), Source::L3(Box::new(m))));
+        self.set = self.set.l3(name, m);
         self
     }
 
     /// Adds a raw RichWasm module under `name`.
     pub fn richwasm(mut self, name: impl Into<String>, m: syntax::Module) -> Self {
-        self.sources
-            .push((name.into(), Source::RichWasm(Box::new(m))));
+        self.set = self.set.richwasm(name, m);
         self
     }
 
     /// Selects the execution mode (default: [`Exec::Differential`]).
     pub fn exec(mut self, exec: Exec) -> Self {
-        self.exec = exec;
+        self.config = self.config.exec(exec);
         self
     }
 
@@ -377,26 +140,26 @@ impl Pipeline {
     /// reproduces the paper's "world without RichWasm types" contrast:
     /// faults then surface only dynamically.
     pub fn typecheck(mut self, on: bool) -> Self {
-        self.typecheck = on;
+        self.config = self.config.typecheck(on);
         self
     }
 
     /// Runs a GC every `n` interpreter steps (default: only on demand).
     pub fn auto_gc_every(mut self, n: u64) -> Self {
-        self.auto_gc_every = Some(n);
+        self.config = self.config.auto_gc_every(n);
         self
     }
 
     /// Caps interpreter steps per invocation.
     pub fn fuel(mut self, fuel: u64) -> Self {
-        self.fuel = Some(fuel);
+        self.config = self.config.fuel(fuel);
         self
     }
 
     /// Names the module whose exported `main` [`Pipeline::run`] invokes.
     /// Defaults to the only module when exactly one was added.
     pub fn entry(mut self, name: impl Into<String>) -> Self {
-        self.entry = Some(name.into());
+        self.set = self.set.entry(name);
         self
     }
 
@@ -408,159 +171,33 @@ impl Pipeline {
     /// The first stage failure, as a [`PipelineError`] naming the stage
     /// and offending module.
     pub fn build(self) -> Result<Program, PipelineError> {
-        let mut timings = Timings::default();
+        // A throwaway engine: one-shot semantics, so the static pipeline
+        // runs in full and the cache is bypassed — by design.
+        let engine = Engine::with_config(self.config);
+        let artifact = engine.compile_uncached(&self.set)?;
+        let mut instance = artifact.instantiate()?;
 
-        // Lowering is type-directed: `Session` re-checks whatever it is
-        // given, so an unchecked Wasm build is impossible by construction.
-        // Reject the combination instead of silently re-enabling checks
-        // under a different stage name.
-        if !self.typecheck && self.exec.wants_wasm() {
-            return Err(PipelineError::new(
-                Stage::Typecheck,
-                None,
-                PipelineErrorKind::Unsupported(
-                    "typecheck(false) requires Exec::Interp: lowering is type-directed, so \
-                     the Wasm path cannot run unchecked"
-                        .into(),
-                ),
-            ));
-        }
-
-        // `build` owns the sources, so raw RichWasm modules move through
-        // without a copy; only the entry name is needed afterwards.
-        let entry = self
-            .entry
-            .or_else(|| (self.sources.len() == 1).then(|| self.sources[0].0.clone()));
-
-        // Stage 1: frontends.
-        let t0 = Instant::now();
-        let mut modules: Vec<(String, syntax::Module)> = Vec::with_capacity(self.sources.len());
-        for (name, src) in self.sources {
-            let compiled = match src {
-                Source::Ml(m) => compile_ml(&m).map_err(|e| {
-                    PipelineError::new(Stage::Frontend, Some(&name), PipelineErrorKind::Ml(e))
-                })?,
-                Source::L3(m) => compile_l3(&m).map_err(|e| {
-                    PipelineError::new(Stage::Frontend, Some(&name), PipelineErrorKind::L3(e))
-                })?,
-                Source::RichWasm(m) => *m,
-            };
-            modules.push((name, compiled));
-        }
-        timings.add(Stage::Frontend, t0.elapsed());
-
-        // Stage 2: the RichWasm substructural type check. The resulting
-        // module environments feed the type-directed lowering, which
-        // would otherwise have to re-run the check.
-        let mut envs = Vec::new();
-        if self.typecheck {
-            let t0 = Instant::now();
-            for (name, m) in &modules {
-                envs.push(check_module(m).map_err(|e| {
-                    PipelineError::new(Stage::Typecheck, Some(name), PipelineErrorKind::Type(e))
-                })?);
-            }
-            timings.add(Stage::Typecheck, t0.elapsed());
-        }
-
-        // Stage 3: typed linking + instantiation on the RichWasm
-        // interpreter. Modules were already checked above, so per-module
-        // re-checking is off; the linker's FFI boundary check still runs.
-        // The last backend to consume `modules` takes them by move.
-        let richwasm = if self.exec.wants_interp() {
-            let t0 = Instant::now();
-            let mut rt = Runtime::new();
-            rt.config.check_modules = false;
-            if let Some(n) = self.auto_gc_every {
-                rt.config.auto_gc_every = Some(n);
-            }
-            if let Some(fuel) = self.fuel {
-                rt.config.fuel = fuel;
-            }
-            if self.exec.wants_wasm() {
-                for (name, m) in &modules {
-                    rt.instantiate(name, m.clone()).map_err(|e| {
-                        PipelineError::new(
-                            Stage::Instantiate,
-                            Some(name),
-                            PipelineErrorKind::Type(e),
-                        )
-                    })?;
-                }
-            } else {
-                for (name, m) in std::mem::take(&mut modules) {
-                    rt.instantiate(&name, m).map_err(|e| {
-                        PipelineError::new(
-                            Stage::Instantiate,
-                            Some(&name),
-                            PipelineErrorKind::Type(e),
-                        )
-                    })?;
-                }
-            }
-            timings.add(Stage::Instantiate, t0.elapsed());
-            Some(rt)
-        } else {
-            None
-        };
-
-        // Stages 4–6: lower whole-program, validate, encode, instantiate
-        // on the Wasm interpreter.
-        let mut binaries = Vec::new();
-        let wasm = if self.exec.wants_wasm() {
-            let t0 = Instant::now();
-            let lowered = lower_modules_with_envs(&modules, &envs)
-                .map_err(|e| PipelineError::new(Stage::Lower, None, PipelineErrorKind::Lower(e)))?;
-            timings.add(Stage::Lower, t0.elapsed());
-
-            let t0 = Instant::now();
-            for (name, wm) in &lowered {
-                validate_module(wm).map_err(|e| {
-                    PipelineError::new(
-                        Stage::Validate,
-                        Some(name),
-                        PipelineErrorKind::Validation(e),
-                    )
-                })?;
-            }
-            timings.add(Stage::Validate, t0.elapsed());
-
-            let t0 = Instant::now();
-            for (name, wm) in &lowered {
-                binaries.push((name.clone(), encode_module(wm)));
-            }
-            timings.add(Stage::Encode, t0.elapsed());
-
-            let t0 = Instant::now();
-            let mut linker = WasmLinker::new();
-            if let Some(fuel) = self.fuel {
-                // Units differ (reduction steps vs executed instructions),
-                // but both backends must be bounded or fuel exhaustion on
-                // one side would masquerade as a differential mismatch.
-                linker.max_steps = fuel;
-            }
-            for (name, wm) in lowered {
-                linker.instantiate(&name, wm).map_err(|e| {
-                    PipelineError::new(Stage::Instantiate, Some(&name), PipelineErrorKind::Wasm(e))
-                })?;
-            }
-            timings.add(Stage::Instantiate, t0.elapsed());
-            Some(linker)
-        } else {
-            None
-        };
-
+        let mut timings = artifact.timings().clone();
+        timings.extend(instance.timings());
+        let entry = artifact.entry().map(str::to_string);
         Ok(Program {
-            richwasm,
-            wasm,
-            report: Report { timings, binaries },
-            exec: self.exec,
+            richwasm: instance.richwasm.take(),
+            wasm: instance.wasm.take(),
+            report: Report {
+                timings,
+                binaries: artifact.wasm_binaries().to_vec(),
+            },
+            exec: self.config.exec,
             entry,
         })
     }
 
     /// [`Pipeline::build`], then invoke `main` on the entry module with no
     /// arguments.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::build`], plus execution/differential failures.
     pub fn run(self) -> Result<Run, PipelineError> {
         let mut program = self.build()?;
         let Some(entry) = program.entry.clone() else {
@@ -579,201 +216,30 @@ impl Pipeline {
     }
 }
 
-/// Flattens a RichWasm result value to its lowered Wasm representation
-/// (`unit` erases; numerics map to their Wasm type). Returns `None` for
-/// values without a direct scalar lowering (references, tuples, …).
-fn flatten_value(v: &Value) -> Option<Vec<Val>> {
-    match v {
-        Value::Unit => Some(vec![]),
-        Value::Num(NumType::I32 | NumType::U32, bits) => Some(vec![Val::I32(*bits as u32)]),
-        Value::Num(NumType::I64 | NumType::U64, bits) => Some(vec![Val::I64(*bits)]),
-        Value::Num(NumType::F32, bits) => Some(vec![Val::F32(f32::from_bits(*bits as u32))]),
-        Value::Num(NumType::F64, bits) => Some(vec![Val::F64(f64::from_bits(*bits))]),
-        _ => None,
-    }
-}
-
-/// Bit-exact comparison (floats compare by bit pattern, so NaN == NaN).
-fn vals_equal(a: &[Val], b: &[Val]) -> bool {
-    a.len() == b.len()
-        && a.iter().zip(b).all(|(x, y)| match (x, y) {
-            (Val::F32(x), Val::F32(y)) => x.to_bits() == y.to_bits(),
-            (Val::F64(x), Val::F64(y)) => x.to_bits() == y.to_bits(),
-            _ => x == y,
-        })
-}
-
 impl Program {
     /// Invokes export `func` of `module` with `args` on every active
-    /// backend; in differential mode the results must agree.
-    ///
-    /// Arguments are RichWasm values; for the Wasm backend they are
-    /// lowered the same way the compiler lowers parameters (`unit`
-    /// erases, numerics pass through).
+    /// backend; in differential mode the results must agree. See
+    /// [`Instance::invoke`](crate::engine::Instance::invoke), which this
+    /// delegates to.
     ///
     /// # Errors
     ///
     /// Execution failures ([`Stage::Execute`]) or cross-backend
-    /// disagreement ([`Stage::Differential`]). In differential mode
-    /// *both* backends always run, so a trap on only one of them — the
-    /// very erasure bug differential mode exists to catch — surfaces as
-    /// a [`PipelineErrorKind::Mismatch`], and a failed invocation never
-    /// leaves the two backends' states out of step.
+    /// disagreement ([`Stage::Differential`]).
     pub fn invoke(
         &mut self,
         module: &str,
         func: &str,
         args: Vec<Value>,
     ) -> Result<Invocation, PipelineError> {
-        let interp_result: Option<Result<InvokeResult, PipelineError>> =
-            self.richwasm.as_mut().map(|rt| {
-                let inst = rt.instance_by_name(module).ok_or_else(|| {
-                    PipelineError::new(
-                        Stage::Execute,
-                        Some(module),
-                        PipelineErrorKind::Unsupported(format!("no module named `{module}`")),
-                    )
-                })?;
-                rt.invoke(inst, func, args.clone()).map_err(|e| {
-                    PipelineError::new(Stage::Execute, Some(module), PipelineErrorKind::Runtime(e))
-                })
-            });
-        // Outside differential mode there is nothing to cross-check, so
-        // an interpreter failure propagates immediately.
-        let interp_result = match (interp_result, self.exec) {
-            (Some(r), Exec::Differential) => Some(r),
-            (Some(r), _) => Some(Ok(r?)),
-            (None, _) => None,
-        };
-
-        let wasm_result: Option<Result<Vec<Val>, PipelineError>> =
-            self.wasm.as_mut().map(|linker| {
-                let inst = linker.instance_by_name(module).ok_or_else(|| {
-                    PipelineError::new(
-                        Stage::Execute,
-                        Some(module),
-                        PipelineErrorKind::Unsupported(format!("no module named `{module}`")),
-                    )
-                })?;
-                let mut wargs = Vec::new();
-                for a in &args {
-                    let flat = flatten_value(a).ok_or_else(|| {
-                        PipelineError::new(
-                            Stage::Execute,
-                            Some(module),
-                            PipelineErrorKind::Unsupported(format!(
-                                "argument {a:?} has no scalar Wasm lowering"
-                            )),
-                        )
-                    })?;
-                    wargs.extend(flat);
-                }
-                linker.invoke(inst, func, &wargs).map_err(|e| {
-                    PipelineError::new(Stage::Execute, Some(module), PipelineErrorKind::Wasm(e))
-                })
-            });
-
-        if self.exec == Exec::Differential {
-            // A backend may have been extracted through the pub fields
-            // (the benches do this); fall back to whatever is left.
-            match (interp_result, wasm_result) {
-                (Some(ir), Some(wr)) => return Self::compare(module, ir, wr),
-                (ir, wr) => {
-                    return Ok(Invocation {
-                        richwasm: ir.transpose()?,
-                        wasm: wr.transpose()?,
-                    })
-                }
-            }
-        }
-
-        Ok(Invocation {
-            richwasm: interp_result.transpose()?,
-            wasm: wasm_result.transpose()?,
-        })
-    }
-
-    /// Differential-mode reconciliation: both outcomes (success or
-    /// failure) must agree.
-    fn compare(
-        module: &str,
-        interp: Result<InvokeResult, PipelineError>,
-        wasm: Result<Vec<Val>, PipelineError>,
-    ) -> Result<Invocation, PipelineError> {
-        match (interp, wasm) {
-            (Ok(ir), Ok(wr)) => {
-                let mut flat = Vec::new();
-                let mut comparable = true;
-                for v in &ir.values {
-                    match flatten_value(v) {
-                        Some(vals) => flat.extend(vals),
-                        None => comparable = false,
-                    }
-                }
-                if !comparable {
-                    return Err(PipelineError::new(
-                        Stage::Differential,
-                        Some(module),
-                        PipelineErrorKind::Unsupported(format!(
-                            "result {:?} has no scalar Wasm lowering to compare against",
-                            ir.values
-                        )),
-                    ));
-                }
-                if !vals_equal(&flat, &wr) {
-                    return Err(PipelineError::new(
-                        Stage::Differential,
-                        Some(module),
-                        PipelineErrorKind::Mismatch {
-                            richwasm: format!("{:?}", ir.values),
-                            wasm: format!("{wr:?}"),
-                        },
-                    ));
-                }
-                Ok(Invocation {
-                    richwasm: Some(ir),
-                    wasm: Some(wr),
-                })
-            }
-            // Both failed. A trap on the interpreter matching a wasm-side
-            // failure is an agreed dynamic fault; any other interp failure
-            // class (stuck, fuel, …) coinciding with a wasm error is still
-            // a disagreement worth surfacing with both sides attached.
-            (Err(ie), Err(we)) => {
-                if matches!(
-                    ie.kind,
-                    PipelineErrorKind::Runtime(RuntimeError::Trap { .. })
-                ) {
-                    Err(ie)
-                } else {
-                    Err(PipelineError::new(
-                        Stage::Differential,
-                        Some(module),
-                        PipelineErrorKind::Mismatch {
-                            richwasm: format!("error: {}", ie.kind),
-                            wasm: format!("error: {}", we.kind),
-                        },
-                    ))
-                }
-            }
-            // One-sided failure: the disagreement differential mode is for.
-            (Ok(ir), Err(we)) => Err(PipelineError::new(
-                Stage::Differential,
-                Some(module),
-                PipelineErrorKind::Mismatch {
-                    richwasm: format!("{:?}", ir.values),
-                    wasm: format!("error: {}", we.kind),
-                },
-            )),
-            (Err(ie), Ok(wr)) => Err(PipelineError::new(
-                Stage::Differential,
-                Some(module),
-                PipelineErrorKind::Mismatch {
-                    richwasm: format!("error: {}", ie.kind),
-                    wasm: format!("{wr:?}"),
-                },
-            )),
-        }
+        invoke_backends(
+            &mut self.richwasm,
+            &mut self.wasm,
+            self.exec,
+            module,
+            func,
+            args,
+        )
     }
 
     /// The execution mode this program was built with.

@@ -1,0 +1,226 @@
+//! The compile-once / run-many contract of the [`Engine`] →
+//! [`Artifact`] → [`Instance`] API:
+//!
+//! * cache hits are **content-addressed** and byte-identical to a cold
+//!   compile (same `.wasm` bytes, same artifact);
+//! * N invocations through one long-lived [`Instance`] agree with N
+//!   fresh one-shot [`Pipeline`] runs in differential mode;
+//! * two instances of one artifact share no mutable state;
+//! * no cached or instantiated path ever re-runs a static stage
+//!   (observable through [`Timings`]);
+//! * [`PipelineError::source`] chains every wrapped error kind.
+
+use std::error::Error as _;
+
+use richwasm::error::{RuntimeError, TypeError};
+use richwasm::syntax::Value;
+use richwasm_bench::workloads::{counter_client, counter_library, stash_client, stash_module};
+use richwasm_l3::L3Error;
+use richwasm_lower::LowerError;
+use richwasm_ml::MlError;
+use richwasm_repro::engine::{Engine, ModuleSet, PipelineError, PipelineErrorKind, Stage};
+use richwasm_repro::pipeline::Pipeline;
+use richwasm_wasm::exec::WasmTrap;
+use richwasm_wasm::validate::ValidationError;
+
+fn stash_set() -> ModuleSet {
+    ModuleSet::new()
+        .ml("ml", stash_module(false))
+        .l3("l3", stash_client())
+        .entry("l3")
+}
+
+fn counter_set() -> ModuleSet {
+    ModuleSet::new()
+        .l3("gfx", counter_library())
+        .ml("app", counter_client())
+}
+
+#[test]
+fn cache_hit_returns_byte_identical_wasm() {
+    // Two independent engines: two *cold* compiles must already agree
+    // byte for byte (the static pipeline is deterministic, parallel
+    // frontends notwithstanding).
+    let a = Engine::new();
+    let b = Engine::new();
+    let cold_a = a.compile(&stash_set()).unwrap();
+    let cold_b = b.compile(&stash_set()).unwrap();
+    assert!(!cold_a.wasm_binaries().is_empty());
+    assert_eq!(
+        cold_a.wasm_binaries(),
+        cold_b.wasm_binaries(),
+        "cold compiles are deterministic"
+    );
+    assert_eq!(cold_a.key(), cold_b.key(), "content hash is stable");
+
+    // A warm compile on engine `a` is a cache hit: the very same artifact
+    // (pointer identity), hence trivially byte-identical `.wasm`.
+    let warm = a.compile(&stash_set()).unwrap();
+    assert!(warm.same_as(&cold_a), "hit returns the cached artifact");
+    assert_eq!(warm.wasm_binaries(), cold_a.wasm_binaries());
+    assert_eq!(a.cache_stats().misses, 1);
+    assert_eq!(a.cache_stats().hits, 1);
+    assert_eq!(a.cache_len(), 1);
+
+    // Different content, different slot: the buggy stash never compiles,
+    // and failures are not cached.
+    let bad = ModuleSet::new().ml("ml", stash_module(true));
+    assert!(a.compile(&bad).is_err());
+    assert_eq!(a.cache_len(), 1, "failed compiles are not cached");
+}
+
+#[test]
+fn instance_invocations_match_fresh_pipeline_runs() {
+    // N invocations through ONE instance vs N one-shot Pipeline runs,
+    // both in differential mode (so each side is additionally
+    // cross-checked against its own lowering).
+    const N: usize = 5;
+    let engine = Engine::new();
+    let mut instance = engine.instantiate(&stash_set()).unwrap();
+    let through_instance: Vec<Option<i32>> = (0..N)
+        .map(|_| instance.invoke_entry().expect("instance run").i32())
+        .collect();
+
+    let through_pipeline: Vec<Option<i32>> = (0..N)
+        .map(|_| {
+            Pipeline::new()
+                .ml("ml", stash_module(false))
+                .l3("l3", stash_client())
+                .entry("l3")
+                .run()
+                .expect("one-shot run")
+                .result
+                .i32()
+        })
+        .collect();
+
+    assert_eq!(through_instance, through_pipeline);
+    assert_eq!(instance.invocations(), N as u64);
+    // The engine compiled exactly once for all N instance invocations.
+    assert_eq!(engine.cache_stats().misses, 1);
+    // And no invocation ever re-ran a static stage.
+    assert!(instance.timings().no_static_stages());
+    assert!(instance.artifact().timings().of(Stage::Frontend) > std::time::Duration::ZERO);
+}
+
+#[test]
+fn instances_of_one_artifact_do_not_share_state() {
+    let engine = Engine::new();
+    let artifact = engine.compile(&counter_set()).unwrap();
+    let mut one = artifact.instantiate().unwrap();
+    let mut two = artifact.instantiate().unwrap();
+
+    // Interleave mutations: each instance keeps its own counter.
+    one.invoke("app", "setup", vec![Value::i32(5)]).unwrap();
+    two.invoke("app", "setup", vec![Value::i32(3)]).unwrap();
+    one.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    one.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    two.invoke("app", "bump", vec![Value::Unit]).unwrap();
+
+    let t1 = one.invoke("app", "total", vec![Value::Unit]).unwrap();
+    let t2 = two.invoke("app", "total", vec![Value::Unit]).unwrap();
+    assert_eq!(t1.i32(), Some(10), "instance one: 2 bumps × step 5");
+    assert_eq!(t2.i32(), Some(3), "instance two: 1 bump × step 3");
+}
+
+#[test]
+fn instance_reset_restores_fresh_state() {
+    let engine = Engine::new();
+    let mut inst = engine.instantiate(&counter_set()).unwrap();
+    inst.invoke("app", "setup", vec![Value::i32(7)]).unwrap();
+    inst.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    assert_eq!(
+        inst.invoke("app", "total", vec![Value::Unit])
+            .unwrap()
+            .i32(),
+        Some(7)
+    );
+
+    // After reset the instance behaves like a fresh instantiation —
+    // `setup` succeeds again (it would trap on a configured counter).
+    inst.reset().unwrap();
+    assert_eq!(inst.invocations(), 0);
+    inst.invoke("app", "setup", vec![Value::i32(2)]).unwrap();
+    inst.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    assert_eq!(
+        inst.invoke("app", "total", vec![Value::Unit])
+            .unwrap()
+            .i32(),
+        Some(2)
+    );
+    assert!(inst.timings().no_static_stages());
+}
+
+#[test]
+fn facade_and_engine_produce_identical_binaries() {
+    // The one-shot Pipeline is a facade over the engine: same module set,
+    // same bytes.
+    let engine_bytes = Engine::new()
+        .compile(&counter_set())
+        .unwrap()
+        .wasm_binaries()
+        .to_vec();
+    let facade = Pipeline::new()
+        .l3("gfx", counter_library())
+        .ml("app", counter_client())
+        .build()
+        .unwrap();
+    assert_eq!(engine_bytes, facade.report.binaries);
+}
+
+#[test]
+fn error_sources_chain_every_kind() {
+    // `PipelineError::source()` must expose the wrapped layer error for
+    // every kind that has one — the error-reporting contract downstream
+    // services rely on (anyhow-style chain printing).
+    let chained: Vec<(PipelineErrorKind, bool)> = vec![
+        (PipelineErrorKind::Ml(MlError::Type("t".into())), true),
+        (PipelineErrorKind::L3(L3Error::Linearity("l".into())), true),
+        (
+            PipelineErrorKind::Type(TypeError::LinkError { reason: "r".into() }),
+            true,
+        ),
+        (
+            PipelineErrorKind::Lower(LowerError::Internal("i".into())),
+            true,
+        ),
+        (
+            PipelineErrorKind::Validation(ValidationError("v".into())),
+            true,
+        ),
+        (
+            PipelineErrorKind::Runtime(RuntimeError::Trap { reason: "t".into() }),
+            true,
+        ),
+        (PipelineErrorKind::Wasm(WasmTrap("w".into())), true),
+        (
+            PipelineErrorKind::Mismatch {
+                richwasm: "a".into(),
+                wasm: "b".into(),
+            },
+            false,
+        ),
+        (PipelineErrorKind::Unsupported("u".into()), false),
+    ];
+    for (kind, has_source) in chained {
+        let label = format!("{kind:?}");
+        let err = PipelineError {
+            stage: Stage::Execute,
+            module: None,
+            kind,
+        };
+        assert_eq!(
+            err.source().is_some(),
+            has_source,
+            "source() chain for {label}"
+        );
+        if let Some(src) = err.source() {
+            // The chained error's Display is part of the wrapper's
+            // message, so chain printers do not lose information.
+            assert!(
+                err.to_string().contains(&src.to_string()),
+                "wrapper message embeds the source: {err}"
+            );
+        }
+    }
+}

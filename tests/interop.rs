@@ -12,23 +12,21 @@
 //! system will first complain…").
 //!
 //! The stash/client modules are the shared E1 workload builders from
-//! `richwasm_bench::workloads`; every path here runs through the unified
-//! [`Pipeline`] driver.
+//! `richwasm_bench::workloads`; every path here runs through the
+//! compile-once/run-many [`Engine`] API.
 
 use richwasm::TypeError;
 use richwasm_bench::workloads::{lin_ref_l3, stash_client, stash_module};
 use richwasm_l3::{L3Expr, L3Fun, L3Import, L3Module};
-use richwasm_repro::pipeline::{Pipeline, PipelineErrorKind, Stage};
+use richwasm_repro::engine::{Engine, EngineConfig, ModuleSet, PipelineErrorKind, Stage};
 
 #[test]
 fn fig1_buggy_stash_is_rejected_by_richwasm() {
     // The ML compiler itself accepts the buggy program (it does not check
-    // linearity, §5) — so the pipeline's frontend stage succeeds — but
-    // the RichWasm type checker rejects it: `stash` duplicates the linear
-    // reference.
-    let err = Pipeline::new()
-        .ml("ml", stash_module(true))
-        .build()
+    // linearity, §5) — so the frontend stage succeeds — but the RichWasm
+    // type checker rejects it: `stash` duplicates the linear reference.
+    let err = Engine::new()
+        .compile(&ModuleSet::new().ml("ml", stash_module(true)))
         .expect_err("RichWasm must reject the duplication");
     assert_eq!(
         err.stage,
@@ -51,19 +49,23 @@ fn fig1_buggy_stash_is_rejected_by_richwasm() {
 #[test]
 fn fig3_safe_version_links_and_runs() {
     // Differential mode: the safe version also agrees with its lowering.
-    let run = Pipeline::new()
-        .ml("ml", stash_module(false))
-        .l3("l3", stash_client())
-        .entry("l3")
-        .run()
-        .expect("safe version type checks, links, and runs on both backends");
-    assert_eq!(run.result.i32(), Some(42));
+    let mut instance = Engine::new()
+        .instantiate(
+            &ModuleSet::new()
+                .ml("ml", stash_module(false))
+                .l3("l3", stash_client())
+                .entry("l3"),
+        )
+        .expect("safe version type checks, links, and instantiates");
+    let result = instance
+        .invoke_entry()
+        .expect("runs and agrees on both backends");
+    assert_eq!(result.i32(), Some(42));
     // No double free, no leak: the counter cell, the stash's initial
     // empty option, and the full option are each freed exactly once; the
     // only linear cell still alive is the empty option `get_stashed`
     // swapped in.
-    let mut program = run.program;
-    let mem = &program.runtime().store.mem;
+    let mem = &instance.runtime().store.mem;
     assert_eq!(mem.frees, 3, "counter + initial empty option + full option");
     assert_eq!(
         mem.lin.len(),
@@ -97,14 +99,16 @@ fn double_free_attempt_traps_at_runtime_without_types() {
         );
         c
     };
-    let mut prog = Pipeline::new()
-        .ml("ml", stash_module(true))
-        .l3("l3", l3_bad)
-        .typecheck(false) // simulate a world without RichWasm types
-        .interp_only()
-        .build()
+    // Simulate a world without RichWasm types.
+    let engine = Engine::with_config(EngineConfig::new().typecheck(false).interp_only());
+    let mut instance = engine
+        .instantiate(
+            &ModuleSet::new()
+                .ml("ml", stash_module(true))
+                .l3("l3", l3_bad),
+        )
         .expect("without the checker, the faulty program links fine");
-    let err = prog.invoke("l3", "main", vec![]).unwrap_err();
+    let err = instance.invoke("l3", "main", vec![]).unwrap_err();
     assert_eq!(err.stage, Stage::Execute);
     // Without static checking the fault still *manifests* — but only
     // dynamically, either as a memory trap or as a stuck configuration
@@ -121,8 +125,8 @@ fn double_free_attempt_traps_at_runtime_without_types() {
 fn lying_about_the_boundary_type_is_a_link_error() {
     // The client declares stash's parameter as an *unrestricted* i32: the
     // typed linker refuses (the FFI safety choke point). The lying import
-    // is expressed directly in RichWasm — the pipeline accepts raw
-    // RichWasm modules alongside frontend sources.
+    // is expressed directly in RichWasm — the engine accepts raw RichWasm
+    // modules alongside frontend sources.
     let bad_import = richwasm::syntax::Func::Imported {
         exports: vec![],
         module: "ml".into(),
@@ -137,11 +141,15 @@ fn lying_about_the_boundary_type_is_a_link_error() {
         funcs: vec![bad_import],
         ..richwasm::syntax::Module::default()
     };
-    let err = Pipeline::new()
+    let engine = Engine::with_config(EngineConfig::new().interp_only());
+    let set = ModuleSet::new()
         .ml("ml", stash_module(false))
-        .richwasm("client", bad_module)
-        .interp_only()
-        .build()
+        .richwasm("client", bad_module);
+    // Each module is fine *in isolation* — the artifact compiles…
+    let artifact = engine.compile(&set).expect("modules check independently");
+    // …but the boundary lie is caught the moment the modules are linked.
+    let err = artifact
+        .instantiate()
         .expect_err("the typed linker must reject the lie");
     assert_eq!(
         err.stage,
@@ -187,14 +195,12 @@ fn stashing_linear_memory_in_gc_memory_is_collected_via_finalizer() {
             ),
         }],
     };
-    let mut prog = Pipeline::new()
-        .ml("ml", stash_module(false))
-        .l3("l3", l3)
-        .interp_only()
-        .build()
+    let engine = Engine::with_config(EngineConfig::new().interp_only());
+    let mut instance = engine
+        .instantiate(&ModuleSet::new().ml("ml", stash_module(false)).l3("l3", l3))
         .unwrap();
-    prog.invoke("l3", "main", vec![]).unwrap();
-    let rt = prog.runtime();
+    instance.invoke("l3", "main", vec![]).unwrap();
+    let rt = instance.runtime();
     let live_lin_before = rt.store.mem.lin.len();
     assert!(live_lin_before >= 1, "the stashed linear cell is alive");
     // The stash is still rooted through the module's global, so a GC

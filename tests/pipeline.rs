@@ -4,15 +4,15 @@
 //! agrees with the RichWasm interpreter, and the lowered modules encode to
 //! the standard binary format.
 //!
-//! All scenarios go through the unified [`Pipeline`] driver in its default
-//! differential mode, so backend agreement is checked on every invocation
-//! rather than hand-wired per test.
+//! All scenarios go through the compile-once/run-many [`Engine`] in its
+//! default differential mode, so backend agreement is checked on every
+//! invocation rather than hand-wired per test.
 
 use richwasm::syntax::Value;
 use richwasm_bench::workloads;
 use richwasm_l3::{L3Expr, L3Fun, L3Module, L3Op, L3Ty};
 use richwasm_ml::{MlBinop, MlExpr, MlFun, MlModule, MlTy};
-use richwasm_repro::pipeline::{Exec, Pipeline, Stage};
+use richwasm_repro::engine::{Engine, EngineConfig, Exec, ModuleSet, Stage};
 
 #[test]
 fn ml_program_through_full_pipeline() {
@@ -57,10 +57,12 @@ fn ml_program_through_full_pipeline() {
         }],
         ..MlModule::default()
     };
-    // Differential mode: the driver itself checks that the RichWasm
-    // interpreter and the lowered Wasm agree.
-    let run = Pipeline::new().ml("m", m).run().expect("full pipeline");
-    assert_eq!(run.result.i32(), Some(42));
+    // Differential mode: the engine's instances themselves check that the
+    // RichWasm interpreter and the lowered Wasm agree.
+    let mut inst = Engine::new()
+        .instantiate(&ModuleSet::new().ml("m", m))
+        .expect("full pipeline");
+    assert_eq!(inst.invoke_entry().expect("agrees").i32(), Some(42));
 }
 
 #[test]
@@ -89,8 +91,10 @@ fn l3_program_through_full_pipeline() {
         }],
         ..L3Module::default()
     };
-    let run = Pipeline::new().l3("m", m).run().expect("full pipeline");
-    assert_eq!(run.result.i32(), Some(42));
+    let mut inst = Engine::new()
+        .instantiate(&ModuleSet::new().l3("m", m))
+        .expect("full pipeline");
+    assert_eq!(inst.invoke_entry().expect("agrees").i32(), Some(42));
 }
 
 #[test]
@@ -98,14 +102,16 @@ fn cross_language_interop_through_wasm() {
     // The Fig. 3 safe scenario, but the whole thing lowered to Wasm: the
     // ML stash module and the L3 client share one Wasm memory managed by
     // the generated allocator runtime.
-    let run = Pipeline::new()
-        .ml("ml", workloads::stash_module(false))
-        .l3("l3", workloads::stash_client())
-        .entry("l3")
-        .run()
+    let mut inst = Engine::new()
+        .instantiate(
+            &ModuleSet::new()
+                .ml("ml", workloads::stash_module(false))
+                .l3("l3", workloads::stash_client())
+                .entry("l3"),
+        )
         .expect("full pipeline");
     assert_eq!(
-        run.result.i32(),
+        inst.invoke_entry().expect("agrees").i32(),
         Some(42),
         "shared-memory interop agrees across both backends"
     );
@@ -185,39 +191,39 @@ fn e1_ml_main_modules() -> (L3Module, MlModule) {
 
 #[test]
 fn pipeline_round_trip_binaries_validate_and_agree() {
-    // The satellite round-trip check: every lowered module (including the
-    // generated allocator runtime) encodes to standard `.wasm` bytes, and
+    // The round-trip check: every lowered module (including the generated
+    // allocator runtime) encodes to standard `.wasm` bytes, and
     // differential mode agrees on the E1 interop scenario regardless of
     // which language hosts `main`.
     //
     // ML-main ordering: L3 provides the linear cells, ML stashes and
     // drives.
+    let engine = Engine::new();
     let (cells, ml) = e1_ml_main_modules();
-    let run = Pipeline::new()
-        .l3("cells", cells)
-        .ml("ml", ml)
-        .entry("ml")
-        .run()
-        .expect("ML-main ordering agrees");
-    assert_eq!(run.result.i32(), Some(42));
-    for (name, bytes) in &run.program.report.binaries {
+    let artifact = engine
+        .compile(&ModuleSet::new().l3("cells", cells).ml("ml", ml).entry("ml"))
+        .expect("ML-main ordering compiles");
+    let mut inst = artifact.instantiate().unwrap();
+    assert_eq!(inst.invoke_entry().expect("agrees").i32(), Some(42));
+    for (name, bytes) in artifact.wasm_binaries() {
         assert_eq!(&bytes[..4], b"\0asm", "{name} is standard Wasm");
         assert_eq!(&bytes[4..8], &[1, 0, 0, 0], "{name} has version 1");
     }
 
     // The Fig. 9 counter, exercised invocation by invocation.
-    let lib = workloads::counter_library();
-    let client = workloads::counter_client();
-    let mut prog = Pipeline::new()
-        .l3("gfx", lib)
-        .ml("app", client)
-        .build()
-        .expect("counter scenario builds");
-    assert!(!prog.report.binaries.is_empty(), "encode stage ran");
-    for (name, bytes) in &prog.report.binaries {
+    let counter = engine
+        .compile(
+            &ModuleSet::new()
+                .l3("gfx", workloads::counter_library())
+                .ml("app", workloads::counter_client()),
+        )
+        .expect("counter scenario compiles");
+    assert!(!counter.wasm_binaries().is_empty(), "encode stage ran");
+    for (name, bytes) in counter.wasm_binaries() {
         assert_eq!(&bytes[..4], b"\0asm", "{name} is standard Wasm");
         assert_eq!(&bytes[4..8], &[1, 0, 0, 0], "{name} has version 1");
     }
+    let mut prog = counter.instantiate().unwrap();
     prog.invoke("app", "setup", vec![Value::i32(21)])
         .expect("setup agrees");
     prog.invoke("app", "bump", vec![Value::Unit])
@@ -228,20 +234,26 @@ fn pipeline_round_trip_binaries_validate_and_agree() {
     assert_eq!(total.i32(), Some(21));
 
     // L3-main ordering: ML provides the stash, the L3 client drives.
-    let run = Pipeline::new()
-        .ml("ml", workloads::stash_module(false))
-        .l3("l3", workloads::stash_client())
-        .entry("l3")
-        .run()
-        .expect("L3-main ordering agrees");
-    assert_eq!(run.result.i32(), Some(42));
-    let ml_binaries = &run.program.report.binaries;
+    let l3_main = engine
+        .compile(
+            &ModuleSet::new()
+                .ml("ml", workloads::stash_module(false))
+                .l3("l3", workloads::stash_client())
+                .entry("l3"),
+        )
+        .expect("L3-main ordering compiles");
+    let mut inst = l3_main.instantiate().unwrap();
+    assert_eq!(inst.invoke_entry().expect("agrees").i32(), Some(42));
     assert!(
-        ml_binaries.iter().all(|(_, b)| b.starts_with(b"\0asm")),
+        l3_main
+            .wasm_binaries()
+            .iter()
+            .all(|(_, b)| b.starts_with(b"\0asm")),
         "all binaries carry the Wasm magic"
     );
 
-    // Per-stage timings cover the whole five-stage path.
+    // Per-stage timings cover the whole five-stage static path on the
+    // artifact; the instance records only dynamic stages.
     for stage in [
         Stage::Frontend,
         Stage::Typecheck,
@@ -250,15 +262,15 @@ fn pipeline_round_trip_binaries_validate_and_agree() {
         Stage::Encode,
     ] {
         assert!(
-            run.program
-                .report
-                .timings
-                .entries()
-                .iter()
-                .any(|(s, _)| *s == stage),
+            l3_main.timings().entries().iter().any(|(s, _)| *s == stage),
             "stage {stage} was timed"
         );
     }
+    assert!(
+        inst.timings().no_static_stages(),
+        "instantiation re-ran a static stage: {}",
+        inst.timings()
+    );
 }
 
 #[test]
@@ -294,21 +306,24 @@ fn lowered_allocator_reclaims_memory() {
         ],
         ..L3Module::default()
     };
-    let mut prog = Pipeline::new()
-        .l3("m", m)
-        .exec(Exec::Wasm)
-        .build()
+    let engine = Engine::with_config(EngineConfig::new().exec(Exec::Wasm));
+    let mut inst = engine
+        .instantiate(&ModuleSet::new().l3("m", m))
         .expect("wasm-only build");
     for k in 0..100 {
-        let out = prog.invoke("m", "cycle", vec![Value::i32(k)]).unwrap();
+        let out = inst.invoke("m", "cycle", vec![Value::i32(k)]).unwrap();
         assert_eq!(out.i32(), Some(k));
     }
-    let live = prog.invoke("rw_runtime", "live", vec![]).unwrap();
+    let live = inst.invoke("rw_runtime", "live", vec![]).unwrap();
     assert_eq!(
         live.i32(),
         Some(0),
         "every allocation was returned to the free list"
     );
+    // After a reset the allocator is back at its data-segment baseline.
+    inst.reset().unwrap();
+    let live = inst.invoke("rw_runtime", "live", vec![]).unwrap();
+    assert_eq!(live.i32(), Some(0), "reset restores the allocator state");
 }
 
 #[test]
@@ -362,8 +377,10 @@ fn polymorphic_call_chains_through_wasm() {
         funs: vec![id1, id2, main],
         ..MlModule::default()
     };
-    let run = Pipeline::new().ml("m", m).run().expect("full pipeline");
-    assert_eq!(run.result.i32(), Some(42));
+    let mut inst = Engine::new()
+        .instantiate(&ModuleSet::new().ml("m", m))
+        .expect("full pipeline");
+    assert_eq!(inst.invoke_entry().expect("agrees").i32(), Some(42));
 }
 
 #[test]
@@ -371,17 +388,18 @@ fn gc_under_pressure_in_counter_scenario() {
     // Run the Fig. 9 counter with the collector firing every few steps:
     // results unchanged, and dead option cells get reclaimed. Interp-only:
     // the GC is a RichWasm-interpreter feature.
-    let mut prog = Pipeline::new()
-        .l3("gfx", workloads::counter_library())
-        .ml("app", workloads::counter_client())
-        .interp_only()
-        .auto_gc_every(7)
-        .build()
+    let engine = Engine::with_config(EngineConfig::new().interp_only().auto_gc_every(7));
+    let mut inst = engine
+        .instantiate(
+            &ModuleSet::new()
+                .l3("gfx", workloads::counter_library())
+                .ml("app", workloads::counter_client()),
+        )
         .expect("counter builds");
-    prog.invoke("app", "setup", vec![Value::i32(2)]).unwrap();
+    inst.invoke("app", "setup", vec![Value::i32(2)]).unwrap();
     for _ in 0..10 {
-        prog.invoke("app", "bump", vec![Value::Unit]).unwrap();
+        inst.invoke("app", "bump", vec![Value::Unit]).unwrap();
     }
-    let out = prog.invoke("app", "total", vec![Value::Unit]).unwrap();
+    let out = inst.invoke("app", "total", vec![Value::Unit]).unwrap();
     assert_eq!(out.i32(), Some(20));
 }

@@ -11,12 +11,12 @@
 //!   use-after-free cannot occur silently (the interpreter would trap).
 //! * **Erasure correctness** (§6): the lowered Wasm agrees with the
 //!   RichWasm semantics on every generated program — checked by the
-//!   [`Pipeline`] driver's differential mode.
+//!   [`Engine`]'s differential mode.
 
 use proptest::prelude::*;
 use richwasm::error::RuntimeError;
 use richwasm_ml::{MlBinop, MlExpr, MlFun, MlModule, MlTy};
-use richwasm_repro::pipeline::{Pipeline, PipelineErrorKind, Stage};
+use richwasm_repro::engine::{Engine, EngineConfig, ModuleSet, PipelineErrorKind, Stage};
 
 /// A generator for *well-typed* ML expressions of type `Int`, with `vars`
 /// integer variables in scope (named v0..v{vars-1}).
@@ -138,10 +138,9 @@ proptest! {
         // Frontend + typecheck: the ML compiler accepts its own
         // well-typed output, and compilation is type preserving (§5) —
         // a `Typecheck`-stage failure here would falsify preservation.
-        let mut prog = Pipeline::new()
-            .ml("m", module_of(body))
-            .interp_only()
-            .build()
+        let engine = Engine::with_config(EngineConfig::new().interp_only());
+        let mut prog = engine
+            .instantiate(&ModuleSet::new().ml("m", module_of(body)))
             .expect("compilation must be type preserving");
 
         // Progress: the program runs to completion without getting stuck.
@@ -174,26 +173,30 @@ proptest! {
     /// pipeline's differential mode performs the comparison itself.
     #[test]
     fn lowering_preserves_behaviour(body in arb_int_expr(3, 0)) {
-        let run = Pipeline::new()
-            .ml("m", module_of(body))
-            .run()
-            .expect("both backends run and agree");
-        prop_assert!(run.result.i32().is_some(), "a single i32 result on both backends");
+        let mut inst = Engine::new()
+            .instantiate(&ModuleSet::new().ml("m", module_of(body)))
+            .expect("the full static pipeline succeeds");
+        let result = inst.invoke_entry().expect("both backends run and agree");
+        prop_assert!(result.i32().is_some(), "a single i32 result on both backends");
     }
 
     /// GC safety: collecting at any point during execution never breaks a
     /// running program (the collector only reclaims unreachable cells).
     #[test]
     fn gc_is_transparent(body in arb_int_expr(3, 0), every in 1u64..40) {
-        let m = module_of(body);
+        let set = ModuleSet::new().ml("m", module_of(body));
         // Reference run, no GC.
-        let run1 = Pipeline::new().ml("m", m.clone()).interp_only().run()
-            .expect("no-GC run");
-        // Aggressive-GC run.
-        let run2 = Pipeline::new().ml("m", m).interp_only().auto_gc_every(every).run()
-            .expect("GC run must not fail");
-        let v1 = run1.result.richwasm.expect("interp ran").values;
-        let v2 = run2.result.richwasm.expect("interp ran").values;
+        let calm = Engine::with_config(EngineConfig::new().interp_only());
+        let r1 = calm.instantiate(&set).expect("no-GC build")
+            .invoke_entry().expect("no-GC run");
+        // Aggressive-GC run (a different config, hence a different engine:
+        // the config is part of the artifact's identity).
+        let pressured = Engine::with_config(
+            EngineConfig::new().interp_only().auto_gc_every(every));
+        let r2 = pressured.instantiate(&set).expect("GC build")
+            .invoke_entry().expect("GC run must not fail");
+        let v1 = r1.richwasm.expect("interp ran").values;
+        let v2 = r2.richwasm.expect("interp ran").values;
         prop_assert_eq!(v1, v2);
     }
 }
@@ -242,9 +245,14 @@ fn regression_corpus() {
             ],
         ),
     ];
+    let engine = Engine::new();
     for body in programs {
-        let run = Pipeline::new().ml("m", module_of(body)).run().unwrap();
-        assert!(run.result.i32().is_some());
+        let result = engine
+            .instantiate(&ModuleSet::new().ml("m", module_of(body)))
+            .unwrap()
+            .invoke_entry()
+            .unwrap();
+        assert!(result.i32().is_some());
     }
     // The corpus must keep failing loudly if a stage is silently skipped.
     let stages = [
@@ -253,15 +261,13 @@ fn regression_corpus() {
         Stage::Lower,
         Stage::Validate,
     ];
-    let run = Pipeline::new()
-        .ml("m", module_of(MlExpr::Int(7)))
-        .run()
+    let artifact = engine
+        .compile(&ModuleSet::new().ml("m", module_of(MlExpr::Int(7))))
         .unwrap();
     for stage in stages {
         assert!(
-            run.program
-                .report
-                .timings
+            artifact
+                .timings()
                 .entries()
                 .iter()
                 .any(|(s, _)| *s == stage),
