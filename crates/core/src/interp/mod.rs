@@ -15,11 +15,13 @@
 //!   fuel-bounded driver.
 
 pub mod gc;
+pub mod host;
 pub mod num;
 pub mod runtime;
 pub mod step;
 pub mod store;
 
+pub use host::{HostFunc, HostFuncs, HostImpl};
 pub use runtime::{InvokeResult, Runtime, RuntimeConfig};
 pub use step::{step_config, Config, Outcome};
 pub use store::{Cell, Closure, Instance, Memory, Store};

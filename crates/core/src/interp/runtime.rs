@@ -11,9 +11,10 @@ use std::collections::HashMap;
 
 use crate::error::{RuntimeError, TypeError};
 use crate::interp::gc::{collect, GcStats};
+use crate::interp::host::{HostFunc, HostFuncs, HostImpl};
 use crate::interp::step::{step_config, Config, Outcome};
 use crate::interp::store::{Closure, Instance, Store};
-use crate::syntax::{Func, GlobalKind, Index, Instr, Module, Value};
+use crate::syntax::{FunType, Func, GlobalKind, Index, Instr, Module, Value};
 use crate::typecheck::check_module;
 
 /// Execution knobs.
@@ -58,6 +59,9 @@ pub struct Runtime {
     names: HashMap<String, u32>,
     /// Execution configuration.
     pub config: RuntimeConfig,
+    /// Host functions, keyed by the closures pointing at them (see
+    /// [`Runtime::register_host_module`]).
+    pub hosts: HostFuncs,
 }
 
 impl Runtime {
@@ -186,6 +190,59 @@ impl Runtime {
         Ok(idx)
     }
 
+    /// Registers a *host module*: a set of Rust closures exposed to
+    /// guests as the exports of a module instance named `name`. Guests
+    /// import them like any other function
+    /// (`Func::Imported { module: name, .. }`) and the typed linker's FFI
+    /// check applies unchanged — the declared import type must equal the
+    /// host function's declared [`FunType`].
+    ///
+    /// Host functions must be monomorphic; each closure receives the
+    /// argument values in parameter order and must return exactly as many
+    /// values as its type declares (a mismatch makes the configuration
+    /// stuck). Returning `Err(msg)` traps the guest with
+    /// `host function error: msg`.
+    ///
+    /// The registered module is *not* type checked (it has no RichWasm
+    /// bodies); its types are trusted the way an embedder trusts its own
+    /// host, which is exactly the paper's boundary story inverted.
+    pub fn register_host_module(
+        &mut self,
+        name: &str,
+        funcs: Vec<(String, FunType, HostImpl)>,
+    ) -> u32 {
+        let idx = self.store.insts.len() as u32;
+        let mut inst = Instance::default();
+        let mut module = Module::default();
+        for (fi, (export, ty, imp)) in funcs.into_iter().enumerate() {
+            inst.funcs.push(Closure {
+                inst: idx,
+                func: fi as u32,
+            });
+            self.hosts.insert(
+                idx,
+                fi as u32,
+                HostFunc {
+                    ty: ty.clone(),
+                    imp,
+                },
+            );
+            // The defined body is a tripwire: calls are intercepted by the
+            // host table before any body runs, so reaching it means the
+            // interception broke.
+            module.funcs.push(Func::Defined {
+                exports: vec![export],
+                ty,
+                locals: vec![],
+                body: vec![Instr::Unreachable],
+            });
+        }
+        self.store.insts.push(inst);
+        self.modules.push(module);
+        self.names.insert(name.to_string(), idx);
+        idx
+    }
+
     /// Invokes the export `name` of instance `inst` with `args`.
     ///
     /// # Errors
@@ -226,6 +283,25 @@ impl Runtime {
         Ok(result)
     }
 
+    /// Invokes function `func` (an index into instance `inst`'s function
+    /// list) with `args`, skipping the export-name lookup entirely. This
+    /// is the pre-resolved fast path behind `TypedFunc`-style embedder
+    /// handles: resolve once, call many times.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runtime::invoke`]; an out-of-range index surfaces as a
+    /// [`RuntimeError::BadStore`].
+    pub fn invoke_func(
+        &mut self,
+        inst: u32,
+        func: u32,
+        args: Vec<Value>,
+    ) -> Result<InvokeResult, RuntimeError> {
+        let mut cfg = Config::call(inst, func, args, vec![]);
+        self.run(&mut cfg)
+    }
+
     /// Drives a configuration to completion (fuel-bounded).
     pub fn run(&mut self, cfg: &mut Config) -> Result<InvokeResult, RuntimeError> {
         let mut steps = 0u64;
@@ -233,7 +309,7 @@ impl Runtime {
             if steps >= self.config.fuel {
                 return Err(RuntimeError::OutOfFuel);
             }
-            match step_config(&mut self.store, &self.modules, cfg)? {
+            match step_config(&mut self.store, &self.modules, &self.hosts, cfg)? {
                 Outcome::Stepped => {
                     steps += 1;
                     if let Some(n) = self.config.auto_gc_every {
@@ -371,6 +447,152 @@ mod tests {
         let c = rt.instantiate("client", client).unwrap();
         let r = rt.invoke(c, "main", vec![]).unwrap();
         assert_eq!(r.values, vec![Value::i32(43)]);
+    }
+
+    #[test]
+    fn host_module_import_and_call() {
+        use std::sync::Arc;
+        let mut rt = Runtime::new();
+        rt.register_host_module(
+            "host",
+            vec![(
+                "double".into(),
+                FunType::mono(vec![Type::num(NumType::I32)], vec![Type::num(NumType::I32)]),
+                Arc::new(|args: &[Value]| {
+                    let Some(bits) = args[0].as_i32() else {
+                        return Err("expected i32".into());
+                    };
+                    Ok(vec![Value::i32((bits as i32).wrapping_mul(2))])
+                }),
+            )],
+        );
+        let client = Module {
+            funcs: vec![
+                Func::Imported {
+                    exports: vec![],
+                    module: "host".into(),
+                    name: "double".into(),
+                    ty: FunType::mono(vec![Type::num(NumType::I32)], vec![Type::num(NumType::I32)]),
+                },
+                Func::Defined {
+                    exports: vec!["main".into()],
+                    ty: FunType::mono(vec![], vec![Type::num(NumType::I32)]),
+                    locals: vec![],
+                    body: vec![
+                        Instr::i32(20),
+                        Instr::Call(0, vec![]),
+                        Instr::i32(1),
+                        Instr::Num(NumInstr::IntBinop(NumType::I32, instr::IntBinop::Add)),
+                    ],
+                },
+            ],
+            ..Module::default()
+        };
+        let c = rt.instantiate("client", client).unwrap();
+        let r = rt.invoke(c, "main", vec![]).unwrap();
+        assert_eq!(r.values, vec![Value::i32(41)]);
+    }
+
+    #[test]
+    fn host_import_type_mismatch_is_a_link_error() {
+        use std::sync::Arc;
+        let mut rt = Runtime::new();
+        rt.register_host_module(
+            "host",
+            vec![(
+                "f".into(),
+                FunType::mono(vec![], vec![Type::num(NumType::I32)]),
+                Arc::new(|_: &[Value]| Ok(vec![Value::i32(0)])),
+            )],
+        );
+        let client = Module {
+            funcs: vec![Func::Imported {
+                exports: vec![],
+                module: "host".into(),
+                name: "f".into(),
+                // Lies about the host's type.
+                ty: FunType::mono(vec![], vec![Type::num(NumType::I64)]),
+            }],
+            ..Module::default()
+        };
+        let err = rt.instantiate("client", client).unwrap_err();
+        assert!(matches!(err, TypeError::LinkError { .. }), "{err}");
+    }
+
+    #[test]
+    fn host_ill_typed_result_traps_guest() {
+        use std::sync::Arc;
+        let mut rt = Runtime::new();
+        rt.register_host_module(
+            "host",
+            vec![(
+                "f".into(),
+                FunType::mono(vec![], vec![Type::num(NumType::I32)]),
+                // Misbehaving host: declares i32, returns unit.
+                Arc::new(|_: &[Value]| Ok(vec![Value::Unit])),
+            )],
+        );
+        let client = Module {
+            funcs: vec![
+                Func::Imported {
+                    exports: vec![],
+                    module: "host".into(),
+                    name: "f".into(),
+                    ty: FunType::mono(vec![], vec![Type::num(NumType::I32)]),
+                },
+                Func::Defined {
+                    exports: vec!["main".into()],
+                    ty: FunType::mono(vec![], vec![Type::num(NumType::I32)]),
+                    locals: vec![],
+                    body: vec![Instr::Call(0, vec![])],
+                },
+            ],
+            ..Module::default()
+        };
+        let c = rt.instantiate("client", client).unwrap();
+        let err = rt.invoke(c, "main", vec![]).unwrap_err();
+        assert!(
+            err.to_string().contains("its type declares"),
+            "the store re-checks host results: {err}"
+        );
+    }
+
+    #[test]
+    fn host_error_traps_guest() {
+        use std::sync::Arc;
+        let mut rt = Runtime::new();
+        rt.register_host_module(
+            "host",
+            vec![(
+                "f".into(),
+                FunType::mono(vec![], vec![]),
+                Arc::new(|_: &[Value]| Err("host says no".into())),
+            )],
+        );
+        let client = Module {
+            funcs: vec![
+                Func::Imported {
+                    exports: vec![],
+                    module: "host".into(),
+                    name: "f".into(),
+                    ty: FunType::mono(vec![], vec![]),
+                },
+                Func::Defined {
+                    exports: vec!["main".into()],
+                    ty: FunType::mono(vec![], vec![]),
+                    locals: vec![],
+                    body: vec![Instr::Call(0, vec![])],
+                },
+            ],
+            ..Module::default()
+        };
+        let c = rt.instantiate("client", client).unwrap();
+        let err = rt.invoke(c, "main", vec![]).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("host function error: host says no"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! prefix; traps normalise the enclosing sequence.
 
 use crate::error::RuntimeError;
+use crate::interp::host::HostFuncs;
 use crate::interp::num;
 use crate::interp::store::{Closure, Store};
 use crate::sizing::{size_of_heap_value, size_of_type, size_of_value};
@@ -90,6 +91,7 @@ enum SeqOut {
 pub fn step_config(
     store: &mut Store,
     modules: &[Module],
+    hosts: &HostFuncs,
     cfg: &mut Config,
 ) -> Result<Outcome, RuntimeError> {
     let mut note = None;
@@ -97,6 +99,7 @@ pub fn step_config(
     let r = step_seq(
         store,
         modules,
+        hosts,
         inst,
         &mut cfg.locals,
         &mut cfg.instrs,
@@ -139,6 +142,7 @@ fn take_values(es: &[Instr]) -> Vec<Value> {
 fn step_seq(
     store: &mut Store,
     modules: &[Module],
+    hosts: &HostFuncs,
     inst: u32,
     locals: &mut Vec<(Value, Size)>,
     instrs: &mut Vec<Instr>,
@@ -172,7 +176,7 @@ fn step_seq(
         }
         let arity = *arity;
         let cont = cont.clone();
-        return match step_seq(store, modules, inst, locals, body, note)? {
+        return match step_seq(store, modules, hosts, inst, locals, body, note)? {
             SeqOut::Stepped => Ok(SeqOut::Stepped),
             SeqOut::TrapNow => {
                 instrs[k] = Instr::Trap;
@@ -232,7 +236,7 @@ fn step_seq(
             else {
                 unreachable!()
             };
-            step_seq(store, modules, fi, flocals, body, note)?
+            step_seq(store, modules, hosts, fi, flocals, body, note)?
         };
         return match r {
             SeqOut::Stepped => Ok(SeqOut::Stepped),
@@ -530,6 +534,67 @@ fn step_seq(
             func: fi,
             indices,
         } => {
+            // Host interception: a call whose closure targets a registered
+            // host function runs the Rust closure instead of a RichWasm
+            // body. This sits on the `call` administrative step, so every
+            // route to the closure (direct call, resolved import,
+            // `call_indirect` through a table entry) is covered.
+            if let Some(h) = hosts.get(ci, fi) {
+                if !indices.is_empty() {
+                    return Err(RuntimeError::stuck(
+                        "host functions are monomorphic; `inst` indices are not applicable",
+                    ));
+                }
+                let n = h.ty.arrow.params.len();
+                if prefix < n {
+                    return Err(RuntimeError::stuck("host call with too few arguments"));
+                }
+                let mut args = Vec::with_capacity(n);
+                for i in (1..=n).rev() {
+                    args.push(val(instrs, i));
+                }
+                match (h.imp)(&args) {
+                    Ok(vals) => {
+                        // The host lives outside the checked world: re-check
+                        // its results against the declared type (count and,
+                        // shallowly, value shape) before splicing them into
+                        // the typed instruction stream — a misbehaving
+                        // closure traps, same as on the Wasm backend.
+                        if vals.len() != h.ty.arrow.results.len() {
+                            trap(
+                                instrs,
+                                n,
+                                note,
+                                format!(
+                                    "host function error: returned {} values, its type \
+                                     declares {}",
+                                    vals.len(),
+                                    h.ty.arrow.results.len()
+                                ),
+                            );
+                        } else if let Some((v, t)) = vals
+                            .iter()
+                            .zip(&h.ty.arrow.results)
+                            .find(|(v, t)| !host_result_matches(v, t))
+                        {
+                            trap(
+                                instrs,
+                                n,
+                                note,
+                                format!("host function error: returned {v}, its type declares {t}"),
+                            );
+                        } else {
+                            consume_and_replace(
+                                instrs,
+                                n,
+                                vals.into_iter().map(Instr::Val).collect(),
+                            )?;
+                        }
+                    }
+                    Err(msg) => trap(instrs, n, note, format!("host function error: {msg}")),
+                }
+                return Ok(SeqOut::Stepped);
+            }
             let m = modules
                 .get(ci as usize)
                 .ok_or_else(|| RuntimeError::BadStore {
@@ -909,6 +974,20 @@ fn step_seq(
     Ok(SeqOut::Stepped)
 }
 
+/// Shallow shape check for host-function results: the tag of a scalar
+/// value must match the declared pretype exactly (host results are
+/// spliced into the *typed* instruction stream, so a wrong `NumType` tag
+/// would break later numeric steps). Structured declared types cannot be
+/// validated without the checker; they are accepted as-is.
+fn host_result_matches(v: &Value, t: &crate::syntax::Type) -> bool {
+    use crate::syntax::Pretype;
+    match &*t.pre {
+        Pretype::Unit => matches!(v, Value::Unit),
+        Pretype::Num(nt) => matches!(v, Value::Num(vt, _) if vt == nt),
+        _ => true,
+    }
+}
+
 fn ref_loc(v: &Value) -> Result<ConcreteLoc, RuntimeError> {
     v.as_ref_loc()
         .ok_or_else(|| RuntimeError::stuck(format!("expected a reference, got {v}")))
@@ -946,7 +1025,7 @@ mod tests {
         let mut store = Store::default();
         let modules: Vec<Module> = vec![];
         for _ in 0..10_000 {
-            match step_config(&mut store, &modules, cfg).unwrap() {
+            match step_config(&mut store, &modules, &HostFuncs::default(), cfg).unwrap() {
                 Outcome::Stepped => continue,
                 o => return o,
             }
@@ -1026,7 +1105,7 @@ mod tests {
             ..Config::default()
         };
         loop {
-            match step_config(&mut store, &modules, &mut cfg).unwrap() {
+            match step_config(&mut store, &modules, &HostFuncs::default(), &mut cfg).unwrap() {
                 Outcome::Stepped => continue,
                 Outcome::Done => break,
                 Outcome::Trapped => panic!("trap"),
@@ -1045,7 +1124,7 @@ mod tests {
             ..Config::default()
         };
         loop {
-            match step_config(&mut store, &modules, &mut cfg).unwrap() {
+            match step_config(&mut store, &modules, &HostFuncs::default(), &mut cfg).unwrap() {
                 Outcome::Stepped => continue,
                 Outcome::Done => break,
                 Outcome::Trapped => panic!("trap"),
@@ -1058,7 +1137,7 @@ mod tests {
             ..Config::default()
         };
         loop {
-            match step_config(&mut store, &modules, &mut cfg).unwrap() {
+            match step_config(&mut store, &modules, &HostFuncs::default(), &mut cfg).unwrap() {
                 Outcome::Stepped => continue,
                 Outcome::Done => panic!("double free must trap"),
                 Outcome::Trapped => break,
@@ -1077,7 +1156,7 @@ mod more_tests {
     fn drive(store: &mut Store, cfg: &mut Config) -> Outcome {
         let modules: Vec<Module> = vec![];
         for _ in 0..100_000 {
-            match step_config(store, &modules, cfg).unwrap() {
+            match step_config(store, &modules, &HostFuncs::default(), cfg).unwrap() {
                 Outcome::Stepped => continue,
                 o => return o,
             }

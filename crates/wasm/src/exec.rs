@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::ast::*;
 
@@ -82,11 +83,37 @@ pub const PAGE: usize = 65536;
 /// Address of a function in the store.
 type FuncAddr = usize;
 
+/// A host function: a Rust closure exposed to Wasm modules as an
+/// importable export (see [`WasmLinker::register_host_module`]).
+///
+/// `Fn` (not `FnMut`) so one closure can back several stores at once;
+/// stateful hosts use interior mutability. Errors become guest-visible
+/// traps.
+pub type HostFn = Arc<dyn Fn(&[Val]) -> Result<Vec<Val>, WasmTrap> + Send + Sync>;
+
+/// What a function address resolves to: a Wasm body or a host closure.
+/// The body is `Arc`-shared so entering a call clones a pointer, not the
+/// instruction tree.
+#[derive(Clone)]
+enum FuncImpl {
+    Wasm(Arc<FuncDef>),
+    Host(HostFn),
+}
+
+impl fmt::Debug for FuncImpl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuncImpl::Wasm(def) => write!(f, "Wasm({def:?})"),
+            FuncImpl::Host(_) => write!(f, "Host(..)"),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct FuncInst {
     ty: FuncType,
     module: usize,
-    def: FuncDef,
+    def: FuncImpl,
 }
 
 /// A module instance's view of the store.
@@ -223,7 +250,7 @@ impl WasmLinker {
             self.funcs.push(FuncInst {
                 ty,
                 module: module_idx,
-                def: f.clone(),
+                def: FuncImpl::Wasm(Arc::new(f.clone())),
             });
             inst.func_addrs.push(addr);
         }
@@ -293,9 +320,61 @@ impl WasmLinker {
         Ok(module_idx)
     }
 
+    /// Registers a *host module*: Rust closures exposed as the function
+    /// exports of a module instance named `name`, so later-instantiated
+    /// Wasm modules can import them (`(import "name" "fn" (func …))`)
+    /// through the exact same typed resolution as module-to-module
+    /// imports. Returns the instance index.
+    ///
+    /// Each closure receives arguments matching its declared
+    /// [`FuncType`]; its results are checked against that type after
+    /// every call (a mismatch traps — the host is outside the validated
+    /// world, so the store re-establishes the invariant dynamically).
+    pub fn register_host_module(
+        &mut self,
+        name: &str,
+        funcs: Vec<(String, FuncType, HostFn)>,
+    ) -> usize {
+        // Same rule as `instantiate`: the store changed shape, so any
+        // earlier baseline is stale.
+        self.baseline = None;
+        let module_idx = self.instances.len();
+        let mut inst = ModuleInst::default();
+        for (i, (export, ty, f)) in funcs.into_iter().enumerate() {
+            let addr = self.funcs.len();
+            self.funcs.push(FuncInst {
+                ty,
+                module: module_idx,
+                def: FuncImpl::Host(f),
+            });
+            inst.func_addrs.push(addr);
+            inst.exports.insert(export, ExportKind::Func(i as u32));
+        }
+        self.instances.push(inst);
+        self.module_types.push(Vec::new());
+        self.names.insert(name.to_string(), module_idx);
+        module_idx
+    }
+
     /// Looks up an instantiated module by name.
     pub fn instance_by_name(&self, name: &str) -> Option<usize> {
         self.names.get(name).copied()
+    }
+
+    /// Resolves the function export `name` of `instance` to its store
+    /// address, usable with [`WasmLinker::invoke_addr`] — the resolve-once
+    /// half of a typed call handle.
+    pub fn export_func_addr(&self, instance: usize, name: &str) -> Option<FuncAddr> {
+        let inst = self.instances.get(instance)?;
+        match inst.exports.get(name) {
+            Some(ExportKind::Func(fi)) => inst.func_addrs.get(*fi as usize).copied(),
+            _ => None,
+        }
+    }
+
+    /// The type of the function at store address `addr`.
+    pub fn func_type(&self, addr: FuncAddr) -> Option<&FuncType> {
+        self.funcs.get(addr).map(|f| &f.ty)
     }
 
     /// Captures the current mutable state (globals, memories, tables) as
@@ -362,8 +441,16 @@ impl WasmLinker {
         self.invoke_addr(addr, args)
     }
 
-    fn invoke_addr(&mut self, addr: FuncAddr, args: &[Val]) -> Result<Vec<Val>, WasmTrap> {
-        let f = &self.funcs[addr];
+    /// Invokes the function at store address `addr` directly (no name
+    /// lookup), with the same argument checking as [`WasmLinker::invoke`].
+    ///
+    /// # Errors
+    ///
+    /// As [`WasmLinker::invoke`], plus a trap for an unknown address.
+    pub fn invoke_addr(&mut self, addr: FuncAddr, args: &[Val]) -> Result<Vec<Val>, WasmTrap> {
+        let Some(f) = self.funcs.get(addr) else {
+            return trap(format!("no function at address {addr}"));
+        };
         if f.ty.params.len() != args.len() {
             return trap("argument count mismatch");
         }
@@ -390,9 +477,34 @@ impl WasmLinker {
         if depth > self.max_call_depth {
             return trap("call stack exhausted");
         }
-        let (module, def, ty) = {
+        let (module, def, nresults) = {
             let f = &self.funcs[addr];
-            (f.module, f.def.clone(), f.ty.clone())
+            match &f.def {
+                FuncImpl::Wasm(def) => (f.module, def.clone(), f.ty.results.len()),
+                FuncImpl::Host(h) => {
+                    let h = h.clone();
+                    let result_types = f.ty.results.clone();
+                    // A host call costs one step of the instruction budget.
+                    self.steps += 1;
+                    if self.steps > self.max_steps {
+                        return trap("instruction budget exhausted");
+                    }
+                    let results = h(&args)?;
+                    // The host lives outside the validated world: re-check
+                    // its results against the declared type so a
+                    // misbehaving closure cannot corrupt the typed value
+                    // stack.
+                    if results.len() != result_types.len()
+                        || results.iter().zip(&result_types).any(|(v, t)| v.ty() != *t)
+                    {
+                        return trap(format!(
+                            "host function returned {:?}, its type declares {result_types:?}",
+                            results.iter().map(Val::ty).collect::<Vec<_>>(),
+                        ));
+                    }
+                    return Ok(results);
+                }
+            }
         };
         let mut locals = args;
         for l in &def.locals {
@@ -408,11 +520,10 @@ impl WasmLinker {
             Flow::Normal | Flow::Return => {}
             Flow::Br(_) => return trap("br escaped function body"),
         }
-        let n = ty.results.len();
-        if act.stack.len() < n {
+        if act.stack.len() < nresults {
             return trap("function left too few results");
         }
-        let results = act.stack.split_off(act.stack.len() - n);
+        let results = act.stack.split_off(act.stack.len() - nresults);
         Ok(results)
     }
 }

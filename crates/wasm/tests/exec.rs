@@ -551,3 +551,164 @@ fn instantiate_invalidates_stale_baseline() {
     l.seal();
     assert!(l.reset().is_ok());
 }
+
+// ---------------------------------------------------------------------
+// Host functions: Rust closures exposed as importable module exports.
+// ---------------------------------------------------------------------
+
+mod host_funcs {
+    use super::*;
+    use richwasm_wasm::exec::WasmTrap;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    /// A module importing `host.double : [i32] -> [i32]` and exporting
+    /// `f(x) = double(x) + 1`.
+    fn client() -> Module {
+        let mut m = Module::default();
+        let t = m.intern_type(FuncType {
+            params: vec![ValType::I32],
+            results: vec![ValType::I32],
+        });
+        m.imports.push(Import {
+            module: "host".into(),
+            name: "double".into(),
+            kind: ImportKind::Func(t),
+        });
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![],
+            body: vec![
+                WInstr::LocalGet(0),
+                WInstr::Call(0),
+                WInstr::I32Const(1),
+                WInstr::IBin(Width::W32, IBinOp::Add),
+            ],
+        });
+        m.exports.push(Export {
+            name: "f".into(),
+            kind: ExportKind::Func(1),
+        });
+        m
+    }
+
+    #[test]
+    fn host_import_resolves_and_executes() {
+        let calls = Arc::new(AtomicU32::new(0));
+        let seen = calls.clone();
+        let mut l = WasmLinker::new();
+        l.register_host_module(
+            "host",
+            vec![(
+                "double".into(),
+                FuncType {
+                    params: vec![ValType::I32],
+                    results: vec![ValType::I32],
+                },
+                Arc::new(move |args: &[Val]| {
+                    seen.fetch_add(1, Ordering::SeqCst);
+                    let Val::I32(x) = args[0] else {
+                        return Err(WasmTrap("expected i32".into()));
+                    };
+                    Ok(vec![Val::I32(x.wrapping_mul(2))])
+                }),
+            )],
+        );
+        let i = l.instantiate("m", client()).unwrap();
+        assert_eq!(
+            l.invoke(i, "f", &[Val::I32(20)]).unwrap(),
+            vec![Val::I32(41)]
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        // And through the pre-resolved address path.
+        let addr = l.export_func_addr(i, "f").unwrap();
+        assert_eq!(
+            l.invoke_addr(addr, &[Val::I32(3)]).unwrap(),
+            vec![Val::I32(7)]
+        );
+        assert_eq!(
+            l.func_type(addr).unwrap().results,
+            vec![ValType::I32],
+            "address resolves to the typed function"
+        );
+    }
+
+    #[test]
+    fn host_import_type_mismatch_rejected() {
+        let mut l = WasmLinker::new();
+        l.register_host_module(
+            "host",
+            vec![(
+                "double".into(),
+                FuncType {
+                    params: vec![ValType::I64], // disagrees with the client
+                    results: vec![ValType::I32],
+                },
+                Arc::new(|_: &[Val]| Ok(vec![Val::I32(0)])),
+            )],
+        );
+        let err = l.instantiate("m", client()).unwrap_err();
+        assert!(err.to_string().contains("type mismatch"), "{err}");
+    }
+
+    #[test]
+    fn host_error_and_result_checks_trap() {
+        let mut l = WasmLinker::new();
+        l.register_host_module(
+            "host",
+            vec![(
+                "double".into(),
+                FuncType {
+                    params: vec![ValType::I32],
+                    results: vec![ValType::I32],
+                },
+                Arc::new(|args: &[Val]| {
+                    let Val::I32(x) = args[0] else {
+                        return Err(WasmTrap("expected i32".into()));
+                    };
+                    if x == 0 {
+                        return Err(WasmTrap("host says no".into()));
+                    }
+                    // A misbehaving host: wrong result type.
+                    Ok(vec![Val::I64(1)])
+                }),
+            )],
+        );
+        let i = l.instantiate("m", client()).unwrap();
+        let err = l.invoke(i, "f", &[Val::I32(0)]).unwrap_err();
+        assert!(err.to_string().contains("host says no"), "{err}");
+        // The store re-checks host results against the declared type.
+        let err = l.invoke(i, "f", &[Val::I32(1)]).unwrap_err();
+        assert!(err.to_string().contains("declares"), "{err}");
+    }
+
+    #[test]
+    fn host_registration_invalidates_baseline() {
+        let mut l = WasmLinker::new();
+        let i = l
+            .instantiate("m", {
+                let mut m = Module::default();
+                let t = m.intern_type(FuncType {
+                    params: vec![],
+                    results: vec![ValType::I32],
+                });
+                m.funcs.push(FuncDef {
+                    type_idx: t,
+                    locals: vec![],
+                    body: vec![WInstr::I32Const(9)],
+                });
+                m.exports.push(Export {
+                    name: "f".into(),
+                    kind: ExportKind::Func(0),
+                });
+                m
+            })
+            .unwrap();
+        l.seal();
+        l.register_host_module("host", vec![]);
+        assert!(!l.is_sealed(), "registering hosts stales the baseline");
+        l.seal();
+        assert!(l.reset().is_ok());
+        assert_eq!(l.invoke(i, "f", &[]).unwrap(), vec![Val::I32(9)]);
+    }
+}

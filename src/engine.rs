@@ -61,6 +61,7 @@ use richwasm::interp::{InvokeResult, Runtime};
 use richwasm::syntax::{self, NumType, Value};
 use richwasm::typecheck::check_module;
 use richwasm_l3::{compile_module as compile_l3, L3Error, L3Module};
+use richwasm_lower::lower::RUNTIME_NAME;
 use richwasm_lower::{lower_modules_with_plan, LinkPlan, LowerError};
 use richwasm_ml::{compile_module as compile_ml, MlError, MlModule};
 use richwasm_wasm::ast as w;
@@ -68,6 +69,11 @@ use richwasm_wasm::binary::encode_module;
 use richwasm_wasm::exec::{Val, WasmLinker, WasmTrap};
 use richwasm_wasm::validate::ValidationError;
 use richwasm_wasm::validate_module;
+
+use crate::call::{
+    flatten_values_to_host, richwasm_host_fn, wasm_host_fn, wasm_vals_to_host_raw, HostCallback,
+    HostSig, HostVal, ReplayLog, WasmResults,
+};
 
 /// A source module in one of the three input languages.
 #[derive(Debug, Clone)]
@@ -316,36 +322,69 @@ impl fmt::Display for Timings {
 }
 
 /// The result of invoking an export through [`Instance::invoke`].
+///
+/// Besides the raw per-backend results, every invocation carries the
+/// *agreed* boundary view ([`Invocation::results`]): the flattened
+/// integer-scalar values the backends settled on (in differential mode,
+/// the values both produced). Typed extraction goes through
+/// [`Invocation::returned`].
 #[derive(Debug, Clone)]
 pub struct Invocation {
     /// The RichWasm interpreter's result (absent in [`Exec::Wasm`] mode).
     pub richwasm: Option<InvokeResult>,
     /// The Wasm interpreter's result (absent in [`Exec::Interp`] mode).
     pub wasm: Option<Vec<Val>>,
+    /// The agreed boundary view, when the result has one (`None` for
+    /// floats/references/aggregates).
+    agreed: Option<Vec<HostVal>>,
 }
 
 impl Invocation {
-    /// The single `i32` result, when there is exactly one (from whichever
-    /// backend ran; in differential mode both agreed).
+    /// Builds the invocation, computing the agreed boundary view: the
+    /// RichWasm values flattened the way the compiler flattens result
+    /// types (`unit` erases; signedness comes from the declared types),
+    /// falling back to the Wasm values (read as signed — standard Wasm
+    /// erases signedness) when only that backend ran.
+    pub(crate) fn new(richwasm: Option<InvokeResult>, wasm: Option<Vec<Val>>) -> Invocation {
+        let agreed = match (&richwasm, &wasm) {
+            (Some(r), _) => flatten_values_to_host(&r.values),
+            (None, Some(vals)) => wasm_vals_to_host_raw(vals),
+            (None, None) => None,
+        };
+        Invocation {
+            richwasm,
+            wasm,
+            agreed,
+        }
+    }
+
+    /// The agreed result values as boundary scalars, in order (`unit`
+    /// results erased). Empty when the result has no integer-scalar
+    /// representation — use the raw per-backend fields for those.
+    pub fn results(&self) -> &[HostVal] {
+        self.agreed.as_deref().unwrap_or(&[])
+    }
+
+    /// Extracts the agreed result at a Rust type: `run.returned::<i32>()`,
+    /// `run.returned::<(u32, u64)>()`, `run.returned::<()>()`, … `None`
+    /// when the arity or widths do not match (or there is no agreed
+    /// scalar view at all).
+    pub fn returned<R: WasmResults>(&self) -> Option<R> {
+        R::from_host_vals(self.agreed.as_deref()?)
+    }
+
+    /// The single `i32`-width result, when there is exactly one. This
+    /// consults the *agreed* value — whichever backends ran, including
+    /// differential mode where the RichWasm result may flatten (e.g.
+    /// `[unit, i32]`) to the single scalar the Wasm backend produced.
     pub fn i32(&self) -> Option<i32> {
-        if let Some(r) = &self.richwasm {
-            if let [Value::Num(NumType::I32 | NumType::U32, bits)] = r.values[..] {
-                return Some(bits as u32 as i32);
-            }
-            return None;
-        }
-        if let Some(vals) = &self.wasm {
-            if let [Val::I32(w)] = vals[..] {
-                return Some(w as i32);
-            }
-        }
-        None
+        self.returned::<i32>()
     }
 }
 
 /// Engine-wide configuration: everything that affects *what* an
 /// [`Artifact`] contains or *how* its [`Instance`]s execute. The whole
-/// struct is part of the cache key (see `DESIGN.md` §6).
+/// struct is part of the cache key (see `DESIGN.md` §5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Execution mode (default: [`Exec::Differential`]).
@@ -407,12 +446,44 @@ impl EngineConfig {
     }
 }
 
+/// One host function registered on a [`ModuleSet`]: export name,
+/// declared signature, and the Rust closure implementing it.
+#[derive(Clone)]
+pub(crate) struct HostFuncDef {
+    pub(crate) name: String,
+    pub(crate) sig: HostSig,
+    pub(crate) imp: HostCallback,
+}
+
+impl fmt::Debug for HostFuncDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "HostFuncDef {{ name: {:?}, sig: {} }}",
+            self.name, self.sig
+        )
+    }
+}
+
+/// A named group of host functions guests import from (the `module` part
+/// of `(import "module" "name" …)`).
+#[derive(Debug, Clone)]
+pub(crate) struct HostModuleDef {
+    pub(crate) name: String,
+    pub(crate) funcs: Vec<HostFuncDef>,
+}
+
 /// A named, ordered set of source modules plus an optional entry module —
-/// the unit of compilation an [`Engine`] caches.
+/// the unit of compilation an [`Engine`] caches. Host functions
+/// ([`ModuleSet::host_fn`]) ride along: their *signatures* are content
+/// (part of the cache key), their closures are installed into both
+/// backends at instantiation.
 #[derive(Debug, Clone, Default)]
 pub struct ModuleSet {
     pub(crate) sources: Vec<(String, Source)>,
     pub(crate) entry: Option<String>,
+    pub(crate) entry_func: Option<String>,
+    pub(crate) hosts: Vec<HostModuleDef>,
 }
 
 impl ModuleSet {
@@ -440,10 +511,58 @@ impl ModuleSet {
         self
     }
 
-    /// Names the module whose exported `main` entry invocations target.
+    /// Registers a host function: a Rust closure exposed to guests as
+    /// export `name` of a host module named `module`, installed into
+    /// **both** execution backends at
+    /// [`Artifact::instantiate`] time. Guests import it like any module
+    /// export — an ML `MlImport`/L3 `L3Import` (or raw
+    /// `Func::Imported`) whose declared type equals
+    /// [`HostSig::to_fun_type`] — and the typed linker's FFI check
+    /// guards the boundary exactly as it does between guests.
+    ///
+    /// The closure receives the arguments as [`HostVal`]s and must return
+    /// exactly the declared results; `Err(msg)` traps the guest. In
+    /// differential mode the closure runs **once per invocation** (on the
+    /// RichWasm backend); the Wasm backend replays the recorded outcomes,
+    /// so stateful hosts stay consistent across the cross-check.
+    ///
+    /// Multiple calls with the same `module` accumulate functions under
+    /// one host module.
+    pub fn host_fn(
+        mut self,
+        module: impl Into<String>,
+        name: impl Into<String>,
+        sig: HostSig,
+        imp: impl Fn(&[HostVal]) -> Result<Vec<HostVal>, String> + Send + Sync + 'static,
+    ) -> Self {
+        let module = module.into();
+        let def = HostFuncDef {
+            name: name.into(),
+            sig,
+            imp: Arc::new(imp),
+        };
+        match self.hosts.iter_mut().find(|h| h.name == module) {
+            Some(h) => h.funcs.push(def),
+            None => self.hosts.push(HostModuleDef {
+                name: module,
+                funcs: vec![def],
+            }),
+        }
+        self
+    }
+
+    /// Names the module whose exported entry function invocations target.
     /// Defaults to the only module when exactly one was added.
     pub fn entry(mut self, name: impl Into<String>) -> Self {
         self.entry = Some(name.into());
+        self
+    }
+
+    /// Names the exported function [`Instance::invoke_entry`] (and the
+    /// one-shot `Pipeline::run`) invoke on the entry module. Defaults to
+    /// `"main"`.
+    pub fn entry_func(mut self, name: impl Into<String>) -> Self {
+        self.entry_func = Some(name.into());
         self
     }
 
@@ -494,17 +613,32 @@ impl fmt::Write for Fnv128 {
 /// for raw modules that *is* the RichWasm AST; for ML/L3 sources the
 /// frontends are deterministic, so the source AST is a faithful proxy
 /// and hashing pre-frontend lets a hit skip the frontend stage too),
-/// each module's name and language, the entry selection, and the whole
-/// [`EngineConfig`].
+/// each module's name and language, the entry selections, the whole
+/// [`EngineConfig`], and every host function's module, name, and
+/// **signature** — host signatures shape the lowered imports, so they
+/// are content. The host closure itself cannot be content-hashed; its
+/// `Arc` identity is hashed instead, so re-registering behaviourally
+/// different closures under identical signatures can never resurrect a
+/// cached artifact carrying the old behaviour.
 fn cache_key(config: &EngineConfig, set: &ModuleSet) -> CacheKey {
     use fmt::Write as _;
     let mut h = Fnv128::new();
-    let _ = write!(h, "cfg:{config:?}|entry:{:?}", set.entry);
+    let _ = write!(
+        h,
+        "cfg:{config:?}|entry:{:?}|entry_func:{:?}",
+        set.entry, set.entry_func
+    );
     for (name, src) in &set.sources {
         // `{name:?}` quotes and escapes the name, so a crafted module
         // name cannot forge the `|mod:`/`=` separators and alias two
         // distinct sets onto one hash stream.
         let _ = write!(h, "|mod:{name:?}={src:?}");
+    }
+    for hm in &set.hosts {
+        let _ = write!(h, "|host:{:?}", hm.name);
+        for f in &hm.funcs {
+            let _ = write!(h, "|hfn:{:?}:{}@{:p}", f.name, f.sig, Arc::as_ptr(&f.imp));
+        }
     }
     CacheKey(h.0)
 }
@@ -518,11 +652,41 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+impl CacheStats {
+    /// Fraction of compiles served from the cache, in `0.0..=1.0` (`0.0`
+    /// before any compile).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits, {} misses ({:.1}% hit rate)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
 #[derive(Debug)]
 struct ArtifactInner {
     key: CacheKey,
     config: EngineConfig,
     entry: Option<String>,
+    /// The exported function entry invocations call (default `"main"`).
+    entry_func: String,
+    /// Host modules (name, signatures, closures) to install into both
+    /// backends at instantiation, before any guest module.
+    hosts: Vec<HostModuleDef>,
     /// RichWasm modules (post-frontend), in instantiation order.
     modules: Vec<(String, syntax::Module)>,
     /// Checked module environments (empty when `typecheck` is off).
@@ -559,6 +723,23 @@ impl Artifact {
     /// The resolved entry module, if any.
     pub fn entry(&self) -> Option<&str> {
         self.inner.entry.as_deref()
+    }
+
+    /// The exported function entry invocations call (default `"main"`,
+    /// configurable with [`ModuleSet::entry_func`]).
+    pub fn entry_func(&self) -> &str {
+        &self.inner.entry_func
+    }
+
+    /// The (post-frontend) RichWasm module compiled under `name`, with
+    /// its checked types — the source of truth typed handles validate
+    /// against.
+    pub(crate) fn find_module(&self, name: &str) -> Option<&syntax::Module> {
+        self.inner
+            .modules
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| m)
     }
 
     /// Module names in instantiation order.
@@ -609,8 +790,23 @@ impl Artifact {
         let mut timings = Timings::default();
         let t0 = Instant::now();
 
+        // One record/replay channel per host function, in registration
+        // order — only differential mode needs them (the RichWasm backend
+        // records each host call's outcome, the Wasm backend replays it,
+        // so host side effects happen once per invocation).
+        let replay: Vec<ReplayLog> = if config.exec == Exec::Differential {
+            inner
+                .hosts
+                .iter()
+                .flat_map(|hm| &hm.funcs)
+                .map(|_| ReplayLog::default())
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         let richwasm = if config.exec.wants_interp() {
-            Some(self.build_runtime()?)
+            Some(self.build_runtime(&replay)?)
         } else {
             None
         };
@@ -622,6 +818,24 @@ impl Artifact {
                 // but both backends must be bounded or fuel exhaustion on
                 // one side would masquerade as a differential mismatch.
                 linker.max_steps = fuel;
+            }
+            // Host modules first: guests resolve imports against them.
+            let mut k = 0;
+            for hm in &inner.hosts {
+                let funcs = hm
+                    .funcs
+                    .iter()
+                    .map(|f| {
+                        let log = replay.get(k).cloned();
+                        k += 1;
+                        (
+                            f.name.clone(),
+                            f.sig.to_wasm_type(),
+                            wasm_host_fn(f.sig.clone(), f.imp.clone(), log),
+                        )
+                    })
+                    .collect();
+                linker.register_host_module(&hm.name, funcs);
             }
             for (name, wm) in &inner.lowered {
                 linker.instantiate(name, wm.clone()).map_err(|e| {
@@ -642,14 +856,16 @@ impl Artifact {
             artifact: self.clone(),
             timings,
             invocations: 0,
+            replay,
         })
     }
 
     /// Typed linking + instantiation of the (already checked) RichWasm
-    /// modules on a fresh interpreter runtime. Modules were checked at
-    /// compile time (when the check is on), so per-module re-checking is
-    /// off; the typed linker's FFI boundary check still runs.
-    fn build_runtime(&self) -> Result<Runtime, PipelineError> {
+    /// modules on a fresh interpreter runtime — host modules first, then
+    /// the guests. Modules were checked at compile time (when the check
+    /// is on), so per-module re-checking is off; the typed linker's FFI
+    /// boundary check still runs.
+    fn build_runtime(&self, replay: &[ReplayLog]) -> Result<Runtime, PipelineError> {
         let config = self.inner.config;
         let mut rt = Runtime::new();
         rt.config.check_modules = false;
@@ -658,6 +874,23 @@ impl Artifact {
         }
         if let Some(fuel) = config.fuel {
             rt.config.fuel = fuel;
+        }
+        let mut k = 0;
+        for hm in &self.inner.hosts {
+            let funcs = hm
+                .funcs
+                .iter()
+                .map(|f| {
+                    let log = replay.get(k).cloned();
+                    k += 1;
+                    (
+                        f.name.clone(),
+                        f.sig.to_fun_type(),
+                        richwasm_host_fn(f.sig.clone(), f.imp.clone(), log),
+                    )
+                })
+                .collect();
+            rt.register_host_module(&hm.name, funcs);
         }
         for (name, m) in &self.inner.modules {
             rt.instantiate(name, m.clone()).map_err(|e| {
@@ -684,12 +917,27 @@ pub struct Instance {
     artifact: Artifact,
     timings: Timings,
     invocations: u64,
+    /// Host-call record/replay channels (differential mode only), cleared
+    /// at the start of every invocation. `pub(crate)` so the `Pipeline`
+    /// facade can carry them into its `Program` when it dismantles the
+    /// instance.
+    pub(crate) replay: Vec<ReplayLog>,
 }
 
 impl Instance {
     /// The artifact this instance was created from.
     pub fn artifact(&self) -> &Artifact {
         &self.artifact
+    }
+
+    /// Marks the start of one invocation: bumps the counter and clears
+    /// any leftover host-call recordings (a failed invocation on one
+    /// backend must not leak recorded outcomes into the next).
+    pub(crate) fn begin_invocation(&mut self) {
+        self.invocations += 1;
+        for log in &self.replay {
+            log.lock().expect("host replay log poisoned").clear();
+        }
     }
 
     /// The execution mode this instance runs in.
@@ -738,12 +986,13 @@ impl Instance {
         func: &str,
         args: Vec<Value>,
     ) -> Result<Invocation, PipelineError> {
-        self.invocations += 1;
+        self.begin_invocation();
         let exec = self.exec_mode();
         invoke_backends(&mut self.richwasm, &mut self.wasm, exec, module, func, args)
     }
 
-    /// Invokes `main` on the entry module with no arguments.
+    /// Invokes the entry function (default `"main"`, see
+    /// [`ModuleSet::entry_func`]) on the entry module with no arguments.
     ///
     /// # Errors
     ///
@@ -761,7 +1010,8 @@ impl Instance {
                 ),
             ));
         };
-        self.invoke(&entry, "main", vec![])
+        let func = self.artifact.entry_func().to_string();
+        self.invoke(&entry, &func, vec![])
     }
 
     /// Rewinds the instance to its freshly instantiated state without
@@ -782,7 +1032,10 @@ impl Instance {
             })?;
         }
         if self.richwasm.is_some() {
-            self.richwasm = Some(self.artifact.build_runtime()?);
+            self.richwasm = Some(self.artifact.build_runtime(&self.replay)?);
+        }
+        for log in &self.replay {
+            log.lock().expect("host replay log poisoned").clear();
         }
         self.invocations = 0;
         Ok(())
@@ -909,7 +1162,48 @@ impl Engine {
             ));
         }
 
+        // Host modules share the guest namespace: a clash would make an
+        // import silently resolve against the wrong provider. Likewise a
+        // duplicate function name within one host module — the two
+        // backends resolve duplicates differently (first match vs last
+        // insert), which would split the record/replay pairing.
+        for hm in &set.hosts {
+            for (i, f) in hm.funcs.iter().enumerate() {
+                if hm.funcs[..i].iter().any(|g| g.name == f.name) {
+                    return Err(PipelineError::new(
+                        Stage::Instantiate,
+                        Some(&hm.name),
+                        PipelineErrorKind::Unsupported(format!(
+                            "host module `{}` registers function `{}` twice",
+                            hm.name, f.name
+                        )),
+                    ));
+                }
+            }
+            if set.sources.iter().any(|(n, _)| *n == hm.name) {
+                return Err(PipelineError::new(
+                    Stage::Instantiate,
+                    Some(&hm.name),
+                    PipelineErrorKind::Unsupported(format!(
+                        "host module `{}` clashes with a guest module of the same name",
+                        hm.name
+                    )),
+                ));
+            }
+            if hm.name == RUNTIME_NAME && config.exec.wants_wasm() {
+                return Err(PipelineError::new(
+                    Stage::Instantiate,
+                    Some(&hm.name),
+                    PipelineErrorKind::Unsupported(format!(
+                        "host module name `{RUNTIME_NAME}` is reserved for the generated \
+                         runtime module"
+                    )),
+                ));
+            }
+        }
+
         let entry = set.resolved_entry();
+        let entry_func = set.entry_func.clone().unwrap_or_else(|| "main".into());
         let mut timings = Timings::default();
 
         // Stages 1–2: frontends + the substructural check. Modules are
@@ -1007,6 +1301,8 @@ impl Engine {
                 key,
                 config,
                 entry,
+                entry_func,
+                hosts: set.hosts.clone(),
                 modules,
                 envs,
                 link_plan,
@@ -1104,19 +1400,14 @@ pub(crate) fn invoke_backends(
         // (the benches do this); fall back to whatever is left.
         match (interp_result, wasm_result) {
             (Some(ir), Some(wr)) => return compare(module, ir, wr),
-            (ir, wr) => {
-                return Ok(Invocation {
-                    richwasm: ir.transpose()?,
-                    wasm: wr.transpose()?,
-                })
-            }
+            (ir, wr) => return Ok(Invocation::new(ir.transpose()?, wr.transpose()?)),
         }
     }
 
-    Ok(Invocation {
-        richwasm: interp_result.transpose()?,
-        wasm: wasm_result.transpose()?,
-    })
+    Ok(Invocation::new(
+        interp_result.transpose()?,
+        wasm_result.transpose()?,
+    ))
 }
 
 /// Differential-mode reconciliation: both outcomes (success or failure)
@@ -1156,50 +1447,51 @@ fn compare(
                     },
                 ));
             }
-            Ok(Invocation {
-                richwasm: Some(ir),
-                wasm: Some(wr),
-            })
+            Ok(Invocation::new(Some(ir), Some(wr)))
         }
-        // Both failed. A trap on the interpreter matching a wasm-side
-        // failure is an agreed dynamic fault; any other interp failure
-        // class (stuck, fuel, …) coinciding with a wasm error is still
-        // a disagreement worth surfacing with both sides attached.
-        (Err(ie), Err(we)) => {
-            if matches!(
-                ie.kind,
-                PipelineErrorKind::Runtime(RuntimeError::Trap { .. })
-            ) {
-                Err(ie)
-            } else {
-                Err(PipelineError::new(
-                    Stage::Differential,
-                    Some(module),
-                    PipelineErrorKind::Mismatch {
-                        richwasm: format!("error: {}", ie.kind),
-                        wasm: format!("error: {}", we.kind),
-                    },
-                ))
-            }
-        }
-        // One-sided failure: the disagreement differential mode is for.
-        (Ok(ir), Err(we)) => Err(PipelineError::new(
-            Stage::Differential,
-            Some(module),
-            PipelineErrorKind::Mismatch {
-                richwasm: format!("{:?}", ir.values),
-                wasm: format!("error: {}", we.kind),
-            },
-        )),
-        (Err(ie), Ok(wr)) => Err(PipelineError::new(
-            Stage::Differential,
-            Some(module),
-            PipelineErrorKind::Mismatch {
-                richwasm: format!("error: {}", ie.kind),
-                wasm: format!("{wr:?}"),
-            },
+        // At least one side failed: the shared policy decides.
+        (ir, wr) => Err(reconcile_failures(
+            module,
+            ir.map(|r| format!("{:?}", r.values)),
+            wr.map(|vals| format!("{vals:?}")),
         )),
     }
+}
+
+/// The shared differential *failure* policy, used by both the
+/// string-keyed invoke path and `TypedFunc::call` (successes are
+/// pre-rendered by the caller; the `(Ok, Ok)` value comparison differs
+/// per path and stays with the caller):
+///
+/// * both failed with a genuine interpreter trap on the RichWasm side —
+///   an agreed dynamic fault, propagated as-is;
+/// * both failed otherwise (stuck, fuel, …) — still a disagreement worth
+///   surfacing with both sides attached;
+/// * one-sided failure — the disagreement differential mode exists for.
+pub(crate) fn reconcile_failures(
+    module: &str,
+    interp: Result<String, PipelineError>,
+    wasm: Result<String, PipelineError>,
+) -> PipelineError {
+    debug_assert!(interp.is_err() || wasm.is_err());
+    if let (Err(ie), Err(_)) = (&interp, &wasm) {
+        if matches!(
+            ie.kind,
+            PipelineErrorKind::Runtime(RuntimeError::Trap { .. })
+        ) {
+            return interp.unwrap_err();
+        }
+    }
+    let render =
+        |side: Result<String, PipelineError>| side.unwrap_or_else(|e| format!("error: {}", e.kind));
+    PipelineError::new(
+        Stage::Differential,
+        Some(module),
+        PipelineErrorKind::Mismatch {
+            richwasm: render(interp),
+            wasm: render(wasm),
+        },
+    )
 }
 
 #[cfg(test)]

@@ -4,19 +4,26 @@
 //! can exercise the entire pipeline: source languages (ML, L3) → RichWasm →
 //! WebAssembly.
 //!
-//! Two top-level APIs drive the chain:
+//! Three top-level APIs drive the chain:
 //!
 //! * [`engine`] — the compile-once / run-many API. An [`Engine`] owns the
 //!   configuration and a content-addressed artifact cache; compiling a
 //!   module set yields an immutable, cheaply shareable [`Artifact`], and
 //!   each [`Artifact::instantiate`](engine::Artifact::instantiate) call
 //!   produces an independent live [`Instance`] for repeated invocation.
+//! * [`call`] — the typed host↔guest boundary over the engine: [`TypedFunc`]
+//!   handles (signature checked once against the artifact's checked
+//!   types, then lookup-free calls) and host functions
+//!   ([`ModuleSet::host_fn`](engine::ModuleSet::host_fn)) installed into
+//!   both backends so differential checking spans host calls.
 //! * [`pipeline`] — the original one-shot [`Pipeline`] builder, now a
 //!   thin facade over the engine (one full compile per `build`).
 
+pub mod call;
 pub mod engine;
 pub mod pipeline;
 
+pub use call::{HostSig, HostVal, HostValType, TypedFunc, WasmParams, WasmResults, WasmTy};
 pub use engine::{
     Artifact, CacheKey, CacheStats, Engine, EngineConfig, Exec, Instance, Invocation, ModuleSet,
     PipelineError, PipelineErrorKind, Source, Stage, Timings,

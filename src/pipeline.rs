@@ -48,6 +48,7 @@ use richwasm_l3::L3Module;
 use richwasm_ml::MlModule;
 use richwasm_wasm::exec::WasmLinker;
 
+use crate::call::{HostSig, HostVal};
 use crate::engine::{invoke_backends, Engine, EngineConfig, ModuleSet};
 
 pub use crate::engine::{
@@ -78,6 +79,11 @@ pub struct Program {
     pub report: Report,
     exec: Exec,
     entry: Option<String>,
+    entry_func: String,
+    /// Host-call record/replay channels inherited from the instance —
+    /// cleared at the start of every [`Program::invoke`], so a one-sided
+    /// failure cannot leak recorded outcomes into the next invocation.
+    replay: Vec<crate::call::ReplayLog>,
 }
 
 /// A completed `run`: the built program plus the entry invocation result.
@@ -156,10 +162,31 @@ impl Pipeline {
         self
     }
 
-    /// Names the module whose exported `main` [`Pipeline::run`] invokes.
+    /// Names the module whose entry function [`Pipeline::run`] invokes.
     /// Defaults to the only module when exactly one was added.
     pub fn entry(mut self, name: impl Into<String>) -> Self {
         self.set = self.set.entry(name);
+        self
+    }
+
+    /// Names the exported function [`Pipeline::run`] invokes on the entry
+    /// module (default `"main"`).
+    pub fn entry_func(mut self, name: impl Into<String>) -> Self {
+        self.set = self.set.entry_func(name);
+        self
+    }
+
+    /// Registers a host function, exposed to guests as export `name` of a
+    /// host module named `module` and installed into both backends at
+    /// build time. See [`ModuleSet::host_fn`].
+    pub fn host_fn(
+        mut self,
+        module: impl Into<String>,
+        name: impl Into<String>,
+        sig: HostSig,
+        imp: impl Fn(&[HostVal]) -> Result<Vec<HostVal>, String> + Send + Sync + 'static,
+    ) -> Self {
+        self.set = self.set.host_fn(module, name, sig, imp);
         self
     }
 
@@ -180,6 +207,7 @@ impl Pipeline {
         let mut timings = artifact.timings().clone();
         timings.extend(instance.timings());
         let entry = artifact.entry().map(str::to_string);
+        let entry_func = artifact.entry_func().to_string();
         Ok(Program {
             richwasm: instance.richwasm.take(),
             wasm: instance.wasm.take(),
@@ -189,11 +217,14 @@ impl Pipeline {
             },
             exec: self.config.exec,
             entry,
+            entry_func,
+            replay: std::mem::take(&mut instance.replay),
         })
     }
 
-    /// [`Pipeline::build`], then invoke `main` on the entry module with no
-    /// arguments.
+    /// [`Pipeline::build`], then invoke the entry function (default
+    /// `"main"`, see [`Pipeline::entry_func`]) on the entry module with
+    /// no arguments.
     ///
     /// # Errors
     ///
@@ -211,7 +242,8 @@ impl Pipeline {
                 ),
             ));
         };
-        let result = program.invoke(&entry, "main", vec![])?;
+        let func = program.entry_func.clone();
+        let result = program.invoke(&entry, &func, vec![])?;
         Ok(Run { program, result })
     }
 }
@@ -232,6 +264,9 @@ impl Program {
         func: &str,
         args: Vec<Value>,
     ) -> Result<Invocation, PipelineError> {
+        for log in &self.replay {
+            log.lock().expect("host replay log poisoned").clear();
+        }
         invoke_backends(
             &mut self.richwasm,
             &mut self.wasm,
