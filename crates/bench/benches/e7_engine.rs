@@ -117,9 +117,12 @@ fn bench(c: &mut Criterion) {
     println!("  {INVOKES} invocations      {run_n:>12.2?}");
     println!("  per call, compile-once  {per_call_amortised:>12.2?}");
     println!("  per call, naive rebuild {per_call_naive:>12.2?}");
-    assert!(
-        cold >= warm * 10,
-        "acceptance: warm cache hit ({warm:?}) must be ≥10× faster than cold compile ({cold:?})"
+    // Acceptance: recorded into the machine-readable report, then
+    // enforced (a shortfall panics and fails the CI bench-gate).
+    criterion::acceptance(
+        "e7_engine/warm_vs_cold_compile",
+        cold.as_nanos() as f64 / warm.as_nanos().max(1) as f64,
+        10.0,
     );
 }
 

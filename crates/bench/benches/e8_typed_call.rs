@@ -243,11 +243,9 @@ fn bench(c: &mut Criterion) {
     println!("  string-keyed invoke     {string_med:>12.2?}");
     println!("  TypedFunc::call         {typed_med:>12.2?}");
     println!("  speedup                 {ratio:>11.2}x");
-    assert!(
-        string_med >= typed_med + typed_med / 2,
-        "acceptance: TypedFunc::call ({typed_med:?}) must be ≥1.5× faster than string-keyed \
-         invoke ({string_med:?}); measured {ratio:.2}x"
-    );
+    // Acceptance: recorded into the machine-readable report, then
+    // enforced (a shortfall panics and fails the CI bench-gate).
+    criterion::acceptance("e8_typed_call/typed_vs_string_invoke", ratio, 1.5);
 }
 
 criterion_group!(benches, bench);

@@ -64,6 +64,23 @@ pub struct Runtime {
     pub hosts: HostFuncs,
 }
 
+// Concurrency contract (enforced at compile time, relied on by the
+// embedder's `InstancePool`): a `Runtime` owns its store outright and can
+// be *moved* across threads — a server checks a runtime out to one worker
+// at a time. It is also `Sync` because every mutating entry point takes
+// `&mut self`; host closures are `Send + Sync` by construction
+// ([`HostImpl`]). Breaking this (e.g. by introducing `Rc` or a
+// non-`Sync` cell into the store) is a compile error here, not a
+// surprise in the embedder.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Runtime>();
+    assert_send_sync::<Store>();
+    assert_send_sync::<HostFuncs>();
+    assert_send_sync::<RuntimeConfig>();
+    assert_send_sync::<InvokeResult>();
+};
+
 impl Runtime {
     /// Creates an empty runtime with default configuration.
     pub fn new() -> Runtime {

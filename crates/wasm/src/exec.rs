@@ -168,6 +168,19 @@ struct Activation {
     depth: usize,
 }
 
+// Concurrency contract (enforced at compile time, relied on by the
+// embedder's `InstancePool`): a `WasmLinker` owns its entire store
+// (functions, globals, memories, tables) and can be moved across threads;
+// `&mut self` on every mutating entry point plus `Send + Sync` host
+// closures ([`HostFn`]) make it `Sync` too. The transient exec state
+// (`Activation`) lives on the invoking thread's stack and never escapes.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<WasmLinker>();
+    assert_send_sync::<Val>();
+    assert_send_sync::<WasmTrap>();
+};
+
 impl WasmLinker {
     /// Creates an empty linker.
     pub fn new() -> WasmLinker {

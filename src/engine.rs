@@ -52,7 +52,8 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use richwasm::env::ModuleEnv;
@@ -447,12 +448,17 @@ impl EngineConfig {
 }
 
 /// One host function registered on a [`ModuleSet`]: export name,
-/// declared signature, and the Rust closure implementing it.
+/// declared signature, the Rust closure implementing it, and an optional
+/// state-reset hook run by [`Instance::reset`].
 #[derive(Clone)]
 pub(crate) struct HostFuncDef {
     pub(crate) name: String,
     pub(crate) sig: HostSig,
     pub(crate) imp: HostCallback,
+    /// Rewinds whatever interior-mutable state `imp` closes over, so a
+    /// reset (or pool-recycled) instance cannot observe host state left
+    /// behind by earlier invocations. `None` for stateless hosts.
+    pub(crate) on_reset: Option<Arc<dyn Fn() + Send + Sync>>,
 }
 
 impl fmt::Debug for HostFuncDef {
@@ -535,11 +541,52 @@ impl ModuleSet {
         sig: HostSig,
         imp: impl Fn(&[HostVal]) -> Result<Vec<HostVal>, String> + Send + Sync + 'static,
     ) -> Self {
-        let module = module.into();
-        let def = HostFuncDef {
-            name: name.into(),
+        self.push_host_fn(module.into(), name.into(), sig, Arc::new(imp), None);
+        self
+    }
+
+    /// [`ModuleSet::host_fn`] for *stateful* hosts: `on_reset` rewinds the
+    /// interior-mutable state `imp` closes over, and [`Instance::reset`]
+    /// (hence every [`InstancePool`] checkin) runs it — so a recycled
+    /// instance cannot observe host state left behind by a previous
+    /// checkout.
+    ///
+    /// Host closures are shared by every instance of an artifact: when a
+    /// pool holds more than one instance, `on_reset` rewinds state that
+    /// concurrent checkouts may also be touching. Pools with stateful
+    /// hosts should therefore either keep the state per-invocation
+    /// (reset is then a no-op) or make it genuinely concurrent.
+    pub fn host_fn_with_reset(
+        mut self,
+        module: impl Into<String>,
+        name: impl Into<String>,
+        sig: HostSig,
+        imp: impl Fn(&[HostVal]) -> Result<Vec<HostVal>, String> + Send + Sync + 'static,
+        on_reset: impl Fn() + Send + Sync + 'static,
+    ) -> Self {
+        self.push_host_fn(
+            module.into(),
+            name.into(),
             sig,
-            imp: Arc::new(imp),
+            Arc::new(imp),
+            Some(Arc::new(on_reset)),
+        );
+        self
+    }
+
+    fn push_host_fn(
+        &mut self,
+        module: String,
+        name: String,
+        sig: HostSig,
+        imp: HostCallback,
+        on_reset: Option<Arc<dyn Fn() + Send + Sync>>,
+    ) {
+        let def = HostFuncDef {
+            name,
+            sig,
+            imp,
+            on_reset,
         };
         match self.hosts.iter_mut().find(|h| h.name == module) {
             Some(h) => h.funcs.push(def),
@@ -548,7 +595,6 @@ impl ModuleSet {
                 funcs: vec![def],
             }),
         }
-        self
     }
 
     /// Names the module whose exported entry function invocations target.
@@ -638,6 +684,11 @@ fn cache_key(config: &EngineConfig, set: &ModuleSet) -> CacheKey {
         let _ = write!(h, "|host:{:?}", hm.name);
         for f in &hm.funcs {
             let _ = write!(h, "|hfn:{:?}:{}@{:p}", f.name, f.sig, Arc::as_ptr(&f.imp));
+            // The reset hook shapes post-reset behaviour, so its identity
+            // is content for the same reason the closure's is.
+            if let Some(r) = &f.on_reset {
+                let _ = write!(h, "~reset@{:p}", Arc::as_ptr(r));
+            }
         }
     }
     CacheKey(h.0)
@@ -1019,6 +1070,18 @@ impl Instance {
     /// baseline in place, and the RichWasm runtime re-links from the
     /// artifact's (already checked) modules.
     ///
+    /// Three pieces of host-boundary state are rewound with the stores —
+    /// the invariant [`InstancePool`] recycling relies on (a recycled
+    /// instance must be indistinguishable from a fresh one):
+    ///
+    /// * the differential record/replay queues are drained, so a recycled
+    ///   instance can never replay a host outcome recorded by a previous
+    ///   checkout's (possibly failed) invocation;
+    /// * every host function's `on_reset` hook
+    ///   ([`ModuleSet::host_fn_with_reset`]) runs, rewinding stateful
+    ///   host closures;
+    /// * the invocation counter restarts at zero.
+    ///
     /// # Errors
     ///
     /// The same link errors as [`Artifact::instantiate`] — impossible in
@@ -1037,8 +1100,301 @@ impl Instance {
         for log in &self.replay {
             log.lock().expect("host replay log poisoned").clear();
         }
+        for hm in &self.artifact.inner.hosts {
+            for f in &hm.funcs {
+                if let Some(on_reset) = &f.on_reset {
+                    on_reset();
+                }
+            }
+        }
         self.invocations = 0;
         Ok(())
+    }
+}
+
+/// One invocation request for the batch APIs
+/// ([`InstancePool::invoke_batch`], [`Engine::invoke_parallel`]): which
+/// export of which module to call, with which arguments.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The target module name.
+    pub module: String,
+    /// The exported function name.
+    pub func: String,
+    /// RichWasm argument values (converted per backend exactly as
+    /// [`Instance::invoke`] converts them).
+    pub args: Vec<Value>,
+}
+
+impl Job {
+    /// Builds a job.
+    pub fn new(module: impl Into<String>, func: impl Into<String>, args: Vec<Value>) -> Job {
+        Job {
+            module: module.into(),
+            func: func.into(),
+            args,
+        }
+    }
+}
+
+/// Pool effectiveness counters, via [`InstancePool::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Instances handed out by `checkout`/`try_checkout`.
+    pub checkouts: u64,
+    /// Instances returned, reset, and made available again.
+    pub recycled: u64,
+    /// Slots lost because a returned instance could neither be reset nor
+    /// replaced (never observed in practice — both require an artifact
+    /// that already instantiated once to fail to do so again).
+    pub lost: u64,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    idle: Vec<Instance>,
+    stats: PoolStats,
+}
+
+/// A fixed-capacity pool of pre-instantiated [`Instance`]s of one
+/// [`Artifact`] — the serving-traffic primitive: N isolated instances,
+/// checked out to one worker thread at a time and recycled through
+/// [`Instance::reset`] on checkin, so every checkout observes a freshly
+/// instantiated program.
+///
+/// The pool is `Sync`: share it by reference (or `Arc`) across worker
+/// threads and call [`InstancePool::checkout`] from each. Instances
+/// themselves are **thread-confined while checked out** — differential
+/// cross-checking and the host record/replay queues are per-instance
+/// state and never cross threads (see `DESIGN.md` §8).
+///
+/// Created by [`Artifact::pool`].
+#[derive(Debug)]
+pub struct InstancePool {
+    artifact: Artifact,
+    capacity: usize,
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+impl InstancePool {
+    /// The artifact the pooled instances were created from.
+    pub fn artifact(&self) -> &Artifact {
+        &self.artifact
+    }
+
+    /// Number of instances the pool was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Instances currently available for checkout.
+    pub fn idle(&self) -> usize {
+        self.state
+            .lock()
+            .expect("instance pool poisoned")
+            .idle
+            .len()
+    }
+
+    /// Checkout/recycle counters since construction.
+    pub fn stats(&self) -> PoolStats {
+        self.state.lock().expect("instance pool poisoned").stats
+    }
+
+    /// Checks an instance out of the pool, blocking until one is
+    /// available. The returned guard derefs to [`Instance`]; dropping it
+    /// checks the instance back in (resetting it — see
+    /// [`Instance::reset`] — so the next checkout gets a fresh program).
+    pub fn checkout(&self) -> PooledInstance<'_> {
+        let mut state = self.state.lock().expect("instance pool poisoned");
+        loop {
+            if let Some(inst) = state.idle.pop() {
+                state.stats.checkouts += 1;
+                return PooledInstance {
+                    pool: self,
+                    inst: Some(inst),
+                };
+            }
+            state = self.available.wait(state).expect("instance pool poisoned");
+        }
+    }
+
+    /// [`InstancePool::checkout`] without blocking: `None` when every
+    /// instance is currently checked out.
+    pub fn try_checkout(&self) -> Option<PooledInstance<'_>> {
+        let mut state = self.state.lock().expect("instance pool poisoned");
+        let inst = state.idle.pop()?;
+        state.stats.checkouts += 1;
+        Some(PooledInstance {
+            pool: self,
+            inst: Some(inst),
+        })
+    }
+
+    /// Returns an instance to the pool. The instance is **re-reset** here
+    /// (not lazily at checkout), so `checkin` is the only place pool
+    /// hygiene lives and an idle pool holds only fresh instances. A reset
+    /// failure falls back to minting a replacement instance from the
+    /// artifact; if even that fails the slot is dropped and counted in
+    /// [`PoolStats::lost`].
+    fn checkin(&self, mut inst: Instance) {
+        let recycled = match inst.reset() {
+            Ok(()) => Some(inst),
+            Err(_) => self.artifact.instantiate().ok(),
+        };
+        let mut state = self.state.lock().expect("instance pool poisoned");
+        match recycled {
+            Some(inst) => {
+                state.idle.push(inst);
+                state.stats.recycled += 1;
+            }
+            None => state.stats.lost += 1,
+        }
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Runs every job across up to `workers` scoped threads sharing this
+    /// pool, returning the per-job outcomes **in job order**. Each worker
+    /// checks out one instance for its whole share of the batch (jobs are
+    /// claimed from a shared counter, so a slow job never stalls the
+    /// others behind a fixed partition), keeping differential checking
+    /// and the host record/replay queues strictly per-instance.
+    ///
+    /// `workers` is clamped to the pool capacity and the job count; with
+    /// one worker the batch runs inline on the calling thread.
+    ///
+    /// Instances are **not** reset between jobs of one batch (resetting
+    /// happens at checkin), so this API is for *invocation-independent*
+    /// jobs — the serving-traffic shape, and the only shape whose
+    /// results are schedule-independent. A guest that accumulates store
+    /// state across invocations sees a worker's share of the batch, not
+    /// the whole of it; drive such a guest through one checked-out
+    /// instance instead, where the invocation order is yours.
+    pub fn invoke_batch(
+        &self,
+        workers: usize,
+        jobs: &[Job],
+    ) -> Vec<Result<Invocation, PipelineError>> {
+        if jobs.is_empty() {
+            // Nothing to run — in particular, do not block on a checkout
+            // the empty batch will never use.
+            return Vec::new();
+        }
+        let workers = workers.max(1).min(self.capacity).min(jobs.len());
+        if workers <= 1 {
+            let mut inst = self.checkout();
+            return jobs
+                .iter()
+                .map(|j| inst.invoke(&j.module, &j.func, j.args.clone()))
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<Result<Invocation, PipelineError>>> =
+            std::iter::repeat_with(|| None).take(jobs.len()).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut inst = self.checkout();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(job) = jobs.get(i) else { break };
+                            out.push((i, inst.invoke(&job.module, &job.func, job.args.clone())));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("batch worker panicked") {
+                    results[i] = Some(r);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every job index claimed exactly once"))
+            .collect()
+    }
+}
+
+/// A checked-out pool instance: derefs to [`Instance`]; dropping it
+/// checks the instance back in (reset included).
+pub struct PooledInstance<'p> {
+    pool: &'p InstancePool,
+    /// `None` only transiently during drop.
+    inst: Option<Instance>,
+}
+
+impl fmt::Debug for PooledInstance<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PooledInstance({})", self.pool.artifact.key())
+    }
+}
+
+impl std::ops::Deref for PooledInstance<'_> {
+    type Target = Instance;
+    fn deref(&self) -> &Instance {
+        self.inst.as_ref().expect("instance present until drop")
+    }
+}
+
+impl std::ops::DerefMut for PooledInstance<'_> {
+    fn deref_mut(&mut self) -> &mut Instance {
+        self.inst.as_mut().expect("instance present until drop")
+    }
+}
+
+impl Drop for PooledInstance<'_> {
+    fn drop(&mut self) {
+        if let Some(inst) = self.inst.take() {
+            self.pool.checkin(inst);
+        }
+    }
+}
+
+impl Artifact {
+    /// Pre-instantiates `n` isolated instances as an [`InstancePool`].
+    /// The pool shares nothing mutable between instances; it can be
+    /// shared across threads and drained with
+    /// [`InstancePool::checkout`] / [`InstancePool::invoke_batch`].
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` for `n == 0`, plus any [`Artifact::instantiate`]
+    /// link error.
+    pub fn pool(&self, n: usize) -> Result<InstancePool, PipelineError> {
+        if n == 0 {
+            return Err(PipelineError::new(
+                Stage::Instantiate,
+                None,
+                PipelineErrorKind::Unsupported("an instance pool needs capacity >= 1".into()),
+            ));
+        }
+        let mut idle = Vec::with_capacity(n);
+        for _ in 0..n {
+            idle.push(self.instantiate()?);
+        }
+        Ok(InstancePool {
+            artifact: self.clone(),
+            capacity: n,
+            state: Mutex::new(PoolState {
+                idle,
+                stats: PoolStats::default(),
+            }),
+            available: Condvar::new(),
+        })
+    }
+
+    /// The [`Job`] equivalent of [`Instance::invoke_entry`]: the entry
+    /// module's entry function with no arguments. `None` when the module
+    /// set has no resolvable entry.
+    pub fn entry_job(&self) -> Option<Job> {
+        Some(Job::new(self.entry()?, self.entry_func(), vec![]))
     }
 }
 
@@ -1132,6 +1488,31 @@ impl Engine {
     /// As the two underlying calls.
     pub fn instantiate(&self, set: &ModuleSet) -> Result<Instance, PipelineError> {
         self.compile(set)?.instantiate()
+    }
+
+    /// Drives `jobs` across `workers` scoped threads over a fresh
+    /// [`InstancePool`] of the compiled (cache-aware) module set:
+    /// [`Engine::compile`] → [`Artifact::pool`]`(workers)` →
+    /// [`InstancePool::invoke_batch`]. Per-job outcomes come back in job
+    /// order; differential checking and host record/replay stay strictly
+    /// per-instance, exactly as in sequential invocation.
+    ///
+    /// Services that invoke the same set repeatedly should hold the pool
+    /// themselves ([`Artifact::pool`]) instead of re-instantiating one
+    /// per batch — this is the one-call convenience form.
+    ///
+    /// # Errors
+    ///
+    /// Compile and instantiation failures. Per-job execution failures are
+    /// reported in the returned vector, not as a batch failure.
+    pub fn invoke_parallel(
+        &self,
+        set: &ModuleSet,
+        workers: usize,
+        jobs: &[Job],
+    ) -> Result<Vec<Result<Invocation, PipelineError>>, PipelineError> {
+        let pool = self.compile(set)?.pool(workers.max(1))?;
+        Ok(pool.invoke_batch(workers.max(1), jobs))
     }
 
     /// A full compile that bypasses the cache entirely (no lookup, no
@@ -1494,18 +1875,33 @@ pub(crate) fn reconcile_failures(
     )
 }
 
+// The embedder's concurrency contract, enforced at compile time (the
+// other half — `Runtime`/`WasmLinker` — is asserted in their own crates):
+//
+// * `Engine`, `Artifact`, `ModuleSet`, and `InstancePool` are shared by
+//   reference across worker threads (`Sync`), and cross thread
+//   boundaries when a service spawns its workers (`Send`);
+// * `Instance` (and its pool guard) is `Send` — checked out to one
+//   thread at a time, moved, never shared: differential stores and the
+//   host record/replay queues stay thread-confined by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const fn assert_send<T: Send>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<Artifact>();
+    assert_send_sync::<ModuleSet>();
+    assert_send_sync::<InstancePool>();
+    assert_send_sync::<Job>();
+    assert_send_sync::<Invocation>();
+    assert_send::<Instance>();
+    assert_send::<PooledInstance<'_>>();
+    assert_send::<PipelineError>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    // Engine and Artifact must stay shareable across threads: a service
-    // holds one Engine and instantiates artifacts from worker threads.
-    fn _assert_send_sync<T: Send + Sync>() {}
-    #[allow(dead_code)]
-    fn _engine_is_send_sync() {
-        _assert_send_sync::<Engine>();
-        _assert_send_sync::<Artifact>();
-    }
+    use crate::call::HostValType;
 
     #[test]
     fn cache_key_is_stable_and_content_sensitive() {
@@ -1533,5 +1929,143 @@ mod tests {
         let forged_name = format!("a\"={:?}|mod:\"b", Source::RichWasm(Box::default()));
         let one = ModuleSet::new().richwasm(forged_name, syntax::Module::default());
         assert_ne!(cache_key(&cfg, &two), cache_key(&cfg, &one));
+    }
+
+    /// A guest whose `main` imports and calls `host.tick(5)`, adding 1.
+    fn host_client_set() -> ModuleSet {
+        let m = syntax::Module {
+            funcs: vec![
+                syntax::Func::Imported {
+                    exports: vec![],
+                    module: "host".into(),
+                    name: "tick".into(),
+                    ty: syntax::FunType::mono(
+                        vec![syntax::Type::num(NumType::I32)],
+                        vec![syntax::Type::num(NumType::I32)],
+                    ),
+                },
+                syntax::Func::Defined {
+                    exports: vec!["main".into()],
+                    ty: syntax::FunType::mono(vec![], vec![syntax::Type::num(NumType::I32)]),
+                    locals: vec![],
+                    body: vec![
+                        syntax::Instr::i32(5),
+                        syntax::Instr::Call(0, vec![]),
+                        syntax::Instr::i32(1),
+                        syntax::Instr::Num(syntax::NumInstr::IntBinop(
+                            NumType::I32,
+                            syntax::instr::IntBinop::Add,
+                        )),
+                    ],
+                },
+            ],
+            ..syntax::Module::default()
+        };
+        ModuleSet::new().richwasm("m", m).host_fn(
+            "host",
+            "tick",
+            crate::call::HostSig::new([HostValType::I32], [HostValType::I32]),
+            |args| {
+                let HostVal::I32(x) = args[0] else {
+                    return Err("expected i32".into());
+                };
+                Ok(vec![HostVal::I32(x * 2)])
+            },
+        )
+    }
+
+    // Regression (PR 4): `Instance::reset` must drain the differential
+    // record/replay queues. A leftover recording (here injected directly;
+    // in the wild, host outcomes recorded by an invocation that failed
+    // between the two backends) would otherwise be replayed by the Wasm
+    // backend of the *next* checkout, desynchronising the cross-check
+    // with a stale host outcome.
+    #[test]
+    fn reset_drains_host_replay_queues() {
+        let engine = Engine::new();
+        let mut inst = engine.instantiate(&host_client_set()).unwrap();
+        assert_eq!(inst.replay.len(), 1, "one replay channel per host fn");
+
+        inst.replay[0]
+            .lock()
+            .unwrap()
+            .push_back(Ok(vec![HostVal::I32(999)]));
+        inst.reset().unwrap();
+        assert!(
+            inst.replay.iter().all(|l| l.lock().unwrap().is_empty()),
+            "reset left a recorded host outcome behind"
+        );
+        // And the next invocation computes fresh: tick(5)*... = 10 + 1,
+        // not the injected 999 + 1.
+        assert_eq!(inst.invoke_entry().unwrap().i32(), Some(11));
+    }
+
+    #[test]
+    fn pool_checkin_recycles_through_reset() {
+        let engine = Engine::new();
+        let artifact = engine.compile(&host_client_set()).unwrap();
+        let pool = artifact.pool(2).unwrap();
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.idle(), 2);
+
+        {
+            let mut a = pool.checkout();
+            let mut b = pool.checkout();
+            assert_eq!(pool.idle(), 0);
+            assert!(pool.try_checkout().is_none(), "pool exhausted");
+            assert_eq!(a.invoke_entry().unwrap().i32(), Some(11));
+            assert_eq!(b.invoke_entry().unwrap().i32(), Some(11));
+            assert_eq!(a.invocations(), 1);
+        }
+        assert_eq!(pool.idle(), 2, "drop returned both instances");
+        let stats = pool.stats();
+        assert_eq!(stats.checkouts, 2);
+        assert_eq!(stats.recycled, 2);
+        assert_eq!(stats.lost, 0);
+
+        // A recycled instance is indistinguishable from a fresh one.
+        let c = pool.checkout();
+        assert_eq!(c.invocations(), 0, "checkin re-reset the instance");
+        assert!(c.timings().no_static_stages());
+    }
+
+    #[test]
+    fn empty_pool_is_rejected() {
+        let engine = Engine::new();
+        let artifact = engine
+            .compile(&ModuleSet::new().richwasm("m", syntax::Module::default()))
+            .unwrap();
+        let err = artifact.pool(0).unwrap_err();
+        assert!(matches!(err.kind, PipelineErrorKind::Unsupported(_)));
+    }
+
+    #[test]
+    fn empty_batch_returns_without_touching_the_pool() {
+        let engine = Engine::new();
+        let pool = engine.compile(&host_client_set()).unwrap().pool(1).unwrap();
+        // Exhaust the pool, then submit an empty batch: it must return
+        // immediately instead of blocking on a checkout it will not use.
+        let _held = pool.checkout();
+        assert!(pool.invoke_batch(4, &[]).is_empty());
+        assert_eq!(pool.stats().checkouts, 1, "empty batch checked nothing out");
+    }
+
+    #[test]
+    fn invoke_batch_matches_sequential_and_preserves_job_order() {
+        let engine = Engine::new();
+        let artifact = engine.compile(&host_client_set()).unwrap();
+        let jobs: Vec<Job> = (0..16)
+            .map(|_| artifact.entry_job().expect("set has an entry"))
+            .collect();
+
+        let pool = artifact.pool(3).unwrap();
+        let parallel = pool.invoke_batch(3, &jobs);
+        let sequential = pool.invoke_batch(1, &jobs);
+        assert_eq!(parallel.len(), jobs.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            let (p, s) = (p.as_ref().unwrap(), s.as_ref().unwrap());
+            assert_eq!(p.results(), s.results());
+            assert_eq!(p.i32(), Some(11));
+        }
     }
 }

@@ -11,6 +11,12 @@
 //!   module set yields an immutable, cheaply shareable [`Artifact`], and
 //!   each [`Artifact::instantiate`](engine::Artifact::instantiate) call
 //!   produces an independent live [`Instance`] for repeated invocation.
+//!   For concurrent traffic, [`Artifact::pool`](engine::Artifact::pool)
+//!   pre-instantiates an [`InstancePool`] that worker threads check
+//!   instances out of (recycled through `reset` on checkin), and
+//!   [`Engine::invoke_parallel`](engine::Engine::invoke_parallel) /
+//!   [`InstancePool::invoke_batch`](engine::InstancePool::invoke_batch)
+//!   drive whole batches across scoped threads.
 //! * [`call`] — the typed host↔guest boundary over the engine: [`TypedFunc`]
 //!   handles (signature checked once against the artifact's checked
 //!   types, then lookup-free calls) and host functions
@@ -25,8 +31,9 @@ pub mod pipeline;
 
 pub use call::{HostSig, HostVal, HostValType, TypedFunc, WasmParams, WasmResults, WasmTy};
 pub use engine::{
-    Artifact, CacheKey, CacheStats, Engine, EngineConfig, Exec, Instance, Invocation, ModuleSet,
-    PipelineError, PipelineErrorKind, Source, Stage, Timings,
+    Artifact, CacheKey, CacheStats, Engine, EngineConfig, Exec, Instance, InstancePool, Invocation,
+    Job, ModuleSet, PipelineError, PipelineErrorKind, PoolStats, PooledInstance, Source, Stage,
+    Timings,
 };
 pub use pipeline::{Pipeline, Program, Report, Run};
 pub use richwasm;

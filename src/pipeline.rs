@@ -190,6 +190,25 @@ impl Pipeline {
         self
     }
 
+    /// Registers a *stateful* host function with a reset hook. See
+    /// [`ModuleSet::host_fn_with_reset`] — the hook only matters to
+    /// engine [`Instance`](crate::engine::Instance)s (the one-shot facade
+    /// never resets), but accepting it here keeps the two builders
+    /// interchangeable.
+    pub fn host_fn_with_reset(
+        mut self,
+        module: impl Into<String>,
+        name: impl Into<String>,
+        sig: HostSig,
+        imp: impl Fn(&[HostVal]) -> Result<Vec<HostVal>, String> + Send + Sync + 'static,
+        on_reset: impl Fn() + Send + Sync + 'static,
+    ) -> Self {
+        self.set = self
+            .set
+            .host_fn_with_reset(module, name, sig, imp, on_reset);
+        self
+    }
+
     /// Runs frontend → typecheck → (lower → validate → encode) →
     /// instantiation and returns the executable [`Program`].
     ///

@@ -8,18 +8,26 @@
 //! * two instances of one artifact share no mutable state;
 //! * no cached or instantiated path ever re-runs a static stage
 //!   (observable through [`Timings`]);
-//! * [`PipelineError::source`] chains every wrapped error kind.
+//! * [`PipelineError::source`] chains every wrapped error kind;
+//! * the concurrency contract: one `Engine` + one `InstancePool` shared
+//!   by many threads keep the cache counters consistent and every agreed
+//!   result equal to the sequential oracle; pool recycling (checkin →
+//!   `reset`) rewinds guest state, host record/replay queues, *and*
+//!   stateful host closures registered with a reset hook.
 
 use std::error::Error as _;
+use std::sync::atomic::{AtomicI32, AtomicU32, Ordering};
+use std::sync::Arc;
 
 use richwasm::error::{RuntimeError, TypeError};
-use richwasm::syntax::Value;
+use richwasm::syntax::{self, instr, FunType, Instr, NumInstr, NumType, Qual, Type, Value};
 use richwasm_bench::workloads::{counter_client, counter_library, stash_client, stash_module};
 use richwasm_l3::L3Error;
 use richwasm_lower::LowerError;
 use richwasm_ml::MlError;
-use richwasm_repro::engine::{Engine, ModuleSet, PipelineError, PipelineErrorKind, Stage};
+use richwasm_repro::engine::{Engine, Job, ModuleSet, PipelineError, PipelineErrorKind, Stage};
 use richwasm_repro::pipeline::Pipeline;
+use richwasm_repro::{HostSig, HostVal, HostValType};
 use richwasm_wasm::exec::WasmTrap;
 use richwasm_wasm::validate::ValidationError;
 
@@ -166,6 +174,227 @@ fn facade_and_engine_produce_identical_binaries() {
         .build()
         .unwrap();
     assert_eq!(engine_bytes, facade.report.binaries);
+}
+
+/// `add : [i32, i32] -> [i32]`, plus a `main` returning 7 so the set has
+/// an entry for oracle runs.
+fn arith_module() -> syntax::Module {
+    let i32t = || Type::num(NumType::I32);
+    syntax::Module {
+        funcs: vec![
+            syntax::Func::Defined {
+                exports: vec!["add".into()],
+                ty: FunType::mono(vec![i32t(), i32t()], vec![i32t()]),
+                locals: vec![],
+                body: vec![
+                    Instr::GetLocal(0, Qual::Unr),
+                    Instr::GetLocal(1, Qual::Unr),
+                    Instr::Num(NumInstr::IntBinop(NumType::I32, instr::IntBinop::Add)),
+                ],
+            },
+            syntax::Func::Defined {
+                exports: vec!["main".into()],
+                ty: FunType::mono(vec![], vec![i32t()]),
+                locals: vec![],
+                body: vec![Instr::i32(7)],
+            },
+        ],
+        ..syntax::Module::default()
+    }
+}
+
+/// A guest whose `main` calls `host.tick(0)` and returns the result.
+fn ticker_module() -> syntax::Module {
+    syntax::Module {
+        funcs: vec![
+            syntax::Func::Imported {
+                exports: vec![],
+                module: "host".into(),
+                name: "tick".into(),
+                ty: FunType::mono(vec![Type::num(NumType::I32)], vec![Type::num(NumType::I32)]),
+            },
+            syntax::Func::Defined {
+                exports: vec!["main".into()],
+                ty: FunType::mono(vec![], vec![Type::num(NumType::I32)]),
+                locals: vec![],
+                body: vec![Instr::i32(0), Instr::Call(0, vec![])],
+            },
+        ],
+        ..syntax::Module::default()
+    }
+}
+
+// The headline concurrency stress: many threads share ONE engine and ONE
+// pool, hammering the artifact cache and the instance pool at once. The
+// cache counters must stay consistent (every compile is exactly one hit
+// or one miss), every compile must resolve to the same content hash, and
+// every agreed result must equal the sequential oracle.
+#[test]
+fn threaded_stress_shared_engine_cache_and_pool() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 4;
+    const POOL: usize = 3;
+
+    let engine = Engine::new();
+
+    // Sequential oracle, through the same engine (1 compile).
+    let mut oracle_inst = engine.instantiate(&stash_set()).unwrap();
+    let oracle = oracle_inst.invoke_entry().unwrap().results().to_vec();
+    assert!(!oracle.is_empty());
+    drop(oracle_inst);
+
+    // Shared pool (1 more compile — a cache hit).
+    let artifact = engine.compile(&stash_set()).unwrap();
+    let pool = artifact.pool(POOL).unwrap();
+    let expected_key = artifact.key();
+
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            s.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    // Hammer the cache: every compile must come back as
+                    // the same content-addressed artifact.
+                    let a = engine.compile(&stash_set()).unwrap();
+                    assert_eq!(a.key(), expected_key);
+                    // Hammer the pool: checkout, invoke, compare to the
+                    // oracle, checkin (drop).
+                    let mut inst = pool.checkout();
+                    let inv = inst.invoke_entry().unwrap();
+                    assert_eq!(inv.results(), &oracle[..]);
+                }
+            });
+        }
+    });
+
+    let stats = engine.cache_stats();
+    let requests = (2 + THREADS * PER_THREAD) as u64;
+    assert_eq!(
+        stats.hits + stats.misses,
+        requests,
+        "every compile is exactly one hit or one miss: {stats:?}"
+    );
+    assert_eq!(stats.misses, 1, "one cold compile, all the rest cache hits");
+
+    let pstats = pool.stats();
+    assert_eq!(pstats.checkouts, (THREADS * PER_THREAD) as u64);
+    assert_eq!(pstats.recycled, pstats.checkouts, "every checkin recycled");
+    assert_eq!(pstats.lost, 0);
+    assert_eq!(pool.idle(), POOL, "all instances returned");
+}
+
+// `Engine::invoke_parallel` must hand back outcomes in job order — here
+// every job has distinct arguments, so a transposed result is visible —
+// and agree with the sequential baseline.
+#[test]
+fn invoke_parallel_preserves_job_order_with_distinct_args() {
+    let set = ModuleSet::new().richwasm("m", arith_module());
+    let jobs: Vec<Job> = (0..24)
+        .map(|i| Job::new("m", "add", vec![Value::i32(i), Value::i32(2 * i)]))
+        .collect();
+
+    let engine = Engine::new();
+    let results = engine.invoke_parallel(&set, 4, &jobs).unwrap();
+    assert_eq!(results.len(), jobs.len());
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(
+            r.as_ref().unwrap().i32(),
+            Some(3 * i as i32),
+            "job {i} out of order or wrong"
+        );
+    }
+
+    // Per-job failures stay per-job: an unknown export fails its slot,
+    // the rest of the batch is unaffected.
+    let mut jobs = jobs;
+    jobs[5] = Job::new("m", "nope", vec![]);
+    let results = engine.invoke_parallel(&set, 4, &jobs).unwrap();
+    assert!(results[5].is_err());
+    assert_eq!(results[6].as_ref().unwrap().i32(), Some(18));
+}
+
+// In differential mode the host closure runs once per invocation (the
+// RichWasm backend records, the Wasm backend replays) — and the replay
+// queues are per-instance, so this stays true when a batch fans out
+// across 4 worker threads.
+#[test]
+fn parallel_batch_keeps_host_record_replay_per_instance() {
+    let calls = Arc::new(AtomicU32::new(0));
+    let counted = Arc::clone(&calls);
+    let set = ModuleSet::new().richwasm("m", ticker_module()).host_fn(
+        "host",
+        "tick",
+        HostSig::new([HostValType::I32], [HostValType::I32]),
+        move |_args| {
+            counted.fetch_add(1, Ordering::Relaxed);
+            // Pure in its *result* (so parallel results are deterministic);
+            // the side effect is what the test counts.
+            Ok(vec![HostVal::I32(40)])
+        },
+    );
+
+    const JOBS: usize = 20;
+    let engine = Engine::new();
+    let artifact = engine.compile(&set).unwrap();
+    let jobs: Vec<Job> = (0..JOBS).map(|_| artifact.entry_job().unwrap()).collect();
+    let pool = artifact.pool(4).unwrap();
+    let results = pool.invoke_batch(4, &jobs);
+    for r in &results {
+        assert_eq!(r.as_ref().unwrap().i32(), Some(40));
+    }
+    assert_eq!(
+        calls.load(Ordering::Relaxed),
+        JOBS as u32,
+        "host closure must run exactly once per invocation — a cross-instance \
+         replay mixup would double-run or skip it"
+    );
+}
+
+// Regression (PR 4): recycling must rewind stateful host closures too.
+// A counter host registered with a reset hook starts from scratch after
+// `Instance::reset` — and therefore after every pool checkin.
+#[test]
+fn reset_rewinds_stateful_hosts_via_hook() {
+    let counter = Arc::new(AtomicI32::new(0));
+    let bump = Arc::clone(&counter);
+    let rewind = Arc::clone(&counter);
+    let set = ModuleSet::new()
+        .richwasm("m", ticker_module())
+        .host_fn_with_reset(
+            "host",
+            "tick",
+            HostSig::new([HostValType::I32], [HostValType::I32]),
+            move |_args| Ok(vec![HostVal::I32(bump.fetch_add(1, Ordering::SeqCst) + 1)]),
+            move || rewind.store(0, Ordering::SeqCst),
+        );
+
+    let engine = Engine::new();
+    let mut inst = engine.instantiate(&set).unwrap();
+    assert_eq!(inst.invoke_entry().unwrap().i32(), Some(1));
+    assert_eq!(inst.invoke_entry().unwrap().i32(), Some(2));
+
+    inst.reset().unwrap();
+    assert_eq!(
+        inst.invoke_entry().unwrap().i32(),
+        Some(1),
+        "reset must rewind host state through the hook"
+    );
+    drop(inst);
+
+    // The same invariant through pool recycling: capacity 1, so the
+    // second checkout observes exactly what checkin left behind.
+    counter.store(0, Ordering::SeqCst);
+    let pool = engine.compile(&set).unwrap().pool(1).unwrap();
+    {
+        let mut one = pool.checkout();
+        assert_eq!(one.invoke_entry().unwrap().i32(), Some(1));
+        assert_eq!(one.invoke_entry().unwrap().i32(), Some(2));
+    }
+    let mut two = pool.checkout();
+    assert_eq!(
+        two.invoke_entry().unwrap().i32(),
+        Some(1),
+        "a recycled pooled instance must not observe the previous checkout's host state"
+    );
 }
 
 #[test]
