@@ -1,0 +1,1407 @@
+//! Decoder from the standard WebAssembly binary format (spec §5) back to
+//! the [`crate::ast`] module representation.
+//!
+//! This is the inverse of [`crate::binary::encode_module`] and the trust
+//! frontier of the substrate: bytes may come from disk caches or from
+//! external producers, so the decoder assumes **nothing** about its
+//! input. Every read is bounds-checked, every LEB128 integer must be
+//! minimally encoded, section payloads must be consumed exactly,
+//! module-structure indices must be in range, and control nesting is
+//! depth-capped — any violation returns a structured [`DecodeError`]
+//! carrying the byte offset, the section being parsed, and the specific
+//! [`DecodeErrorKind`]. The decoder never panics, never overflows the
+//! call stack, and never allocates proportionally to a length claim it
+//! has not verified against the remaining input.
+//!
+//! Strictness (see `DESIGN.md` §9): the decoder accepts exactly the
+//! canonical form the encoder emits, plus the spec-permitted variations
+//! an external producer may use (a `max` bound in limits, which the AST
+//! does not model and re-encoding drops; memory alignment hints below
+//! natural alignment, which re-encoding normalises; custom sections —
+//! including the `name` section — which are bounds-checked and skipped).
+//! For bytes produced by [`crate::binary::encode_module`] the round trip
+//! is exact: `encode(decode(bytes)) == bytes`.
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::binary::sleb;
+
+/// Maximum `block`/`loop`/`if` nesting depth the decoder accepts. Deeper
+/// input returns [`DecodeErrorKind::NestingTooDeep`] instead of
+/// overflowing the recursive-descent call stack.
+pub const MAX_NESTING: usize = 1_024;
+
+/// Maximum number of declared locals per **module** (run-length counts
+/// are summed *before* expansion and accumulated across every code body,
+/// so neither one hostile count nor many small ones can force the
+/// allocation they claim).
+pub const MAX_LOCALS: usize = 1_000_000;
+
+/// The section a decode failure arose in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Section {
+    Header,
+    Custom,
+    Type,
+    Import,
+    Function,
+    Table,
+    Memory,
+    Global,
+    Export,
+    Start,
+    Element,
+    Code,
+    Data,
+}
+
+impl Section {
+    fn from_id(id: u8) -> Option<Section> {
+        Some(match id {
+            0 => Section::Custom,
+            1 => Section::Type,
+            2 => Section::Import,
+            3 => Section::Function,
+            4 => Section::Table,
+            5 => Section::Memory,
+            6 => Section::Global,
+            7 => Section::Export,
+            8 => Section::Start,
+            9 => Section::Element,
+            10 => Section::Code,
+            11 => Section::Data,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Section {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Section::Header => "header",
+            Section::Custom => "custom",
+            Section::Type => "type",
+            Section::Import => "import",
+            Section::Function => "function",
+            Section::Table => "table",
+            Section::Memory => "memory",
+            Section::Global => "global",
+            Section::Export => "export",
+            Section::Start => "start",
+            Section::Element => "element",
+            Section::Code => "code",
+            Section::Data => "data",
+        })
+    }
+}
+
+/// What specifically went wrong while decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeErrorKind {
+    /// The input ended before the current item was complete.
+    UnexpectedEof,
+    /// The first four bytes are not `\0asm`.
+    BadMagic,
+    /// The version field is not 1.
+    BadVersion(u32),
+    /// A LEB128 integer does not fit the declared bit width.
+    LebOverflow,
+    /// A LEB128 integer is not minimally encoded (the canonical form the
+    /// encoder emits; overlong encodings are rejected outright).
+    LebOverlong,
+    /// A section's declared byte length disagrees with its content.
+    SectionSize {
+        /// Bytes the section header claimed.
+        declared: u64,
+        /// Bytes the section content actually consumed.
+        consumed: u64,
+    },
+    /// A non-custom section appeared out of order or twice.
+    SectionOrder(u8),
+    /// An unknown section id.
+    BadSectionId(u8),
+    /// A count or length claims more items than the remaining bytes could
+    /// possibly hold.
+    CountTooLarge(u64),
+    /// The function and code sections declare different counts.
+    FuncCodeMismatch {
+        /// Entries in the function section.
+        funcs: u32,
+        /// Entries in the code section.
+        bodies: u32,
+    },
+    /// An unknown or unsupported opcode.
+    BadOpcode(u8),
+    /// An invalid value-type byte.
+    BadValType(u8),
+    /// An invalid block-type encoding.
+    BadBlockType,
+    /// An invalid import/export descriptor tag.
+    BadKind(u8),
+    /// An invalid limits flag, element type, or mutability byte.
+    BadFlag(u8),
+    /// A memory alignment hint above the access's natural alignment.
+    BadAlignment(u32),
+    /// A name is not valid UTF-8.
+    BadUtf8,
+    /// A constant expression was expected (global initialiser or segment
+    /// offset) but something else was found.
+    BadConstExpr,
+    /// A module-structure index is out of range.
+    IndexOutOfRange {
+        /// What index space ("type", "function", "global", …).
+        space: &'static str,
+        /// The index found.
+        index: u32,
+        /// The size of the index space.
+        limit: u32,
+    },
+    /// More than one table/memory declared (Wasm 1.0 allows at most one).
+    MultipleTablesOrMemories,
+    /// `block`/`loop`/`if` nesting exceeded [`MAX_NESTING`].
+    NestingTooDeep,
+    /// More locals declared than [`MAX_LOCALS`].
+    TooManyLocals(u64),
+}
+
+impl fmt::Display for DecodeErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeErrorKind::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeErrorKind::BadMagic => write!(f, "bad magic (expected \\0asm)"),
+            DecodeErrorKind::BadVersion(v) => write!(f, "unsupported version {v} (expected 1)"),
+            DecodeErrorKind::LebOverflow => write!(f, "LEB128 integer out of range"),
+            DecodeErrorKind::LebOverlong => write!(f, "overlong (non-minimal) LEB128 encoding"),
+            DecodeErrorKind::SectionSize { declared, consumed } => write!(
+                f,
+                "section size mismatch: header declared {declared} bytes, content used {consumed}"
+            ),
+            DecodeErrorKind::SectionOrder(id) => {
+                write!(f, "section id {id} out of order or duplicated")
+            }
+            DecodeErrorKind::BadSectionId(id) => write!(f, "unknown section id {id}"),
+            DecodeErrorKind::CountTooLarge(n) => {
+                write!(f, "count {n} exceeds the remaining input")
+            }
+            DecodeErrorKind::FuncCodeMismatch { funcs, bodies } => write!(
+                f,
+                "function section declares {funcs} functions but code section has {bodies} bodies"
+            ),
+            DecodeErrorKind::BadOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
+            DecodeErrorKind::BadValType(b) => write!(f, "invalid value type 0x{b:02x}"),
+            DecodeErrorKind::BadBlockType => write!(f, "invalid block type"),
+            DecodeErrorKind::BadKind(b) => write!(f, "invalid import/export kind 0x{b:02x}"),
+            DecodeErrorKind::BadFlag(b) => write!(f, "invalid flag byte 0x{b:02x}"),
+            DecodeErrorKind::BadAlignment(a) => {
+                write!(f, "alignment 2^{a} above natural alignment")
+            }
+            DecodeErrorKind::BadUtf8 => write!(f, "name is not valid UTF-8"),
+            DecodeErrorKind::BadConstExpr => write!(f, "expected a constant expression"),
+            DecodeErrorKind::IndexOutOfRange {
+                space,
+                index,
+                limit,
+            } => {
+                write!(f, "{space} index {index} out of range (limit {limit})")
+            }
+            DecodeErrorKind::MultipleTablesOrMemories => {
+                write!(f, "at most one table and one memory are allowed")
+            }
+            DecodeErrorKind::NestingTooDeep => {
+                write!(f, "control nesting deeper than {MAX_NESTING}")
+            }
+            DecodeErrorKind::TooManyLocals(n) => {
+                write!(f, "{n} locals exceed the limit of {MAX_LOCALS}")
+            }
+        }
+    }
+}
+
+/// A structured decode failure: where ([`DecodeError::offset`], byte
+/// position in the input), in which [`DecodeError::section`], and what
+/// ([`DecodeError::kind`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset into the input where the failure was detected.
+    pub offset: usize,
+    /// The section being decoded, when one was entered.
+    pub section: Option<Section>,
+    /// The specific failure.
+    pub kind: DecodeErrorKind,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at offset {}", self.offset)?;
+        if let Some(s) = self.section {
+            write!(f, " ({s} section)")?;
+        }
+        write!(f, ": {}", self.kind)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// ---------------------------------------------------------------------------
+// The bounds-checked reader.
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    section: Option<Section>,
+    /// Reusable buffer for the canonical-sLEB re-encode check.
+    scratch: Vec<u8>,
+}
+
+type R<T> = Result<T, DecodeError>;
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader {
+            bytes,
+            pos: 0,
+            section: None,
+            scratch: Vec::with_capacity(10),
+        }
+    }
+
+    fn fail<T>(&self, kind: DecodeErrorKind) -> R<T> {
+        Err(DecodeError {
+            offset: self.pos,
+            section: self.section,
+            kind,
+        })
+    }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn byte(&mut self) -> R<u8> {
+        match self.bytes.get(self.pos) {
+            Some(&b) => {
+                self.pos += 1;
+                Ok(b)
+            }
+            None => self.fail(DecodeErrorKind::UnexpectedEof),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn take(&mut self, n: usize) -> R<&'a [u8]> {
+        if n > self.remaining() {
+            return self.fail(DecodeErrorKind::UnexpectedEof);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Unsigned LEB128, at most `bits` wide, **minimally encoded** (the
+    /// canonical form [`uleb`] emits; anything longer is rejected).
+    fn uleb(&mut self, bits: u32) -> R<u64> {
+        let max_bytes = (bits as usize).div_ceil(7);
+        let mut value: u64 = 0;
+        let mut shift = 0u32;
+        let mut read = 0usize;
+        loop {
+            let b = self.byte()?;
+            read += 1;
+            if read > max_bytes {
+                return self.fail(DecodeErrorKind::LebOverflow);
+            }
+            let payload = (b & 0x7f) as u64;
+            // Bits that would fall outside the declared width.
+            if shift + 7 > bits && (payload >> (bits - shift)) != 0 {
+                return self.fail(DecodeErrorKind::LebOverflow);
+            }
+            value |= payload << shift;
+            if b & 0x80 == 0 {
+                // Minimality: a multi-byte encoding whose final byte is
+                // zero carries no information in that byte.
+                if read > 1 && b == 0 {
+                    return self.fail(DecodeErrorKind::LebOverlong);
+                }
+                return Ok(value);
+            }
+            shift += 7;
+        }
+    }
+
+    fn u32_leb(&mut self) -> R<u32> {
+        Ok(self.uleb(32)? as u32)
+    }
+
+    /// Signed LEB128, at most `bits` wide, canonically encoded: the
+    /// decoded value must re-encode (via [`sleb`]) to exactly the bytes
+    /// read, which rejects overlong forms *and* junk in the final byte's
+    /// unused sign-extension bits in one check.
+    fn sleb(&mut self, bits: u32) -> R<i64> {
+        let max_bytes = (bits as usize).div_ceil(7);
+        let start = self.pos;
+        let mut value: i64 = 0;
+        let mut shift = 0u32;
+        let mut read = 0usize;
+        loop {
+            let b = self.byte()?;
+            read += 1;
+            if read > max_bytes {
+                return self.fail(DecodeErrorKind::LebOverflow);
+            }
+            if shift < 64 {
+                value |= ((b & 0x7f) as i64) << shift;
+            }
+            shift += 7;
+            if b & 0x80 == 0 {
+                // Sign-extend from the final payload bit.
+                if shift < 64 && b & 0x40 != 0 {
+                    value |= -1i64 << shift;
+                }
+                // Width check: the value must fit in `bits` as signed.
+                if bits < 64 {
+                    let min = -(1i64 << (bits - 1));
+                    let max = (1i64 << (bits - 1)) - 1;
+                    if value < min || value > max {
+                        return self.fail(DecodeErrorKind::LebOverflow);
+                    }
+                }
+                // Reuse one scratch buffer: this runs for every signed
+                // constant on the admission hot path.
+                self.scratch.clear();
+                sleb(value, &mut self.scratch);
+                if self.scratch.as_slice() != &self.bytes[start..self.pos] {
+                    return self.fail(DecodeErrorKind::LebOverlong);
+                }
+                return Ok(value);
+            }
+        }
+    }
+
+    /// A count of items each of which takes ≥ 1 byte: bounded by the
+    /// remaining input, so a hostile count can never drive allocation.
+    fn count(&mut self) -> R<usize> {
+        let n = self.u32_leb()? as u64;
+        if n > self.remaining() as u64 {
+            return self.fail(DecodeErrorKind::CountTooLarge(n));
+        }
+        Ok(n as usize)
+    }
+
+    fn name(&mut self) -> R<String> {
+        let len = self.u32_leb()? as usize;
+        let bytes = self.take(len)?;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => self.fail(DecodeErrorKind::BadUtf8),
+        }
+    }
+
+    fn valtype(&mut self) -> R<ValType> {
+        let b = self.byte()?;
+        valtype_of(b).map_or_else(|| self.fail(DecodeErrorKind::BadValType(b)), Ok)
+    }
+}
+
+fn valtype_of(b: u8) -> Option<ValType> {
+    Some(match b {
+        0x7f => ValType::I32,
+        0x7e => ValType::I64,
+        0x7d => ValType::F32,
+        0x7c => ValType::F64,
+        _ => return None,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Per-section decoding.
+
+/// Decoder state shared across sections (index-space sizes for the
+/// structural checks).
+#[derive(Default)]
+struct Decoder {
+    module: Module,
+    /// Types referenced by the function section, paired with bodies later.
+    func_types: Vec<u32>,
+    n_func_imports: u32,
+    n_global_imports: u32,
+    /// Tables/memories in the **combined** index space (imports first,
+    /// then local definitions) — Wasm 1.0 allows at most one of each
+    /// overall, and exports index into the combined space.
+    n_tables: u32,
+    n_memories: u32,
+    /// Locals declared so far across *all* code bodies: the module-wide
+    /// budget [`MAX_LOCALS`] bounds cumulative allocation, not just one
+    /// function's.
+    total_locals: u64,
+}
+
+impl Decoder {
+    fn n_funcs(&self) -> u32 {
+        self.n_func_imports + self.func_types.len() as u32
+    }
+
+    fn n_globals(&self) -> u32 {
+        self.n_global_imports + self.module.globals.len() as u32
+    }
+
+    fn check_index(r: &Reader<'_>, space: &'static str, index: u32, limit: u32) -> R<()> {
+        if index >= limit {
+            return r.fail(DecodeErrorKind::IndexOutOfRange {
+                space,
+                index,
+                limit,
+            });
+        }
+        Ok(())
+    }
+
+    fn type_section(&mut self, r: &mut Reader<'_>) -> R<()> {
+        let n = r.count()?;
+        for _ in 0..n {
+            let tag = r.byte()?;
+            if tag != 0x60 {
+                return r.fail(DecodeErrorKind::BadFlag(tag));
+            }
+            let np = r.count()?;
+            let mut params = Vec::with_capacity(np);
+            for _ in 0..np {
+                params.push(r.valtype()?);
+            }
+            let nr = r.count()?;
+            let mut results = Vec::with_capacity(nr);
+            for _ in 0..nr {
+                results.push(r.valtype()?);
+            }
+            self.module.types.push(FuncType { params, results });
+        }
+        Ok(())
+    }
+
+    fn limits_min(&mut self, r: &mut Reader<'_>) -> R<u32> {
+        // The encoder emits flag 0x00 (min only); external producers may
+        // declare a max (flag 0x01), which the AST does not model — the
+        // bound is checked for sanity and dropped.
+        let flag = r.byte()?;
+        match flag {
+            0x00 => r.u32_leb(),
+            0x01 => {
+                let min = r.u32_leb()?;
+                let max = r.u32_leb()?;
+                if max < min {
+                    return r.fail(DecodeErrorKind::BadFlag(flag));
+                }
+                Ok(min)
+            }
+            other => r.fail(DecodeErrorKind::BadFlag(other)),
+        }
+    }
+
+    fn tabletype(&mut self, r: &mut Reader<'_>) -> R<u32> {
+        let et = r.byte()?;
+        if et != 0x70 {
+            return r.fail(DecodeErrorKind::BadFlag(et));
+        }
+        self.limits_min(r)
+    }
+
+    fn import_section(&mut self, r: &mut Reader<'_>) -> R<()> {
+        let n = r.count()?;
+        for _ in 0..n {
+            let module = r.name()?;
+            let name = r.name()?;
+            let tag = r.byte()?;
+            let kind = match tag {
+                0x00 => {
+                    let t = r.u32_leb()?;
+                    Self::check_index(r, "type", t, self.module.types.len() as u32)?;
+                    self.n_func_imports += 1;
+                    ImportKind::Func(t)
+                }
+                0x01 => {
+                    let min = self.tabletype(r)?;
+                    if self.n_tables >= 1 {
+                        return r.fail(DecodeErrorKind::MultipleTablesOrMemories);
+                    }
+                    self.n_tables += 1;
+                    ImportKind::Table(min)
+                }
+                0x02 => {
+                    let min = self.limits_min(r)?;
+                    if self.n_memories >= 1 {
+                        return r.fail(DecodeErrorKind::MultipleTablesOrMemories);
+                    }
+                    self.n_memories += 1;
+                    ImportKind::Memory(min)
+                }
+                0x03 => {
+                    let t = r.valtype()?;
+                    let mu = r.byte()?;
+                    if mu > 1 {
+                        return r.fail(DecodeErrorKind::BadFlag(mu));
+                    }
+                    self.n_global_imports += 1;
+                    ImportKind::Global(t, mu == 1)
+                }
+                other => return r.fail(DecodeErrorKind::BadKind(other)),
+            };
+            self.module.imports.push(Import { module, name, kind });
+        }
+        Ok(())
+    }
+
+    fn function_section(&mut self, r: &mut Reader<'_>) -> R<()> {
+        let n = r.count()?;
+        for _ in 0..n {
+            let t = r.u32_leb()?;
+            Self::check_index(r, "type", t, self.module.types.len() as u32)?;
+            self.func_types.push(t);
+        }
+        Ok(())
+    }
+
+    fn table_section(&mut self, r: &mut Reader<'_>) -> R<()> {
+        let n = r.count()?;
+        // The combined (imports + locals) space holds at most one.
+        if n as u32 + self.n_tables > 1 {
+            return r.fail(DecodeErrorKind::MultipleTablesOrMemories);
+        }
+        if n == 1 {
+            let min = self.tabletype(r)?;
+            self.module.table = Some(min);
+            self.n_tables += 1;
+        }
+        Ok(())
+    }
+
+    fn memory_section(&mut self, r: &mut Reader<'_>) -> R<()> {
+        let n = r.count()?;
+        if n as u32 + self.n_memories > 1 {
+            return r.fail(DecodeErrorKind::MultipleTablesOrMemories);
+        }
+        if n == 1 {
+            let min = self.limits_min(r)?;
+            self.module.memory = Some(min);
+            self.n_memories += 1;
+        }
+        Ok(())
+    }
+
+    /// One constant instruction (the only expression form the encoder
+    /// emits for global initialisers), terminated by `end`.
+    fn const_expr(&mut self, r: &mut Reader<'_>) -> R<WInstr> {
+        let op = r.byte()?;
+        let init = match op {
+            0x41 => WInstr::I32Const(r.sleb(32)? as i32),
+            0x42 => WInstr::I64Const(r.sleb(64)?),
+            0x43 => WInstr::F32Const(f32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"))),
+            0x44 => WInstr::F64Const(f64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"))),
+            _ => return r.fail(DecodeErrorKind::BadConstExpr),
+        };
+        if r.byte()? != 0x0b {
+            return r.fail(DecodeErrorKind::BadConstExpr);
+        }
+        Ok(init)
+    }
+
+    /// An `i32.const` offset expression for element/data segments. The
+    /// encoder zero-extends `u32` offsets into the signed payload, so the
+    /// accepted range is the full `0..=u32::MAX` rather than `s32`.
+    fn offset_expr(&mut self, r: &mut Reader<'_>) -> R<u32> {
+        if r.byte()? != 0x41 {
+            return r.fail(DecodeErrorKind::BadConstExpr);
+        }
+        let v = r.sleb(33)?;
+        if !(0..=u32::MAX as i64).contains(&v) {
+            return r.fail(DecodeErrorKind::LebOverflow);
+        }
+        if r.byte()? != 0x0b {
+            return r.fail(DecodeErrorKind::BadConstExpr);
+        }
+        Ok(v as u32)
+    }
+
+    fn global_section(&mut self, r: &mut Reader<'_>) -> R<()> {
+        let n = r.count()?;
+        for _ in 0..n {
+            let ty = r.valtype()?;
+            let mu = r.byte()?;
+            if mu > 1 {
+                return r.fail(DecodeErrorKind::BadFlag(mu));
+            }
+            let init = self.const_expr(r)?;
+            self.module.globals.push(GlobalDef {
+                ty,
+                mutable: mu == 1,
+                init,
+            });
+        }
+        Ok(())
+    }
+
+    fn export_section(&mut self, r: &mut Reader<'_>) -> R<()> {
+        let n = r.count()?;
+        for _ in 0..n {
+            let name = r.name()?;
+            let tag = r.byte()?;
+            let idx = r.u32_leb()?;
+            let kind = match tag {
+                0x00 => {
+                    Self::check_index(r, "function", idx, self.n_funcs())?;
+                    ExportKind::Func(idx)
+                }
+                0x01 => {
+                    // The combined index space: an imported table counts.
+                    Self::check_index(r, "table", idx, self.n_tables)?;
+                    ExportKind::Table(idx)
+                }
+                0x02 => {
+                    Self::check_index(r, "memory", idx, self.n_memories)?;
+                    ExportKind::Memory(idx)
+                }
+                0x03 => {
+                    Self::check_index(r, "global", idx, self.n_globals())?;
+                    ExportKind::Global(idx)
+                }
+                other => return r.fail(DecodeErrorKind::BadKind(other)),
+            };
+            self.module.exports.push(Export { name, kind });
+        }
+        Ok(())
+    }
+
+    fn element_section(&mut self, r: &mut Reader<'_>) -> R<()> {
+        let n = r.count()?;
+        for _ in 0..n {
+            let table = r.u32_leb()?;
+            if table != 0 {
+                return r.fail(DecodeErrorKind::IndexOutOfRange {
+                    space: "table",
+                    index: table,
+                    limit: 1,
+                });
+            }
+            let offset = self.offset_expr(r)?;
+            let nf = r.count()?;
+            let mut funcs = Vec::with_capacity(nf);
+            for _ in 0..nf {
+                let f = r.u32_leb()?;
+                Self::check_index(r, "function", f, self.n_funcs())?;
+                funcs.push(f);
+            }
+            self.module.elems.push(ElemSegment { offset, funcs });
+        }
+        Ok(())
+    }
+
+    fn code_section(&mut self, r: &mut Reader<'_>) -> R<()> {
+        let n = r.count()?;
+        if n != self.func_types.len() {
+            return r.fail(DecodeErrorKind::FuncCodeMismatch {
+                funcs: self.func_types.len() as u32,
+                bodies: n as u32,
+            });
+        }
+        for fi in 0..n {
+            let size = r.u32_leb()? as usize;
+            if size > r.remaining() {
+                return r.fail(DecodeErrorKind::UnexpectedEof);
+            }
+            let body_end = r.pos + size;
+
+            // Locals: run-length pairs, summed before expansion so a
+            // hostile count cannot force a huge allocation. The budget is
+            // module-wide: many small bodies must not multiply past what
+            // one body is forbidden to claim.
+            let nruns = r.count()?;
+            let mut runs = Vec::with_capacity(nruns);
+            let mut total: u64 = 0;
+            for _ in 0..nruns {
+                let count = r.u32_leb()?;
+                let ty = r.valtype()?;
+                total += count as u64;
+                self.total_locals += count as u64;
+                if self.total_locals > MAX_LOCALS as u64 {
+                    return r.fail(DecodeErrorKind::TooManyLocals(self.total_locals));
+                }
+                runs.push((count, ty));
+            }
+            let mut locals = Vec::with_capacity(total as usize);
+            for (count, ty) in runs {
+                locals.extend(std::iter::repeat(ty).take(count as usize));
+            }
+
+            let body = self.expr(r)?;
+            if r.pos != body_end {
+                return r.fail(DecodeErrorKind::SectionSize {
+                    declared: size as u64,
+                    consumed: (size as i64 + r.pos as i64 - body_end as i64) as u64,
+                });
+            }
+            self.module.funcs.push(FuncDef {
+                type_idx: self.func_types[fi],
+                locals,
+                body,
+            });
+        }
+        Ok(())
+    }
+
+    fn data_section(&mut self, r: &mut Reader<'_>) -> R<()> {
+        let n = r.count()?;
+        for _ in 0..n {
+            let mem = r.u32_leb()?;
+            if mem != 0 {
+                return r.fail(DecodeErrorKind::IndexOutOfRange {
+                    space: "memory",
+                    index: mem,
+                    limit: 1,
+                });
+            }
+            let offset = self.offset_expr(r)?;
+            let len = r.u32_leb()? as usize;
+            let bytes = r.take(len)?.to_vec();
+            self.module.data.push(DataSegment { offset, bytes });
+        }
+        Ok(())
+    }
+
+    // -- instructions -------------------------------------------------------
+
+    fn blocktype(&mut self, r: &mut Reader<'_>) -> R<BlockType> {
+        match r.peek() {
+            Some(0x40) => {
+                r.byte()?;
+                Ok(BlockType::Empty)
+            }
+            Some(b) if valtype_of(b).is_some() => {
+                r.byte()?;
+                Ok(BlockType::Value(valtype_of(b).expect("checked")))
+            }
+            Some(_) => {
+                // Multi-value extension: a type-section index as s33.
+                let v = r.sleb(33)?;
+                if v < 0 {
+                    return r.fail(DecodeErrorKind::BadBlockType);
+                }
+                Self::check_index(r, "type", v as u32, self.module.types.len() as u32)?;
+                Ok(BlockType::Func(v as u32))
+            }
+            None => r.fail(DecodeErrorKind::UnexpectedEof),
+        }
+    }
+
+    /// An instruction sequence up to (and consuming) the function-level
+    /// `end`. Decoding is **iterative** — nesting lives in an explicit
+    /// frame stack, capped at [`MAX_NESTING`], so hostile nesting depth
+    /// can never overflow the call stack.
+    fn expr(&mut self, r: &mut Reader<'_>) -> R<Vec<WInstr>> {
+        enum FrameKind {
+            /// The function-level sequence.
+            Func,
+            Block(BlockType),
+            Loop(BlockType),
+            /// The then-branch of an `if`.
+            IfThen(BlockType),
+            /// The else-branch; carries the finished then-branch.
+            IfElse(BlockType, Vec<WInstr>),
+        }
+        struct Frame {
+            kind: FrameKind,
+            instrs: Vec<WInstr>,
+        }
+        let mut stack = vec![Frame {
+            kind: FrameKind::Func,
+            instrs: Vec::new(),
+        }];
+        loop {
+            let op = r.byte()?;
+            match op {
+                0x0b => {
+                    let f = stack.pop().expect("frame stack never empties");
+                    let built = match f.kind {
+                        FrameKind::Func => return Ok(f.instrs),
+                        FrameKind::Block(bt) => WInstr::Block(bt, f.instrs),
+                        FrameKind::Loop(bt) => WInstr::Loop(bt, f.instrs),
+                        FrameKind::IfThen(bt) => WInstr::If(bt, f.instrs, Vec::new()),
+                        FrameKind::IfElse(bt, then_b) => WInstr::If(bt, then_b, f.instrs),
+                    };
+                    stack
+                        .last_mut()
+                        .expect("parent frame present")
+                        .instrs
+                        .push(built);
+                }
+                0x05 => {
+                    let f = stack.pop().expect("frame stack never empties");
+                    match f.kind {
+                        FrameKind::IfThen(bt) => stack.push(Frame {
+                            kind: FrameKind::IfElse(bt, f.instrs),
+                            instrs: Vec::new(),
+                        }),
+                        // An `else` outside an `if`.
+                        _ => return r.fail(DecodeErrorKind::BadOpcode(0x05)),
+                    }
+                }
+                0x02..=0x04 => {
+                    if stack.len() > MAX_NESTING {
+                        return r.fail(DecodeErrorKind::NestingTooDeep);
+                    }
+                    let bt = self.blocktype(r)?;
+                    let kind = match op {
+                        0x02 => FrameKind::Block(bt),
+                        0x03 => FrameKind::Loop(bt),
+                        _ => FrameKind::IfThen(bt),
+                    };
+                    stack.push(Frame {
+                        kind,
+                        instrs: Vec::new(),
+                    });
+                }
+                other => {
+                    let instr = self.simple_instr(r, other)?;
+                    stack
+                        .last_mut()
+                        .expect("frame stack never empties")
+                        .instrs
+                        .push(instr);
+                }
+            }
+        }
+    }
+
+    fn memarg(&mut self, r: &mut Reader<'_>, natural: u32) -> R<u32> {
+        let align = r.u32_leb()?;
+        if align > natural {
+            return r.fail(DecodeErrorKind::BadAlignment(align));
+        }
+        r.u32_leb()
+    }
+
+    /// Everything except the structured-control opcodes (those live in
+    /// [`Decoder::expr`]'s frame stack).
+    #[allow(clippy::too_many_lines)]
+    fn simple_instr(&mut self, r: &mut Reader<'_>, op: u8) -> R<WInstr> {
+        use WInstr::*;
+        Ok(match op {
+            0x00 => Unreachable,
+            0x01 => Nop,
+            0x0c => Br(r.u32_leb()?),
+            0x0d => BrIf(r.u32_leb()?),
+            0x0e => {
+                let n = r.count()?;
+                let mut ls = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ls.push(r.u32_leb()?);
+                }
+                BrTable(ls, r.u32_leb()?)
+            }
+            0x0f => Return,
+            0x10 => {
+                let f = r.u32_leb()?;
+                Self::check_index(r, "function", f, self.n_funcs())?;
+                Call(f)
+            }
+            0x11 => {
+                let t = r.u32_leb()?;
+                Self::check_index(r, "type", t, self.module.types.len() as u32)?;
+                let table = r.byte()?;
+                if table != 0 {
+                    return r.fail(DecodeErrorKind::BadFlag(table));
+                }
+                CallIndirect(t)
+            }
+            0x1a => Drop,
+            0x1b => Select,
+            0x20 => LocalGet(r.u32_leb()?),
+            0x21 => LocalSet(r.u32_leb()?),
+            0x22 => LocalTee(r.u32_leb()?),
+            0x23 => GlobalGet(r.u32_leb()?),
+            0x24 => GlobalSet(r.u32_leb()?),
+            0x28 => Load(ValType::I32, self.memarg(r, 2)?),
+            0x29 => Load(ValType::I64, self.memarg(r, 3)?),
+            0x2a => Load(ValType::F32, self.memarg(r, 2)?),
+            0x2b => Load(ValType::F64, self.memarg(r, 3)?),
+            0x2d => Load8U(self.memarg(r, 0)?),
+            0x36 => Store(ValType::I32, self.memarg(r, 2)?),
+            0x37 => Store(ValType::I64, self.memarg(r, 3)?),
+            0x38 => Store(ValType::F32, self.memarg(r, 2)?),
+            0x39 => Store(ValType::F64, self.memarg(r, 3)?),
+            0x3a => Store8(self.memarg(r, 0)?),
+            0x3f => {
+                if r.byte()? != 0 {
+                    return r.fail(DecodeErrorKind::BadFlag(0x3f));
+                }
+                MemorySize
+            }
+            0x40 => {
+                if r.byte()? != 0 {
+                    return r.fail(DecodeErrorKind::BadFlag(0x40));
+                }
+                MemoryGrow
+            }
+            0x41 => I32Const(r.sleb(32)? as i32),
+            0x42 => I64Const(r.sleb(64)?),
+            0x43 => F32Const(f32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"))),
+            0x44 => F64Const(f64::from_le_bytes(r.take(8)?.try_into().expect("8 bytes"))),
+            0x45 => ITest(Width::W32),
+            0x50 => ITest(Width::W64),
+            0x46..=0x4f => IRel(Width::W32, irelop(op - 0x46)),
+            0x51..=0x5a => IRel(Width::W64, irelop(op - 0x51)),
+            0x5b..=0x60 => FRel(Width::W32, frelop(op - 0x5b)),
+            0x61..=0x66 => FRel(Width::W64, frelop(op - 0x61)),
+            0x67..=0x69 => IUn(Width::W32, iunop(op - 0x67)),
+            0x79..=0x7b => IUn(Width::W64, iunop(op - 0x79)),
+            0x6a..=0x78 => IBin(Width::W32, ibinop(op - 0x6a)),
+            0x7c..=0x8a => IBin(Width::W64, ibinop(op - 0x7c)),
+            0x8b..=0x91 => FUn(Width::W32, funop(op - 0x8b)),
+            0x99..=0x9f => FUn(Width::W64, funop(op - 0x99)),
+            0x92..=0x98 => FBin(Width::W32, fbinop(op - 0x92)),
+            0xa0..=0xa6 => FBin(Width::W64, fbinop(op - 0xa0)),
+            0xa7 => I32WrapI64,
+            0xa8 => ITruncF(Width::W32, Width::W32, Sx::S),
+            0xa9 => ITruncF(Width::W32, Width::W32, Sx::U),
+            0xaa => ITruncF(Width::W32, Width::W64, Sx::S),
+            0xab => ITruncF(Width::W32, Width::W64, Sx::U),
+            0xac => I64ExtendI32(Sx::S),
+            0xad => I64ExtendI32(Sx::U),
+            0xae => ITruncF(Width::W64, Width::W32, Sx::S),
+            0xaf => ITruncF(Width::W64, Width::W32, Sx::U),
+            0xb0 => ITruncF(Width::W64, Width::W64, Sx::S),
+            0xb1 => ITruncF(Width::W64, Width::W64, Sx::U),
+            0xb2 => FConvertI(Width::W32, Width::W32, Sx::S),
+            0xb3 => FConvertI(Width::W32, Width::W32, Sx::U),
+            0xb4 => FConvertI(Width::W32, Width::W64, Sx::S),
+            0xb5 => FConvertI(Width::W32, Width::W64, Sx::U),
+            0xb6 => F32DemoteF64,
+            0xb7 => FConvertI(Width::W64, Width::W32, Sx::S),
+            0xb8 => FConvertI(Width::W64, Width::W32, Sx::U),
+            0xb9 => FConvertI(Width::W64, Width::W64, Sx::S),
+            0xba => FConvertI(Width::W64, Width::W64, Sx::U),
+            0xbb => F64PromoteF32,
+            0xbc => IReinterpretF(Width::W32),
+            0xbd => IReinterpretF(Width::W64),
+            0xbe => FReinterpretI(Width::W32),
+            0xbf => FReinterpretI(Width::W64),
+            other => return r.fail(DecodeErrorKind::BadOpcode(other)),
+        })
+    }
+}
+
+fn irelop(o: u8) -> IRelOp {
+    match o {
+        0 => IRelOp::Eq,
+        1 => IRelOp::Ne,
+        2 => IRelOp::Lt(Sx::S),
+        3 => IRelOp::Lt(Sx::U),
+        4 => IRelOp::Gt(Sx::S),
+        5 => IRelOp::Gt(Sx::U),
+        6 => IRelOp::Le(Sx::S),
+        7 => IRelOp::Le(Sx::U),
+        _ => IRelOp::Ge(if o == 8 { Sx::S } else { Sx::U }),
+    }
+}
+
+fn frelop(o: u8) -> FRelOp {
+    match o {
+        0 => FRelOp::Eq,
+        1 => FRelOp::Ne,
+        2 => FRelOp::Lt,
+        3 => FRelOp::Gt,
+        4 => FRelOp::Le,
+        _ => FRelOp::Ge,
+    }
+}
+
+fn iunop(o: u8) -> IUnOp {
+    match o {
+        0 => IUnOp::Clz,
+        1 => IUnOp::Ctz,
+        _ => IUnOp::Popcnt,
+    }
+}
+
+fn ibinop(o: u8) -> IBinOp {
+    match o {
+        0 => IBinOp::Add,
+        1 => IBinOp::Sub,
+        2 => IBinOp::Mul,
+        3 => IBinOp::Div(Sx::S),
+        4 => IBinOp::Div(Sx::U),
+        5 => IBinOp::Rem(Sx::S),
+        6 => IBinOp::Rem(Sx::U),
+        7 => IBinOp::And,
+        8 => IBinOp::Or,
+        9 => IBinOp::Xor,
+        10 => IBinOp::Shl,
+        11 => IBinOp::Shr(Sx::S),
+        12 => IBinOp::Shr(Sx::U),
+        13 => IBinOp::Rotl,
+        _ => IBinOp::Rotr,
+    }
+}
+
+fn funop(o: u8) -> FUnOp {
+    match o {
+        0 => FUnOp::Abs,
+        1 => FUnOp::Neg,
+        2 => FUnOp::Ceil,
+        3 => FUnOp::Floor,
+        4 => FUnOp::Trunc,
+        5 => FUnOp::Nearest,
+        _ => FUnOp::Sqrt,
+    }
+}
+
+fn fbinop(o: u8) -> FBinOp {
+    match o {
+        0 => FBinOp::Add,
+        1 => FBinOp::Sub,
+        2 => FBinOp::Mul,
+        3 => FBinOp::Div,
+        4 => FBinOp::Min,
+        5 => FBinOp::Max,
+        _ => FBinOp::Copysign,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The module driver.
+
+/// Decodes a standard `.wasm` binary into a [`Module`].
+///
+/// The decoder is **total**: any byte sequence either decodes or returns
+/// a [`DecodeError`]; it never panics, never recurses unboundedly, and
+/// never trusts a length or count it has not checked against the input.
+/// Sections must appear in spec order, at most once each (custom
+/// sections — including `name` — may appear anywhere and are skipped),
+/// the function and code sections must agree on the function count, and
+/// every module-structure index (types, functions, tables, memories,
+/// globals) must be in range. Instruction-level indices (locals, labels)
+/// are the validator's concern — run
+/// [`crate::validate::validate_module`] on the result before executing
+/// it, exactly as for a freshly lowered module.
+///
+/// # Errors
+///
+/// The first [`DecodeError`] encountered, with byte offset and section.
+pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
+    let mut r = Reader::new(bytes);
+    r.section = Some(Section::Header);
+    if r.take(4).map_err(|mut e| {
+        e.kind = DecodeErrorKind::BadMagic;
+        e
+    })? != b"\0asm"
+    {
+        r.pos = 0;
+        return r.fail(DecodeErrorKind::BadMagic);
+    }
+    let version_bytes = r.take(4).map_err(|mut e| {
+        e.kind = DecodeErrorKind::BadVersion(0);
+        e
+    })?;
+    let version = u32::from_le_bytes(version_bytes.try_into().expect("4 bytes"));
+    if version != 1 {
+        r.pos = 4;
+        return r.fail(DecodeErrorKind::BadVersion(version));
+    }
+
+    let mut d = Decoder::default();
+    let mut last_id: u8 = 0;
+    let mut saw_funcs = false;
+    let mut saw_code = false;
+    while r.remaining() > 0 {
+        r.section = None;
+        let id = r.byte()?;
+        let section = match Section::from_id(id) {
+            Some(s) => s,
+            None => {
+                r.pos -= 1;
+                return r.fail(DecodeErrorKind::BadSectionId(id));
+            }
+        };
+        r.section = Some(section);
+        // Non-custom sections must be strictly increasing: this also
+        // rejects duplicates.
+        if id != 0 {
+            if id <= last_id {
+                return r.fail(DecodeErrorKind::SectionOrder(id));
+            }
+            last_id = id;
+        }
+        let size = r.u32_leb()? as usize;
+        if size > r.remaining() {
+            return r.fail(DecodeErrorKind::UnexpectedEof);
+        }
+        let end = r.pos + size;
+        match section {
+            Section::Custom => {
+                // Bounds-check the name, skip the payload (this is where
+                // the `name` section lands).
+                let before = r.pos;
+                r.name()?;
+                if r.pos > end {
+                    return r.fail(DecodeErrorKind::SectionSize {
+                        declared: size as u64,
+                        consumed: (r.pos - before) as u64,
+                    });
+                }
+                r.pos = end;
+            }
+            Section::Header => unreachable!("from_id never yields Header"),
+            Section::Type => d.type_section(&mut r)?,
+            Section::Import => d.import_section(&mut r)?,
+            Section::Function => {
+                saw_funcs = true;
+                d.function_section(&mut r)?;
+            }
+            Section::Table => d.table_section(&mut r)?,
+            Section::Memory => d.memory_section(&mut r)?,
+            Section::Global => d.global_section(&mut r)?,
+            Section::Export => d.export_section(&mut r)?,
+            Section::Start => {
+                let s = r.u32_leb()?;
+                Decoder::check_index(&r, "function", s, d.n_funcs())?;
+                d.module.start = Some(s);
+            }
+            Section::Element => d.element_section(&mut r)?,
+            Section::Code => {
+                saw_code = true;
+                d.code_section(&mut r)?;
+            }
+            Section::Data => d.data_section(&mut r)?,
+        }
+        if r.pos != end {
+            let consumed = size as u64 + r.pos as u64 - end as u64;
+            return r.fail(DecodeErrorKind::SectionSize {
+                declared: size as u64,
+                consumed,
+            });
+        }
+    }
+    r.section = None;
+    // A function section without code (or vice versa) is a count
+    // mismatch the per-section checks cannot see.
+    if saw_funcs != saw_code && !d.func_types.is_empty() {
+        return r.fail(DecodeErrorKind::FuncCodeMismatch {
+            funcs: d.func_types.len() as u32,
+            bodies: d.module.funcs.len() as u32,
+        });
+    }
+    Ok(d.module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::encode_module;
+
+    fn golden() -> Module {
+        // (module (func (result i32) i32.const 42) (export "a" (func 0)))
+        let mut m = Module::default();
+        let t = m.intern_type(FuncType {
+            params: vec![],
+            results: vec![ValType::I32],
+        });
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![],
+            body: vec![WInstr::I32Const(42)],
+        });
+        m.exports.push(Export {
+            name: "a".into(),
+            kind: ExportKind::Func(0),
+        });
+        m
+    }
+
+    #[test]
+    fn golden_module_round_trips() {
+        let m = golden();
+        let bytes = encode_module(&m);
+        let decoded = decode_module(&bytes).unwrap();
+        assert_eq!(decoded, m, "structural round trip");
+        assert_eq!(encode_module(&decoded), bytes, "byte round trip");
+    }
+
+    #[test]
+    fn empty_module_is_just_the_header() {
+        let decoded = decode_module(&[0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00]).unwrap();
+        assert_eq!(decoded, Module::default());
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let err = decode_module(b"\0bad\x01\0\0\0").unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::BadMagic);
+        assert_eq!(err.offset, 0);
+        let err = decode_module(b"\0asm\x02\0\0\0").unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::BadVersion(2));
+        let err = decode_module(b"\0as").unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::BadMagic);
+    }
+
+    #[test]
+    fn overlong_leb_rejected() {
+        // Type section with count encoded as [0x80, 0x00] (= 0, overlong).
+        let bytes = [
+            0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00, 0x01, 0x02, 0x80, 0x00,
+        ];
+        let err = decode_module(&bytes).unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::LebOverlong);
+        assert_eq!(err.section, Some(Section::Type));
+    }
+
+    #[test]
+    fn oversized_leb_rejected() {
+        // A u32 count spread over 6 continuation bytes.
+        let bytes = [
+            0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00, 0x01, 0x07, 0x80, 0x80, 0x80, 0x80,
+            0x80, 0x80, 0x01,
+        ];
+        let err = decode_module(&bytes).unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::LebOverflow);
+    }
+
+    #[test]
+    fn extreme_sleb_constants_round_trip() {
+        let mut m = Module::default();
+        let t = m.intern_type(FuncType {
+            params: vec![],
+            results: vec![ValType::I64],
+        });
+        m.funcs.push(FuncDef {
+            type_idx: t,
+            locals: vec![],
+            body: vec![
+                WInstr::I64Const(i64::MIN),
+                WInstr::Drop,
+                WInstr::I64Const(i64::MAX),
+                WInstr::Drop,
+                WInstr::I32Const(i32::MIN),
+                WInstr::Drop,
+                WInstr::I32Const(-1),
+                WInstr::Drop,
+                WInstr::I64Const(42),
+            ],
+        });
+        let bytes = encode_module(&m);
+        let decoded = decode_module(&bytes).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(encode_module(&decoded), bytes);
+    }
+
+    #[test]
+    fn section_length_lie_rejected() {
+        // Valid type section content but the header claims one byte more.
+        let mut bytes = encode_module(&golden());
+        bytes[9] += 1; // type section size field
+        let err = decode_module(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                DecodeErrorKind::SectionSize { .. }
+                    | DecodeErrorKind::SectionOrder(_)
+                    | DecodeErrorKind::UnexpectedEof
+                    | DecodeErrorKind::BadSectionId(_)
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_indices_rejected() {
+        // Export of function 9 in a module with one function.
+        let mut m = golden();
+        m.exports[0].kind = ExportKind::Func(9);
+        let err = decode_module(&encode_module(&m)).unwrap_err();
+        assert_eq!(
+            err.kind,
+            DecodeErrorKind::IndexOutOfRange {
+                space: "function",
+                index: 9,
+                limit: 1
+            }
+        );
+        assert_eq!(err.section, Some(Section::Export));
+
+        // Function section referencing type 7 of 1.
+        let mut m = golden();
+        m.funcs[0].type_idx = 7;
+        let err = decode_module(&encode_module(&m)).unwrap_err();
+        assert!(matches!(
+            err.kind,
+            DecodeErrorKind::IndexOutOfRange { space: "type", .. }
+        ));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing() {
+        let mut bytes = vec![0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00];
+        // One type, one func whose body is 100k nested blocks (truncated —
+        // the nesting cap must trip long before the EOF would).
+        bytes.extend([0x01, 0x04, 0x01, 0x60, 0x00, 0x00]); // type []->[]
+        bytes.extend([0x03, 0x02, 0x01, 0x00]); // function section
+        let blocks = 100_000usize;
+        let mut body = vec![0x00]; // zero locals
+        body.extend(std::iter::repeat([0x02, 0x40]).take(blocks).flatten());
+        let mut code = Vec::new();
+        code.push(0x01); // one body
+        crate::binary::uleb(body.len() as u64, &mut code);
+        code.extend(&body);
+        bytes.push(0x0a);
+        crate::binary::uleb(code.len() as u64, &mut bytes);
+        bytes.extend(&code);
+        let err = decode_module(&bytes).unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::NestingTooDeep);
+    }
+
+    #[test]
+    fn hostile_counts_do_not_allocate() {
+        // A type section claiming 2^28 entries in a 3-byte payload.
+        let bytes = [
+            0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00, 0x01, 0x05, 0x80, 0x80, 0x80, 0x80,
+            0x01,
+        ];
+        let err = decode_module(&bytes).unwrap_err();
+        assert!(matches!(err.kind, DecodeErrorKind::CountTooLarge(_)));
+    }
+
+    #[test]
+    fn custom_sections_are_skipped() {
+        // name-style custom section between header and type section.
+        let mut bytes = vec![0x00, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00];
+        bytes.extend([0x00, 0x06, 0x04, b'n', b'a', b'm', b'e', 0xff]);
+        let golden_bytes = encode_module(&golden());
+        bytes.extend(&golden_bytes[8..]);
+        let decoded = decode_module(&bytes).unwrap();
+        assert_eq!(decoded, golden());
+    }
+
+    #[test]
+    fn duplicate_and_out_of_order_sections_rejected() {
+        let golden_bytes = encode_module(&golden());
+        // Duplicate the type section.
+        let mut bytes = golden_bytes.clone();
+        let type_sec = golden_bytes[8..15].to_vec(); // id 1, len 5, payload
+        bytes.splice(15..15, type_sec);
+        let err = decode_module(&bytes).unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::SectionOrder(1));
+    }
+
+    #[test]
+    fn every_truncation_of_the_golden_module_is_total() {
+        let bytes = encode_module(&golden());
+        for n in 0..bytes.len() {
+            // Must return (Ok at section boundaries, Err otherwise) —
+            // never panic. n == 8 is the valid empty module.
+            let _ = decode_module(&bytes[..n]);
+        }
+        assert!(decode_module(&bytes[..8]).is_ok());
+        assert!(decode_module(&bytes[..bytes.len() - 1]).is_err());
+    }
+}

@@ -30,10 +30,12 @@
 
 pub mod ast;
 pub mod binary;
+pub mod decode;
 pub mod exec;
 pub mod text;
 pub mod validate;
 
 pub use ast::{Export, ExportKind, FuncDef, FuncType, Module, ValType, WInstr};
+pub use decode::{decode_module, DecodeError, DecodeErrorKind};
 pub use exec::{Val, WasmLinker};
 pub use validate::validate_module;

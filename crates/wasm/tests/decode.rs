@@ -1,0 +1,475 @@
+//! The adversarial decode matrix: hostile inputs must produce a
+//! structured `DecodeError` — never a panic, never an abort, never an
+//! allocation proportional to an unchecked claim.
+//!
+//! The corpus is a representative module exercising every section the
+//! encoder emits (imports, table + elements, memory + data, globals,
+//! exports, nested control in code), attacked four ways:
+//!
+//! * **truncation** — every prefix of the valid bytes;
+//! * **targeted corruption** — bad magic/version, overlong and oversized
+//!   LEBs, section-length lies, out-of-range indices, hostile counts;
+//! * **random mutation** — a deterministic 1000-case sweep (shim-RNG
+//!   seeded by the test name) flipping 1–4 bytes of the valid module;
+//! * **structure bombs** — deep nesting and huge local counts that
+//!   attack the call stack and the allocator rather than the parser.
+
+use proptest::test_runner::TestRng;
+use richwasm_wasm::ast::*;
+use richwasm_wasm::binary::{encode_module, uleb};
+use richwasm_wasm::decode::{decode_module, DecodeError, DecodeErrorKind, MAX_NESTING};
+
+/// A module touching every section id the encoder can emit.
+fn kitchen_sink() -> Module {
+    let mut m = Module::default();
+    let t_i32 = m.intern_type(FuncType {
+        params: vec![],
+        results: vec![ValType::I32],
+    });
+    let t_binop = m.intern_type(FuncType {
+        params: vec![ValType::I32, ValType::I32],
+        results: vec![ValType::I32],
+    });
+    m.imports.push(Import {
+        module: "env".into(),
+        name: "ext".into(),
+        kind: ImportKind::Func(t_i32),
+    });
+    m.imports.push(Import {
+        module: "env".into(),
+        name: "g".into(),
+        kind: ImportKind::Global(ValType::I64, false),
+    });
+    m.table = Some(4);
+    m.memory = Some(1);
+    m.globals.push(GlobalDef {
+        ty: ValType::I32,
+        mutable: true,
+        init: WInstr::I32Const(7),
+    });
+    m.funcs.push(FuncDef {
+        type_idx: t_binop,
+        locals: vec![ValType::I32, ValType::I32, ValType::I64],
+        body: vec![
+            WInstr::Block(
+                BlockType::Value(ValType::I32),
+                vec![
+                    WInstr::LocalGet(0),
+                    WInstr::If(
+                        BlockType::Value(ValType::I32),
+                        vec![WInstr::LocalGet(1)],
+                        vec![WInstr::I32Const(-1)],
+                    ),
+                ],
+            ),
+            WInstr::LocalGet(0),
+            WInstr::IBin(Width::W32, IBinOp::Add),
+        ],
+    });
+    m.funcs.push(FuncDef {
+        type_idx: t_i32,
+        locals: vec![],
+        body: vec![
+            WInstr::I32Const(0),
+            WInstr::Load(ValType::I32, 8),
+            WInstr::Drop,
+            WInstr::Call(0),
+        ],
+    });
+    m.exports.push(Export {
+        name: "run".into(),
+        kind: ExportKind::Func(1),
+    });
+    m.exports.push(Export {
+        name: "mem".into(),
+        kind: ExportKind::Memory(0),
+    });
+    m.elems.push(ElemSegment {
+        offset: 1,
+        funcs: vec![1, 2],
+    });
+    m.data.push(DataSegment {
+        offset: 16,
+        bytes: vec![1, 2, 3, 4, 5],
+    });
+    m.start = Some(0);
+    m
+}
+
+fn sink_bytes() -> Vec<u8> {
+    // `start` must be [] -> [] to survive validation; index 0 is the
+    // imported `ext: [] -> [i32]`, fine for *decoding* (the decoder
+    // checks index ranges, not types — that is the validator's job).
+    encode_module(&kitchen_sink())
+}
+
+#[test]
+fn kitchen_sink_round_trips_and_every_truncation_is_total() {
+    let bytes = sink_bytes();
+    let decoded = decode_module(&bytes).expect("valid module decodes");
+    assert_eq!(decoded, kitchen_sink());
+    assert_eq!(encode_module(&decoded), bytes);
+
+    let mut boundary_oks = 0;
+    for n in 0..bytes.len() {
+        // Every prefix must return — Ok only at whole-section boundaries
+        // (e.g. the bare 8-byte header is a valid empty module).
+        match decode_module(&bytes[..n]) {
+            Ok(_) => boundary_oks += 1,
+            Err(e) => assert!(
+                e.offset <= n,
+                "error offset {} beyond the {n}-byte input",
+                e.offset
+            ),
+        }
+    }
+    assert!(
+        boundary_oks < 12,
+        "truncation almost always loses a section: {boundary_oks} Oks"
+    );
+    assert!(decode_module(&bytes[..bytes.len() - 1]).is_err());
+}
+
+#[test]
+fn bad_magic_and_version_matrix() {
+    for (input, expect_magic) in [
+        (&b""[..], true),
+        (&b"\0as"[..], true),
+        (&b"\0asX\x01\0\0\0"[..], true),
+        (&b"asm\0\x01\0\0\0"[..], true),
+        (&b"\0asm"[..], false),             // magic ok, version missing
+        (&b"\0asm\x02\0\0\0"[..], false),   // wrong version
+        (&b"\0asm\x01\0\0\x01"[..], false), // version 16777217
+    ] {
+        let err = decode_module(input).expect_err("must reject");
+        if expect_magic {
+            assert_eq!(err.kind, DecodeErrorKind::BadMagic, "input {input:x?}");
+        } else {
+            assert!(
+                matches!(err.kind, DecodeErrorKind::BadVersion(_)),
+                "input {input:x?}: {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn overlong_and_oversized_lebs_rejected() {
+    let header = [0x00u8, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00];
+
+    // Overlong unsigned: section size 5 encoded as [0x85, 0x80, 0x00].
+    let mut bytes = header.to_vec();
+    bytes.extend([0x01, 0x85, 0x80, 0x00]);
+    let err = decode_module(&bytes).expect_err("overlong uleb");
+    assert_eq!(err.kind, DecodeErrorKind::LebOverlong);
+
+    // Oversized unsigned: a 6-byte u32.
+    let mut bytes = header.to_vec();
+    bytes.extend([0x01, 0x06, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01]);
+    let err = decode_module(&bytes).expect_err("oversized uleb");
+    assert_eq!(err.kind, DecodeErrorKind::LebOverflow);
+
+    // Overlong signed: i32.const 1 in a global initialiser encoded as
+    // [0x81, 0x00] — valid value, non-canonical bytes.
+    let mut bytes = header.to_vec();
+    bytes.extend([0x06, 0x07, 0x01, 0x7f, 0x01, 0x41, 0x81, 0x00, 0x0b]);
+    let err = decode_module(&bytes).expect_err("overlong sleb");
+    assert_eq!(err.kind, DecodeErrorKind::LebOverlong);
+
+    // Junk in the unused sign bits of a full-width sleb: i64.const with
+    // ten bytes whose final byte is 0x41 instead of the canonical 0x7f.
+    let mut body = vec![0x00, 0x42]; // no locals; i64.const
+    body.extend([0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x41]);
+    body.extend([0x1a, 0x0b]); // drop; end
+    let mut bytes = header.to_vec();
+    bytes.extend([0x01, 0x04, 0x01, 0x60, 0x00, 0x00]); // type [] -> []
+    bytes.extend([0x03, 0x02, 0x01, 0x00]); // function section
+    bytes.push(0x0a); // code section
+    let mut code = vec![0x01];
+    uleb(body.len() as u64, &mut code);
+    code.extend(&body);
+    uleb(code.len() as u64, &mut bytes);
+    bytes.extend(&code);
+    let err = decode_module(&bytes).expect_err("non-canonical sleb64");
+    assert_eq!(err.kind, DecodeErrorKind::LebOverlong);
+}
+
+#[test]
+fn section_length_lies_rejected() {
+    let bytes = sink_bytes();
+    // Find each section header (walk the section framing) and corrupt
+    // its declared size both ways.
+    let mut pos = 8;
+    let mut section_starts = Vec::new();
+    while pos < bytes.len() {
+        section_starts.push(pos);
+        let mut size = 0u64;
+        let mut shift = 0;
+        let mut p = pos + 1;
+        loop {
+            let b = bytes[p];
+            size |= ((b & 0x7f) as u64) << shift;
+            shift += 7;
+            p += 1;
+            if b & 0x80 == 0 {
+                break;
+            }
+        }
+        pos = p + size as usize;
+    }
+    for &s in &section_starts {
+        for delta in [-1i8, 1] {
+            let mut corrupt = bytes.clone();
+            // All sink sections are < 127 bytes, single-byte sizes.
+            let size = &mut corrupt[s + 1];
+            let new = size.wrapping_add_signed(delta);
+            if new >= 0x80 {
+                continue;
+            }
+            *size = new;
+            assert!(
+                decode_module(&corrupt).is_err(),
+                "section at {s} with size {delta:+} must fail"
+            );
+        }
+    }
+}
+
+#[test]
+fn out_of_range_indices_rejected() {
+    // Each closure corrupts the kitchen sink one way; all must fail with
+    // IndexOutOfRange in the named space.
+    type Corruption = Box<dyn Fn(&mut Module)>;
+    let cases: Vec<(&str, Corruption)> = vec![
+        (
+            "function",
+            Box::new(|m| m.exports[0].kind = ExportKind::Func(99)),
+        ),
+        ("type", Box::new(|m| m.funcs[0].type_idx = 99)),
+        (
+            "type",
+            Box::new(|m| m.imports[0].kind = ImportKind::Func(42)),
+        ),
+        ("function", Box::new(|m| m.elems[0].funcs[0] = 77)),
+        ("function", Box::new(|m| m.start = Some(55))),
+        (
+            "function",
+            Box::new(|m| m.funcs[1].body[3] = WInstr::Call(88)),
+        ),
+        (
+            "global",
+            Box::new(|m| m.exports[0].kind = ExportKind::Global(66)),
+        ),
+        (
+            "type",
+            Box::new(|m| {
+                m.funcs[0].body[0] = WInstr::Block(BlockType::Func(33), vec![WInstr::I32Const(1)]);
+            }),
+        ),
+    ];
+    for (space, corrupt) in cases {
+        let mut m = kitchen_sink();
+        corrupt(&mut m);
+        let err = decode_module(&encode_module(&m)).expect_err("must reject");
+        match err.kind {
+            DecodeErrorKind::IndexOutOfRange { space: s, .. } => {
+                assert_eq!(s, space, "wrong index space: {err}")
+            }
+            other => panic!("expected IndexOutOfRange({space}), got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn deep_nesting_and_hostile_counts_bounded() {
+    // 200k nested blocks: the iterative decoder must trip its explicit
+    // nesting cap, not the call stack.
+    let header = [0x00u8, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00];
+    let mut bytes = header.to_vec();
+    bytes.extend([0x01, 0x04, 0x01, 0x60, 0x00, 0x00]);
+    bytes.extend([0x03, 0x02, 0x01, 0x00]);
+    let mut body = vec![0x00];
+    body.extend(std::iter::repeat([0x02, 0x40]).take(200_000).flatten());
+    let mut code = vec![0x01];
+    uleb(body.len() as u64, &mut code);
+    code.extend(&body);
+    bytes.push(0x0a);
+    uleb(code.len() as u64, &mut bytes);
+    bytes.extend(&code);
+    let err = decode_module(&bytes).expect_err("nesting bomb");
+    assert_eq!(err.kind, DecodeErrorKind::NestingTooDeep);
+    const _: () = assert!(MAX_NESTING < 100_000, "the bomb must exceed the cap");
+
+    // A local run claiming u32::MAX i64s in a 10-byte body: rejected by
+    // the locals cap, without the 32 GiB allocation.
+    let mut bytes = header.to_vec();
+    bytes.extend([0x01, 0x04, 0x01, 0x60, 0x00, 0x00]);
+    bytes.extend([0x03, 0x02, 0x01, 0x00]);
+    let body = [
+        0x01, // one run
+        0xff, 0xff, 0xff, 0xff, 0x0f, // count = u32::MAX
+        0x7e, // i64
+        0x0b,
+    ];
+    bytes.push(0x0a);
+    let mut code = vec![0x01];
+    uleb(body.len() as u64, &mut code);
+    code.extend(body);
+    uleb(code.len() as u64, &mut bytes);
+    bytes.extend(&code);
+    let err = decode_module(&bytes).expect_err("locals bomb");
+    assert!(
+        matches!(err.kind, DecodeErrorKind::TooManyLocals(_)),
+        "{err}"
+    );
+
+    // An element segment claiming 2^28 function indices in 5 bytes.
+    let mut bytes = header.to_vec();
+    bytes.extend([0x04, 0x04, 0x01, 0x70, 0x00, 0x04]); // table
+    bytes.extend([
+        0x09, 0x0a, 0x01, 0x00, 0x41, 0x00, 0x0b, // elem, table 0, offset 0
+        0x80, 0x80, 0x80, 0x80, 0x01, // count 2^28
+    ]);
+    let err = decode_module(&bytes).expect_err("count bomb");
+    assert!(
+        matches!(err.kind, DecodeErrorKind::CountTooLarge(_)),
+        "{err}"
+    );
+}
+
+/// The deterministic 1000-case mutation sweep: random byte flips in a
+/// valid module must always return (Ok for semantically neutral flips,
+/// Err otherwise) — and when they decode, the result must re-encode
+/// without panicking. The shim RNG is seeded from the test path, so the
+/// sweep is reproducible run to run.
+#[test]
+fn mutation_sweep_1000_cases_never_panics() {
+    let valid = sink_bytes();
+    let mut rng = TestRng::deterministic("tests::decode::mutation_sweep_1000_cases");
+    let mut oks = 0u32;
+    let mut errs = 0u32;
+    for case in 0..1000 {
+        let mut bytes = valid.clone();
+        let flips = 1 + (rng.next_u64() % 4) as usize;
+        for _ in 0..flips {
+            let idx = (rng.next_u64() as usize) % bytes.len();
+            bytes[idx] = rng.next_u64() as u8;
+        }
+        match decode_module(&bytes) {
+            Ok(m) => {
+                oks += 1;
+                // Whatever decoded must re-encode totally.
+                let _ = encode_module(&m);
+            }
+            Err(DecodeError { offset, .. }) => {
+                errs += 1;
+                assert!(offset <= bytes.len(), "case {case}: offset out of range");
+            }
+        }
+    }
+    // The exact split is seed-dependent; the invariant is totality, but
+    // a sweep that never errs (or never succeeds) would mean the
+    // mutation is not actually exercising the parser.
+    assert_eq!(oks + errs, 1000);
+    assert!(errs > 500, "only {errs} rejections — mutations too tame?");
+}
+
+// Regressions from review: the export index space combines imports and
+// local definitions, and the at-most-one rule spans both.
+#[test]
+fn imported_memory_reexport_round_trips() {
+    // (import "env" "memory" (memory 1)) (export "mem" (memory 0)) — the
+    // standard real-world shape; the validator accepts it, so the
+    // decoder must too.
+    let mut m = Module::default();
+    m.imports.push(Import {
+        module: "env".into(),
+        name: "memory".into(),
+        kind: ImportKind::Memory(1),
+    });
+    m.imports.push(Import {
+        module: "env".into(),
+        name: "table".into(),
+        kind: ImportKind::Table(2),
+    });
+    m.exports.push(Export {
+        name: "mem".into(),
+        kind: ExportKind::Memory(0),
+    });
+    m.exports.push(Export {
+        name: "tab".into(),
+        kind: ExportKind::Table(0),
+    });
+    richwasm_wasm::validate_module(&m).expect("validator accepts import re-export");
+    let bytes = encode_module(&m);
+    let decoded = decode_module(&bytes).expect("decoder must accept what validate accepts");
+    assert_eq!(decoded, m);
+    assert_eq!(encode_module(&decoded), bytes);
+}
+
+#[test]
+fn imported_plus_local_memory_rejected() {
+    // An imported memory plus a local memory section breaks Wasm 1.0's
+    // at-most-one rule across the *combined* index space.
+    let mut m = Module::default();
+    m.imports.push(Import {
+        module: "env".into(),
+        name: "memory".into(),
+        kind: ImportKind::Memory(1),
+    });
+    m.memory = Some(1);
+    let err = decode_module(&encode_module(&m)).expect_err("two memories");
+    assert_eq!(err.kind, DecodeErrorKind::MultipleTablesOrMemories);
+
+    let mut m = Module::default();
+    m.imports.push(Import {
+        module: "env".into(),
+        name: "t".into(),
+        kind: ImportKind::Table(1),
+    });
+    m.table = Some(1);
+    let err = decode_module(&encode_module(&m)).expect_err("two tables");
+    assert_eq!(err.kind, DecodeErrorKind::MultipleTablesOrMemories);
+
+    // Two imported memories are just as illegal.
+    let mut m = Module::default();
+    for name in ["a", "b"] {
+        m.imports.push(Import {
+            module: "env".into(),
+            name: name.into(),
+            kind: ImportKind::Memory(1),
+        });
+    }
+    let err = decode_module(&encode_module(&m)).expect_err("two imported memories");
+    assert_eq!(err.kind, DecodeErrorKind::MultipleTablesOrMemories);
+}
+
+#[test]
+fn locals_budget_is_module_wide() {
+    // Many bodies each just under the cap must still trip it in
+    // aggregate — cumulative allocation is what the budget bounds.
+    let header = [0x00u8, 0x61, 0x73, 0x6d, 0x01, 0x00, 0x00, 0x00];
+    let mut bytes = header.to_vec();
+    bytes.extend([0x01, 0x04, 0x01, 0x60, 0x00, 0x00]); // type [] -> []
+    const BODIES: usize = 3;
+    bytes.extend([0x03, 0x04, 0x03, 0x00, 0x00, 0x00]); // 3 functions
+    let mut body = Vec::new();
+    body.push(0x01); // one locals run
+    uleb(400_000, &mut body); // under the 1M cap individually
+    body.push(0x7f); // i32
+    body.push(0x0b); // end
+    let mut code = Vec::new();
+    uleb(BODIES as u64, &mut code);
+    for _ in 0..BODIES {
+        uleb(body.len() as u64, &mut code);
+        code.extend(&body);
+    }
+    bytes.push(0x0a);
+    uleb(code.len() as u64, &mut bytes);
+    bytes.extend(&code);
+    let err = decode_module(&bytes).expect_err("cumulative locals bomb");
+    assert!(
+        matches!(err.kind, DecodeErrorKind::TooManyLocals(n) if n > 1_000_000),
+        "{err}"
+    );
+}

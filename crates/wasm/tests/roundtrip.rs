@@ -1,0 +1,385 @@
+//! The encoder/decoder round-trip pin: `encode(decode(bytes)) == bytes`
+//! byte-for-byte for every `.wasm` binary the pipeline can produce.
+//!
+//! Two sources of modules:
+//!
+//! * **Scenario bytes** — every module lowered for the E1–E9 experiment
+//!   scenarios (interop stash, counter, soundness-safe, compiler towers,
+//!   lowering workloads, host-function clients), compiled through the
+//!   real engine so the bytes include the generated runtime module, the
+//!   table/element machinery, data segments, and host imports.
+//! * **Proptest-generated modules** — structurally consistent but
+//!   otherwise random ASTs (nested control, every operator family,
+//!   imports/exports/globals/segments), sampled from the deterministic
+//!   shim RNG.
+//!
+//! The decoder is strict (canonical LEBs only), so on its *accepted*
+//! inputs encode ∘ decode is the identity — which is exactly what makes
+//! the persistent artifact cache's stored bytes trustworthy as cache
+//! keys' content.
+
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use proptest::test_runner::TestRng;
+use richwasm_bench::workloads::{
+    arith_chain, churn, counter_client, counter_library, ml_tower, stash_client, stash_module,
+};
+use richwasm_repro::engine::{Engine, ModuleSet};
+use richwasm_repro::{HostSig, HostVal, HostValType};
+use richwasm_wasm::ast::*;
+use richwasm_wasm::binary::encode_module;
+use richwasm_wasm::decode::decode_module;
+
+/// Round-trips one binary: decode must succeed and re-encode to the very
+/// same bytes; decoding the re-encoding must also be structurally equal
+/// (idempotence).
+fn assert_roundtrip(name: &str, bytes: &[u8]) {
+    let decoded =
+        decode_module(bytes).unwrap_or_else(|e| panic!("module `{name}` failed to decode: {e}"));
+    let reencoded = encode_module(&decoded);
+    assert_eq!(
+        reencoded, bytes,
+        "module `{name}`: encode(decode(bytes)) != bytes"
+    );
+    let again = decode_module(&reencoded)
+        .unwrap_or_else(|e| panic!("module `{name}` re-decode failed: {e}"));
+    assert_eq!(again, decoded, "module `{name}`: decode not idempotent");
+}
+
+/// Compiles a module set (differential mode, so lowering runs) and
+/// round-trips every produced binary, returning how many were checked.
+fn roundtrip_set(label: &str, set: &ModuleSet) -> usize {
+    let artifact = Engine::new()
+        .compile(set)
+        .unwrap_or_else(|e| panic!("scenario `{label}` failed to compile: {e}"));
+    let binaries = artifact.wasm_binaries();
+    assert!(!binaries.is_empty(), "scenario `{label}` produced no bytes");
+    for (name, bytes) in binaries {
+        assert_roundtrip(&format!("{label}/{name}"), bytes);
+    }
+    binaries.len()
+}
+
+/// A guest importing a host function — the E8/E9 shape (host imports in
+/// the lowered import section).
+fn host_client_set() -> ModuleSet {
+    use richwasm_repro::richwasm::syntax::{self, FunType, Instr, NumType, Type};
+    let m = syntax::Module {
+        funcs: vec![
+            syntax::Func::Imported {
+                exports: vec![],
+                module: "host".into(),
+                name: "tick".into(),
+                ty: FunType::mono(vec![Type::num(NumType::I32)], vec![Type::num(NumType::I32)]),
+            },
+            syntax::Func::Defined {
+                exports: vec!["main".into()],
+                ty: FunType::mono(vec![], vec![Type::num(NumType::I32)]),
+                locals: vec![],
+                body: vec![Instr::i32(1), Instr::Call(0, vec![])],
+            },
+        ],
+        ..syntax::Module::default()
+    };
+    ModuleSet::new().richwasm("m", m).host_fn(
+        "host",
+        "tick",
+        HostSig::new([HostValType::I32], [HostValType::I32]),
+        |args| {
+            let HostVal::I32(x) = args[0] else {
+                return Err("expected i32".into());
+            };
+            Ok(vec![HostVal::I32(x + 1)])
+        },
+    )
+}
+
+#[test]
+fn every_scenario_binary_round_trips() {
+    let scenarios: Vec<(&str, ModuleSet)> = vec![
+        (
+            "e1_interop",
+            ModuleSet::new()
+                .ml("ml", stash_module(false))
+                .l3("l3", stash_client())
+                .entry("l3"),
+        ),
+        (
+            "e2_counter",
+            ModuleSet::new()
+                .l3("gfx", counter_library())
+                .ml("app", counter_client()),
+        ),
+        (
+            "e3_soundness_safe",
+            ModuleSet::new().ml("ml", stash_module(false)),
+        ),
+        ("e4_compilers", ModuleSet::new().ml("tower", ml_tower(4))),
+        (
+            "e5_lowering_chain",
+            ModuleSet::new().richwasm("chain", arith_chain(12)),
+        ),
+        (
+            "e5_lowering_churn",
+            ModuleSet::new().richwasm("churn", churn(8)),
+        ),
+        ("e8_e9_host_client", host_client_set()),
+    ];
+    let mut total = 0;
+    for (label, set) in &scenarios {
+        total += roundtrip_set(label, set);
+    }
+    // Every scenario contributes its guests plus the generated runtime
+    // module: a meaningful corpus, not a couple of toys.
+    assert!(total >= 12, "only {total} binaries round-tripped");
+}
+
+// ---------------------------------------------------------------------------
+// Proptest-generated modules.
+
+/// Builds a structurally consistent random module: all indices in range,
+/// function/code counts aligned — exactly what the decoder's structural
+/// checks require — while freely mixing every instruction family.
+fn arbitrary_module(rng: &mut TestRng) -> Module {
+    let mut m = Module::default();
+    let pick = |rng: &mut TestRng, n: u64| (rng.next_u64() % n) as u32;
+    let vt = |rng: &mut TestRng| match rng.next_u64() % 4 {
+        0 => ValType::I32,
+        1 => ValType::I64,
+        2 => ValType::F32,
+        _ => ValType::F64,
+    };
+
+    // Types (at least one, so blocktype/function references have targets).
+    let ntypes = 1 + pick(rng, 4) as usize;
+    for _ in 0..ntypes {
+        let params = (0..pick(rng, 3)).map(|_| vt(rng)).collect();
+        let results = (0..pick(rng, 3)).map(|_| vt(rng)).collect();
+        // intern_type dedups — the canonical form the encoder emits.
+        m.intern_type(FuncType { params, results });
+    }
+    let ntypes = m.types.len() as u64;
+
+    // Imports (functions and globals; memory/table stay local).
+    let n_func_imports = pick(rng, 3);
+    for i in 0..n_func_imports {
+        m.imports.push(Import {
+            module: format!("env{}", pick(rng, 2)),
+            name: format!("f{i}"),
+            kind: ImportKind::Func(pick(rng, ntypes)),
+        });
+    }
+    let n_global_imports = pick(rng, 2);
+    for i in 0..n_global_imports {
+        m.imports.push(Import {
+            module: "env".into(),
+            name: format!("g{i}"),
+            kind: ImportKind::Global(vt(rng), rng.next_u64() % 2 == 0),
+        });
+    }
+
+    if rng.next_u64() % 2 == 0 {
+        m.table = Some(pick(rng, 16));
+    }
+    if rng.next_u64() % 2 == 0 {
+        m.memory = Some(1 + pick(rng, 4));
+    }
+
+    let n_globals = pick(rng, 3);
+    for _ in 0..n_globals {
+        let ty = vt(rng);
+        let init = match ty {
+            ValType::I32 => WInstr::I32Const(rng.next_u64() as i32),
+            ValType::I64 => WInstr::I64Const(rng.next_u64() as i64),
+            ValType::F32 => WInstr::F32Const(f32::from_bits(rng.next_u64() as u32 & 0x7f7f_ffff)),
+            ValType::F64 => {
+                WInstr::F64Const(f64::from_bits(rng.next_u64() & 0x7fef_ffff_ffff_ffff))
+            }
+        };
+        m.globals.push(GlobalDef {
+            ty,
+            mutable: rng.next_u64() % 2 == 0,
+            init,
+        });
+    }
+
+    // Defined functions with random bodies.
+    let n_funcs = 1 + pick(rng, 3);
+    let total_funcs = (n_func_imports + n_funcs) as u64;
+    for _ in 0..n_funcs {
+        let type_idx = pick(rng, ntypes);
+        let locals = (0..pick(rng, 5)).map(|_| vt(rng)).collect();
+        let body = arbitrary_body(rng, 3, ntypes, total_funcs);
+        m.funcs.push(FuncDef {
+            type_idx,
+            locals,
+            body,
+        });
+    }
+
+    // Exports, elements, data, start — all with in-range indices.
+    for i in 0..pick(rng, 3) {
+        let kind = match rng.next_u64() % 4 {
+            0 => ExportKind::Func(pick(rng, total_funcs)),
+            1 if !m.globals.is_empty() || n_global_imports > 0 => ExportKind::Global(pick(
+                rng,
+                (n_global_imports + m.globals.len() as u32) as u64,
+            )),
+            2 if m.memory.is_some() => ExportKind::Memory(0),
+            3 if m.table.is_some() => ExportKind::Table(0),
+            _ => ExportKind::Func(pick(rng, total_funcs)),
+        };
+        m.exports.push(Export {
+            name: format!("export_{i}"),
+            kind,
+        });
+    }
+    if m.table.is_some() {
+        for _ in 0..pick(rng, 2) {
+            let funcs = (0..1 + pick(rng, 3))
+                .map(|_| pick(rng, total_funcs))
+                .collect();
+            m.elems.push(ElemSegment {
+                offset: pick(rng, 8),
+                funcs,
+            });
+        }
+    }
+    if m.memory.is_some() {
+        for _ in 0..pick(rng, 2) {
+            let bytes = (0..pick(rng, 12)).map(|_| rng.next_u64() as u8).collect();
+            m.data.push(DataSegment {
+                offset: pick(rng, 64),
+                bytes,
+            });
+        }
+    }
+    m
+}
+
+/// A random instruction sequence with nested control up to `depth`.
+fn arbitrary_body(rng: &mut TestRng, depth: u32, ntypes: u64, nfuncs: u64) -> Vec<WInstr> {
+    let n = rng.next_u64() % 6;
+    (0..n)
+        .map(|_| arbitrary_instr(rng, depth, ntypes, nfuncs))
+        .collect()
+}
+
+fn arbitrary_instr(rng: &mut TestRng, depth: u32, ntypes: u64, nfuncs: u64) -> WInstr {
+    use WInstr::*;
+    let pick = |rng: &mut TestRng, n: u64| (rng.next_u64() % n) as u32;
+    let w = |rng: &mut TestRng| {
+        if rng.next_u64() % 2 == 0 {
+            Width::W32
+        } else {
+            Width::W64
+        }
+    };
+    let sx = |rng: &mut TestRng| {
+        if rng.next_u64() % 2 == 0 {
+            Sx::S
+        } else {
+            Sx::U
+        }
+    };
+    let choices: u64 = if depth > 0 { 26 } else { 23 };
+    match rng.next_u64() % choices {
+        0 => Unreachable,
+        1 => Nop,
+        2 => Br(pick(rng, 4)),
+        3 => BrIf(pick(rng, 4)),
+        4 => BrTable(
+            (0..pick(rng, 3)).map(|_| pick(rng, 3)).collect(),
+            pick(rng, 3),
+        ),
+        5 => Return,
+        6 => Call(pick(rng, nfuncs)),
+        7 => CallIndirect(pick(rng, ntypes)),
+        8 => Drop,
+        9 => Select,
+        10 => LocalGet(pick(rng, 8)),
+        11 => LocalSet(pick(rng, 8)),
+        12 => LocalTee(pick(rng, 8)),
+        13 => GlobalGet(pick(rng, 4)),
+        14 => GlobalSet(pick(rng, 4)),
+        15 => I32Const(rng.next_u64() as i32),
+        16 => I64Const(rng.next_u64() as i64),
+        17 => {
+            let width = w(rng);
+            IBin(
+                width,
+                match rng.next_u64() % 5 {
+                    0 => IBinOp::Add,
+                    1 => IBinOp::Sub,
+                    2 => IBinOp::Xor,
+                    3 => IBinOp::Shr(sx(rng)),
+                    _ => IBinOp::Rotl,
+                },
+            )
+        }
+        18 => IRel(
+            w(rng),
+            match rng.next_u64() % 3 {
+                0 => IRelOp::Eq,
+                1 => IRelOp::Lt(sx(rng)),
+                _ => IRelOp::Ge(sx(rng)),
+            },
+        ),
+        19 => FBin(
+            w(rng),
+            match rng.next_u64() % 3 {
+                0 => FBinOp::Add,
+                1 => FBinOp::Min,
+                _ => FBinOp::Copysign,
+            },
+        ),
+        20 => Load(ValType::I32, pick(rng, 256)),
+        21 => Store(ValType::I64, pick(rng, 256)),
+        22 => ITruncF(w(rng), w(rng), sx(rng)),
+        23 => Block(
+            arbitrary_blocktype(rng, ntypes),
+            arbitrary_body(rng, depth - 1, ntypes, nfuncs),
+        ),
+        24 => Loop(
+            arbitrary_blocktype(rng, ntypes),
+            arbitrary_body(rng, depth - 1, ntypes, nfuncs),
+        ),
+        _ => If(
+            arbitrary_blocktype(rng, ntypes),
+            arbitrary_body(rng, depth - 1, ntypes, nfuncs),
+            arbitrary_body(rng, depth - 1, ntypes, nfuncs),
+        ),
+    }
+}
+
+fn arbitrary_blocktype(rng: &mut TestRng, ntypes: u64) -> BlockType {
+    match rng.next_u64() % 3 {
+        0 => BlockType::Empty,
+        1 => BlockType::Value(match rng.next_u64() % 4 {
+            0 => ValType::I32,
+            1 => ValType::I64,
+            2 => ValType::F32,
+            _ => ValType::F64,
+        }),
+        _ => BlockType::Func((rng.next_u64() % ntypes) as u32),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    // Generated modules are not necessarily *valid* (the validator's
+    // job), but they are structurally consistent — which is all the
+    // byte-level round trip needs.
+    #[test]
+    fn generated_modules_round_trip(m in BoxedStrategy::from_fn(arbitrary_module)) {
+        let bytes = encode_module(&m);
+        let decoded = decode_module(&bytes)
+            .unwrap_or_else(|e| panic!("generated module failed to decode: {e}\n{m:?}"));
+        prop_assert_eq!(
+            encode_module(&decoded),
+            bytes,
+            "byte round trip diverged"
+        );
+    }
+}

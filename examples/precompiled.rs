@@ -1,0 +1,142 @@
+//! Warm-across-restarts serving: the persistent artifact cache and the
+//! binary decoder.
+//!
+//! ```text
+//! cargo run --release --example precompiled
+//! ```
+//!
+//! Three acts:
+//!
+//! 1. an engine with `cache_dir` pays the full static pipeline once,
+//!    then a *second* engine (a stand-in for the next process after a
+//!    restart or deploy) serves the same module set from disk without
+//!    re-running a single static stage;
+//! 2. an artifact is shipped as bytes (`serialize`/`deserialize`) — the
+//!    same path, but with the transport in your hands;
+//! 3. `Engine::load_wasm` admits an externally produced `.wasm` binary
+//!    through the strict decode → validate path.
+
+use std::time::Instant;
+
+use richwasm_repro::engine::{Artifact, Engine, EngineConfig, Exec, ModuleSet};
+use richwasm_repro::richwasm::syntax::{self, FunType, Instr, NumInstr, NumType, Qual, Type};
+
+fn library_set() -> ModuleSet {
+    // A tiny "service": doubled(x) = x + x, main() = doubled(21).
+    let i32t = || Type::num(NumType::I32);
+    let m = syntax::Module {
+        funcs: vec![
+            syntax::Func::Defined {
+                exports: vec!["doubled".into()],
+                ty: FunType::mono(vec![i32t()], vec![i32t()]),
+                locals: vec![],
+                body: vec![
+                    Instr::GetLocal(0, Qual::Unr),
+                    Instr::GetLocal(0, Qual::Unr),
+                    Instr::Num(NumInstr::IntBinop(
+                        NumType::I32,
+                        syntax::instr::IntBinop::Add,
+                    )),
+                ],
+            },
+            syntax::Func::Defined {
+                exports: vec!["main".into()],
+                ty: FunType::mono(vec![], vec![i32t()]),
+                locals: vec![],
+                body: vec![Instr::i32(21), Instr::Call(0, vec![])],
+            },
+        ],
+        ..syntax::Module::default()
+    };
+    ModuleSet::new().richwasm("svc", m)
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("richwasm_precompiled_{}", std::process::id()));
+    let config = || EngineConfig::new().exec(Exec::Wasm).cache_dir(&dir);
+
+    // Act 1 — cold compile, persisted.
+    let t0 = Instant::now();
+    let engine = Engine::with_config(config());
+    let artifact = engine.compile(&library_set()).unwrap();
+    let cold = t0.elapsed();
+    let mut inst = artifact.instantiate().unwrap();
+    assert_eq!(inst.invoke_entry().unwrap().i32(), Some(42));
+    println!("cold compile: {cold:.2?}  (stages: {})", artifact.timings());
+
+    // Act 1b — "the next process": same directory, fresh engine. The
+    // compile is a disk hit: decode + re-validate of the stored bytes,
+    // zero static stages.
+    let t0 = Instant::now();
+    let restarted = Engine::with_config(config());
+    let warm = restarted.compile(&library_set()).unwrap();
+    let disk_hit = t0.elapsed();
+    assert!(warm.timings().no_static_stages());
+    assert_eq!(warm.wasm_binaries(), artifact.wasm_binaries());
+    let stats = restarted.cache_stats();
+    println!("disk-warm compile after restart: {disk_hit:.2?}  ({stats})");
+    let mut winst = warm.instantiate().unwrap();
+    assert_eq!(winst.invoke_entry().unwrap().i32(), Some(42));
+
+    // Act 2 — explicit transport: bytes out, artifact back.
+    let bytes = artifact
+        .serialize()
+        .expect("Exec::Wasm artifacts serialize");
+    let shipped = Artifact::deserialize(&bytes).unwrap();
+    assert_eq!(shipped.key(), artifact.key());
+    let mut sinst = shipped.instantiate().unwrap();
+    let out = sinst
+        .invoke("svc", "doubled", vec![syntax::Value::i32(8)])
+        .unwrap();
+    println!(
+        "shipped artifact ({} bytes): doubled(8) = {:?}",
+        bytes.len(),
+        out.i32().unwrap()
+    );
+
+    // Act 3a — the whole lowered program as external bytes: every binary
+    // (generated runtime included) re-enters through decode → validate,
+    // linked back together by module name.
+    let mut reloaded = ModuleSet::new();
+    for (name, bytes) in artifact.wasm_binaries() {
+        reloaded = reloaded.wasm_module(name, bytes.clone());
+    }
+    let loader = Engine::with_config(EngineConfig::new().exec(Exec::Wasm));
+    let mut linst = loader
+        .compile(&reloaded.entry("svc"))
+        .unwrap()
+        .instantiate()
+        .unwrap();
+    assert_eq!(linst.invoke_entry().unwrap().i32(), Some(42));
+    println!("re-decoded program agrees: main() = 42");
+
+    // Act 3b — a truly foreign module (hand-assembled, no RichWasm
+    // pedigree) through `Engine::load_wasm`.
+    let foreign = {
+        use richwasm_repro::wasm::ast as w;
+        let mut m = w::Module::default();
+        let t = m.intern_type(w::FuncType {
+            params: vec![],
+            results: vec![w::ValType::I32],
+        });
+        m.funcs.push(w::FuncDef {
+            type_idx: t,
+            locals: vec![],
+            body: vec![
+                w::WInstr::I32Const(6),
+                w::WInstr::I32Const(7),
+                w::WInstr::IBin(w::Width::W32, w::IBinOp::Mul),
+            ],
+        });
+        m.exports.push(w::Export {
+            name: "main".into(),
+            kind: w::ExportKind::Func(0),
+        });
+        richwasm_repro::wasm::binary::encode_module(&m)
+    };
+    let mut finst = loader.load_wasm(foreign).unwrap().instantiate().unwrap();
+    assert_eq!(finst.invoke_entry().unwrap().i32(), Some(42));
+    println!("external .wasm admitted via decode+validate: main() = 42");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -52,6 +52,8 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -67,6 +69,7 @@ use richwasm_lower::{lower_modules_with_plan, LinkPlan, LowerError};
 use richwasm_ml::{compile_module as compile_ml, MlError, MlModule};
 use richwasm_wasm::ast as w;
 use richwasm_wasm::binary::encode_module;
+use richwasm_wasm::decode::{decode_module, DecodeError};
 use richwasm_wasm::exec::{Val, WasmLinker, WasmTrap};
 use richwasm_wasm::validate::ValidationError;
 use richwasm_wasm::validate_module;
@@ -76,7 +79,8 @@ use crate::call::{
     HostSig, HostVal, ReplayLog, WasmResults,
 };
 
-/// A source module in one of the three input languages.
+/// A source module in one of the three input languages, or a precompiled
+/// standard `.wasm` binary.
 #[derive(Debug, Clone)]
 pub enum Source {
     /// A core ML module (compiled by `richwasm-ml`, paper §5).
@@ -85,6 +89,30 @@ pub enum Source {
     L3(Box<L3Module>),
     /// An already-built RichWasm module.
     RichWasm(Box<syntax::Module>),
+    /// Standard `.wasm` bytes (precompiled or externally produced). They
+    /// enter the pipeline at the decode stage and carry no RichWasm
+    /// types, so they execute on the Wasm backend only ([`Exec::Wasm`]).
+    Wasm(WasmBytes),
+}
+
+/// Owned `.wasm` bytes behind a cheap, *stable* `Debug` rendering (length
+/// plus 128-bit FNV content hash) — the cache key hashes sources through
+/// `Debug`, and rendering megabytes of binary as a decimal byte list
+/// would make keying cost scale with module size.
+#[derive(Clone, PartialEq, Eq)]
+pub struct WasmBytes(pub Vec<u8>);
+
+impl fmt::Debug for WasmBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut h = Fnv128::new();
+        h.update(&self.0);
+        write!(
+            f,
+            "WasmBytes {{ len: {}, fnv: {:032x} }}",
+            self.0.len(),
+            h.0
+        )
+    }
 }
 
 /// The pipeline stages, in execution order.
@@ -92,6 +120,8 @@ pub enum Source {
 pub enum Stage {
     /// Source-language compilation to RichWasm.
     Frontend,
+    /// Binary decoding of precompiled `.wasm` sources.
+    Decode,
     /// The RichWasm substructural type check.
     Typecheck,
     /// Typed linking + instantiation on the RichWasm interpreter.
@@ -115,7 +145,12 @@ impl Stage {
     pub fn is_static(self) -> bool {
         matches!(
             self,
-            Stage::Frontend | Stage::Typecheck | Stage::Lower | Stage::Validate | Stage::Encode
+            Stage::Frontend
+                | Stage::Decode
+                | Stage::Typecheck
+                | Stage::Lower
+                | Stage::Validate
+                | Stage::Encode
         )
     }
 }
@@ -124,6 +159,7 @@ impl fmt::Display for Stage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             Stage::Frontend => "frontend",
+            Stage::Decode => "decode",
             Stage::Typecheck => "typecheck",
             Stage::Instantiate => "instantiate",
             Stage::Lower => "lower",
@@ -146,6 +182,11 @@ pub enum PipelineErrorKind {
     Type(TypeError),
     /// The RichWasm → Wasm compiler failed.
     Lower(LowerError),
+    /// A `.wasm` binary failed to decode.
+    Decode(DecodeError),
+    /// A serialized artifact was malformed, corrupt, or compiled under a
+    /// different configuration (stale).
+    Artifact(String),
     /// A lowered module failed Wasm validation.
     Validation(ValidationError),
     /// The RichWasm interpreter trapped or got stuck.
@@ -170,6 +211,8 @@ impl fmt::Display for PipelineErrorKind {
             PipelineErrorKind::L3(e) => write!(f, "{e}"),
             PipelineErrorKind::Type(e) => write!(f, "{e}"),
             PipelineErrorKind::Lower(e) => write!(f, "{e}"),
+            PipelineErrorKind::Decode(e) => write!(f, "{e}"),
+            PipelineErrorKind::Artifact(reason) => write!(f, "artifact: {reason}"),
             PipelineErrorKind::Validation(e) => write!(f, "{e}"),
             PipelineErrorKind::Runtime(e) => write!(f, "{e}"),
             PipelineErrorKind::Wasm(e) => write!(f, "{e}"),
@@ -237,10 +280,13 @@ impl std::error::Error for PipelineError {
             PipelineErrorKind::L3(e) => Some(e),
             PipelineErrorKind::Type(e) => Some(e),
             PipelineErrorKind::Lower(e) => Some(e),
+            PipelineErrorKind::Decode(e) => Some(e),
             PipelineErrorKind::Validation(e) => Some(e),
             PipelineErrorKind::Runtime(e) => Some(e),
             PipelineErrorKind::Wasm(e) => Some(e),
-            PipelineErrorKind::Mismatch { .. } | PipelineErrorKind::Unsupported(_) => None,
+            PipelineErrorKind::Mismatch { .. }
+            | PipelineErrorKind::Unsupported(_)
+            | PipelineErrorKind::Artifact(_) => None,
         }
     }
 }
@@ -384,9 +430,12 @@ impl Invocation {
 }
 
 /// Engine-wide configuration: everything that affects *what* an
-/// [`Artifact`] contains or *how* its [`Instance`]s execute. The whole
-/// struct is part of the cache key (see `DESIGN.md` §5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// [`Artifact`] contains or *how* its [`Instance`]s execute. The
+/// semantic fields are part of the cache key (see `DESIGN.md` §5);
+/// [`EngineConfig::cache_dir`] is deliberately **not** — where artifacts
+/// are persisted does not change what they contain, so moving a cache
+/// directory never invalidates its entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Execution mode (default: [`Exec::Differential`]).
     pub exec: Exec,
@@ -398,6 +447,9 @@ pub struct EngineConfig {
     pub auto_gc_every: Option<u64>,
     /// Caps interpreter steps per invocation on both backends.
     pub fuel: Option<u64>,
+    /// Directory for the **persistent artifact cache** (default: none —
+    /// in-memory caching only). See [`EngineConfig::cache_dir`].
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -407,6 +459,7 @@ impl Default for EngineConfig {
             typecheck: true,
             auto_gc_every: None,
             fuel: None,
+            cache_dir: None,
         }
     }
 }
@@ -444,6 +497,40 @@ impl EngineConfig {
     pub fn fuel(mut self, fuel: u64) -> Self {
         self.fuel = Some(fuel);
         self
+    }
+
+    /// Persists compiled artifacts under `dir` so warm compiles survive
+    /// process restarts: a cold [`Engine::compile`] writes the artifact
+    /// (hash-keyed file), and a later engine — in this process or the
+    /// next — with the same configuration and directory loads it back,
+    /// skipping every static stage. Missing, corrupt, or stale entries
+    /// fall back to a cold compile (recorded in
+    /// [`CacheStats::disk_misses`]) and are rewritten.
+    ///
+    /// Only [`Exec::Wasm`] compiles of host-function-free module sets are
+    /// persisted: a serialized artifact carries `.wasm` bytes and entry
+    /// metadata, not RichWasm sources, so it cannot serve the
+    /// interpreter-backed modes — and host closures live in process
+    /// memory, unreachable from disk. Other compiles simply bypass the
+    /// directory (see `DESIGN.md` §9).
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The stable 128-bit fingerprint of the **semantic** fields (exec
+    /// mode, typecheck, auto-GC, fuel — not `cache_dir`): the
+    /// configuration's contribution to cache keys, and the compatibility
+    /// stamp embedded in serialized artifacts.
+    pub fn fingerprint(&self) -> u128 {
+        use fmt::Write as _;
+        let mut h = Fnv128::new();
+        let _ = write!(
+            h,
+            "exec:{:?}|typecheck:{}|auto_gc:{:?}|fuel:{:?}",
+            self.exec, self.typecheck, self.auto_gc_every, self.fuel
+        );
+        h.0
     }
 }
 
@@ -514,6 +601,23 @@ impl ModuleSet {
     pub fn richwasm(mut self, name: impl Into<String>, m: syntax::Module) -> Self {
         self.sources
             .push((name.into(), Source::RichWasm(Box::new(m))));
+        self
+    }
+
+    /// Adds a precompiled (or externally produced) standard `.wasm`
+    /// binary under `name`. The bytes are **never trusted**: they enter
+    /// the ordinary decode → validate → instantiate path, with strict
+    /// bounds/LEB checking at decode and full re-validation after.
+    ///
+    /// Binary modules carry no RichWasm types, so they run on the Wasm
+    /// backend only — compiling a set that contains one under
+    /// [`Exec::Interp`] or [`Exec::Differential`] fails cleanly at the
+    /// decode stage. They may be freely mixed with source modules (whose
+    /// lowered forms instantiate alongside them, imports resolving by
+    /// module name exactly as between lowered guests).
+    pub fn wasm_module(mut self, name: impl Into<String>, bytes: impl Into<Vec<u8>>) -> Self {
+        self.sources
+            .push((name.into(), Source::Wasm(WasmBytes(bytes.into()))));
         self
     }
 
@@ -642,14 +746,18 @@ impl Fnv128 {
     fn new() -> Fnv128 {
         Fnv128(Self::OFFSET)
     }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
 }
 
 impl fmt::Write for Fnv128 {
     fn write_str(&mut self, s: &str) -> fmt::Result {
-        for &b in s.as_bytes() {
-            self.0 ^= b as u128;
-            self.0 = self.0.wrapping_mul(Self::PRIME);
-        }
+        self.update(s.as_bytes());
         Ok(())
     }
 }
@@ -671,8 +779,10 @@ fn cache_key(config: &EngineConfig, set: &ModuleSet) -> CacheKey {
     let mut h = Fnv128::new();
     let _ = write!(
         h,
-        "cfg:{config:?}|entry:{:?}|entry_func:{:?}",
-        set.entry, set.entry_func
+        "cfg:{:032x}|entry:{:?}|entry_func:{:?}",
+        config.fingerprint(),
+        set.entry,
+        set.entry_func
     );
     for (name, src) in &set.sources {
         // `{name:?}` quotes and escapes the name, so a crafted module
@@ -697,21 +807,31 @@ fn cache_key(config: &EngineConfig, set: &ModuleSet) -> CacheKey {
 /// Cache effectiveness counters, via [`Engine::cache_stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Compiles served from the cache (all static stages skipped).
+    /// Compiles served from the in-memory cache (all static stages
+    /// skipped).
     pub hits: u64,
     /// Compiles that ran the full static pipeline.
     pub misses: u64,
+    /// Compiles served from the persistent cache
+    /// ([`EngineConfig::cache_dir`]): the artifact was loaded from disk —
+    /// decode + re-validate of the stored bytes, no static stage re-run.
+    pub disk_hits: u64,
+    /// Persistent-cache entries that were present but unusable (corrupt,
+    /// truncated, stale fingerprint, or failing re-validation); each one
+    /// fell back to a cold compile, which also counts in `misses`.
+    pub disk_misses: u64,
 }
 
 impl CacheStats {
-    /// Fraction of compiles served from the cache, in `0.0..=1.0` (`0.0`
-    /// before any compile).
+    /// Fraction of compiles served from either cache layer, in
+    /// `0.0..=1.0` (`0.0` before any compile).
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let served = self.hits + self.disk_hits;
+        let total = served + self.misses;
         if total == 0 {
             0.0
         } else {
-            self.hits as f64 / total as f64
+            served as f64 / total as f64
         }
     }
 }
@@ -724,7 +844,74 @@ impl fmt::Display for CacheStats {
             self.hits,
             self.misses,
             self.hit_rate() * 100.0
-        )
+        )?;
+        if self.disk_hits + self.disk_misses > 0 {
+            write!(
+                f,
+                ", disk: {} hits, {} unusable",
+                self.disk_hits, self.disk_misses
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Magic + format version of a serialized [`Artifact`] (`DESIGN.md` §9);
+/// bump the trailing byte on any layout change so stale files fall back
+/// to a cold compile instead of misparsing.
+const ARTIFACT_MAGIC: &[u8] = b"RWART\x01";
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+/// Bounds-checked cursor over a serialized artifact; every accessor
+/// returns `None` at EOF instead of panicking.
+struct ArtifactReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ArtifactReader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if n > self.bytes.len() - self.pos {
+            return None;
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    fn array<const N: usize>(&mut self) -> Option<[u8; N]> {
+        self.take(N).map(|s| s.try_into().expect("exact length"))
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn opt_u64(&mut self) -> Option<Option<u64>> {
+        match self.u8()? {
+            0 => Some(None),
+            _ => Some(Some(u64::from_le_bytes(self.array::<8>()?))),
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = u32::from_le_bytes(self.array::<4>()?) as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
     }
 }
 
@@ -827,6 +1014,156 @@ impl Artifact {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 
+    /// Serializes the artifact for the persistent cache (or for shipping
+    /// to another process): the standard `.wasm` bytes of every module,
+    /// the entry metadata, the configuration (fields + fingerprint), the
+    /// cache key, and a whole-file checksum. The format is documented in
+    /// `DESIGN.md` §9.
+    ///
+    /// Returns `None` when the artifact is not self-contained on disk:
+    /// only [`Exec::Wasm`] artifacts serialize (`.wasm` bytes carry no
+    /// RichWasm types, so the interpreter-backed modes cannot be rebuilt
+    /// from them), and only without host functions (closures live in
+    /// process memory). [`Artifact::deserialize`] inverts this exactly —
+    /// same key, same bytes, same entry — after re-decoding and
+    /// re-validating every module, because bytes read back from disk are
+    /// as untrusted as bytes from anywhere else.
+    pub fn serialize(&self) -> Option<Vec<u8>> {
+        let inner = &self.inner;
+        if inner.config.exec != Exec::Wasm || !inner.hosts.is_empty() || inner.binaries.is_empty() {
+            return None;
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(ARTIFACT_MAGIC);
+        out.extend_from_slice(&inner.config.fingerprint().to_le_bytes());
+        out.push(inner.config.typecheck as u8);
+        write_opt_u64(&mut out, inner.config.auto_gc_every);
+        write_opt_u64(&mut out, inner.config.fuel);
+        out.extend_from_slice(&inner.key.0.to_le_bytes());
+        match &inner.entry {
+            Some(e) => {
+                out.push(1);
+                write_str(&mut out, e);
+            }
+            None => out.push(0),
+        }
+        write_str(&mut out, &inner.entry_func);
+        out.extend_from_slice(&(inner.binaries.len() as u32).to_le_bytes());
+        for (name, bytes) in &inner.binaries {
+            write_str(&mut out, name);
+            out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        let mut h = Fnv128::new();
+        h.update(&out);
+        out.extend_from_slice(&h.0.to_le_bytes());
+        Some(out)
+    }
+
+    /// Reconstructs an artifact from [`Artifact::serialize`] output.
+    ///
+    /// The bytes are treated as untrusted: the checksum must match, and
+    /// every embedded `.wasm` module goes back through the full strict
+    /// decode → validate path before it can be instantiated. The
+    /// resulting artifact is equivalent to the original for every
+    /// [`Exec::Wasm`] purpose — identical key, entry metadata, and
+    /// byte-identical [`Artifact::wasm_binaries`] — but records no
+    /// static-stage [`Timings`] (nothing was recompiled; the load cost
+    /// itself is what the `e10_decode` bench measures).
+    ///
+    /// # Errors
+    ///
+    /// [`PipelineErrorKind::Artifact`] for framing/checksum/format
+    /// failures, [`PipelineErrorKind::Decode`] /
+    /// [`PipelineErrorKind::Validation`] when an embedded module is bad.
+    pub fn deserialize(bytes: &[u8]) -> Result<Artifact, PipelineError> {
+        let corrupt = |reason: &str| {
+            PipelineError::new(
+                Stage::Decode,
+                None,
+                PipelineErrorKind::Artifact(reason.to_string()),
+            )
+        };
+        if bytes.len() < ARTIFACT_MAGIC.len() + 16 {
+            return Err(corrupt("truncated artifact"));
+        }
+        if &bytes[..ARTIFACT_MAGIC.len()] != ARTIFACT_MAGIC {
+            return Err(corrupt("bad artifact magic/version"));
+        }
+        let (payload, stored_sum) = bytes.split_at(bytes.len() - 16);
+        let mut h = Fnv128::new();
+        h.update(payload);
+        if h.0.to_le_bytes() != stored_sum {
+            return Err(corrupt("artifact checksum mismatch"));
+        }
+
+        let mut r = ArtifactReader {
+            bytes: payload,
+            pos: ARTIFACT_MAGIC.len(),
+        };
+        let fingerprint = u128::from_le_bytes(r.array::<16>().ok_or_else(|| corrupt("eof"))?);
+        let typecheck = r.u8().ok_or_else(|| corrupt("eof"))? != 0;
+        let auto_gc_every = r.opt_u64().ok_or_else(|| corrupt("eof"))?;
+        let fuel = r.opt_u64().ok_or_else(|| corrupt("eof"))?;
+        let config = EngineConfig {
+            exec: Exec::Wasm,
+            typecheck,
+            auto_gc_every,
+            fuel,
+            cache_dir: None,
+        };
+        if config.fingerprint() != fingerprint {
+            return Err(corrupt("configuration fingerprint mismatch"));
+        }
+        let key = CacheKey(u128::from_le_bytes(
+            r.array::<16>().ok_or_else(|| corrupt("eof"))?,
+        ));
+        let entry = if r.u8().ok_or_else(|| corrupt("eof"))? != 0 {
+            Some(r.string().ok_or_else(|| corrupt("bad entry name"))?)
+        } else {
+            None
+        };
+        let entry_func = r.string().ok_or_else(|| corrupt("bad entry function"))?;
+        let count = u32::from_le_bytes(r.array::<4>().ok_or_else(|| corrupt("eof"))?) as usize;
+        let mut lowered = Vec::new();
+        let mut binaries = Vec::new();
+        for _ in 0..count {
+            let name = r.string().ok_or_else(|| corrupt("bad module name"))?;
+            let len = u64::from_le_bytes(r.array::<8>().ok_or_else(|| corrupt("eof"))?) as usize;
+            let data = r.take(len).ok_or_else(|| corrupt("truncated module"))?;
+            let wm = decode_module(data).map_err(|e| {
+                PipelineError::new(Stage::Decode, Some(&name), PipelineErrorKind::Decode(e))
+            })?;
+            validate_module(&wm).map_err(|e| {
+                PipelineError::new(
+                    Stage::Validate,
+                    Some(&name),
+                    PipelineErrorKind::Validation(e),
+                )
+            })?;
+            binaries.push((name.clone(), data.to_vec()));
+            lowered.push((name, wm));
+        }
+        if r.pos != payload.len() {
+            return Err(corrupt("trailing bytes in artifact"));
+        }
+        Ok(Artifact {
+            inner: Arc::new(ArtifactInner {
+                key,
+                config,
+                entry,
+                entry_func,
+                hosts: Vec::new(),
+                modules: Vec::new(),
+                envs: Vec::new(),
+                link_plan: LinkPlan::default(),
+                lowered,
+                binaries,
+                timings: Timings::default(),
+            }),
+        })
+    }
+
     /// Creates a fresh, independent [`Instance`]: typed linking +
     /// instantiation on the RichWasm interpreter and/or instantiation of
     /// the lowered modules on the Wasm interpreter. No static stage runs.
@@ -837,7 +1174,7 @@ impl Artifact {
     /// declared type does not match the provider's export.
     pub fn instantiate(&self) -> Result<Instance, PipelineError> {
         let inner = &self.inner;
-        let config = inner.config;
+        let config = &inner.config;
         let mut timings = Timings::default();
         let t0 = Instant::now();
 
@@ -917,7 +1254,7 @@ impl Artifact {
     /// is on), so per-module re-checking is off; the typed linker's FFI
     /// boundary check still runs.
     fn build_runtime(&self, replay: &[ReplayLog]) -> Result<Runtime, PipelineError> {
-        let config = self.inner.config;
+        let config = &self.inner.config;
         let mut rt = Runtime::new();
         rt.config.check_modules = false;
         if let Some(n) = config.auto_gc_every {
@@ -1470,15 +1807,102 @@ impl Engine {
             self.stats.lock().expect("engine stats poisoned").hits += 1;
             return Ok(hit);
         }
+        // Second chance: the persistent cache (when configured and the
+        // compile is persistable — Exec::Wasm, no host functions).
+        if let Some(artifact) = self.try_disk_load(key, set) {
+            self.cache
+                .lock()
+                .expect("engine cache poisoned")
+                .insert(key, artifact.clone());
+            self.stats.lock().expect("engine stats poisoned").disk_hits += 1;
+            return Ok(artifact);
+        }
         // Compile outside the lock: a slow build must not serialise
         // unrelated compiles.
         let artifact = self.compile_cold(set, key)?;
+        self.store_disk(key, &artifact);
         self.cache
             .lock()
             .expect("engine cache poisoned")
             .insert(key, artifact.clone());
         self.stats.lock().expect("engine stats poisoned").misses += 1;
         Ok(artifact)
+    }
+
+    /// Compiles a standalone `.wasm` binary — precompiled by an earlier
+    /// engine ([`Artifact::wasm_binaries`]) or externally produced —
+    /// through the ordinary decode → validate path, as a single-module
+    /// set named `"main"` (so [`Instance::invoke_entry`] calls its
+    /// exported `main`). The bytes are never trusted; see
+    /// [`ModuleSet::wasm_module`].
+    ///
+    /// # Errors
+    ///
+    /// Decode/validation failures; `Unsupported` unless the engine runs
+    /// [`Exec::Wasm`] (binary modules carry no RichWasm types, so the
+    /// differential and interpreter modes reject them cleanly).
+    pub fn load_wasm(&self, bytes: impl Into<Vec<u8>>) -> Result<Artifact, PipelineError> {
+        self.compile(&ModuleSet::new().wasm_module("main", bytes))
+    }
+
+    fn disk_path(dir: &Path, key: CacheKey) -> PathBuf {
+        dir.join(format!("{key}.rwart"))
+    }
+
+    /// Attempts to serve `key` from the persistent cache. Absent files
+    /// are ordinary cold compiles; present-but-unusable files (corrupt,
+    /// stale fingerprint, failed re-validation, mismatched key) count as
+    /// [`CacheStats::disk_misses`] and fall back to a cold compile that
+    /// rewrites the entry.
+    fn try_disk_load(&self, key: CacheKey, set: &ModuleSet) -> Option<Artifact> {
+        let dir = self.config.cache_dir.as_ref()?;
+        // Host closures make keys process-local (closure identity is
+        // content), so sets with hosts never consult the disk.
+        if self.config.exec != Exec::Wasm || !set.hosts.is_empty() {
+            return None;
+        }
+        let bytes = fs::read(Self::disk_path(dir, key)).ok()?;
+        match Artifact::deserialize(&bytes) {
+            Ok(a) if a.key() == key && a.config().fingerprint() == self.config.fingerprint() => {
+                Some(a)
+            }
+            _ => {
+                self.stats
+                    .lock()
+                    .expect("engine stats poisoned")
+                    .disk_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Best-effort persistent-cache write (atomic: temp file + rename).
+    /// I/O failures degrade to cold compiles on the next engine; they
+    /// never fail the compile that produced the artifact.
+    fn store_disk(&self, key: CacheKey, artifact: &Artifact) {
+        let Some(dir) = &self.config.cache_dir else {
+            return;
+        };
+        let Some(bytes) = artifact.serialize() else {
+            return;
+        };
+        if fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        // The temp name must be unique per *call*, not just per process:
+        // compiles run outside the cache lock, so two threads missing on
+        // the same key can both land here concurrently, and interleaved
+        // writes to one temp path would rename a corrupt file into place.
+        static TMP_SEQ: AtomicUsize = AtomicUsize::new(0);
+        let tmp = dir.join(format!(
+            "{key}.tmp{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if fs::write(&tmp, &bytes).is_err() || fs::rename(&tmp, Self::disk_path(dir, key)).is_err()
+        {
+            let _ = fs::remove_file(&tmp);
+        }
     }
 
     /// [`Engine::compile`] + [`Artifact::instantiate`] in one call.
@@ -1525,7 +1949,7 @@ impl Engine {
 
     /// The full static pipeline, no cache involved.
     fn compile_cold(&self, set: &ModuleSet, key: CacheKey) -> Result<Artifact, PipelineError> {
-        let config = self.config;
+        let config = &self.config;
 
         // Lowering is type-directed: `Session` re-checks whatever it is
         // given, so an unchecked Wasm build is impossible by construction.
@@ -1538,6 +1962,26 @@ impl Engine {
                 PipelineErrorKind::Unsupported(
                     "typecheck(false) requires Exec::Interp: lowering is type-directed, so \
                      the Wasm path cannot run unchecked"
+                        .into(),
+                ),
+            ));
+        }
+
+        // Precompiled binaries carry no RichWasm types: the interpreter
+        // backend cannot run them, so the differential cross-check (and
+        // Interp mode) must reject them up front rather than trap later.
+        if config.exec != Exec::Wasm
+            && set
+                .sources
+                .iter()
+                .any(|(_, s)| matches!(s, Source::Wasm(_)))
+        {
+            return Err(PipelineError::new(
+                Stage::Decode,
+                None,
+                PipelineErrorKind::Unsupported(
+                    "precompiled .wasm modules execute on the Wasm backend only: compile \
+                     them with EngineConfig::new().exec(Exec::Wasm)"
                         .into(),
                 ),
             ));
@@ -1587,12 +2031,16 @@ impl Engine {
         let entry_func = set.entry_func.clone().unwrap_or_else(|| "main".into());
         let mut timings = Timings::default();
 
-        // Stages 1–2: frontends + the substructural check. Modules are
-        // compiled and checked *independently* (imports are matched
-        // structurally at link time, not against the provider's env), so
-        // the per-module work fans out across scoped threads. Results come
-        // back in source order; the first error in source order wins.
-        type Checked = (syntax::Module, Option<ModuleEnv>, Duration, Duration);
+        // Stages 1–2: frontends + the substructural check for source
+        // modules, strict binary decoding for precompiled ones. Modules
+        // are processed *independently* (imports are matched structurally
+        // at link time, not against the provider's env), so the per-module
+        // work fans out across scoped threads. Results come back in source
+        // order; the first error in source order wins.
+        enum Checked {
+            Rich(syntax::Module, Option<ModuleEnv>, Duration, Duration),
+            Wasm(Box<w::Module>, Duration),
+        }
         let check_one = |name: &str, src: &Source| -> Result<Checked, PipelineError> {
             let t0 = Instant::now();
             let m = match src {
@@ -1603,6 +2051,12 @@ impl Engine {
                     PipelineError::new(Stage::Frontend, Some(name), PipelineErrorKind::L3(e))
                 })?,
                 Source::RichWasm(m) => (**m).clone(),
+                Source::Wasm(bytes) => {
+                    let wm = decode_module(&bytes.0).map_err(|e| {
+                        PipelineError::new(Stage::Decode, Some(name), PipelineErrorKind::Decode(e))
+                    })?;
+                    return Ok(Checked::Wasm(Box::new(wm), t0.elapsed()));
+                }
             };
             let frontend = t0.elapsed();
             let t1 = Instant::now();
@@ -1613,7 +2067,7 @@ impl Engine {
             } else {
                 None
             };
-            Ok((m, env, frontend, t1.elapsed()))
+            Ok(Checked::Rich(m, env, frontend, t1.elapsed()))
         };
         let results: Vec<Result<Checked, PipelineError>> = if set.sources.len() <= 1 {
             // Nothing to fan out; skip the thread-spawn overhead.
@@ -1632,31 +2086,69 @@ impl Engine {
             })
         };
         let mut modules = Vec::with_capacity(set.sources.len());
+        let mut decoded = Vec::new();
         let mut envs = Vec::new();
         let mut frontend_total = Duration::ZERO;
+        let mut decode_total = Duration::ZERO;
         let mut typecheck_total = Duration::ZERO;
         for ((name, _), result) in set.sources.iter().zip(results) {
-            let (m, env, frontend, typecheck) = result?;
-            modules.push((name.clone(), m));
-            envs.extend(env);
-            frontend_total += frontend;
-            typecheck_total += typecheck;
+            match result? {
+                Checked::Rich(m, env, frontend, typecheck) => {
+                    modules.push((name.clone(), m));
+                    envs.extend(env);
+                    frontend_total += frontend;
+                    typecheck_total += typecheck;
+                }
+                Checked::Wasm(wm, decode) => {
+                    decoded.push((name.clone(), *wm));
+                    decode_total += decode;
+                }
+            }
         }
-        timings.add(Stage::Frontend, frontend_total);
-        if config.typecheck {
-            timings.add(Stage::Typecheck, typecheck_total);
+        if !modules.is_empty() || decoded.is_empty() {
+            timings.add(Stage::Frontend, frontend_total);
+            if config.typecheck {
+                timings.add(Stage::Typecheck, typecheck_total);
+            }
+        }
+        if !decoded.is_empty() {
+            timings.add(Stage::Decode, decode_total);
         }
 
-        // Stages 3–5: lower whole-program, validate, encode.
+        // Stages 3–5: lower whole-program, validate, encode. A set with
+        // no source-language modules generates no runtime module (decoded
+        // binaries are self-contained — the one from a previous compile
+        // is already among them when it is needed); otherwise the
+        // generated runtime instantiates first, then every module in
+        // declaration order (lowered or decoded), so imports resolve by
+        // name exactly as between lowered guests.
         let mut link_plan = LinkPlan::default();
         let mut lowered = Vec::new();
         let mut binaries = Vec::new();
         if config.exec.wants_wasm() {
-            let t0 = Instant::now();
-            link_plan = LinkPlan::compute(&modules);
-            lowered = lower_modules_with_plan(&modules, &envs, &link_plan)
-                .map_err(|e| PipelineError::new(Stage::Lower, None, PipelineErrorKind::Lower(e)))?;
-            timings.add(Stage::Lower, t0.elapsed());
+            let mut lowered_rich = Vec::new();
+            if !modules.is_empty() {
+                let t0 = Instant::now();
+                link_plan = LinkPlan::compute(&modules);
+                lowered_rich =
+                    lower_modules_with_plan(&modules, &envs, &link_plan).map_err(|e| {
+                        PipelineError::new(Stage::Lower, None, PipelineErrorKind::Lower(e))
+                    })?;
+                timings.add(Stage::Lower, t0.elapsed());
+            }
+            let mut rich_iter = lowered_rich.into_iter();
+            if let Some(runtime) = rich_iter.next() {
+                debug_assert_eq!(runtime.0, RUNTIME_NAME);
+                lowered.push(runtime);
+            }
+            let mut decoded_iter = decoded.into_iter();
+            for (_, src) in &set.sources {
+                let next = match src {
+                    Source::Wasm(_) => decoded_iter.next(),
+                    _ => rich_iter.next(),
+                };
+                lowered.push(next.expect("one lowered/decoded module per source"));
+            }
 
             let t0 = Instant::now();
             for (name, wm) in &lowered {
@@ -1680,7 +2172,7 @@ impl Engine {
         Ok(Artifact {
             inner: Arc::new(ArtifactInner {
                 key,
-                config,
+                config: config.clone(),
                 entry,
                 entry_func,
                 hosts: set.hosts.clone(),

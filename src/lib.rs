@@ -33,7 +33,7 @@ pub use call::{HostSig, HostVal, HostValType, TypedFunc, WasmParams, WasmResults
 pub use engine::{
     Artifact, CacheKey, CacheStats, Engine, EngineConfig, Exec, Instance, InstancePool, Invocation,
     Job, ModuleSet, PipelineError, PipelineErrorKind, PoolStats, PooledInstance, Source, Stage,
-    Timings,
+    Timings, WasmBytes,
 };
 pub use pipeline::{Pipeline, Program, Report, Run};
 pub use richwasm;

@@ -131,6 +131,14 @@ impl Pipeline {
         self
     }
 
+    /// Adds a precompiled standard `.wasm` binary under `name` (decoded
+    /// and re-validated, never trusted). Requires [`Exec::Wasm`]; see
+    /// [`ModuleSet::wasm_module`].
+    pub fn wasm_module(mut self, name: impl Into<String>, bytes: impl Into<Vec<u8>>) -> Self {
+        self.set = self.set.wasm_module(name, bytes);
+        self
+    }
+
     /// Selects the execution mode (default: [`Exec::Differential`]).
     pub fn exec(mut self, exec: Exec) -> Self {
         self.config = self.config.exec(exec);
@@ -219,6 +227,7 @@ impl Pipeline {
     pub fn build(self) -> Result<Program, PipelineError> {
         // A throwaway engine: one-shot semantics, so the static pipeline
         // runs in full and the cache is bypassed — by design.
+        let exec = self.config.exec;
         let engine = Engine::with_config(self.config);
         let artifact = engine.compile_uncached(&self.set)?;
         let mut instance = artifact.instantiate()?;
@@ -234,7 +243,7 @@ impl Pipeline {
                 timings,
                 binaries: artifact.wasm_binaries().to_vec(),
             },
-            exec: self.config.exec,
+            exec,
             entry,
             entry_func,
             replay: std::mem::take(&mut instance.replay),

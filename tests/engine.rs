@@ -423,6 +423,11 @@ fn error_sources_chain_every_kind() {
         ),
         (PipelineErrorKind::Wasm(WasmTrap("w".into())), true),
         (
+            PipelineErrorKind::Decode(richwasm_wasm::decode::decode_module(b"junk").unwrap_err()),
+            true,
+        ),
+        (PipelineErrorKind::Artifact("stale".into()), false),
+        (
             PipelineErrorKind::Mismatch {
                 richwasm: "a".into(),
                 wasm: "b".into(),
@@ -452,4 +457,329 @@ fn error_sources_chain_every_kind() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// PR 5: the decoder + persistent artifact cache.
+
+use std::path::PathBuf;
+
+use richwasm_bench::workloads::{arith_chain, churn, ml_tower};
+use richwasm_repro::engine::{EngineConfig, Exec};
+use richwasm_wasm::ast as w;
+use richwasm_wasm::binary::encode_module;
+
+/// A fresh, empty scratch directory under the system temp dir.
+fn scratch_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "richwasm_engine_test_{}_{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A standalone Wasm module (no RichWasm pedigree at all): `main`
+/// returns 40 + 2 through a helper call — what an *external* producer
+/// would hand `Engine::load_wasm`.
+fn external_wasm_bytes() -> Vec<u8> {
+    let mut m = w::Module::default();
+    let t = m.intern_type(w::FuncType {
+        params: vec![],
+        results: vec![w::ValType::I32],
+    });
+    m.funcs.push(w::FuncDef {
+        type_idx: t,
+        locals: vec![],
+        body: vec![w::WInstr::I32Const(40)],
+    });
+    m.funcs.push(w::FuncDef {
+        type_idx: t,
+        locals: vec![],
+        body: vec![
+            w::WInstr::Call(0),
+            w::WInstr::I32Const(2),
+            w::WInstr::IBin(w::Width::W32, w::IBinOp::Add),
+        ],
+    });
+    m.exports.push(w::Export {
+        name: "main".into(),
+        kind: w::ExportKind::Func(1),
+    });
+    encode_module(&m)
+}
+
+// The differential-load pin (E1–E5): for every scenario, re-decoding the
+// artifact's `.wasm` bytes through `ModuleSet::wasm_module` and running
+// them Wasm-only must reproduce exactly the results the in-memory
+// differential pipeline agreed on.
+#[test]
+fn differential_load_reproduces_agreed_results() {
+    let scenarios: Vec<(&str, ModuleSet, Vec<Job>)> = vec![
+        (
+            "e1_interop",
+            stash_set(),
+            vec![Job::new("l3", "main", vec![])],
+        ),
+        (
+            "e2_counter",
+            counter_set(),
+            vec![
+                Job::new("app", "setup", vec![Value::i32(5)]),
+                Job::new("app", "bump", vec![Value::Unit]),
+                Job::new("app", "bump", vec![Value::Unit]),
+                Job::new("app", "total", vec![Value::Unit]),
+            ],
+        ),
+        (
+            "e3_arith",
+            ModuleSet::new().richwasm("chain", arith_chain(10)),
+            vec![Job::new("chain", "main", vec![Value::i32(7)])],
+        ),
+        (
+            "e4_compilers",
+            ModuleSet::new().ml("tower", ml_tower(3)),
+            vec![Job::new("tower", "main", vec![])],
+        ),
+        (
+            "e5_lowering",
+            ModuleSet::new()
+                .richwasm("chain", arith_chain(6))
+                .richwasm("churn", churn(5)),
+            vec![
+                Job::new("chain", "main", vec![Value::i32(3)]),
+                Job::new("churn", "main", vec![]),
+            ],
+        ),
+    ];
+
+    for (label, set, jobs) in scenarios {
+        // In-memory differential run: both backends must agree, and the
+        // agreed scalar view is the oracle.
+        let engine = Engine::new();
+        let artifact = engine.compile(&set).unwrap();
+        let mut inst = artifact.instantiate().unwrap();
+        let oracle: Vec<Vec<HostVal>> = jobs
+            .iter()
+            .map(|j| {
+                inst.invoke(&j.module, &j.func, j.args.clone())
+                    .unwrap_or_else(|e| panic!("{label}: differential run failed: {e}"))
+                    .results()
+                    .to_vec()
+            })
+            .collect();
+
+        // Re-enter through the decoder: the artifact's bytes, byte for
+        // byte, as a wasm-only module set (same names, same order).
+        let mut reloaded = ModuleSet::new();
+        for (name, bytes) in artifact.wasm_binaries() {
+            reloaded = reloaded.wasm_module(name, bytes.clone());
+        }
+        let wasm_engine = Engine::with_config(EngineConfig::new().exec(Exec::Wasm));
+        let decoded_artifact = wasm_engine
+            .compile(&reloaded)
+            .unwrap_or_else(|e| panic!("{label}: decode-compile failed: {e}"));
+        // Decoded bytes re-encode canonically: byte-identical artifact.
+        assert_eq!(
+            decoded_artifact.wasm_binaries(),
+            artifact.wasm_binaries(),
+            "{label}: re-encoded bytes diverge"
+        );
+        let mut winst = decoded_artifact.instantiate().unwrap();
+        for (j, expect) in jobs.iter().zip(&oracle) {
+            let got = winst
+                .invoke(&j.module, &j.func, j.args.clone())
+                .unwrap_or_else(|e| panic!("{label}: wasm-only run failed: {e}"));
+            assert_eq!(
+                got.results(),
+                &expect[..],
+                "{label}: {}/{} disagrees after decode",
+                j.module,
+                j.func
+            );
+        }
+    }
+}
+
+#[test]
+fn load_wasm_runs_external_modules_and_rejects_differential() {
+    let bytes = external_wasm_bytes();
+
+    let wasm_engine = Engine::with_config(EngineConfig::new().exec(Exec::Wasm));
+    let artifact = wasm_engine.load_wasm(bytes.clone()).unwrap();
+    let mut inst = artifact.instantiate().unwrap();
+    assert_eq!(inst.invoke_entry().unwrap().i32(), Some(42));
+    assert!(inst.timings().no_static_stages());
+
+    // Differential (default) and Interp modes must reject cleanly at the
+    // decode stage — no trap, no half-configured instance.
+    for config in [EngineConfig::new(), EngineConfig::new().interp_only()] {
+        let engine = Engine::with_config(config);
+        let err = engine.load_wasm(bytes.clone()).unwrap_err();
+        assert_eq!(err.stage, Stage::Decode);
+        assert!(
+            matches!(err.kind, PipelineErrorKind::Unsupported(_)),
+            "{err}"
+        );
+    }
+
+    // Corrupt bytes fail with a structured decode error naming the stage.
+    let mut bad = bytes;
+    let len = bad.len();
+    bad.truncate(len - 3);
+    let err = wasm_engine.load_wasm(bad).unwrap_err();
+    assert_eq!(err.stage, Stage::Decode);
+    assert!(matches!(err.kind, PipelineErrorKind::Decode(_)), "{err}");
+}
+
+#[test]
+fn persistent_cache_survives_engine_restart() {
+    let dir = scratch_dir("disk_hit");
+    let config = || EngineConfig::new().exec(Exec::Wasm).cache_dir(&dir);
+
+    // Engine A: cold compile, written to disk.
+    let a = Engine::with_config(config());
+    let cold = a.compile(&stash_set()).unwrap();
+    let mut cold_inst = cold.instantiate().unwrap();
+    let cold_result = cold_inst.invoke_entry().unwrap().results().to_vec();
+    assert_eq!(a.cache_stats().misses, 1);
+    assert_eq!(a.cache_stats().disk_hits, 0);
+
+    // Engine B — a "process restart": same directory, fresh in-memory
+    // cache. The compile is a disk hit: byte-identical artifact, same
+    // key, and *no static stage ran* (the acceptance invariant).
+    let b = Engine::with_config(config());
+    let warm = b.compile(&stash_set()).unwrap();
+    let stats = b.cache_stats();
+    assert_eq!(stats.disk_hits, 1, "{stats:?}");
+    assert_eq!(stats.misses, 0, "{stats:?}");
+    assert_eq!(stats.disk_misses, 0, "{stats:?}");
+    assert_eq!(warm.key(), cold.key());
+    assert_eq!(warm.wasm_binaries(), cold.wasm_binaries());
+    assert!(
+        warm.timings().no_static_stages(),
+        "disk hit re-ran a static stage: {}",
+        warm.timings()
+    );
+    assert_eq!(warm.entry(), cold.entry());
+
+    // And it actually runs, agreeing with the cold artifact.
+    let mut warm_inst = warm.instantiate().unwrap();
+    assert_eq!(
+        warm_inst.invoke_entry().unwrap().results(),
+        &cold_result[..]
+    );
+    assert!(warm_inst.timings().no_static_stages());
+
+    // A third engine hits the in-memory cache of B? No — fresh engine,
+    // disk again; its *second* compile is the memory hit.
+    let c = Engine::with_config(config());
+    c.compile(&stash_set()).unwrap();
+    c.compile(&stash_set()).unwrap();
+    let stats = c.cache_stats();
+    assert_eq!((stats.disk_hits, stats.hits, stats.misses), (1, 1, 0));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_cache_entries_fall_back_to_cold_compile() {
+    let dir = scratch_dir("corrupt");
+    let config = || EngineConfig::new().exec(Exec::Wasm).cache_dir(&dir);
+
+    let a = Engine::with_config(config());
+    let cold = a.compile(&stash_set()).unwrap();
+    let entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(entries.len(), 1, "one hash-keyed cache file");
+
+    // Flip bytes in the middle of the stored artifact: the checksum (or
+    // the module re-validation) must reject it, the compile must fall
+    // back to cold — recorded as both a disk miss and a compile miss —
+    // and the entry must be rewritten intact.
+    let path = &entries[0];
+    let mut bytes = std::fs::read(path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    bytes[mid + 1] ^= 0xff;
+    std::fs::write(path, &bytes).unwrap();
+
+    let b = Engine::with_config(config());
+    let refreshed = b.compile(&stash_set()).unwrap();
+    let stats = b.cache_stats();
+    assert_eq!(stats.disk_misses, 1, "{stats:?}");
+    assert_eq!(stats.misses, 1, "{stats:?}");
+    assert_eq!(stats.disk_hits, 0, "{stats:?}");
+    assert_eq!(refreshed.wasm_binaries(), cold.wasm_binaries());
+
+    // The rewrite healed the entry: the next fresh engine disk-hits.
+    let c = Engine::with_config(config());
+    c.compile(&stash_set()).unwrap();
+    assert_eq!(c.cache_stats().disk_hits, 1);
+
+    // Total garbage (wrong magic) is also just a recorded miss.
+    std::fs::write(path, b"definitely not an artifact").unwrap();
+    let d = Engine::with_config(config());
+    d.compile(&stash_set()).unwrap();
+    assert_eq!(d.cache_stats().disk_misses, 1);
+    assert_eq!(d.cache_stats().misses, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn artifact_serialize_round_trips_and_rejects_tampering() {
+    let engine = Engine::with_config(EngineConfig::new().exec(Exec::Wasm));
+    let artifact = engine.compile(&counter_set()).unwrap();
+    let bytes = artifact
+        .serialize()
+        .expect("Exec::Wasm artifact serializes");
+
+    let loaded = richwasm_repro::Artifact::deserialize(&bytes).unwrap();
+    assert_eq!(loaded.key(), artifact.key());
+    assert_eq!(loaded.entry(), artifact.entry());
+    assert_eq!(loaded.entry_func(), artifact.entry_func());
+    assert_eq!(loaded.wasm_binaries(), artifact.wasm_binaries());
+    assert!(loaded.timings().no_static_stages());
+
+    // The loaded artifact serves real traffic.
+    let mut inst = loaded.instantiate().unwrap();
+    inst.invoke("app", "setup", vec![Value::i32(4)]).unwrap();
+    inst.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    assert_eq!(
+        inst.invoke("app", "total", vec![Value::Unit])
+            .unwrap()
+            .i32(),
+        Some(4)
+    );
+
+    // Any single-byte corruption is caught (checksum, or strict decode
+    // of the embedded modules for a byte the checksum covers... the
+    // checksum covers everything, so: always caught).
+    for idx in [0, 7, bytes.len() / 2, bytes.len() - 1] {
+        let mut bad = bytes.clone();
+        bad[idx] ^= 0x01;
+        assert!(
+            richwasm_repro::Artifact::deserialize(&bad).is_err(),
+            "corruption at byte {idx} accepted"
+        );
+    }
+    assert!(richwasm_repro::Artifact::deserialize(&bytes[..20]).is_err());
+
+    // Non-persistable artifacts say so instead of lying on disk:
+    // differential artifacts need sources, host closures live in memory.
+    let differential = Engine::new().compile(&counter_set()).unwrap();
+    assert!(differential.serialize().is_none());
+    let hosted = Engine::with_config(EngineConfig::new().exec(Exec::Wasm))
+        .compile(&ModuleSet::new().richwasm("m", ticker_module()).host_fn(
+            "host",
+            "tick",
+            HostSig::new([HostValType::I32], [HostValType::I32]),
+            |_| Ok(vec![HostVal::I32(1)]),
+        ))
+        .unwrap();
+    assert!(hosted.serialize().is_none());
 }
