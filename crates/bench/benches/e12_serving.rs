@@ -1,0 +1,173 @@
+//! **E12** — open-loop serving through [`EngineServer`]: latency under
+//! sustained arrival, correctness under concurrency, shedding under
+//! deliberate overload.
+//!
+//! Unlike E9's closed-loop batches (arrival stops while the system is
+//! busy), this bench submits on a clock regardless of completion — the
+//! serving-traffic shape — and gates on the *tail*:
+//!
+//! * **p99 latency** — jobs arrive at ~½ of the measured single-stream
+//!   capacity for the machine the bench is running on (self-calibrated,
+//!   so the gate is hardware-independent); end-to-end p99 must stay
+//!   within a fixed multiple of the measured service time;
+//! * **zero result corruption** — every completed job's agreed result
+//!   equals the sequential oracle;
+//! * **overload shedding** — a burst far beyond a tenant's bounded
+//!   queue must shed (≥ 1 `Backpressure`) instead of queueing without
+//!   bound, and every *accepted* job still resolves across `drain`.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use richwasm_bench::workloads::churn;
+use richwasm_repro::engine::{Engine, Job, ModuleSet};
+use richwasm_repro::server::{EngineServer, ServerConfig, SubmitError, TenantConfig};
+
+/// Alloc/update/free round trips per job — sized so one job's service
+/// time dwarfs scheduling overhead without making the bench crawl.
+const CHURN: u32 = 300;
+/// Paced (open-loop) jobs.
+const PACED_JOBS: usize = 100;
+/// Burst (overload) jobs, thrown at a depth-[`BURST_DEPTH`] queue.
+const BURST_JOBS: usize = 100;
+const BURST_DEPTH: usize = 4;
+const WORKERS: usize = 2;
+/// The p99 gate: end-to-end p99 at ~½ capacity must stay within this
+/// multiple of the uncontended service time (queueing at that
+/// utilization adds small multiples; 25× is a regression tripwire, not
+/// a fine-grained SLO).
+const P99_BUDGET: f64 = 25.0;
+
+fn bench(c: &mut Criterion) {
+    let engine = Engine::new();
+    let artifact = engine
+        .compile(&ModuleSet::new().richwasm("m", churn(CHURN)))
+        .unwrap();
+    let job = || Job::new("m", "main", vec![]);
+
+    // Sequential oracle + service-time calibration from one instance.
+    let mut probe = artifact.instantiate().unwrap();
+    let oracle = probe.invoke_entry().unwrap().results().to_vec();
+    let service = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            probe.invoke_entry().unwrap();
+            t0.elapsed()
+        })
+        .min()
+        .unwrap()
+        .max(Duration::from_micros(50));
+    drop(probe);
+
+    // Sampled series for the human-readable report: one submit→wait
+    // round trip through the server machinery.
+    let mut g = c.benchmark_group("e12_serving");
+    g.sample_size(10);
+    {
+        let server = EngineServer::start(
+            &artifact,
+            ServerConfig::new()
+                .workers(WORKERS)
+                .tenant("bench", TenantConfig::new().queue_depth(64)),
+        )
+        .unwrap();
+        g.bench_function("submit_wait_roundtrip", |b| {
+            b.iter(|| server.submit("bench", job()).unwrap().wait())
+        });
+        server.drain();
+    }
+    g.finish();
+
+    // ── Open-loop phase: paced arrival at ~½ single-stream capacity ──
+    // (a single stream completes one job per `service`; arriving every
+    // 2×`service` is half that, leaving headroom on any core count).
+    let interarrival = (2 * service).max(Duration::from_millis(1));
+    let server = EngineServer::start(
+        &artifact,
+        ServerConfig::new()
+            .workers(WORKERS)
+            .tenant("open", TenantConfig::new().queue_depth(PACED_JOBS))
+            .tenant("burst", TenantConfig::new().queue_depth(BURST_DEPTH)),
+    )
+    .unwrap();
+
+    let open_start = Instant::now();
+    let mut tickets = Vec::with_capacity(PACED_JOBS);
+    for i in 0..PACED_JOBS {
+        let due = open_start + interarrival * i as u32;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        // The queue is sized for the whole run, so nothing sheds here.
+        tickets.push(server.submit("open", job()).expect("paced job admitted"));
+    }
+    let outcomes: Vec<_> = tickets.iter().map(|t| t.wait()).collect();
+
+    let corrupted = outcomes
+        .iter()
+        .filter(|o| {
+            o.result
+                .as_ref()
+                .map(|inv| inv.results() != oracle)
+                .unwrap_or(true)
+        })
+        .count();
+    let mut totals: Vec<Duration> = outcomes.iter().map(|o| o.timing.total()).collect();
+    totals.sort_unstable();
+    let p50 = totals[totals.len() / 2];
+    let p99 = totals[(totals.len() * 99).div_ceil(100) - 1];
+    let threshold = service.mul_f64(P99_BUDGET);
+
+    // ── Overload phase: a burst far beyond the depth-4 queue ──
+    let mut burst_accepted = Vec::new();
+    let mut burst_shed = 0usize;
+    for _ in 0..BURST_JOBS {
+        match server.submit("burst", job()) {
+            Ok(t) => burst_accepted.push(t),
+            Err(SubmitError::Backpressure) => burst_shed += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    server.drain();
+    let dropped = burst_accepted.iter().filter(|t| !t.is_done()).count()
+        + tickets.iter().filter(|t| !t.is_done()).count();
+
+    let stats = server.stats();
+    println!(
+        "e12_serving (open loop: {PACED_JOBS} jobs, every {interarrival:.2?}, {WORKERS} workers):"
+    );
+    println!("  service time (uncontended) {service:>12.2?}");
+    println!("  end-to-end p50             {p50:>12.2?}");
+    println!("  end-to-end p99             {p99:>12.2?}  (budget {threshold:.2?})");
+    println!(
+        "  burst: {}/{BURST_JOBS} accepted, {burst_shed} shed (queue depth {BURST_DEPTH})",
+        burst_accepted.len()
+    );
+    println!("  drained: {dropped} accepted tickets dropped (must be 0)");
+    println!("  server: {stats}");
+    println!("  pool:   {}", server.pool_stats());
+
+    // p99 gate, expressed as budget/actual so >= 1.0 passes.
+    criterion::acceptance(
+        "e12_serving/p99_within_budget",
+        threshold.as_nanos() as f64 / p99.as_nanos().max(1) as f64,
+        1.0,
+    );
+    // Zero result corruption: every completed paced job == oracle.
+    criterion::acceptance(
+        "e12_serving/oracle_agreement",
+        if corrupted == 0 { 1.0 } else { 0.0 },
+        1.0,
+    );
+    // Deliberate overload must shed at least one job...
+    criterion::acceptance("e12_serving/overload_shed", burst_shed as f64, 1.0);
+    // ...while drain drops none of the accepted ones.
+    criterion::acceptance(
+        "e12_serving/drain_zero_dropped",
+        if dropped == 0 { 1.0 } else { 0.0 },
+        1.0,
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

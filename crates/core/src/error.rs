@@ -193,6 +193,12 @@ impl RuntimeError {
             reason: reason.into(),
         }
     }
+
+    /// True when this error is fuel (step budget) exhaustion — an
+    /// embedder resource-policy event, not a guest semantic failure.
+    pub fn is_out_of_fuel(&self) -> bool {
+        matches!(self, RuntimeError::OutOfFuel)
+    }
 }
 
 impl fmt::Display for RuntimeError {

@@ -1,0 +1,327 @@
+//! # richwasm-queue
+//!
+//! A **bounded, lock-free ring queue** — the job-submission primitive of
+//! the serving layer (`richwasm_repro::server::EngineServer`). Written
+//! from scratch on `std` atomics only: no external dependencies, no
+//! locks, no spinning-while-full.
+//!
+//! The layout is the classic bounded sequence-number ring (Vyukov): a
+//! header of two cache-line-separated atomic cursors (`tail` for
+//! producers, `head` for consumers) over a power-of-two data ring whose
+//! slots each carry their own sequence number. A slot's sequence tells
+//! both sides, without any shared lock, whether the slot is free to
+//! write (`seq == ticket`) or ready to read (`seq == ticket + 1`):
+//!
+//! ```text
+//!   header            data ring (capacity 2^k)
+//! ┌──────┐  ┌───────┬───────┬───────┬───────┐
+//! │ tail │→ │ seq,T │ seq,T │ seq,T │ seq,T │ … wraps
+//! │ head │→ └───────┴───────┴───────┴───────┘
+//! └──────┘
+//! ```
+//!
+//! Operations are **non-blocking by construction**: [`RingQueue::push`]
+//! on a full ring returns the value back immediately (`Err`) instead of
+//! waiting — the backpressure signal admission control builds on — and
+//! [`RingQueue::pop`] on an empty ring returns `None`. Any number of
+//! producers and consumers may operate concurrently; per-producer FIFO
+//! order is preserved (two pushes by one thread are popped in push
+//! order).
+
+#![warn(missing_docs)]
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Pads the producer and consumer cursors onto their own cache lines so
+/// a producer CAS does not invalidate the line every consumer is
+/// spinning on (false sharing).
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+/// One ring slot: the slot's sequence number plus (possibly
+/// uninitialised) storage for a value.
+///
+/// The sequence protocol, for the slot at ring index `i` claimed by
+/// ticket `t` (where `t % capacity == i`):
+///
+/// * `seq == t` — empty, writable by the producer holding ticket `t`;
+/// * `seq == t + 1` — full, readable by the consumer holding ticket `t`;
+/// * anything else — the slot belongs to a lap another thread is still
+///   completing; the observer re-reads the cursor and retries.
+struct Slot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// A bounded, lock-free, multi-producer multi-consumer ring queue.
+///
+/// Capacity is fixed at construction (rounded up to a power of two so
+/// index masking replaces division). `push` never blocks and never
+/// spins on a full queue; `pop` never blocks on an empty one.
+pub struct RingQueue<T> {
+    slots: Box<[Slot<T>]>,
+    mask: usize,
+    /// Producer cursor: the next ticket to write.
+    tail: CachePadded<AtomicUsize>,
+    /// Consumer cursor: the next ticket to read.
+    head: CachePadded<AtomicUsize>,
+}
+
+// Safety: values move through the queue by ownership — a slot is written
+// by exactly one producer (the CAS winner for that ticket) and read by
+// exactly one consumer, with the slot's Release/Acquire sequence pair
+// ordering the value transfer. `T: Send` is required because values
+// cross threads; no `&T` is ever shared, so `Sync` needs nothing more.
+unsafe impl<T: Send> Send for RingQueue<T> {}
+unsafe impl<T: Send> Sync for RingQueue<T> {}
+
+impl<T> RingQueue<T> {
+    /// Creates a queue holding at least `capacity` elements (rounded up
+    /// to the next power of two; a requested capacity of 0 rounds to 1).
+    /// [`RingQueue::capacity`] reports the actual size.
+    pub fn with_capacity(capacity: usize) -> RingQueue<T> {
+        let cap = capacity.max(1).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot {
+                seq: AtomicUsize::new(i),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        RingQueue {
+            slots,
+            mask: cap - 1,
+            tail: CachePadded(AtomicUsize::new(0)),
+            head: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Number of elements the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enqueues `value`, or hands it back when the ring is full.
+    ///
+    /// Lock-free: a stalled producer can delay only its own slot, never
+    /// the queue as a whole, and a full queue is reported immediately —
+    /// this is the non-blocking edge admission control turns into a
+    /// `Backpressure` rejection.
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let mut tail = self.tail.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[tail & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            // Distance from the state this ticket needs (`seq == tail`).
+            // Wrapping arithmetic keeps the comparison valid across
+            // cursor wraparound.
+            let dist = seq.wrapping_sub(tail) as isize;
+            if dist == 0 {
+                // Slot is empty and current — claim the ticket.
+                match self.tail.0.compare_exchange_weak(
+                    tail,
+                    tail.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: winning the CAS gives this thread sole
+                        // write access to the slot until the sequence
+                        // store below publishes it.
+                        unsafe { (*slot.value.get()).write(value) };
+                        slot.seq.store(tail.wrapping_add(1), Ordering::Release);
+                        return Ok(());
+                    }
+                    Err(current) => tail = current,
+                }
+            } else if dist < 0 {
+                // The slot still holds the previous lap's value: the
+                // ring is full (head is a full lap behind).
+                return Err(value);
+            } else {
+                // Another producer claimed this ticket; catch up.
+                tail = self.tail.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Dequeues the oldest element, or `None` when the ring is empty.
+    pub fn pop(&self) -> Option<T> {
+        let mut head = self.head.0.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[head & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            // A readable slot has `seq == head + 1` (the producer's
+            // publishing store).
+            let dist = seq.wrapping_sub(head.wrapping_add(1)) as isize;
+            if dist == 0 {
+                match self.head.0.compare_exchange_weak(
+                    head,
+                    head.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: winning the CAS gives this thread sole
+                        // read access; the value was fully written before
+                        // the producer's Release store we Acquired above.
+                        let value = unsafe { (*slot.value.get()).assume_init_read() };
+                        // Mark the slot writable for the *next lap*'s
+                        // producer (ticket head + capacity).
+                        slot.seq
+                            .store(head.wrapping_add(self.mask + 1), Ordering::Release);
+                        return Some(value);
+                    }
+                    Err(current) => head = current,
+                }
+            } else if dist < 0 {
+                // The producer for this ticket has not published yet:
+                // the ring is empty (from this consumer's view).
+                return None;
+            } else {
+                head = self.head.0.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Number of enqueued elements. Exact when the queue is quiescent;
+    /// under concurrent pushes/pops it is a point-in-time estimate
+    /// (clamped to `0..=capacity`).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.0.load(Ordering::Acquire);
+        let head = self.head.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head).min(self.capacity())
+    }
+
+    /// True when no element is enqueued (same caveat as
+    /// [`RingQueue::len`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for RingQueue<T> {
+    fn drop(&mut self) {
+        // Undelivered values still own their contents.
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> fmt::Debug for RingQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RingQueue {{ len: {}, capacity: {} }}",
+            self.len(),
+            self.capacity()
+        )
+    }
+}
+
+// The queue's whole reason to exist is crossing threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RingQueue<u64>>();
+    assert_send_sync::<RingQueue<Vec<String>>>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_within_a_single_producer() {
+        let q = RingQueue::with_capacity(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_and_empty_boundaries() {
+        let q = RingQueue::with_capacity(4);
+        assert_eq!(q.capacity(), 4);
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None, "empty pop is None, not a block");
+
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.push(99), Err(99), "full push returns the value back");
+
+        assert_eq!(q.pop(), Some(0));
+        q.push(4).unwrap();
+        assert_eq!(q.push(99), Err(99), "full again after one pop + push");
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_a_power_of_two() {
+        assert_eq!(RingQueue::<u8>::with_capacity(0).capacity(), 1);
+        assert_eq!(RingQueue::<u8>::with_capacity(1).capacity(), 1);
+        assert_eq!(RingQueue::<u8>::with_capacity(3).capacity(), 4);
+        assert_eq!(RingQueue::<u8>::with_capacity(100).capacity(), 128);
+    }
+
+    #[test]
+    fn wraparound_many_laps() {
+        // A small ring driven far past its capacity exercises the
+        // sequence-number lap protocol on every slot.
+        let q = RingQueue::with_capacity(2);
+        for lap in 0u64..1000 {
+            q.push(2 * lap).unwrap();
+            q.push(2 * lap + 1).unwrap();
+            assert_eq!(q.push(u64::MAX), Err(u64::MAX));
+            assert_eq!(q.pop(), Some(2 * lap));
+            assert_eq!(q.pop(), Some(2 * lap + 1));
+            assert_eq!(q.pop(), None);
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_preserves_order_across_wraps() {
+        let q = RingQueue::with_capacity(4);
+        let mut next_in = 0u32;
+        let mut next_out = 0u32;
+        // Irregular interleaving: fill by 3, drain by 2, repeatedly.
+        for _ in 0..100 {
+            for _ in 0..3 {
+                if q.push(next_in).is_ok() {
+                    next_in += 1;
+                }
+            }
+            for _ in 0..2 {
+                if let Some(v) = q.pop() {
+                    assert_eq!(v, next_out);
+                    next_out += 1;
+                }
+            }
+        }
+        while let Some(v) = q.pop() {
+            assert_eq!(v, next_out);
+            next_out += 1;
+        }
+        assert_eq!(next_in, next_out, "every pushed value was popped once");
+    }
+
+    #[test]
+    fn drop_releases_undelivered_values() {
+        // Arc counts observe the drop of the three undelivered clones.
+        let token = Arc::new(());
+        {
+            let q = RingQueue::with_capacity(4);
+            for _ in 0..3 {
+                q.push(Arc::clone(&token)).unwrap();
+            }
+            assert_eq!(Arc::strong_count(&token), 4);
+        }
+        assert_eq!(Arc::strong_count(&token), 1, "queue drop freed its slots");
+    }
+}

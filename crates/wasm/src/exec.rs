@@ -65,6 +65,26 @@ impl fmt::Display for Val {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WasmTrap(pub String);
 
+/// Canonical trap message for an exhausted instruction budget. Kept as
+/// a well-known string (rather than an enum variant) so the ~two dozen
+/// existing `WasmTrap(String)` construction sites stay untouched while
+/// embedders can still classify the trap.
+const FUEL_EXHAUSTED_MSG: &str = "instruction budget exhausted";
+
+impl WasmTrap {
+    /// The trap raised when the per-invocation instruction budget
+    /// ([`WasmLinker::max_steps`]) runs out.
+    pub fn fuel_exhausted() -> WasmTrap {
+        WasmTrap(FUEL_EXHAUSTED_MSG.to_string())
+    }
+
+    /// True when this trap is a fuel (instruction budget) exhaustion —
+    /// an embedder resource-policy event, not a guest semantic failure.
+    pub fn is_fuel_exhausted(&self) -> bool {
+        self.0 == FUEL_EXHAUSTED_MSG
+    }
+}
+
 impl fmt::Display for WasmTrap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "wasm trap: {}", self.0)
@@ -500,7 +520,7 @@ impl WasmLinker {
                     // A host call costs one step of the instruction budget.
                     self.steps += 1;
                     if self.steps > self.max_steps {
-                        return trap("instruction budget exhausted");
+                        return Err(WasmTrap::fuel_exhausted());
                     }
                     let results = h(&args)?;
                     // The host lives outside the validated world: re-check
@@ -576,7 +596,7 @@ impl Activation {
     fn exec(&mut self, linker: &mut WasmLinker, e: &WInstr) -> Result<Flow, WasmTrap> {
         linker.steps += 1;
         if linker.steps > linker.max_steps {
-            return trap("instruction budget exhausted");
+            return Err(WasmTrap::fuel_exhausted());
         }
         use WInstr::*;
         match e {

@@ -1,0 +1,123 @@
+//! Open-loop serving: an [`EngineServer`] with three tenants — a
+//! well-behaved one, a *hot* one that floods its bounded queue until
+//! submissions shed, and a *greedy* one whose jobs blow their fuel
+//! budget and are preempted without poisoning the pool.
+//!
+//! ```sh
+//! cargo run --example serving
+//! ```
+
+use richwasm_bench::workloads::churn;
+use richwasm_repro::engine::{Engine, Job, ModuleSet};
+use richwasm_repro::server::{EngineServer, JobError, ServerConfig, SubmitError, TenantConfig};
+
+fn main() {
+    // One artifact, two exports: a quick job (200 allocate/update/free
+    // iterations) and a hog that cannot finish under the fuel budget.
+    let engine = Engine::new();
+    let artifact = engine
+        .compile(
+            &ModuleSet::new()
+                .richwasm("quick", churn(200))
+                .richwasm("hog", churn(1_000_000)),
+        )
+        .expect("workloads are well-typed");
+
+    let server = EngineServer::start(
+        &artifact,
+        ServerConfig::new()
+            .workers(2)
+            .job_fuel(100_000) // plenty for `quick`, nowhere near `hog`
+            .tenant("steady", TenantConfig::new().queue_depth(64))
+            .tenant("hot", TenantConfig::new().queue_depth(4))
+            .tenant("greedy", TenantConfig::new().queue_depth(8)),
+    )
+    .expect("pool instantiation succeeds");
+
+    // Deny-by-default admission: an unregistered tenant gets nowhere.
+    assert_eq!(
+        server
+            .submit("mallory", Job::new("quick", "main", vec![]))
+            .unwrap_err(),
+        SubmitError::UnknownTenant
+    );
+    println!("✓ unknown tenant denied (admission is deny-by-default)");
+
+    // The steady tenant submits a modest stream; everything is admitted.
+    let steady: Vec<_> = (0..32)
+        .map(|_| {
+            server
+                .submit("steady", Job::new("quick", "main", vec![]))
+                .expect("within the steady tenant's queue depth")
+        })
+        .collect();
+
+    // The hot tenant floods far beyond its depth-4 queue: the surplus is
+    // shed with `Backpressure` instead of queueing without bound.
+    let mut hot_accepted = Vec::new();
+    let mut hot_shed = 0u32;
+    for _ in 0..200 {
+        match server.submit("hot", Job::new("quick", "main", vec![])) {
+            Ok(ticket) => hot_accepted.push(ticket),
+            Err(SubmitError::Backpressure) => hot_shed += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert!(
+        hot_shed > 0,
+        "a depth-4 queue must shed under a 200-job flood"
+    );
+    println!(
+        "✓ hot tenant: {} accepted, {} shed by backpressure",
+        hot_accepted.len(),
+        hot_shed
+    );
+
+    // The greedy tenant's jobs exhaust their fuel budget and fail —
+    // individually, without taking a worker or an instance down.
+    let greedy: Vec<_> = (0..4)
+        .map(|_| {
+            server
+                .submit("greedy", Job::new("hog", "main", vec![]))
+                .expect("admission is about queueing, not job size")
+        })
+        .collect();
+    for ticket in &greedy {
+        assert_eq!(
+            ticket.wait().result.expect_err("the hog cannot finish"),
+            JobError::FuelExhausted
+        );
+    }
+    println!("✓ greedy tenant: {} jobs preempted by fuel", greedy.len());
+
+    // Every *accepted* job resolves, and the well-behaved results agree
+    // with the sequential oracle.
+    let oracle = artifact
+        .instantiate()
+        .unwrap()
+        .invoke("quick", "main", vec![])
+        .unwrap()
+        .i32();
+    for ticket in steady.iter().chain(&hot_accepted) {
+        let outcome = ticket.wait();
+        assert_eq!(outcome.result.expect("quick jobs succeed").i32(), oracle);
+    }
+    println!(
+        "✓ all {} accepted quick jobs agree with the sequential oracle",
+        steady.len() + hot_accepted.len()
+    );
+
+    // Graceful shutdown, then one coherent stats block.
+    server.drain();
+    assert_eq!(
+        server
+            .submit("steady", Job::new("quick", "main", vec![]))
+            .unwrap_err(),
+        SubmitError::Draining
+    );
+    let stats = server.stats();
+    assert!(stats.shed >= u64::from(hot_shed));
+    println!("✓ drained: server rejects new work");
+    println!("  server: {stats}");
+    println!("  pool:   {}", server.pool_stats());
+}

@@ -259,6 +259,20 @@ impl PipelineError {
             PipelineErrorKind::Ml(_) | PipelineErrorKind::L3(_) | PipelineErrorKind::Type(_)
         )
     }
+
+    /// True when the failure is fuel exhaustion on either backend — the
+    /// job ran out of its step/instruction budget. An embedder resource
+    /// policy event (the job was preempted), not a guest semantic fault:
+    /// the serving layer maps it to a retryable per-job failure, and
+    /// differential mode treats it as an agreed outcome rather than a
+    /// backend mismatch (see [`EngineConfig::fuel`]).
+    pub fn is_fuel_exhausted(&self) -> bool {
+        match &self.kind {
+            PipelineErrorKind::Runtime(e) => e.is_out_of_fuel(),
+            PipelineErrorKind::Wasm(t) => t.is_fuel_exhausted(),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for PipelineError {
@@ -1485,6 +1499,40 @@ pub struct PoolStats {
     /// replaced (never observed in practice — both require an artifact
     /// that already instantiated once to fail to do so again).
     pub lost: u64,
+    /// Checkouts that found the pool empty and had to wait (including
+    /// [`InstancePool::checkout_timeout`] calls that timed out).
+    pub blocked_waits: u64,
+    /// Total time those checkouts spent waiting, in nanoseconds
+    /// (saturating; ~584 years of cumulative waiting before it matters).
+    pub blocked_nanos: u64,
+}
+
+impl PoolStats {
+    /// Total time checkouts spent blocked waiting for an instance —
+    /// the pool-contention signal: a growing value means demand
+    /// outstrips [`InstancePool::capacity`].
+    pub fn blocked_wait_time(&self) -> Duration {
+        Duration::from_nanos(self.blocked_nanos)
+    }
+}
+
+impl fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} checkouts, {} recycled, {} lost",
+            self.checkouts, self.recycled, self.lost
+        )?;
+        if self.blocked_waits > 0 {
+            write!(
+                f,
+                ", {} blocked for {:.1}ms total",
+                self.blocked_waits,
+                self.blocked_wait_time().as_secs_f64() * 1e3
+            )?;
+        }
+        Ok(())
+    }
 }
 
 #[derive(Debug)]
@@ -1545,15 +1593,73 @@ impl InstancePool {
     /// [`Instance::reset`] — so the next checkout gets a fresh program).
     pub fn checkout(&self) -> PooledInstance<'_> {
         let mut state = self.state.lock().expect("instance pool poisoned");
+        let mut waited: Option<Instant> = None;
         loop {
             if let Some(inst) = state.idle.pop() {
                 state.stats.checkouts += 1;
+                if let Some(since) = waited {
+                    state.stats.blocked_waits += 1;
+                    state.stats.blocked_nanos = state
+                        .stats
+                        .blocked_nanos
+                        .saturating_add(since.elapsed().as_nanos() as u64);
+                }
                 return PooledInstance {
                     pool: self,
                     inst: Some(inst),
                 };
             }
+            waited.get_or_insert_with(Instant::now);
             state = self.available.wait(state).expect("instance pool poisoned");
+        }
+    }
+
+    /// [`InstancePool::checkout`] with a bounded wait: `None` when no
+    /// instance became available within `timeout`. The wait (successful
+    /// or not) is recorded in [`PoolStats::blocked_waits`] /
+    /// [`PoolStats::blocked_nanos`], so contention is observable either
+    /// way.
+    pub fn checkout_timeout(&self, timeout: Duration) -> Option<PooledInstance<'_>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("instance pool poisoned");
+        let mut waited: Option<Instant> = None;
+        loop {
+            if let Some(inst) = state.idle.pop() {
+                state.stats.checkouts += 1;
+                if let Some(since) = waited {
+                    state.stats.blocked_waits += 1;
+                    state.stats.blocked_nanos = state
+                        .stats
+                        .blocked_nanos
+                        .saturating_add(since.elapsed().as_nanos() as u64);
+                }
+                return Some(PooledInstance {
+                    pool: self,
+                    inst: Some(inst),
+                });
+            }
+            let since = *waited.get_or_insert_with(Instant::now);
+            let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                state.stats.blocked_waits += 1;
+                state.stats.blocked_nanos = state
+                    .stats
+                    .blocked_nanos
+                    .saturating_add(since.elapsed().as_nanos() as u64);
+                return None;
+            };
+            let (next, timed_out) = self
+                .available
+                .wait_timeout(state, remaining)
+                .expect("instance pool poisoned");
+            state = next;
+            if timed_out.timed_out() && state.idle.is_empty() {
+                state.stats.blocked_waits += 1;
+                state.stats.blocked_nanos = state
+                    .stats
+                    .blocked_nanos
+                    .saturating_add(since.elapsed().as_nanos() as u64);
+                return None;
+            }
         }
     }
 
@@ -2336,9 +2442,17 @@ fn compare(
 /// pre-rendered by the caller; the `(Ok, Ok)` value comparison differs
 /// per path and stays with the caller):
 ///
+/// * fuel exhaustion on **either** backend — an agreed preemption, not a
+///   mismatch. The two backends meter fuel in different native units
+///   (RichWasm reduction steps vs executed Wasm instructions), so under
+///   a finite budget one side can run dry while the other completes;
+///   fuel is embedder resource policy, not program semantics, and must
+///   never read as a semantic disagreement. The fuel error is propagated
+///   (RichWasm side preferred when both ran dry) and classified by
+///   [`PipelineError::is_fuel_exhausted`];
 /// * both failed with a genuine interpreter trap on the RichWasm side —
 ///   an agreed dynamic fault, propagated as-is;
-/// * both failed otherwise (stuck, fuel, …) — still a disagreement worth
+/// * both failed otherwise (stuck, …) — still a disagreement worth
 ///   surfacing with both sides attached;
 /// * one-sided failure — the disagreement differential mode exists for.
 pub(crate) fn reconcile_failures(
@@ -2347,6 +2461,16 @@ pub(crate) fn reconcile_failures(
     wasm: Result<String, PipelineError>,
 ) -> PipelineError {
     debug_assert!(interp.is_err() || wasm.is_err());
+    if let Err(ie) = &interp {
+        if ie.is_fuel_exhausted() {
+            return interp.unwrap_err();
+        }
+    }
+    if let Err(we) = &wasm {
+        if we.is_fuel_exhausted() {
+            return wasm.unwrap_err();
+        }
+    }
     if let (Err(ie), Err(_)) = (&interp, &wasm) {
         if matches!(
             ie.kind,

@@ -24,10 +24,16 @@
 //!   both backends so differential checking spans host calls.
 //! * [`pipeline`] — the original one-shot [`Pipeline`] builder, now a
 //!   thin facade over the engine (one full compile per `build`).
+//! * [`server`] — open-loop serving on top of the engine: an
+//!   [`EngineServer`] accepts jobs through bounded per-tenant queues
+//!   (non-blocking submission, backpressure instead of unbounded
+//!   queueing), runs them on a worker pool under a per-job fuel budget,
+//!   and reports throughput/shed/tail-latency via [`ServerStats`].
 
 pub mod call;
 pub mod engine;
 pub mod pipeline;
+pub mod server;
 
 pub use call::{HostSig, HostVal, HostValType, TypedFunc, WasmParams, WasmResults, WasmTy};
 pub use engine::{
@@ -41,3 +47,7 @@ pub use richwasm_l3 as l3;
 pub use richwasm_lower as lower;
 pub use richwasm_ml as ml;
 pub use richwasm_wasm as wasm;
+pub use server::{
+    EngineServer, JobError, JobOutcome, JobTicket, JobTiming, ServerConfig, ServerStats,
+    SubmitError, TenantConfig,
+};

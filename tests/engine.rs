@@ -783,3 +783,50 @@ fn artifact_serialize_round_trips_and_rejects_tampering() {
         .unwrap();
     assert!(hosted.serialize().is_none());
 }
+
+// PR 6: pool contention must be observable. `checkout_timeout` bounds
+// the wait and both the bounded and unbounded paths account their
+// blocked time in `PoolStats`.
+#[test]
+fn pool_checkout_timeout_bounds_and_accounts_the_wait() {
+    use std::time::{Duration, Instant};
+
+    let artifact = Engine::new().compile(&stash_set()).unwrap();
+    let pool = artifact.pool(1).unwrap();
+
+    // Uncontended: immediate success, no blocked wait recorded.
+    let held = pool.checkout_timeout(Duration::from_secs(5)).unwrap();
+    assert_eq!(pool.stats().blocked_waits, 0);
+
+    // Contended: the only instance is out, so the bounded wait elapses
+    // and returns None — and the wait is visible in the stats.
+    let start = Instant::now();
+    assert!(pool.checkout_timeout(Duration::from_millis(30)).is_none());
+    let waited = start.elapsed();
+    assert!(
+        waited >= Duration::from_millis(30),
+        "returned early: {waited:?}"
+    );
+    let stats = pool.stats();
+    assert_eq!(stats.blocked_waits, 1);
+    assert!(
+        stats.blocked_wait_time() >= Duration::from_millis(25),
+        "blocked time unaccounted: {stats}"
+    );
+
+    // Checkin wakes a bounded waiter just like an unbounded one.
+    let pool2 = &pool;
+    std::thread::scope(|scope| {
+        let waiter = scope.spawn(move || {
+            pool2
+                .checkout_timeout(Duration::from_secs(30))
+                .map(|mut inst| inst.invoke("l3", "main", vec![]).is_ok())
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        drop(held);
+        assert_eq!(waiter.join().unwrap(), Some(true));
+    });
+    let stats = pool.stats();
+    assert_eq!(stats.checkouts, 2, "timed-out attempts are not checkouts");
+    assert_eq!(stats.blocked_waits, 2, "{stats}");
+}

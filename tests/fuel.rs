@@ -1,0 +1,168 @@
+//! Fuel parity across the two backends (DESIGN.md §10).
+//!
+//! Fuel is embedder resource policy, metered in each backend's native
+//! unit — RichWasm *reduction steps* vs executed *Wasm instructions* —
+//! so the two backends cannot trap at the same program point under the
+//! same numeric budget. The contract pinned here is the one the serving
+//! layer relies on instead:
+//!
+//! * a budget too small for the work exhausts on **every** execution
+//!   mode, and the failure classifies as fuel on every mode
+//!   ([`PipelineError::is_fuel_exhausted`]);
+//! * in differential mode fuel exhaustion (even one-sided) is an
+//!   **agreed** outcome, never a `Mismatch`;
+//! * a generous budget runs to completion on every mode with the same
+//!   result;
+//! * each backend's metering is exact to within one administrative
+//!   step (monotone: one budget below the minimum fails, the minimum
+//!   succeeds);
+//! * fuel exhaustion does not poison an instance: reset, and the next
+//!   invocation under a sufficient budget succeeds.
+
+use richwasm_bench::workloads::churn;
+use richwasm_repro::engine::{
+    Engine, EngineConfig, Exec, ModuleSet, PipelineError, PipelineErrorKind,
+};
+
+fn churn_set(n: u32) -> ModuleSet {
+    ModuleSet::new().richwasm("m", churn(n))
+}
+
+fn run_with_fuel(exec: Exec, fuel: u64, n: u32) -> Result<Option<i32>, PipelineError> {
+    let engine = Engine::with_config(EngineConfig::new().exec(exec).fuel(fuel));
+    let artifact = engine.compile(&churn_set(n)).unwrap();
+    let mut inst = artifact.instantiate().unwrap();
+    inst.invoke_entry().map(|inv| inv.i32())
+}
+
+#[test]
+fn small_budgets_exhaust_on_every_mode() {
+    // 100k allocate/update/free iterations dwarf any of these budgets
+    // in both metering units.
+    for fuel in [50u64, 500, 5_000] {
+        for exec in [Exec::Interp, Exec::Wasm, Exec::Differential] {
+            let err =
+                run_with_fuel(exec, fuel, 100_000).expect_err("a starved run must not complete");
+            assert!(
+                err.is_fuel_exhausted(),
+                "mode {exec:?} at fuel {fuel}: expected fuel exhaustion, got {err}"
+            );
+            assert!(
+                !matches!(err.kind, PipelineErrorKind::Mismatch { .. }),
+                "fuel exhaustion must never read as a backend mismatch (fuel {fuel}): {err}"
+            );
+        }
+    }
+}
+
+#[test]
+fn generous_budget_completes_on_every_mode_with_the_same_result() {
+    for exec in [Exec::Interp, Exec::Wasm, Exec::Differential] {
+        let result = run_with_fuel(exec, 10_000_000, 500)
+            .unwrap_or_else(|e| panic!("mode {exec:?} failed under a generous budget: {e}"));
+        assert_eq!(result, Some(500), "mode {exec:?} result");
+    }
+}
+
+/// Locates each backend's minimal sufficient budget by direct probing
+/// (the backend fuel knobs are public on [`Instance`]) and pins the
+/// boundary: `minimal` succeeds, `minimal - 1` classifies as fuel.
+#[test]
+fn metering_boundary_is_exact_per_backend() {
+    let engine = Engine::new(); // differential, default (ample) fuel
+    let artifact = engine.compile(&churn_set(50)).unwrap();
+    let mut inst = artifact.instantiate().unwrap();
+
+    // Probe the RichWasm side's exact step count from a successful run.
+    let interp_steps = inst
+        .invoke_entry()
+        .expect("unfueled probe run")
+        .richwasm
+        .as_ref()
+        .expect("differential mode ran the interpreter")
+        .steps;
+    assert!(interp_steps > 0);
+
+    // The Wasm side does not report its count; binary-search the minimal
+    // sufficient instruction budget.
+    let mut lo = 1u64; // fails
+    let mut hi = 100_000_000u64; // succeeds
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        inst.reset().unwrap();
+        inst.wasm.as_mut().unwrap().max_steps = mid;
+        if inst.invoke_entry().is_ok() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let wasm_minimal = hi;
+
+    // RichWasm boundary: one step below the recorded count must starve,
+    // and a budget of exactly the recorded count (+1 slack for the
+    // final administrative check) must succeed.
+    inst.reset().unwrap();
+    inst.runtime().config.fuel = interp_steps - 1;
+    let err = inst.invoke_entry().expect_err("one step short must starve");
+    assert!(err.is_fuel_exhausted(), "interp boundary failure: {err}");
+    inst.reset().unwrap();
+    inst.runtime().config.fuel = interp_steps + 1;
+    inst.invoke_entry()
+        .expect("the probed step count plus one must suffice");
+
+    // Wasm boundary, from the binary search.
+    inst.reset().unwrap();
+    inst.wasm.as_mut().unwrap().max_steps = wasm_minimal - 1;
+    let err = inst.invoke_entry().expect_err("below minimal must trap");
+    assert!(err.is_fuel_exhausted(), "wasm boundary failure: {err}");
+    inst.reset().unwrap();
+    inst.wasm.as_mut().unwrap().max_steps = wasm_minimal;
+    inst.invoke_entry()
+        .expect("the minimal budget must suffice");
+
+    // The two backends meter in different units; both boundaries exist
+    // but they need not be equal. Record the relationship the lowering
+    // makes plausible: executing compiled Wasm takes at least as many
+    // instructions as the interpreter takes reduction steps is NOT
+    // guaranteed — only positivity is.
+    assert!(wasm_minimal > 0);
+}
+
+#[test]
+fn one_sided_exhaustion_is_agreed_not_mismatch() {
+    // Starve exactly one backend of a differential instance: the other
+    // completes, and the reconciled outcome must still classify as fuel
+    // (the differential-mode agreement rule for resource policy).
+    let engine = Engine::new();
+    let artifact = engine.compile(&churn_set(50)).unwrap();
+
+    let mut inst = artifact.instantiate().unwrap();
+    inst.runtime().config.fuel = 10; // interpreter starves, Wasm completes
+    let err = inst.invoke_entry().expect_err("starved interp side");
+    assert!(err.is_fuel_exhausted(), "interp-side: {err}");
+    assert!(!matches!(err.kind, PipelineErrorKind::Mismatch { .. }));
+
+    let mut inst = artifact.instantiate().unwrap();
+    inst.wasm.as_mut().unwrap().max_steps = 10; // Wasm starves
+    let err = inst.invoke_entry().expect_err("starved wasm side");
+    assert!(err.is_fuel_exhausted(), "wasm-side: {err}");
+    assert!(!matches!(err.kind, PipelineErrorKind::Mismatch { .. }));
+}
+
+#[test]
+fn exhaustion_does_not_poison_the_instance() {
+    let engine = Engine::with_config(EngineConfig::new().fuel(100));
+    let artifact = engine.compile(&churn_set(2_000)).unwrap();
+    let mut inst = artifact.instantiate().unwrap();
+    let err = inst.invoke_entry().expect_err("starved run");
+    assert!(err.is_fuel_exhausted());
+
+    // Reset rewinds the stores; a sufficient budget then succeeds on the
+    // same instance (the pool's checkin path is exactly this sequence).
+    inst.reset().unwrap();
+    inst.runtime().config.fuel = 100_000_000;
+    inst.wasm.as_mut().unwrap().max_steps = 100_000_000;
+    let result = inst.invoke_entry().expect("recovered after preemption");
+    assert_eq!(result.i32(), Some(2_000));
+}
