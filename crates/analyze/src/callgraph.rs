@@ -1,0 +1,245 @@
+//! Table / call-graph discipline pass.
+//!
+//! Resolves every `call_indirect` to its candidate set (element-segment
+//! entries with a structurally equal type), flags sites that can only
+//! trap, reports functions unreachable from any root (exports, the
+//! start function, table entries), and derives a module-local bound on
+//! call-stack depth for default stack sizing.
+
+use richwasm_wasm::ast::{ExportKind, ImportKind, Module, WInstr};
+
+use crate::{Diagnostic, Pass, Severity, MODULE_SCOPE};
+
+/// Output of the call-graph pass.
+#[derive(Debug, Clone, Default)]
+pub struct CallGraphInfo {
+    /// Module-local bound on call-stack depth: the deepest chain of
+    /// frames attributable to this module's functions, with an imported
+    /// callee counted as one frame. `None` when recursion or an
+    /// imported (shared) table makes it unbounded/unknown.
+    pub max_call_depth: Option<u32>,
+    /// Findings (always `Warn` severity).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// One defined function's outgoing calls.
+struct FuncCalls {
+    /// Direct callees (global indices) with call-site offsets.
+    direct: Vec<(u32, u32)>,
+    /// `call_indirect` sites: (offset, type index).
+    indirect: Vec<(u32, u32)>,
+}
+
+fn scan_seq(body: &[WInstr], off: &mut u32, out: &mut FuncCalls) {
+    for ins in body {
+        let o = *off;
+        *off += 1;
+        match ins {
+            WInstr::Call(f) => out.direct.push((o, *f)),
+            WInstr::CallIndirect(ti) => out.indirect.push((o, *ti)),
+            WInstr::Block(_, b) | WInstr::Loop(_, b) => scan_seq(b, off, out),
+            WInstr::If(_, t, e) => {
+                scan_seq(t, off, out);
+                scan_seq(e, off, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs the call-graph pass over a validated module.
+#[must_use]
+pub fn callgraph(m: &Module) -> CallGraphInfo {
+    let n_imports = m.num_func_imports() as u32;
+    let nf = m.funcs.len();
+    let table_imported = m
+        .imports
+        .iter()
+        .any(|im| matches!(im.kind, ImportKind::Table(_)));
+    let elem_funcs: Vec<u32> = m
+        .elems
+        .iter()
+        .flat_map(|e| e.funcs.iter().copied())
+        .collect();
+    let candidates = |ti: u32| -> Option<Vec<u32>> {
+        if table_imported {
+            return None; // other modules contribute entries we cannot see
+        }
+        let ft = m.types.get(ti as usize)?;
+        Some(
+            elem_funcs
+                .iter()
+                .copied()
+                .filter(|&f| m.func_type(f) == Some(ft))
+                .collect(),
+        )
+    };
+
+    let calls: Vec<FuncCalls> = m
+        .funcs
+        .iter()
+        .map(|f| {
+            let mut fc = FuncCalls {
+                direct: Vec::new(),
+                indirect: Vec::new(),
+            };
+            let mut off = 0u32;
+            scan_seq(&f.body, &mut off, &mut fc);
+            fc
+        })
+        .collect();
+
+    let mut diagnostics = Vec::new();
+    let mut any_unknown_indirect = false;
+    for (fi, fc) in calls.iter().enumerate() {
+        for &(off, ti) in &fc.indirect {
+            match candidates(ti) {
+                Some(cands) if cands.is_empty() => diagnostics.push(Diagnostic {
+                    func: n_imports + fi as u32,
+                    offset: off,
+                    pass: Pass::CallGraph,
+                    severity: Severity::Warn,
+                    message: format!(
+                        "call_indirect (type {ti}) has no type-compatible table entry: \
+                         traps if executed"
+                    ),
+                }),
+                Some(_) => {}
+                None => any_unknown_indirect = true,
+            }
+        }
+    }
+    if any_unknown_indirect {
+        diagnostics.push(Diagnostic {
+            func: MODULE_SCOPE,
+            offset: 0,
+            pass: Pass::CallGraph,
+            severity: Severity::Warn,
+            message: "call_indirect targets resolve through an imported table; \
+                      candidate sets are unknown to per-module analysis"
+                .into(),
+        });
+    }
+
+    // Reachability: roots are exported functions, the start function and
+    // every element-segment entry (an indirect call can only land on a
+    // table entry, so table entries as roots cover indirect edges).
+    let mut reachable = vec![false; nf];
+    let mut work: Vec<u32> = Vec::new();
+    let mark = |f: u32, work: &mut Vec<u32>, reachable: &mut Vec<bool>| {
+        if f >= n_imports {
+            let i = (f - n_imports) as usize;
+            if i < nf && !reachable[i] {
+                reachable[i] = true;
+                work.push(f);
+            }
+        }
+    };
+    for e in &m.exports {
+        if let ExportKind::Func(i) = e.kind {
+            mark(i, &mut work, &mut reachable);
+        }
+    }
+    if let Some(s) = m.start {
+        mark(s, &mut work, &mut reachable);
+    }
+    for &f in &elem_funcs {
+        mark(f, &mut work, &mut reachable);
+    }
+    while let Some(f) = work.pop() {
+        let fi = (f - n_imports) as usize;
+        for &(_, callee) in &calls[fi].direct {
+            mark(callee, &mut work, &mut reachable);
+        }
+    }
+    for (fi, r) in reachable.iter().enumerate() {
+        if !r {
+            diagnostics.push(Diagnostic {
+                func: n_imports + fi as u32,
+                offset: 0,
+                pass: Pass::CallGraph,
+                severity: Severity::Warn,
+                message: "function is unreachable: not exported, not in the table, \
+                          not the start function, and never called"
+                    .into(),
+            });
+        }
+    }
+
+    // Call-depth bound: memoised DFS; recursion or an unknown indirect
+    // candidate set poisons the bound to None.
+    fn depth(
+        fi: usize,
+        calls: &[FuncCalls],
+        n_imports: u32,
+        candidates: &dyn Fn(u32) -> Option<Vec<u32>>,
+        memo: &mut [Option<Option<u32>>],
+        visiting: &mut [bool],
+    ) -> Option<u32> {
+        if let Some(d) = memo[fi] {
+            return d;
+        }
+        if visiting[fi] {
+            return None; // recursion: unbounded
+        }
+        visiting[fi] = true;
+        let mut callees: Vec<u32> = calls[fi].direct.iter().map(|&(_, c)| c).collect();
+        let mut unknown = false;
+        for &(_, ti) in &calls[fi].indirect {
+            match candidates(ti) {
+                Some(cands) => callees.extend(cands),
+                None => unknown = true,
+            }
+        }
+        let d = if unknown {
+            None
+        } else {
+            let mut deepest = 0u32;
+            let mut ok = true;
+            for c in callees {
+                let sub = if c < n_imports {
+                    Some(1)
+                } else {
+                    depth(
+                        (c - n_imports) as usize,
+                        calls,
+                        n_imports,
+                        candidates,
+                        memo,
+                        visiting,
+                    )
+                };
+                match sub {
+                    Some(s) => deepest = deepest.max(s),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            ok.then(|| 1 + deepest)
+        };
+        visiting[fi] = false;
+        memo[fi] = Some(d);
+        d
+    }
+
+    let mut memo: Vec<Option<Option<u32>>> = vec![None; nf];
+    let mut visiting = vec![false; nf];
+    let mut max_depth = Some(0u32);
+    for fi in 0..nf {
+        let d = depth(fi, &calls, n_imports, &candidates, &mut memo, &mut visiting);
+        max_depth = match (max_depth, d) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            _ => None,
+        };
+    }
+    if nf == 0 {
+        max_depth = Some(0);
+    }
+
+    CallGraphInfo {
+        max_call_depth: max_depth,
+        diagnostics,
+    }
+}

@@ -1,0 +1,581 @@
+//! Control-flow graph construction over the structured Wasm AST.
+//!
+//! The structured `block`/`loop`/`if` tree is linearised into basic blocks
+//! laid out in **pre-order** — exactly the order `validate.rs` visits
+//! instructions, and deliberately the same linearisation a flat bytecode
+//! tier would execute from. Branches are pre-resolved to explicit
+//! [`Edge`]s: backward branches to a `loop` header are known at the branch
+//! site; forward branches to a `block`/`if` merge point are patched when
+//! the enclosing construct closes.
+//!
+//! Every block ends in a [`Term`]. Structured entries and exits
+//! (`Enter`/`EnterIf`/`EndThen`/`End`/`Exit`) are kept as explicit
+//! terminators so a linear walk of the blocks in layout order can replay
+//! the validator's control-frame discipline step for step (see
+//! `verify.rs`).
+
+use std::fmt;
+
+use richwasm_wasm::ast::{BlockType, FuncDef, FuncType, Module, ValType, WInstr};
+
+/// Index of a basic block within a [`Cfg`].
+pub type BlockId = usize;
+/// Index of a control frame within a [`Cfg`].
+pub type FrameId = usize;
+
+/// Sentinel successor: the branch leaves the function (a `br` to the
+/// function-level label completes the function).
+pub const EXIT: BlockId = usize::MAX;
+
+/// Placeholder for a forward branch target not yet resolved. Never
+/// observable in a finished [`Cfg`].
+const PENDING: BlockId = usize::MAX - 1;
+
+/// An error found while building the CFG.
+///
+/// The builder only rejects conditions the validator also rejects
+/// (unknown labels, unknown block-type indices), so a build failure
+/// always corresponds to a validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgError(pub String);
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cfg construction error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+/// What kind of structured construct a control frame came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// The implicit function-body frame.
+    Func,
+    /// A `block`.
+    Block,
+    /// A `loop`.
+    Loop,
+    /// The then-arm of an `if`.
+    Then,
+    /// The else-arm of an `if`.
+    Else,
+}
+
+/// A control frame: one structured construct in the original tree.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// The construct this frame came from.
+    pub kind: FrameKind,
+    /// The enclosing frame, `None` for the function frame.
+    pub parent: Option<FrameId>,
+    /// Block-type parameters.
+    pub params: Vec<ValType>,
+    /// Block-type results.
+    pub results: Vec<ValType>,
+}
+
+impl Frame {
+    /// The types a branch to this frame's label expects: params for a
+    /// loop (branch to the header), results for everything else.
+    #[must_use]
+    pub fn label_types(&self) -> &[ValType] {
+        match self.kind {
+            FrameKind::Loop => &self.params,
+            _ => &self.results,
+        }
+    }
+}
+
+/// A resolved branch edge: target block plus the label types the branch
+/// transfers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Target block, or [`EXIT`].
+    pub to: BlockId,
+    /// The label types at the target.
+    pub tys: Vec<ValType>,
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone)]
+pub enum Term {
+    /// Enter a `block` or `loop` frame; `body` is the next block in
+    /// layout order.
+    Enter {
+        /// The frame being entered.
+        frame: FrameId,
+        /// First block of the construct body.
+        body: BlockId,
+    },
+    /// Enter an `if`: pops the condition, then behaves like two
+    /// sequential frame entries (the validator pushes the then-frame
+    /// first, then a fresh frame for the else-arm).
+    EnterIf {
+        /// Frame of the then-arm.
+        then_frame: FrameId,
+        /// Frame of the else-arm.
+        else_frame: FrameId,
+        /// First block of the then-arm (next in layout order).
+        then_blk: BlockId,
+        /// First block of the else-arm.
+        else_blk: BlockId,
+    },
+    /// End of a then-arm: close the then frame, open the else frame.
+    EndThen {
+        /// Frame of the else-arm about to open.
+        else_frame: FrameId,
+        /// First block of the else-arm (next in layout order).
+        next: BlockId,
+    },
+    /// Structured end of a `block`/`loop`/else frame; falls through to
+    /// the merge block.
+    End {
+        /// The frame being closed.
+        frame: FrameId,
+        /// The merge block (next in layout order).
+        next: BlockId,
+    },
+    /// Unconditional `br`.
+    Br(Edge),
+    /// Conditional `br_if`: taken edge or fall-through to the next block.
+    BrIf {
+        /// Edge when the condition is non-zero.
+        taken: Edge,
+        /// Fall-through block.
+        fall: BlockId,
+    },
+    /// `br_table`.
+    BrTable {
+        /// Indexed targets.
+        targets: Vec<Edge>,
+        /// Default target.
+        default: Edge,
+    },
+    /// `return`.
+    Return,
+    /// `unreachable` — execution traps here.
+    Trap,
+    /// The function frame falls off the end of the body.
+    Exit,
+}
+
+impl Term {
+    /// All in-function successor blocks ([`EXIT`] targets are skipped).
+    #[must_use]
+    pub fn successors(&self) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        self.for_each_successor(|b| out.push(b));
+        out
+    }
+
+    /// Visits every in-function successor without allocating ([`EXIT`]
+    /// targets are skipped). The dataflow solver's hot path.
+    pub fn for_each_successor(&self, mut f: impl FnMut(BlockId)) {
+        let mut push = |b: BlockId| {
+            if b != EXIT {
+                f(b);
+            }
+        };
+        match self {
+            Term::Enter { body, .. } => push(*body),
+            Term::EnterIf {
+                then_blk, else_blk, ..
+            } => {
+                push(*then_blk);
+                push(*else_blk);
+            }
+            Term::EndThen { next, .. } | Term::End { next, .. } => push(*next),
+            Term::Br(e) => push(e.to),
+            Term::BrIf { taken, fall } => {
+                push(taken.to);
+                push(*fall);
+            }
+            Term::BrTable { targets, default } => {
+                for t in targets {
+                    push(t.to);
+                }
+                push(default.to);
+            }
+            Term::Return | Term::Trap | Term::Exit => {}
+        }
+    }
+
+    /// Whether this terminator can complete the function directly
+    /// (function exit, `return`, or a branch to the function label).
+    #[must_use]
+    pub fn exits_function(&self) -> bool {
+        match self {
+            Term::Exit | Term::Return => true,
+            Term::Br(e) => e.to == EXIT,
+            Term::BrIf { taken, .. } => taken.to == EXIT,
+            Term::BrTable { targets, default } => {
+                default.to == EXIT || targets.iter().any(|t| t.to == EXIT)
+            }
+            _ => false,
+        }
+    }
+
+    /// Interpreter steps charged for dispatching this terminator.
+    ///
+    /// `block`/`loop`/`if`/`br`/`br_if`/`br_table`/`return`/`unreachable`
+    /// are real instructions the interpreter meters (one step each);
+    /// structured ends are implicit in the tree AST and cost nothing.
+    #[must_use]
+    pub fn step_cost(&self) -> u64 {
+        match self {
+            Term::Enter { .. }
+            | Term::EnterIf { .. }
+            | Term::Br(_)
+            | Term::BrIf { .. }
+            | Term::BrTable { .. }
+            | Term::Return
+            | Term::Trap => 1,
+            Term::EndThen { .. } | Term::End { .. } | Term::Exit => 0,
+        }
+    }
+}
+
+/// A basic block: straight-line plain instructions plus a terminator.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// The control frame this block executes in.
+    pub frame: FrameId,
+    /// Plain (non-control) instructions with their pre-order offsets.
+    pub instrs: Vec<(u32, WInstr)>,
+    /// The terminator.
+    pub term: Term,
+    /// Pre-order offset of the terminator instruction (for structured
+    /// ends, the offset just past the construct).
+    pub term_offset: u32,
+}
+
+/// A function's control-flow graph. Entry is always block `0`; blocks
+/// are stored in pre-order layout order.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// All control frames; frame `0` is the function frame.
+    pub frames: Vec<Frame>,
+    /// All basic blocks in layout order.
+    pub blocks: Vec<Block>,
+}
+
+impl Cfg {
+    /// The entry block.
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        0
+    }
+}
+
+/// Where a label scope sends branches.
+enum Target {
+    /// Backward branch to a loop header (known immediately).
+    Header(BlockId),
+    /// Branch to the function label: leaves the function.
+    FuncExit,
+    /// Forward branch to a merge block not yet laid out; patched when
+    /// the construct closes.
+    Merge(Vec<Patch>),
+}
+
+struct Scope {
+    tys: Vec<ValType>,
+    target: Target,
+}
+
+/// A branch-edge slot awaiting a forward-target patch.
+struct Patch {
+    block: BlockId,
+    slot: Slot,
+}
+
+enum Slot {
+    Br,
+    BrIfTaken,
+    BrTableTarget(usize),
+    BrTableDefault,
+}
+
+struct Builder<'m> {
+    m: &'m Module,
+    frames: Vec<Frame>,
+    blocks: Vec<Block>,
+    cur_frame: FrameId,
+    cur_instrs: Vec<(u32, WInstr)>,
+    offset: u32,
+}
+
+impl Builder<'_> {
+    /// Assigns the next pre-order offset.
+    fn bump(&mut self) -> u32 {
+        let o = self.offset;
+        self.offset += 1;
+        o
+    }
+
+    /// Seals the open block with `term` and implicitly opens the next
+    /// one (which will get id `blocks.len()` at its own seal).
+    fn seal(&mut self, term: Term, term_offset: u32) -> BlockId {
+        let id = self.blocks.len();
+        self.blocks.push(Block {
+            frame: self.cur_frame,
+            instrs: std::mem::take(&mut self.cur_instrs),
+            term,
+            term_offset,
+        });
+        id
+    }
+
+    fn block_func_type(&self, bt: &BlockType) -> Result<FuncType, CfgError> {
+        self.m.block_func_type(bt).ok_or_else(|| match bt {
+            BlockType::Func(i) => CfgError(format!("unknown type {i}")),
+            _ => CfgError("unresolvable block type".into()),
+        })
+    }
+
+    /// Resolves label `l` to an edge, registering a patch for forward
+    /// targets. `slot` names the edge slot in the block about to be
+    /// sealed (id `blocks.len()`).
+    fn edge_for(&self, scopes: &mut [Scope], l: u32, slot: Slot) -> Result<Edge, CfgError> {
+        let n = scopes.len();
+        if (l as usize) >= n {
+            return Err(CfgError(format!("unknown label {l}")));
+        }
+        let sc = &mut scopes[n - 1 - l as usize];
+        let tys = sc.tys.clone();
+        let to = match &mut sc.target {
+            Target::Header(b) => *b,
+            Target::FuncExit => EXIT,
+            Target::Merge(ps) => {
+                ps.push(Patch {
+                    block: self.blocks.len(),
+                    slot,
+                });
+                PENDING
+            }
+        };
+        Ok(Edge { to, tys })
+    }
+
+    /// Points every registered forward branch of `sc` at `to`.
+    fn apply_patches(&mut self, sc: Scope, to: BlockId) {
+        let Target::Merge(ps) = sc.target else {
+            return;
+        };
+        for p in ps {
+            match (&mut self.blocks[p.block].term, &p.slot) {
+                (Term::Br(e), Slot::Br) => e.to = to,
+                (Term::BrIf { taken, .. }, Slot::BrIfTaken) => taken.to = to,
+                (Term::BrTable { targets, .. }, Slot::BrTableTarget(i)) => targets[*i].to = to,
+                (Term::BrTable { default, .. }, Slot::BrTableDefault) => default.to = to,
+                _ => unreachable!("patch slot does not match terminator shape"),
+            }
+        }
+    }
+
+    fn lower_seq(&mut self, body: &[WInstr], scopes: &mut Vec<Scope>) -> Result<(), CfgError> {
+        for ins in body {
+            match ins {
+                WInstr::Block(bt, b) => {
+                    let ft = self.block_func_type(bt)?;
+                    let off = self.bump();
+                    let parent = self.cur_frame;
+                    let fid = self.frames.len();
+                    self.frames.push(Frame {
+                        kind: FrameKind::Block,
+                        parent: Some(parent),
+                        params: ft.params.clone(),
+                        results: ft.results.clone(),
+                    });
+                    let body_blk = self.blocks.len() + 1;
+                    self.seal(
+                        Term::Enter {
+                            frame: fid,
+                            body: body_blk,
+                        },
+                        off,
+                    );
+                    self.cur_frame = fid;
+                    scopes.push(Scope {
+                        tys: ft.results,
+                        target: Target::Merge(Vec::new()),
+                    });
+                    self.lower_seq(b, scopes)?;
+                    let next = self.blocks.len() + 1;
+                    self.seal(Term::End { frame: fid, next }, self.offset);
+                    let sc = scopes.pop().expect("scope stack balanced");
+                    self.apply_patches(sc, next);
+                    self.cur_frame = parent;
+                }
+                WInstr::Loop(bt, b) => {
+                    let ft = self.block_func_type(bt)?;
+                    let off = self.bump();
+                    let parent = self.cur_frame;
+                    let fid = self.frames.len();
+                    self.frames.push(Frame {
+                        kind: FrameKind::Loop,
+                        parent: Some(parent),
+                        params: ft.params.clone(),
+                        results: ft.results.clone(),
+                    });
+                    let header = self.blocks.len() + 1;
+                    self.seal(
+                        Term::Enter {
+                            frame: fid,
+                            body: header,
+                        },
+                        off,
+                    );
+                    self.cur_frame = fid;
+                    scopes.push(Scope {
+                        tys: ft.params,
+                        target: Target::Header(header),
+                    });
+                    self.lower_seq(b, scopes)?;
+                    let next = self.blocks.len() + 1;
+                    self.seal(Term::End { frame: fid, next }, self.offset);
+                    scopes.pop().expect("scope stack balanced");
+                    self.cur_frame = parent;
+                }
+                WInstr::If(bt, then_b, else_b) => {
+                    let ft = self.block_func_type(bt)?;
+                    let off = self.bump();
+                    let parent = self.cur_frame;
+                    let tf = self.frames.len();
+                    self.frames.push(Frame {
+                        kind: FrameKind::Then,
+                        parent: Some(parent),
+                        params: ft.params.clone(),
+                        results: ft.results.clone(),
+                    });
+                    let ef = self.frames.len();
+                    self.frames.push(Frame {
+                        kind: FrameKind::Else,
+                        parent: Some(parent),
+                        params: ft.params.clone(),
+                        results: ft.results.clone(),
+                    });
+                    let then_blk = self.blocks.len() + 1;
+                    let if_blk = self.seal(
+                        Term::EnterIf {
+                            then_frame: tf,
+                            else_frame: ef,
+                            then_blk,
+                            else_blk: PENDING,
+                        },
+                        off,
+                    );
+                    self.cur_frame = tf;
+                    scopes.push(Scope {
+                        tys: ft.results,
+                        target: Target::Merge(Vec::new()),
+                    });
+                    self.lower_seq(then_b, scopes)?;
+                    // The then arm's runtime successor is the *merge*
+                    // after the whole `if` — not the else arm, which
+                    // merely follows it in the linear layout. The merge
+                    // id is unknown until the else arm is lowered, so
+                    // seal with PENDING and patch below.
+                    let else_blk = self.blocks.len() + 1;
+                    let then_end = self.seal(
+                        Term::EndThen {
+                            else_frame: ef,
+                            next: PENDING,
+                        },
+                        self.offset,
+                    );
+                    if let Term::EnterIf { else_blk: e, .. } = &mut self.blocks[if_blk].term {
+                        *e = else_blk;
+                    }
+                    self.cur_frame = ef;
+                    self.lower_seq(else_b, scopes)?;
+                    let next = self.blocks.len() + 1;
+                    self.seal(Term::End { frame: ef, next }, self.offset);
+                    if let Term::EndThen { next: n, .. } = &mut self.blocks[then_end].term {
+                        *n = next;
+                    }
+                    let sc = scopes.pop().expect("scope stack balanced");
+                    self.apply_patches(sc, next);
+                    self.cur_frame = parent;
+                }
+                WInstr::Br(l) => {
+                    let off = self.bump();
+                    let e = self.edge_for(scopes, *l, Slot::Br)?;
+                    self.seal(Term::Br(e), off);
+                }
+                WInstr::BrIf(l) => {
+                    let off = self.bump();
+                    let taken = self.edge_for(scopes, *l, Slot::BrIfTaken)?;
+                    let fall = self.blocks.len() + 1;
+                    self.seal(Term::BrIf { taken, fall }, off);
+                }
+                WInstr::BrTable(ls, d) => {
+                    let off = self.bump();
+                    let mut targets = Vec::with_capacity(ls.len());
+                    for (i, l) in ls.iter().enumerate() {
+                        targets.push(self.edge_for(scopes, *l, Slot::BrTableTarget(i))?);
+                    }
+                    let default = self.edge_for(scopes, *d, Slot::BrTableDefault)?;
+                    self.seal(Term::BrTable { targets, default }, off);
+                }
+                WInstr::Return => {
+                    let off = self.bump();
+                    self.seal(Term::Return, off);
+                }
+                WInstr::Unreachable => {
+                    let off = self.bump();
+                    self.seal(Term::Trap, off);
+                }
+                plain => {
+                    let off = self.bump();
+                    self.cur_instrs.push((off, plain.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the control-flow graph of one function.
+///
+/// # Errors
+///
+/// Fails only on conditions `validate.rs` also rejects: an unknown
+/// function/block type index or a branch to an unknown label.
+pub fn build_cfg(m: &Module, f: &FuncDef) -> Result<Cfg, CfgError> {
+    let ft = m
+        .types
+        .get(f.type_idx as usize)
+        .cloned()
+        .ok_or_else(|| CfgError("unknown type".into()))?;
+    let mut b = Builder {
+        m,
+        frames: vec![Frame {
+            kind: FrameKind::Func,
+            parent: None,
+            params: ft.params,
+            results: ft.results.clone(),
+        }],
+        blocks: Vec::new(),
+        cur_frame: 0,
+        cur_instrs: Vec::new(),
+        offset: 0,
+    };
+    let mut scopes = vec![Scope {
+        tys: ft.results,
+        target: Target::FuncExit,
+    }];
+    b.lower_seq(&f.body, &mut scopes)?;
+    let off = b.offset;
+    b.seal(Term::Exit, off);
+    debug_assert!(b.blocks.iter().all(|blk| blk
+        .term
+        .successors()
+        .iter()
+        .all(|&s| s < b.blocks.len())));
+    Ok(Cfg {
+        frames: b.frames,
+        blocks: b.blocks,
+    })
+}

@@ -1,0 +1,477 @@
+//! Static fuel-cost analysis.
+//!
+//! The interpreter (`richwasm_wasm::exec`) charges **exactly one step
+//! per executed instruction dispatch** — including `block`/`loop`/`if`
+//! entries and branches — plus one extra step when a call resolves to a
+//! host function. Structured block *ends* are implicit in the tree AST
+//! and cost nothing. This module derives two per-function summaries
+//! from that metering model:
+//!
+//! * **`min_steps`** — a sound *lower* bound on the steps any normally
+//!   completing invocation consumes: a shortest-path computation over
+//!   the [`Cfg`] (via the backward dataflow framework), composed across
+//!   direct calls by a Kleene ascent from zero. A fuel budget below
+//!   `min_steps` can only end in a trap or fuel exhaustion, never
+//!   normal completion — which is what lets `EngineServer` reject such
+//!   jobs up front.
+//! * **`max_steps`** — an *upper* bound where one exists: a structural
+//!   walk that sums straight-line costs, takes the max over `if` arms,
+//!   and bounds a `loop` only when its body never branches back to the
+//!   loop header (a loop that never loops runs its body once).
+//!   Recursion, imported callees (whose linked bodies are invisible to
+//!   a per-module analysis), `call_indirect`, and genuinely looping
+//!   loops yield [`Bound::Unbounded`] carrying a sound "≥ steps per
+//!   iteration" summary instead.
+//!
+//! Import calls contribute `1` to `min_steps` (the `call` dispatch; a
+//! linked Wasm body may be empty) — never the host-dispatch step, which
+//! only exists when the import actually resolves to a host function.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use richwasm_wasm::ast::{ExportKind, ImportKind, Module, WInstr};
+
+use crate::cfg::{BlockId, Cfg, FrameKind, Term};
+use crate::dataflow::{solve, DataflowPass, Direction, JoinLattice};
+
+/// `min_steps` value meaning "no path completes normally".
+pub const NEVER: u64 = u64::MAX;
+
+/// An upper bound on interpreter steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bound {
+    /// At most this many steps.
+    Finite(u64),
+    /// No static bound; each unbounded repetition (loop iteration,
+    /// recursive or unknown callee) consumes at least `min_iteration`
+    /// steps.
+    Unbounded {
+        /// Sound lower bound on the cost of one repetition.
+        min_iteration: u64,
+    },
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Finite(n) => write!(f, "≤{n}"),
+            Bound::Unbounded { min_iteration } => {
+                write!(f, "unbounded (≥{min_iteration}/iteration)")
+            }
+        }
+    }
+}
+
+fn bound_add(a: Bound, b: Bound) -> Bound {
+    match (a, b) {
+        (Bound::Finite(x), Bound::Finite(y)) => Bound::Finite(x.saturating_add(y)),
+        (Bound::Unbounded { min_iteration: x }, Bound::Unbounded { min_iteration: y }) => {
+            Bound::Unbounded {
+                min_iteration: x.min(y),
+            }
+        }
+        (Bound::Unbounded { min_iteration }, _) | (_, Bound::Unbounded { min_iteration }) => {
+            Bound::Unbounded { min_iteration }
+        }
+    }
+}
+
+fn bound_max(a: Bound, b: Bound) -> Bound {
+    match (a, b) {
+        (Bound::Finite(x), Bound::Finite(y)) => Bound::Finite(x.max(y)),
+        (Bound::Unbounded { min_iteration: x }, Bound::Unbounded { min_iteration: y }) => {
+            Bound::Unbounded {
+                min_iteration: x.min(y),
+            }
+        }
+        (u @ Bound::Unbounded { .. }, _) | (_, u @ Bound::Unbounded { .. }) => u,
+    }
+}
+
+fn add1(b: Bound) -> Bound {
+    bound_add(b, Bound::Finite(1))
+}
+
+/// Per-function cost summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncCost {
+    /// Global function index (imports first).
+    pub func: u32,
+    /// Sound lower bound on steps of a normally completing invocation
+    /// ([`NEVER`] when no path completes).
+    pub min_steps: u64,
+    /// Upper bound, where one exists.
+    pub max_steps: Bound,
+}
+
+/// The module's cost report, exposed on `Artifact`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CostReport {
+    /// One entry per *defined* function, in definition order.
+    pub funcs: Vec<FuncCost>,
+    /// Exported function names with their global indices.
+    pub exports: Vec<(String, u32)>,
+    /// Module-local bound on call-stack depth (imported callees counted
+    /// as one frame); `None` when recursion or unknown indirect targets
+    /// make it unbounded. Filled in by the call-graph pass.
+    pub max_call_depth: Option<u32>,
+}
+
+impl CostReport {
+    /// The cost summary of a function by global index.
+    #[must_use]
+    pub fn func(&self, idx: u32) -> Option<&FuncCost> {
+        self.funcs.iter().find(|c| c.func == idx)
+    }
+
+    /// Sound lower bound on the steps a normally completing invocation
+    /// of the named export consumes. `None` when the export is unknown
+    /// or resolves to an imported function (whose cost this module
+    /// cannot see).
+    #[must_use]
+    pub fn min_steps_of_export(&self, name: &str) -> Option<u64> {
+        let idx = self
+            .exports
+            .iter()
+            .find_map(|(n, i)| (n == name).then_some(*i))?;
+        self.func(idx).map(|c| c.min_steps)
+    }
+}
+
+/// Shared context for per-instruction minimum costs.
+struct CostCtx<'m> {
+    n_imports: u32,
+    /// `min_steps` per defined function (current Kleene estimate).
+    minfunc: &'m [u64],
+    /// Extra (callee) minimum per type index for `call_indirect`.
+    indirect_min: Vec<u64>,
+}
+
+impl<'m> CostCtx<'m> {
+    fn new(m: &'m Module, minfunc: &'m [u64]) -> Self {
+        let n_imports = m.num_func_imports() as u32;
+        let table_imported = m
+            .imports
+            .iter()
+            .any(|im| matches!(im.kind, ImportKind::Table(_)));
+        // Candidate sets per type index: the functions listed in element
+        // segments whose type structurally equals the expected one. With
+        // an imported (shared) table other modules contribute entries we
+        // cannot see, so the callee minimum degrades to 0.
+        let elem_funcs: Vec<u32> = m
+            .elems
+            .iter()
+            .flat_map(|e| e.funcs.iter().copied())
+            .collect();
+        let indirect_min = m
+            .types
+            .iter()
+            .map(|ft| {
+                if table_imported {
+                    return 0;
+                }
+                elem_funcs
+                    .iter()
+                    .filter(|&&f| m.func_type(f) == Some(ft))
+                    .map(|&f| {
+                        if f < n_imports {
+                            0
+                        } else {
+                            minfunc[(f - n_imports) as usize]
+                        }
+                    })
+                    .min()
+                    // No compatible entry in a fully known table: the
+                    // call always traps, so no completion through it.
+                    .unwrap_or(NEVER)
+            })
+            .collect();
+        CostCtx {
+            n_imports,
+            minfunc,
+            indirect_min,
+        }
+    }
+
+    /// Minimum steps one plain instruction consumes (callees included).
+    fn instr_min(&self, ins: &WInstr) -> u64 {
+        match ins {
+            WInstr::Call(f) => {
+                if *f < self.n_imports {
+                    1
+                } else {
+                    1u64.saturating_add(self.minfunc[(*f - self.n_imports) as usize])
+                }
+            }
+            WInstr::CallIndirect(ti) => 1u64.saturating_add(
+                self.indirect_min
+                    .get(*ti as usize)
+                    .copied()
+                    .unwrap_or(NEVER),
+            ),
+            _ => 1,
+        }
+    }
+
+    /// Total minimum cost of a block (instructions plus terminator).
+    fn block_min(&self, cfg: &Cfg, b: BlockId) -> u64 {
+        let blk = &cfg.blocks[b];
+        let mut c = blk.term.step_cost();
+        for (_, ins) in &blk.instrs {
+            c = c.saturating_add(self.instr_min(ins));
+        }
+        c
+    }
+}
+
+/// Minimum distance-to-completion fact: join is `min`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MinDist(u64);
+
+impl JoinLattice for MinDist {
+    fn join(&mut self, other: &Self) -> bool {
+        if other.0 < self.0 {
+            self.0 = other.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct MinCostPass<'a> {
+    ctx: &'a CostCtx<'a>,
+}
+
+impl DataflowPass for MinCostPass<'_> {
+    type Fact = MinDist;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn boundary(&self) -> MinDist {
+        MinDist(0)
+    }
+
+    fn bottom(&self) -> MinDist {
+        MinDist(NEVER)
+    }
+
+    fn transfer(&self, cfg: &Cfg, block: BlockId, fact: &MinDist) -> MinDist {
+        if fact.0 == NEVER {
+            return MinDist(NEVER);
+        }
+        MinDist(fact.0.saturating_add(self.ctx.block_min(cfg, block)))
+    }
+}
+
+/// Computes `min_steps` for every defined function: a per-function
+/// shortest path to completion, closed over direct calls by a Kleene
+/// ascent from zero. Estimates only grow and every intermediate vector
+/// is a sound lower bound, so capping the rounds preserves soundness
+/// (unbounded recursion simply stops ascending at the cap).
+fn min_costs(m: &Module, cfgs: &[Cfg]) -> Vec<u64> {
+    let nf = cfgs.len();
+    let mut minfunc = vec![0u64; nf];
+    for _ in 0..nf + 8 {
+        let mut changed = false;
+        let next: Vec<u64> = {
+            let ctx = CostCtx::new(m, &minfunc);
+            cfgs.iter()
+                .map(|cfg| solve(cfg, &MinCostPass { ctx: &ctx })[cfg.entry()].0)
+                .collect()
+        };
+        for (cur, new) in minfunc.iter_mut().zip(next) {
+            if new != *cur {
+                *cur = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    minfunc
+}
+
+/// Shortest cycle through loop header `h` (steps consumed by one
+/// iteration), or [`NEVER`] when no back edge is live.
+fn min_cycle(cfg: &Cfg, ctx: &CostCtx<'_>, h: BlockId) -> u64 {
+    let n = cfg.blocks.len();
+    let costs: Vec<u64> = (0..n).map(|b| ctx.block_min(cfg, b)).collect();
+    let mut e = vec![NEVER; n];
+    loop {
+        let mut changed = false;
+        for b in (0..n).rev() {
+            let best = cfg.blocks[b]
+                .term
+                .successors()
+                .into_iter()
+                .map(|s| if s == h { 0 } else { e[s] })
+                .min()
+                .unwrap_or(NEVER);
+            if best == NEVER {
+                continue;
+            }
+            let v = costs[b].saturating_add(best);
+            if v < e[b] {
+                e[b] = v;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    e[h]
+}
+
+/// Does any branch in `body` target the label at relative depth `depth`
+/// (i.e. branch back to the enclosing loop's header)?
+fn branches_back(body: &[WInstr], depth: u32) -> bool {
+    body.iter().any(|ins| match ins {
+        WInstr::Br(l) | WInstr::BrIf(l) => *l == depth,
+        WInstr::BrTable(ls, d) => *d == depth || ls.contains(&depth),
+        WInstr::Block(_, b) | WInstr::Loop(_, b) => branches_back(b, depth + 1),
+        WInstr::If(_, t, e) => branches_back(t, depth + 1) || branches_back(e, depth + 1),
+        _ => false,
+    })
+}
+
+struct MaxCtx<'m> {
+    m: &'m Module,
+    n_imports: u32,
+    minfunc: &'m [u64],
+    /// Per defined function: loop-instruction offset → min steps per
+    /// iteration (from [`min_cycle`]).
+    loop_iter: Vec<HashMap<u32, u64>>,
+    memo: Vec<Option<Bound>>,
+    visiting: Vec<bool>,
+}
+
+impl MaxCtx<'_> {
+    fn func_max(&mut self, fi: usize) -> Bound {
+        if let Some(b) = self.memo[fi] {
+            return b;
+        }
+        if self.visiting[fi] {
+            // Recursion: every recursive activation costs the call
+            // dispatch plus at least the cheapest completing path.
+            return Bound::Unbounded {
+                min_iteration: self.minfunc[fi].saturating_add(1),
+            };
+        }
+        self.visiting[fi] = true;
+        let m = self.m;
+        let mut off = 0u32;
+        let b = self.max_seq(fi, &m.funcs[fi].body, &mut off);
+        self.visiting[fi] = false;
+        self.memo[fi] = Some(b);
+        b
+    }
+
+    fn max_seq(&mut self, fi: usize, body: &[WInstr], off: &mut u32) -> Bound {
+        let mut total = Bound::Finite(0);
+        for ins in body {
+            let o = *off;
+            *off += 1;
+            let c = match ins {
+                WInstr::Block(_, b) => add1(self.max_seq(fi, b, off)),
+                WInstr::If(_, t, e) => {
+                    let bt = self.max_seq(fi, t, off);
+                    let be = self.max_seq(fi, e, off);
+                    add1(bound_max(bt, be))
+                }
+                WInstr::Loop(_, b) => {
+                    if branches_back(b, 0) {
+                        let mi = self.loop_iter[fi].get(&o).copied().unwrap_or(1);
+                        // Walk the body anyway to keep offsets aligned
+                        // with the CFG builder's pre-order numbering.
+                        let _ = self.max_seq(fi, b, off);
+                        Bound::Unbounded {
+                            min_iteration: mi.max(1),
+                        }
+                    } else {
+                        // A loop nothing branches back to runs once.
+                        add1(self.max_seq(fi, b, off))
+                    }
+                }
+                WInstr::Call(f) => {
+                    if *f < self.n_imports {
+                        // The linked body of an import is invisible to a
+                        // per-module analysis.
+                        Bound::Unbounded { min_iteration: 1 }
+                    } else {
+                        add1(self.func_max((*f - self.n_imports) as usize))
+                    }
+                }
+                WInstr::CallIndirect(_) => Bound::Unbounded { min_iteration: 1 },
+                _ => Bound::Finite(1),
+            };
+            total = bound_add(total, c);
+        }
+        total
+    }
+}
+
+/// Computes the module's [`CostReport`] (`max_call_depth` is left for
+/// the call-graph pass to fill in). `cfgs` holds one CFG per defined
+/// function, in definition order.
+#[must_use]
+pub fn cost_report(m: &Module, cfgs: &[Cfg]) -> CostReport {
+    let n_imports = m.num_func_imports() as u32;
+    let minfunc = min_costs(m, cfgs);
+
+    // Per-loop iteration minima, now that call minima have converged.
+    let ctx = CostCtx::new(m, &minfunc);
+    let loop_iter: Vec<HashMap<u32, u64>> = cfgs
+        .iter()
+        .map(|cfg| {
+            let mut map = HashMap::new();
+            for blk in &cfg.blocks {
+                if let Term::Enter { frame, body } = &blk.term {
+                    if cfg.frames[*frame].kind == FrameKind::Loop {
+                        let c = min_cycle(cfg, &ctx, *body);
+                        if c != NEVER {
+                            map.insert(blk.term_offset, c);
+                        }
+                    }
+                }
+            }
+            map
+        })
+        .collect();
+
+    let mut maxctx = MaxCtx {
+        m,
+        n_imports,
+        minfunc: &minfunc,
+        loop_iter,
+        memo: vec![None; cfgs.len()],
+        visiting: vec![false; cfgs.len()],
+    };
+    let funcs = (0..cfgs.len())
+        .map(|i| FuncCost {
+            func: n_imports + i as u32,
+            min_steps: minfunc[i],
+            max_steps: maxctx.func_max(i),
+        })
+        .collect();
+
+    let exports = m
+        .exports
+        .iter()
+        .filter_map(|e| match e.kind {
+            ExportKind::Func(i) => Some((e.name.clone(), i)),
+            _ => None,
+        })
+        .collect();
+
+    CostReport {
+        funcs,
+        exports,
+        max_call_depth: None,
+    }
+}

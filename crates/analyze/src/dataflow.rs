@@ -1,0 +1,146 @@
+//! A small forward/backward dataflow framework over [`Cfg`]s.
+//!
+//! Facts form a join semilattice; the solver runs a worklist to the
+//! least fixpoint. Forward passes propagate a fact from the entry block
+//! along terminator successors; backward passes propagate from
+//! function-exiting terminators against them.
+
+use crate::cfg::{BlockId, Cfg};
+
+/// A join-semilattice fact.
+pub trait JoinLattice: Clone {
+    /// Joins `other` into `self`; returns `true` if `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// Direction of a dataflow pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from the entry block along successor edges.
+    Forward,
+    /// Facts flow from function-exiting terminators against successor
+    /// edges.
+    Backward,
+}
+
+/// A dataflow pass: lattice, direction, boundary condition, and
+/// per-block transfer function.
+pub trait DataflowPass {
+    /// The lattice of facts.
+    type Fact: JoinLattice;
+
+    /// Which way facts flow.
+    fn direction(&self) -> Direction;
+
+    /// The fact at the boundary: function entry (forward) or function
+    /// exit (backward).
+    fn boundary(&self) -> Self::Fact;
+
+    /// The initial "no information" fact.
+    fn bottom(&self) -> Self::Fact;
+
+    /// Transfers a fact across `block`. For forward passes the input is
+    /// the fact at block entry and the output applies to its successors;
+    /// for backward passes the input is the joined fact of its
+    /// successors (plus the boundary when the terminator exits the
+    /// function) and the output is the fact at block entry.
+    fn transfer(&self, cfg: &Cfg, block: BlockId, fact: &Self::Fact) -> Self::Fact;
+}
+
+/// Runs `pass` to its least fixpoint.
+///
+/// Returns one fact per block: the block-entry fact for both
+/// directions (for forward passes this is the joined incoming fact; for
+/// backward passes the transferred outgoing fact).
+pub fn solve<P: DataflowPass>(cfg: &Cfg, pass: &P) -> Vec<P::Fact> {
+    match pass.direction() {
+        Direction::Forward => solve_forward(cfg, pass),
+        Direction::Backward => solve_backward(cfg, pass),
+    }
+}
+
+// Both directions run *ordered sweeps* over dirty flags instead of an
+// unordered worklist. A structured-Wasm CFG's blocks are numbered in
+// layout order, where every edge except a loop back edge goes from a
+// lower to a higher id — so a single sweep in direction order (forward:
+// ascending, backward: descending) is a topological pass that converges
+// on an acyclic CFG outright, and each additional sweep accounts for
+// one level of back-edge feedback. An unordered LIFO worklist on the
+// same graph relaxes `if`-diamond chains once per distinct path length;
+// the sweeps keep the solver linear per round.
+
+fn solve_forward<P: DataflowPass>(cfg: &Cfg, pass: &P) -> Vec<P::Fact> {
+    let n = cfg.blocks.len();
+    let mut facts: Vec<P::Fact> = vec![pass.bottom(); n];
+    if n == 0 {
+        return facts;
+    }
+    facts[cfg.entry()].join(&pass.boundary());
+    let mut dirty = vec![false; n];
+    dirty[cfg.entry()] = true;
+    let mut pending = true;
+    while pending {
+        pending = false;
+        for b in 0..n {
+            if !dirty[b] {
+                continue;
+            }
+            dirty[b] = false;
+            let out = pass.transfer(cfg, b, &facts[b]);
+            cfg.blocks[b].term.for_each_successor(|s| {
+                if facts[s].join(&out) && !dirty[s] {
+                    dirty[s] = true;
+                    // A back edge (s ≤ b) lands behind the sweep cursor
+                    // and needs another pass; a forward edge is picked
+                    // up later in this one.
+                    pending |= s <= b;
+                }
+            });
+        }
+    }
+    facts
+}
+
+fn solve_backward<P: DataflowPass>(cfg: &Cfg, pass: &P) -> Vec<P::Fact> {
+    let n = cfg.blocks.len();
+    let mut facts: Vec<P::Fact> = vec![pass.bottom(); n];
+    if n == 0 {
+        return facts;
+    }
+    // Predecessor map for marking re-runs.
+    let mut preds: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        blk.term.for_each_successor(|s| preds[s].push(b));
+    }
+    let mut dirty = vec![true; n];
+    let mut pending = true;
+    while pending {
+        pending = false;
+        for b in (0..n).rev() {
+            if !dirty[b] {
+                continue;
+            }
+            dirty[b] = false;
+            let mut out = pass.bottom();
+            if cfg.blocks[b].term.exits_function() {
+                out.join(&pass.boundary());
+            }
+            cfg.blocks[b].term.for_each_successor(|s| {
+                out.join(&facts[s]);
+            });
+            let new = pass.transfer(cfg, b, &out);
+            if facts[b].join(&new) {
+                for &p in &preds[b] {
+                    if !dirty[p] {
+                        dirty[p] = true;
+                        // Against the descending sweep, an edge from a
+                        // *lower-numbered* predecessor is still ahead of
+                        // the cursor; p ≥ b means another pass.
+                        pending |= p >= b;
+                    }
+                }
+            }
+        }
+    }
+    facts
+}

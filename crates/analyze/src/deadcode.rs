@@ -1,0 +1,112 @@
+//! Dead-code / unreachable-block lint.
+//!
+//! A forward reachability pass over the [`Cfg`] (the simplest client of
+//! the dataflow framework): a block is live iff some path from the
+//! function entry reaches it. Dead blocks that contain real
+//! instructions — code after an unconditional branch, `return` or
+//! `unreachable` — are reported, one diagnostic per maximal dead run.
+
+use crate::cfg::{BlockId, Cfg};
+use crate::dataflow::{solve, DataflowPass, Direction, JoinLattice};
+use crate::{Diagnostic, Pass, Severity};
+
+/// Forward reachability fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Reached(bool);
+
+impl JoinLattice for Reached {
+    fn join(&mut self, other: &Self) -> bool {
+        if other.0 && !self.0 {
+            self.0 = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct ReachPass;
+
+impl DataflowPass for ReachPass {
+    type Fact = Reached;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> Reached {
+        Reached(true)
+    }
+
+    fn bottom(&self) -> Reached {
+        Reached(false)
+    }
+
+    fn transfer(&self, _cfg: &Cfg, _block: BlockId, fact: &Reached) -> Reached {
+        *fact
+    }
+}
+
+/// Blocks unreachable from the function entry.
+#[must_use]
+pub fn dead_blocks(cfg: &Cfg) -> Vec<BlockId> {
+    solve(cfg, &ReachPass)
+        .iter()
+        .enumerate()
+        .filter_map(|(b, r)| (!r.0).then_some(b))
+        .collect()
+}
+
+/// Lints one function's CFG, attributing diagnostics to global function
+/// index `func`.
+#[must_use]
+pub fn deadcode_diags(func: u32, cfg: &Cfg) -> Vec<Diagnostic> {
+    let dead = dead_blocks(cfg);
+    let is_dead = {
+        let mut v = vec![false; cfg.blocks.len()];
+        for &b in &dead {
+            v[b] = true;
+        }
+        v
+    };
+    let mut out = Vec::new();
+    let mut b = 0;
+    while b < cfg.blocks.len() {
+        if !is_dead[b] {
+            b += 1;
+            continue;
+        }
+        // One maximal run of dead blocks; report it only if it contains
+        // real instructions (pure structural scaffolding — empty merge
+        // blocks after diverging arms — is noise).
+        let mut first_instr: Option<u32> = None;
+        let mut n_instrs = 0usize;
+        while b < cfg.blocks.len() && is_dead[b] {
+            let blk = &cfg.blocks[b];
+            n_instrs += blk.instrs.len();
+            if first_instr.is_none() {
+                if let Some(&(off, _)) = blk.instrs.first() {
+                    first_instr = Some(off);
+                } else if blk.term.step_cost() > 0 {
+                    first_instr = Some(blk.term_offset);
+                    n_instrs += 1;
+                }
+            } else if blk.term.step_cost() > 0 {
+                n_instrs += 1;
+            }
+            b += 1;
+        }
+        if let Some(off) = first_instr {
+            if n_instrs > 0 {
+                out.push(Diagnostic {
+                    func,
+                    offset: off,
+                    pass: Pass::DeadCode,
+                    severity: Severity::Warn,
+                    message: format!("unreachable code ({n_instrs} dead instruction(s))"),
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,571 @@
+//! Independent abstract stack/locals re-verification.
+//!
+//! A second checker in this repo's differential tradition: instead of
+//! recursing over the structured tree like `validate.rs`, it walks the
+//! [`Cfg`]'s basic blocks **linearly in layout order**, replaying the
+//! validator's control-frame discipline from the explicit terminators.
+//! Value-stack heights and types are recomputed per block edge from
+//! scratch. Accept/reject must agree with `validate_module` on every
+//! module — any disagreement is a bug in one of the two checkers (the
+//! `analyze_module` entry point turns it into a `Deny` diagnostic).
+
+use std::fmt;
+
+use richwasm_wasm::ast::*;
+use richwasm_wasm::validate::validate_module;
+
+use crate::cfg::{build_cfg, Cfg, Term};
+
+/// A re-verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The offending function index (defined-function position), if the
+    /// failure is inside a body.
+    pub func: Option<u32>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.func {
+            Some(i) => write!(f, "re-verification failed (function {i}): {}", self.message),
+            None => write!(f, "re-verification failed: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, String> {
+    Err(msg.into())
+}
+
+/// Module-level typing context shared by every function body.
+pub struct ModuleCtx {
+    /// Global types `(type, mutable)`, imports first.
+    pub globals: Vec<(ValType, bool)>,
+    /// Whether a memory is in scope (defined or imported).
+    pub has_memory: bool,
+    /// Whether a table is in scope (defined or imported).
+    pub has_table: bool,
+}
+
+/// Builds the module-level context, mirroring the validator's
+/// import/global prechecks.
+///
+/// # Errors
+///
+/// Fails on the same module-level conditions `validate.rs` rejects.
+pub fn module_ctx(m: &Module) -> Result<ModuleCtx, VerifyError> {
+    let mut globals: Vec<(ValType, bool)> = Vec::new();
+    let mut has_memory = m.memory.is_some();
+    let mut has_table = m.table.is_some();
+    for im in &m.imports {
+        match im.kind {
+            ImportKind::Global(t, mu) => globals.push((t, mu)),
+            ImportKind::Memory(_) => has_memory = true,
+            ImportKind::Table(_) => has_table = true,
+            ImportKind::Func(ti) => {
+                if m.types.get(ti as usize).is_none() {
+                    return Err(VerifyError {
+                        func: None,
+                        message: format!("import {}.{}: unknown type {ti}", im.module, im.name),
+                    });
+                }
+            }
+        }
+    }
+    for g in &m.globals {
+        let ok = matches!(
+            (&g.init, g.ty),
+            (WInstr::I32Const(_), ValType::I32)
+                | (WInstr::I64Const(_), ValType::I64)
+                | (WInstr::F32Const(_), ValType::F32)
+                | (WInstr::F64Const(_), ValType::F64)
+        );
+        if !ok {
+            return Err(VerifyError {
+                func: None,
+                message: "global initialiser must be a constant of the declared type".into(),
+            });
+        }
+        globals.push((g.ty, g.mutable));
+    }
+    Ok(ModuleCtx {
+        globals,
+        has_memory,
+        has_table,
+    })
+}
+
+/// An abstract operand: a known type or the post-`unreachable`
+/// polymorphic unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Av {
+    T(ValType),
+    Unknown,
+}
+
+/// One simulated control frame (the validator's `Ctrl`).
+struct SimFrame {
+    end: Vec<ValType>,
+    height: usize,
+    unreachable: bool,
+}
+
+struct Sim<'m> {
+    m: &'m Module,
+    ctx: &'m ModuleCtx,
+    locals: Vec<ValType>,
+    ops: Vec<Av>,
+    frames: Vec<SimFrame>,
+}
+
+impl Sim<'_> {
+    fn push(&mut self, t: ValType) {
+        self.ops.push(Av::T(t));
+    }
+
+    fn pop_any(&mut self) -> Result<Av, String> {
+        let frame = self.frames.last().expect("frame");
+        if self.ops.len() == frame.height {
+            if frame.unreachable {
+                return Ok(Av::Unknown);
+            }
+            return err("stack underflow");
+        }
+        Ok(self.ops.pop().expect("nonempty"))
+    }
+
+    fn pop(&mut self, expect: ValType) -> Result<(), String> {
+        match self.pop_any()? {
+            Av::T(t) if t == expect => Ok(()),
+            Av::T(t) => err(format!("expected {expect}, found {t}")),
+            Av::Unknown => Ok(()),
+        }
+    }
+
+    fn pop_many(&mut self, ts: &[ValType]) -> Result<(), String> {
+        for t in ts.iter().rev() {
+            self.pop(*t)?;
+        }
+        Ok(())
+    }
+
+    fn push_many(&mut self, ts: &[ValType]) {
+        for t in ts {
+            self.push(*t);
+        }
+    }
+
+    fn push_frame(&mut self, end: Vec<ValType>) {
+        self.frames.push(SimFrame {
+            end,
+            height: self.ops.len(),
+            unreachable: false,
+        });
+    }
+
+    fn pop_frame(&mut self) -> Result<Vec<ValType>, String> {
+        let end = self.frames.last().expect("frame").end.clone();
+        let height = self.frames.last().expect("frame").height;
+        self.pop_many(&end)?;
+        if self.ops.len() != height {
+            return err("values remaining at end of block");
+        }
+        self.frames.pop();
+        Ok(end)
+    }
+
+    fn set_unreachable(&mut self) {
+        let frame = self.frames.last_mut().expect("frame");
+        self.ops.truncate(frame.height);
+        frame.unreachable = true;
+    }
+
+    /// One plain (non-control) instruction — ports the validator's
+    /// straight-line arms verbatim.
+    fn step(&mut self, e: &WInstr) -> Result<(), String> {
+        use ValType::*;
+        use WInstr::*;
+        match e {
+            Nop => {}
+            Call(f) => {
+                let ft = self
+                    .m
+                    .func_type(*f)
+                    .cloned()
+                    .ok_or(format!("unknown function {f}"))?;
+                self.pop_many(&ft.params)?;
+                self.push_many(&ft.results);
+            }
+            CallIndirect(ti) => {
+                if !self.ctx.has_table {
+                    return err("call_indirect without a table");
+                }
+                let ft = self
+                    .m
+                    .types
+                    .get(*ti as usize)
+                    .cloned()
+                    .ok_or(format!("unknown type {ti}"))?;
+                self.pop(I32)?;
+                self.pop_many(&ft.params)?;
+                self.push_many(&ft.results);
+            }
+            Drop => {
+                self.pop_any()?;
+            }
+            Select => {
+                self.pop(I32)?;
+                let a = self.pop_any()?;
+                let b = self.pop_any()?;
+                match (a, b) {
+                    (Av::T(x), Av::T(y)) if x != y => return err("select type mismatch"),
+                    (Av::T(x), _) | (_, Av::T(x)) => self.push(x),
+                    (Av::Unknown, Av::Unknown) => self.ops.push(Av::Unknown),
+                }
+            }
+            LocalGet(i) => {
+                let t = *self
+                    .locals
+                    .get(*i as usize)
+                    .ok_or(format!("unknown local {i}"))?;
+                self.push(t);
+            }
+            LocalSet(i) => {
+                let t = *self
+                    .locals
+                    .get(*i as usize)
+                    .ok_or(format!("unknown local {i}"))?;
+                self.pop(t)?;
+            }
+            LocalTee(i) => {
+                let t = *self
+                    .locals
+                    .get(*i as usize)
+                    .ok_or(format!("unknown local {i}"))?;
+                self.pop(t)?;
+                self.push(t);
+            }
+            GlobalGet(i) => {
+                let (t, _) = *self
+                    .ctx
+                    .globals
+                    .get(*i as usize)
+                    .ok_or(format!("unknown global {i}"))?;
+                self.push(t);
+            }
+            GlobalSet(i) => {
+                let (t, mu) = *self
+                    .ctx
+                    .globals
+                    .get(*i as usize)
+                    .ok_or(format!("unknown global {i}"))?;
+                if !mu {
+                    return err(format!("global {i} is immutable"));
+                }
+                self.pop(t)?;
+            }
+            Load(t, _) => {
+                if !self.ctx.has_memory {
+                    return err("load without a memory");
+                }
+                self.pop(I32)?;
+                self.push(*t);
+            }
+            Store(t, _) => {
+                if !self.ctx.has_memory {
+                    return err("store without a memory");
+                }
+                self.pop(*t)?;
+                self.pop(I32)?;
+            }
+            Load8U(_) => {
+                if !self.ctx.has_memory {
+                    return err("load without a memory");
+                }
+                self.pop(I32)?;
+                self.push(I32);
+            }
+            Store8(_) => {
+                if !self.ctx.has_memory {
+                    return err("store without a memory");
+                }
+                self.pop(I32)?;
+                self.pop(I32)?;
+            }
+            MemorySize => {
+                if !self.ctx.has_memory {
+                    return err("memory.size without a memory");
+                }
+                self.push(I32);
+            }
+            MemoryGrow => {
+                if !self.ctx.has_memory {
+                    return err("memory.grow without a memory");
+                }
+                self.pop(I32)?;
+                self.push(I32);
+            }
+            I32Const(_) => self.push(I32),
+            I64Const(_) => self.push(I64),
+            F32Const(_) => self.push(F32),
+            F64Const(_) => self.push(F64),
+            IUn(w, _) | ITest(w) => {
+                let t = int_ty(*w);
+                self.pop(t)?;
+                self.push(if matches!(e, ITest(_)) { I32 } else { t });
+            }
+            IBin(w, _) => {
+                let t = int_ty(*w);
+                self.pop(t)?;
+                self.pop(t)?;
+                self.push(t);
+            }
+            IRel(w, _) => {
+                let t = int_ty(*w);
+                self.pop(t)?;
+                self.pop(t)?;
+                self.push(I32);
+            }
+            FUn(w, _) => {
+                let t = float_ty(*w);
+                self.pop(t)?;
+                self.push(t);
+            }
+            FBin(w, _) => {
+                let t = float_ty(*w);
+                self.pop(t)?;
+                self.pop(t)?;
+                self.push(t);
+            }
+            FRel(w, _) => {
+                let t = float_ty(*w);
+                self.pop(t)?;
+                self.pop(t)?;
+                self.push(I32);
+            }
+            I32WrapI64 => {
+                self.pop(I64)?;
+                self.push(I32);
+            }
+            I64ExtendI32(_) => {
+                self.pop(I32)?;
+                self.push(I64);
+            }
+            ITruncF(iw, fw, _) => {
+                self.pop(float_ty(*fw))?;
+                self.push(int_ty(*iw));
+            }
+            FConvertI(fw, iw, _) => {
+                self.pop(int_ty(*iw))?;
+                self.push(float_ty(*fw));
+            }
+            F32DemoteF64 => {
+                self.pop(F64)?;
+                self.push(F32);
+            }
+            F64PromoteF32 => {
+                self.pop(F32)?;
+                self.push(F64);
+            }
+            IReinterpretF(w) => {
+                self.pop(float_ty(*w))?;
+                self.push(int_ty(*w));
+            }
+            FReinterpretI(w) => {
+                self.pop(int_ty(*w))?;
+                self.push(float_ty(*w));
+            }
+            Unreachable | Block(..) | Loop(..) | If(..) | Br(_) | BrIf(_) | BrTable(..)
+            | Return => {
+                return err("control instruction inside a basic block (CFG builder bug)");
+            }
+        }
+        Ok(())
+    }
+}
+
+fn int_ty(w: Width) -> ValType {
+    match w {
+        Width::W32 => ValType::I32,
+        Width::W64 => ValType::I64,
+    }
+}
+
+fn float_ty(w: Width) -> ValType {
+    match w {
+        Width::W32 => ValType::F32,
+        Width::W64 => ValType::F64,
+    }
+}
+
+/// Re-verifies one function body against its CFG by linear abstract
+/// interpretation over the blocks in layout order.
+///
+/// # Errors
+///
+/// Returns the first typing violation found (as a bare message; the
+/// caller attaches the function index).
+pub fn verify_func(m: &Module, ctx: &ModuleCtx, f: &FuncDef, cfg: &Cfg) -> Result<(), String> {
+    let ft = m
+        .types
+        .get(f.type_idx as usize)
+        .ok_or("unknown type".to_string())?;
+    let mut locals = ft.params.clone();
+    locals.extend(&f.locals);
+    let mut sim = Sim {
+        m,
+        ctx,
+        locals,
+        ops: Vec::new(),
+        frames: Vec::new(),
+    };
+    sim.push_frame(ft.results.clone());
+    for blk in &cfg.blocks {
+        for (_, ins) in &blk.instrs {
+            sim.step(ins)?;
+        }
+        match &blk.term {
+            Term::Enter { frame, .. } => {
+                let fr = &cfg.frames[*frame];
+                sim.pop_many(&fr.params)?;
+                sim.push_frame(fr.results.clone());
+                sim.push_many(&fr.params);
+            }
+            Term::EnterIf { then_frame, .. } => {
+                sim.pop(ValType::I32)?;
+                let fr = &cfg.frames[*then_frame];
+                sim.pop_many(&fr.params)?;
+                sim.push_frame(fr.results.clone());
+                sim.push_many(&fr.params);
+            }
+            Term::EndThen { else_frame, .. } => {
+                sim.pop_frame()?;
+                let fr = &cfg.frames[*else_frame];
+                sim.push_frame(fr.results.clone());
+                sim.push_many(&fr.params);
+            }
+            Term::End { .. } => {
+                let end = sim.pop_frame()?;
+                sim.push_many(&end);
+            }
+            Term::Br(e) => {
+                sim.pop_many(&e.tys)?;
+                sim.set_unreachable();
+            }
+            Term::BrIf { taken, .. } => {
+                sim.pop(ValType::I32)?;
+                sim.pop_many(&taken.tys)?;
+                sim.push_many(&taken.tys);
+            }
+            Term::BrTable { targets, default } => {
+                sim.pop(ValType::I32)?;
+                for t in targets {
+                    if t.tys != default.tys {
+                        return err("br_table target type mismatch");
+                    }
+                }
+                sim.pop_many(&default.tys)?;
+                sim.set_unreachable();
+            }
+            Term::Return => {
+                let rt = sim.frames[0].end.clone();
+                sim.pop_many(&rt)?;
+                sim.set_unreachable();
+            }
+            Term::Trap => sim.set_unreachable(),
+            Term::Exit => {
+                sim.pop_frame()?;
+                if !sim.frames.is_empty() {
+                    return err("control frames remaining at function exit (CFG builder bug)");
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Independently re-verifies a whole module.
+///
+/// Covers the same set of checks as [`validate_module`], computed over
+/// the CFG instead of the tree. Boolean accept/reject agreement with the
+/// validator is a hard invariant, pinned by a property test.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn reverify_module(m: &Module) -> Result<(), VerifyError> {
+    let ctx = module_ctx(m)?;
+    for (fi, f) in m.funcs.iter().enumerate() {
+        let fe = |message: String| VerifyError {
+            func: Some(fi as u32),
+            message,
+        };
+        if m.types.get(f.type_idx as usize).is_none() {
+            return Err(fe("unknown type".into()));
+        }
+        let cfg = build_cfg(m, f).map_err(|e| fe(e.0))?;
+        verify_func(m, &ctx, f, &cfg).map_err(fe)?;
+    }
+    for ex in &m.exports {
+        let ok = match ex.kind {
+            ExportKind::Func(i) => m.func_type(i).is_some(),
+            ExportKind::Global(i) => (i as usize) < ctx.globals.len(),
+            ExportKind::Memory(_) => ctx.has_memory,
+            ExportKind::Table(_) => ctx.has_table,
+        };
+        if !ok {
+            return Err(VerifyError {
+                func: None,
+                message: format!("export {}: bad index", ex.name),
+            });
+        }
+    }
+    for el in &m.elems {
+        if !ctx.has_table {
+            return Err(VerifyError {
+                func: None,
+                message: "element segment without a table".into(),
+            });
+        }
+        for &f in &el.funcs {
+            if m.func_type(f).is_none() {
+                return Err(VerifyError {
+                    func: None,
+                    message: format!("element segment references unknown function {f}"),
+                });
+            }
+        }
+    }
+    if !m.data.is_empty() && !ctx.has_memory {
+        return Err(VerifyError {
+            func: None,
+            message: "data segment without a memory".into(),
+        });
+    }
+    if let Some(s) = m.start {
+        let ft = m.func_type(s).ok_or_else(|| VerifyError {
+            func: None,
+            message: format!("start function {s} unknown"),
+        })?;
+        if !ft.params.is_empty() || !ft.results.is_empty() {
+            return Err(VerifyError {
+                func: None,
+                message: "start function must have type [] → []".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Cross-checks the re-verifier against `validate.rs` on one module,
+/// returning the verdicts `(validator, reverifier)`.
+pub fn cross_check(m: &Module) -> (Result<(), String>, Result<(), String>) {
+    (
+        validate_module(m).map_err(|e| e.to_string()),
+        reverify_module(m).map_err(|e| e.to_string()),
+    )
+}

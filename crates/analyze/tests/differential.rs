@@ -1,0 +1,252 @@
+//! Differential pin: the abstract stack re-verifier and `validate.rs`
+//! must agree accept/reject on generated modules.
+//!
+//! The generator (shared shape with the wasm crate's round-trip suite)
+//! emits structurally consistent but not necessarily *valid* modules —
+//! labels, locals, globals and types may be out of range, stacks may
+//! underflow, arms may disagree — so both accept and reject verdicts are
+//! exercised. Any divergence is a bug in one of the two checkers.
+
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+use proptest::test_runner::TestRng;
+use richwasm_analyze::reverify_module;
+use richwasm_wasm::ast::*;
+use richwasm_wasm::validate_module;
+
+fn arbitrary_module(rng: &mut TestRng) -> Module {
+    let mut m = Module::default();
+    let pick = |rng: &mut TestRng, n: u64| (rng.next_u64() % n) as u32;
+    let vt = |rng: &mut TestRng| match rng.next_u64() % 4 {
+        0 => ValType::I32,
+        1 => ValType::I64,
+        2 => ValType::F32,
+        _ => ValType::F64,
+    };
+
+    let ntypes = 1 + pick(rng, 4) as usize;
+    for _ in 0..ntypes {
+        let params = (0..pick(rng, 3)).map(|_| vt(rng)).collect();
+        let results = (0..pick(rng, 3)).map(|_| vt(rng)).collect();
+        m.intern_type(FuncType { params, results });
+    }
+    let ntypes = m.types.len() as u64;
+
+    let n_func_imports = pick(rng, 3);
+    for i in 0..n_func_imports {
+        m.imports.push(Import {
+            module: format!("env{}", pick(rng, 2)),
+            name: format!("f{i}"),
+            kind: ImportKind::Func(pick(rng, ntypes)),
+        });
+    }
+    let n_global_imports = pick(rng, 2);
+    for i in 0..n_global_imports {
+        m.imports.push(Import {
+            module: "env".into(),
+            name: format!("g{i}"),
+            kind: ImportKind::Global(vt(rng), rng.next_u64() % 2 == 0),
+        });
+    }
+
+    if rng.next_u64() % 2 == 0 {
+        m.table = Some(pick(rng, 16));
+    }
+    if rng.next_u64() % 2 == 0 {
+        m.memory = Some(1 + pick(rng, 4));
+    }
+
+    for _ in 0..pick(rng, 3) {
+        let ty = vt(rng);
+        // Sometimes a mismatched initialiser, to exercise rejection.
+        let init = if rng.next_u64() % 8 == 0 {
+            WInstr::I32Const(1)
+        } else {
+            match ty {
+                ValType::I32 => WInstr::I32Const(rng.next_u64() as i32),
+                ValType::I64 => WInstr::I64Const(rng.next_u64() as i64),
+                ValType::F32 => {
+                    WInstr::F32Const(f32::from_bits(rng.next_u64() as u32 & 0x7f7f_ffff))
+                }
+                ValType::F64 => {
+                    WInstr::F64Const(f64::from_bits(rng.next_u64() & 0x7fef_ffff_ffff_ffff))
+                }
+            }
+        };
+        m.globals.push(GlobalDef {
+            ty,
+            mutable: rng.next_u64() % 2 == 0,
+            init,
+        });
+    }
+
+    let n_funcs = 1 + pick(rng, 3);
+    let total_funcs = (n_func_imports + n_funcs) as u64;
+    for _ in 0..n_funcs {
+        let type_idx = pick(rng, ntypes);
+        let locals = (0..pick(rng, 5)).map(|_| vt(rng)).collect();
+        let body = arbitrary_body(rng, 3, ntypes, total_funcs);
+        m.funcs.push(FuncDef {
+            type_idx,
+            locals,
+            body,
+        });
+    }
+
+    for i in 0..pick(rng, 3) {
+        let kind = match rng.next_u64() % 4 {
+            0 => ExportKind::Func(pick(rng, total_funcs)),
+            1 if !m.globals.is_empty() || n_global_imports > 0 => ExportKind::Global(pick(
+                rng,
+                (n_global_imports + m.globals.len() as u32) as u64,
+            )),
+            2 if m.memory.is_some() => ExportKind::Memory(0),
+            3 if m.table.is_some() => ExportKind::Table(0),
+            _ => ExportKind::Func(pick(rng, total_funcs)),
+        };
+        m.exports.push(Export {
+            name: format!("export_{i}"),
+            kind,
+        });
+    }
+    if m.table.is_some() {
+        for _ in 0..pick(rng, 2) {
+            let funcs = (0..1 + pick(rng, 3))
+                .map(|_| pick(rng, total_funcs))
+                .collect();
+            m.elems.push(ElemSegment {
+                offset: pick(rng, 8),
+                funcs,
+            });
+        }
+    }
+    if rng.next_u64() % 8 == 0 {
+        m.start = Some(pick(rng, total_funcs));
+    }
+    m
+}
+
+fn arbitrary_body(rng: &mut TestRng, depth: u32, ntypes: u64, nfuncs: u64) -> Vec<WInstr> {
+    let n = rng.next_u64() % 6;
+    (0..n)
+        .map(|_| arbitrary_instr(rng, depth, ntypes, nfuncs))
+        .collect()
+}
+
+fn arbitrary_instr(rng: &mut TestRng, depth: u32, ntypes: u64, nfuncs: u64) -> WInstr {
+    use WInstr::*;
+    let pick = |rng: &mut TestRng, n: u64| (rng.next_u64() % n) as u32;
+    let w = |rng: &mut TestRng| {
+        if rng.next_u64() % 2 == 0 {
+            Width::W32
+        } else {
+            Width::W64
+        }
+    };
+    let sx = |rng: &mut TestRng| {
+        if rng.next_u64() % 2 == 0 {
+            Sx::S
+        } else {
+            Sx::U
+        }
+    };
+    let choices: u64 = if depth > 0 { 26 } else { 23 };
+    match rng.next_u64() % choices {
+        0 => Unreachable,
+        1 => Nop,
+        2 => Br(pick(rng, 4)),
+        3 => BrIf(pick(rng, 4)),
+        4 => BrTable(
+            (0..pick(rng, 3)).map(|_| pick(rng, 3)).collect(),
+            pick(rng, 3),
+        ),
+        5 => Return,
+        6 => Call(pick(rng, nfuncs)),
+        7 => CallIndirect(pick(rng, ntypes)),
+        8 => Drop,
+        9 => Select,
+        10 => LocalGet(pick(rng, 8)),
+        11 => LocalSet(pick(rng, 8)),
+        12 => LocalTee(pick(rng, 8)),
+        13 => GlobalGet(pick(rng, 4)),
+        14 => GlobalSet(pick(rng, 4)),
+        15 => I32Const(rng.next_u64() as i32),
+        16 => I64Const(rng.next_u64() as i64),
+        17 => {
+            let width = w(rng);
+            IBin(
+                width,
+                match rng.next_u64() % 5 {
+                    0 => IBinOp::Add,
+                    1 => IBinOp::Sub,
+                    2 => IBinOp::Xor,
+                    3 => IBinOp::Shr(sx(rng)),
+                    _ => IBinOp::Rotl,
+                },
+            )
+        }
+        18 => IRel(
+            w(rng),
+            match rng.next_u64() % 3 {
+                0 => IRelOp::Eq,
+                1 => IRelOp::Lt(sx(rng)),
+                _ => IRelOp::Ge(sx(rng)),
+            },
+        ),
+        19 => FBin(
+            w(rng),
+            match rng.next_u64() % 3 {
+                0 => FBinOp::Add,
+                1 => FBinOp::Min,
+                _ => FBinOp::Copysign,
+            },
+        ),
+        20 => Load(ValType::I32, pick(rng, 256)),
+        21 => Store(ValType::I64, pick(rng, 256)),
+        22 => ITruncF(w(rng), w(rng), sx(rng)),
+        23 => Block(
+            arbitrary_blocktype(rng, ntypes),
+            arbitrary_body(rng, depth - 1, ntypes, nfuncs),
+        ),
+        24 => Loop(
+            arbitrary_blocktype(rng, ntypes),
+            arbitrary_body(rng, depth - 1, ntypes, nfuncs),
+        ),
+        _ => If(
+            arbitrary_blocktype(rng, ntypes),
+            arbitrary_body(rng, depth - 1, ntypes, nfuncs),
+            arbitrary_body(rng, depth - 1, ntypes, nfuncs),
+        ),
+    }
+}
+
+fn arbitrary_blocktype(rng: &mut TestRng, ntypes: u64) -> BlockType {
+    match rng.next_u64() % 3 {
+        0 => BlockType::Empty,
+        1 => BlockType::Value(match rng.next_u64() % 4 {
+            0 => ValType::I32,
+            1 => ValType::I64,
+            2 => ValType::F32,
+            _ => ValType::F64,
+        }),
+        // Deliberately may exceed the type-section length, so both
+        // checkers must reject it the same way.
+        _ => BlockType::Func((rng.next_u64() % (ntypes + 1)) as u32),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn reverifier_agrees_with_validator(m in BoxedStrategy::from_fn(arbitrary_module)) {
+        let v = validate_module(&m);
+        let r = reverify_module(&m);
+        prop_assert_eq!(
+            v.is_ok(),
+            r.is_ok(),
+            "checker disagreement\nvalidator: {:?}\nre-verifier: {:?}\nmodule: {:#?}",
+            v, r, m
+        );
+    }
+}

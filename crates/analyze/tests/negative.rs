@@ -1,0 +1,288 @@
+//! Handcrafted negative modules: each pass must flag its target defect,
+//! and the cost pass's step model must match the interpreter's metering
+//! exactly on straight-line code.
+
+use richwasm_analyze::{analyze_module, Bound, Pass, Severity, NEVER};
+use richwasm_wasm::ast::*;
+use richwasm_wasm::exec::WasmLinker;
+
+fn module_with(body: Vec<WInstr>, results: Vec<ValType>) -> Module {
+    Module {
+        types: vec![FuncType {
+            params: vec![],
+            results,
+        }],
+        funcs: vec![FuncDef {
+            type_idx: 0,
+            locals: vec![],
+            body,
+        }],
+        exports: vec![Export {
+            name: "f".into(),
+            kind: ExportKind::Func(0),
+        }],
+        ..Module::default()
+    }
+}
+
+#[test]
+fn verify_pass_flags_an_invalid_module() {
+    // i64 produced where the function type demands i32: both checkers
+    // must reject, and the report must carry a Deny diagnostic.
+    let m = module_with(vec![WInstr::I64Const(1)], vec![ValType::I32]);
+    let report = analyze_module(&m);
+    assert!(report.has_deny());
+    assert!(report
+        .deny_diagnostics()
+        .iter()
+        .all(|d| d.pass == Pass::Verify));
+}
+
+#[test]
+fn clean_module_has_no_deny_findings() {
+    let m = module_with(vec![WInstr::I32Const(7)], vec![ValType::I32]);
+    let report = analyze_module(&m);
+    assert!(!report.has_deny(), "diagnostics: {:?}", report.diagnostics);
+    assert_eq!(report.cost.min_steps_of_export("f"), Some(1));
+}
+
+#[test]
+fn cost_min_matches_interpreter_metering_on_straight_line_code() {
+    // i32.const, i32.const, i32.add = 3 steps exactly.
+    let m = module_with(
+        vec![
+            WInstr::I32Const(2),
+            WInstr::I32Const(3),
+            WInstr::IBin(Width::W32, IBinOp::Add),
+        ],
+        vec![ValType::I32],
+    );
+    let report = analyze_module(&m);
+    let min = report.cost.min_steps_of_export("f").unwrap();
+    assert_eq!(min, 3);
+    assert_eq!(report.cost.funcs[0].max_steps, Bound::Finite(3));
+
+    // The interpreter agrees: a budget of min-1 exhausts, min completes.
+    let mut linker = WasmLinker::new();
+    let idx = linker.instantiate("m", m.clone()).unwrap();
+    linker.max_steps = min - 1;
+    assert!(linker.invoke(idx, "f", &[]).is_err());
+    let mut linker = WasmLinker::new();
+    let idx = linker.instantiate("m", m).unwrap();
+    linker.max_steps = min;
+    assert!(linker.invoke(idx, "f", &[]).is_ok());
+}
+
+#[test]
+fn cost_min_is_a_sound_lower_bound_on_branchy_code() {
+    // if/else with asymmetric arms: min must be ≤ the cheap arm's cost
+    // and the interpreter must complete any run given enough fuel.
+    let m = module_with(
+        vec![
+            WInstr::I32Const(0),
+            WInstr::If(
+                BlockType::Value(ValType::I32),
+                vec![
+                    WInstr::I32Const(1),
+                    WInstr::I32Const(2),
+                    WInstr::IBin(Width::W32, IBinOp::Add),
+                ],
+                vec![WInstr::I32Const(9)],
+            ),
+        ],
+        vec![ValType::I32],
+    );
+    let report = analyze_module(&m);
+    let min = report.cost.min_steps_of_export("f").unwrap();
+    // const(1) + if(1) + cheap arm const(1) = 3
+    assert_eq!(min, 3);
+    let mut linker = WasmLinker::new();
+    let idx = linker.instantiate("m", m).unwrap();
+    linker.max_steps = min;
+    // Condition 0 takes the else arm, which is exactly the cheap path.
+    assert_eq!(linker.invoke(idx, "f", &[]).unwrap().len(), 1);
+}
+
+#[test]
+fn then_arm_fallthrough_reaches_the_merge_not_the_else_arm() {
+    // Regression: the then arm's dataflow successor is the merge *after*
+    // the whole `if`, not the else arm that merely follows it in linear
+    // layout — flowing it into a trapping else arm made min NEVER for a
+    // function that completes.
+    let m = module_with(
+        vec![
+            WInstr::I32Const(1),
+            WInstr::If(
+                BlockType::Empty,
+                vec![WInstr::Nop],
+                vec![WInstr::Unreachable],
+            ),
+        ],
+        vec![],
+    );
+    let report = analyze_module(&m);
+    // const(1) + if(1) + nop(1) = 3 via the then arm.
+    assert_eq!(report.cost.funcs[0].min_steps, 3);
+
+    // The interpreter agrees: condition 1 takes the then arm and
+    // completes on exactly that budget.
+    let mut linker = WasmLinker::new();
+    let idx = linker.instantiate("m", m).unwrap();
+    linker.max_steps = 3;
+    assert!(linker.invoke(idx, "f", &[]).is_ok());
+}
+
+#[test]
+fn cost_pass_flags_a_function_that_can_never_complete() {
+    let m = module_with(vec![WInstr::Unreachable], vec![]);
+    let report = analyze_module(&m);
+    assert_eq!(report.cost.funcs[0].min_steps, NEVER);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.pass == Pass::Cost && d.severity == Severity::Warn));
+}
+
+#[test]
+fn looping_loop_is_unbounded_with_iteration_floor() {
+    // loop { local.get; br_if 0 } — a real back edge.
+    let mut m = Module::default();
+    let ft = m.intern_type(FuncType {
+        params: vec![],
+        results: vec![],
+    });
+    m.funcs.push(FuncDef {
+        type_idx: ft,
+        locals: vec![ValType::I32],
+        body: vec![WInstr::Loop(
+            BlockType::Empty,
+            vec![WInstr::LocalGet(0), WInstr::BrIf(0)],
+        )],
+    });
+    m.exports.push(Export {
+        name: "f".into(),
+        kind: ExportKind::Func(0),
+    });
+    let report = analyze_module(&m);
+    let fc = &report.cost.funcs[0];
+    // Cheapest completion: loop(1) + local.get(1) + br_if(1) = 3.
+    assert_eq!(fc.min_steps, 3);
+    match fc.max_steps {
+        Bound::Unbounded { min_iteration } => {
+            // One iteration re-runs local.get + br_if = 2 steps.
+            assert_eq!(min_iteration, 2);
+        }
+        Bound::Finite(n) => panic!("expected unbounded, got ≤{n}"),
+    }
+}
+
+#[test]
+fn non_looping_loop_is_finite() {
+    let m = module_with(
+        vec![
+            WInstr::Loop(BlockType::Value(ValType::I32), vec![WInstr::I32Const(1)]),
+            WInstr::Drop,
+        ],
+        vec![],
+    );
+    let report = analyze_module(&m);
+    // loop(1) + const(1) + drop(1) = 3.
+    assert_eq!(report.cost.funcs[0].max_steps, Bound::Finite(3));
+}
+
+#[test]
+fn callgraph_flags_a_call_indirect_that_can_only_trap() {
+    // Local table with no element entries: every call_indirect traps.
+    let mut m = module_with(vec![WInstr::I32Const(0), WInstr::CallIndirect(0)], vec![]);
+    m.table = Some(1);
+    let report = analyze_module(&m);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.pass == Pass::CallGraph && d.message.contains("traps if executed")));
+    // And the cost pass agrees the function can never complete.
+    assert_eq!(report.cost.funcs[0].min_steps, NEVER);
+}
+
+#[test]
+fn callgraph_flags_an_unreachable_function() {
+    let mut m = module_with(vec![], vec![]);
+    // A second function nobody references.
+    m.funcs.push(FuncDef {
+        type_idx: 0,
+        locals: vec![],
+        body: vec![],
+    });
+    let report = analyze_module(&m);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.pass == Pass::CallGraph && d.func == 1 && d.message.contains("unreachable")));
+}
+
+#[test]
+fn callgraph_bounds_call_depth() {
+    // f calls g calls (nothing): depth 2.
+    let mut m = module_with(vec![WInstr::Call(1)], vec![]);
+    m.funcs.push(FuncDef {
+        type_idx: 0,
+        locals: vec![],
+        body: vec![],
+    });
+    let report = analyze_module(&m);
+    assert_eq!(report.cost.max_call_depth, Some(2));
+
+    // Self-recursion: unbounded.
+    let m = module_with(vec![WInstr::Call(0)], vec![]);
+    let report = analyze_module(&m);
+    assert_eq!(report.cost.max_call_depth, None);
+}
+
+#[test]
+fn deadcode_flags_instructions_after_an_unconditional_branch() {
+    let m = module_with(
+        vec![WInstr::Block(
+            BlockType::Empty,
+            vec![
+                WInstr::Br(0),
+                WInstr::I32Const(1), // dead
+                WInstr::Drop,        // dead
+            ],
+        )],
+        vec![],
+    );
+    let report = analyze_module(&m);
+    let dead: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.pass == Pass::DeadCode)
+        .collect();
+    assert_eq!(dead.len(), 1, "diagnostics: {:?}", report.diagnostics);
+    assert!(dead[0].message.contains("2 dead instruction(s)"));
+    assert!(!report.has_deny());
+}
+
+#[test]
+fn recursion_makes_max_unbounded_but_keeps_min() {
+    // even/odd-style mutual recursion.
+    let mut m = module_with(
+        vec![
+            WInstr::I32Const(0),
+            WInstr::If(BlockType::Empty, vec![WInstr::Call(1)], vec![]),
+        ],
+        vec![],
+    );
+    m.funcs.push(FuncDef {
+        type_idx: 0,
+        locals: vec![],
+        body: vec![WInstr::Call(0)],
+    });
+    let report = analyze_module(&m);
+    // f can complete without recursing: const + if = 2 steps.
+    assert_eq!(report.cost.funcs[0].min_steps, 2);
+    assert!(matches!(
+        report.cost.funcs[1].max_steps,
+        Bound::Unbounded { .. }
+    ));
+    assert_eq!(report.cost.max_call_depth, None);
+}

@@ -69,7 +69,7 @@ fn bench(c: &mut Criterion) {
             for (_, bytes) in &binaries {
                 decode_module(bytes).unwrap();
             }
-        })
+        });
     });
 
     g.bench_function("decode_validate", |b| {
@@ -78,11 +78,11 @@ fn bench(c: &mut Criterion) {
                 let m = decode_module(bytes).unwrap();
                 validate_module(&m).unwrap();
             }
-        })
+        });
     });
 
     g.bench_function("artifact_deserialize", |b| {
-        b.iter(|| Artifact::deserialize(&serialized).unwrap())
+        b.iter(|| Artifact::deserialize(&serialized).unwrap());
     });
 
     g.bench_function("full_pipeline_cold", |b| {
@@ -90,7 +90,7 @@ fn bench(c: &mut Criterion) {
             Engine::with_config(wasm_config())
                 .compile(&stash_set())
                 .unwrap()
-        })
+        });
     });
 
     g.finish();

@@ -72,7 +72,7 @@ fn bench(c: &mut Criterion) {
         )
         .unwrap();
         g.bench_function("submit_wait_roundtrip", |b| {
-            b.iter(|| server.submit("bench", job()).unwrap().wait())
+            b.iter(|| server.submit("bench", job()).unwrap().wait());
         });
         server.drain();
     }

@@ -1,0 +1,127 @@
+//! **E13** — the cost of the `Stage::Analyze` pass: CFG construction +
+//! re-verification + fuel-cost + call-graph + dead-code over every
+//! lowered scenario module, measured against the cold compile that
+//! produces those modules.
+//!
+//! Analysis rides along on every cold compile (at `Analysis::Warn`, the
+//! default), so its budget is expressed *relative* to the pipeline it
+//! joins: the acceptance gate requires the analyze stage to cost **≤ 30%
+//! of a cold compile** (cold/analyze ≥ 10/3). In practice the
+//! substructural typecheck and whole-program lowering dwarf it.
+//!
+//! Series reported:
+//!
+//! * `analyze_all_modules` — `analyze_module` over every lowered
+//!   scenario module (the exact Stage::Analyze work);
+//! * `cold_compile` — the full static pipeline, analysis off, on a
+//!   fresh engine (the baseline the 30% budget is against).
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use richwasm_analyze::analyze_module;
+use richwasm_bench::workloads::{
+    arith_chain, churn, counter_client, counter_library, ml_tower, stash_client, stash_module,
+};
+use richwasm_repro::engine::{Analysis, Engine, EngineConfig, ModuleSet};
+use richwasm_wasm::ast::Module;
+
+fn scenario_sets() -> Vec<ModuleSet> {
+    vec![
+        ModuleSet::new()
+            .ml("ml", stash_module(false))
+            .l3("l3", stash_client())
+            .entry("l3"),
+        ModuleSet::new()
+            .l3("gfx", counter_library())
+            .ml("app", counter_client())
+            .entry("app"),
+        ModuleSet::new().ml("tower", ml_tower(4)),
+        ModuleSet::new().richwasm("chain", arith_chain(64)),
+        ModuleSet::new().richwasm("m", churn(50)),
+    ]
+}
+
+fn median_of<T>(samples: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        criterion::black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    // Collect every lowered module once, without analysis, so the
+    // analyze series measures exactly the Stage::Analyze work.
+    let off = Engine::with_config(EngineConfig::new().analysis(Analysis::Off));
+    let sets = scenario_sets();
+    let modules: Vec<Module> = sets
+        .iter()
+        .flat_map(|set| {
+            off.compile(set)
+                .unwrap()
+                .lowered_modules()
+                .iter()
+                .map(|(_, wm)| wm.clone())
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    assert!(!modules.is_empty());
+
+    let mut g = c.benchmark_group("e13_analyze");
+    g.sample_size(20);
+    g.bench_function("analyze_all_modules", |b| {
+        b.iter(|| {
+            for wm in &modules {
+                criterion::black_box(analyze_module(wm));
+            }
+        });
+    });
+    g.bench_function("cold_compile", |b| {
+        b.iter(|| {
+            // A fresh engine per iteration: no in-memory cache hit, no
+            // cache_dir, so every compile pays the full static pipeline.
+            let engine = Engine::with_config(EngineConfig::new().analysis(Analysis::Off));
+            for set in &sets {
+                criterion::black_box(engine.compile(set).unwrap());
+            }
+        });
+    });
+    g.finish();
+
+    let samples = 11;
+    let analyze_ns = median_of(samples, || {
+        for wm in &modules {
+            criterion::black_box(analyze_module(wm));
+        }
+    })
+    .as_nanos()
+    .max(1) as f64;
+    let cold_ns = median_of(samples, || {
+        let engine = Engine::with_config(EngineConfig::new().analysis(Analysis::Off));
+        for set in &sets {
+            criterion::black_box(engine.compile(set).unwrap());
+        }
+    })
+    .as_nanos()
+    .max(1) as f64;
+
+    println!(
+        "e13: analyze {:.2}ms vs cold compile {:.2}ms ({:.1}% overhead)",
+        analyze_ns / 1e6,
+        cold_ns / 1e6,
+        100.0 * analyze_ns / cold_ns
+    );
+    // Analysis must cost ≤ 30% of a cold compile: cold/analyze ≥ 10/3.
+    criterion::acceptance(
+        "e13_analyze/cold_compile_over_analyze",
+        cold_ns / analyze_ns,
+        10.0 / 3.0,
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -26,10 +26,10 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
 
     g.bench_function("check_accepts_safe", |b| {
-        b.iter(|| check_module(std::hint::black_box(&safe)).is_ok())
+        b.iter(|| check_module(std::hint::black_box(&safe)).is_ok());
     });
     g.bench_function("check_rejects_buggy", |b| {
-        b.iter(|| check_module(std::hint::black_box(&buggy)).is_err())
+        b.iter(|| check_module(std::hint::black_box(&buggy)).is_err());
     });
 
     // Static: modules checked once at instantiation; invocations carry no
@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
         let mut rt = Runtime::new();
         rt.instantiate("ml", safe.clone()).unwrap();
         let ci = rt.instantiate("l3", client.clone()).unwrap();
-        b.iter(|| rt.invoke(ci, "main", vec![]).unwrap().values[0].clone())
+        b.iter(|| rt.invoke(ci, "main", vec![]).unwrap().values[0].clone());
     });
 
     // Dynamic-only baseline: no static checking at all — safety rests on
@@ -48,7 +48,7 @@ fn bench(c: &mut Criterion) {
         rt.config.check_modules = false;
         rt.instantiate("ml", safe.clone()).unwrap();
         let ci = rt.instantiate("l3", client.clone()).unwrap();
-        b.iter(|| rt.invoke(ci, "main", vec![]).unwrap().values[0].clone())
+        b.iter(|| rt.invoke(ci, "main", vec![]).unwrap().values[0].clone());
     });
 
     g.finish();

@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
         let mut rt = inst.richwasm.take().unwrap();
         let app_i = rt.instance_by_name("app").unwrap();
         rt.invoke(app_i, "setup", vec![Value::i32(1)]).unwrap();
-        b.iter(|| rt.invoke(app_i, "bump", vec![Value::Unit]).unwrap().steps)
+        b.iter(|| rt.invoke(app_i, "bump", vec![Value::Unit]).unwrap().steps);
     });
 
     g.bench_function("bump_lowered_wasm", |b| {
@@ -44,7 +44,7 @@ fn bench(c: &mut Criterion) {
         let mut linker = inst.wasm.take().unwrap();
         let app_w = linker.instance_by_name("app").unwrap();
         linker.invoke(app_w, "setup", &[Val::I32(1)]).unwrap();
-        b.iter(|| linker.invoke(app_w, "bump", &[]).unwrap())
+        b.iter(|| linker.invoke(app_w, "bump", &[]).unwrap());
     });
 
     g.finish();

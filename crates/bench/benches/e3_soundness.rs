@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
     for n in [10usize, 50, 100] {
         let m = arith_chain(n);
         g.bench_with_input(BenchmarkId::new("check_module_funcs", n), &m, |b, m| {
-            b.iter(|| check_module(std::hint::black_box(m)).unwrap())
+            b.iter(|| check_module(std::hint::black_box(m)).unwrap());
         });
     }
 
@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
                 let mut rt = Runtime::new();
                 let i = rt.instantiate("m", m.clone()).unwrap();
                 rt.invoke(i, "main", vec![]).unwrap().steps
-            })
+            });
         });
     }
 

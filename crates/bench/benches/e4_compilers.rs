@@ -16,17 +16,17 @@ fn bench(c: &mut Criterion) {
 
     let stash = stash_module(false);
     g.bench_function("ml_compile_stash", |b| {
-        b.iter(|| richwasm_ml::compile_module(std::hint::black_box(&stash)).unwrap())
+        b.iter(|| richwasm_ml::compile_module(std::hint::black_box(&stash)).unwrap());
     });
 
     let client = stash_client();
     g.bench_function("l3_compile_client", |b| {
-        b.iter(|| richwasm_l3::compile_module(std::hint::black_box(&client)).unwrap())
+        b.iter(|| richwasm_l3::compile_module(std::hint::black_box(&client)).unwrap());
     });
 
     let lib = counter_library();
     g.bench_function("l3_compile_counter_lib", |b| {
-        b.iter(|| richwasm_l3::compile_module(std::hint::black_box(&lib)).unwrap())
+        b.iter(|| richwasm_l3::compile_module(std::hint::black_box(&lib)).unwrap());
     });
 
     for depth in [2u32, 4, 6] {

@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
         let m = arith_chain(n);
         let named = vec![("m".to_string(), m)];
         g.bench_with_input(BenchmarkId::new("lower_funcs", n), &named, |b, named| {
-            b.iter(|| lower_modules(std::hint::black_box(named)).unwrap())
+            b.iter(|| lower_modules(std::hint::black_box(named)).unwrap());
         });
     }
 
@@ -40,7 +40,7 @@ fn bench(c: &mut Criterion) {
                 .unwrap();
             let mut linker = inst.wasm.take().unwrap();
             let mi = linker.instance_by_name("m").unwrap();
-            b.iter(|| linker.invoke(mi, "main", &[]).unwrap())
+            b.iter(|| linker.invoke(mi, "main", &[]).unwrap());
         });
     }
 
@@ -53,7 +53,7 @@ fn bench(c: &mut Criterion) {
                 .iter()
                 .map(|(_, wm)| encode_module(std::hint::black_box(wm)).len())
                 .sum::<usize>()
-        })
+        });
     });
 
     g.finish();

@@ -48,7 +48,7 @@ fn bench(c: &mut Criterion) {
             let mut inst = artifact.instantiate().unwrap();
             assert_eq!(inst.invoke_entry().unwrap().i32(), Some(42));
             artifact.timings().total()
-        })
+        });
     });
 
     g.bench_function("e1_interp_only_end_to_end", |b| {
@@ -58,7 +58,7 @@ fn bench(c: &mut Criterion) {
             let mut inst = artifact.instantiate().unwrap();
             assert_eq!(inst.invoke_entry().unwrap().i32(), Some(42));
             artifact.timings().total()
-        })
+        });
     });
 
     g.bench_function("counter_build_wasm_only", |b| {
@@ -71,14 +71,14 @@ fn bench(c: &mut Criterion) {
                 .iter()
                 .map(|(_, bytes)| bytes.len())
                 .sum::<usize>()
-        })
+        });
     });
 
     g.bench_function("differential_bump_dispatch", |b| {
         let engine = Engine::new();
         let mut inst = engine.instantiate(&counter_set()).unwrap();
         inst.invoke("app", "setup", vec![Value::i32(1)]).unwrap();
-        b.iter(|| inst.invoke("app", "bump", vec![Value::Unit]).unwrap())
+        b.iter(|| inst.invoke("app", "bump", vec![Value::Unit]).unwrap());
     });
 
     g.finish();

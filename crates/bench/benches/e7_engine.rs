@@ -42,13 +42,13 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let engine = Engine::new();
             engine.compile(&stash_set()).unwrap()
-        })
+        });
     });
 
     let engine = Engine::new();
     let artifact = engine.compile(&stash_set()).unwrap();
     g.bench_function("warm_cache_hit", |b| {
-        b.iter(|| engine.compile(&stash_set()).unwrap())
+        b.iter(|| engine.compile(&stash_set()).unwrap());
     });
     assert!(
         engine.cache_stats().hits > 0 && engine.cache_stats().misses == 1,
@@ -57,7 +57,7 @@ fn bench(c: &mut Criterion) {
     );
 
     g.bench_function("instantiate_from_artifact", |b| {
-        b.iter(|| artifact.instantiate().unwrap())
+        b.iter(|| artifact.instantiate().unwrap());
     });
 
     g.bench_function("invoke_x1000", |b| {

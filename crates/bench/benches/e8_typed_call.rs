@@ -160,10 +160,10 @@ fn bench(c: &mut Criterion) {
         .get_typed_func::<(i32, i32), i32>("m", "add")
         .unwrap();
     g.bench_function("string_invoke", |b| {
-        b.iter(|| assert_eq!(string_calls(&mut diff_inst, N), expected))
+        b.iter(|| assert_eq!(string_calls(&mut diff_inst, N), expected));
     });
     g.bench_function("typed_call", |b| {
-        b.iter(|| assert_eq!(typed_calls(&mut diff_inst, &add, N), expected))
+        b.iter(|| assert_eq!(typed_calls(&mut diff_inst, &add, N), expected));
     });
 
     // Wasm-only instance: dispatch overhead is the measured quantity.
@@ -173,10 +173,10 @@ fn bench(c: &mut Criterion) {
         .get_typed_func::<(i32, i32), i32>("m", "add")
         .unwrap();
     g.bench_function("string_invoke_wasm_only", |b| {
-        b.iter(|| assert_eq!(string_calls(&mut wasm_inst, N), expected))
+        b.iter(|| assert_eq!(string_calls(&mut wasm_inst, N), expected));
     });
     g.bench_function("typed_call_wasm_only", |b| {
-        b.iter(|| assert_eq!(typed_calls(&mut wasm_inst, &wadd, N), expected))
+        b.iter(|| assert_eq!(typed_calls(&mut wasm_inst, &wadd, N), expected));
     });
 
     // One-time handle creation (resolution + signature validation).
@@ -185,7 +185,7 @@ fn bench(c: &mut Criterion) {
             diff_inst
                 .get_typed_func::<(i32, i32), i32>("m", "add")
                 .unwrap()
-        })
+        });
     });
 
     // Guest → host → guest round trip under differential record/replay.
@@ -207,7 +207,7 @@ fn bench(c: &mut Criterion) {
             for _ in 0..N {
                 assert_eq!(main.call(&mut host_inst, ()).unwrap(), 11);
             }
-        })
+        });
     });
 
     g.finish();

@@ -60,15 +60,15 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut inst = pool.checkout();
             inst.invoke_entry().unwrap().i32().unwrap()
-        })
+        });
     });
 
     g.bench_function(format!("batch_x{JOBS}_1_thread"), |b| {
-        b.iter(|| pool.invoke_batch(1, &jobs))
+        b.iter(|| pool.invoke_batch(1, &jobs));
     });
 
     g.bench_function(format!("batch_x{JOBS}_{WORKERS}_threads"), |b| {
-        b.iter(|| pool.invoke_batch(WORKERS, &jobs))
+        b.iter(|| pool.invoke_batch(WORKERS, &jobs));
     });
 
     g.finish();

@@ -163,7 +163,7 @@ pub fn churn(n: u32) -> Module {
                         Instr::MemUnpack(
                             Block::new(
                                 ArrowType::new(vec![], vec![]),
-                                vec![instr::LocalEffect::new(2, i32t.clone())],
+                                vec![instr::LocalEffect::new(2, i32t)],
                             ),
                             vec![
                                 Instr::StructGet(0),
@@ -178,10 +178,10 @@ pub fn churn(n: u32) -> Module {
                         // Loop control.
                         Instr::GetLocal(0, Qual::Unr),
                         Instr::i32(1),
-                        add.clone(),
+                        add,
                         Instr::TeeLocal(0),
                         Instr::i32(n as i32),
-                        lt.clone(),
+                        lt,
                         Instr::BrIf(0),
                     ],
                 ),

@@ -959,7 +959,7 @@ mod tests {
         // substituted: at quants[1] one size binder has been crossed, so
         // outer free index 0 appears as Var(1).
         let ft = FunType {
-            quants: ft.quants.clone(),
+            quants: ft.quants,
             arrow: ArrowType::new(vec![], vec![Pretype::Prod(vec![]).with_qual(Qual::Unr)]),
         };
         let mut q2 = ft.quants.clone();
@@ -969,7 +969,7 @@ mod tests {
         };
         let ft_with_free = FunType {
             quants: q2,
-            arrow: ft.arrow.clone(),
+            arrow: ft.arrow,
         };
         let ft3 = subst_funtype(&ft_with_free, &SubstEnv::size(Size::Const(64)));
         match &ft3.quants[1] {

@@ -388,8 +388,8 @@ impl<'a> Checker<'a> {
         self.frames.push(Frame {
             label_tys,
             label_locals,
-            end_tys: end_tys.clone(),
-            end_locals: end_locals.clone(),
+            end_tys,
+            end_locals,
             stack: entry,
             limbo,
             unreachable: false,
@@ -397,7 +397,9 @@ impl<'a> Checker<'a> {
         let result = (|| {
             self.check_seq(body)?;
             // End-of-body: the stack must deliver exactly the declared
-            // results, and locals must match the declared post-state.
+            // results, and locals must match the declared post-state
+            // (both read back from the frame, which owns them now).
+            let end_tys = self.cur().end_tys.clone();
             self.pop_many_expect(&end_tys, ctxt)?;
             let leftover = !self.cur().stack.is_empty();
             if leftover {
@@ -405,8 +407,8 @@ impl<'a> Checker<'a> {
                     context: format!("{ctxt}: values left on stack at end of block"),
                 });
             }
-            if let Some(want) = &end_locals {
-                self.check_locals_req(&LocalsReq::Exact(want.clone()), ctxt)?;
+            if let Some(want) = self.cur().end_locals.clone() {
+                self.check_locals_req(&LocalsReq::Exact(want), ctxt)?;
             }
             Ok(())
         })();
@@ -571,7 +573,7 @@ impl<'a> Checker<'a> {
                         context: format!("get_local {i}"),
                     });
                 }
-                self.push_op(slot.ty.clone());
+                self.push_op(slot.ty);
                 if !qual_leq(&self.ctx, *q, Qual::Unr) {
                     // Linear read: the slot is strongly updated to unit to
                     // prevent duplication (paper §2.1).
@@ -953,7 +955,7 @@ impl<'a> Checker<'a> {
                         ),
                     });
                 }
-                self.push_op(t.clone());
+                self.push_op(t);
                 self.push_op(ft);
                 Ok(())
             }
@@ -1028,7 +1030,7 @@ impl<'a> Checker<'a> {
                         context: format!("array.get would duplicate linear element {elem}"),
                     });
                 }
-                self.push_op(t.clone());
+                self.push_op(t);
                 self.push_op(elem);
                 Ok(())
             }
@@ -1055,7 +1057,7 @@ impl<'a> Checker<'a> {
                         context: "array.set drops the previous (linear) element".into(),
                     });
                 }
-                self.push_op(t.clone());
+                self.push_op(t);
                 Ok(())
             }
             Instr::ArrayFree => {
@@ -1542,7 +1544,7 @@ impl<'a> Checker<'a> {
         let bq = *bq;
         let bsz = bsz.clone();
         let body_ty = body_ty.clone();
-        let rt_outer = rt.clone();
+        let rt_outer = rt;
         self.shift_all(Kind::Type);
         self.ctx.push_type(TypeBound {
             lower_qual: bq,

@@ -17,7 +17,9 @@ fn i64t() -> Type {
     Type::num(NumType::I64)
 }
 
-/// Builds a single-function module and checks it.
+/// Builds a single-function module and checks it. By-value parameters
+/// keep the dozens of call sites free of `&`/`.clone()` noise.
+#[allow(clippy::needless_pass_by_value)]
 fn check_fn(ty: FunType, locals: Vec<Size>, body: Vec<Instr>) -> Result<(), TypeError> {
     let env = ModuleEnv::default();
     check_function_body(&env, &ty, &locals, &body).map(|_| ())
@@ -513,7 +515,7 @@ fn variant_case_unr_returns_ref() {
             vec![
                 Instr::VariantCase(
                     Qual::Unr,
-                    HeapType::Variant(cases.clone()),
+                    HeapType::Variant(cases),
                     Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
                     vec![
                         vec![],                           // case 0: payload i32 is the result
@@ -542,7 +544,7 @@ fn variant_case_lin_consumes_and_frees() {
             vec![],
             vec![Instr::VariantCase(
                 Qual::Lin,
-                HeapType::Variant(cases.clone()),
+                HeapType::Variant(cases),
                 Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
                 vec![vec![], vec![Instr::Drop, Instr::i32(0)]],
             )],
@@ -561,7 +563,7 @@ fn variant_case_unr_with_linear_payload_rejected() {
         unpack_then(vec![
             Instr::VariantCase(
                 Qual::Unr,
-                HeapType::Variant(cases.clone()),
+                HeapType::Variant(cases),
                 Block::new(ArrowType::new(vec![], vec![]), vec![]),
                 vec![vec![Instr::Ungroup, Instr::Drop]],
             ),
@@ -755,7 +757,7 @@ fn exist_pack_unpack_roundtrip() {
         Instr::ExistPack(Pretype::Num(NumType::I32), psi.clone(), Qual::Lin),
         unpack_then(vec![Instr::ExistUnpack(
             Qual::Lin,
-            psi.clone(),
+            psi,
             Block::new(ArrowType::new(vec![], vec![]), vec![]),
             vec![Instr::Drop],
         )]),
@@ -775,7 +777,7 @@ fn exist_unpack_escape_rejected() {
         unpack_then(vec![
             Instr::ExistUnpack(
                 Qual::Lin,
-                psi.clone(),
+                psi,
                 // Claims to return α^unr — but α is not in scope outside.
                 Block::new(ArrowType::new(vec![], vec![Pretype::Var(0).unr()]), vec![]),
                 vec![],

@@ -40,7 +40,7 @@ fn arb_pretype(max_loc: u32, max_ty: u32) -> impl Strategy<Value = Pretype> {
             inner.clone().prop_map(|p| {
                 Pretype::Ref(MemPriv::ReadWrite, Loc::Var(0), HeapType::Array(p.unr()))
             }),
-            inner.clone().prop_map(|p| Pretype::ExistsLoc(Box::new(
+            inner.prop_map(|p| Pretype::ExistsLoc(Box::new(
                 Pretype::Prod(vec![p.unr(), Pretype::Ptr(Loc::Var(0)).unr(),]).unr()
             ))),
         ]

@@ -36,6 +36,7 @@
 //!   same free list and reclaimed only when explicitly freed; the paper
 //!   likewise notes RichWasm needs its own GC on stock Wasm.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;

@@ -260,7 +260,7 @@ fn variant_case_unrestricted() {
                 vec![
                     Instr::VariantCase(
                         Qual::Unr,
-                        HeapType::Variant(cases.clone()),
+                        HeapType::Variant(cases),
                         Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
                         vec![vec![], vec![Instr::Drop, Instr::i32(-1)]],
                     ),
@@ -287,7 +287,7 @@ fn variant_case_linear_frees() {
                 Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
                 vec![Instr::VariantCase(
                     Qual::Lin,
-                    HeapType::Variant(cases.clone()),
+                    HeapType::Variant(cases),
                     Block::new(ArrowType::new(vec![], vec![i32t()]), vec![]),
                     vec![vec![Instr::i32(0), add()], vec![Instr::i32(2), mul()]],
                 )],
@@ -430,7 +430,7 @@ fn exist_pack_unpack_roundtrip() {
                 Block::new(ArrowType::new(vec![], vec![]), vec![]),
                 vec![Instr::ExistUnpack(
                     Qual::Lin,
-                    psi.clone(),
+                    psi,
                     Block::new(ArrowType::new(vec![], vec![]), vec![]),
                     vec![Instr::Drop],
                 )],

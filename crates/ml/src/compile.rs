@@ -530,7 +530,7 @@ impl FnCompiler {
         // Stack: [cell, v]. Box v into option case 1, stash it.
         out.push(Instr::VariantMalloc(
             1,
-            vec![Type::unit(), content_rt.clone()],
+            vec![Type::unit(), content_rt],
             Qual::Lin,
         ));
         let tmp_new = self.fresh();
@@ -679,7 +679,7 @@ impl FnCompiler {
         let mut code = FnCompiler::new(
             &[
                 (param.to_string(), param_ty.clone()),
-                ("$env".into(), env_ml.clone()),
+                ("$env".into(), env_ml),
             ],
             0,
         );
@@ -1163,7 +1163,7 @@ mod tests {
         let m = main_fn(
             MlExpr::Case(
                 Box::new(MlExpr::Inj {
-                    sum: sum.clone(),
+                    sum,
                     tag: 0,
                     e: Box::new(MlExpr::Int(42)),
                 }),
@@ -1241,9 +1241,9 @@ mod tests {
         let m = main_fn(
             MlExpr::Case(
                 Box::new(MlExpr::Unfold(Box::new(MlExpr::Fold(
-                    rec.clone(),
+                    rec,
                     Box::new(MlExpr::Inj {
-                        sum: unfolded_sum.clone(),
+                        sum: unfolded_sum,
                         tag: 0,
                         e: Box::new(MlExpr::Unit),
                     }),
@@ -1304,7 +1304,7 @@ mod tests {
             main_fn(
                 MlExpr::Case(
                     Box::new(MlExpr::Inj {
-                        sum: sum.clone(),
+                        sum,
                         tag: 1,
                         e: Box::new(MlExpr::Unit),
                     }),

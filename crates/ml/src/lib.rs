@@ -29,6 +29,7 @@
 //! demonstrate safety" (§5): a program like Fig. 1's `stash` compiles
 //! fine here and is *rejected by the RichWasm type checker*.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

@@ -29,6 +29,10 @@
 //! order).
 
 #![warn(missing_docs)]
+// The ring is the only unsafe code in the workspace; every `unsafe`
+// operation must sit in an explicit `unsafe` block with its own
+// `// SAFETY:` justification, even inside an `unsafe fn`.
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::cell::UnsafeCell;
 use std::fmt;
@@ -70,12 +74,15 @@ pub struct RingQueue<T> {
     head: CachePadded<AtomicUsize>,
 }
 
-// Safety: values move through the queue by ownership — a slot is written
-// by exactly one producer (the CAS winner for that ticket) and read by
-// exactly one consumer, with the slot's Release/Acquire sequence pair
-// ordering the value transfer. `T: Send` is required because values
-// cross threads; no `&T` is ever shared, so `Sync` needs nothing more.
+// SAFETY: values move through the queue by ownership — a slot is
+// written by exactly one producer (the CAS winner for that ticket) and
+// read by exactly one consumer, with the slot's Release/Acquire
+// sequence pair ordering the value transfer. `T: Send` is required
+// because values cross threads when the queue itself is sent.
 unsafe impl<T: Send> Send for RingQueue<T> {}
+// SAFETY: shared access (`&RingQueue`) exposes only `push`/`pop`/`len`,
+// whose slot claims are serialised by the ticket CAS above — no `&T`
+// into a slot ever escapes, so `T: Send` is all `Sync` requires.
 unsafe impl<T: Send> Sync for RingQueue<T> {}
 
 impl<T> RingQueue<T> {
@@ -127,7 +134,7 @@ impl<T> RingQueue<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // Safety: winning the CAS gives this thread sole
+                        // SAFETY: winning the CAS gives this thread sole
                         // write access to the slot until the sequence
                         // store below publishes it.
                         unsafe { (*slot.value.get()).write(value) };
@@ -164,7 +171,7 @@ impl<T> RingQueue<T> {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
-                        // Safety: winning the CAS gives this thread sole
+                        // SAFETY: winning the CAS gives this thread sole
                         // read access; the value was fully written before
                         // the producer's Release store we Acquired above.
                         let value = unsafe { (*slot.value.get()).assume_init_read() };

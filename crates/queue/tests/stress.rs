@@ -149,7 +149,7 @@ fn shedding_accounts_for_every_attempt() {
         done.store(true, Ordering::Release);
         let mut received = consumer.join().expect("consumer panicked");
 
-        let mut expected = accepted.clone();
+        let mut expected = accepted;
         expected.sort_unstable();
         received.sort_unstable();
         assert_eq!(

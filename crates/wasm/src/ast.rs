@@ -379,6 +379,28 @@ impl Module {
         self.types.get(ti as usize)
     }
 
+    /// Resolves a block type to its function type; `None` when a
+    /// `BlockType::Func` index is out of range. (Export hook for the
+    /// CFG construction in `richwasm-analyze`.)
+    pub fn block_func_type(&self, bt: &BlockType) -> Option<FuncType> {
+        Some(match bt {
+            BlockType::Empty => FuncType::default(),
+            BlockType::Value(t) => FuncType {
+                params: vec![],
+                results: vec![*t],
+            },
+            BlockType::Func(i) => self.types.get(*i as usize).cloned()?,
+        })
+    }
+
+    /// Looks up an exported function's global index by name.
+    pub fn export_func_index(&self, name: &str) -> Option<u32> {
+        self.exports.iter().find_map(|e| match e.kind {
+            ExportKind::Func(i) if e.name == name => Some(i),
+            _ => None,
+        })
+    }
+
     /// Interns a function type, returning its index.
     pub fn intern_type(&mut self, ft: FuncType) -> u32 {
         if let Some(i) = self.types.iter().position(|t| *t == ft) {

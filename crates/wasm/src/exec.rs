@@ -342,11 +342,12 @@ impl WasmLinker {
         }
 
         self.instances.push(inst);
-        self.module_types.push(module.types.clone());
+        let start = module.start;
+        self.module_types.push(module.types);
         self.names.insert(name.to_string(), module_idx);
 
         // Start function.
-        if let Some(s) = module.start {
+        if let Some(s) = start {
             let addr = self.instances[module_idx].func_addrs[s as usize];
             self.invoke_addr(addr, &[])?;
         }

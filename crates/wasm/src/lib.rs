@@ -26,6 +26,7 @@
 //! assert_eq!(out, vec![richwasm_wasm::exec::Val::I32(42)]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;

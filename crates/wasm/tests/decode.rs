@@ -273,7 +273,7 @@ fn out_of_range_indices_rejected() {
         let err = decode_module(&encode_module(&m)).expect_err("must reject");
         match err.kind {
             DecodeErrorKind::IndexOutOfRange { space: s, .. } => {
-                assert_eq!(s, space, "wrong index space: {err}")
+                assert_eq!(s, space, "wrong index space: {err}");
             }
             other => panic!("expected IndexOutOfRange({space}), got {other:?}"),
         }

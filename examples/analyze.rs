@@ -1,0 +1,95 @@
+//! **Experiment E13**: the static-analysis report over the scenario
+//! programs — what `richwasm-analyze` proves about every lowered module
+//! at `Artifact` build time: independent re-verification, static fuel
+//! bounds (min/max interpreter steps per function), call-depth bounds,
+//! and lint findings.
+//!
+//! ```sh
+//! cargo run --example analyze
+//! ```
+
+use richwasm_analyze::{Bound, Severity, NEVER};
+use richwasm_bench::workloads::{
+    arith_chain, churn, counter_client, counter_library, ml_tower, stash_client, stash_module,
+};
+use richwasm_repro::engine::{Engine, ModuleSet};
+
+fn main() {
+    let scenarios: Vec<(&str, ModuleSet)> = vec![
+        (
+            "E1 interop (ML stash + L3 client)",
+            ModuleSet::new()
+                .ml("ml", stash_module(false))
+                .l3("l3", stash_client())
+                .entry("l3"),
+        ),
+        (
+            "E2 counter (L3 library + ML app)",
+            ModuleSet::new()
+                .l3("gfx", counter_library())
+                .ml("app", counter_client())
+                .entry("app"),
+        ),
+        ("E4 ML tower", ModuleSet::new().ml("tower", ml_tower(4))),
+        (
+            "E5 arithmetic chain",
+            ModuleSet::new().richwasm("chain", arith_chain(64)),
+        ),
+        (
+            "E12 churn workload",
+            ModuleSet::new().richwasm("m", churn(50)),
+        ),
+    ];
+
+    let engine = Engine::new();
+    for (label, set) in scenarios {
+        let artifact = engine.compile(&set).expect("scenario compiles");
+        println!("== {label}");
+        for (name, report) in artifact.analysis() {
+            let denies = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Deny)
+                .count();
+            let depth = match report.cost.max_call_depth {
+                Some(d) => format!("{d}"),
+                None => "unbounded/unknown".into(),
+            };
+            println!(
+                "  module `{name}`: {} function(s), {} finding(s) ({denies} deny), \
+                 call depth {depth}",
+                report.cost.funcs.len(),
+                report.diagnostics.len(),
+            );
+            for (export, idx) in &report.cost.exports {
+                let Some(fc) = report.cost.func(*idx) else {
+                    continue;
+                };
+                let min = if fc.min_steps == NEVER {
+                    "never completes".to_string()
+                } else {
+                    format!("≥{}", fc.min_steps)
+                };
+                let max = match fc.max_steps {
+                    Bound::Finite(n) => format!("≤{n}"),
+                    Bound::Unbounded { min_iteration } => {
+                        format!("unbounded (≥{min_iteration}/iteration)")
+                    }
+                };
+                println!("    export `{export}`: steps {min}, {max}");
+            }
+            for d in &report.diagnostics {
+                println!("    {d}");
+            }
+        }
+        if let (Some(entry), func) = (artifact.entry(), artifact.entry_func()) {
+            if let Some(min) = artifact.static_min_steps(entry, func) {
+                println!(
+                    "  entry `{entry}`.`{func}`: any fuel budget below {min} steps is \
+                     rejected as infeasible before an instance checkout"
+                );
+            }
+        }
+        println!();
+    }
+}

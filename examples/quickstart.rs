@@ -27,7 +27,7 @@ fn main() {
                 Instr::MemUnpack(
                     Block::new(
                         ArrowType::new(vec![], vec![]),
-                        vec![instr::LocalEffect::new(0, i32t.clone())],
+                        vec![instr::LocalEffect::new(0, i32t)],
                     ),
                     vec![
                         // Strong update: replace the i32 with another i32

@@ -63,6 +63,10 @@ use richwasm::error::{RuntimeError, TypeError};
 use richwasm::interp::{InvokeResult, Runtime};
 use richwasm::syntax::{self, NumType, Value};
 use richwasm::typecheck::check_module;
+use richwasm_analyze::{
+    analyze_module, AnalysisReport, AnalyzeError, Bound, CostReport, Diagnostic, FuncCost, Pass,
+    Severity,
+};
 use richwasm_l3::{compile_module as compile_l3, L3Error, L3Module};
 use richwasm_lower::lower::RUNTIME_NAME;
 use richwasm_lower::{lower_modules_with_plan, LinkPlan, LowerError};
@@ -132,6 +136,10 @@ pub enum Stage {
     Validate,
     /// Standard `.wasm` binary encoding.
     Encode,
+    /// CFG/dataflow static analysis of the lowered modules
+    /// (`richwasm-analyze`): re-verification, fuel bounds, call-graph
+    /// discipline, dead-code lint.
+    Analyze,
     /// Execution (either interpreter).
     Execute,
     /// Cross-backend result comparison.
@@ -151,6 +159,7 @@ impl Stage {
                 | Stage::Lower
                 | Stage::Validate
                 | Stage::Encode
+                | Stage::Analyze
         )
     }
 }
@@ -165,6 +174,7 @@ impl fmt::Display for Stage {
             Stage::Lower => "lower",
             Stage::Validate => "validate",
             Stage::Encode => "encode",
+            Stage::Analyze => "analyze",
             Stage::Execute => "execute",
             Stage::Differential => "differential",
         })
@@ -189,6 +199,10 @@ pub enum PipelineErrorKind {
     Artifact(String),
     /// A lowered module failed Wasm validation.
     Validation(ValidationError),
+    /// Static analysis rejected a module (`analysis: Deny` with a
+    /// `Deny`-severity finding — e.g. the independent re-verifier
+    /// disagreed with the validator).
+    Analysis(AnalyzeError),
     /// The RichWasm interpreter trapped or got stuck.
     Runtime(RuntimeError),
     /// The Wasm interpreter trapped.
@@ -214,6 +228,7 @@ impl fmt::Display for PipelineErrorKind {
             PipelineErrorKind::Decode(e) => write!(f, "{e}"),
             PipelineErrorKind::Artifact(reason) => write!(f, "artifact: {reason}"),
             PipelineErrorKind::Validation(e) => write!(f, "{e}"),
+            PipelineErrorKind::Analysis(e) => write!(f, "{e}"),
             PipelineErrorKind::Runtime(e) => write!(f, "{e}"),
             PipelineErrorKind::Wasm(e) => write!(f, "{e}"),
             PipelineErrorKind::Mismatch { richwasm, wasm } => {
@@ -296,6 +311,7 @@ impl std::error::Error for PipelineError {
             PipelineErrorKind::Lower(e) => Some(e),
             PipelineErrorKind::Decode(e) => Some(e),
             PipelineErrorKind::Validation(e) => Some(e),
+            PipelineErrorKind::Analysis(e) => Some(e),
             PipelineErrorKind::Runtime(e) => Some(e),
             PipelineErrorKind::Wasm(e) => Some(e),
             PipelineErrorKind::Mismatch { .. }
@@ -443,6 +459,50 @@ impl Invocation {
     }
 }
 
+/// What to do with static-analysis findings (`richwasm-analyze`) at
+/// [`Artifact`] build time.
+///
+/// Analysis runs over every lowered/decoded Wasm module after
+/// validation ([`Stage::Analyze`]) and its [`AnalysisReport`]s are
+/// cached on the artifact ([`Artifact::analysis`]) — including the
+/// static fuel bounds the serving layer uses to reject infeasible
+/// budgets up front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Analysis {
+    /// Skip the analyze stage entirely (no reports on the artifact).
+    Off,
+    /// Run analysis, keep all findings as report data; never fail the
+    /// compile. The default.
+    #[default]
+    Warn,
+    /// Run analysis and fail the compile
+    /// ([`PipelineErrorKind::Analysis`]) when any `Deny`-severity
+    /// finding fires — i.e. when the independent re-verifier and the
+    /// validator disagree about a module.
+    Deny,
+}
+
+impl Analysis {
+    /// Stable wire code (artifact serialisation).
+    fn code(self) -> u8 {
+        match self {
+            Analysis::Off => 0,
+            Analysis::Warn => 1,
+            Analysis::Deny => 2,
+        }
+    }
+
+    /// Inverse of [`Analysis::code`].
+    fn from_code(c: u8) -> Option<Self> {
+        match c {
+            0 => Some(Analysis::Off),
+            1 => Some(Analysis::Warn),
+            2 => Some(Analysis::Deny),
+            _ => None,
+        }
+    }
+}
+
 /// Engine-wide configuration: everything that affects *what* an
 /// [`Artifact`] contains or *how* its [`Instance`]s execute. The
 /// semantic fields are part of the cache key (see `DESIGN.md` §5);
@@ -461,6 +521,10 @@ pub struct EngineConfig {
     pub auto_gc_every: Option<u64>,
     /// Caps interpreter steps per invocation on both backends.
     pub fuel: Option<u64>,
+    /// Static-analysis policy at artifact build time (default:
+    /// [`Analysis::Warn`] — run the passes, cache the reports, never
+    /// fail the compile).
+    pub analysis: Analysis,
     /// Directory for the **persistent artifact cache** (default: none —
     /// in-memory caching only). See [`EngineConfig::cache_dir`].
     pub cache_dir: Option<PathBuf>,
@@ -473,6 +537,7 @@ impl Default for EngineConfig {
             typecheck: true,
             auto_gc_every: None,
             fuel: None,
+            analysis: Analysis::Warn,
             cache_dir: None,
         }
     }
@@ -513,6 +578,12 @@ impl EngineConfig {
         self
     }
 
+    /// Selects the static-analysis policy (see [`Analysis`]).
+    pub fn analysis(mut self, analysis: Analysis) -> Self {
+        self.analysis = analysis;
+        self
+    }
+
     /// Persists compiled artifacts under `dir` so warm compiles survive
     /// process restarts: a cold [`Engine::compile`] writes the artifact
     /// (hash-keyed file), and a later engine — in this process or the
@@ -533,7 +604,7 @@ impl EngineConfig {
     }
 
     /// The stable 128-bit fingerprint of the **semantic** fields (exec
-    /// mode, typecheck, auto-GC, fuel — not `cache_dir`): the
+    /// mode, typecheck, auto-GC, fuel, analysis — not `cache_dir`): the
     /// configuration's contribution to cache keys, and the compatibility
     /// stamp embedded in serialized artifacts.
     pub fn fingerprint(&self) -> u128 {
@@ -541,8 +612,8 @@ impl EngineConfig {
         let mut h = Fnv128::new();
         let _ = write!(
             h,
-            "exec:{:?}|typecheck:{}|auto_gc:{:?}|fuel:{:?}",
-            self.exec, self.typecheck, self.auto_gc_every, self.fuel
+            "exec:{:?}|typecheck:{}|auto_gc:{:?}|fuel:{:?}|analysis:{:?}",
+            self.exec, self.typecheck, self.auto_gc_every, self.fuel, self.analysis
         );
         h.0
     }
@@ -873,7 +944,7 @@ impl fmt::Display for CacheStats {
 /// Magic + format version of a serialized [`Artifact`] (`DESIGN.md` §9);
 /// bump the trailing byte on any layout change so stale files fall back
 /// to a cold compile instead of misparsing.
-const ARTIFACT_MAGIC: &[u8] = b"RWART\x01";
+const ARTIFACT_MAGIC: &[u8] = b"RWART\x02";
 
 fn write_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -888,6 +959,97 @@ fn write_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
         }
         None => out.push(0),
     }
+}
+
+/// Serializes one module's [`AnalysisReport`] (diagnostics + fuel-cost
+/// summary) into the artifact byte stream.
+fn write_analysis(out: &mut Vec<u8>, r: &AnalysisReport) {
+    out.extend_from_slice(&(r.diagnostics.len() as u32).to_le_bytes());
+    for d in &r.diagnostics {
+        out.extend_from_slice(&d.func.to_le_bytes());
+        out.extend_from_slice(&d.offset.to_le_bytes());
+        out.push(d.pass.code());
+        out.push(d.severity.code());
+        write_str(out, &d.message);
+    }
+    out.extend_from_slice(&(r.cost.funcs.len() as u32).to_le_bytes());
+    for fc in &r.cost.funcs {
+        out.extend_from_slice(&fc.func.to_le_bytes());
+        out.extend_from_slice(&fc.min_steps.to_le_bytes());
+        match fc.max_steps {
+            Bound::Finite(n) => {
+                out.push(0);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            Bound::Unbounded { min_iteration } => {
+                out.push(1);
+                out.extend_from_slice(&min_iteration.to_le_bytes());
+            }
+        }
+    }
+    out.extend_from_slice(&(r.cost.exports.len() as u32).to_le_bytes());
+    for (name, idx) in &r.cost.exports {
+        write_str(out, name);
+        out.extend_from_slice(&idx.to_le_bytes());
+    }
+    write_opt_u64(out, r.cost.max_call_depth.map(u64::from));
+}
+
+/// Inverse of [`write_analysis`]; `None` on any framing error.
+fn read_analysis(r: &mut ArtifactReader<'_>) -> Option<AnalysisReport> {
+    let nd = u32::from_le_bytes(r.array::<4>()?) as usize;
+    let mut diagnostics = Vec::new();
+    for _ in 0..nd {
+        let func = u32::from_le_bytes(r.array::<4>()?);
+        let offset = u32::from_le_bytes(r.array::<4>()?);
+        let pass = Pass::from_code(r.u8()?)?;
+        let severity = Severity::from_code(r.u8()?)?;
+        let message = r.string()?;
+        diagnostics.push(Diagnostic {
+            func,
+            offset,
+            pass,
+            severity,
+            message,
+        });
+    }
+    let nf = u32::from_le_bytes(r.array::<4>()?) as usize;
+    let mut funcs = Vec::new();
+    for _ in 0..nf {
+        let func = u32::from_le_bytes(r.array::<4>()?);
+        let min_steps = u64::from_le_bytes(r.array::<8>()?);
+        let max_steps = match r.u8()? {
+            0 => Bound::Finite(u64::from_le_bytes(r.array::<8>()?)),
+            1 => Bound::Unbounded {
+                min_iteration: u64::from_le_bytes(r.array::<8>()?),
+            },
+            _ => return None,
+        };
+        funcs.push(FuncCost {
+            func,
+            min_steps,
+            max_steps,
+        });
+    }
+    let ne = u32::from_le_bytes(r.array::<4>()?) as usize;
+    let mut exports = Vec::new();
+    for _ in 0..ne {
+        let name = r.string()?;
+        let idx = u32::from_le_bytes(r.array::<4>()?);
+        exports.push((name, idx));
+    }
+    let max_call_depth = match r.opt_u64()? {
+        Some(v) => Some(u32::try_from(v).ok()?),
+        None => None,
+    };
+    Some(AnalysisReport {
+        diagnostics,
+        cost: CostReport {
+            funcs,
+            exports,
+            max_call_depth,
+        },
+    })
 }
 
 /// Bounds-checked cursor over a serialized artifact; every accessor
@@ -949,6 +1111,9 @@ struct ArtifactInner {
     lowered: Vec<(String, w::Module)>,
     /// Standard `.wasm` encodings of `lowered`.
     binaries: Vec<(String, Vec<u8>)>,
+    /// Per-module static-analysis reports, in `lowered` order (empty
+    /// when [`Analysis::Off`] or in [`Exec::Interp`]).
+    analysis: Vec<(String, AnalysisReport)>,
     /// Static-stage timings of the (cold) compile that produced this.
     timings: Timings,
 }
@@ -1015,6 +1180,35 @@ impl Artifact {
         &self.inner.binaries
     }
 
+    /// The lowered Wasm modules in instantiation order, generated
+    /// runtime module first (empty in [`Exec::Interp`] mode) — the ASTs
+    /// the static-analysis passes (and the bytecode tier) consume.
+    pub fn lowered_modules(&self) -> &[(String, w::Module)] {
+        &self.inner.lowered
+    }
+
+    /// Per-module static-analysis reports, in [`Artifact::lowered_modules`]
+    /// order. Empty when analysis was [`Analysis::Off`], in
+    /// [`Exec::Interp`] mode, or on an artifact loaded from a pre-analysis
+    /// serialization.
+    pub fn analysis(&self) -> &[(String, AnalysisReport)] {
+        &self.inner.analysis
+    }
+
+    /// The statically proven minimum interpreter-step cost of invoking
+    /// exported function `func` of module `module`, from the cached
+    /// fuel-cost analysis. A budget strictly below this bound *cannot*
+    /// complete — the serving layer uses it to reject infeasible jobs
+    /// before an instance checkout. `None` when analysis did not run,
+    /// the export is unknown (or re-exported from an import), or no
+    /// path completes normally (a guaranteed trap is not a fuel
+    /// problem).
+    pub fn static_min_steps(&self, module: &str, func: &str) -> Option<u64> {
+        let (_, report) = self.inner.analysis.iter().find(|(n, _)| n == module)?;
+        let min = report.cost.min_steps_of_export(func)?;
+        (min != richwasm_analyze::NEVER).then_some(min)
+    }
+
     /// Static-stage timings of the cold compile that built this artifact.
     /// A cache hit returns the same artifact, so these do *not* grow —
     /// the static stages ran exactly once.
@@ -1053,6 +1247,7 @@ impl Artifact {
         out.push(inner.config.typecheck as u8);
         write_opt_u64(&mut out, inner.config.auto_gc_every);
         write_opt_u64(&mut out, inner.config.fuel);
+        out.push(inner.config.analysis.code());
         out.extend_from_slice(&inner.key.0.to_le_bytes());
         match &inner.entry {
             Some(e) => {
@@ -1067,6 +1262,11 @@ impl Artifact {
             write_str(&mut out, name);
             out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
             out.extend_from_slice(bytes);
+        }
+        out.extend_from_slice(&(inner.analysis.len() as u32).to_le_bytes());
+        for (name, report) in &inner.analysis {
+            write_str(&mut out, name);
+            write_analysis(&mut out, report);
         }
         let mut h = Fnv128::new();
         h.update(&out);
@@ -1119,11 +1319,14 @@ impl Artifact {
         let typecheck = r.u8().ok_or_else(|| corrupt("eof"))? != 0;
         let auto_gc_every = r.opt_u64().ok_or_else(|| corrupt("eof"))?;
         let fuel = r.opt_u64().ok_or_else(|| corrupt("eof"))?;
+        let analysis_level = Analysis::from_code(r.u8().ok_or_else(|| corrupt("eof"))?)
+            .ok_or_else(|| corrupt("bad analysis policy code"))?;
         let config = EngineConfig {
             exec: Exec::Wasm,
             typecheck,
             auto_gc_every,
             fuel,
+            analysis: analysis_level,
             cache_dir: None,
         };
         if config.fingerprint() != fingerprint {
@@ -1158,6 +1361,14 @@ impl Artifact {
             binaries.push((name.clone(), data.to_vec()));
             lowered.push((name, wm));
         }
+        let n_reports = u32::from_le_bytes(r.array::<4>().ok_or_else(|| corrupt("eof"))?) as usize;
+        let mut analysis = Vec::new();
+        for _ in 0..n_reports {
+            let name = r.string().ok_or_else(|| corrupt("bad report name"))?;
+            let report =
+                read_analysis(&mut r).ok_or_else(|| corrupt("malformed analysis report"))?;
+            analysis.push((name, report));
+        }
         if r.pos != payload.len() {
             return Err(corrupt("trailing bytes in artifact"));
         }
@@ -1173,6 +1384,7 @@ impl Artifact {
                 link_plan: LinkPlan::default(),
                 lowered,
                 binaries,
+                analysis,
                 timings: Timings::default(),
             }),
         })
@@ -2275,6 +2487,22 @@ impl Engine {
             timings.add(Stage::Encode, t0.elapsed());
         }
 
+        // Stage 6: CFG/dataflow static analysis of every lowered (or
+        // decoded) module — independent re-verification, fuel bounds,
+        // call-graph discipline, dead-code lint. The reports are part of
+        // the artifact: the serving layer reads the fuel bounds to
+        // reject infeasible budgets without an instance checkout.
+        let mut analysis = Vec::new();
+        if config.analysis != Analysis::Off && !lowered.is_empty() {
+            let t0 = Instant::now();
+            for (name, wm) in &lowered {
+                let report = analyze_module(wm);
+                enforce_analysis(config.analysis, name, &report)?;
+                analysis.push((name.clone(), report));
+            }
+            timings.add(Stage::Analyze, t0.elapsed());
+        }
+
         Ok(Artifact {
             inner: Arc::new(ArtifactInner {
                 key,
@@ -2287,10 +2515,32 @@ impl Engine {
                 link_plan,
                 lowered,
                 binaries,
+                analysis,
                 timings,
             }),
         })
     }
+}
+
+/// Applies the [`Analysis`] policy to one module's report: under
+/// [`Analysis::Deny`], any `Deny`-severity finding fails the compile
+/// with [`PipelineErrorKind::Analysis`]; under [`Analysis::Warn`] the
+/// findings stay report data on the artifact.
+fn enforce_analysis(
+    level: Analysis,
+    name: &str,
+    report: &AnalysisReport,
+) -> Result<(), PipelineError> {
+    if level == Analysis::Deny && report.has_deny() {
+        return Err(PipelineError::new(
+            Stage::Analyze,
+            Some(name),
+            PipelineErrorKind::Analysis(AnalyzeError {
+                diagnostics: report.deny_diagnostics(),
+            }),
+        ));
+    }
+    Ok(())
 }
 
 /// Flattens a RichWasm result value to its lowered Wasm representation
@@ -2328,6 +2578,24 @@ pub(crate) fn invoke_backends(
     func: &str,
     args: Vec<Value>,
 ) -> Result<Invocation, PipelineError> {
+    // Flatten up front so the interpreter path below can consume `args`
+    // without cloning. A value with no scalar lowering only matters when
+    // a Wasm backend actually runs, so the error is deferred into that
+    // closure.
+    let wargs: Result<Vec<Val>, PipelineError> = args.iter().try_fold(Vec::new(), |mut acc, a| {
+        let flat = flatten_value(a).ok_or_else(|| {
+            PipelineError::new(
+                Stage::Execute,
+                Some(module),
+                PipelineErrorKind::Unsupported(format!(
+                    "argument {a:?} has no scalar Wasm lowering"
+                )),
+            )
+        })?;
+        acc.extend(flat);
+        Ok(acc)
+    });
+
     let interp_result: Option<Result<InvokeResult, PipelineError>> = richwasm.as_mut().map(|rt| {
         let inst = rt.instance_by_name(module).ok_or_else(|| {
             PipelineError::new(
@@ -2336,7 +2604,7 @@ pub(crate) fn invoke_backends(
                 PipelineErrorKind::Unsupported(format!("no module named `{module}`")),
             )
         })?;
-        rt.invoke(inst, func, args.clone()).map_err(|e| {
+        rt.invoke(inst, func, args).map_err(|e| {
             PipelineError::new(Stage::Execute, Some(module), PipelineErrorKind::Runtime(e))
         })
     });
@@ -2356,19 +2624,7 @@ pub(crate) fn invoke_backends(
                 PipelineErrorKind::Unsupported(format!("no module named `{module}`")),
             )
         })?;
-        let mut wargs = Vec::new();
-        for a in &args {
-            let flat = flatten_value(a).ok_or_else(|| {
-                PipelineError::new(
-                    Stage::Execute,
-                    Some(module),
-                    PipelineErrorKind::Unsupported(format!(
-                        "argument {a:?} has no scalar Wasm lowering"
-                    )),
-                )
-            })?;
-            wargs.extend(flat);
-        }
+        let wargs = wargs?;
         linker.invoke(inst, func, &wargs).map_err(|e| {
             PipelineError::new(Stage::Execute, Some(module), PipelineErrorKind::Wasm(e))
         })
@@ -2664,6 +2920,62 @@ mod tests {
         let _held = pool.checkout();
         assert!(pool.invoke_batch(4, &[]).is_empty());
         assert_eq!(pool.stats().checkouts, 1, "empty batch checked nothing out");
+    }
+
+    #[test]
+    fn enforce_analysis_fails_only_deny_level_with_deny_findings() {
+        // A Deny finding only arises from a checker disagreement, which
+        // no valid module can trigger through the public API — so the
+        // policy gate is tested with a fabricated report.
+        let deny_report = AnalysisReport {
+            diagnostics: vec![Diagnostic {
+                func: 0,
+                offset: 0,
+                pass: Pass::Verify,
+                severity: Severity::Deny,
+                message: "fabricated disagreement".into(),
+            }],
+            cost: CostReport::default(),
+        };
+        assert!(enforce_analysis(Analysis::Off, "m", &deny_report).is_ok());
+        assert!(enforce_analysis(Analysis::Warn, "m", &deny_report).is_ok());
+        let err = enforce_analysis(Analysis::Deny, "m", &deny_report).unwrap_err();
+        assert_eq!(err.stage, Stage::Analyze);
+        assert_eq!(err.module.as_deref(), Some("m"));
+        assert!(matches!(err.kind, PipelineErrorKind::Analysis(_)));
+
+        let warn_report = AnalysisReport {
+            diagnostics: vec![Diagnostic {
+                func: 0,
+                offset: 0,
+                pass: Pass::DeadCode,
+                severity: Severity::Warn,
+                message: "dead code".into(),
+            }],
+            cost: CostReport::default(),
+        };
+        assert!(enforce_analysis(Analysis::Deny, "m", &warn_report).is_ok());
+    }
+
+    #[test]
+    fn compiled_artifact_carries_analysis_reports() {
+        let engine = Engine::new();
+        let artifact = engine.compile(&host_client_set()).unwrap();
+        // Differential mode lowers to Wasm, so analysis ran: one report
+        // per lowered module (runtime + guests), none with Deny findings.
+        assert_eq!(
+            artifact.analysis().len(),
+            artifact.lowered_modules().len(),
+            "one report per lowered module"
+        );
+        assert!(artifact.analysis().iter().all(|(_, r)| !r.has_deny()));
+
+        // Off produces an artifact with no reports — and a different
+        // cache key, so the two configurations never alias.
+        let off = Engine::with_config(EngineConfig::new().analysis(Analysis::Off));
+        let bare = off.compile(&host_client_set()).unwrap();
+        assert!(bare.analysis().is_empty());
+        assert_ne!(artifact.key(), bare.key());
     }
 
     #[test]

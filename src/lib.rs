@@ -37,12 +37,13 @@ pub mod server;
 
 pub use call::{HostSig, HostVal, HostValType, TypedFunc, WasmParams, WasmResults, WasmTy};
 pub use engine::{
-    Artifact, CacheKey, CacheStats, Engine, EngineConfig, Exec, Instance, InstancePool, Invocation,
-    Job, ModuleSet, PipelineError, PipelineErrorKind, PoolStats, PooledInstance, Source, Stage,
-    Timings, WasmBytes,
+    Analysis, Artifact, CacheKey, CacheStats, Engine, EngineConfig, Exec, Instance, InstancePool,
+    Invocation, Job, ModuleSet, PipelineError, PipelineErrorKind, PoolStats, PooledInstance,
+    Source, Stage, Timings, WasmBytes,
 };
 pub use pipeline::{Pipeline, Program, Report, Run};
 pub use richwasm;
+pub use richwasm_analyze as analyze;
 pub use richwasm_l3 as l3;
 pub use richwasm_lower as lower;
 pub use richwasm_ml as ml;

@@ -52,7 +52,7 @@ use crate::call::{HostSig, HostVal};
 use crate::engine::{invoke_backends, Engine, EngineConfig, ModuleSet};
 
 pub use crate::engine::{
-    Exec, Invocation, PipelineError, PipelineErrorKind, Source, Stage, Timings,
+    Analysis, Exec, Invocation, PipelineError, PipelineErrorKind, Source, Stage, Timings,
 };
 
 /// What `build` produced besides the executable program.
@@ -161,6 +161,13 @@ impl Pipeline {
     /// Runs a GC every `n` interpreter steps (default: only on demand).
     pub fn auto_gc_every(mut self, n: u64) -> Self {
         self.config = self.config.auto_gc_every(n);
+        self
+    }
+
+    /// Selects the static-analysis policy applied at build time (see
+    /// [`Analysis`]); defaults to [`Analysis::Warn`].
+    pub fn analysis(mut self, analysis: Analysis) -> Self {
+        self.config = self.config.analysis(analysis);
         self
     }
 

@@ -201,6 +201,17 @@ pub enum JobError {
     /// preempted. Retryable policy failure, not a guest fault — the
     /// instance was reset and subsequent jobs are unaffected.
     FuelExhausted,
+    /// The job's fuel budget is strictly below the statically proven
+    /// minimum step cost of the target function (the `richwasm-analyze`
+    /// fuel bounds cached on the artifact): it could only ever be
+    /// preempted, so the server rejects it *before* an instance
+    /// checkout instead of burning a pool slot on a doomed run.
+    BudgetInfeasible {
+        /// The budget the job would have run under.
+        budget: u64,
+        /// The proven minimum number of interpreter steps to complete.
+        required: u64,
+    },
     /// The job failed for any other reason (trap, mismatch, …), rendered
     /// from the underlying [`PipelineError`].
     Failed(String),
@@ -220,6 +231,11 @@ impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobError::FuelExhausted => f.write_str("job preempted: fuel budget exhausted"),
+            JobError::BudgetInfeasible { budget, required } => write!(
+                f,
+                "job rejected: fuel budget {budget} is below the statically proven \
+                 minimum of {required} steps"
+            ),
             JobError::Failed(reason) => write!(f, "job failed: {reason}"),
         }
     }
@@ -493,16 +509,57 @@ impl ServerInner {
                 continue;
             };
             tenant.queued.fetch_sub(1, Ordering::SeqCst);
-            self.run_job(queued_job);
+            self.run_job(&queued_job);
             tenant.in_flight.fetch_sub(1, Ordering::SeqCst);
             return true;
         }
         false
     }
 
+    /// Resolves a job's ticket and records its latency telemetry.
+    fn finish_job(
+        &self,
+        queued_job: &QueuedJob,
+        start: Instant,
+        result: Result<Invocation, JobError>,
+    ) {
+        let timing = JobTiming {
+            queued: start.duration_since(queued_job.enqueued),
+            service: start.elapsed(),
+        };
+        self.latency.record(timing.total());
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        queued_job
+            .ticket
+            .state
+            .resolve(JobOutcome { result, timing });
+    }
+
     /// Executes one job on a pool instance and resolves its ticket.
-    fn run_job(&self, queued_job: QueuedJob) {
+    fn run_job(&self, queued_job: &QueuedJob) {
         let start = Instant::now();
+
+        // Feasibility gate (static fuel bounds, `richwasm-analyze`): a
+        // budget strictly below the proven minimum step cost of the
+        // target export can only ever be preempted, so reject it here —
+        // before a pool checkout — instead of burning a slot on a
+        // doomed run.
+        let artifact = self.pool.artifact();
+        let budget = self.job_fuel.or(artifact.config().fuel);
+        if let Some(budget) = budget {
+            let job = &queued_job.job;
+            if let Some(required) = artifact.static_min_steps(&job.module, &job.func) {
+                if budget < required {
+                    self.finish_job(
+                        queued_job,
+                        start,
+                        Err(JobError::BudgetInfeasible { budget, required }),
+                    );
+                    return;
+                }
+            }
+        }
+
         let result = {
             let mut inst = self.pool.checkout();
             // Reset-on-checkin rebuilds backend state from the artifact's
@@ -520,17 +577,11 @@ impl ServerInner {
             // Drop = checkin = reset: a trapped or fuel-preempted job
             // cannot poison the instance for the next checkout.
         };
-        let finish = Instant::now();
-        let timing = JobTiming {
-            queued: start.duration_since(queued_job.enqueued),
-            service: finish.duration_since(start),
-        };
-        self.latency.record(timing.total());
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        queued_job.ticket.state.resolve(JobOutcome {
-            result: result.map_err(|e| JobError::from_pipeline(&e)),
-            timing,
-        });
+        self.finish_job(
+            queued_job,
+            start,
+            result.map_err(|e| JobError::from_pipeline(&e)),
+        );
     }
 
     fn worker_loop(&self, worker: usize) {
@@ -699,7 +750,7 @@ impl EngineServer {
         for tenant in &self.inner.tenants {
             while let Some(queued_job) = tenant.queue.pop() {
                 tenant.queued.fetch_sub(1, Ordering::SeqCst);
-                self.inner.run_job(queued_job);
+                self.inner.run_job(&queued_job);
             }
         }
     }

@@ -170,16 +170,12 @@ fn typed_func_rejects_instances_of_other_artifacts() {
         .instantiate(&ModuleSet::new().richwasm("m", arith_module()))
         .unwrap();
     let mut b = engine
-        .instantiate(
-            &ModuleSet::new()
-                .richwasm("m", host_client().clone())
-                .host_fn(
-                    "host",
-                    "tick",
-                    HostSig::new([HostValType::I32], [HostValType::I32]),
-                    |args| Ok(vec![args[0]]),
-                ),
-        )
+        .instantiate(&ModuleSet::new().richwasm("m", host_client()).host_fn(
+            "host",
+            "tick",
+            HostSig::new([HostValType::I32], [HostValType::I32]),
+            |args| Ok(vec![args[0]]),
+        ))
         .unwrap();
     let add = a.get_typed_func::<(i32, i32), i32>("m", "add").unwrap();
     let err = add.call(&mut b, (1, 2)).unwrap_err();

@@ -21,6 +21,7 @@ use std::sync::Arc;
 
 use richwasm::error::{RuntimeError, TypeError};
 use richwasm::syntax::{self, instr, FunType, Instr, NumInstr, NumType, Qual, Type, Value};
+use richwasm_analyze::{AnalyzeError, Diagnostic, Pass as AnalysisPass, Severity};
 use richwasm_bench::workloads::{counter_client, counter_library, stash_client, stash_module};
 use richwasm_l3::L3Error;
 use richwasm_lower::LowerError;
@@ -422,6 +423,18 @@ fn error_sources_chain_every_kind() {
             true,
         ),
         (PipelineErrorKind::Wasm(WasmTrap("w".into())), true),
+        (
+            PipelineErrorKind::Analysis(AnalyzeError {
+                diagnostics: vec![Diagnostic {
+                    func: 0,
+                    offset: 0,
+                    pass: AnalysisPass::Verify,
+                    severity: Severity::Deny,
+                    message: "checker disagreement".into(),
+                }],
+            }),
+            true,
+        ),
         (
             PipelineErrorKind::Decode(richwasm_wasm::decode::decode_module(b"junk").unwrap_err()),
             true,

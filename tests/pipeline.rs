@@ -43,7 +43,7 @@ fn ml_program_through_full_pipeline() {
                     }),
                     Box::new(MlExpr::Case(
                         Box::new(MlExpr::Inj {
-                            sum: sum.clone(),
+                            sum,
                             tag: 0,
                             e: Box::new(MlExpr::App(var("f"), Box::new(MlExpr::Int(12)))),
                         }),
@@ -137,7 +137,7 @@ fn e1_ml_main_modules() -> (L3Module, MlModule) {
             L3Fun {
                 name: "destroy".into(),
                 export: true,
-                params: vec![("r".into(), lin_l3.clone())],
+                params: vec![("r".into(), lin_l3)],
                 ret: L3Ty::Int,
                 body: L3Expr::Free(Box::new(L3Expr::Var("r".into()))),
             },

@@ -111,7 +111,7 @@ fn gated_set(gate: Arc<AtomicBool>) -> ModuleSet {
             },
             syntax::Func::Defined {
                 exports: vec!["main".into()],
-                ty: syntax::FunType::mono(vec![], vec![i32t.clone()]),
+                ty: syntax::FunType::mono(vec![], vec![i32t]),
                 locals: vec![],
                 body: vec![syntax::Instr::i32(0), syntax::Instr::Call(0, vec![])],
             },
@@ -289,5 +289,56 @@ fn wait_timeout_and_poll_observe_completion() {
     assert_eq!(outcome.result.unwrap().i32(), Some(10));
     assert!(ticket.is_done());
     assert!(ticket.poll().is_some(), "poll observes the same outcome");
+    server.drain();
+}
+
+#[test]
+fn infeasible_budget_is_rejected_before_an_instance_checkout() {
+    let artifact = churn_artifact(10);
+    let required = artifact
+        .static_min_steps("m", "main")
+        .expect("analysis cached a finite minimum for the entry");
+    assert!(required > 1, "churn(10) takes more than one step");
+
+    let server = EngineServer::start(
+        &artifact,
+        ServerConfig::new()
+            .workers(1)
+            .job_fuel(required - 1)
+            .tenant("t", TenantConfig::new()),
+    )
+    .unwrap();
+    let outcome = server.submit("t", churn_job()).unwrap().wait();
+    match outcome.result {
+        Err(JobError::BudgetInfeasible {
+            budget,
+            required: r,
+        }) => {
+            assert_eq!(budget, required - 1);
+            assert_eq!(r, required);
+        }
+        other => panic!("expected BudgetInfeasible, got {other:?}"),
+    }
+    assert_eq!(
+        server.pool_stats().checkouts,
+        0,
+        "a provably infeasible job must not consume a pool checkout"
+    );
+    assert_eq!(server.stats().completed, 1, "the ticket still resolved");
+    server.drain();
+
+    // A feasible budget on the same artifact executes normally (the
+    // static minimum is a true lower bound, not an over-estimate).
+    let server = EngineServer::start(
+        &artifact,
+        ServerConfig::new()
+            .workers(1)
+            .job_fuel(required * 1000)
+            .tenant("t", TenantConfig::new()),
+    )
+    .unwrap();
+    let outcome = server.submit("t", churn_job()).unwrap().wait();
+    assert_eq!(outcome.result.expect("feasible job").i32(), Some(10));
+    assert_eq!(server.pool_stats().checkouts, 1);
     server.drain();
 }

@@ -91,7 +91,7 @@ fn arb_int_expr(depth: u32, vars: u32) -> BoxedStrategy<MlExpr> {
             )
         }),
         // Closures: (fun x -> x + captured) arg
-        (sub.clone(), sub2).prop_map(move |(captured, arg)| {
+        (sub, sub2).prop_map(move |(captured, arg)| {
             let c = format!("v{vars}_c");
             MlExpr::Let(
                 c.clone(),
