@@ -1,0 +1,103 @@
+//! **E14** — the differential fuzz farm as a benchmark-gate experiment.
+//!
+//! A bounded sweep of generated well-typed programs runs through the
+//! full engine path (typecheck → lower → validate → encode → decode
+//! round-trip → differential execution), and a batch of adversarial
+//! mutants runs against the checker. The headline numbers become
+//! acceptance entries in the bench-gate JSON:
+//!
+//! * **case_pass_rate** — every generated case must pass (rate ≥ 1.0);
+//! * **mutant_rejection_rate** — every ill-typed mutant must be
+//!   rejected (rate ≥ 1.0);
+//! * **rule_coverage** — the sweep must exercise ≥ 60% of the checker's
+//!   typing rules (the full CI sweep reaches ~96%).
+//!
+//! Plus `case_end_to_end`: the wall cost of generating + fully running
+//! one case, which is the unit the CI sweep's budget is priced in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use richwasm::typecheck::{check_module, coverage_of_module, RuleCoverage};
+use richwasm_fuzz::{gen_program, mutate, pick_tier, run_case, MutationKind, Rng};
+
+/// Well-typed cases in the gate sweep.
+const CASES: u64 = 150;
+/// Adversarial mutants in the gate sweep.
+const MUTANTS: u32 = 50;
+const SEED: u64 = 0xE14;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e14_fuzz");
+    g.sample_size(10);
+
+    g.bench_function("case_end_to_end", |b| {
+        let cov = RuleCoverage::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut rng = Rng::for_case(SEED, i);
+            i += 1;
+            let tier = pick_tier(&mut rng);
+            let prog = gen_program(tier, &mut rng, &cov);
+            criterion::black_box(run_case(&prog).is_ok())
+        });
+    });
+    g.finish();
+
+    // ---- Gate sweep -------------------------------------------------
+    let mut cov = RuleCoverage::new();
+    let mut ok = 0u64;
+    for i in 0..CASES {
+        let mut rng = Rng::for_case(SEED, i);
+        let tier = pick_tier(&mut rng);
+        let prog = gen_program(tier, &mut rng, &cov);
+        for m in prog.rw_modules().into_iter().flatten() {
+            coverage_of_module(&m, &mut cov);
+        }
+        if run_case(&prog).is_ok() {
+            ok += 1;
+        } else {
+            eprintln!("e14: case {i} ({}) failed", tier.name());
+        }
+    }
+
+    let mut applied = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u64;
+    while applied < MUTANTS && attempt < u64::from(MUTANTS) * 20 {
+        let mut rng = Rng::for_case(SEED ^ 0xAD, attempt);
+        attempt += 1;
+        let tier = pick_tier(&mut rng);
+        let prog = gen_program(tier, &mut rng, &cov);
+        let kind = MutationKind::ALL[(attempt as usize) % MutationKind::ALL.len()];
+        for m in prog.rw_modules().into_iter().flatten() {
+            let Some(mutant) = mutate(&m, kind) else {
+                continue;
+            };
+            applied += 1;
+            if check_module(&mutant).is_err() {
+                rejected += 1;
+            }
+            break;
+        }
+    }
+
+    println!(
+        "e14: {ok}/{CASES} cases ok, {rejected}/{applied} mutants rejected, \
+         rule coverage {}/{}",
+        cov.covered(),
+        cov.total()
+    );
+    criterion::acceptance("e14_fuzz/case_pass_rate", ok as f64 / CASES as f64, 1.0);
+    criterion::acceptance(
+        "e14_fuzz/mutant_rejection_rate",
+        f64::from(rejected) / f64::from(applied.max(1)),
+        1.0,
+    );
+    criterion::acceptance(
+        "e14_fuzz/rule_coverage",
+        cov.covered() as f64 / cov.total() as f64,
+        0.6,
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

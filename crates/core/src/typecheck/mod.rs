@@ -16,9 +16,11 @@
 //!   against its telescope constraints.
 
 mod instr;
+pub mod rules;
 mod value;
 
 pub use instr::{check_function_body, Checker, InstrInfo, SlotTy};
+pub use rules::{coverage_of_module, Rule, RuleCoverage};
 pub use value::synthesize_const;
 
 use crate::env::{KindCtx, ModuleEnv, QualBounds, SizeBounds, TypeBound};

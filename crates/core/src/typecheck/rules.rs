@@ -1,0 +1,432 @@
+//! Typing-rule introspection (fuzzing support).
+//!
+//! The instruction checker implements one algorithmic rule per
+//! source instruction form (paper Figs. 5–8). This module names those
+//! rules as data — a [`Rule`] per form, split by qualifier where the
+//! qualifier is syntactic and selects genuinely different premises
+//! (`get_local` strong-updates the slot only when linear; `struct.malloc`
+//! targets a different memory per qualifier; `variant.case`/`exist.unpack`
+//! free the cell only when linear) — so that external tools can reason
+//! about *which* rules a module exercises without re-implementing the
+//! checker's dispatch.
+//!
+//! The primary consumer is `richwasm-fuzz`: its type-directed generator
+//! biases production choices toward under-covered rules, and its corpus
+//! statistics report per-rule counts. Coverage is purely syntactic (an
+//! AST walk), which is meaningful precisely because the corpus is checked:
+//! for a module accepted by [`super::check_module`], every counted
+//! instruction's rule premises were established.
+
+use crate::syntax::{Instr, Qual};
+
+/// One algorithmic typing rule of the checker (one source-instruction
+/// form, qualifier-split where the qualifier changes the premises).
+///
+/// Administrative instructions (paper Fig. 4) have no entry: the checker
+/// rejects them in source modules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Rule {
+    Val,
+    Num,
+    Unreachable,
+    Nop,
+    Drop,
+    Select,
+    Block,
+    Loop,
+    If,
+    Br,
+    BrIf,
+    BrTable,
+    Return,
+    GetLocalUnr,
+    GetLocalLin,
+    SetLocal,
+    TeeLocal,
+    GetGlobal,
+    SetGlobal,
+    Qualify,
+    CodeRef,
+    Inst,
+    CallIndirect,
+    Call,
+    RecFold,
+    RecUnfold,
+    MemPack,
+    MemUnpack,
+    Group,
+    Ungroup,
+    CapSplit,
+    CapJoin,
+    RefDemote,
+    RefSplit,
+    RefJoin,
+    StructMallocLin,
+    StructMallocUnr,
+    StructFree,
+    StructGet,
+    StructSet,
+    StructSwap,
+    VariantMalloc,
+    VariantCaseLin,
+    VariantCaseUnr,
+    ArrayMalloc,
+    ArrayGet,
+    ArraySet,
+    ArrayFree,
+    ExistPack,
+    ExistUnpackLin,
+    ExistUnpackUnr,
+}
+
+/// Splits a syntactic qualifier into the lin/unr rule pair. Qualifier
+/// *variables* cannot occur here: source instructions carry concrete
+/// qualifiers except under quantifier binders, which the checker
+/// instantiates before reaching the instruction.
+fn by_qual(q: Qual, lin: Rule, unr: Rule) -> Rule {
+    match q {
+        Qual::Lin => lin,
+        _ => unr,
+    }
+}
+
+impl Rule {
+    /// Every rule, in a fixed order (the order of [`Instr`]'s source
+    /// variants). `RuleCoverage` indexes by position in this slice.
+    pub const ALL: &'static [Rule] = &[
+        Rule::Val,
+        Rule::Num,
+        Rule::Unreachable,
+        Rule::Nop,
+        Rule::Drop,
+        Rule::Select,
+        Rule::Block,
+        Rule::Loop,
+        Rule::If,
+        Rule::Br,
+        Rule::BrIf,
+        Rule::BrTable,
+        Rule::Return,
+        Rule::GetLocalUnr,
+        Rule::GetLocalLin,
+        Rule::SetLocal,
+        Rule::TeeLocal,
+        Rule::GetGlobal,
+        Rule::SetGlobal,
+        Rule::Qualify,
+        Rule::CodeRef,
+        Rule::Inst,
+        Rule::CallIndirect,
+        Rule::Call,
+        Rule::RecFold,
+        Rule::RecUnfold,
+        Rule::MemPack,
+        Rule::MemUnpack,
+        Rule::Group,
+        Rule::Ungroup,
+        Rule::CapSplit,
+        Rule::CapJoin,
+        Rule::RefDemote,
+        Rule::RefSplit,
+        Rule::RefJoin,
+        Rule::StructMallocLin,
+        Rule::StructMallocUnr,
+        Rule::StructFree,
+        Rule::StructGet,
+        Rule::StructSet,
+        Rule::StructSwap,
+        Rule::VariantMalloc,
+        Rule::VariantCaseLin,
+        Rule::VariantCaseUnr,
+        Rule::ArrayMalloc,
+        Rule::ArrayGet,
+        Rule::ArraySet,
+        Rule::ArrayFree,
+        Rule::ExistPack,
+        Rule::ExistUnpackLin,
+        Rule::ExistUnpackUnr,
+    ];
+
+    /// The rule an instruction is checked by, or `None` for the
+    /// administrative forms (which the checker rejects in source).
+    pub fn of_instr(ins: &Instr) -> Option<Rule> {
+        Some(match ins {
+            Instr::Val(_) => Rule::Val,
+            Instr::Num(_) => Rule::Num,
+            Instr::Unreachable => Rule::Unreachable,
+            Instr::Nop => Rule::Nop,
+            Instr::Drop => Rule::Drop,
+            Instr::Select => Rule::Select,
+            Instr::BlockI(..) => Rule::Block,
+            Instr::LoopI(..) => Rule::Loop,
+            Instr::IfI(..) => Rule::If,
+            Instr::Br(_) => Rule::Br,
+            Instr::BrIf(_) => Rule::BrIf,
+            Instr::BrTable(..) => Rule::BrTable,
+            Instr::Return => Rule::Return,
+            Instr::GetLocal(_, q) => by_qual(*q, Rule::GetLocalLin, Rule::GetLocalUnr),
+            Instr::SetLocal(_) => Rule::SetLocal,
+            Instr::TeeLocal(_) => Rule::TeeLocal,
+            Instr::GetGlobal(_) => Rule::GetGlobal,
+            Instr::SetGlobal(_) => Rule::SetGlobal,
+            Instr::Qualify(_) => Rule::Qualify,
+            Instr::CodeRefI(_) => Rule::CodeRef,
+            Instr::Inst(_) => Rule::Inst,
+            Instr::CallIndirect => Rule::CallIndirect,
+            Instr::Call(..) => Rule::Call,
+            Instr::RecFold(_) => Rule::RecFold,
+            Instr::RecUnfold => Rule::RecUnfold,
+            Instr::MemPack(_) => Rule::MemPack,
+            Instr::MemUnpack(..) => Rule::MemUnpack,
+            Instr::Group(..) => Rule::Group,
+            Instr::Ungroup => Rule::Ungroup,
+            Instr::CapSplit => Rule::CapSplit,
+            Instr::CapJoin => Rule::CapJoin,
+            Instr::RefDemote => Rule::RefDemote,
+            Instr::RefSplit => Rule::RefSplit,
+            Instr::RefJoin => Rule::RefJoin,
+            Instr::StructMalloc(_, q) => by_qual(*q, Rule::StructMallocLin, Rule::StructMallocUnr),
+            Instr::StructFree => Rule::StructFree,
+            Instr::StructGet(_) => Rule::StructGet,
+            Instr::StructSet(_) => Rule::StructSet,
+            Instr::StructSwap(_) => Rule::StructSwap,
+            Instr::VariantMalloc(..) => Rule::VariantMalloc,
+            Instr::VariantCase(q, ..) => by_qual(*q, Rule::VariantCaseLin, Rule::VariantCaseUnr),
+            Instr::ArrayMalloc(_) => Rule::ArrayMalloc,
+            Instr::ArrayGet => Rule::ArrayGet,
+            Instr::ArraySet => Rule::ArraySet,
+            Instr::ArrayFree => Rule::ArrayFree,
+            Instr::ExistPack(..) => Rule::ExistPack,
+            Instr::ExistUnpack(q, ..) => by_qual(*q, Rule::ExistUnpackLin, Rule::ExistUnpackUnr),
+            Instr::Trap
+            | Instr::CallAdmin { .. }
+            | Instr::Label { .. }
+            | Instr::LocalFrame { .. }
+            | Instr::MallocAdmin(..)
+            | Instr::Free => return None,
+        })
+    }
+
+    /// The rule's position in [`Rule::ALL`].
+    pub fn index(self) -> usize {
+        // `ALL` follows the variant order, so a linear scan is exact and
+        // the compiler folds it; the slice is small enough not to matter.
+        Rule::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("rule listed in ALL")
+    }
+
+    /// A stable snake_case name (used in corpus-stats JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Val => "val",
+            Rule::Num => "num",
+            Rule::Unreachable => "unreachable",
+            Rule::Nop => "nop",
+            Rule::Drop => "drop",
+            Rule::Select => "select",
+            Rule::Block => "block",
+            Rule::Loop => "loop",
+            Rule::If => "if",
+            Rule::Br => "br",
+            Rule::BrIf => "br_if",
+            Rule::BrTable => "br_table",
+            Rule::Return => "return",
+            Rule::GetLocalUnr => "get_local_unr",
+            Rule::GetLocalLin => "get_local_lin",
+            Rule::SetLocal => "set_local",
+            Rule::TeeLocal => "tee_local",
+            Rule::GetGlobal => "get_global",
+            Rule::SetGlobal => "set_global",
+            Rule::Qualify => "qualify",
+            Rule::CodeRef => "coderef",
+            Rule::Inst => "inst",
+            Rule::CallIndirect => "call_indirect",
+            Rule::Call => "call",
+            Rule::RecFold => "rec_fold",
+            Rule::RecUnfold => "rec_unfold",
+            Rule::MemPack => "mem_pack",
+            Rule::MemUnpack => "mem_unpack",
+            Rule::Group => "group",
+            Rule::Ungroup => "ungroup",
+            Rule::CapSplit => "cap_split",
+            Rule::CapJoin => "cap_join",
+            Rule::RefDemote => "ref_demote",
+            Rule::RefSplit => "ref_split",
+            Rule::RefJoin => "ref_join",
+            Rule::StructMallocLin => "struct_malloc_lin",
+            Rule::StructMallocUnr => "struct_malloc_unr",
+            Rule::StructFree => "struct_free",
+            Rule::StructGet => "struct_get",
+            Rule::StructSet => "struct_set",
+            Rule::StructSwap => "struct_swap",
+            Rule::VariantMalloc => "variant_malloc",
+            Rule::VariantCaseLin => "variant_case_lin",
+            Rule::VariantCaseUnr => "variant_case_unr",
+            Rule::ArrayMalloc => "array_malloc",
+            Rule::ArrayGet => "array_get",
+            Rule::ArraySet => "array_set",
+            Rule::ArrayFree => "array_free",
+            Rule::ExistPack => "exist_pack",
+            Rule::ExistUnpackLin => "exist_unpack_lin",
+            Rule::ExistUnpackUnr => "exist_unpack_unr",
+        }
+    }
+}
+
+/// Per-rule occurrence counters over a corpus of (checked) modules.
+#[derive(Debug, Clone)]
+pub struct RuleCoverage {
+    counts: Vec<u64>,
+}
+
+impl Default for RuleCoverage {
+    fn default() -> RuleCoverage {
+        RuleCoverage {
+            counts: vec![0; Rule::ALL.len()],
+        }
+    }
+}
+
+impl RuleCoverage {
+    /// An empty coverage map.
+    pub fn new() -> RuleCoverage {
+        RuleCoverage::default()
+    }
+
+    /// Records one occurrence of `rule`.
+    pub fn record(&mut self, rule: Rule) {
+        self.counts[rule.index()] += 1;
+    }
+
+    /// The occurrence count of `rule`.
+    pub fn count(&self, rule: Rule) -> u64 {
+        self.counts[rule.index()]
+    }
+
+    /// Number of distinct rules seen at least once.
+    pub fn covered(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Total number of rules (the denominator for [`Self::covered`]).
+    pub fn total(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates `(rule, count)` pairs in [`Rule::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (Rule, u64)> + '_ {
+        Rule::ALL.iter().zip(&self.counts).map(|(r, c)| (*r, *c))
+    }
+
+    /// Folds another coverage map into this one.
+    pub fn merge(&mut self, other: &RuleCoverage) {
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+    }
+}
+
+fn walk(body: &[Instr], cov: &mut RuleCoverage) {
+    for ins in body {
+        if let Some(rule) = Rule::of_instr(ins) {
+            cov.record(rule);
+        }
+        match ins {
+            Instr::BlockI(_, b)
+            | Instr::LoopI(_, b)
+            | Instr::MemUnpack(_, b)
+            | Instr::ExistUnpack(_, _, _, b) => walk(b, cov),
+            Instr::IfI(_, t, e) => {
+                walk(t, cov);
+                walk(e, cov);
+            }
+            Instr::VariantCase(_, _, _, bs) => {
+                for b in bs {
+                    walk(b, cov);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Accumulates the rules syntactically exercised by a module — every
+/// function body and global initialiser, nested bodies included — into
+/// `cov`. Only meaningful for modules the checker accepts (see the module
+/// docs).
+pub fn coverage_of_module(m: &crate::syntax::Module, cov: &mut RuleCoverage) {
+    use crate::syntax::{Func, GlobalKind};
+    for f in &m.funcs {
+        if let Func::Defined { body, .. } = f {
+            walk(body, cov);
+        }
+    }
+    for g in &m.globals {
+        if let GlobalKind::Defined { init, .. } = &g.kind {
+            walk(init, cov);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syntax::{ArrowType, Block, FunType, Func, Module, NumType, Size, Type};
+
+    #[test]
+    fn all_indexing_is_consistent() {
+        for (i, r) in Rule::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        // Names are unique (they key the stats JSON).
+        let mut names: Vec<_> = Rule::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn qual_splits() {
+        use crate::syntax::Qual;
+        assert_eq!(
+            Rule::of_instr(&Instr::GetLocal(0, Qual::Lin)),
+            Some(Rule::GetLocalLin)
+        );
+        assert_eq!(
+            Rule::of_instr(&Instr::StructMalloc(vec![Size::Const(32)], Qual::Unr)),
+            Some(Rule::StructMallocUnr)
+        );
+        assert_eq!(Rule::of_instr(&Instr::Trap), None);
+    }
+
+    #[test]
+    fn module_walk_counts_nested_bodies() {
+        let m = Module {
+            funcs: vec![Func::Defined {
+                exports: vec![],
+                ty: FunType::mono(vec![], vec![Type::num(NumType::I32)]),
+                locals: vec![],
+                body: vec![Instr::BlockI(
+                    Block::new(
+                        ArrowType::new(vec![], vec![Type::num(NumType::I32)]),
+                        vec![],
+                    ),
+                    vec![Instr::i32(1)],
+                )],
+            }],
+            ..Module::default()
+        };
+        let mut cov = RuleCoverage::new();
+        coverage_of_module(&m, &mut cov);
+        assert_eq!(cov.count(Rule::Block), 1);
+        assert_eq!(cov.count(Rule::Val), 1);
+        assert_eq!(cov.covered(), 2);
+        let mut merged = RuleCoverage::new();
+        merged.merge(&cov);
+        merged.merge(&cov);
+        assert_eq!(merged.count(Rule::Val), 2);
+    }
+}

@@ -1,0 +1,212 @@
+//! L3-tier generation: random linear programs through the L3 compiler.
+//!
+//! Every template threads each allocated cell through exactly one
+//! consuming use (`free`, or a `swap`/`join`/`split` chain ending in a
+//! `free`), so generated programs always satisfy the L3 compiler's
+//! linearity discipline — and the RichWasm checker's re-establishment of
+//! it. This tier is what keeps `ref.split`/`ref.join`, capability
+//! threading, and strong updates hot in the farm.
+
+use richwasm_l3::builder::{
+    add, call, free, if_, int, join, let_, let_pair, new, op, pair, seq, split, swap, var,
+    L3ModuleBuilder,
+};
+use richwasm_l3::{L3Expr, L3Op, L3Ty};
+
+use crate::program::{FuzzProgram, SourceModule};
+use crate::rng::Rng;
+
+/// Unrestricted (int-typed) expression generator. Linear resources are
+/// only ever introduced and consumed inside a single template, never
+/// stored in the environment — that is what makes generation trivially
+/// linearity-sound.
+struct L3Gen<'a> {
+    rng: &'a mut Rng,
+    vars: Vec<String>,
+    /// Callable `Int → Int` helpers.
+    helpers: Vec<String>,
+    /// Number of `bump` helpers (Ref(Int,64) → Ref(Int,64)).
+    n_bumps: u32,
+    fresh: u32,
+}
+
+impl L3Gen<'_> {
+    fn fresh(&mut self) -> String {
+        self.fresh += 1;
+        format!("v{}", self.fresh)
+    }
+
+    fn leaf(&mut self) -> L3Expr {
+        if !self.vars.is_empty() && self.rng.chance(45) {
+            var(self.rng.pick(&self.vars).clone())
+        } else {
+            int(self.rng.range(-99, 99) as i32)
+        }
+    }
+
+    fn gen(&mut self, depth: u32) -> L3Expr {
+        if depth == 0 {
+            return self.leaf();
+        }
+        let d = depth - 1;
+        let mut prods: Vec<u64> = vec![
+            8,  // 0 leaf
+            10, // 1 arith
+            4,  // 2 comparison
+            6,  // 3 let
+            5,  // 4 if
+            4,  // 5 pair / let_pair
+            3,  // 6 seq
+            8,  // 7 free(new e)
+            6,  // 8 swap round trip
+            5,  // 9 join/split detour
+        ];
+        prods.push(if self.helpers.is_empty() { 0 } else { 6 }); // 10 call
+        prods.push(if self.n_bumps == 0 { 0 } else { 5 }); // 11 bump chain
+
+        match self.rng.pick_weighted(&prods) {
+            0 => self.leaf(),
+            1 => {
+                let o = *self.rng.pick(&[L3Op::Add, L3Op::Sub, L3Op::Mul]);
+                op(o, self.gen(d), self.gen(d))
+            }
+            2 => {
+                let o = *self.rng.pick(&[L3Op::Eq, L3Op::Lt]);
+                op(o, self.gen(d), self.gen(d))
+            }
+            3 => {
+                let x = self.fresh();
+                let bound = self.gen(d);
+                self.vars.push(x.clone());
+                let body = self.gen(d);
+                self.vars.pop();
+                let_(x, bound, body)
+            }
+            4 => if_(self.gen(d), self.gen(d), self.gen(d)),
+            5 => {
+                let (a, b) = (self.fresh(), self.fresh());
+                let p = pair(self.gen(d), self.gen(d));
+                self.vars.push(a.clone());
+                self.vars.push(b.clone());
+                let body = add(var(a.clone()), var(b.clone()));
+                self.vars.pop();
+                self.vars.pop();
+                let_pair(a, b, p, body)
+            }
+            6 => seq(self.gen(d), self.gen(d)),
+            7 => free(new(self.gen(d), 64)),
+            8 => {
+                // let (c2, old) = swap(new e, e') in free c2 + old
+                let (c2, old) = (self.fresh(), self.fresh());
+                let cell = new(self.gen(d), 64);
+                let replacement = self.gen(d);
+                let_pair(
+                    c2.clone(),
+                    old.clone(),
+                    swap(cell, replacement),
+                    add(free(var(c2)), var(old)),
+                )
+            }
+            9 => free(split(join(new(self.gen(d), 64)))),
+            10 => {
+                let h = self.rng.pick(&self.helpers).clone();
+                call(h, vec![self.gen(d)])
+            }
+            11 => {
+                // Thread a reference through 1..=3 bump calls, then
+                // consume it: free(split(bumpK(... join(new e) ...))).
+                let mut e = join(new(self.gen(d), 64));
+                for _ in 0..self.rng.range(1, 3) {
+                    let k = self.rng.below(u64::from(self.n_bumps));
+                    e = call(format!("bump{k}"), vec![e]);
+                }
+                free(split(e))
+            }
+            _ => self.leaf(),
+        }
+    }
+}
+
+/// The `bump` helper: strong-update a threaded `Ref(Int, 64)` in place
+/// (counter-library style: split → swap out → swap updated back → join).
+fn bump_body(step: i32) -> L3Expr {
+    let_pair(
+        "p2",
+        "old",
+        swap(split(var("r")), int(0)),
+        let_pair(
+            "p3",
+            "z",
+            swap(var("p2"), add(var("old"), int(step))),
+            seq(var("z"), join(var("p3"))),
+        ),
+    )
+}
+
+/// Generates one L3-tier case.
+pub fn gen_l3(rng: &mut Rng) -> FuzzProgram {
+    let ref_ty = || L3Ty::Ref(Box::new(L3Ty::Int), 64);
+    let n_bumps = rng.below(3) as u32;
+    let n_helpers = rng.below(3) as u32;
+
+    let mut b = L3ModuleBuilder::new();
+    for k in 0..n_bumps {
+        b = b.fun(
+            format!("bump{k}"),
+            false,
+            vec![("r", ref_ty())],
+            ref_ty(),
+            bump_body(rng.range(-9, 9) as i32),
+        );
+    }
+
+    let mut helpers: Vec<String> = Vec::new();
+    for h in 0..n_helpers {
+        let name = format!("h{h}");
+        let mut g = L3Gen {
+            rng,
+            vars: vec!["a".into()],
+            helpers: helpers.clone(),
+            n_bumps,
+            fresh: 0,
+        };
+        let body = add(var("a"), g.gen(2));
+        b = b.fun(name.clone(), false, vec![("a", L3Ty::Int)], L3Ty::Int, body);
+        helpers.push(name);
+    }
+
+    let mut g = L3Gen {
+        rng,
+        vars: vec![],
+        helpers,
+        n_bumps,
+        fresh: 100,
+    };
+    let body = g.gen(4);
+    b = b.fun("main", true, vec![], L3Ty::Int, body);
+
+    FuzzProgram {
+        modules: vec![("m".into(), SourceModule::L3(b.build()))],
+        hosts: vec![],
+        entry: "m".into(),
+        gc_every: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use richwasm::typecheck::check_module;
+
+    #[test]
+    fn generated_l3_compiles_and_checks() {
+        for seed in 0..40 {
+            let mut rng = Rng::for_case(0x13, seed);
+            let prog = gen_l3(&mut rng);
+            for m in &prog.rw_modules() {
+                let m = m.as_ref().expect("L3 compile succeeds");
+                check_module(m).expect("compiled L3 typechecks");
+            }
+        }
+    }
+}

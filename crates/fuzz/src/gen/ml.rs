@@ -1,0 +1,220 @@
+//! ML-tier generation: random core-ML programs through the ML compiler.
+//!
+//! Programs are well-typed by construction at the ML level (every
+//! production is type-directed over `MlTy::Int` with let-bound variable
+//! environments); the ML compiler then establishes RichWasm typing. The
+//! tier keeps closure conversion, sum/case lowering, ref cells, rec
+//! fold/unfold, and the global machinery hot — instruction shapes the
+//! raw tier's templates don't emit (`coderef`/`call_indirect` chains
+//! from closure application, `rec.fold`, demoted refs).
+
+use richwasm_ml::builder::{
+    add, app, assign, binop, call, case, deref, if_, inj, int, lam, let_, new_ref, proj, seq,
+    tuple, var, MlModuleBuilder,
+};
+use richwasm_ml::{MlBinop, MlExpr, MlTy};
+
+use crate::program::{FuzzProgram, SourceModule};
+use crate::rng::Rng;
+
+/// Int-typed expression generator. `vars` is the set of in-scope
+/// int-typed variables.
+struct MlGen<'a> {
+    rng: &'a mut Rng,
+    /// In-scope `Int` variables (let-bound and parameters).
+    vars: Vec<String>,
+    /// Names of callable helper functions, each `Int → Int`.
+    helpers: Vec<String>,
+    /// Number of readable `Int` globals (named `g0..`).
+    n_int_globals: u32,
+    /// Whether the `cell` global (`Ref Int`) exists.
+    has_cell: bool,
+    fresh: u32,
+}
+
+impl MlGen<'_> {
+    fn fresh(&mut self) -> String {
+        self.fresh += 1;
+        format!("x{}", self.fresh)
+    }
+
+    fn leaf(&mut self) -> MlExpr {
+        if !self.vars.is_empty() && self.rng.chance(45) {
+            var(self.rng.pick(&self.vars).clone())
+        } else if self.n_int_globals > 0 && self.rng.chance(20) {
+            var(format!(
+                "g{}",
+                self.rng.below(u64::from(self.n_int_globals))
+            ))
+        } else {
+            int(self.rng.range(-99, 99) as i32)
+        }
+    }
+
+    fn gen(&mut self, depth: u32) -> MlExpr {
+        if depth == 0 {
+            return self.leaf();
+        }
+        let d = depth - 1;
+        let mut prods: Vec<u64> = vec![
+            8,  // 0 leaf
+            12, // 1 arith binop
+            3,  // 2 division by nonzero constant
+            4,  // 3 comparison
+            6,  // 4 let
+            5,  // 5 if
+            4,  // 6 tuple/proj
+            4,  // 7 ref round trip
+            4,  // 8 sum inj/case
+            4,  // 9 closure app
+            3,  // 10 seq
+            2,  // 11 rec fold/unfold
+        ];
+        prods.push(if self.helpers.is_empty() { 0 } else { 6 }); // 12 call
+        prods.push(if self.has_cell { 4 } else { 0 }); // 13 cell assign/deref
+
+        match self.rng.pick_weighted(&prods) {
+            0 => self.leaf(),
+            1 => {
+                let op = *self.rng.pick(&[MlBinop::Add, MlBinop::Sub, MlBinop::Mul]);
+                binop(op, self.gen(d), self.gen(d))
+            }
+            2 => binop(MlBinop::Div, self.gen(d), int(self.rng.range(1, 7) as i32)),
+            3 => {
+                let op = *self.rng.pick(&[MlBinop::Eq, MlBinop::Lt]);
+                binop(op, self.gen(d), self.gen(d))
+            }
+            4 => {
+                let x = self.fresh();
+                let bound = self.gen(d);
+                self.vars.push(x.clone());
+                let body = self.gen(d);
+                self.vars.pop();
+                let_(x, bound, body)
+            }
+            5 => if_(self.gen(d), self.gen(d), self.gen(d)),
+            6 => {
+                let i = self.rng.below(2) as usize;
+                proj(i, tuple(vec![self.gen(d), self.gen(d)]))
+            }
+            7 => {
+                let x = self.fresh();
+                let init = self.gen(d);
+                let update = self.gen(d);
+                let_(
+                    x.clone(),
+                    new_ref(init),
+                    seq(assign(var(x.clone()), update), deref(var(x))),
+                )
+            }
+            8 => {
+                let sum = MlTy::Sum(vec![MlTy::Int, MlTy::Int]);
+                let tag = self.rng.below(2) as usize;
+                let payload = self.gen(d);
+                let a = self.fresh();
+                self.vars.push(a.clone());
+                let arm0 = self.gen(d);
+                let arm1 = self.gen(d);
+                self.vars.pop();
+                case(
+                    inj(sum, tag, payload),
+                    vec![(a.as_str(), arm0), (a.as_str(), arm1)],
+                )
+            }
+            9 => {
+                let p = self.fresh();
+                self.vars.push(p.clone());
+                let body = self.gen(d);
+                self.vars.pop();
+                app(lam(p, MlTy::Int, MlTy::Int, body), self.gen(d))
+            }
+            10 => seq(self.gen(d), self.gen(d)),
+            11 => MlExpr::Unfold(Box::new(MlExpr::Fold(
+                MlTy::Rec(Box::new(MlTy::Int)),
+                Box::new(self.gen(d)),
+            ))),
+            12 => {
+                let h = self.rng.pick(&self.helpers).clone();
+                call(h, vec![self.gen(d)])
+            }
+            13 => seq(assign(var("cell"), self.gen(d)), deref(var("cell"))),
+            _ => self.leaf(),
+        }
+    }
+}
+
+/// Generates one ML-tier case: helpers + globals + an exported nullary
+/// `main : Int`.
+pub fn gen_ml(rng: &mut Rng) -> FuzzProgram {
+    let n_int_globals = rng.below(3) as u32;
+    let has_cell = rng.chance(40);
+    let n_helpers = rng.below(3) as u32;
+
+    let mut b = MlModuleBuilder::new();
+    for g in 0..n_int_globals {
+        b = b.global(format!("g{g}"), MlTy::Int, int(rng.range(-50, 50) as i32));
+    }
+    if has_cell {
+        b = b.global(
+            "cell",
+            MlTy::Ref(Box::new(MlTy::Int)),
+            new_ref(int(rng.range(-50, 50) as i32)),
+        );
+    }
+
+    let mut helpers: Vec<String> = Vec::new();
+    for h in 0..n_helpers {
+        let name = format!("h{h}");
+        let mut g = MlGen {
+            rng,
+            vars: vec!["a".into()],
+            helpers: helpers.clone(),
+            n_int_globals,
+            has_cell,
+            fresh: 0,
+        };
+        let body = add(var("a"), g.gen(2));
+        b = b.fun(name.clone(), false, vec![("a", MlTy::Int)], MlTy::Int, body);
+        helpers.push(name);
+    }
+
+    let mut g = MlGen {
+        rng,
+        vars: vec![],
+        helpers,
+        n_int_globals,
+        has_cell,
+        fresh: 100,
+    };
+    let body = g.gen(4);
+    b = b.fun("main", true, vec![], MlTy::Int, body);
+
+    FuzzProgram {
+        modules: vec![("m".into(), SourceModule::Ml(b.build()))],
+        hosts: vec![],
+        entry: "m".into(),
+        gc_every: if rng.chance(30) {
+            Some(1 + rng.below(30))
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use richwasm::typecheck::check_module;
+
+    #[test]
+    fn generated_ml_compiles_and_checks() {
+        for seed in 0..40 {
+            let mut rng = Rng::for_case(0x717, seed);
+            let prog = gen_ml(&mut rng);
+            for m in &prog.rw_modules() {
+                let m = m.as_ref().expect("ML compile succeeds");
+                check_module(m).expect("compiled ML typechecks");
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Typed-program generators, one per source tier.
+//!
+//! Every generator produces programs that are **well-typed by
+//! construction**: the raw tier synthesises RichWasm terms directly from
+//! the checker's typing rules (each production's stack discipline is
+//! written against `richwasm::typecheck`), while the ML/L3/interop tiers
+//! build surface programs whose compilers establish typing. The harness
+//! still runs the checker on every case — a rejection of a generated
+//! program is a *generator or checker bug* and is reported as a failure,
+//! never skipped.
+
+pub mod interop;
+pub mod l3;
+pub mod ml;
+pub mod rw;
+
+use richwasm::typecheck::RuleCoverage;
+
+use crate::program::FuzzProgram;
+use crate::rng::Rng;
+
+/// The source tier of a generated case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Raw RichWasm, synthesised type-directed (the dominant tier).
+    Raw,
+    /// Core-ML programs through the ML compiler.
+    Ml,
+    /// L3 programs through the L3 compiler.
+    L3,
+    /// Cross-language ML⇄L3 module pairs.
+    Interop,
+}
+
+impl Tier {
+    /// Stable snake_case name (stats JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Raw => "raw",
+            Tier::Ml => "ml",
+            Tier::L3 => "l3",
+            Tier::Interop => "interop",
+        }
+    }
+
+    /// All tiers, in stats order.
+    pub const ALL: [Tier; 4] = [Tier::Raw, Tier::Ml, Tier::L3, Tier::Interop];
+}
+
+/// Picks a tier for case generation. The raw tier dominates (it is the
+/// only one that explores the full instruction space); the compiled
+/// tiers keep the frontend pipelines and the linking boundary hot.
+pub fn pick_tier(rng: &mut Rng) -> Tier {
+    match rng.below(100) {
+        0..=69 => Tier::Raw,
+        70..=81 => Tier::Ml,
+        82..=93 => Tier::L3,
+        _ => Tier::Interop,
+    }
+}
+
+/// Generates one case of the given tier. `cov` is the accumulated rule
+/// coverage of the corpus so far; the raw generator biases towards
+/// productions whose typing rules have not been exercised yet.
+pub fn gen_program(tier: Tier, rng: &mut Rng, cov: &RuleCoverage) -> FuzzProgram {
+    match tier {
+        Tier::Raw => rw::gen_raw(rng, cov),
+        Tier::Ml => ml::gen_ml(rng),
+        Tier::L3 => l3::gen_l3(rng),
+        Tier::Interop => interop::gen_interop(rng),
+    }
+}

@@ -1,0 +1,262 @@
+//! Failing-case minimization: deterministic greedy shrinking.
+//!
+//! `minimize_module` repeatedly applies the smallest-first candidate
+//! edit that *preserves the caller's failure predicate* until a
+//! fixpoint. Edits are enumerated in a fixed order and every step
+//! strictly decreases the (instruction count, constant magnitude)
+//! metric, so minimization terminates and is deterministic: the same
+//! failing module always shrinks to the same reproducer.
+//!
+//! The predicate owns validity: a candidate that no longer typechecks,
+//! or that fails with a *different* class, should make the predicate
+//! return `false` — the minimizer itself knows nothing about typing.
+
+use richwasm::syntax::{Func, Instr, Module, NumType, Value};
+
+/// One nested body's candidate variants paired with the closure that
+/// rebuilds the enclosing instruction around an edited body.
+type NestedEdits = Vec<(Vec<Vec<Instr>>, Box<dyn Fn(Vec<Instr>) -> Instr>)>;
+
+/// Candidate simplifications of one instruction sequence: window
+/// deletions (large windows first), recursive single edits inside
+/// nested bodies, and constant shrinking. Ordered so the most
+/// aggressive edits are tried first.
+fn reduce_instrs(body: &[Instr]) -> Vec<Vec<Instr>> {
+    let mut out = Vec::new();
+    let n = body.len();
+
+    // Window deletions, largest first.
+    let mut widths: Vec<usize> = vec![n / 2, 8, 4, 2, 1];
+    widths.retain(|&w| w >= 1 && w <= n);
+    widths.dedup();
+    for w in widths {
+        for start in 0..=(n - w) {
+            let mut cand = Vec::with_capacity(n - w);
+            cand.extend_from_slice(&body[..start]);
+            cand.extend_from_slice(&body[start + w..]);
+            out.push(cand);
+        }
+    }
+
+    // Recursive edits inside structured instructions.
+    for (i, instr) in body.iter().enumerate() {
+        let nested: NestedEdits = match instr {
+            Instr::BlockI(b, inner) => {
+                let b = b.clone();
+                vec![(
+                    reduce_instrs(inner),
+                    Box::new(move |v| Instr::BlockI(b.clone(), v)),
+                )]
+            }
+            Instr::LoopI(a, inner) => {
+                let a = a.clone();
+                vec![(
+                    reduce_instrs(inner),
+                    Box::new(move |v| Instr::LoopI(a.clone(), v)),
+                )]
+            }
+            Instr::MemUnpack(b, inner) => {
+                let b = b.clone();
+                vec![(
+                    reduce_instrs(inner),
+                    Box::new(move |v| Instr::MemUnpack(b.clone(), v)),
+                )]
+            }
+            Instr::IfI(b, t, e) => {
+                let (b1, e1) = (b.clone(), e.clone());
+                let (b2, t2) = (b.clone(), t.clone());
+                vec![
+                    (
+                        reduce_instrs(t),
+                        Box::new(move |v| Instr::IfI(b1.clone(), v, e1.clone())),
+                    ),
+                    (
+                        reduce_instrs(e),
+                        Box::new(move |v| Instr::IfI(b2.clone(), t2.clone(), v)),
+                    ),
+                ]
+            }
+            Instr::ExistUnpack(q, psi, b, inner) => {
+                let (q, psi, b) = (*q, psi.clone(), b.clone());
+                vec![(
+                    reduce_instrs(inner),
+                    Box::new(move |v| Instr::ExistUnpack(q, psi.clone(), b.clone(), v)),
+                )]
+            }
+            _ => vec![],
+        };
+        for (variants, rebuild) in nested {
+            for v in variants {
+                let mut cand = body.to_vec();
+                cand[i] = rebuild(v);
+                out.push(cand);
+            }
+        }
+    }
+
+    // Constant shrinking (towards zero).
+    for (i, instr) in body.iter().enumerate() {
+        let replacement = match instr {
+            Instr::Val(Value::Num(NumType::I32, bits)) if *bits != 0 => Some(Instr::i32(0)),
+            Instr::Val(Value::Num(NumType::I64, bits)) if *bits != 0 => {
+                Some(Instr::Val(Value::i64(0)))
+            }
+            _ => None,
+        };
+        if let Some(r) = replacement {
+            let mut cand = body.to_vec();
+            cand[i] = r;
+            out.push(cand);
+        }
+    }
+
+    out
+}
+
+/// Total instruction count (recursive) — the primary shrink metric.
+fn weight(body: &[Instr]) -> u64 {
+    body.iter()
+        .map(|i| {
+            1 + match i {
+                Instr::BlockI(_, b) | Instr::LoopI(_, b) | Instr::MemUnpack(_, b) => weight(b),
+                Instr::IfI(_, t, e) => weight(t) + weight(e),
+                Instr::ExistUnpack(_, _, _, b) => weight(b),
+                Instr::VariantCase(_, _, _, arms) => arms.iter().map(|a| weight(a)).sum(),
+                _ => 0,
+            }
+        })
+        .sum()
+}
+
+/// Sum of |i32/i64 constants| (recursive) — the secondary metric, so
+/// constant shrinking also counts as progress.
+fn const_mag(body: &[Instr]) -> u64 {
+    body.iter()
+        .map(|i| match i {
+            Instr::Val(Value::Num(NumType::I32, bits)) => {
+                u64::from((*bits as u32 as i32).unsigned_abs())
+            }
+            Instr::Val(Value::Num(NumType::I64, bits)) => (*bits as i64).unsigned_abs(),
+            Instr::BlockI(_, b) | Instr::LoopI(_, b) | Instr::MemUnpack(_, b) => const_mag(b),
+            Instr::IfI(_, t, e) => const_mag(t) + const_mag(e),
+            Instr::ExistUnpack(_, _, _, b) => const_mag(b),
+            Instr::VariantCase(_, _, _, arms) => arms.iter().map(|a| const_mag(a)).sum(),
+            _ => 0,
+        })
+        .sum()
+}
+
+fn module_metric(m: &Module) -> (u64, u64) {
+    let mut w = 0;
+    let mut c = 0;
+    for f in &m.funcs {
+        if let Func::Defined { body, .. } = f {
+            w += weight(body);
+            c += const_mag(body);
+        }
+    }
+    (w, c)
+}
+
+/// All single-step simplified variants of `m`, most aggressive first.
+fn edits(m: &Module) -> Vec<Module> {
+    let mut out = Vec::new();
+    for (fi, f) in m.funcs.iter().enumerate() {
+        let Func::Defined { body, .. } = f else {
+            continue;
+        };
+        // Whole-body stub first (the biggest single step). `i32 0`
+        // satisfies any of the generated `… → [i32]` signatures.
+        if body.len() > 1 {
+            let mut cand = m.clone();
+            if let Func::Defined { body, .. } = &mut cand.funcs[fi] {
+                *body = vec![Instr::i32(0)];
+            }
+            out.push(cand);
+        }
+        for v in reduce_instrs(body) {
+            let mut cand = m.clone();
+            if let Func::Defined { body, .. } = &mut cand.funcs[fi] {
+                *body = v;
+            }
+            out.push(cand);
+        }
+    }
+    out
+}
+
+/// Shrinks `m` while `keep` holds. `keep(m)` must be `true` on entry;
+/// the result is the fixpoint of greedy first-improvement descent over
+/// the edit catalogue.
+pub fn minimize_module(m: &Module, keep: &mut dyn FnMut(&Module) -> bool) -> Module {
+    let mut current = m.clone();
+    let mut metric = module_metric(&current);
+    loop {
+        let mut improved = false;
+        for cand in edits(&current) {
+            let cand_metric = module_metric(&cand);
+            if cand_metric >= metric {
+                continue;
+            }
+            if keep(&cand) {
+                current = cand;
+                metric = cand_metric;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use richwasm::syntax::{FunType, Type};
+
+    fn main_only(body: Vec<Instr>) -> Module {
+        Module {
+            funcs: vec![Func::Defined {
+                exports: vec!["main".into()],
+                ty: FunType::mono(vec![], vec![Type::num(NumType::I32)]),
+                locals: vec![],
+                body,
+            }],
+            ..Module::default()
+        }
+    }
+
+    #[test]
+    fn shrinks_to_single_instruction() {
+        // Predicate: module still typechecks. Everything else is noise.
+        let m = main_only(vec![
+            Instr::i32(5),
+            Instr::i32(7),
+            Instr::Num(richwasm::syntax::NumInstr::IntBinop(
+                NumType::I32,
+                richwasm::syntax::instr::IntBinop::Add,
+            )),
+        ]);
+        let mut keep = |cand: &Module| richwasm::typecheck::check_module(cand).is_ok();
+        assert!(keep(&m));
+        let min = minimize_module(&m, &mut keep);
+        assert_eq!(module_metric(&min), (1, 0), "minimal is a single `i32 0`");
+    }
+
+    #[test]
+    fn minimization_is_deterministic() {
+        let m = main_only(vec![
+            Instr::i32(3),
+            Instr::Drop,
+            Instr::i32(9),
+            Instr::Drop,
+            Instr::i32(1),
+        ]);
+        let mut keep = |cand: &Module| richwasm::typecheck::check_module(cand).is_ok();
+        let a = minimize_module(&m, &mut keep);
+        let b = minimize_module(&m, &mut keep);
+        assert_eq!(a, b);
+    }
+}

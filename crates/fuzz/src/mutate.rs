@@ -1,0 +1,203 @@
+//! Adversarial mutation: targeted ill-typed edits.
+//!
+//! Each mutation takes a *well-typed* RichWasm module and injects one
+//! specific class of memory-safety or linearity violation. The contract
+//! is one-sided: a mutant the checker **accepts** is a finding (a
+//! soundness hole in the typing rules); a mutant the checker rejects is
+//! the expected outcome. Mutations that don't apply to a given module
+//! (no free, no linear get, …) return `None` and the driver tries
+//! another kind.
+
+use richwasm::syntax::{Func, Instr, Module, NumType, Qual, Type};
+
+/// The catalogue of injected violations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Move a `struct.free` to the *front* of its enclosing body: reads
+    /// that followed the original position become use-after-free.
+    UafReorder,
+    /// Delete a `struct.free` / `array.free`: the linear reference
+    /// leaks (fails the all-unrestricted frame exit check).
+    LeakLinear,
+    /// Replace a `struct.free` with a plain `drop`: discards a linear
+    /// value without consuming it.
+    DropLinear,
+    /// Duplicate a linear local read: two owners of one capability.
+    DupLinear,
+    /// Read a linear local at qualifier `unr` (linearity laundering).
+    UnrReadOfLinear,
+    /// Widen a declared i32 result to i64 without changing the body
+    /// (type confusion at the function boundary).
+    ResultWiden,
+    /// Bump a `struct.get` field index past the struct's arity.
+    StructGetOob,
+}
+
+impl MutationKind {
+    /// All kinds, in stats order.
+    pub const ALL: [MutationKind; 7] = [
+        MutationKind::UafReorder,
+        MutationKind::LeakLinear,
+        MutationKind::DropLinear,
+        MutationKind::DupLinear,
+        MutationKind::UnrReadOfLinear,
+        MutationKind::ResultWiden,
+        MutationKind::StructGetOob,
+    ];
+
+    /// Stable snake_case name (stats JSON keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            MutationKind::UafReorder => "uaf_reorder",
+            MutationKind::LeakLinear => "leak_linear",
+            MutationKind::DropLinear => "drop_linear",
+            MutationKind::DupLinear => "dup_linear",
+            MutationKind::UnrReadOfLinear => "unr_read_of_linear",
+            MutationKind::ResultWiden => "result_widen",
+            MutationKind::StructGetOob => "struct_get_oob",
+        }
+    }
+}
+
+/// Applies `kind` to the first applicable site in `m`. Returns `None`
+/// when the module has no applicable site.
+pub fn mutate(m: &Module, kind: MutationKind) -> Option<Module> {
+    let mut out = m.clone();
+    let mut done = false;
+    for f in &mut out.funcs {
+        if done {
+            break;
+        }
+        if let Func::Defined { body, ty, .. } = f {
+            match kind {
+                MutationKind::ResultWiden => {
+                    // Function-level edit: i32 result becomes i64.
+                    let results = &mut ty.arrow.results;
+                    if results.len() == 1 && results[0] == Type::num(NumType::I32) {
+                        results[0] = Type::num(NumType::I64);
+                        done = true;
+                    }
+                }
+                _ => done = mutate_body(body, kind),
+            }
+        }
+    }
+    if done {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Recursively applies an instruction-level mutation to the first
+/// applicable site; `true` when one fired.
+fn mutate_body(body: &mut Vec<Instr>, kind: MutationKind) -> bool {
+    match kind {
+        MutationKind::UafReorder => {
+            if let Some(i) = body.iter().position(|x| matches!(x, Instr::StructFree)) {
+                if i > 0 {
+                    let free = body.remove(i);
+                    body.insert(0, free);
+                    return true;
+                }
+            }
+        }
+        MutationKind::LeakLinear => {
+            if let Some(i) = body
+                .iter()
+                .position(|x| matches!(x, Instr::StructFree | Instr::ArrayFree))
+            {
+                body.remove(i);
+                return true;
+            }
+        }
+        MutationKind::DropLinear => {
+            if let Some(i) = body
+                .iter()
+                .position(|x| matches!(x, Instr::StructFree | Instr::ArrayFree))
+            {
+                body[i] = Instr::Drop;
+                return true;
+            }
+        }
+        MutationKind::DupLinear => {
+            if let Some(i) = body
+                .iter()
+                .position(|x| matches!(x, Instr::GetLocal(_, Qual::Lin)))
+            {
+                let dup = body[i].clone();
+                body.insert(i, dup);
+                return true;
+            }
+        }
+        MutationKind::UnrReadOfLinear => {
+            for x in body.iter_mut() {
+                if let Instr::GetLocal(idx, Qual::Lin) = x {
+                    *x = Instr::GetLocal(*idx, Qual::Unr);
+                    return true;
+                }
+            }
+        }
+        MutationKind::StructGetOob => {
+            for x in body.iter_mut() {
+                if let Instr::StructGet(fld) = x {
+                    // No generated or compiled struct (incl. closure
+                    // environments) has anywhere near 64 fields.
+                    *x = Instr::StructGet(*fld + 64);
+                    return true;
+                }
+            }
+        }
+        MutationKind::ResultWiden => unreachable!("handled at function level"),
+    }
+
+    // Recurse into nested bodies.
+    for x in body.iter_mut() {
+        let hit = match x {
+            Instr::BlockI(_, b) | Instr::LoopI(_, b) | Instr::MemUnpack(_, b) => {
+                mutate_body(b, kind)
+            }
+            Instr::IfI(_, t, e) => mutate_body(t, kind) || mutate_body(e, kind),
+            Instr::ExistUnpack(_, _, _, b) => mutate_body(b, kind),
+            Instr::VariantCase(_, _, _, arms) => arms.iter_mut().any(|a| mutate_body(a, kind)),
+            _ => false,
+        };
+        if hit {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use richwasm::typecheck::{check_module, RuleCoverage};
+
+    /// Every applicable mutation of a well-typed generated module must
+    /// be rejected by the checker.
+    #[test]
+    fn mutants_are_rejected() {
+        let cov = RuleCoverage::new();
+        let mut applied = 0u32;
+        for seed in 0..30 {
+            let mut rng = Rng::for_case(0xBAD, seed);
+            let prog = crate::gen::rw::gen_raw(&mut rng, &cov);
+            for m in prog.rw_modules().into_iter().flatten() {
+                check_module(&m).expect("base module well-typed");
+                for kind in MutationKind::ALL {
+                    if let Some(mutant) = mutate(&m, kind) {
+                        applied += 1;
+                        assert!(
+                            check_module(&mutant).is_err(),
+                            "checker accepted a {} mutant (soundness hole)",
+                            kind.name()
+                        );
+                    }
+                }
+            }
+        }
+        assert!(applied > 30, "too few applicable mutants ({applied})");
+    }
+}

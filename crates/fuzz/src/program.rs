@@ -1,0 +1,147 @@
+//! The fuzz case representation: source modules, host-import behaviour,
+//! and engine knobs, kept as *data* so a case can be re-built into a
+//! [`ModuleSet`] any number of times (differential run, minimization,
+//! reproducer files) without capturing closures.
+
+use richwasm_l3::L3Module;
+use richwasm_ml::MlModule;
+use richwasm_repro::call::{HostSig, HostVal, HostValType};
+use richwasm_repro::engine::ModuleSet;
+
+/// One source module of a case.
+#[derive(Debug, Clone)]
+pub enum SourceModule {
+    /// A raw RichWasm module (the type-directed synthesis tier).
+    Rw(richwasm::syntax::Module),
+    /// A core-ML module.
+    Ml(MlModule),
+    /// An L3 module.
+    L3(L3Module),
+}
+
+/// The behaviour of a generated host import: a pure `i32 → i32`
+/// function. Kept first-order so reproducers can print it and rebuilding
+/// is exact.
+#[derive(Debug, Clone, Copy)]
+pub enum HostBehavior {
+    /// `|x| x.wrapping_add(k)`.
+    AddK(i32),
+    /// `|x| x.wrapping_mul(k) ^ m`.
+    MulXor(i32, i32),
+}
+
+impl HostBehavior {
+    fn apply(self, x: i32) -> i32 {
+        match self {
+            HostBehavior::AddK(k) => x.wrapping_add(k),
+            HostBehavior::MulXor(k, m) => x.wrapping_mul(k) ^ m,
+        }
+    }
+}
+
+/// A host import: module/export name plus behaviour.
+#[derive(Debug, Clone)]
+pub struct HostImportSpec {
+    /// Host module name (what guests import from).
+    pub module: String,
+    /// Export name.
+    pub name: String,
+    /// The pure behaviour.
+    pub behavior: HostBehavior,
+}
+
+/// A complete generated case.
+#[derive(Debug, Clone)]
+pub struct FuzzProgram {
+    /// Named source modules, in registration order.
+    pub modules: Vec<(String, SourceModule)>,
+    /// Host imports installed into both backends.
+    pub hosts: Vec<HostImportSpec>,
+    /// The entry module (its exported `main` is invoked).
+    pub entry: String,
+    /// GC-stress knob: collect after every `n` allocations when set.
+    pub gc_every: Option<u64>,
+}
+
+impl FuzzProgram {
+    /// Rebuilds the [`ModuleSet`] for this case.
+    pub fn module_set(&self) -> ModuleSet {
+        let mut set = ModuleSet::new();
+        for (name, m) in &self.modules {
+            set = match m {
+                SourceModule::Rw(m) => set.richwasm(name.clone(), m.clone()),
+                SourceModule::Ml(m) => set.ml(name.clone(), m.clone()),
+                SourceModule::L3(m) => set.l3(name.clone(), m.clone()),
+            };
+        }
+        for h in &self.hosts {
+            let behavior = h.behavior;
+            set = set.host_fn(
+                h.module.clone(),
+                h.name.clone(),
+                HostSig::new(vec![HostValType::I32], vec![HostValType::I32]),
+                move |args: &[HostVal]| {
+                    let x = match args {
+                        [HostVal::I32(x)] => *x,
+                        _ => return Err("host arity".into()),
+                    };
+                    Ok(vec![HostVal::I32(behavior.apply(x))])
+                },
+            );
+        }
+        set.entry(self.entry.clone())
+    }
+
+    /// The raw RichWasm view of every module: raw modules as-is, ML/L3
+    /// modules through their compilers. Used for rule-coverage accounting
+    /// and mutation. Frontend failures yield `None` entries (they are a
+    /// harness failure elsewhere).
+    pub fn rw_modules(&self) -> Vec<Option<richwasm::syntax::Module>> {
+        self.modules
+            .iter()
+            .map(|(_, m)| match m {
+                SourceModule::Rw(m) => Some(m.clone()),
+                SourceModule::Ml(m) => richwasm_ml::compile_module(m).ok(),
+                SourceModule::L3(m) => richwasm_l3::compile_module(m).ok(),
+            })
+            .collect()
+    }
+
+    /// A single-module raw-tier case (the common shape).
+    pub fn raw(m: richwasm::syntax::Module) -> FuzzProgram {
+        FuzzProgram {
+            modules: vec![("m".into(), SourceModule::Rw(m))],
+            hosts: vec![],
+            entry: "m".into(),
+            gc_every: None,
+        }
+    }
+
+    /// A printable reproducer: Rust-debug ASTs plus knobs, enough to
+    /// rebuild the exact case by hand (and the seed in the surrounding
+    /// report rebuilds it mechanically).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "entry: {}", self.entry);
+        let _ = writeln!(out, "gc_every: {:?}", self.gc_every);
+        for h in &self.hosts {
+            let _ = writeln!(out, "host {}::{} = {:?}", h.module, h.name, h.behavior);
+        }
+        for (name, m) in &self.modules {
+            match m {
+                SourceModule::Rw(m) => {
+                    let _ = writeln!(out, "\n-- module {name} (richwasm) --\n{m}");
+                    let _ = writeln!(out, "(ast) {m:?}");
+                }
+                SourceModule::Ml(m) => {
+                    let _ = writeln!(out, "\n-- module {name} (ml) --\n{m:?}");
+                }
+                SourceModule::L3(m) => {
+                    let _ = writeln!(out, "\n-- module {name} (l3) --\n{m:?}");
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,109 @@
+//! Thin sampling helpers over the proptest shim's [`TestRng`].
+//!
+//! The shim's RNG is a bare SplitMix64; the generator wants weighted
+//! choices and small ranges. Everything here is deterministic in the
+//! seed — the farm's reproducibility rests on it.
+
+pub use proptest::test_runner::TestRng;
+
+/// Sampling convenience over a [`TestRng`].
+#[derive(Debug)]
+pub struct Rng {
+    inner: TestRng,
+}
+
+impl Rng {
+    /// Seeds from an explicit value (environment-independent).
+    pub fn from_seed(seed: u64) -> Rng {
+        Rng {
+            inner: TestRng::from_seed(seed),
+        }
+    }
+
+    /// Derives the per-case RNG for case `index` of a run seeded with
+    /// `run_seed`. Cases are decorrelated by construction: each gets its
+    /// own SplitMix64 stream.
+    pub fn for_case(run_seed: u64, index: u64) -> Rng {
+        Rng::from_seed(run_seed ^ index.rotate_left(17).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next raw 64-bit sample.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[lo, hi]`.
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo + (self.below((hi - lo + 1) as u64) as i64)
+    }
+
+    /// `true` with probability `percent`/100.
+    pub fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+
+    /// A uniform pick from a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// A weighted pick: returns the index of the chosen weight.
+    /// Zero-weight entries are never chosen unless all weights are zero
+    /// (then the pick is uniform).
+    pub fn pick_weighted(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        if total == 0 {
+            return self.below(weights.len() as u64) as usize;
+        }
+        let mut roll = self.below(total);
+        for (i, w) in weights.iter().enumerate() {
+            if roll < *w {
+                return i;
+            }
+            roll -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::from_seed(7);
+        let mut b = Rng::from_seed(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn case_streams_decorrelate() {
+        let mut a = Rng::for_case(1, 0);
+        let mut b = Rng::for_case(1, 1);
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn range_and_weighted_stay_in_bounds() {
+        let mut r = Rng::from_seed(3);
+        for _ in 0..200 {
+            let v = r.range(-5, 5);
+            assert!((-5..=5).contains(&v));
+            let i = r.pick_weighted(&[0, 3, 1]);
+            assert!(i == 1 || i == 2);
+        }
+        assert!(r.pick_weighted(&[0, 0]) < 2);
+    }
+}

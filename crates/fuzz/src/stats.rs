@@ -1,0 +1,182 @@
+//! Corpus statistics: what the sweep did, as a small JSON document.
+//!
+//! CI uploads this next to the bench JSON and merges the headline
+//! numbers (case counts, adversarial rejection rate, rule coverage)
+//! into the bench-gate summary. The JSON is hand-rolled — keys are
+//! fixed identifiers and values are numbers, so no escaping is needed
+//! (this repo deliberately has no serde dependency).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use richwasm::typecheck::RuleCoverage;
+
+use crate::gen::Tier;
+use crate::harness::FailureKind;
+use crate::mutate::MutationKind;
+
+/// Versioned schema tag.
+pub const SCHEMA: &str = "richwasm-fuzz-corpus-stats/1";
+
+/// Aggregated sweep statistics.
+#[derive(Debug, Default)]
+pub struct CorpusStats {
+    /// The run seed (printed in CI logs; reproduces the whole sweep).
+    pub seed: u64,
+    /// Well-typed cases run.
+    pub cases: u64,
+    /// Cases that passed every check.
+    pub ok: u64,
+    /// Per-tier (cases, ok).
+    pub by_tier: BTreeMap<&'static str, (u64, u64)>,
+    /// Failing cases per failure class.
+    pub failures: BTreeMap<&'static str, u64>,
+    /// Adversarial mutants applied.
+    pub adversarial_total: u64,
+    /// Mutants correctly rejected by the checker.
+    pub adversarial_rejected: u64,
+    /// Per-mutation-kind (applied, rejected).
+    pub adversarial_by_kind: BTreeMap<&'static str, (u64, u64)>,
+    /// Rule coverage accumulated over the corpus.
+    pub coverage: RuleCoverage,
+    /// Wall-clock of the sweep in milliseconds.
+    pub wall_ms: u64,
+}
+
+impl CorpusStats {
+    /// New empty stats for a run.
+    pub fn new(seed: u64) -> CorpusStats {
+        CorpusStats {
+            seed,
+            coverage: RuleCoverage::new(),
+            ..CorpusStats::default()
+        }
+    }
+
+    /// Records one well-typed case outcome.
+    pub fn record_case(&mut self, tier: Tier, ok: bool, failure: Option<FailureKind>) {
+        self.cases += 1;
+        let t = self.by_tier.entry(tier.name()).or_insert((0, 0));
+        t.0 += 1;
+        if ok {
+            self.ok += 1;
+            t.1 += 1;
+        }
+        if let Some(kind) = failure {
+            *self.failures.entry(kind.name()).or_insert(0) += 1;
+        }
+    }
+
+    /// Records one adversarial mutant outcome.
+    pub fn record_mutant(&mut self, kind: MutationKind, rejected: bool) {
+        self.adversarial_total += 1;
+        let k = self
+            .adversarial_by_kind
+            .entry(kind.name())
+            .or_insert((0, 0));
+        k.0 += 1;
+        if rejected {
+            self.adversarial_rejected += 1;
+            k.1 += 1;
+        }
+    }
+
+    /// Total failing cases (well-typed side).
+    pub fn failed(&self) -> u64 {
+        self.cases - self.ok
+    }
+
+    /// Mutants the checker wrongly *accepted* (soundness holes).
+    pub fn mutants_accepted(&self) -> u64 {
+        self.adversarial_total - self.adversarial_rejected
+    }
+
+    /// Whether the sweep as a whole passed.
+    pub fn passed(&self) -> bool {
+        self.failed() == 0 && self.mutants_accepted() == 0
+    }
+
+    /// Renders the stats document.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": \"{SCHEMA}\",");
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        let _ = writeln!(s, "  \"passed\": {},", self.passed());
+        let _ = writeln!(s, "  \"cases\": {},", self.cases);
+        let _ = writeln!(s, "  \"ok\": {},", self.ok);
+        let _ = writeln!(s, "  \"failed\": {},", self.failed());
+
+        let _ = writeln!(s, "  \"by_tier\": {{");
+        let tiers: Vec<_> = self.by_tier.iter().collect();
+        for (i, (name, (cases, ok))) in tiers.iter().enumerate() {
+            let comma = if i + 1 < tiers.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    \"{name}\": {{\"cases\": {cases}, \"ok\": {ok}}}{comma}"
+            );
+        }
+        let _ = writeln!(s, "  }},");
+
+        let _ = writeln!(s, "  \"failures\": {{");
+        let fails: Vec<_> = self.failures.iter().collect();
+        for (i, (name, n)) in fails.iter().enumerate() {
+            let comma = if i + 1 < fails.len() { "," } else { "" };
+            let _ = writeln!(s, "    \"{name}\": {n}{comma}");
+        }
+        let _ = writeln!(s, "  }},");
+
+        let _ = writeln!(s, "  \"adversarial\": {{");
+        let _ = writeln!(s, "    \"total\": {},", self.adversarial_total);
+        let _ = writeln!(s, "    \"rejected\": {},", self.adversarial_rejected);
+        let _ = writeln!(s, "    \"accepted\": {},", self.mutants_accepted());
+        let _ = writeln!(s, "    \"by_kind\": {{");
+        let kinds: Vec<_> = self.adversarial_by_kind.iter().collect();
+        for (i, (name, (applied, rejected))) in kinds.iter().enumerate() {
+            let comma = if i + 1 < kinds.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "      \"{name}\": {{\"applied\": {applied}, \"rejected\": {rejected}}}{comma}"
+            );
+        }
+        let _ = writeln!(s, "    }}");
+        let _ = writeln!(s, "  }},");
+
+        let _ = writeln!(s, "  \"rule_coverage\": {{");
+        let _ = writeln!(s, "    \"covered\": {},", self.coverage.covered());
+        let _ = writeln!(s, "    \"total\": {},", self.coverage.total());
+        let _ = writeln!(s, "    \"counts\": {{");
+        let counts: Vec<_> = self.coverage.iter().collect();
+        for (i, (rule, n)) in counts.iter().enumerate() {
+            let comma = if i + 1 < counts.len() { "," } else { "" };
+            let _ = writeln!(s, "      \"{}\": {n}{comma}", rule.name());
+        }
+        let _ = writeln!(s, "    }}");
+        let _ = writeln!(s, "  }},");
+
+        let _ = writeln!(s, "  \"wall_ms\": {}", self.wall_ms);
+        let _ = writeln!(s, "}}");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_and_pass_logic() {
+        let mut st = CorpusStats::new(42);
+        st.record_case(Tier::Raw, true, None);
+        st.record_case(Tier::Ml, false, Some(FailureKind::Mismatch));
+        st.record_mutant(MutationKind::LeakLinear, true);
+        assert!(!st.passed());
+        let json = st.to_json();
+        assert!(json.contains("\"schema\": \"richwasm-fuzz-corpus-stats/1\""));
+        assert!(json.contains("\"mismatch\": 1"));
+        assert!(json.contains("\"leak_linear\": {\"applied\": 1, \"rejected\": 1}"));
+        assert!(json.contains("\"passed\": false"));
+        // Balanced braces (cheap well-formedness proxy; CI runs jq on it).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

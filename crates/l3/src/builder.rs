@@ -1,0 +1,181 @@
+//! Ergonomic program builders for L3.
+//!
+//! Mirrors `richwasm_ml::builder`: plain constructors that remove the
+//! `Box::new` noise so generators (`richwasm-fuzz`) and tests can build
+//! whole modules tersely. No typing logic lives here — the L3 compiler
+//! still enforces linearity, and the RichWasm checker re-establishes it.
+
+use crate::ast::{L3Expr, L3Fun, L3Import, L3Module, L3Op, L3Ty};
+
+/// `!n`.
+pub fn int(n: i32) -> L3Expr {
+    L3Expr::Int(n)
+}
+
+/// A variable reference.
+pub fn var(name: impl Into<String>) -> L3Expr {
+    L3Expr::Var(name.into())
+}
+
+/// `let name = bound in body`.
+pub fn let_(name: impl Into<String>, bound: L3Expr, body: L3Expr) -> L3Expr {
+    L3Expr::Let(name.into(), Box::new(bound), Box::new(body))
+}
+
+/// `let (a, b) = pair in body`.
+pub fn let_pair(a: impl Into<String>, b: impl Into<String>, pair: L3Expr, body: L3Expr) -> L3Expr {
+    L3Expr::LetPair(a.into(), b.into(), Box::new(pair), Box::new(body))
+}
+
+/// Pair construction.
+pub fn pair(a: L3Expr, b: L3Expr) -> L3Expr {
+    L3Expr::Pair(Box::new(a), Box::new(b))
+}
+
+/// `a; b`.
+pub fn seq(a: L3Expr, b: L3Expr) -> L3Expr {
+    L3Expr::Seq(Box::new(a), Box::new(b))
+}
+
+/// `new e sz` — allocate a linear cell.
+pub fn new(e: L3Expr, sz: u64) -> L3Expr {
+    L3Expr::New(Box::new(e), sz)
+}
+
+/// `free e` — deallocate, returning the contents.
+pub fn free(e: L3Expr) -> L3Expr {
+    L3Expr::Free(Box::new(e))
+}
+
+/// `swap cell value` — strong update, yielding `(cell', old)`.
+pub fn swap(cell: L3Expr, value: L3Expr) -> L3Expr {
+    L3Expr::Swap(Box::new(cell), Box::new(value))
+}
+
+/// `join e` — package → reference.
+pub fn join(e: L3Expr) -> L3Expr {
+    L3Expr::Join(Box::new(e))
+}
+
+/// `split e` — reference → package.
+pub fn split(e: L3Expr) -> L3Expr {
+    L3Expr::Split(Box::new(e))
+}
+
+/// A primitive operation on ints.
+pub fn op(o: L3Op, a: L3Expr, b: L3Expr) -> L3Expr {
+    L3Expr::Op(o, Box::new(a), Box::new(b))
+}
+
+/// `a + b`.
+pub fn add(a: L3Expr, b: L3Expr) -> L3Expr {
+    op(L3Op::Add, a, b)
+}
+
+/// `if c != 0 then t else e`.
+pub fn if_(c: L3Expr, t: L3Expr, e: L3Expr) -> L3Expr {
+    L3Expr::If(Box::new(c), Box::new(t), Box::new(e))
+}
+
+/// Direct call of a top-level function or import.
+pub fn call(name: impl Into<String>, args: Vec<L3Expr>) -> L3Expr {
+    L3Expr::CallTop {
+        name: name.into(),
+        args,
+    }
+}
+
+/// Incremental [`L3Module`] construction.
+#[derive(Debug, Clone, Default)]
+pub struct L3ModuleBuilder {
+    module: L3Module,
+}
+
+impl L3ModuleBuilder {
+    /// An empty module.
+    pub fn new() -> L3ModuleBuilder {
+        L3ModuleBuilder::default()
+    }
+
+    /// Declares an import from `module`'s export `name`.
+    pub fn import(
+        mut self,
+        module: impl Into<String>,
+        name: impl Into<String>,
+        params: Vec<L3Ty>,
+        ret: L3Ty,
+    ) -> Self {
+        self.module.imports.push(L3Import {
+            module: module.into(),
+            name: name.into(),
+            params,
+            ret,
+        });
+        self
+    }
+
+    /// Adds a function.
+    pub fn fun(
+        mut self,
+        name: impl Into<String>,
+        export: bool,
+        params: Vec<(&str, L3Ty)>,
+        ret: L3Ty,
+        body: L3Expr,
+    ) -> Self {
+        self.module.funs.push(L3Fun {
+            name: name.into(),
+            export,
+            params: params
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+            ret,
+            body,
+        });
+        self
+    }
+
+    /// Finishes the module.
+    pub fn build(self) -> L3Module {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_module;
+
+    #[test]
+    fn built_modules_compile_and_check() {
+        // A swap round trip through a linear cell, then a join/split
+        // detour, all freed exactly once.
+        let body = let_(
+            "c",
+            new(int(5), 64),
+            let_pair(
+                "c2",
+                "old",
+                swap(var("c"), int(37)),
+                add(var("old"), free(split(join(var("c2"))))),
+            ),
+        );
+        let m = L3ModuleBuilder::new()
+            .fun("main", true, vec![], L3Ty::Int, body)
+            .build();
+        let rw = compile_module(&m).expect("builder output compiles");
+        richwasm::typecheck::check_module(&rw).expect("and typechecks");
+    }
+
+    #[test]
+    fn linearity_still_enforced_on_built_modules() {
+        // Double free: the L3 compiler must reject (builders add no
+        // laundering).
+        let body = let_("c", new(int(1), 64), add(free(var("c")), free(var("c"))));
+        let m = L3ModuleBuilder::new()
+            .fun("main", true, vec![], L3Ty::Int, body)
+            .build();
+        assert!(compile_module(&m).is_err());
+    }
+}

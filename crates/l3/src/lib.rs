@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod builder;
 pub mod compile;
 
 pub use ast::{L3Expr, L3Fun, L3Import, L3Module, L3Op, L3Ty};

@@ -1,0 +1,237 @@
+//! Ergonomic program builders for core ML.
+//!
+//! Hand-writing [`MlExpr`] trees is noisy (`Box::new` at every node),
+//! which in practice limited the test corpus to a handful of scenarios.
+//! These combinators make programmatic construction terse enough for
+//! generators — `richwasm-fuzz` synthesises whole modules through this
+//! module — while staying plain constructors: no hidden typing logic, the
+//! ML compiler and the RichWasm checker remain the only arbiters.
+
+use crate::ast::{MlBinop, MlExpr, MlFun, MlGlobal, MlImport, MlModule, MlTy};
+
+/// `n` as a literal.
+pub fn int(n: i32) -> MlExpr {
+    MlExpr::Int(n)
+}
+
+/// A variable reference.
+pub fn var(name: impl Into<String>) -> MlExpr {
+    MlExpr::Var(name.into())
+}
+
+/// `let name = bound in body`.
+pub fn let_(name: impl Into<String>, bound: MlExpr, body: MlExpr) -> MlExpr {
+    MlExpr::Let(name.into(), Box::new(bound), Box::new(body))
+}
+
+/// `a; b`.
+pub fn seq(a: MlExpr, b: MlExpr) -> MlExpr {
+    MlExpr::Seq(Box::new(a), Box::new(b))
+}
+
+/// A binary primitive.
+pub fn binop(op: MlBinop, a: MlExpr, b: MlExpr) -> MlExpr {
+    MlExpr::Binop(op, Box::new(a), Box::new(b))
+}
+
+/// `a + b`.
+pub fn add(a: MlExpr, b: MlExpr) -> MlExpr {
+    binop(MlBinop::Add, a, b)
+}
+
+/// `if c != 0 then t else e`.
+pub fn if_(c: MlExpr, t: MlExpr, e: MlExpr) -> MlExpr {
+    MlExpr::If(Box::new(c), Box::new(t), Box::new(e))
+}
+
+/// A boxed tuple.
+pub fn tuple(items: Vec<MlExpr>) -> MlExpr {
+    MlExpr::Tuple(items)
+}
+
+/// Projection `e.i`.
+pub fn proj(i: usize, e: MlExpr) -> MlExpr {
+    MlExpr::Proj(i, Box::new(e))
+}
+
+/// Injection `inj_tag e : sum`.
+pub fn inj(sum: MlTy, tag: usize, e: MlExpr) -> MlExpr {
+    MlExpr::Inj {
+        sum,
+        tag,
+        e: Box::new(e),
+    }
+}
+
+/// Case analysis with one `(binder, arm)` per case.
+pub fn case(scrut: MlExpr, arms: Vec<(&str, MlExpr)>) -> MlExpr {
+    MlExpr::Case(
+        Box::new(scrut),
+        arms.into_iter().map(|(x, e)| (x.to_string(), e)).collect(),
+    )
+}
+
+/// `ref e`.
+pub fn new_ref(e: MlExpr) -> MlExpr {
+    MlExpr::NewRef(Box::new(e))
+}
+
+/// `!e`.
+pub fn deref(e: MlExpr) -> MlExpr {
+    MlExpr::Deref(Box::new(e))
+}
+
+/// `dst := src`.
+pub fn assign(dst: MlExpr, src: MlExpr) -> MlExpr {
+    MlExpr::Assign(Box::new(dst), Box::new(src))
+}
+
+/// A single-parameter closure `fun (param : param_ty) : ret_ty -> body`.
+pub fn lam(param: impl Into<String>, param_ty: MlTy, ret_ty: MlTy, body: MlExpr) -> MlExpr {
+    MlExpr::Lam {
+        param: param.into(),
+        param_ty,
+        ret_ty,
+        body: Box::new(body),
+    }
+}
+
+/// Closure application `f arg`.
+pub fn app(f: MlExpr, arg: MlExpr) -> MlExpr {
+    MlExpr::App(Box::new(f), Box::new(arg))
+}
+
+/// Monomorphic direct call of a top-level function or import.
+pub fn call(name: impl Into<String>, args: Vec<MlExpr>) -> MlExpr {
+    MlExpr::CallTop {
+        name: name.into(),
+        tyargs: vec![],
+        args,
+    }
+}
+
+/// Incremental [`MlModule`] construction.
+#[derive(Debug, Clone, Default)]
+pub struct MlModuleBuilder {
+    module: MlModule,
+}
+
+impl MlModuleBuilder {
+    /// An empty module.
+    pub fn new() -> MlModuleBuilder {
+        MlModuleBuilder::default()
+    }
+
+    /// Declares an import from `module`'s export `name`.
+    pub fn import(
+        mut self,
+        module: impl Into<String>,
+        name: impl Into<String>,
+        params: Vec<MlTy>,
+        ret: MlTy,
+    ) -> Self {
+        self.module.imports.push(MlImport {
+            module: module.into(),
+            name: name.into(),
+            params,
+            ret,
+        });
+        self
+    }
+
+    /// Declares module-level state.
+    pub fn global(mut self, name: impl Into<String>, ty: MlTy, init: MlExpr) -> Self {
+        self.module.globals.push(MlGlobal {
+            name: name.into(),
+            ty,
+            init,
+        });
+        self
+    }
+
+    /// Adds a monomorphic function.
+    pub fn fun(
+        mut self,
+        name: impl Into<String>,
+        export: bool,
+        params: Vec<(&str, MlTy)>,
+        ret: MlTy,
+        body: MlExpr,
+    ) -> Self {
+        self.module.funs.push(MlFun {
+            name: name.into(),
+            export,
+            tyvars: 0,
+            params: params
+                .into_iter()
+                .map(|(n, t)| (n.to_string(), t))
+                .collect(),
+            ret,
+            body,
+        });
+        self
+    }
+
+    /// Finishes the module.
+    pub fn build(self) -> MlModule {
+        self.module
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_module;
+
+    #[test]
+    fn built_modules_compile_and_check() {
+        let m = MlModuleBuilder::new()
+            .fun(
+                "helper",
+                false,
+                vec![("x", MlTy::Int)],
+                MlTy::Int,
+                add(var("x"), int(1)),
+            )
+            .fun(
+                "main",
+                true,
+                vec![],
+                MlTy::Int,
+                let_(
+                    "r",
+                    new_ref(int(3)),
+                    seq(
+                        assign(var("r"), call("helper", vec![deref(var("r"))])),
+                        if_(
+                            binop(MlBinop::Lt, deref(var("r")), int(10)),
+                            proj(1, tuple(vec![int(0), deref(var("r"))])),
+                            app(lam("y", MlTy::Int, MlTy::Int, var("y")), int(9)),
+                        ),
+                    ),
+                ),
+            )
+            .build();
+        let rw = compile_module(&m).expect("builder output compiles");
+        richwasm::typecheck::check_module(&rw).expect("and typechecks");
+    }
+
+    #[test]
+    fn sum_builders_compile() {
+        let sum = MlTy::Sum(vec![MlTy::Int, MlTy::Int]);
+        let m = MlModuleBuilder::new()
+            .fun(
+                "main",
+                true,
+                vec![],
+                MlTy::Int,
+                case(
+                    inj(sum, 1, int(21)),
+                    vec![("a", var("a")), ("b", add(var("b"), var("b")))],
+                ),
+            )
+            .build();
+        let rw = compile_module(&m).expect("compiles");
+        richwasm::typecheck::check_module(&rw).expect("typechecks");
+    }
+}

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod builder;
 pub mod compile;
 pub mod types;
 
