@@ -1,0 +1,127 @@
+//! **E11** — the flat-bytecode execution tier against the tree-walking
+//! Wasm interpreter, on the E2 counter workload churned hot.
+//!
+//! The same lowered modules run on both engines — the bytecode VM
+//! (`WasmTier::Bytecode`, the default) executes pre-resolved linear
+//! `Vec<Op>` code over unboxed `u64` slots, the tree-walker
+//! (`WasmTier::Tree`) recursively evaluates the structured `WInstr`
+//! tree — so the gap is pure dispatch/representation, not workload.
+//! Both meter fuel identically (one step per executed instruction),
+//! so the speedup is what compilation buys *after* paying the same
+//! metering tax.
+//!
+//! Series reported:
+//!
+//! * `counter_churn_bytecode` / `counter_churn_tree` — a churn of 64
+//!   `bump` invocations on the Fig. 9 counter (E2), per engine;
+//! * `loop_churn_bytecode` / `loop_churn_tree` — one invocation of the
+//!   allocator-churn loop (E2's hot-loop cousin from the fuel suite),
+//!   2 000 iterations of linear cell round trips per call.
+//!
+//! The acceptance gate requires the bytecode tier to clear **≥ 5×**
+//! invoke throughput over the tree-walker on the loop-churn workload
+//! (where execution, not export lookup, dominates); the counter-churn
+//! speedup is printed alongside as the end-to-end figure.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use richwasm_bench::workloads::{churn, counter_client, counter_library};
+use richwasm_repro::engine::{Engine, EngineConfig, Exec, ModuleSet, WasmTier};
+use richwasm_wasm::exec::{Val, WasmLinker};
+
+fn counter_set() -> ModuleSet {
+    ModuleSet::new()
+        .l3("gfx", counter_library())
+        .ml("app", counter_client())
+}
+
+fn churn_set(n: u32) -> ModuleSet {
+    ModuleSet::new().richwasm("m", churn(n))
+}
+
+/// Extracts a bare linker running `set` under the given tier, with the
+/// named instance resolved.
+fn linker_for(set: &ModuleSet, tier: WasmTier, module: &str) -> (WasmLinker, usize) {
+    let engine = Engine::with_config(EngineConfig::new().exec(Exec::Wasm).wasm_tier(tier));
+    let mut inst = engine.instantiate(set).unwrap();
+    let linker = inst.wasm.take().unwrap();
+    let idx = linker.instance_by_name(module).unwrap();
+    (linker, idx)
+}
+
+fn median_of<T>(samples: usize, mut f: impl FnMut() -> T) -> Duration {
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        criterion::black_box(f());
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    times[times.len() / 2]
+}
+
+const BUMPS: usize = 64;
+const CHURN_ITERS: u32 = 2_000;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e11_bytecode");
+    g.sample_size(20);
+
+    for (tier, label) in [(WasmTier::Bytecode, "bytecode"), (WasmTier::Tree, "tree")] {
+        g.bench_function(format!("counter_churn_{label}"), |b| {
+            let (mut linker, app) = linker_for(&counter_set(), tier, "app");
+            linker.invoke(app, "setup", &[Val::I32(1)]).unwrap();
+            b.iter(|| {
+                for _ in 0..BUMPS {
+                    linker.invoke(app, "bump", &[]).unwrap();
+                }
+            });
+        });
+        g.bench_function(format!("loop_churn_{label}"), |b| {
+            let (mut linker, m) = linker_for(&churn_set(CHURN_ITERS), tier, "m");
+            b.iter(|| linker.invoke(m, "main", &[]).unwrap());
+        });
+    }
+
+    g.finish();
+
+    // The acceptance numbers, measured directly (median-of-9, outside
+    // the sampled series, so the printed figures are the gated ones).
+    let (mut bc, bc_app) = linker_for(&counter_set(), WasmTier::Bytecode, "app");
+    bc.invoke(bc_app, "setup", &[Val::I32(1)]).unwrap();
+    let (mut tw, tw_app) = linker_for(&counter_set(), WasmTier::Tree, "app");
+    tw.invoke(tw_app, "setup", &[Val::I32(1)]).unwrap();
+    let counter_bc = median_of(9, || {
+        for _ in 0..BUMPS {
+            bc.invoke(bc_app, "bump", &[]).unwrap();
+        }
+    });
+    let counter_tw = median_of(9, || {
+        for _ in 0..BUMPS {
+            tw.invoke(tw_app, "bump", &[]).unwrap();
+        }
+    });
+
+    let (mut bc, bc_m) = linker_for(&churn_set(CHURN_ITERS), WasmTier::Bytecode, "m");
+    let (mut tw, tw_m) = linker_for(&churn_set(CHURN_ITERS), WasmTier::Tree, "m");
+    let loop_bc = median_of(9, || bc.invoke(bc_m, "main", &[]).unwrap());
+    let loop_tw = median_of(9, || tw.invoke(tw_m, "main", &[]).unwrap());
+
+    let counter_speedup = counter_tw.as_nanos() as f64 / counter_bc.as_nanos().max(1) as f64;
+    let loop_speedup = loop_tw.as_nanos() as f64 / loop_bc.as_nanos().max(1) as f64;
+    println!("e11_bytecode: {BUMPS} bumps (E2 counter) / {CHURN_ITERS}-iteration churn loop");
+    println!("  counter churn  bytecode {counter_bc:>10.2?}  tree {counter_tw:>10.2?}  ({counter_speedup:.1}x)");
+    println!(
+        "  loop churn     bytecode {loop_bc:>10.2?}  tree {loop_tw:>10.2?}  ({loop_speedup:.1}x)"
+    );
+
+    criterion::acceptance(
+        "e11_bytecode/loop_churn_speedup_vs_tree_walker",
+        loop_speedup,
+        5.0,
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

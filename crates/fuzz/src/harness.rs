@@ -10,8 +10,21 @@
 //! harness adds a binary round-trip (decode∘encode = id on every
 //! emitted `.wasm`) and a determinism probe (reset + re-invoke must
 //! agree with the first run).
+//!
+//! The Wasm side itself is two engines since the flat-bytecode tier
+//! landed: by default (`run_case`, or [`run_case_with`] with
+//! `bytecode_check = true`) host-free cases additionally run under
+//! [`WasmTier::Check`], where the bytecode VM executes and a
+//! tree-walking oracle replays every invocation — results, trap
+//! strings, and exact fuel counts must agree, making each such case a
+//! **three-way** differential (RichWasm interpreter × bytecode VM ×
+//! Wasm tree-walker). Cases with host imports keep the default
+//! bytecode tier (the oracle cannot replay host effects), still
+//! cross-checked against the RichWasm interpreter.
 
-use richwasm_repro::engine::{Analysis, Engine, EngineConfig, PipelineError, PipelineErrorKind};
+use richwasm_repro::engine::{
+    Analysis, Engine, EngineConfig, PipelineError, PipelineErrorKind, WasmTier,
+};
 use richwasm_wasm::binary::encode_module;
 use richwasm_wasm::decode_module;
 
@@ -116,9 +129,21 @@ fn fail(kind: FailureKind, detail: impl Into<String>) -> CaseOutcome {
     }
 }
 
-/// Runs one case end to end. See the module docs for the exact checks.
+/// Runs one case end to end with the bytecode differential on. See the
+/// module docs for the exact checks.
 pub fn run_case(prog: &FuzzProgram) -> CaseOutcome {
+    run_case_with(prog, true)
+}
+
+/// [`run_case`] with an explicit bytecode-differential switch. With
+/// `bytecode_check` set, host-free cases run the Wasm side under
+/// [`WasmTier::Check`] (bytecode VM + tree-walking oracle); turning it
+/// off pins the pre-bytecode behaviour for A/B runs of the farm.
+pub fn run_case_with(prog: &FuzzProgram, bytecode_check: bool) -> CaseOutcome {
     let mut cfg = EngineConfig::new().analysis(Analysis::Deny).fuel(CASE_FUEL);
+    if bytecode_check && prog.hosts.is_empty() {
+        cfg = cfg.wasm_tier(WasmTier::Check);
+    }
     if let Some(n) = prog.gc_every {
         cfg = cfg.auto_gc_every(n);
     }

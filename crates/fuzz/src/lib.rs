@@ -35,7 +35,7 @@ pub mod rng;
 pub mod stats;
 
 pub use gen::{gen_program, pick_tier, Tier};
-pub use harness::{run_case, CaseOutcome, FailureKind};
+pub use harness::{run_case, run_case_with, CaseOutcome, FailureKind};
 pub use minimize::minimize_module;
 pub use mutate::{mutate, MutationKind};
 pub use program::{FuzzProgram, HostBehavior, HostImportSpec, SourceModule};

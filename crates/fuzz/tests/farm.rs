@@ -8,8 +8,8 @@ use richwasm::syntax::instr::Sign;
 use richwasm::syntax::{Func, Instr, Module, NumType};
 use richwasm::typecheck::{check_module, coverage_of_module, RuleCoverage};
 use richwasm_fuzz::{
-    gen_program, minimize_module, mutate, pick_tier, run_case, CaseOutcome, FuzzProgram,
-    MutationKind, Rng, SourceModule,
+    gen_program, minimize_module, mutate, pick_tier, run_case, run_case_with, CaseOutcome,
+    FuzzProgram, MutationKind, Rng, SourceModule,
 };
 
 /// Recursive instruction count — the same notion of size the minimizer
@@ -69,6 +69,41 @@ fn moderate_sweep_all_tiers() {
         "rule coverage too low: {}/{}",
         cov.covered(),
         cov.total()
+    );
+}
+
+/// The bytecode-tier differential sweep (PR 10 acceptance): ≥1k
+/// generated programs through the full harness with the
+/// bytecode-vs-tree-walker check on. Host-free cases run as a three-way
+/// differential — RichWasm interpreter × bytecode VM × Wasm tree-walker
+/// oracle, with trap strings and exact fuel counts compared — so any
+/// drift between the two Wasm engines surfaces as a `Mismatch` here.
+#[test]
+fn bytecode_differential_sweep_1k() {
+    const CASES: u64 = 1_000;
+    let cov = RuleCoverage::new();
+    let mut checked_three_way = 0u64;
+    for i in 0..CASES {
+        let mut rng = Rng::for_case(0xB17E_C0DE, i);
+        let tier = pick_tier(&mut rng);
+        let prog = gen_program(tier, &mut rng, &cov);
+        if prog.hosts.is_empty() {
+            checked_three_way += 1;
+        }
+        if let CaseOutcome::Failed { kind, detail } = run_case_with(&prog, true) {
+            panic!(
+                "case {i} ({}) failed [{}]: {detail}\n{}",
+                tier.name(),
+                kind.name(),
+                prog.describe()
+            );
+        }
+    }
+    // The sweep is deterministic; most generated cases are host-free, so
+    // the three-way differential must have actually run at scale.
+    assert!(
+        checked_three_way * 2 > CASES,
+        "only {checked_three_way}/{CASES} cases ran the bytecode differential"
     );
 }
 

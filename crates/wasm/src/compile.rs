@@ -1,0 +1,2201 @@
+//! Flat-bytecode compilation of validated function bodies.
+//!
+//! The tree-walking interpreter in [`crate::exec`] re-traverses nested
+//! [`WInstr`] trees and re-threads a `Flow` signal through every block on
+//! every invoke. This module lowers each **validated** body once, at
+//! artifact build time, into a linear [`Vec<Op>`] that the VM in
+//! [`crate::vm`] executes with a program counter:
+//!
+//! * structured `block` / `loop` / `if` are flattened to jumps whose
+//!   targets are pre-resolved by a single validator-visit-order walk (the
+//!   same linearisation the CFG construction in `richwasm-analyze`
+//!   performs — stack heights in validated code are static at every
+//!   program point, so each branch's unwind is a compile-time constant);
+//! * every branch op carries a [`BranchTarget`]: the target `pc`, how
+//!   many values to `keep`, and the absolute stack `height` to truncate
+//!   to — exactly the keep/truncate/extend unwind the tree-walker
+//!   performs dynamically;
+//! * call sites are reduced to plain indices resolved through the
+//!   instance's function-address table (the same `Arc`-shared bodies /
+//!   `invoke_addr` seam the tree-walker uses), with `call_indirect`'s
+//!   expected type embedded in the op so no per-call type-table clone
+//!   remains.
+//!
+//! **Fuel equivalence.** The tree-walker charges one step per dispatched
+//! instruction (including `block`/`loop`/`if` entry, charged once — a
+//! loop's header is charged when the `loop` instruction is dispatched,
+//! not per iteration). The compiler preserves that accounting exactly:
+//! each op corresponding to a dispatched instruction costs 1
+//! ([`Op::cost`]), and the two synthetic ops the flattening introduces
+//! (the jump over an `else` arm, the fall-off-the-end return) cost 0.
+//! `loop` entry compiles to a [`Op::Meter`] *before* the back-edge
+//! target, so iterating never re-charges it.
+//!
+//! **Superinstruction fusion.** A peephole pass (`fuse`) collapses the
+//! hottest adjacent sequences (`local.get; const; ibin; local.set`,
+//! `const; irel; if-false`, a same-global read-modify-write, …) into
+//! single fused ops that cost the *sum* of their parts, halving or
+//! quartering dispatch count on lowered loop bodies. Fusion never
+//! crosses a branch-target boundary (no jump can land mid-fusion), and
+//! only fuses sub-sequences that are pure or frame-local up to an
+//! optional final side effect — so batch-charging their fuel is exact:
+//! if the budget crosses anywhere inside a fused op the VM traps with
+//! the same step count, the same memory, and the same globals as the
+//! tree-walker trapping mid-sequence (skipped sub-ops could only have
+//! touched the operand stack or locals of the frame being abandoned).
+//! Trapping operators (`div`/`rem`) are never fused, so a fused op's
+//! only possible traps are fuel (checked before any effect) and a fused
+//! load's bounds check. A load in final position traps with every
+//! sub-op charged on both engines; a mid-sequence load (e.g. in
+//! [`Op::GetLoadSet`]) gives back the steps the tree-walker would not
+//! yet have charged before trapping, so `last_steps()` agrees there
+//! too.
+//!
+//! **Fidelity over spec.** The compiler mirrors the tree-walker — the
+//! differential oracle — rather than idealised Wasm: a branch that
+//! targets a `block`/`if` truncates to the stack height *at entry*,
+//! and a branch to the implicit function label compiles to the
+//! tree-walker's `br escaped function body` trap. Parameterised
+//! `block`/`if` bodies compile (RichWasm lowering emits them as scoping
+//! devices), but a branch **targeting** one is declined — the
+//! tree-walker's entry-height unwind would diverge from the
+//! normal-completion height there, making post-block heights
+//! path-dependent; such functions stay tree-walked.
+
+use std::sync::Arc;
+
+use crate::ast::*;
+
+/// Version tag of the serialised bytecode format (see
+/// [`encode_compiled`]). Bump on any change to [`Op`] or its encoding;
+/// a mismatch makes [`decode_compiled`] fail, and embedders fall back to
+/// recompiling from the decoded module.
+pub const BYTECODE_VERSION: u16 = 2;
+
+/// Sentinel `pc` for a branch that targets the implicit function label:
+/// the tree-walker traps (`br escaped function body`), so the VM does
+/// too.
+pub const ESCAPE_PC: u32 = u32::MAX;
+
+/// A pre-resolved branch: jump to `pc` after keeping the top `keep`
+/// values and truncating the operand stack to absolute `height`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchTarget {
+    /// Target program counter ([`ESCAPE_PC`] = function-label trap).
+    pub pc: u32,
+    /// Values carried across the unwind (block results / loop params).
+    pub keep: u32,
+    /// Absolute stack height to truncate to before re-pushing `keep`.
+    pub height: u32,
+}
+
+/// `br_table` payload: boxed so [`Op`] stays small.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrTableData {
+    /// Indexed targets.
+    pub targets: Vec<BranchTarget>,
+    /// Default target for out-of-range indices.
+    pub default: BranchTarget,
+}
+
+/// One flat-bytecode operation. Operand-stack slots are raw `u64` bit
+/// patterns (32-bit values zero-extended — the same representation as
+/// `HostVal::bits()` in the embedder, so the typed call path converts
+/// nothing but trivial bit moves).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Trap: `unreachable executed`.
+    Unreachable,
+    /// No effect (still costs one step, like the tree-walker's `nop`).
+    Nop,
+    /// `block` / `loop` entry: charges the step the tree-walker charges
+    /// when dispatching the structured instruction; no other effect.
+    Meter,
+    /// Unconditional jump, cost 0 — synthetic (end of a `then` arm).
+    Jump(u32),
+    /// `if`: pops the condition, falls through on non-zero, jumps to the
+    /// else arm (or the end) on zero.
+    IfFalse(u32),
+    /// `br`.
+    Br(BranchTarget),
+    /// `br_if`: pops the condition, branches on non-zero.
+    BrIf(BranchTarget),
+    /// `br_table`: pops the index, selects a target.
+    BrTable(Box<BrTableData>),
+    /// `return`: keep the top `keep` values as the function's results.
+    Return {
+        /// Number of results the function returns.
+        keep: u32,
+    },
+    /// Fall off the end of the body, cost 0 — synthetic epilogue.
+    FallRet {
+        /// Number of results the function returns.
+        keep: u32,
+    },
+    /// `call` of a module-local function index (resolved through the
+    /// instance's function-address table at run time).
+    Call(u32),
+    /// `call_indirect` with the expected function type pre-resolved from
+    /// the module's type section.
+    CallIndirect(Box<FuncType>),
+    /// `drop`.
+    Drop,
+    /// `select`.
+    Select,
+    /// `local.get`.
+    LocalGet(u32),
+    /// `local.set`.
+    LocalSet(u32),
+    /// `local.tee`.
+    LocalTee(u32),
+    /// `global.get` (module-local index; the store keeps typed values, so
+    /// the VM converts at the access).
+    GlobalGet(u32),
+    /// `global.set` with the global's declared type (needed to rebuild
+    /// the typed store value from the raw slot).
+    GlobalSet {
+        /// Module-local global index.
+        idx: u32,
+        /// The global's declared value type.
+        ty: ValType,
+    },
+    /// Typed load with static offset.
+    Load {
+        /// Loaded value type (determines the access width).
+        ty: ValType,
+        /// Static address offset.
+        offset: u32,
+    },
+    /// Typed store with static offset.
+    Store {
+        /// Stored value type (determines the access width).
+        ty: ValType,
+        /// Static address offset.
+        offset: u32,
+    },
+    /// `i32.load8_u`.
+    Load8U(u32),
+    /// `i32.store8`.
+    Store8(u32),
+    /// `memory.size`.
+    MemorySize,
+    /// `memory.grow`.
+    MemoryGrow,
+    /// Any constant, as its slot bit pattern.
+    Const(u64),
+    /// Integer unary operator.
+    IUn(Width, IUnOp),
+    /// Integer binary operator.
+    IBin(Width, IBinOp),
+    /// `iNN.eqz`.
+    ITest(Width),
+    /// Integer comparison.
+    IRel(Width, IRelOp),
+    /// Float unary operator.
+    FUn(Width, FUnOp),
+    /// Float binary operator.
+    FBin(Width, FBinOp),
+    /// Float comparison.
+    FRel(Width, FRelOp),
+    /// `i32.wrap_i64`.
+    I32WrapI64,
+    /// `i64.extend_i32_s` / `_u`.
+    I64ExtendI32(Sx),
+    /// `iNN.trunc_fMM_sx`.
+    ITruncF(Width, Width, Sx),
+    /// `fNN.convert_iMM_sx`.
+    FConvertI(Width, Width, Sx),
+    /// `f32.demote_f64`.
+    F32DemoteF64,
+    /// `f64.promote_f32`.
+    F64PromoteF32,
+    /// `iNN.reinterpret_fNN`.
+    IReinterpretF(Width),
+    /// `fNN.reinterpret_iNN`.
+    FReinterpretI(Width),
+    // --- Fused superinstructions (see the module docs). Field order is
+    // chosen so every variant stays within 16 bytes. ---
+    /// Fused `local.get i; const c; ibin` — fields `(w, op, i, c)`,
+    /// cost 3. Pushes `local[i] op c`.
+    GetConstOp(Width, IBinOp, u32, u64),
+    /// Fused `local.get i; const c; ibin; local.set j` — fields
+    /// `(w, op, i, j, c)`, cost 4. Sets `local[j] = local[i] op c`
+    /// without touching the operand stack.
+    GetConstOpSet(Width, IBinOp, u16, u16, u64),
+    /// Fused same-global read-modify-write `global.get g; const c; ibin;
+    /// global.set g` — fields `(w, op, ty, g, c)`, cost 4.
+    GlobalIncr(Width, IBinOp, ValType, u16, u64),
+    /// Fused `const c; ibin` — fields `(w, op, c)`, cost 2. Replaces the
+    /// top of stack `a` with `a op c`.
+    ConstOp(Width, IBinOp, u64),
+    /// Fused `const c; irel; if-false` — fields `(w, op, pc, c)`,
+    /// cost 3. Pops `a`, jumps to `pc` unless `a op c` holds.
+    ConstRelIfFalse(Width, IRelOp, u32, u64),
+    /// Fused `local.get i; load` — fields `(ty, offset, i)`, cost 2.
+    GetLoad(ValType, u32, u32),
+    /// Fused `iNN.eqz; br_if` — cost 2. Pops `a`, branches if `a == 0`.
+    TestBr(Width, BranchTarget),
+    /// Fused `local.get i; iNN.eqz` — cost 2.
+    GetTest(Width, u32),
+    /// Fused `local.get i; local.set j` — cost 2.
+    Copy(u16, u16),
+    /// Fused `local.get i; local.get j` — cost 2.
+    Get2(u16, u16),
+    /// Fused `const c; local.set j` — fields `(j, c)`, cost 2.
+    ConstSet(u16, u64),
+    /// Fused `local.get i; const c; irel; br_if` — cost 4. Branches if
+    /// `local[i] op c` holds. Boxed: the payload outgrows the inline
+    /// budget.
+    GetConstRelBr(Box<CmpBrData>),
+    /// Fused `local.get i; const c; irel; if-false` — cost 4. Falls
+    /// through if `local[i] op c` holds, else jumps to `t.pc` (a plain
+    /// jump — `if` arms don't unwind, so `t.keep`/`t.height` are
+    /// unused).
+    GetConstRelIfFalse(Box<CmpBrData>),
+    /// Fused `irel; br_if` — cost 2. Pops `b` then `a`, branches if
+    /// `a op b` holds.
+    RelBr(Width, IRelOp, BranchTarget),
+    /// Fused `local.get i; irel; if-false` — fields `(w, op, i, pc)`,
+    /// cost 3. Pops `a`, jumps to `pc` unless `a op local[i]` holds.
+    GetRelIfFalse(Width, IRelOp, u16, u32),
+    /// Fused `local.get i; load; local.set j` — fields
+    /// `(ty, offset, i, j)`, cost 3.
+    GetLoadSet(ValType, u32, u16, u16),
+    /// Fused `local.get i; local.get j; store` — fields
+    /// `(ty, offset, i, j)`, cost 3. Stores `local[j]` at
+    /// `local[i] + offset`.
+    Get2Store(ValType, u32, u16, u16),
+    /// Fused `const c; ibin; local.set j` — fields `(w, op, j, c)`,
+    /// cost 3. Pops `a`, sets `local[j] = a op c`.
+    ConstOpSet(Width, IBinOp, u16, u64),
+    /// Fused `global.get g; local.set j` — cost 2.
+    GlobalGetSet(u16, u16),
+    /// Fused pair of adjacent `block`/`loop` entry meters — cost 2.
+    Meter2,
+    /// Fused `local.get i; iNN.eqz; br_if` — cost 3. Branches if
+    /// `local[i] == 0`.
+    GetTestBr(Width, u16, BranchTarget),
+    /// Fused `local.get i; iNN.eqz; if-false` — fields `(w, i, pc)`,
+    /// cost 3. Jumps to `pc` if `local[i] != 0`.
+    GetTestIfFalse(Width, u16, u32),
+    /// Fused `local.get i; global.get g; store` — fields
+    /// `(ty, offset, i, g)`, cost 3. Stores `global[g]` at
+    /// `local[i] + offset`.
+    GetGlobalStore(ValType, u32, u16, u16),
+    /// Fused `local.get i; load; global.set g` — fields
+    /// `(ty, gty, offset, i, g)`, cost 3. Sets `global[g]` (of type
+    /// `gty`) to `mem[local[i] + offset]` (loaded at `ty`'s width).
+    GetLoadGlobalSet(ValType, ValType, u32, u16, u16),
+    /// Fused `local.tee i; local.get i; load` (same local) — fields
+    /// `(ty, offset, i)`, cost 3. With `v` on top of the stack: sets
+    /// `local[i] = v`, keeps `v`, pushes `mem[v + offset]`.
+    TeeGetLoad(ValType, u32, u16),
+    /// Fused `local.get i; const c; ibin; local.get j; ibin` — cost 5.
+    /// Pushes `(local[i] op1 c) op2 local[j]`. Boxed: the payload
+    /// outgrows the inline budget.
+    GetConstOpGetOp(Box<ArithChainData>),
+    /// Fused `const c; call f` — fields `(f, c)`, cost 2. Pushes the
+    /// constant (typically the last argument) and calls function `f`.
+    ConstCall(u32, u64),
+    /// [`Op::GetTestBr`] with the preceding `block`/`loop` entry meter
+    /// folded in — cost 4.
+    MeterGetTestBr(Width, u16, BranchTarget),
+    /// Fused `local.get i` + `block`/`loop` entry meter — cost 2.
+    GetMeter(u32),
+    /// Fused `local.get i; const c; ibin; global.set g` — fields
+    /// `(w, op, gty, i, g, c)`, cost 4. Sets `global[g]` (of type `gty`)
+    /// to `local[i] op c`.
+    GetConstOpGlobalSet(Width, IBinOp, ValType, u16, u16, u64),
+    /// Fused `const c; local.set j1; global.get g; local.set j2` —
+    /// fields `(j1, g, j2, c)`, cost 4.
+    ConstSetGlobalGetSet(u16, u16, u16, u64),
+    /// Fused `local.get i; const c1; ibin; const c2; ibin; local.set j`
+    /// — cost 6. Sets `local[j] = (local[i] op1 c1) op2 c2` without
+    /// touching the operand stack. Boxed: the payload outgrows the
+    /// inline budget.
+    GetConstOpConstOpSet(Box<ArithFoldData>),
+    /// Fused `local.get i; const c; ibin; return` (single-result
+    /// functions only) — fields `(w, op, i, c)`, cost 4. Returns
+    /// `local[i] op c`.
+    GetConstOpRet(Width, IBinOp, u16, u64),
+    /// Fused `local.get i; load; local.get j; irel; if-false` — cost 5.
+    /// Falls through if `mem[local[i] + offset] op local[j]` holds, else
+    /// jumps to `pc`. Boxed: the payload outgrows the inline budget.
+    GetLoadRelIfFalse(Box<LoadCmpData>),
+    /// Fused `local.get a; local.set b; local.get i; const c; ibin;
+    /// local.set j` — cost 6. Sets `local[b] = local[a]` then
+    /// `local[j] = local[i] op c` (in that order — `b` may alias `i`).
+    /// Boxed: the payload outgrows the inline budget.
+    CopyGetConstOpSet(Box<CopyArithData>),
+    /// Fused `local.set b; local.get b; local.get j; store` — fields
+    /// `(ty, offset, b, j)`, cost 4. Pops the address `a`, sets
+    /// `local[b] = a`, stores `local[j]` at `a + offset`.
+    SetGet2Store(ValType, u32, u16, u16),
+}
+
+/// Payload of [`Op::GetLoadRelIfFalse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadCmpData {
+    /// Loaded value type (determines the access width).
+    pub ty: ValType,
+    /// Comparison width.
+    pub w: Width,
+    /// Comparison operator.
+    pub op: IRelOp,
+    /// Local holding the load address.
+    pub i: u16,
+    /// Local holding the comparison's right operand.
+    pub j: u16,
+    /// Static address offset.
+    pub offset: u32,
+    /// Fall-through-failed jump target.
+    pub pc: u32,
+}
+
+/// Payload of [`Op::CopyGetConstOpSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CopyArithData {
+    /// Operator width.
+    pub w: Width,
+    /// The fused operator.
+    pub op: IBinOp,
+    /// Copy source local.
+    pub a: u16,
+    /// Copy destination local.
+    pub b: u16,
+    /// Local holding the arithmetic left operand.
+    pub i: u16,
+    /// Local receiving the arithmetic result.
+    pub j: u16,
+    /// The fused constant.
+    pub c: u64,
+}
+
+/// Payload of [`Op::GetConstOpConstOpSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArithFoldData {
+    /// Operator width (shared by both operations).
+    pub w: Width,
+    /// First operator (applied as `local[i] op1 c1`).
+    pub op1: IBinOp,
+    /// Second operator (applied as `_ op2 c2`).
+    pub op2: IBinOp,
+    /// Local holding the initial operand.
+    pub i: u16,
+    /// Local receiving the result.
+    pub j: u16,
+    /// First fused constant.
+    pub c1: u64,
+    /// Second fused constant.
+    pub c2: u64,
+}
+
+/// Payload of [`Op::GetConstOpGetOp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArithChainData {
+    /// Operator width (shared by both operations).
+    pub w: Width,
+    /// First operator (applied as `local[i] op1 c`).
+    pub op1: IBinOp,
+    /// Second operator (applied as `_ op2 local[j]`).
+    pub op2: IBinOp,
+    /// Local holding the first left operand.
+    pub i: u32,
+    /// Local holding the second right operand.
+    pub j: u32,
+    /// The fused constant.
+    pub c: u64,
+}
+
+/// Payload of the boxed fused compare-branch quads
+/// ([`Op::GetConstRelBr`] / [`Op::GetConstRelIfFalse`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmpBrData {
+    /// Comparison width.
+    pub w: Width,
+    /// Comparison operator.
+    pub op: IRelOp,
+    /// Local holding the left operand.
+    pub i: u32,
+    /// Right operand (the fused constant).
+    pub c: u64,
+    /// Branch target (for the `if-false` form only `t.pc` applies).
+    pub t: BranchTarget,
+}
+
+impl Op {
+    /// How many steps of the instruction budget executing this op
+    /// charges. The two synthetic control ops the flattening introduces
+    /// are free, fused superinstructions charge the sum of their parts,
+    /// and everything else corresponds 1:1 to a dispatched instruction
+    /// in the tree-walker.
+    pub fn cost(&self) -> u64 {
+        match self {
+            Op::Jump(_) | Op::FallRet { .. } => 0,
+            Op::ConstOp(..)
+            | Op::GetLoad(..)
+            | Op::TestBr(..)
+            | Op::GetTest(..)
+            | Op::Copy(..)
+            | Op::Get2(..)
+            | Op::ConstSet(..)
+            | Op::RelBr(..)
+            | Op::GlobalGetSet(..)
+            | Op::Meter2
+            | Op::ConstCall(..)
+            | Op::GetMeter(..) => 2,
+            Op::GetConstOp(..)
+            | Op::ConstRelIfFalse(..)
+            | Op::GetRelIfFalse(..)
+            | Op::GetLoadSet(..)
+            | Op::Get2Store(..)
+            | Op::ConstOpSet(..)
+            | Op::GetTestBr(..)
+            | Op::GetTestIfFalse(..)
+            | Op::GetGlobalStore(..)
+            | Op::GetLoadGlobalSet(..)
+            | Op::TeeGetLoad(..) => 3,
+            Op::GetConstOpSet(..)
+            | Op::GlobalIncr(..)
+            | Op::GetConstRelBr(..)
+            | Op::GetConstRelIfFalse(..)
+            | Op::MeterGetTestBr(..)
+            | Op::GetConstOpGlobalSet(..)
+            | Op::ConstSetGlobalGetSet(..)
+            | Op::GetConstOpRet(..)
+            | Op::SetGet2Store(..) => 4,
+            Op::GetConstOpGetOp(..) | Op::GetLoadRelIfFalse(..) => 5,
+            Op::GetConstOpConstOpSet(..) | Op::CopyGetConstOpSet(..) => 6,
+            _ => 1,
+        }
+    }
+}
+
+/// One compiled function body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFunc {
+    /// Number of parameters (the first locals).
+    pub nparams: u32,
+    /// Extra declared locals beyond the parameters (zero-initialised —
+    /// every type's zero is the all-zero bit pattern, so the VM needs no
+    /// types here).
+    pub nlocals: u32,
+    /// Declared result types, used to rebuild typed values at the exit
+    /// boundary.
+    pub result_types: Vec<ValType>,
+    /// Static maximum operand-stack height, for exact preallocation.
+    pub max_stack: u32,
+    /// The flat body.
+    pub code: Vec<Op>,
+}
+
+/// The compiled form of a module: one entry per *defined* function, in
+/// definition order. `None` marks a function the compiler declined
+/// (it stays on the tree-walking tier).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompiledModule {
+    /// Per-function compilations.
+    pub funcs: Vec<Option<Arc<CompiledFunc>>>,
+}
+
+impl CompiledModule {
+    /// How many functions have a compiled form.
+    pub fn compiled_count(&self) -> usize {
+        self.funcs.iter().filter(|f| f.is_some()).count()
+    }
+}
+
+/// Compiles every defined function of a **validated** module. Functions
+/// whose tree-walker semantics cannot be expressed with static branch
+/// targets (a branch into a parameterised block) are declined (`None`)
+/// and keep the tree-walking tier; all RichWasm-lowered code compiles
+/// fully.
+pub fn compile_module(m: &Module) -> CompiledModule {
+    let globals = global_types(m);
+    CompiledModule {
+        funcs: m
+            .funcs
+            .iter()
+            .map(|f| compile_func(m, f, &globals).map(Arc::new))
+            .collect(),
+    }
+}
+
+/// The global index space: imported globals first, then defined ones —
+/// mirroring the instance's `global_addrs` layout.
+fn global_types(m: &Module) -> Vec<ValType> {
+    let mut out = Vec::new();
+    for im in &m.imports {
+        if let ImportKind::Global(t, _) = im.kind {
+            out.push(t);
+        }
+    }
+    for g in &m.globals {
+        out.push(g.ty);
+    }
+    out
+}
+
+/// Marker: this body cannot be compiled faithfully; leave it on the
+/// tree-walking tier.
+struct Unsupported;
+
+enum FrameKind {
+    BlockLike,
+    Loop,
+    If,
+}
+
+struct Frame {
+    kind: FrameKind,
+    /// The tree-walker's truncate base: stack height at entry (after the
+    /// condition pop, for `if`).
+    entry_height: u32,
+    params: u32,
+    results: u32,
+    /// Back-edge target (`loop` only): the pc after the entry meter.
+    header_pc: u32,
+    /// Ops whose branch target is this frame's end, patched on pop.
+    patches: Vec<Patch>,
+}
+
+/// A forward-branch fixup: which op (and, for `br_table`, which slot)
+/// needs its `pc` set to the frame's end.
+enum Patch {
+    Br(usize),
+    Jump(usize),
+    Table(usize, usize),
+    TableDefault(usize),
+}
+
+struct Compiler<'m> {
+    m: &'m Module,
+    globals: &'m [ValType],
+    code: Vec<Op>,
+    height: u32,
+    max_height: u32,
+    frames: Vec<Frame>,
+    unreachable: bool,
+    nresults: u32,
+}
+
+fn compile_func(m: &Module, f: &FuncDef, globals: &[ValType]) -> Option<CompiledFunc> {
+    let ty = m.types.get(f.type_idx as usize)?;
+    let mut c = Compiler {
+        m,
+        globals,
+        code: Vec::new(),
+        height: 0,
+        max_height: 0,
+        frames: Vec::new(),
+        unreachable: false,
+        nresults: ty.results.len() as u32,
+    };
+    c.seq(&f.body).ok()?;
+    let keep = c.nresults;
+    c.code.push(Op::FallRet { keep });
+    Some(CompiledFunc {
+        nparams: ty.params.len() as u32,
+        nlocals: f.locals.len() as u32,
+        result_types: ty.results.clone(),
+        max_stack: c.max_height,
+        code: fuse(&c.code),
+    })
+}
+
+/// `true` for integer operators that can never trap (everything but
+/// `div`/`rem`) — the precondition for folding an [`Op::IBin`] into a
+/// fused superinstruction.
+fn fusable_ibin(op: IBinOp) -> bool {
+    !matches!(op, IBinOp::Div(_) | IBinOp::Rem(_))
+}
+
+/// The superinstruction peephole (see the module docs): collapses hot
+/// adjacent sequences into single fused ops, never across a pc some
+/// branch targets, then remaps every embedded branch pc into the fused
+/// index space.
+fn fuse(code: &[Op]) -> Vec<Op> {
+    let mut is_target = vec![false; code.len() + 1];
+    {
+        let mut mark = |pc: u32| {
+            if pc != ESCAPE_PC {
+                is_target[pc as usize] = true;
+            }
+        };
+        for op in code {
+            match op {
+                Op::Jump(pc) | Op::IfFalse(pc) => mark(*pc),
+                Op::Br(t) | Op::BrIf(t) => mark(t.pc),
+                Op::BrTable(d) => {
+                    for t in &d.targets {
+                        mark(t.pc);
+                    }
+                    mark(d.default.pc);
+                }
+                _ => {}
+            }
+        }
+    }
+    let u16s = |i: u32, j: u32| u16::try_from(i).ok().zip(u16::try_from(j).ok());
+    let mut out: Vec<Op> = Vec::with_capacity(code.len());
+    let mut newpos = vec![0u32; code.len() + 1];
+    let mut i = 0;
+    while i < code.len() {
+        // A fusion of `k` ops starting at `i` is legal only if no branch
+        // lands strictly inside it ( `i` itself may be a target).
+        let free = |k: usize| (i + 1..i + k).all(|j| !is_target[j]);
+        let fused: Option<(Op, usize)> = match &code[i..] {
+            [Op::LocalGet(a), Op::Const(c1), Op::IBin(w1, op1), Op::Const(c2), Op::IBin(w2, op2), Op::LocalSet(b), ..]
+                if w1 == w2 && fusable_ibin(*op1) && fusable_ibin(*op2) && free(6) =>
+            {
+                u16s(*a, *b).map(|(a, b)| {
+                    let d = ArithFoldData {
+                        w: *w1,
+                        op1: *op1,
+                        op2: *op2,
+                        i: a,
+                        j: b,
+                        c1: *c1,
+                        c2: *c2,
+                    };
+                    (Op::GetConstOpConstOpSet(Box::new(d)), 6)
+                })
+            }
+            [Op::LocalGet(a), Op::LocalSet(b), Op::LocalGet(x), Op::Const(c), Op::IBin(w, op), Op::LocalSet(y), ..]
+                if fusable_ibin(*op) && free(6) =>
+            {
+                u16s(*a, *b).zip(u16s(*x, *y)).map(|((a, b), (i, j))| {
+                    let d = CopyArithData {
+                        w: *w,
+                        op: *op,
+                        a,
+                        b,
+                        i,
+                        j,
+                        c: *c,
+                    };
+                    (Op::CopyGetConstOpSet(Box::new(d)), 6)
+                })
+            }
+            [Op::LocalGet(a), Op::Load { ty, offset }, Op::LocalGet(b), Op::IRel(w, op), Op::IfFalse(pc), ..]
+                if free(5) =>
+            {
+                u16s(*a, *b).map(|(i, j)| {
+                    let d = LoadCmpData {
+                        ty: *ty,
+                        w: *w,
+                        op: *op,
+                        i,
+                        j,
+                        offset: *offset,
+                        pc: *pc,
+                    };
+                    (Op::GetLoadRelIfFalse(Box::new(d)), 5)
+                })
+            }
+            [Op::LocalGet(a), Op::Const(c), Op::IBin(w1, op1), Op::LocalGet(b), Op::IBin(w2, op2), ..]
+                if w1 == w2 && fusable_ibin(*op1) && fusable_ibin(*op2) && free(5) =>
+            {
+                let d = ArithChainData {
+                    w: *w1,
+                    op1: *op1,
+                    op2: *op2,
+                    i: *a,
+                    j: *b,
+                    c: *c,
+                };
+                Some((Op::GetConstOpGetOp(Box::new(d)), 5))
+            }
+            [Op::GlobalGet(g), Op::Const(c), Op::IBin(w, op), Op::GlobalSet { idx, ty }, ..]
+                if g == idx && fusable_ibin(*op) && free(4) =>
+            {
+                u16::try_from(*g)
+                    .ok()
+                    .map(|g| (Op::GlobalIncr(*w, *op, *ty, g, *c), 4))
+            }
+            [Op::LocalGet(a), Op::Const(c), Op::IBin(w, op), Op::LocalSet(b), ..]
+                if fusable_ibin(*op) && free(4) =>
+            {
+                u16s(*a, *b).map(|(a, b)| (Op::GetConstOpSet(*w, *op, a, b, *c), 4))
+            }
+            [Op::LocalGet(a), Op::Const(c), Op::IBin(w, op), Op::GlobalSet { idx, ty }, ..]
+                if fusable_ibin(*op) && free(4) =>
+            {
+                u16s(*a, *idx).map(|(a, g)| (Op::GetConstOpGlobalSet(*w, *op, *ty, a, g, *c), 4))
+            }
+            [Op::LocalGet(a), Op::Const(c), Op::IBin(w, op), Op::Return { keep: 1 }, ..]
+                if fusable_ibin(*op) && free(4) =>
+            {
+                u16::try_from(*a)
+                    .ok()
+                    .map(|a| (Op::GetConstOpRet(*w, *op, a, *c), 4))
+            }
+            [Op::LocalSet(a), Op::LocalGet(b), Op::LocalGet(j), Op::Store { ty, offset }, ..]
+                if a == b && free(4) =>
+            {
+                u16s(*a, *j).map(|(b, j)| (Op::SetGet2Store(*ty, *offset, b, j), 4))
+            }
+            [Op::Meter, Op::LocalGet(a), Op::ITest(w), Op::BrIf(t), ..] if free(4) => {
+                u16::try_from(*a)
+                    .ok()
+                    .map(|a| (Op::MeterGetTestBr(*w, a, *t), 4))
+            }
+            [Op::Const(c), Op::LocalSet(j1), Op::GlobalGet(g), Op::LocalSet(j2), ..] if free(4) => {
+                u16s(*j1, *g)
+                    .zip(u16::try_from(*j2).ok())
+                    .map(|((j1, g), j2)| (Op::ConstSetGlobalGetSet(j1, g, j2, *c), 4))
+            }
+            [Op::LocalGet(a), Op::Const(c), Op::IRel(w, op), Op::BrIf(t), ..] if free(4) => {
+                let d = CmpBrData {
+                    w: *w,
+                    op: *op,
+                    i: *a,
+                    c: *c,
+                    t: *t,
+                };
+                Some((Op::GetConstRelBr(Box::new(d)), 4))
+            }
+            [Op::LocalGet(a), Op::Const(c), Op::IRel(w, op), Op::IfFalse(pc), ..] if free(4) => {
+                let d = CmpBrData {
+                    w: *w,
+                    op: *op,
+                    i: *a,
+                    c: *c,
+                    t: BranchTarget {
+                        pc: *pc,
+                        keep: 0,
+                        height: 0,
+                    },
+                };
+                Some((Op::GetConstRelIfFalse(Box::new(d)), 4))
+            }
+            [Op::Const(c), Op::IRel(w, op), Op::IfFalse(pc), ..] if free(3) => {
+                Some((Op::ConstRelIfFalse(*w, *op, *pc, *c), 3))
+            }
+            [Op::LocalGet(a), Op::Const(c), Op::IBin(w, op), ..]
+                if fusable_ibin(*op) && free(3) =>
+            {
+                Some((Op::GetConstOp(*w, *op, *a, *c), 3))
+            }
+            [Op::LocalGet(a), Op::Load { ty, offset }, Op::LocalSet(b), ..] if free(3) => {
+                u16s(*a, *b).map(|(a, b)| (Op::GetLoadSet(*ty, *offset, a, b), 3))
+            }
+            [Op::LocalGet(a), Op::LocalGet(b), Op::Store { ty, offset }, ..] if free(3) => {
+                u16s(*a, *b).map(|(a, b)| (Op::Get2Store(*ty, *offset, a, b), 3))
+            }
+            [Op::LocalGet(a), Op::IRel(w, op), Op::IfFalse(pc), ..] if free(3) => u16::try_from(*a)
+                .ok()
+                .map(|a| (Op::GetRelIfFalse(*w, *op, a, *pc), 3)),
+            [Op::LocalGet(a), Op::ITest(w), Op::BrIf(t), ..] if free(3) => u16::try_from(*a)
+                .ok()
+                .map(|a| (Op::GetTestBr(*w, a, *t), 3)),
+            [Op::LocalGet(a), Op::ITest(w), Op::IfFalse(pc), ..] if free(3) => u16::try_from(*a)
+                .ok()
+                .map(|a| (Op::GetTestIfFalse(*w, a, *pc), 3)),
+            [Op::LocalGet(a), Op::GlobalGet(g), Op::Store { ty, offset }, ..] if free(3) => {
+                u16s(*a, *g).map(|(a, g)| (Op::GetGlobalStore(*ty, *offset, a, g), 3))
+            }
+            [Op::LocalGet(a), Op::Load { ty, offset }, Op::GlobalSet { idx, ty: gty }, ..]
+                if free(3) =>
+            {
+                u16s(*a, *idx).map(|(a, g)| (Op::GetLoadGlobalSet(*ty, *gty, *offset, a, g), 3))
+            }
+            [Op::LocalTee(a), Op::LocalGet(b), Op::Load { ty, offset }, ..]
+                if a == b && free(3) =>
+            {
+                u16::try_from(*a)
+                    .ok()
+                    .map(|a| (Op::TeeGetLoad(*ty, *offset, a), 3))
+            }
+            [Op::Const(c), Op::IBin(w, op), Op::LocalSet(b), ..]
+                if fusable_ibin(*op) && free(3) =>
+            {
+                u16::try_from(*b)
+                    .ok()
+                    .map(|b| (Op::ConstOpSet(*w, *op, b, *c), 3))
+            }
+            [Op::Const(c), Op::IBin(w, op), ..] if fusable_ibin(*op) && free(2) => {
+                Some((Op::ConstOp(*w, *op, *c), 2))
+            }
+            [Op::LocalGet(a), Op::Load { ty, offset }, ..] if free(2) => {
+                Some((Op::GetLoad(*ty, *offset, *a), 2))
+            }
+            [Op::IRel(w, op), Op::BrIf(t), ..] if free(2) => Some((Op::RelBr(*w, *op, *t), 2)),
+            [Op::LocalGet(a), Op::ITest(w), ..] if free(2) => Some((Op::GetTest(*w, *a), 2)),
+            [Op::ITest(w), Op::BrIf(t), ..] if free(2) => Some((Op::TestBr(*w, *t), 2)),
+            [Op::GlobalGet(g), Op::LocalSet(b), ..] if free(2) => {
+                u16s(*g, *b).map(|(g, b)| (Op::GlobalGetSet(g, b), 2))
+            }
+            [Op::LocalGet(a), Op::LocalSet(b), ..] if free(2) => {
+                u16s(*a, *b).map(|(a, b)| (Op::Copy(a, b), 2))
+            }
+            [Op::LocalGet(a), Op::LocalGet(b), ..] if free(2) => {
+                u16s(*a, *b).map(|(a, b)| (Op::Get2(a, b), 2))
+            }
+            [Op::Const(c), Op::LocalSet(b), ..] if free(2) => {
+                u16::try_from(*b).ok().map(|b| (Op::ConstSet(b, *c), 2))
+            }
+            [Op::Const(c), Op::Call(f), ..] if free(2) => Some((Op::ConstCall(*f, *c), 2)),
+            [Op::LocalGet(a), Op::Meter, ..] if free(2) => Some((Op::GetMeter(*a), 2)),
+            [Op::Meter, Op::Meter, ..] if free(2) => Some((Op::Meter2, 2)),
+            _ => None,
+        };
+        let (op, k) = fused.unwrap_or_else(|| (code[i].clone(), 1));
+        // Interior positions can't be branch targets, but map them to
+        // the fused op anyway so the remap below is total.
+        for j in 0..k {
+            newpos[i + j] = out.len() as u32;
+        }
+        out.push(op);
+        i += k;
+    }
+    newpos[code.len()] = out.len() as u32;
+    let remap = |pc: u32| {
+        if pc == ESCAPE_PC {
+            ESCAPE_PC
+        } else {
+            newpos[pc as usize]
+        }
+    };
+    for op in &mut out {
+        match op {
+            Op::Jump(pc)
+            | Op::IfFalse(pc)
+            | Op::ConstRelIfFalse(_, _, pc, _)
+            | Op::GetRelIfFalse(_, _, _, pc)
+            | Op::GetTestIfFalse(_, _, pc) => *pc = remap(*pc),
+            Op::GetLoadRelIfFalse(d) => d.pc = remap(d.pc),
+            Op::Br(t)
+            | Op::BrIf(t)
+            | Op::TestBr(_, t)
+            | Op::RelBr(_, _, t)
+            | Op::GetTestBr(_, _, t)
+            | Op::MeterGetTestBr(_, _, t) => t.pc = remap(t.pc),
+            Op::GetConstRelBr(d) | Op::GetConstRelIfFalse(d) => d.t.pc = remap(d.t.pc),
+            Op::BrTable(d) => {
+                for t in &mut d.targets {
+                    t.pc = remap(t.pc);
+                }
+                d.default.pc = remap(d.default.pc);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+impl Compiler<'_> {
+    fn pc(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn push_n(&mut self, n: u32) {
+        self.height += n;
+        self.max_height = self.max_height.max(self.height);
+    }
+
+    fn pop_n(&mut self, n: u32) -> Result<(), Unsupported> {
+        // Validated code never underflows; a shortfall means this body's
+        // static heights diverged from the tree-walker — decline it.
+        self.height = self.height.checked_sub(n).ok_or(Unsupported)?;
+        Ok(())
+    }
+
+    /// Resolves relative label `l` to a pre-computed unwind. Forward
+    /// targets (block/if ends) are recorded for patching; the caller
+    /// supplies the patch constructor for its op shape.
+    ///
+    /// A branch that targets a **parameterised** `block`/`if` is
+    /// declined: the tree-walker truncates such a branch to the height
+    /// at entry *including* the params, which differs from the
+    /// normal-completion height — post-block heights would be
+    /// path-dependent, not expressible with static targets. (RichWasm
+    /// lowering uses parameterised blocks only as branch-free scoping
+    /// devices, so this never fires on lowered code.)
+    fn target(
+        &mut self,
+        l: u32,
+        patch: impl FnOnce(usize) -> Patch,
+    ) -> Result<BranchTarget, Unsupported> {
+        let Some(idx) = self.frames.len().checked_sub(1 + l as usize) else {
+            // Targets the implicit function label: the tree-walker traps.
+            return Ok(BranchTarget {
+                pc: ESCAPE_PC,
+                keep: 0,
+                height: 0,
+            });
+        };
+        let op_idx = self.code.len();
+        let f = &mut self.frames[idx];
+        match f.kind {
+            FrameKind::Loop => Ok(BranchTarget {
+                pc: f.header_pc,
+                keep: f.params,
+                height: f.entry_height - f.params,
+            }),
+            FrameKind::BlockLike | FrameKind::If => {
+                if f.params != 0 {
+                    return Err(Unsupported);
+                }
+                f.patches.push(patch(op_idx));
+                Ok(BranchTarget {
+                    pc: 0, // patched when the frame ends
+                    keep: f.results,
+                    height: f.entry_height,
+                })
+            }
+        }
+    }
+
+    /// Patches every recorded forward branch of `frame` to `end_pc`.
+    fn patch_frame(&mut self, frame: Frame, end_pc: u32) {
+        for p in frame.patches {
+            match p {
+                Patch::Br(i) => match &mut self.code[i] {
+                    Op::Br(t) | Op::BrIf(t) => t.pc = end_pc,
+                    _ => unreachable!("patch points at a non-branch op"),
+                },
+                Patch::Jump(i) => match &mut self.code[i] {
+                    Op::Jump(pc) => *pc = end_pc,
+                    _ => unreachable!("patch points at a non-jump op"),
+                },
+                Patch::Table(i, slot) => match &mut self.code[i] {
+                    Op::BrTable(d) => d.targets[slot].pc = end_pc,
+                    _ => unreachable!("patch points at a non-table op"),
+                },
+                Patch::TableDefault(i) => match &mut self.code[i] {
+                    Op::BrTable(d) => d.default.pc = end_pc,
+                    _ => unreachable!("patch points at a non-table op"),
+                },
+            }
+        }
+    }
+
+    fn block_arity(&self, bt: &BlockType) -> Result<(u32, u32), Unsupported> {
+        let ft = self.m.block_func_type(bt).ok_or(Unsupported)?;
+        Ok((ft.params.len() as u32, ft.results.len() as u32))
+    }
+
+    fn seq(&mut self, body: &[WInstr]) -> Result<(), Unsupported> {
+        for e in body {
+            if self.unreachable {
+                // Dead code: the tree-walker never executes it, so the
+                // flat body simply omits it (branches out of it cannot
+                // fire either). Reachability resumes at the enclosing
+                // construct's end.
+                continue;
+            }
+            self.instr(e)?;
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn instr(&mut self, e: &WInstr) -> Result<(), Unsupported> {
+        use WInstr::*;
+        match e {
+            Unreachable => {
+                self.code.push(Op::Unreachable);
+                self.unreachable = true;
+            }
+            Nop => self.code.push(Op::Nop),
+            Block(bt, body) => {
+                let (p, r) = self.block_arity(bt)?;
+                // Parameterised blocks compile: the params stay on the
+                // stack (the body consumes them), and `entry_height`
+                // records the height *including* them — the tree-walker's
+                // branch-unwind base. Branches targeting a parameterised
+                // block are declined in `target()` (the unwound height
+                // would diverge from the normal-completion height below).
+                self.code.push(Op::Meter);
+                self.frames.push(Frame {
+                    kind: FrameKind::BlockLike,
+                    entry_height: self.height,
+                    params: p,
+                    results: r,
+                    header_pc: 0,
+                    patches: Vec::new(),
+                });
+                self.seq(body)?;
+                let frame = self.frames.pop().expect("frame pushed above");
+                let entry = frame.entry_height;
+                let end = self.pc();
+                self.patch_frame(frame, end);
+                // Normal completion: the body consumed the params and
+                // pushed the results.
+                self.height = entry.checked_sub(p).ok_or(Unsupported)? + r;
+                self.max_height = self.max_height.max(self.height);
+                self.unreachable = false;
+            }
+            Loop(bt, body) => {
+                let (p, r) = self.block_arity(bt)?;
+                if p > self.height {
+                    return Err(Unsupported);
+                }
+                self.code.push(Op::Meter);
+                let header_pc = self.pc();
+                self.frames.push(Frame {
+                    kind: FrameKind::Loop,
+                    entry_height: self.height,
+                    params: p,
+                    results: r,
+                    header_pc,
+                    patches: Vec::new(),
+                });
+                self.seq(body)?;
+                let frame = self.frames.pop().expect("frame pushed above");
+                debug_assert!(frame.patches.is_empty(), "loop ends take no branches");
+                self.height = frame.entry_height - p + r;
+                self.max_height = self.max_height.max(self.height);
+                self.unreachable = false;
+            }
+            If(bt, t, f) => {
+                let (p, r) = self.block_arity(bt)?;
+                self.pop_n(1)?; // condition
+                let entry = self.height;
+                let if_idx = self.code.len();
+                self.code.push(Op::IfFalse(0)); // patched to the else arm
+                self.frames.push(Frame {
+                    kind: FrameKind::If,
+                    entry_height: entry,
+                    params: p,
+                    results: r,
+                    header_pc: 0,
+                    patches: Vec::new(),
+                });
+                self.seq(t)?;
+                // Synthetic, cost-0: the tree-walker charges nothing when
+                // a then-arm completes normally.
+                let jump_idx = self.code.len();
+                self.code.push(Op::Jump(0));
+                self.frames
+                    .last_mut()
+                    .expect("if frame pushed above")
+                    .patches
+                    .push(Patch::Jump(jump_idx));
+                let else_start = self.pc();
+                match &mut self.code[if_idx] {
+                    Op::IfFalse(pc) => *pc = else_start,
+                    _ => unreachable!("if_idx points at IfFalse"),
+                }
+                self.height = entry;
+                self.unreachable = false;
+                self.seq(f)?;
+                let frame = self.frames.pop().expect("frame pushed above");
+                let end = self.pc();
+                self.patch_frame(frame, end);
+                self.height = entry.checked_sub(p).ok_or(Unsupported)? + r;
+                self.max_height = self.max_height.max(self.height);
+                self.unreachable = false;
+            }
+            Br(l) => {
+                let t = self.target(*l, Patch::Br)?;
+                self.code.push(Op::Br(t));
+                self.unreachable = true;
+            }
+            BrIf(l) => {
+                self.pop_n(1)?;
+                let t = self.target(*l, Patch::Br)?;
+                self.code.push(Op::BrIf(t));
+            }
+            BrTable(ls, d) => {
+                self.pop_n(1)?;
+                let op_idx = self.code.len();
+                let targets: Vec<BranchTarget> = ls
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, l)| self.target(*l, move |i| Patch::Table(i, slot)))
+                    .collect::<Result<_, _>>()?;
+                let default = self.target(*d, Patch::TableDefault)?;
+                debug_assert_eq!(op_idx, self.code.len());
+                self.code
+                    .push(Op::BrTable(Box::new(BrTableData { targets, default })));
+                self.unreachable = true;
+            }
+            Return => {
+                let keep = self.nresults;
+                self.code.push(Op::Return { keep });
+                self.unreachable = true;
+            }
+            Call(fi) => {
+                let ty = self.m.func_type(*fi).ok_or(Unsupported)?;
+                let (p, r) = (ty.params.len() as u32, ty.results.len() as u32);
+                self.pop_n(p)?;
+                self.push_n(r);
+                self.code.push(Op::Call(*fi));
+            }
+            CallIndirect(ti) => {
+                let ty = self.m.types.get(*ti as usize).ok_or(Unsupported)?.clone();
+                self.pop_n(1)?; // table index
+                self.pop_n(ty.params.len() as u32)?;
+                self.push_n(ty.results.len() as u32);
+                self.code.push(Op::CallIndirect(Box::new(ty)));
+            }
+            Drop => {
+                self.pop_n(1)?;
+                self.code.push(Op::Drop);
+            }
+            Select => {
+                self.pop_n(2)?;
+                self.code.push(Op::Select);
+            }
+            LocalGet(i) => {
+                self.push_n(1);
+                self.code.push(Op::LocalGet(*i));
+            }
+            LocalSet(i) => {
+                self.pop_n(1)?;
+                self.code.push(Op::LocalSet(*i));
+            }
+            LocalTee(i) => self.code.push(Op::LocalTee(*i)),
+            GlobalGet(i) => {
+                self.push_n(1);
+                self.code.push(Op::GlobalGet(*i));
+            }
+            GlobalSet(i) => {
+                self.pop_n(1)?;
+                let ty = *self.globals.get(*i as usize).ok_or(Unsupported)?;
+                self.code.push(Op::GlobalSet { idx: *i, ty });
+            }
+            Load(t, off) => {
+                // Pops the address, pushes the value: net 0.
+                self.code.push(Op::Load {
+                    ty: *t,
+                    offset: *off,
+                });
+            }
+            Store(t, off) => {
+                self.pop_n(2)?;
+                self.code.push(Op::Store {
+                    ty: *t,
+                    offset: *off,
+                });
+            }
+            Load8U(off) => self.code.push(Op::Load8U(*off)),
+            Store8(off) => {
+                self.pop_n(2)?;
+                self.code.push(Op::Store8(*off));
+            }
+            MemorySize => {
+                self.push_n(1);
+                self.code.push(Op::MemorySize);
+            }
+            MemoryGrow => self.code.push(Op::MemoryGrow),
+            I32Const(c) => {
+                self.push_n(1);
+                self.code.push(Op::Const(*c as u32 as u64));
+            }
+            I64Const(c) => {
+                self.push_n(1);
+                self.code.push(Op::Const(*c as u64));
+            }
+            F32Const(c) => {
+                self.push_n(1);
+                self.code.push(Op::Const(c.to_bits() as u64));
+            }
+            F64Const(c) => {
+                self.push_n(1);
+                self.code.push(Op::Const(c.to_bits()));
+            }
+            IUn(w, op) => self.code.push(Op::IUn(*w, *op)),
+            IBin(w, op) => {
+                self.pop_n(1)?;
+                self.code.push(Op::IBin(*w, *op));
+            }
+            ITest(w) => self.code.push(Op::ITest(*w)),
+            IRel(w, op) => {
+                self.pop_n(1)?;
+                self.code.push(Op::IRel(*w, *op));
+            }
+            FUn(w, op) => self.code.push(Op::FUn(*w, *op)),
+            FBin(w, op) => {
+                self.pop_n(1)?;
+                self.code.push(Op::FBin(*w, *op));
+            }
+            FRel(w, op) => {
+                self.pop_n(1)?;
+                self.code.push(Op::FRel(*w, *op));
+            }
+            I32WrapI64 => self.code.push(Op::I32WrapI64),
+            I64ExtendI32(sx) => self.code.push(Op::I64ExtendI32(*sx)),
+            ITruncF(iw, fw, sx) => self.code.push(Op::ITruncF(*iw, *fw, *sx)),
+            FConvertI(fw, iw, sx) => self.code.push(Op::FConvertI(*fw, *iw, *sx)),
+            F32DemoteF64 => self.code.push(Op::F32DemoteF64),
+            F64PromoteF32 => self.code.push(Op::F64PromoteF32),
+            IReinterpretF(w) => self.code.push(Op::IReinterpretF(*w)),
+            FReinterpretI(w) => self.code.push(Op::FReinterpretI(*w)),
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialisation: the payload of a `.rwart` v3 bytecode section.
+// ---------------------------------------------------------------------
+
+/// A failure decoding a serialised [`CompiledModule`] — a stale format
+/// version or corrupt bytes. Embedders treat it as "recompile from the
+/// decoded module", never as fatal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bytecode decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn codec_err<T>(msg: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(msg.into()))
+}
+
+/// Serialises a compiled module (deterministic, little-endian, prefixed
+/// with [`BYTECODE_VERSION`]). The inverse of [`decode_compiled`].
+pub fn encode_compiled(cm: &CompiledModule, out: &mut Vec<u8>) {
+    out.extend_from_slice(&BYTECODE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(cm.funcs.len() as u32).to_le_bytes());
+    for f in &cm.funcs {
+        match f {
+            None => out.push(0),
+            Some(cf) => {
+                out.push(1);
+                out.extend_from_slice(&cf.nparams.to_le_bytes());
+                out.extend_from_slice(&cf.nlocals.to_le_bytes());
+                out.extend_from_slice(&cf.max_stack.to_le_bytes());
+                out.extend_from_slice(&(cf.result_types.len() as u32).to_le_bytes());
+                for t in &cf.result_types {
+                    out.push(valtype_tag(*t));
+                }
+                out.extend_from_slice(&(cf.code.len() as u32).to_le_bytes());
+                for op in &cf.code {
+                    encode_op(op, out);
+                }
+            }
+        }
+    }
+}
+
+/// Deserialises the output of [`encode_compiled`].
+///
+/// # Errors
+///
+/// [`CodecError`] on a version mismatch or malformed bytes; the caller
+/// falls back to recompiling from the decoded module.
+pub fn decode_compiled(bytes: &[u8]) -> Result<CompiledModule, CodecError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let version = r.u16()?;
+    if version != BYTECODE_VERSION {
+        return codec_err(format!(
+            "bytecode format version {version}, expected {BYTECODE_VERSION}"
+        ));
+    }
+    let nfuncs = r.u32()? as usize;
+    if nfuncs > bytes.len() {
+        return codec_err("function count exceeds payload size");
+    }
+    let mut funcs = Vec::with_capacity(nfuncs);
+    for _ in 0..nfuncs {
+        if r.u8()? == 0 {
+            funcs.push(None);
+            continue;
+        }
+        let nparams = r.u32()?;
+        let nlocals = r.u32()?;
+        let max_stack = r.u32()?;
+        let nresults = r.u32()? as usize;
+        if nresults > bytes.len() {
+            return codec_err("result count exceeds payload size");
+        }
+        let mut result_types = Vec::with_capacity(nresults);
+        for _ in 0..nresults {
+            result_types.push(valtype_of(r.u8()?)?);
+        }
+        let ncode = r.u32()? as usize;
+        if ncode > bytes.len() {
+            return codec_err("op count exceeds payload size");
+        }
+        let mut code = Vec::with_capacity(ncode);
+        for _ in 0..ncode {
+            code.push(decode_op(&mut r)?);
+        }
+        funcs.push(Some(Arc::new(CompiledFunc {
+            nparams,
+            nlocals,
+            result_types,
+            max_stack,
+            code,
+        })));
+    }
+    if r.pos != bytes.len() {
+        return codec_err("trailing bytes after the last function");
+    }
+    Ok(CompiledModule { funcs })
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| CodecError("unexpected end of payload".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes([self.u8()?, self.u8()?]))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let mut b = [0u8; 4];
+        for s in &mut b {
+            *s = self.u8()?;
+        }
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let mut b = [0u8; 8];
+        for s in &mut b {
+            *s = self.u8()?;
+        }
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+fn valtype_tag(t: ValType) -> u8 {
+    match t {
+        ValType::I32 => 0,
+        ValType::I64 => 1,
+        ValType::F32 => 2,
+        ValType::F64 => 3,
+    }
+}
+
+fn valtype_of(b: u8) -> Result<ValType, CodecError> {
+    Ok(match b {
+        0 => ValType::I32,
+        1 => ValType::I64,
+        2 => ValType::F32,
+        3 => ValType::F64,
+        other => return codec_err(format!("bad value type tag {other}")),
+    })
+}
+
+fn width_tag(w: Width) -> u8 {
+    match w {
+        Width::W32 => 0,
+        Width::W64 => 1,
+    }
+}
+
+fn width_of(b: u8) -> Result<Width, CodecError> {
+    Ok(match b {
+        0 => Width::W32,
+        1 => Width::W64,
+        other => return codec_err(format!("bad width tag {other}")),
+    })
+}
+
+fn sx_tag(s: Sx) -> u8 {
+    match s {
+        Sx::S => 0,
+        Sx::U => 1,
+    }
+}
+
+fn sx_of(b: u8) -> Result<Sx, CodecError> {
+    Ok(match b {
+        0 => Sx::S,
+        1 => Sx::U,
+        other => return codec_err(format!("bad signedness tag {other}")),
+    })
+}
+
+fn ibin_tag(op: IBinOp) -> u8 {
+    match op {
+        IBinOp::Add => 0,
+        IBinOp::Sub => 1,
+        IBinOp::Mul => 2,
+        IBinOp::Div(Sx::S) => 3,
+        IBinOp::Div(Sx::U) => 4,
+        IBinOp::Rem(Sx::S) => 5,
+        IBinOp::Rem(Sx::U) => 6,
+        IBinOp::And => 7,
+        IBinOp::Or => 8,
+        IBinOp::Xor => 9,
+        IBinOp::Shl => 10,
+        IBinOp::Shr(Sx::S) => 11,
+        IBinOp::Shr(Sx::U) => 12,
+        IBinOp::Rotl => 13,
+        IBinOp::Rotr => 14,
+    }
+}
+
+fn ibin_of(b: u8) -> Result<IBinOp, CodecError> {
+    Ok(match b {
+        0 => IBinOp::Add,
+        1 => IBinOp::Sub,
+        2 => IBinOp::Mul,
+        3 => IBinOp::Div(Sx::S),
+        4 => IBinOp::Div(Sx::U),
+        5 => IBinOp::Rem(Sx::S),
+        6 => IBinOp::Rem(Sx::U),
+        7 => IBinOp::And,
+        8 => IBinOp::Or,
+        9 => IBinOp::Xor,
+        10 => IBinOp::Shl,
+        11 => IBinOp::Shr(Sx::S),
+        12 => IBinOp::Shr(Sx::U),
+        13 => IBinOp::Rotl,
+        14 => IBinOp::Rotr,
+        other => return codec_err(format!("bad ibin tag {other}")),
+    })
+}
+
+fn irel_tag(op: IRelOp) -> u8 {
+    match op {
+        IRelOp::Eq => 0,
+        IRelOp::Ne => 1,
+        IRelOp::Lt(Sx::S) => 2,
+        IRelOp::Lt(Sx::U) => 3,
+        IRelOp::Gt(Sx::S) => 4,
+        IRelOp::Gt(Sx::U) => 5,
+        IRelOp::Le(Sx::S) => 6,
+        IRelOp::Le(Sx::U) => 7,
+        IRelOp::Ge(Sx::S) => 8,
+        IRelOp::Ge(Sx::U) => 9,
+    }
+}
+
+fn irel_of(b: u8) -> Result<IRelOp, CodecError> {
+    Ok(match b {
+        0 => IRelOp::Eq,
+        1 => IRelOp::Ne,
+        2 => IRelOp::Lt(Sx::S),
+        3 => IRelOp::Lt(Sx::U),
+        4 => IRelOp::Gt(Sx::S),
+        5 => IRelOp::Gt(Sx::U),
+        6 => IRelOp::Le(Sx::S),
+        7 => IRelOp::Le(Sx::U),
+        8 => IRelOp::Ge(Sx::S),
+        9 => IRelOp::Ge(Sx::U),
+        other => return codec_err(format!("bad irel tag {other}")),
+    })
+}
+
+fn iun_tag(op: IUnOp) -> u8 {
+    match op {
+        IUnOp::Clz => 0,
+        IUnOp::Ctz => 1,
+        IUnOp::Popcnt => 2,
+    }
+}
+
+fn iun_of(b: u8) -> Result<IUnOp, CodecError> {
+    Ok(match b {
+        0 => IUnOp::Clz,
+        1 => IUnOp::Ctz,
+        2 => IUnOp::Popcnt,
+        other => return codec_err(format!("bad iun tag {other}")),
+    })
+}
+
+fn fbin_tag(op: FBinOp) -> u8 {
+    match op {
+        FBinOp::Add => 0,
+        FBinOp::Sub => 1,
+        FBinOp::Mul => 2,
+        FBinOp::Div => 3,
+        FBinOp::Min => 4,
+        FBinOp::Max => 5,
+        FBinOp::Copysign => 6,
+    }
+}
+
+fn fbin_of(b: u8) -> Result<FBinOp, CodecError> {
+    Ok(match b {
+        0 => FBinOp::Add,
+        1 => FBinOp::Sub,
+        2 => FBinOp::Mul,
+        3 => FBinOp::Div,
+        4 => FBinOp::Min,
+        5 => FBinOp::Max,
+        6 => FBinOp::Copysign,
+        other => return codec_err(format!("bad fbin tag {other}")),
+    })
+}
+
+fn frel_tag(op: FRelOp) -> u8 {
+    match op {
+        FRelOp::Eq => 0,
+        FRelOp::Ne => 1,
+        FRelOp::Lt => 2,
+        FRelOp::Gt => 3,
+        FRelOp::Le => 4,
+        FRelOp::Ge => 5,
+    }
+}
+
+fn frel_of(b: u8) -> Result<FRelOp, CodecError> {
+    Ok(match b {
+        0 => FRelOp::Eq,
+        1 => FRelOp::Ne,
+        2 => FRelOp::Lt,
+        3 => FRelOp::Gt,
+        4 => FRelOp::Le,
+        5 => FRelOp::Ge,
+        other => return codec_err(format!("bad frel tag {other}")),
+    })
+}
+
+fn fun_tag(op: FUnOp) -> u8 {
+    match op {
+        FUnOp::Abs => 0,
+        FUnOp::Neg => 1,
+        FUnOp::Sqrt => 2,
+        FUnOp::Ceil => 3,
+        FUnOp::Floor => 4,
+        FUnOp::Trunc => 5,
+        FUnOp::Nearest => 6,
+    }
+}
+
+fn fun_of(b: u8) -> Result<FUnOp, CodecError> {
+    Ok(match b {
+        0 => FUnOp::Abs,
+        1 => FUnOp::Neg,
+        2 => FUnOp::Sqrt,
+        3 => FUnOp::Ceil,
+        4 => FUnOp::Floor,
+        5 => FUnOp::Trunc,
+        6 => FUnOp::Nearest,
+        other => return codec_err(format!("bad fun tag {other}")),
+    })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_target(out: &mut Vec<u8>, t: &BranchTarget) {
+    put_u32(out, t.pc);
+    put_u32(out, t.keep);
+    put_u32(out, t.height);
+}
+
+fn read_target(r: &mut Reader<'_>) -> Result<BranchTarget, CodecError> {
+    Ok(BranchTarget {
+        pc: r.u32()?,
+        keep: r.u32()?,
+        height: r.u32()?,
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn encode_op(op: &Op, out: &mut Vec<u8>) {
+    match op {
+        Op::Unreachable => out.push(0),
+        Op::Nop => out.push(1),
+        Op::Meter => out.push(2),
+        Op::Jump(pc) => {
+            out.push(3);
+            put_u32(out, *pc);
+        }
+        Op::IfFalse(pc) => {
+            out.push(4);
+            put_u32(out, *pc);
+        }
+        Op::Br(t) => {
+            out.push(5);
+            put_target(out, t);
+        }
+        Op::BrIf(t) => {
+            out.push(6);
+            put_target(out, t);
+        }
+        Op::BrTable(d) => {
+            out.push(7);
+            put_u32(out, d.targets.len() as u32);
+            for t in &d.targets {
+                put_target(out, t);
+            }
+            put_target(out, &d.default);
+        }
+        Op::Return { keep } => {
+            out.push(8);
+            put_u32(out, *keep);
+        }
+        Op::FallRet { keep } => {
+            out.push(9);
+            put_u32(out, *keep);
+        }
+        Op::Call(f) => {
+            out.push(10);
+            put_u32(out, *f);
+        }
+        Op::CallIndirect(ft) => {
+            out.push(11);
+            put_u32(out, ft.params.len() as u32);
+            for t in &ft.params {
+                out.push(valtype_tag(*t));
+            }
+            put_u32(out, ft.results.len() as u32);
+            for t in &ft.results {
+                out.push(valtype_tag(*t));
+            }
+        }
+        Op::Drop => out.push(12),
+        Op::Select => out.push(13),
+        Op::LocalGet(i) => {
+            out.push(14);
+            put_u32(out, *i);
+        }
+        Op::LocalSet(i) => {
+            out.push(15);
+            put_u32(out, *i);
+        }
+        Op::LocalTee(i) => {
+            out.push(16);
+            put_u32(out, *i);
+        }
+        Op::GlobalGet(i) => {
+            out.push(17);
+            put_u32(out, *i);
+        }
+        Op::GlobalSet { idx, ty } => {
+            out.push(18);
+            put_u32(out, *idx);
+            out.push(valtype_tag(*ty));
+        }
+        Op::Load { ty, offset } => {
+            out.push(19);
+            out.push(valtype_tag(*ty));
+            put_u32(out, *offset);
+        }
+        Op::Store { ty, offset } => {
+            out.push(20);
+            out.push(valtype_tag(*ty));
+            put_u32(out, *offset);
+        }
+        Op::Load8U(off) => {
+            out.push(21);
+            put_u32(out, *off);
+        }
+        Op::Store8(off) => {
+            out.push(22);
+            put_u32(out, *off);
+        }
+        Op::MemorySize => out.push(23),
+        Op::MemoryGrow => out.push(24),
+        Op::Const(v) => {
+            out.push(25);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Op::IUn(w, op) => {
+            out.push(26);
+            out.push(width_tag(*w));
+            out.push(iun_tag(*op));
+        }
+        Op::IBin(w, op) => {
+            out.push(27);
+            out.push(width_tag(*w));
+            out.push(ibin_tag(*op));
+        }
+        Op::ITest(w) => {
+            out.push(28);
+            out.push(width_tag(*w));
+        }
+        Op::IRel(w, op) => {
+            out.push(29);
+            out.push(width_tag(*w));
+            out.push(irel_tag(*op));
+        }
+        Op::FUn(w, op) => {
+            out.push(30);
+            out.push(width_tag(*w));
+            out.push(fun_tag(*op));
+        }
+        Op::FBin(w, op) => {
+            out.push(31);
+            out.push(width_tag(*w));
+            out.push(fbin_tag(*op));
+        }
+        Op::FRel(w, op) => {
+            out.push(32);
+            out.push(width_tag(*w));
+            out.push(frel_tag(*op));
+        }
+        Op::I32WrapI64 => out.push(33),
+        Op::I64ExtendI32(sx) => {
+            out.push(34);
+            out.push(sx_tag(*sx));
+        }
+        Op::ITruncF(iw, fw, sx) => {
+            out.push(35);
+            out.push(width_tag(*iw));
+            out.push(width_tag(*fw));
+            out.push(sx_tag(*sx));
+        }
+        Op::FConvertI(fw, iw, sx) => {
+            out.push(36);
+            out.push(width_tag(*fw));
+            out.push(width_tag(*iw));
+            out.push(sx_tag(*sx));
+        }
+        Op::F32DemoteF64 => out.push(37),
+        Op::F64PromoteF32 => out.push(38),
+        Op::IReinterpretF(w) => {
+            out.push(39);
+            out.push(width_tag(*w));
+        }
+        Op::FReinterpretI(w) => {
+            out.push(40);
+            out.push(width_tag(*w));
+        }
+        Op::GetConstOp(w, op, i, c) => {
+            out.push(41);
+            out.push(width_tag(*w));
+            out.push(ibin_tag(*op));
+            put_u32(out, *i);
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Op::GetConstOpSet(w, op, i, j, c) => {
+            out.push(42);
+            out.push(width_tag(*w));
+            out.push(ibin_tag(*op));
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&j.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Op::GlobalIncr(w, op, ty, g, c) => {
+            out.push(43);
+            out.push(width_tag(*w));
+            out.push(ibin_tag(*op));
+            out.push(valtype_tag(*ty));
+            out.extend_from_slice(&g.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Op::ConstOp(w, op, c) => {
+            out.push(44);
+            out.push(width_tag(*w));
+            out.push(ibin_tag(*op));
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Op::ConstRelIfFalse(w, op, pc, c) => {
+            out.push(45);
+            out.push(width_tag(*w));
+            out.push(irel_tag(*op));
+            put_u32(out, *pc);
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Op::GetLoad(ty, offset, i) => {
+            out.push(46);
+            out.push(valtype_tag(*ty));
+            put_u32(out, *offset);
+            put_u32(out, *i);
+        }
+        Op::TestBr(w, t) => {
+            out.push(47);
+            out.push(width_tag(*w));
+            put_target(out, t);
+        }
+        Op::GetTest(w, i) => {
+            out.push(48);
+            out.push(width_tag(*w));
+            put_u32(out, *i);
+        }
+        Op::Copy(i, j) => {
+            out.push(49);
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&j.to_le_bytes());
+        }
+        Op::Get2(i, j) => {
+            out.push(50);
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&j.to_le_bytes());
+        }
+        Op::ConstSet(j, c) => {
+            out.push(51);
+            out.extend_from_slice(&j.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Op::GetConstRelBr(d) | Op::GetConstRelIfFalse(d) => {
+            out.push(if matches!(op, Op::GetConstRelBr(_)) {
+                52
+            } else {
+                53
+            });
+            out.push(width_tag(d.w));
+            out.push(irel_tag(d.op));
+            put_u32(out, d.i);
+            out.extend_from_slice(&d.c.to_le_bytes());
+            put_target(out, &d.t);
+        }
+        Op::RelBr(w, op, t) => {
+            out.push(54);
+            out.push(width_tag(*w));
+            out.push(irel_tag(*op));
+            put_target(out, t);
+        }
+        Op::GetRelIfFalse(w, op, i, pc) => {
+            out.push(55);
+            out.push(width_tag(*w));
+            out.push(irel_tag(*op));
+            out.extend_from_slice(&i.to_le_bytes());
+            put_u32(out, *pc);
+        }
+        Op::GetLoadSet(ty, offset, i, j) => {
+            out.push(56);
+            out.push(valtype_tag(*ty));
+            put_u32(out, *offset);
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&j.to_le_bytes());
+        }
+        Op::Get2Store(ty, offset, i, j) => {
+            out.push(57);
+            out.push(valtype_tag(*ty));
+            put_u32(out, *offset);
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&j.to_le_bytes());
+        }
+        Op::ConstOpSet(w, op, j, c) => {
+            out.push(58);
+            out.push(width_tag(*w));
+            out.push(ibin_tag(*op));
+            out.extend_from_slice(&j.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Op::GlobalGetSet(g, j) => {
+            out.push(59);
+            out.extend_from_slice(&g.to_le_bytes());
+            out.extend_from_slice(&j.to_le_bytes());
+        }
+        Op::Meter2 => out.push(60),
+        Op::GetTestBr(w, i, t) => {
+            out.push(61);
+            out.push(width_tag(*w));
+            out.extend_from_slice(&i.to_le_bytes());
+            put_target(out, t);
+        }
+        Op::GetTestIfFalse(w, i, pc) => {
+            out.push(62);
+            out.push(width_tag(*w));
+            out.extend_from_slice(&i.to_le_bytes());
+            put_u32(out, *pc);
+        }
+        Op::GetGlobalStore(ty, offset, i, g) => {
+            out.push(63);
+            out.push(valtype_tag(*ty));
+            put_u32(out, *offset);
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&g.to_le_bytes());
+        }
+        Op::GetLoadGlobalSet(ty, gty, offset, i, g) => {
+            out.push(64);
+            out.push(valtype_tag(*ty));
+            out.push(valtype_tag(*gty));
+            put_u32(out, *offset);
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&g.to_le_bytes());
+        }
+        Op::TeeGetLoad(ty, offset, i) => {
+            out.push(65);
+            out.push(valtype_tag(*ty));
+            put_u32(out, *offset);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Op::GetConstOpGetOp(d) => {
+            out.push(66);
+            out.push(width_tag(d.w));
+            out.push(ibin_tag(d.op1));
+            out.push(ibin_tag(d.op2));
+            put_u32(out, d.i);
+            put_u32(out, d.j);
+            out.extend_from_slice(&d.c.to_le_bytes());
+        }
+        Op::ConstCall(f, c) => {
+            out.push(67);
+            put_u32(out, *f);
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Op::MeterGetTestBr(w, i, t) => {
+            out.push(68);
+            out.push(width_tag(*w));
+            out.extend_from_slice(&i.to_le_bytes());
+            put_target(out, t);
+        }
+        Op::GetMeter(i) => {
+            out.push(69);
+            put_u32(out, *i);
+        }
+        Op::GetConstOpGlobalSet(w, op, gty, i, g, c) => {
+            out.push(70);
+            out.push(width_tag(*w));
+            out.push(ibin_tag(*op));
+            out.push(valtype_tag(*gty));
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&g.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Op::ConstSetGlobalGetSet(j1, g, j2, c) => {
+            out.push(71);
+            out.extend_from_slice(&j1.to_le_bytes());
+            out.extend_from_slice(&g.to_le_bytes());
+            out.extend_from_slice(&j2.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Op::GetConstOpConstOpSet(d) => {
+            out.push(72);
+            out.push(width_tag(d.w));
+            out.push(ibin_tag(d.op1));
+            out.push(ibin_tag(d.op2));
+            out.extend_from_slice(&d.i.to_le_bytes());
+            out.extend_from_slice(&d.j.to_le_bytes());
+            out.extend_from_slice(&d.c1.to_le_bytes());
+            out.extend_from_slice(&d.c2.to_le_bytes());
+        }
+        Op::GetConstOpRet(w, op, i, c) => {
+            out.push(73);
+            out.push(width_tag(*w));
+            out.push(ibin_tag(*op));
+            out.extend_from_slice(&i.to_le_bytes());
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        Op::GetLoadRelIfFalse(d) => {
+            out.push(74);
+            out.push(valtype_tag(d.ty));
+            out.push(width_tag(d.w));
+            out.push(irel_tag(d.op));
+            out.extend_from_slice(&d.i.to_le_bytes());
+            out.extend_from_slice(&d.j.to_le_bytes());
+            put_u32(out, d.offset);
+            put_u32(out, d.pc);
+        }
+        Op::SetGet2Store(ty, offset, b, j) => {
+            out.push(76);
+            out.push(valtype_tag(*ty));
+            put_u32(out, *offset);
+            out.extend_from_slice(&b.to_le_bytes());
+            out.extend_from_slice(&j.to_le_bytes());
+        }
+        Op::CopyGetConstOpSet(d) => {
+            out.push(75);
+            out.push(width_tag(d.w));
+            out.push(ibin_tag(d.op));
+            out.extend_from_slice(&d.a.to_le_bytes());
+            out.extend_from_slice(&d.b.to_le_bytes());
+            out.extend_from_slice(&d.i.to_le_bytes());
+            out.extend_from_slice(&d.j.to_le_bytes());
+            out.extend_from_slice(&d.c.to_le_bytes());
+        }
+    }
+}
+
+fn decode_op(r: &mut Reader<'_>) -> Result<Op, CodecError> {
+    Ok(match r.u8()? {
+        0 => Op::Unreachable,
+        1 => Op::Nop,
+        2 => Op::Meter,
+        3 => Op::Jump(r.u32()?),
+        4 => Op::IfFalse(r.u32()?),
+        5 => Op::Br(read_target(r)?),
+        6 => Op::BrIf(read_target(r)?),
+        7 => {
+            let n = r.u32()? as usize;
+            if n > r.bytes.len() {
+                return codec_err("br_table target count exceeds payload size");
+            }
+            let mut targets = Vec::with_capacity(n);
+            for _ in 0..n {
+                targets.push(read_target(r)?);
+            }
+            let default = read_target(r)?;
+            Op::BrTable(Box::new(BrTableData { targets, default }))
+        }
+        8 => Op::Return { keep: r.u32()? },
+        9 => Op::FallRet { keep: r.u32()? },
+        10 => Op::Call(r.u32()?),
+        11 => {
+            let np = r.u32()? as usize;
+            if np > r.bytes.len() {
+                return codec_err("param count exceeds payload size");
+            }
+            let mut params = Vec::with_capacity(np);
+            for _ in 0..np {
+                params.push(valtype_of(r.u8()?)?);
+            }
+            let nr = r.u32()? as usize;
+            if nr > r.bytes.len() {
+                return codec_err("result count exceeds payload size");
+            }
+            let mut results = Vec::with_capacity(nr);
+            for _ in 0..nr {
+                results.push(valtype_of(r.u8()?)?);
+            }
+            Op::CallIndirect(Box::new(FuncType { params, results }))
+        }
+        12 => Op::Drop,
+        13 => Op::Select,
+        14 => Op::LocalGet(r.u32()?),
+        15 => Op::LocalSet(r.u32()?),
+        16 => Op::LocalTee(r.u32()?),
+        17 => Op::GlobalGet(r.u32()?),
+        18 => Op::GlobalSet {
+            idx: r.u32()?,
+            ty: valtype_of(r.u8()?)?,
+        },
+        19 => Op::Load {
+            ty: valtype_of(r.u8()?)?,
+            offset: r.u32()?,
+        },
+        20 => Op::Store {
+            ty: valtype_of(r.u8()?)?,
+            offset: r.u32()?,
+        },
+        21 => Op::Load8U(r.u32()?),
+        22 => Op::Store8(r.u32()?),
+        23 => Op::MemorySize,
+        24 => Op::MemoryGrow,
+        25 => Op::Const(r.u64()?),
+        26 => Op::IUn(width_of(r.u8()?)?, iun_of(r.u8()?)?),
+        27 => Op::IBin(width_of(r.u8()?)?, ibin_of(r.u8()?)?),
+        28 => Op::ITest(width_of(r.u8()?)?),
+        29 => Op::IRel(width_of(r.u8()?)?, irel_of(r.u8()?)?),
+        30 => Op::FUn(width_of(r.u8()?)?, fun_of(r.u8()?)?),
+        31 => Op::FBin(width_of(r.u8()?)?, fbin_of(r.u8()?)?),
+        32 => Op::FRel(width_of(r.u8()?)?, frel_of(r.u8()?)?),
+        33 => Op::I32WrapI64,
+        34 => Op::I64ExtendI32(sx_of(r.u8()?)?),
+        35 => Op::ITruncF(width_of(r.u8()?)?, width_of(r.u8()?)?, sx_of(r.u8()?)?),
+        36 => Op::FConvertI(width_of(r.u8()?)?, width_of(r.u8()?)?, sx_of(r.u8()?)?),
+        37 => Op::F32DemoteF64,
+        38 => Op::F64PromoteF32,
+        39 => Op::IReinterpretF(width_of(r.u8()?)?),
+        40 => Op::FReinterpretI(width_of(r.u8()?)?),
+        41 => Op::GetConstOp(width_of(r.u8()?)?, ibin_of(r.u8()?)?, r.u32()?, r.u64()?),
+        42 => Op::GetConstOpSet(
+            width_of(r.u8()?)?,
+            ibin_of(r.u8()?)?,
+            r.u16()?,
+            r.u16()?,
+            r.u64()?,
+        ),
+        43 => Op::GlobalIncr(
+            width_of(r.u8()?)?,
+            ibin_of(r.u8()?)?,
+            valtype_of(r.u8()?)?,
+            r.u16()?,
+            r.u64()?,
+        ),
+        44 => Op::ConstOp(width_of(r.u8()?)?, ibin_of(r.u8()?)?, r.u64()?),
+        45 => Op::ConstRelIfFalse(width_of(r.u8()?)?, irel_of(r.u8()?)?, r.u32()?, r.u64()?),
+        46 => Op::GetLoad(valtype_of(r.u8()?)?, r.u32()?, r.u32()?),
+        47 => Op::TestBr(width_of(r.u8()?)?, read_target(r)?),
+        48 => Op::GetTest(width_of(r.u8()?)?, r.u32()?),
+        49 => Op::Copy(r.u16()?, r.u16()?),
+        50 => Op::Get2(r.u16()?, r.u16()?),
+        51 => Op::ConstSet(r.u16()?, r.u64()?),
+        tag @ (52 | 53) => {
+            let d = CmpBrData {
+                w: width_of(r.u8()?)?,
+                op: irel_of(r.u8()?)?,
+                i: r.u32()?,
+                c: r.u64()?,
+                t: read_target(r)?,
+            };
+            if tag == 52 {
+                Op::GetConstRelBr(Box::new(d))
+            } else {
+                Op::GetConstRelIfFalse(Box::new(d))
+            }
+        }
+        54 => Op::RelBr(width_of(r.u8()?)?, irel_of(r.u8()?)?, read_target(r)?),
+        55 => Op::GetRelIfFalse(width_of(r.u8()?)?, irel_of(r.u8()?)?, r.u16()?, r.u32()?),
+        56 => Op::GetLoadSet(valtype_of(r.u8()?)?, r.u32()?, r.u16()?, r.u16()?),
+        57 => Op::Get2Store(valtype_of(r.u8()?)?, r.u32()?, r.u16()?, r.u16()?),
+        58 => Op::ConstOpSet(width_of(r.u8()?)?, ibin_of(r.u8()?)?, r.u16()?, r.u64()?),
+        59 => Op::GlobalGetSet(r.u16()?, r.u16()?),
+        60 => Op::Meter2,
+        61 => Op::GetTestBr(width_of(r.u8()?)?, r.u16()?, read_target(r)?),
+        62 => Op::GetTestIfFalse(width_of(r.u8()?)?, r.u16()?, r.u32()?),
+        63 => Op::GetGlobalStore(valtype_of(r.u8()?)?, r.u32()?, r.u16()?, r.u16()?),
+        64 => Op::GetLoadGlobalSet(
+            valtype_of(r.u8()?)?,
+            valtype_of(r.u8()?)?,
+            r.u32()?,
+            r.u16()?,
+            r.u16()?,
+        ),
+        65 => Op::TeeGetLoad(valtype_of(r.u8()?)?, r.u32()?, r.u16()?),
+        66 => {
+            let d = ArithChainData {
+                w: width_of(r.u8()?)?,
+                op1: ibin_of(r.u8()?)?,
+                op2: ibin_of(r.u8()?)?,
+                i: r.u32()?,
+                j: r.u32()?,
+                c: r.u64()?,
+            };
+            Op::GetConstOpGetOp(Box::new(d))
+        }
+        67 => Op::ConstCall(r.u32()?, r.u64()?),
+        68 => Op::MeterGetTestBr(width_of(r.u8()?)?, r.u16()?, read_target(r)?),
+        69 => Op::GetMeter(r.u32()?),
+        70 => Op::GetConstOpGlobalSet(
+            width_of(r.u8()?)?,
+            ibin_of(r.u8()?)?,
+            valtype_of(r.u8()?)?,
+            r.u16()?,
+            r.u16()?,
+            r.u64()?,
+        ),
+        71 => Op::ConstSetGlobalGetSet(r.u16()?, r.u16()?, r.u16()?, r.u64()?),
+        72 => {
+            let d = ArithFoldData {
+                w: width_of(r.u8()?)?,
+                op1: ibin_of(r.u8()?)?,
+                op2: ibin_of(r.u8()?)?,
+                i: r.u16()?,
+                j: r.u16()?,
+                c1: r.u64()?,
+                c2: r.u64()?,
+            };
+            Op::GetConstOpConstOpSet(Box::new(d))
+        }
+        73 => Op::GetConstOpRet(width_of(r.u8()?)?, ibin_of(r.u8()?)?, r.u16()?, r.u64()?),
+        74 => {
+            let d = LoadCmpData {
+                ty: valtype_of(r.u8()?)?,
+                w: width_of(r.u8()?)?,
+                op: irel_of(r.u8()?)?,
+                i: r.u16()?,
+                j: r.u16()?,
+                offset: r.u32()?,
+                pc: r.u32()?,
+            };
+            Op::GetLoadRelIfFalse(Box::new(d))
+        }
+        75 => {
+            let d = CopyArithData {
+                w: width_of(r.u8()?)?,
+                op: ibin_of(r.u8()?)?,
+                a: r.u16()?,
+                b: r.u16()?,
+                i: r.u16()?,
+                j: r.u16()?,
+                c: r.u64()?,
+            };
+            Op::CopyGetConstOpSet(Box::new(d))
+        }
+        76 => Op::SetGet2Store(valtype_of(r.u8()?)?, r.u32()?, r.u16()?, r.u16()?),
+        other => return codec_err(format!("bad op tag {other}")),
+    })
+}

@@ -111,13 +111,15 @@ type FuncAddr = usize;
 /// traps.
 pub type HostFn = Arc<dyn Fn(&[Val]) -> Result<Vec<Val>, WasmTrap> + Send + Sync>;
 
-/// What a function address resolves to: a Wasm body or a host closure.
+/// What a function address resolves to: a Wasm body, a host closure, or a
+/// flat-bytecode compilation of a Wasm body (see [`crate::compile`]).
 /// The body is `Arc`-shared so entering a call clones a pointer, not the
 /// instruction tree.
 #[derive(Clone)]
-enum FuncImpl {
+pub(crate) enum FuncImpl {
     Wasm(Arc<FuncDef>),
     Host(HostFn),
+    Compiled(Arc<crate::compile::CompiledFunc>),
 }
 
 impl fmt::Debug for FuncImpl {
@@ -125,24 +127,25 @@ impl fmt::Debug for FuncImpl {
         match self {
             FuncImpl::Wasm(def) => write!(f, "Wasm({def:?})"),
             FuncImpl::Host(_) => write!(f, "Host(..)"),
+            FuncImpl::Compiled(cf) => write!(f, "Compiled({} ops)", cf.code.len()),
         }
     }
 }
 
 #[derive(Debug)]
-struct FuncInst {
-    ty: FuncType,
-    module: usize,
-    def: FuncImpl,
+pub(crate) struct FuncInst {
+    pub(crate) ty: FuncType,
+    pub(crate) module: usize,
+    pub(crate) def: FuncImpl,
 }
 
 /// A module instance's view of the store.
 #[derive(Debug, Default, Clone)]
-struct ModuleInst {
-    func_addrs: Vec<FuncAddr>,
-    global_addrs: Vec<usize>,
-    mem_addr: Option<usize>,
-    table_addr: Option<usize>,
+pub(crate) struct ModuleInst {
+    pub(crate) func_addrs: Vec<FuncAddr>,
+    pub(crate) global_addrs: Vec<usize>,
+    pub(crate) mem_addr: Option<usize>,
+    pub(crate) table_addr: Option<usize>,
     exports: HashMap<String, ExportKind>,
 }
 
@@ -159,15 +162,15 @@ struct Baseline {
 /// RichWasm's lowered modules run in.
 #[derive(Debug, Default)]
 pub struct WasmLinker {
-    funcs: Vec<FuncInst>,
-    globals: Vec<Val>,
-    memories: Vec<Vec<u8>>,
-    tables: Vec<Vec<Option<FuncAddr>>>,
-    instances: Vec<ModuleInst>,
-    module_types: Vec<Vec<FuncType>>,
+    pub(crate) funcs: Vec<FuncInst>,
+    pub(crate) globals: Vec<Val>,
+    pub(crate) memories: Vec<Vec<u8>>,
+    pub(crate) tables: Vec<Vec<Option<FuncAddr>>>,
+    pub(crate) instances: Vec<ModuleInst>,
+    pub(crate) module_types: Vec<Vec<FuncType>>,
     names: HashMap<String, usize>,
     baseline: Option<Baseline>,
-    steps: u64,
+    pub(crate) steps: u64,
     /// Fuel: maximum function-call depth.
     pub max_call_depth: usize,
     /// Fuel: maximum executed instructions per invocation.
@@ -390,6 +393,55 @@ impl WasmLinker {
         module_idx
     }
 
+    /// Attaches flat-bytecode compilations (see [`crate::compile`]) to the
+    /// defined functions of `instance`: each function with a compiled form
+    /// is re-pointed from its tree-walked [`FuncDef`] to the bytecode VM
+    /// (see [`crate::vm`]), which every later call — by name, by address,
+    /// or from other functions — then executes. Functions the compiler
+    /// declined (`None` entries) keep their tree-walking implementation,
+    /// so the two tiers interoperate call-by-call. Returns how many
+    /// functions were re-pointed.
+    ///
+    /// # Errors
+    ///
+    /// A [`WasmTrap`] when `instance` is unknown or `compiled` has a
+    /// different function count than the instance's defined functions.
+    pub fn attach_compiled(
+        &mut self,
+        instance: usize,
+        compiled: &crate::compile::CompiledModule,
+    ) -> Result<usize, WasmTrap> {
+        let inst = self
+            .instances
+            .get(instance)
+            .ok_or_else(|| WasmTrap(format!("no instance {instance}")))?;
+        // Defined functions occupy the tail of the func-address list
+        // (imports precede them, mirroring the Wasm index space).
+        let defined: Vec<FuncAddr> = inst
+            .func_addrs
+            .iter()
+            .copied()
+            .filter(|&a| {
+                self.funcs[a].module == instance && !matches!(self.funcs[a].def, FuncImpl::Host(_))
+            })
+            .collect();
+        if defined.len() != compiled.funcs.len() {
+            return trap(format!(
+                "compiled module has {} functions, instance defines {}",
+                compiled.funcs.len(),
+                defined.len()
+            ));
+        }
+        let mut attached = 0;
+        for (addr, cf) in defined.into_iter().zip(&compiled.funcs) {
+            if let Some(cf) = cf {
+                self.funcs[addr].def = FuncImpl::Compiled(cf.clone());
+                attached += 1;
+            }
+        }
+        Ok(attached)
+    }
+
     /// Looks up an instantiated module by name.
     pub fn instance_by_name(&self, name: &str) -> Option<usize> {
         self.names.get(name).copied()
@@ -502,7 +554,7 @@ impl WasmLinker {
         self.steps
     }
 
-    fn call_function(
+    pub(crate) fn call_function(
         &mut self,
         addr: FuncAddr,
         args: Vec<Val>,
@@ -515,13 +567,25 @@ impl WasmLinker {
             let f = &self.funcs[addr];
             match &f.def {
                 FuncImpl::Wasm(def) => (f.module, def.clone(), f.ty.results.len()),
+                FuncImpl::Compiled(cf) => {
+                    let (module, cf) = (f.module, cf.clone());
+                    return crate::vm::invoke_compiled(self, module, &cf, args, depth);
+                }
                 FuncImpl::Host(h) => {
                     let h = h.clone();
                     let result_types = f.ty.results.clone();
-                    // A host call costs one step of the instruction budget.
-                    self.steps += 1;
-                    if self.steps > self.max_steps {
-                        return Err(WasmTrap::fuel_exhausted());
+                    // A host call costs exactly one step of the instruction
+                    // budget. When the call arrives through a `call` /
+                    // `call_indirect` instruction (depth > 0), that step was
+                    // already charged by the dispatching interpreter (the
+                    // tree-walker's `exec` or the bytecode VM's call op);
+                    // only a *top-level* host invocation, which no
+                    // instruction dispatched, charges it here.
+                    if depth == 0 {
+                        self.steps += 1;
+                        if self.steps > self.max_steps {
+                            return Err(WasmTrap::fuel_exhausted());
+                        }
                     }
                     let results = h(&args)?;
                     // The host lives outside the validated world: re-check
@@ -1003,14 +1067,14 @@ fn base_minus(base: usize, n: usize) -> usize {
     base.saturating_sub(n)
 }
 
-fn t_size(t: ValType) -> usize {
+pub(crate) fn t_size(t: ValType) -> usize {
     match t {
         ValType::I32 | ValType::F32 => 4,
         ValType::I64 | ValType::F64 => 8,
     }
 }
 
-fn ibin(w: Width, op: IBinOp, a: u64, b: u64) -> Result<u64, WasmTrap> {
+pub(crate) fn ibin(w: Width, op: IBinOp, a: u64, b: u64) -> Result<u64, WasmTrap> {
     let mask = |v: u64| {
         if matches!(w, Width::W32) {
             v & 0xFFFF_FFFF
@@ -1113,7 +1177,7 @@ fn ibin(w: Width, op: IBinOp, a: u64, b: u64) -> Result<u64, WasmTrap> {
     Ok(mask(r))
 }
 
-fn irel(w: Width, op: IRelOp, a: u64, b: u64) -> bool {
+pub(crate) fn irel(w: Width, op: IRelOp, a: u64, b: u64) -> bool {
     use std::cmp::Ordering::*;
     let cmp = |sx: Sx| match (w, sx) {
         (Width::W32, Sx::U) => (a as u32).cmp(&(b as u32)),

@@ -31,12 +31,15 @@
 
 pub mod ast;
 pub mod binary;
+pub mod compile;
 pub mod decode;
 pub mod exec;
 pub mod text;
 pub mod validate;
+pub mod vm;
 
 pub use ast::{Export, ExportKind, FuncDef, FuncType, Module, ValType, WInstr};
+pub use compile::{compile_module, decode_compiled, encode_compiled, CompiledModule};
 pub use decode::{decode_module, DecodeError, DecodeErrorKind};
 pub use exec::{Val, WasmLinker};
 pub use validate::validate_module;

@@ -73,6 +73,9 @@ use richwasm_lower::{lower_modules_with_plan, LinkPlan, LowerError};
 use richwasm_ml::{compile_module as compile_ml, MlError, MlModule};
 use richwasm_wasm::ast as w;
 use richwasm_wasm::binary::encode_module;
+use richwasm_wasm::compile::{
+    compile_module as compile_wasm_bytecode, decode_compiled, encode_compiled, CompiledModule,
+};
 use richwasm_wasm::decode::{decode_module, DecodeError};
 use richwasm_wasm::exec::{Val, WasmLinker, WasmTrap};
 use richwasm_wasm::validate::ValidationError;
@@ -342,6 +345,57 @@ impl Exec {
     }
 }
 
+/// Which execution tier serves the Wasm backend (see `DESIGN.md` §13).
+///
+/// Orthogonal to [`Exec`]: `Exec` picks which *backends* run (RichWasm
+/// interpreter, Wasm, or both differentially); `WasmTier` picks how the
+/// Wasm backend itself executes — flat bytecode (the default, compiled
+/// at artifact build time), the tree-walking interpreter (the original
+/// engine, kept as the oracle), or both with every invocation
+/// cross-checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WasmTier {
+    /// Flat-bytecode VM: function bodies are lowered to linear `Op`
+    /// sequences with pre-resolved branch targets at artifact build
+    /// time. Functions the bytecode compiler declines stay tree-walked
+    /// (the two tiers interoperate call-by-call).
+    #[default]
+    Bytecode,
+    /// Tree-walking interpreter only — no bytecode is compiled, cached,
+    /// or serialized. The reference engine.
+    Tree,
+    /// Bytecode execution **plus** a second tree-walking store that
+    /// re-runs every invocation and must agree on results, trap
+    /// messages, and fuel, step-for-step — the tier-differential mode
+    /// the fuzz farm pins. Requires a host-free module set (host
+    /// closures would observe doubled side effects).
+    Check,
+}
+
+impl WasmTier {
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            WasmTier::Bytecode => 0,
+            WasmTier::Tree => 1,
+            WasmTier::Check => 2,
+        }
+    }
+
+    pub(crate) fn from_code(c: u8) -> Option<WasmTier> {
+        Some(match c {
+            0 => WasmTier::Bytecode,
+            1 => WasmTier::Tree,
+            2 => WasmTier::Check,
+            _ => return None,
+        })
+    }
+
+    /// True when this tier compiles (and serializes) flat bytecode.
+    pub fn compiles_bytecode(self) -> bool {
+        self != WasmTier::Tree
+    }
+}
+
 /// Wall-clock time spent per stage, in stage order.
 ///
 /// When the frontend + typecheck stages run in parallel (multi-module
@@ -525,6 +579,9 @@ pub struct EngineConfig {
     /// [`Analysis::Warn`] — run the passes, cache the reports, never
     /// fail the compile).
     pub analysis: Analysis,
+    /// Which tier serves the Wasm backend (default:
+    /// [`WasmTier::Bytecode`]). See [`WasmTier`].
+    pub wasm_tier: WasmTier,
     /// Directory for the **persistent artifact cache** (default: none —
     /// in-memory caching only). See [`EngineConfig::cache_dir`].
     pub cache_dir: Option<PathBuf>,
@@ -538,6 +595,7 @@ impl Default for EngineConfig {
             auto_gc_every: None,
             fuel: None,
             analysis: Analysis::Warn,
+            wasm_tier: WasmTier::Bytecode,
             cache_dir: None,
         }
     }
@@ -584,6 +642,12 @@ impl EngineConfig {
         self
     }
 
+    /// Selects the Wasm execution tier (see [`WasmTier`]).
+    pub fn wasm_tier(mut self, tier: WasmTier) -> Self {
+        self.wasm_tier = tier;
+        self
+    }
+
     /// Persists compiled artifacts under `dir` so warm compiles survive
     /// process restarts: a cold [`Engine::compile`] writes the artifact
     /// (hash-keyed file), and a later engine — in this process or the
@@ -604,7 +668,8 @@ impl EngineConfig {
     }
 
     /// The stable 128-bit fingerprint of the **semantic** fields (exec
-    /// mode, typecheck, auto-GC, fuel, analysis — not `cache_dir`): the
+    /// mode, typecheck, auto-GC, fuel, analysis, Wasm tier — not
+    /// `cache_dir`): the
     /// configuration's contribution to cache keys, and the compatibility
     /// stamp embedded in serialized artifacts.
     pub fn fingerprint(&self) -> u128 {
@@ -612,8 +677,8 @@ impl EngineConfig {
         let mut h = Fnv128::new();
         let _ = write!(
             h,
-            "exec:{:?}|typecheck:{}|auto_gc:{:?}|fuel:{:?}|analysis:{:?}",
-            self.exec, self.typecheck, self.auto_gc_every, self.fuel, self.analysis
+            "exec:{:?}|typecheck:{}|auto_gc:{:?}|fuel:{:?}|analysis:{:?}|tier:{:?}",
+            self.exec, self.typecheck, self.auto_gc_every, self.fuel, self.analysis, self.wasm_tier
         );
         h.0
     }
@@ -944,7 +1009,7 @@ impl fmt::Display for CacheStats {
 /// Magic + format version of a serialized [`Artifact`] (`DESIGN.md` §9);
 /// bump the trailing byte on any layout change so stale files fall back
 /// to a cold compile instead of misparsing.
-const ARTIFACT_MAGIC: &[u8] = b"RWART\x02";
+const ARTIFACT_MAGIC: &[u8] = b"RWART\x03";
 
 fn write_str(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&(s.len() as u32).to_le_bytes());
@@ -1114,6 +1179,10 @@ struct ArtifactInner {
     /// Per-module static-analysis reports, in `lowered` order (empty
     /// when [`Analysis::Off`] or in [`Exec::Interp`]).
     analysis: Vec<(String, AnalysisReport)>,
+    /// Flat-bytecode compilations of `lowered`, in the same order
+    /// (empty when [`WasmTier::Tree`] or in [`Exec::Interp`]). Attached
+    /// to every instance's Wasm store at instantiation.
+    compiled: Vec<(String, CompiledModule)>,
     /// Static-stage timings of the (cold) compile that produced this.
     timings: Timings,
 }
@@ -1248,6 +1317,7 @@ impl Artifact {
         write_opt_u64(&mut out, inner.config.auto_gc_every);
         write_opt_u64(&mut out, inner.config.fuel);
         out.push(inner.config.analysis.code());
+        out.push(inner.config.wasm_tier.code());
         out.extend_from_slice(&inner.key.0.to_le_bytes());
         match &inner.entry {
             Some(e) => {
@@ -1267,6 +1337,16 @@ impl Artifact {
         for (name, report) in &inner.analysis {
             write_str(&mut out, name);
             write_analysis(&mut out, report);
+        }
+        // v3 bytecode section: one self-versioned payload per compiled
+        // module (see `richwasm_wasm::compile::BYTECODE_VERSION`).
+        out.extend_from_slice(&(inner.compiled.len() as u32).to_le_bytes());
+        for (name, cm) in &inner.compiled {
+            write_str(&mut out, name);
+            let mut payload = Vec::new();
+            encode_compiled(cm, &mut payload);
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&payload);
         }
         let mut h = Fnv128::new();
         h.update(&out);
@@ -1321,12 +1401,15 @@ impl Artifact {
         let fuel = r.opt_u64().ok_or_else(|| corrupt("eof"))?;
         let analysis_level = Analysis::from_code(r.u8().ok_or_else(|| corrupt("eof"))?)
             .ok_or_else(|| corrupt("bad analysis policy code"))?;
+        let wasm_tier = WasmTier::from_code(r.u8().ok_or_else(|| corrupt("eof"))?)
+            .ok_or_else(|| corrupt("bad wasm tier code"))?;
         let config = EngineConfig {
             exec: Exec::Wasm,
             typecheck,
             auto_gc_every,
             fuel,
             analysis: analysis_level,
+            wasm_tier,
             cache_dir: None,
         };
         if config.fingerprint() != fingerprint {
@@ -1369,6 +1452,31 @@ impl Artifact {
                 read_analysis(&mut r).ok_or_else(|| corrupt("malformed analysis report"))?;
             analysis.push((name, report));
         }
+        // Bytecode section. Framing errors are corruption; a payload
+        // that frames but fails `decode_compiled` (e.g. a bytecode
+        // format-version bump) falls back to recompiling from the
+        // already-validated module — stale bytecode must never force a
+        // full cold compile when the `.wasm` bytes are still good.
+        let n_compiled = u32::from_le_bytes(r.array::<4>().ok_or_else(|| corrupt("eof"))?) as usize;
+        let mut compiled = Vec::new();
+        for _ in 0..n_compiled {
+            let name = r
+                .string()
+                .ok_or_else(|| corrupt("bad compiled-module name"))?;
+            let len = u64::from_le_bytes(r.array::<8>().ok_or_else(|| corrupt("eof"))?) as usize;
+            let data = r.take(len).ok_or_else(|| corrupt("truncated bytecode"))?;
+            let cm = match decode_compiled(data) {
+                Ok(cm) => cm,
+                Err(_) => {
+                    let (_, wm) = lowered
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .ok_or_else(|| corrupt("bytecode for unknown module"))?;
+                    compile_wasm_bytecode(wm)
+                }
+            };
+            compiled.push((name, cm));
+        }
         if r.pos != payload.len() {
             return Err(corrupt("trailing bytes in artifact"));
         }
@@ -1385,6 +1493,7 @@ impl Artifact {
                 lowered,
                 binaries,
                 analysis,
+                compiled,
                 timings: Timings::default(),
             }),
         })
@@ -1452,13 +1561,57 @@ impl Artifact {
                 linker.register_host_module(&hm.name, funcs);
             }
             for (name, wm) in &inner.lowered {
-                linker.instantiate(name, wm.clone()).map_err(|e| {
+                let idx = linker.instantiate(name, wm.clone()).map_err(|e| {
                     PipelineError::new(Stage::Instantiate, Some(name), PipelineErrorKind::Wasm(e))
                 })?;
+                // Bytecode tiers: re-point the defined functions at
+                // their flat compilations (declined functions keep the
+                // tree-walker — the tiers interoperate call-by-call).
+                if config.wasm_tier.compiles_bytecode() {
+                    if let Some((_, cm)) = inner.compiled.iter().find(|(n, _)| n == name) {
+                        linker.attach_compiled(idx, cm).map_err(|e| {
+                            PipelineError::new(
+                                Stage::Instantiate,
+                                Some(name),
+                                PipelineErrorKind::Wasm(e),
+                            )
+                        })?;
+                    }
+                }
             }
             // Baseline for cheap Instance::reset.
             linker.seal();
             Some(linker)
+        } else {
+            None
+        };
+
+        // Check tier: a second, tree-walking-only store of the same
+        // modules; `Instance::invoke` re-runs every invocation on it
+        // and cross-checks results, traps, and fuel (see `oracle_check`).
+        let wasm_oracle = if config.exec.wants_wasm() && config.wasm_tier == WasmTier::Check {
+            if !inner.hosts.is_empty() {
+                return Err(PipelineError::new(
+                    Stage::Instantiate,
+                    None,
+                    PipelineErrorKind::Unsupported(
+                        "WasmTier::Check requires a host-free module set: the oracle \
+                         re-runs every invocation, which would double host side effects"
+                            .into(),
+                    ),
+                ));
+            }
+            let mut oracle = WasmLinker::new();
+            if let Some(fuel) = config.fuel {
+                oracle.max_steps = fuel;
+            }
+            for (name, wm) in &inner.lowered {
+                oracle.instantiate(name, wm.clone()).map_err(|e| {
+                    PipelineError::new(Stage::Instantiate, Some(name), PipelineErrorKind::Wasm(e))
+                })?;
+            }
+            oracle.seal();
+            Some(oracle)
         } else {
             None
         };
@@ -1467,6 +1620,7 @@ impl Artifact {
         Ok(Instance {
             richwasm,
             wasm,
+            wasm_oracle,
             artifact: self.clone(),
             timings,
             invocations: 0,
@@ -1528,6 +1682,10 @@ pub struct Instance {
     /// The Wasm interpreter with every lowered module instantiated
     /// (present unless the engine runs in [`Exec::Interp`] mode).
     pub wasm: Option<WasmLinker>,
+    /// The tree-walking oracle store ([`WasmTier::Check`] only): a
+    /// second instantiation of the same modules with no bytecode
+    /// attached, re-run and cross-checked on every invocation.
+    pub wasm_oracle: Option<WasmLinker>,
     artifact: Artifact,
     timings: Timings,
     invocations: u64,
@@ -1602,7 +1760,76 @@ impl Instance {
     ) -> Result<Invocation, PipelineError> {
         self.begin_invocation();
         let exec = self.exec_mode();
-        invoke_backends(&mut self.richwasm, &mut self.wasm, exec, module, func, args)
+        let oracle_args = self.wasm_oracle.as_ref().map(|_| args.clone());
+        let result = invoke_backends(&mut self.richwasm, &mut self.wasm, exec, module, func, args);
+        if let Some(args) = oracle_args {
+            self.oracle_check(module, func, &args, &result)?;
+        }
+        result
+    }
+
+    /// [`WasmTier::Check`]: replays the invocation on the tree-walking
+    /// oracle store and demands bit-identical results (or identical trap
+    /// messages) *and* an identical fuel count. Any divergence is a
+    /// [`Stage::Differential`] mismatch — the property the fuzz farm's
+    /// tier-differential mode sweeps at scale.
+    fn oracle_check(
+        &mut self,
+        module: &str,
+        func: &str,
+        args: &[Value],
+        main: &Result<Invocation, PipelineError>,
+    ) -> Result<(), PipelineError> {
+        let (Some(oracle), Some(linker)) = (&mut self.wasm_oracle, &self.wasm) else {
+            return Ok(());
+        };
+        // The bytecode-side outcome on the Wasm backend. Failures that
+        // never reached that backend (unknown module, un-lowerable
+        // arguments, interpreter-side errors) have nothing to check.
+        let main_out: Result<Vec<Val>, String> = match main {
+            Ok(inv) => match &inv.wasm {
+                Some(vals) => Ok(vals.clone()),
+                None => return Ok(()),
+            },
+            Err(e) => match &e.kind {
+                PipelineErrorKind::Wasm(t) => Err(t.to_string()),
+                _ => return Ok(()),
+            },
+        };
+        let mut wargs = Vec::new();
+        for a in args {
+            match flatten_value(a) {
+                Some(flat) => wargs.extend(flat),
+                None => return Ok(()),
+            }
+        }
+        let Some(inst) = oracle.instance_by_name(module) else {
+            return Ok(());
+        };
+        let oracle_out: Result<Vec<Val>, String> =
+            oracle.invoke(inst, func, &wargs).map_err(|e| e.to_string());
+        let outcomes_agree = match (&main_out, &oracle_out) {
+            (Ok(a), Ok(b)) => vals_equal(a, b),
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        };
+        if !outcomes_agree || linker.last_steps() != oracle.last_steps() {
+            return Err(PipelineError::new(
+                Stage::Differential,
+                Some(module),
+                PipelineErrorKind::Mismatch {
+                    richwasm: format!(
+                        "tree-walker oracle: {oracle_out:?} in {} steps",
+                        oracle.last_steps()
+                    ),
+                    wasm: format!(
+                        "bytecode tier: {main_out:?} in {} steps",
+                        linker.last_steps()
+                    ),
+                },
+            ));
+        }
+        Ok(())
     }
 
     /// Invokes the entry function (default `"main"`, see
@@ -1654,6 +1881,11 @@ impl Instance {
             // In-place restore of the sealed baseline — no re-validation,
             // no import re-resolution.
             linker.reset().map_err(|e| {
+                PipelineError::new(Stage::Instantiate, None, PipelineErrorKind::Wasm(e))
+            })?;
+        }
+        if let Some(oracle) = &mut self.wasm_oracle {
+            oracle.reset().map_err(|e| {
                 PipelineError::new(Stage::Instantiate, None, PipelineErrorKind::Wasm(e))
             })?;
         }
@@ -2487,6 +2719,18 @@ impl Engine {
             timings.add(Stage::Encode, t0.elapsed());
         }
 
+        // Bytecode tier: flatten every validated function body to linear
+        // ops (timed under `Encode` — it is the other build-time code
+        // emission). Tree tier skips this entirely.
+        let mut compiled = Vec::new();
+        if config.exec.wants_wasm() && config.wasm_tier.compiles_bytecode() {
+            let t0 = Instant::now();
+            for (name, wm) in &lowered {
+                compiled.push((name.clone(), compile_wasm_bytecode(wm)));
+            }
+            timings.add(Stage::Encode, t0.elapsed());
+        }
+
         // Stage 6: CFG/dataflow static analysis of every lowered (or
         // decoded) module — independent re-verification, fuel bounds,
         // call-graph discipline, dead-code lint. The reports are part of
@@ -2516,6 +2760,7 @@ impl Engine {
                 lowered,
                 binaries,
                 analysis,
+                compiled,
                 timings,
             }),
         })

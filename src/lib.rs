@@ -39,7 +39,7 @@ pub use call::{HostSig, HostVal, HostValType, TypedFunc, WasmParams, WasmResults
 pub use engine::{
     Analysis, Artifact, CacheKey, CacheStats, Engine, EngineConfig, Exec, Instance, InstancePool,
     Invocation, Job, ModuleSet, PipelineError, PipelineErrorKind, PoolStats, PooledInstance,
-    Source, Stage, Timings, WasmBytes,
+    Source, Stage, Timings, WasmBytes, WasmTier,
 };
 pub use pipeline::{Pipeline, Program, Report, Run};
 pub use richwasm;

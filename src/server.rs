@@ -378,9 +378,13 @@ struct Tenant {
     shed: AtomicU64,
 }
 
-/// A fixed-size log₂-bucketed latency histogram: bucket *i* holds
-/// samples in `[2^(i-1), 2^i)` nanoseconds. 64 buckets cover every
-/// representable duration; recording is one atomic add, wait-free.
+/// A fixed-size log₂-bucketed latency histogram: bucket *i* for
+/// `1 ≤ i ≤ 62` holds samples in `[2^(i-1), 2^i)` nanoseconds, and the
+/// two end buckets are special — bucket 0 holds only exact-zero
+/// samples, and bucket 63 saturates (every sample in
+/// `[2^62, u64::MAX]`, including durations clamped to `u64::MAX`).
+/// 64 buckets therefore cover every representable duration; recording
+/// is one atomic add, wait-free.
 struct LatencyHistogram {
     buckets: [AtomicU64; 64],
 }
@@ -570,6 +574,11 @@ impl ServerInner {
                 }
                 if let Some(linker) = inst.wasm.as_mut() {
                     linker.max_steps = fuel;
+                }
+                // The Check-tier oracle must meter the same budget, or
+                // fuel preemption would masquerade as a tier mismatch.
+                if let Some(oracle) = inst.wasm_oracle.as_mut() {
+                    oracle.max_steps = fuel;
                 }
             }
             let job = &queued_job.job;
@@ -865,6 +874,33 @@ mod tests {
     fn histogram_is_zero_before_any_sample() {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile(0.99), Duration::ZERO);
+    }
+
+    /// Pins the documented bucket contract at every boundary: bucket 0
+    /// holds only 0 ns, bucket `i` in `1..=62` holds `[2^(i-1), 2^i)`,
+    /// and bucket 63 saturates up to `u64::MAX`.
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let bucket_of = |nanos: u64| {
+            let h = LatencyHistogram::new();
+            h.record(Duration::from_nanos(nanos));
+            (0..64)
+                .find(|&i| h.buckets[i].load(Ordering::Relaxed) == 1)
+                .expect("exactly one bucket incremented")
+        };
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        for k in [1u32, 7, 31, 61] {
+            // 2^k opens bucket k+1; 2^k ± 1 stay on their own sides.
+            assert_eq!(bucket_of(1 << k), k as usize + 1, "2^{k}");
+            assert_eq!(bucket_of((1 << k) + 1), k as usize + 1, "2^{k}+1");
+            assert_eq!(bucket_of((1 << k) - 1), k as usize, "2^{k}-1");
+        }
+        // The saturating top bucket: everything from 2^62 up.
+        assert_eq!(bucket_of(1 << 62), 63);
+        assert_eq!(bucket_of((1 << 62) + 1), 63);
+        assert_eq!(bucket_of(u64::MAX), 63);
     }
 
     #[test]

@@ -797,6 +797,232 @@ fn artifact_serialize_round_trips_and_rejects_tampering() {
     assert!(hosted.serialize().is_none());
 }
 
+// PR 10: the flat-bytecode tier — `.rwart` v3 persistence, the
+// tree-walker oracle (`WasmTier::Check`), and stale-format fallbacks.
+
+/// The engine-side FNV-1a-128 the artifact checksum uses, replicated so
+/// tests can re-seal deliberately tampered payloads and reach the
+/// *post*-checksum fallback paths.
+fn fnv128(bytes: &[u8]) -> u128 {
+    let mut h: u128 = 0x6c62272e07bb014262b821756295c58d;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(0x0000000001000000000000000000013b);
+    }
+    h
+}
+
+#[test]
+fn bytecode_artifact_v3_round_trips_byte_exact() {
+    let engine = Engine::with_config(EngineConfig::new().exec(Exec::Wasm));
+    let artifact = engine.compile(&counter_set()).unwrap();
+    let bytes = artifact.serialize().expect("v3 artifact serializes");
+    assert_eq!(&bytes[..6], b"RWART\x03", "v3 magic");
+
+    // deserialize ∘ serialize is byte-identical: the embedded bytecode
+    // section survives the round trip exactly.
+    let loaded = richwasm_repro::Artifact::deserialize(&bytes).unwrap();
+    let again = loaded.serialize().expect("loaded artifact re-serializes");
+    assert_eq!(bytes, again, "serialize∘deserialize∘serialize must fix");
+
+    // And the loaded artifact executes on the bytecode tier.
+    assert_eq!(
+        loaded.config().wasm_tier,
+        richwasm_repro::WasmTier::Bytecode
+    );
+    let mut inst = loaded.instantiate().unwrap();
+    inst.invoke("app", "setup", vec![Value::i32(3)]).unwrap();
+    inst.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    inst.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    assert_eq!(
+        inst.invoke("app", "total", vec![Value::Unit])
+            .unwrap()
+            .i32(),
+        Some(6)
+    );
+}
+
+#[test]
+fn v2_cache_files_fall_back_to_a_cold_recompile() {
+    let dir = scratch_dir("v2_fallback");
+    let config = || EngineConfig::new().exec(Exec::Wasm).cache_dir(&dir);
+
+    // Warm the disk cache, then rewrite the entry as a v2-era file:
+    // same payload, old magic, checksum re-sealed (so only the version
+    // byte distinguishes it from a genuine stale-format file).
+    let a = Engine::with_config(config());
+    let artifact = a.compile(&counter_set()).unwrap();
+    let path = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.extension().is_some_and(|e| e == "rwart"))
+        .expect("cache entry written");
+    let mut v2 = std::fs::read(&path).unwrap();
+    v2[5] = 0x02;
+    let body_len = v2.len() - 16;
+    let sum = fnv128(&v2[..body_len]).to_le_bytes();
+    v2[body_len..].copy_from_slice(&sum);
+    std::fs::write(&path, &v2).unwrap();
+    assert!(
+        richwasm_repro::Artifact::deserialize(&v2).is_err(),
+        "a v2 file must not deserialize as v3"
+    );
+
+    // A fresh engine sees the stale file, counts a disk miss, recompiles
+    // cold, and still produces the identical artifact.
+    let b = Engine::with_config(config());
+    let recompiled = b.compile(&counter_set()).unwrap();
+    assert_eq!(b.cache_stats().disk_misses, 1, "stale v2 file is a miss");
+    assert_eq!(recompiled.key(), artifact.key());
+    assert_eq!(recompiled.wasm_binaries(), artifact.wasm_binaries());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_bytecode_payload_recompiles_without_a_cold_compile() {
+    // Bump the self-versioned bytecode payload inside a valid v3 file
+    // (re-sealing the checksum): deserialize must succeed by
+    // recompiling the bytecode from the still-good `.wasm` bytes.
+    let engine = Engine::with_config(EngineConfig::new().exec(Exec::Wasm));
+    let artifact = engine.compile(&counter_set()).unwrap();
+    let bytes = artifact.serialize().unwrap();
+    let good = richwasm_repro::Artifact::deserialize(&bytes).unwrap();
+
+    // Each bytecode payload begins with its u16 format version. Rather
+    // than parse section offsets, locate each payload by re-encoding the
+    // known-good bytecode and searching for the exact bytes.
+    let mut stale = bytes;
+    let body_len = stale.len() - 16;
+    let n = artifact.wasm_binaries().len();
+    let mut patched = 0;
+    use richwasm_wasm::compile::{compile_module, encode_compiled};
+    for (_, wm) in good.lowered_modules() {
+        let mut payload = Vec::new();
+        encode_compiled(&compile_module(wm), &mut payload);
+        if let Some(pos) = stale[..body_len]
+            .windows(payload.len())
+            .position(|w| w == payload.as_slice())
+        {
+            // u16 LE version is the payload's first two bytes.
+            stale[pos] = 0xFF;
+            stale[pos + 1] = 0xFF;
+            patched += 1;
+        }
+    }
+    assert_eq!(patched, n, "every bytecode payload located and staled");
+    let sum = fnv128(&stale[..body_len]).to_le_bytes();
+    stale[body_len..].copy_from_slice(&sum);
+
+    let fell_back = richwasm_repro::Artifact::deserialize(&stale)
+        .expect("stale bytecode must fall back to recompile, not fail");
+    let mut inst = fell_back.instantiate().unwrap();
+    inst.invoke("app", "setup", vec![Value::i32(2)]).unwrap();
+    inst.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    assert_eq!(
+        inst.invoke("app", "total", vec![Value::Unit])
+            .unwrap()
+            .i32(),
+        Some(2)
+    );
+}
+
+#[test]
+fn check_tier_pins_bytecode_against_the_tree_walker() {
+    use richwasm_repro::WasmTier;
+
+    // Host-free sets run with the oracle cross-checking every invoke.
+    let engine = Engine::with_config(
+        EngineConfig::new()
+            .exec(Exec::Wasm)
+            .wasm_tier(WasmTier::Check),
+    );
+    let mut inst = engine.instantiate(&counter_set()).unwrap();
+    assert!(inst.wasm_oracle.is_some(), "Check tier builds the oracle");
+    inst.invoke("app", "setup", vec![Value::i32(5)]).unwrap();
+    for _ in 0..10 {
+        inst.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    }
+    assert_eq!(
+        inst.invoke("app", "total", vec![Value::Unit])
+            .unwrap()
+            .i32(),
+        Some(50)
+    );
+
+    // Reset rewinds the oracle with the main store.
+    inst.reset().unwrap();
+    inst.invoke("app", "setup", vec![Value::i32(1)]).unwrap();
+    inst.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    assert_eq!(
+        inst.invoke("app", "total", vec![Value::Unit])
+            .unwrap()
+            .i32(),
+        Some(1)
+    );
+
+    // Tier choice is part of the fingerprint, hence the cache key.
+    let tiered = EngineConfig::new().wasm_tier(WasmTier::Check);
+    assert_ne!(
+        tiered.fingerprint(),
+        EngineConfig::new().fingerprint(),
+        "tier must contribute to the configuration fingerprint"
+    );
+
+    // With host functions, Check refuses instead of doubling effects.
+    let hosted = ModuleSet::new().richwasm("m", ticker_module()).host_fn(
+        "host",
+        "tick",
+        HostSig::new([HostValType::I32], [HostValType::I32]),
+        |_| Ok(vec![HostVal::I32(1)]),
+    );
+    let err = Engine::with_config(
+        EngineConfig::new()
+            .exec(Exec::Wasm)
+            .wasm_tier(WasmTier::Check),
+    )
+    .instantiate(&hosted)
+    .expect_err("Check tier with hosts must refuse");
+    assert!(
+        matches!(err.kind, PipelineErrorKind::Unsupported(_)),
+        "{err}"
+    );
+}
+
+#[test]
+fn tree_tier_still_serves_and_caches_separately() {
+    use richwasm_repro::WasmTier;
+    let tree = Engine::with_config(EngineConfig::new().wasm_tier(WasmTier::Tree));
+    let mut inst = tree.instantiate(&counter_set()).unwrap();
+    inst.invoke("app", "setup", vec![Value::i32(4)]).unwrap();
+    inst.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    assert_eq!(
+        inst.invoke("app", "total", vec![Value::Unit])
+            .unwrap()
+            .i32(),
+        Some(4)
+    );
+    // Tree-tier artifacts carry no bytecode section but still serialize.
+    let wasm_tree = Engine::with_config(
+        EngineConfig::new()
+            .exec(Exec::Wasm)
+            .wasm_tier(WasmTier::Tree),
+    );
+    let artifact = wasm_tree.compile(&counter_set()).unwrap();
+    let bytes = artifact.serialize().expect("tree-tier artifact serializes");
+    let loaded = richwasm_repro::Artifact::deserialize(&bytes).unwrap();
+    assert_eq!(loaded.config().wasm_tier, WasmTier::Tree);
+    let mut inst = loaded.instantiate().unwrap();
+    inst.invoke("app", "setup", vec![Value::i32(2)]).unwrap();
+    inst.invoke("app", "bump", vec![Value::Unit]).unwrap();
+    assert_eq!(
+        inst.invoke("app", "total", vec![Value::Unit])
+            .unwrap()
+            .i32(),
+        Some(2)
+    );
+}
+
 // PR 6: pool contention must be observable. `checkout_timeout` bounds
 // the wait and both the bounded and unbounded paths account their
 // blocked time in `PoolStats`.

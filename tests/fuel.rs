@@ -150,6 +150,94 @@ fn one_sided_exhaustion_is_agreed_not_mismatch() {
     assert!(!matches!(err.kind, PipelineErrorKind::Mismatch { .. }));
 }
 
+/// A host call costs exactly **1** step of the instruction budget on
+/// both Wasm engines — the `call` instruction's dispatch charge, with no
+/// extra charge inside the host arm (the double-charging bug this pins
+/// against). Verified three ways: an exact step count through a guest
+/// `call` to a host import on the tree-walker and on the bytecode VM,
+/// the ±1 fuel boundary on both, and a *top-level* host invocation
+/// (which no instruction dispatched) costing exactly 1.
+#[test]
+fn host_call_costs_exactly_one_step_on_both_engines() {
+    use richwasm_wasm::ast::{
+        Export, ExportKind, FuncDef, FuncType, Import, ImportKind, Module, ValType, WInstr,
+    };
+    use richwasm_wasm::compile::compile_module;
+    use richwasm_wasm::exec::{Val, WasmLinker};
+    use std::sync::Arc;
+
+    // Guest: `f(x) = host.id(x)` — body is [local.get 0, call 0].
+    let mut m = Module::default();
+    let t = m.intern_type(FuncType {
+        params: vec![ValType::I32],
+        results: vec![ValType::I32],
+    });
+    m.imports.push(Import {
+        module: "h".into(),
+        name: "id".into(),
+        kind: ImportKind::Func(t),
+    });
+    m.funcs.push(FuncDef {
+        type_idx: t,
+        locals: vec![],
+        body: vec![WInstr::LocalGet(0), WInstr::Call(0)],
+    });
+    m.exports.push(Export {
+        name: "f".into(),
+        kind: ExportKind::Func(1),
+    });
+    let compiled = compile_module(&m);
+    assert_eq!(compiled.compiled_count(), 1, "guest must compile");
+
+    let build = |attach: bool| {
+        let mut l = WasmLinker::new();
+        l.register_host_module(
+            "h",
+            vec![(
+                "id".into(),
+                FuncType {
+                    params: vec![ValType::I32],
+                    results: vec![ValType::I32],
+                },
+                Arc::new(|args: &[Val]| Ok(args.to_vec())) as _,
+            )],
+        );
+        let i = l.instantiate("m", m.clone()).unwrap();
+        if attach {
+            l.attach_compiled(i, &compiled).unwrap();
+        }
+        (l, i)
+    };
+
+    for (attach, label) in [(false, "tree-walker"), (true, "bytecode")] {
+        let (mut l, i) = build(attach);
+        // local.get (1) + call dispatching the host (1) = exactly 2.
+        assert_eq!(l.invoke(i, "f", &[Val::I32(7)]).unwrap(), vec![Val::I32(7)]);
+        assert_eq!(l.last_steps(), 2, "{label}: guest body through a host call");
+
+        // The ±1 boundary through the host call.
+        l.max_steps = 2;
+        l.invoke(i, "f", &[Val::I32(7)])
+            .unwrap_or_else(|e| panic!("{label}: budget 2 must suffice: {e}"));
+        l.max_steps = 1;
+        let err = l.invoke(i, "f", &[Val::I32(7)]).unwrap_err();
+        assert!(
+            err.is_fuel_exhausted(),
+            "{label}: budget 1 must starve, got {err}"
+        );
+
+        // A top-level host invocation (no dispatching instruction)
+        // charges its single step in the host arm itself.
+        l.max_steps = u64::MAX;
+        let h = l.instance_by_name("h").unwrap();
+        assert_eq!(
+            l.invoke(h, "id", &[Val::I32(3)]).unwrap(),
+            vec![Val::I32(3)]
+        );
+        assert_eq!(l.last_steps(), 1, "{label}: top-level host call");
+    }
+}
+
 #[test]
 fn exhaustion_does_not_poison_the_instance() {
     let engine = Engine::with_config(EngineConfig::new().fuel(100));
